@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ABL-3: bootstrap confidence-level ablation (paper §IV-D).
+ *
+ * Sweeps the rule generator's confidence level (90% / 99% / 99.9%)
+ * and subsample divisor, measuring (a) held-out violation rate and
+ * (b) the conservatism cost: how much objective reduction is left
+ * on the table relative to the least conservative setting. The
+ * paper uses 99.9%; this ablation shows what that choice buys.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/rule_generator.hh"
+#include "harness.hh"
+
+using namespace toltiers;
+
+namespace {
+
+void
+ablate(const char *label, const core::MeasurementSet &trace)
+{
+    auto split = bench::splitTrace(trace);
+    std::size_t reference = trace.versionCount() - 1;
+    auto tolerances = core::toleranceGrid(0.10, 0.01);
+    auto candidates =
+        core::enumerateCandidates(trace.versionCount());
+    auto test_rows = bench::allRows(split.test);
+    double osfa_lat = split.test.meanLatency(reference);
+
+    common::Table table(std::string("bootstrap ablation: ") + label);
+    table.setHeader({"confidence", "subsample", "violations",
+                     "worst margin", "mean latency cut",
+                     "median trials"});
+
+    for (double conf : {0.90, 0.99, 0.999}) {
+        for (std::size_t divisor : {5u, 10u, 20u}) {
+            core::RuleGenConfig rg;
+            rg.referenceVersion = reference;
+            rg.confidence = conf;
+            rg.subsampleDivisor = divisor;
+            core::RoutingRuleGenerator gen(split.train, candidates,
+                                           rg);
+
+            std::size_t violations = 0;
+            double worst_margin = -1e9;
+            double reduction_sum = 0.0;
+            auto rules = gen.generate(
+                tolerances, serving::Objective::ResponseTime);
+            for (const auto &rule : rules) {
+                auto m = core::simulate(split.test, test_rows,
+                                        rule.cfg, reference);
+                double margin = m.errorDegradation - rule.tolerance;
+                worst_margin = std::max(worst_margin, margin);
+                if (margin > 0.0)
+                    ++violations;
+                reduction_sum += 1.0 - m.meanLatency / osfa_lat;
+            }
+
+            std::vector<double> trials;
+            for (const auto &rec : gen.records())
+                trials.push_back(static_cast<double>(rec.trials));
+            std::sort(trials.begin(), trials.end());
+
+            table.addRow({
+                common::formatPercent(conf, 1),
+                "n/" + std::to_string(divisor),
+                std::to_string(violations) + "/" +
+                    std::to_string(rules.size()),
+                common::formatFixed(worst_margin, 3),
+                common::formatPercent(
+                    reduction_sum / rules.size(), 1),
+                common::formatFixed(trials[trials.size() / 2], 0),
+            });
+        }
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("ABL-3: bootstrap confidence-level sweep",
+                  "paper Sec. IV-D (99.9% confidence) — guarantee "
+                  "strength vs. conservatism");
+
+    auto asr_ms = bench::asrTrace();
+    ablate("ASR", asr_ms);
+
+    auto ic_ms = bench::icTrace();
+    ablate("IC", ic_ms);
+
+    std::printf("reading: higher confidence and smaller subsamples "
+                "raise the worst-case\nestimates, trading average "
+                "reduction for guarantee slack — the paper's 99.9%% "
+                "is\nthe conservative end of the dial.\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * ABL-2: confidence-metric ablation.
+ *
+ * The tier policies route on the model's self-confidence ("a general
+ * confidence metric that allows it to work with machine learning
+ * applications beyond neural networks", paper §VI). This ablation
+ * bounds how much that signal is worth: it compares the model
+ * confidence against an oracle (escalate exactly the wrong results)
+ * and a random router with a matched escalation budget, measuring
+ * the error degradation each achieves at equal latency under a
+ * Sequential(fastest -> most accurate) ensemble.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/policy.hh"
+#include "harness.hh"
+
+using namespace toltiers;
+
+namespace {
+
+struct RouterOutcome
+{
+    double errorDegradation = 0.0;
+    double latency = 0.0;
+    double escalation = 0.0;
+};
+
+/**
+ * Sequential(fast -> ref) where escalation is decided by `escalate`.
+ */
+template <typename EscalateFn>
+RouterOutcome
+route(const core::MeasurementSet &ms, EscalateFn escalate)
+{
+    std::size_t reference = ms.versionCount() - 1;
+    double err = 0.0, lat = 0.0, ref_err = 0.0;
+    std::size_t escalations = 0;
+    for (std::size_t r = 0; r < ms.requestCount(); ++r) {
+        const auto &fast = ms.at(0, r);
+        const auto &ref = ms.at(reference, r);
+        ref_err += ref.error;
+        if (escalate(r, fast)) {
+            ++escalations;
+            err += ref.error;
+            lat += fast.latency + ref.latency;
+        } else {
+            err += fast.error;
+            lat += fast.latency;
+        }
+    }
+    auto n = static_cast<double>(ms.requestCount());
+    RouterOutcome out;
+    out.errorDegradation =
+        ref_err > 0.0 ? (err - ref_err) / ref_err : err / n;
+    out.latency = lat / n;
+    out.escalation = static_cast<double>(escalations) / n;
+    return out;
+}
+
+void
+ablate(const char *label, const core::MeasurementSet &ms)
+{
+    std::size_t reference = ms.versionCount() - 1;
+    double osfa_lat = ms.meanLatency(reference);
+
+    // Oracle: escalate exactly the requests the fast version gets
+    // wrong (relative to the reference's own result quality).
+    auto oracle = route(ms, [&](std::size_t r,
+                                const core::Measurement &fast) {
+        return fast.error > ms.at(reference, r).error;
+    });
+
+    // Model confidence at the threshold matching the oracle's
+    // escalation budget (quantile of the confidence distribution).
+    std::vector<double> confs;
+    for (std::size_t r = 0; r < ms.requestCount(); ++r)
+        confs.push_back(ms.at(0, r).confidence);
+    std::vector<double> sorted = confs;
+    std::sort(sorted.begin(), sorted.end());
+    double th = sorted[static_cast<std::size_t>(
+        oracle.escalation * (sorted.size() - 1))];
+    auto model = route(ms, [&](std::size_t,
+                               const core::Measurement &fast) {
+        return fast.confidence <= th;
+    });
+
+    // Random router with the same escalation budget.
+    common::Pcg32 rng(7);
+    auto random = route(ms, [&](std::size_t,
+                                const core::Measurement &) {
+        return rng.bernoulli(oracle.escalation);
+    });
+
+    common::Table table(std::string("confidence ablation: ") + label);
+    table.setHeader({"router", "escalation", "err deg.",
+                     "latency cut"});
+    auto add = [&](const char *name, const RouterOutcome &o) {
+        table.addRow({name, common::formatPercent(o.escalation, 1),
+                      common::formatPercent(o.errorDegradation, 2),
+                      common::formatPercent(
+                          1.0 - o.latency / osfa_lat, 1)});
+    };
+    add("oracle", oracle);
+    add("model-confidence", model);
+    add("random", random);
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("ABL-2: confidence-metric ablation",
+                  "bounds the value of the general confidence metric "
+                  "the tier policies route on");
+
+    auto asr_ms = bench::asrTrace();
+    ablate("ASR", asr_ms);
+
+    auto ic_ms = bench::icTrace();
+    ablate("IC", ic_ms);
+
+    std::printf("reading: at a matched escalation budget the model "
+                "confidence sits between the\noracle and the random "
+                "router — much closer to the oracle for the ASR "
+                "margin\nsignal than for the saturated IC softmax — "
+                "which is why the rule generator\npairs the IC "
+                "policies with near-1.0 thresholds (larger budgets) "
+                "instead.\n");
+    return 0;
+}

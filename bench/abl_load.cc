@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ABL-4: queueing behaviour under load (discrete-event cluster
+ * simulation).
+ *
+ * The per-request analyses are closed-form; this ablation checks
+ * that the tier advantage survives contention. OSFA deploys all
+ * nodes as the most accurate version; the tiered deployment splits
+ * the same node budget between a fast-version pool and an
+ * accurate-version pool and routes with the Sequential policy.
+ * Sweeps the arrival rate and reports mean/p99 response time and
+ * cost for both deployments.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "harness.hh"
+#include "serving/cluster.hh"
+#include "serving/deployment.hh"
+
+using namespace toltiers;
+
+namespace {
+
+void
+loadSweep(const char *label, const core::MeasurementSet &ms)
+{
+    std::size_t reference = ms.versionCount() - 1;
+    std::size_t fast = 0;
+    const std::size_t nodes = 8;
+    const std::size_t jobs = 3000;
+    const double threshold = 0.8;
+
+    serving::InstanceCatalog catalog;
+    const auto &cpu = catalog.get("cpu-small");
+    auto osfa = serving::osfaDeployment(ms.versionName(reference),
+                                        nodes, cpu);
+    auto tiered = serving::tieredDeployment(
+        ms.versionName(fast), nodes / 2, ms.versionName(reference),
+        nodes - nodes / 2, cpu);
+
+    // Saturation point of the OSFA deployment.
+    double osfa_service = ms.meanLatency(reference);
+    double sat_rate = static_cast<double>(nodes) / osfa_service;
+
+    common::Table table(
+        std::string("load sweep: ") + label +
+        common::strprintf(" (%zu nodes, seq(%s->%s,th=%.1f))", nodes,
+                          ms.versionName(fast).c_str(),
+                          ms.versionName(reference).c_str(),
+                          threshold));
+    table.setHeader({"load", "osfa mean", "osfa p99", "tier mean",
+                     "tier p99", "tier cost cut"});
+
+    for (double load : {0.3, 0.6, 0.9, 1.2}) {
+        double rate = load * sat_rate;
+        common::Pcg32 rng(99);
+        auto arrivals = serving::poissonArrivals(jobs, rate, rng);
+
+        // OSFA: all nodes serve the reference version.
+        serving::ClusterSim osfa_sim(osfa.simPools());
+        std::vector<serving::SimJob> osfa_jobs;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            serving::SimJob job;
+            job.arrival = arrivals[j];
+            job.stages = {
+                {0, ms.at(reference, j % ms.requestCount()).latency}};
+            osfa_jobs.push_back(job);
+        }
+        auto osfa_rep = osfa_sim.run(osfa_jobs);
+
+        // Tiered: split the node budget; requests start at the fast
+        // pool and escalate on low confidence.
+        serving::ClusterSim tier_sim(tiered.simPools());
+        std::vector<serving::SimJob> tier_jobs;
+        for (std::size_t j = 0; j < jobs; ++j) {
+            std::size_t r = j % ms.requestCount();
+            serving::SimJob job;
+            job.arrival = arrivals[j];
+            job.stages = {{0, ms.at(fast, r).latency}};
+            if (ms.at(fast, r).confidence < threshold)
+                job.stages.push_back(
+                    {1, ms.at(reference, r).latency});
+            tier_jobs.push_back(job);
+        }
+        auto tier_rep = tier_sim.run(tier_jobs);
+
+        table.addRow({
+            common::formatPercent(load, 0),
+            common::formatFixed(osfa_rep.meanResponse * 1e3, 1) +
+                "ms",
+            common::formatFixed(osfa_rep.p99Response * 1e3, 1) +
+                "ms",
+            common::formatFixed(tier_rep.meanResponse * 1e3, 1) +
+                "ms",
+            common::formatFixed(tier_rep.p99Response * 1e3, 1) +
+                "ms",
+            common::formatPercent(
+                1.0 - tier_rep.totalCost / osfa_rep.totalCost, 1),
+        });
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("ABL-4: tiering under queueing load",
+                  "discrete-event node-pool simulation; load relative "
+                  "to OSFA saturation");
+
+    auto asr_ms = bench::asrTrace();
+    loadSweep("ASR", asr_ms);
+
+    auto ic_ms = bench::icTrace();
+    loadSweep("IC", ic_ms);
+
+    std::printf("reading: because most requests finish on the fast "
+                "pool, the tiered deployment\nserves the same node "
+                "budget at far lower utilization — the latency gap "
+                "widens\nwith load, and past OSFA saturation (load > "
+                "100%%) tiering is the only\ndeployment that keeps "
+                "queues bounded.\n");
+    return 0;
+}

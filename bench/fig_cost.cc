@@ -1,0 +1,47 @@
+/**
+ * @file
+ * FIG-6: invocation-cost reduction versus tolerance (paper §V, cost
+ * objective).
+ *
+ * Paper headline: cost reductions of 21% at 1% tolerance, 60% at
+ * 5%, and 70% at 10% tolerance. Under the cost objective the
+ * generator favours sequential ensembles (concurrent execution pays
+ * for both versions, as the paper's ET/FO discussion notes). Both
+ * readings of the tolerance are reproduced, as in FIG-5.
+ */
+
+#include "harness.hh"
+#include "sweep.hh"
+
+using namespace toltiers;
+
+int
+main()
+{
+    bench::banner("FIG-6: invocation-cost reduction vs. tolerance",
+                  "paper Sec. V (21% @ 1%, 60% @ 5%, 70% @ 10% "
+                  "tolerance)");
+
+    auto asr_ms = bench::asrTrace();
+    auto ic_ms = bench::icTrace();
+
+    for (auto mode : {core::DegradationMode::AbsolutePoints,
+                      core::DegradationMode::Relative}) {
+        const char *suffix =
+            mode == core::DegradationMode::Relative ? "rel" : "abs";
+        auto asr_sweep = bench::runToleranceSweep(
+            asr_ms, serving::Objective::Cost, mode);
+        bench::printSweep(asr_sweep, "ASR", serving::Objective::Cost,
+                          mode,
+                          std::string("fig6_asr_cost_") + suffix +
+                              ".csv");
+
+        auto ic_sweep = bench::runToleranceSweep(
+            ic_ms, serving::Objective::Cost, mode);
+        bench::printSweep(ic_sweep, "IC", serving::Objective::Cost,
+                          mode,
+                          std::string("fig6_ic_cost_") + suffix +
+                              ".csv");
+    }
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * FIG-1: the accuracy-latency Pareto frontier (paper §III-A/E).
+ *
+ * ASR: sweeps the full heuristic grid (scope x top-N x beam width)
+ * on a corpus subset, Pareto-filters (latency, WER), and checks that
+ * the seven canonical versions track the frontier. IC: the five
+ * network versions. Ends with the paper's §III-E summary numbers:
+ * the latency multiple of the frontier and the relative error
+ * reduction it buys ("a 2.6x increase in response time can reduce
+ * the ASR service's error by over 9%; a 5x response time increase
+ * reduces the image classification service's error by over 65%").
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "asr/versions.hh"
+#include "common/csv.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "harness.hh"
+#include "stats/pareto.hh"
+
+using namespace toltiers;
+
+namespace {
+
+void
+summarizeFrontier(const char *service,
+                  const std::vector<stats::ParetoPoint> &frontier)
+{
+    if (frontier.size() < 2)
+        return;
+    const auto &fast = frontier.front();
+    const auto &best = frontier.back();
+    std::printf("\n%s: a %.1fx increase in response time reduces the "
+                "error by %.1f%% (rel.)\n    (%.2fms @ %.2f%% error "
+                "-> %.2fms @ %.2f%% error)\n",
+                service, best.latency / fast.latency,
+                (fast.error - best.error) / fast.error * 100.0,
+                fast.latency * 1e3, fast.error * 100.0,
+                best.latency * 1e3, best.error * 100.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "FIG-1: accuracy-latency Pareto frontier (ASR + IC)",
+        "paper Sec. III-A and the Sec. III-E summary numbers");
+
+    // --- ASR heuristic grid on a corpus subset.
+    asr::AsrWorld world;
+    dataset::SpeechCorpusConfig cc;
+    cc.utterances = 800;
+    cc.seed = 1234;
+    auto corpus = dataset::buildSpeechCorpus(world, cc);
+
+    auto grid = asr::heuristicGrid();
+    std::vector<stats::ParetoPoint> points;
+    std::printf("sweeping %zu ASR heuristic configurations on %zu "
+                "utterances...\n",
+                grid.size(), corpus.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        asr::AsrEngine engine(world, grid[i]);
+        double wer = 0.0, lat = 0.0;
+        for (const auto &utt : corpus) {
+            auto res = engine.transcribe(utt);
+            wer += engine.wer(res, utt);
+            lat += res.latencySeconds;
+        }
+        points.push_back({lat / corpus.size(), wer / corpus.size(),
+                          i});
+    }
+    auto frontier = stats::paretoFrontier(points);
+
+    common::Table asr_table("ASR grid Pareto frontier");
+    asr_table.setHeader({"config", "latency", "WER"});
+    common::CsvWriter csv("fig1_asr_grid.csv");
+    csv.writeRow({"config", "latency_ms", "wer", "on_frontier"});
+    for (const auto &p : points) {
+        bool on = false;
+        for (const auto &f : frontier)
+            on |= f.tag == p.tag;
+        csv.writeRow(grid[p.tag].name,
+                     {p.latency * 1e3, p.error, on ? 1.0 : 0.0});
+    }
+    for (const auto &f : frontier) {
+        asr_table.addRow({grid[f.tag].name,
+                          common::formatFixed(f.latency * 1e3, 2) +
+                              "ms",
+                          common::formatPercent(f.error, 2)});
+    }
+    asr_table.print(std::cout);
+    summarizeFrontier("ASR", frontier);
+
+    // How close do the seven canonical versions track the frontier?
+    std::printf("\ncanonical versions vs. frontier:\n");
+    for (const auto &cfg : asr::paretoVersions()) {
+        asr::AsrEngine engine(world, cfg);
+        double wer = 0.0, lat = 0.0;
+        for (const auto &utt : corpus) {
+            auto res = engine.transcribe(utt);
+            wer += engine.wer(res, utt);
+            lat += res.latencySeconds;
+        }
+        std::printf("  %-4s %8.2fms  WER %6.2f%%\n", cfg.name.c_str(),
+                    lat / corpus.size() * 1e3,
+                    wer / corpus.size() * 100.0);
+    }
+
+    // --- IC versions (each architecture is one design point).
+    auto ms = bench::icTrace();
+    std::vector<stats::ParetoPoint> ic_points;
+    for (std::size_t v = 0; v < ms.versionCount(); ++v)
+        ic_points.push_back(
+            {ms.meanLatency(v), ms.meanError(v), v});
+    auto ic_frontier = stats::paretoFrontier(ic_points);
+
+    common::Table ic_table("\nIC version frontier");
+    ic_table.setHeader({"version", "latency", "top-1 err"});
+    for (const auto &f : ic_frontier) {
+        ic_table.addRow({ms.versionName(f.tag),
+                         common::formatFixed(f.latency * 1e3, 1) +
+                             "ms",
+                         common::formatPercent(f.error, 2)});
+    }
+    ic_table.print(std::cout);
+    summarizeFrontier("IC", ic_frontier);
+
+    std::printf("\nraw grid series written to fig1_asr_grid.csv\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * FIG-2a-2d: request-level accuracy-latency behaviour (paper
+ * §III-B/C).
+ *
+ * Shows, for both services, the per-request latency distribution of
+ * each version (the latency tax the big versions impose on every
+ * request) and example per-request error trajectories from each
+ * behaviour category — the request-level views the paper's Fig. 2a-d
+ * panels illustrate.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/categories.hh"
+#include "harness.hh"
+#include "stats/correlation.hh"
+#include "stats/descriptive.hh"
+#include "stats/histogram.hh"
+
+using namespace toltiers;
+
+namespace {
+
+void
+latencyDistribution(const char *label, const core::MeasurementSet &ms)
+{
+    common::Table table(std::string("per-request latency: ") + label);
+    table.setHeader({"version", "p10", "p50", "p90", "p99", "max"});
+    for (std::size_t v = 0; v < ms.versionCount(); ++v) {
+        std::vector<double> lats;
+        lats.reserve(ms.requestCount());
+        for (std::size_t r = 0; r < ms.requestCount(); ++r)
+            lats.push_back(ms.at(v, r).latency * 1e3);
+        table.addRow(ms.versionName(v),
+                     {stats::percentile(lats, 10.0),
+                      stats::percentile(lats, 50.0),
+                      stats::percentile(lats, 90.0),
+                      stats::percentile(lats, 99.0),
+                      stats::max(lats)},
+                     2);
+    }
+    table.print(std::cout);
+    std::printf("  (milliseconds)\n\n");
+}
+
+void
+exampleTrajectories(const char *label, const core::MeasurementSet &ms)
+{
+    std::printf("example per-request error trajectories (%s):\n",
+                label);
+    const core::Category cats[] = {
+        core::Category::Unchanged, core::Category::Improves,
+        core::Category::Degrades, core::Category::Varies};
+    for (core::Category cat : cats) {
+        auto rows = core::requestsInCategory(ms, cat);
+        if (rows.empty()) {
+            std::printf("  %-10s (no requests)\n",
+                        core::categoryName(cat));
+            continue;
+        }
+        std::size_t r = rows[rows.size() / 2];
+        std::printf("  %-10s req %-6zu err:", core::categoryName(cat),
+                    r);
+        for (std::size_t v = 0; v < ms.versionCount(); ++v)
+            std::printf(" %5.1f%%", ms.at(v, r).error * 100.0);
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+void
+confidenceSplit(const char *label, const core::MeasurementSet &ms)
+{
+    // Confidence is the signal the tier policies route on; show that
+    // it separates correct from incorrect results per version, and
+    // quantify the separation with the point-biserial correlation
+    // between wrongness and confidence (more negative = sharper).
+    std::printf("model confidence, correct vs. wrong (%s):\n", label);
+    for (std::size_t v = 0; v < ms.versionCount(); ++v) {
+        std::vector<double> ok, bad, confs;
+        std::vector<bool> wrong;
+        for (std::size_t r = 0; r < ms.requestCount(); ++r) {
+            const auto &m = ms.at(v, r);
+            (m.error == 0.0 ? ok : bad).push_back(m.confidence);
+            confs.push_back(m.confidence);
+            wrong.push_back(m.error > 0.0);
+        }
+        std::printf("  %-6s conf(correct)=%.3f  conf(wrong)=%.3f  "
+                    "r_pb=%+.3f  (wrong on %zu)\n",
+                    ms.versionName(v).c_str(),
+                    ok.empty() ? 0.0 : stats::mean(ok),
+                    bad.empty() ? 0.0 : stats::mean(bad),
+                    stats::pointBiserial(wrong, confs), bad.size());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("FIG-2a-2d: request-level behaviour",
+                  "paper Sec. III-B/C (per-request latency and "
+                  "result-quality views)");
+
+    auto asr_ms = bench::asrTrace();
+    latencyDistribution("ASR", asr_ms);
+    exampleTrajectories("ASR", asr_ms);
+    confidenceSplit("ASR", asr_ms);
+
+    auto ic_ms = bench::icTrace();
+    latencyDistribution("IC", ic_ms);
+    exampleTrajectories("IC", ic_ms);
+    confidenceSplit("IC", ic_ms);
+    return 0;
+}

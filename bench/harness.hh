@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark harness.
+ *
+ * Every figure/table binary needs the same two artifacts: the ASR
+ * measurement trace (corpus decoded by all seven engine versions)
+ * and the IC measurement trace (test images classified by all five
+ * trained networks). Both are expensive, so they are built once and
+ * cached under the toltiers cache directory; all bench binaries in
+ * one directory therefore share a single collection run.
+ */
+
+#ifndef TOLTIERS_BENCH_HARNESS_HH
+#define TOLTIERS_BENCH_HARNESS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asr/engine.hh"
+#include "asr/service.hh"
+#include "asr/versions.hh"
+#include "asr/world.hh"
+#include "core/measurement.hh"
+#include "core/rule_generator.hh"
+#include "dataset/speech_corpus.hh"
+#include "dataset/synth_images.hh"
+#include "ic/classifier.hh"
+#include "serving/instance.hh"
+
+namespace toltiers::bench {
+
+/** Default evaluation scale (chosen so a full bench run stays fast). */
+struct BenchScale
+{
+    std::size_t asrUtterances = 8000;
+    std::uint64_t asrSeed = 1234;
+    std::size_t icTrainImages = 2500;
+    std::size_t icTestImages = 8000;
+    std::uint64_t icSeed = 7;
+};
+
+/**
+ * The live ASR stack: world, corpus, engines, and service adapters
+ * for the seven canonical versions, all bound to one workload.
+ */
+class AsrStack
+{
+  public:
+    explicit AsrStack(std::size_t utterances, std::uint64_t seed);
+
+    const asr::AsrWorld &world() const { return *world_; }
+    const std::vector<asr::Utterance> &corpus() const
+    {
+        return corpus_;
+    }
+    const std::vector<const serving::ServiceVersion *> &
+    versions() const
+    {
+        return versionPtrs_;
+    }
+    const asr::AsrEngine &engine(std::size_t v) const
+    {
+        return *engines_[v];
+    }
+    std::size_t versionCount() const { return engines_.size(); }
+
+  private:
+    std::unique_ptr<asr::AsrWorld> world_;
+    std::vector<asr::Utterance> corpus_;
+    serving::InstanceCatalog catalog_;
+    std::vector<std::unique_ptr<asr::AsrEngine>> engines_;
+    std::vector<std::unique_ptr<asr::AsrServiceVersion>> services_;
+    std::vector<const serving::ServiceVersion *> versionPtrs_;
+};
+
+/** The trained IC stack: datasets, classifiers, service adapters. */
+class IcStack
+{
+  public:
+    IcStack(std::size_t train_images, std::size_t test_images,
+            std::uint64_t seed);
+
+    const dataset::ImageSet &testSet() const { return test_; }
+    const std::vector<ic::Classifier> &zoo() const { return zoo_; }
+    const std::vector<const serving::ServiceVersion *> &
+    versions() const
+    {
+        return versionPtrs_;
+    }
+    const serving::InstanceCatalog &catalog() const
+    {
+        return catalog_;
+    }
+
+  private:
+    dataset::ImageSet train_;
+    dataset::ImageSet test_;
+    serving::InstanceCatalog catalog_;
+    std::vector<ic::Classifier> zoo_;
+    std::vector<std::unique_ptr<serving::ServiceVersion>> services_;
+    std::vector<const serving::ServiceVersion *> versionPtrs_;
+};
+
+/**
+ * Batched measurement collection for an IC stack: the generic
+ * MeasurementSet::collect() forces batch-1 network forwards; this
+ * helper classifies the whole workload per version with batched
+ * inference and assembles the identical matrix much faster.
+ */
+core::MeasurementSet
+collectIcMeasurements(const IcStack &stack, std::size_t batch = 64);
+
+/**
+ * The ASR measurement trace at the given scale, loaded from the
+ * cache when available and collected (then cached) otherwise.
+ */
+core::MeasurementSet asrTrace(const BenchScale &scale = BenchScale());
+
+/** The IC measurement trace, cached like asrTrace(). */
+core::MeasurementSet icTrace(const BenchScale &scale = BenchScale());
+
+/** Train/test split of a trace: first `train_fraction` for training. */
+struct TraceSplit
+{
+    core::MeasurementSet train;
+    core::MeasurementSet test;
+};
+
+TraceSplit splitTrace(const core::MeasurementSet &ms,
+                      double train_fraction = 0.8);
+
+/** All request row indices of a trace. */
+std::vector<std::size_t> allRows(const core::MeasurementSet &ms);
+
+/** Print the standard bench banner. */
+void banner(const std::string &title, const std::string &paper_ref);
+
+} // namespace toltiers::bench
+
+#endif // TOLTIERS_BENCH_HARNESS_HH

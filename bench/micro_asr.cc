@@ -1,0 +1,102 @@
+/**
+ * @file
+ * MICRO: google-benchmark microbenchmarks of the ASR decoder — the
+ * per-utterance decode cost of each canonical service version and
+ * the scaling of decode work with beam width.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asr/engine.hh"
+#include "asr/versions.hh"
+#include "dataset/speech_corpus.hh"
+
+using namespace toltiers;
+
+namespace {
+
+struct Fixture
+{
+    asr::AsrWorld world;
+    std::vector<asr::Utterance> corpus;
+
+    Fixture()
+    {
+        dataset::SpeechCorpusConfig cc;
+        cc.utterances = 64;
+        cc.seed = 55;
+        corpus = dataset::buildSpeechCorpus(world, cc);
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_DecodeVersion(benchmark::State &state)
+{
+    auto &f = fixture();
+    auto versions = asr::paretoVersions();
+    const auto &cfg = versions[static_cast<std::size_t>(
+        state.range(0))];
+    asr::Decoder decoder(f.world);
+    std::size_t i = 0;
+    std::uint64_t work = 0;
+    for (auto _ : state) {
+        auto res =
+            decoder.decode(f.corpus[i % f.corpus.size()], cfg);
+        benchmark::DoNotOptimize(res.score);
+        work += res.workUnits;
+        ++i;
+    }
+    state.SetLabel(cfg.name);
+    state.counters["work_units/decode"] = benchmark::Counter(
+        static_cast<double>(work),
+        benchmark::Counter::kAvgIterations);
+}
+
+void
+BM_DecodeBeamWidth(benchmark::State &state)
+{
+    auto &f = fixture();
+    asr::BeamConfig cfg;
+    cfg.scope = asr::PruneScope::Global;
+    cfg.maxActive = 8;
+    cfg.beamWidth = static_cast<double>(state.range(0));
+    cfg.wordEndBeam = 0.75 * cfg.beamWidth;
+    asr::Decoder decoder(f.world);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        auto res =
+            decoder.decode(f.corpus[i % f.corpus.size()], cfg);
+        benchmark::DoNotOptimize(res.score);
+        ++i;
+    }
+}
+
+void
+BM_CorpusSynthesis(benchmark::State &state)
+{
+    auto &f = fixture();
+    dataset::SpeechCorpusConfig cc;
+    cc.utterances = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto corpus = dataset::buildSpeechCorpus(f.world, cc);
+        benchmark::DoNotOptimize(corpus.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_DecodeVersion)->DenseRange(0, 6);
+BENCHMARK(BM_DecodeBeamWidth)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_CorpusSynthesis)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,237 @@
+#include "sweep.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "common/csv.hh"
+#include "common/json.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/rule_generator.hh"
+#include "harness.hh"
+
+namespace toltiers::bench {
+
+namespace {
+
+std::vector<core::EnsembleConfig>
+familyCandidates(const std::string &family, std::size_t versions)
+{
+    auto all = core::enumerateCandidates(versions);
+    if (family == "all")
+        return all;
+    std::vector<core::EnsembleConfig> out;
+    for (const auto &c : all) {
+        bool keep = false;
+        if (family == "single") {
+            keep = c.kind == core::PolicyKind::Single;
+        } else if (family == "seq") {
+            keep = c.kind == core::PolicyKind::Single ||
+                   c.kind == core::PolicyKind::Sequential;
+        } else if (family == "conc-et") {
+            keep = c.kind == core::PolicyKind::Single ||
+                   c.kind == core::PolicyKind::ConcurrentEt;
+        } else if (family == "conc-fo") {
+            keep = c.kind == core::PolicyKind::Single ||
+                   c.kind == core::PolicyKind::ConcurrentFo;
+        }
+        if (keep)
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+SweepResult
+runToleranceSweep(const core::MeasurementSet &trace,
+                  serving::Objective objective,
+                  core::DegradationMode mode, double max_tolerance,
+                  double step)
+{
+    auto split = splitTrace(trace);
+    std::size_t reference = trace.versionCount() - 1;
+
+    SweepResult result;
+    result.osfaLatency = split.test.meanLatency(reference);
+    result.osfaCost = split.test.meanCost(reference);
+    result.osfaError = split.test.meanError(reference);
+
+    auto tolerances = core::toleranceGrid(max_tolerance, step);
+    auto test_rows = allRows(split.test);
+
+    const char *families[] = {"all", "single", "seq", "conc-et",
+                              "conc-fo"};
+    for (const char *family : families) {
+        core::RuleGenConfig rg;
+        rg.referenceVersion = reference;
+        rg.mode = mode;
+        core::RoutingRuleGenerator gen(
+            split.train,
+            familyCandidates(family, trace.versionCount()), rg);
+        auto rules = gen.generate(tolerances, objective);
+
+        SweepSeries series;
+        series.family = family;
+        for (const auto &rule : rules) {
+            auto m = core::simulate(split.test, test_rows, rule.cfg,
+                                    reference, mode);
+            SweepPoint pt;
+            pt.tolerance = rule.tolerance;
+            pt.config = rule.cfg.describe(trace);
+            double objective_value =
+                objective == serving::Objective::ResponseTime
+                    ? m.meanLatency
+                    : m.meanCost;
+            double osfa =
+                objective == serving::Objective::ResponseTime
+                    ? result.osfaLatency
+                    : result.osfaCost;
+            pt.reduction = 1.0 - objective_value / osfa;
+            pt.degradation = m.errorDegradation;
+            pt.violated = m.errorDegradation > rule.tolerance;
+            if (pt.violated)
+                ++series.violations;
+            series.points.push_back(pt);
+        }
+        result.series.push_back(std::move(series));
+    }
+    return result;
+}
+
+void
+printSweep(const SweepResult &result, const std::string &label,
+           serving::Objective objective, core::DegradationMode mode,
+           const std::string &csv_path)
+{
+    const char *objective_label =
+        objective == serving::Objective::ResponseTime
+            ? "response-time reduction"
+            : "invocation-cost reduction";
+
+    // Coarse table: every 1% tolerance, full candidate set.
+    const SweepSeries &all = result.series.front();
+    common::Table table(label + ": " + objective_label +
+                        " vs. tolerance (" +
+                        core::degradationModeName(mode) +
+                        " degradation, full candidate set)");
+    table.setHeader({"tolerance", "chosen ensemble", "reduction",
+                     "held-out deg."});
+    for (const auto &pt : all.points) {
+        double scaled = pt.tolerance * 100.0;
+        if (std::fabs(scaled - std::round(scaled)) > 1e-9)
+            continue;
+        table.addRow({common::formatPercent(pt.tolerance, 1),
+                      pt.config,
+                      common::formatPercent(pt.reduction, 1),
+                      common::formatPercent(pt.degradation, 2) +
+                          (pt.violated ? " VIOLATION" : "")});
+    }
+    table.print(std::cout);
+
+    // Headline comparison with the paper.
+    std::printf("\nheadline tiers (paper Sec. I numbers in "
+                "parentheses):\n");
+    struct Headline
+    {
+        double tol;
+        const char *paper_rt;
+        const char *paper_cost;
+    };
+    const Headline heads[] = {{0.01, "19%", "21%"},
+                              {0.05, "45%", "60%"},
+                              {0.10, "60%", "70%"}};
+    for (const auto &h : heads) {
+        for (const auto &pt : all.points) {
+            if (std::fabs(pt.tolerance - h.tol) < 1e-9) {
+                std::printf(
+                    "  tolerance %4.1f%%: %s %5.1f%%  (paper: %s)\n",
+                    h.tol * 100.0, objective_label,
+                    pt.reduction * 100.0,
+                    objective == serving::Objective::ResponseTime
+                        ? h.paper_rt
+                        : h.paper_cost);
+            }
+        }
+    }
+
+    // Per-family comparison at the headline tolerances.
+    std::printf("\nper-policy-family reduction:\n");
+    std::printf("  %-9s", "family");
+    for (const auto &h : heads)
+        std::printf("  @%4.1f%%", h.tol * 100.0);
+    std::printf("  violations\n");
+    for (const auto &series : result.series) {
+        std::printf("  %-9s", series.family.c_str());
+        for (const auto &h : heads) {
+            for (const auto &pt : series.points) {
+                if (std::fabs(pt.tolerance - h.tol) < 1e-9)
+                    std::printf("  %6.1f%%", pt.reduction * 100.0);
+            }
+        }
+        std::printf("  %zu\n", series.violations);
+    }
+
+    // Full 0.1%-step series to CSV.
+    common::CsvWriter csv(csv_path);
+    std::vector<std::string> header = {"tolerance"};
+    for (const auto &series : result.series)
+        header.push_back(series.family);
+    header.push_back("chosen");
+    csv.writeRow(header);
+    for (std::size_t i = 0; i < all.points.size(); ++i) {
+        std::vector<std::string> row = {
+            common::formatFixed(all.points[i].tolerance, 3)};
+        for (const auto &series : result.series)
+            row.push_back(common::formatFixed(
+                series.points[i].reduction, 4));
+        row.push_back(all.points[i].config);
+        csv.writeRow(row);
+    }
+    std::printf("\nfull 0.1%%-step series written to %s\n",
+                csv_path.c_str());
+
+    // Machine-readable dump alongside the CSV.
+    std::string json_path =
+        csv_path.substr(0, csv_path.rfind('.')) + ".json";
+    std::ofstream json_out(json_path);
+    common::JsonWriter json(json_out);
+    json.beginObject();
+    json.member("label", label);
+    json.member("objective", serving::objectiveName(objective));
+    json.member("mode", core::degradationModeName(mode));
+    json.member("osfaLatency", result.osfaLatency);
+    json.member("osfaCost", result.osfaCost);
+    json.member("osfaError", result.osfaError);
+    json.beginArray("series");
+    for (const auto &series : result.series) {
+        json.beginObject();
+        json.member("family", series.family);
+        json.member("violations", series.violations);
+        json.beginArray("points");
+        for (const auto &pt : series.points) {
+            json.beginObject();
+            json.member("tolerance", pt.tolerance);
+            json.member("reduction", pt.reduction);
+            json.member("degradation", pt.degradation);
+            json.member("config", pt.config);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    json_out << '\n';
+
+    std::size_t total_violations = 0;
+    for (const auto &series : result.series)
+        total_violations += series.violations;
+    std::printf("guarantee violations across the sweep: %zu (paper: "
+                "none observed)\n",
+                total_violations);
+}
+
+} // namespace toltiers::bench

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared tolerance-sweep driver for the headline evaluation figures
+ * (paper §V, Figs. 5 and 6): tolerances up to 10% in 0.1% steps at
+ * 99.9% confidence, rules generated on a training split and scored
+ * on a held-out split, per policy family and for the full candidate
+ * set.
+ */
+
+#ifndef TOLTIERS_BENCH_SWEEP_HH
+#define TOLTIERS_BENCH_SWEEP_HH
+
+#include <optional>
+#include <string>
+
+#include "core/measurement.hh"
+#include "core/simulator.hh"
+#include "serving/request.hh"
+
+namespace toltiers::bench {
+
+/** One point of the tolerance sweep on the held-out split. */
+struct SweepPoint
+{
+    double tolerance = 0.0;
+    std::string config;          //!< Chosen ensemble description.
+    double reduction = 0.0;      //!< Objective reduction vs. OSFA.
+    double degradation = 0.0;    //!< Held-out error degradation.
+    bool violated = false;       //!< degradation > tolerance.
+};
+
+/** Series for one candidate family (e.g. "seq-only"). */
+struct SweepSeries
+{
+    std::string family;
+    std::vector<SweepPoint> points;
+    std::size_t violations = 0;
+};
+
+/** Full sweep result. */
+struct SweepResult
+{
+    std::vector<SweepSeries> series; //!< "all" first, then families.
+    double osfaLatency = 0.0;
+    double osfaCost = 0.0;
+    double osfaError = 0.0;
+};
+
+/**
+ * Run the sweep on a trace for one objective.
+ * @param mode how "N% worse" is interpreted (the paper's phrasing
+ * admits both readings; see core/simulator.hh).
+ * @param max_tolerance upper end of the grid (paper: 0.10).
+ * @param step grid step (paper: 0.001).
+ */
+SweepResult
+runToleranceSweep(const core::MeasurementSet &trace,
+                  serving::Objective objective,
+                  core::DegradationMode mode =
+                      core::DegradationMode::AbsolutePoints,
+                  double max_tolerance = 0.10, double step = 0.001);
+
+/**
+ * Print a sweep: coarse table (every 1%), the paper's headline
+ * tolerances (1% / 5% / 10%), per-family series, and the full
+ * 0.1%-step data as CSV.
+ */
+void printSweep(const SweepResult &result, const std::string &label,
+                serving::Objective objective,
+                core::DegradationMode mode,
+                const std::string &csv_path);
+
+} // namespace toltiers::bench
+
+#endif // TOLTIERS_BENCH_SWEEP_HH

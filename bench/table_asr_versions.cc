@@ -1,0 +1,64 @@
+/**
+ * @file
+ * TBL-A: the seven ASR service versions (paper §III-A).
+ *
+ * For each heuristic configuration on the Pareto frontier, reports
+ * the pruning policy knobs, word error rate, mean/p99 response time,
+ * invocation cost, and work units on the reference corpus — the
+ * ASR counterpart of the paper's service-version table.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "asr/versions.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "harness.hh"
+#include "stats/descriptive.hh"
+
+using namespace toltiers;
+
+int
+main()
+{
+    bench::banner("TBL-A: ASR service versions",
+                  "paper Sec. III-A (seven beam-search heuristic "
+                  "configurations)");
+
+    auto ms = bench::asrTrace();
+    auto versions = asr::paretoVersions();
+
+    common::Table table;
+    table.setHeader({"version", "scope", "top-N", "beam", "WER",
+                     "mean-lat", "p99-lat", "cost/req", "slowdown"});
+
+    double base_latency = ms.meanLatency(0);
+    for (std::size_t v = 0; v < ms.versionCount(); ++v) {
+        std::vector<double> lats;
+        lats.reserve(ms.requestCount());
+        for (std::size_t r = 0; r < ms.requestCount(); ++r)
+            lats.push_back(ms.at(v, r).latency);
+        const auto &cfg = versions[v];
+        table.addRow({
+            ms.versionName(v),
+            asr::pruneScopeName(cfg.scope),
+            std::to_string(cfg.maxActive),
+            common::formatFixed(cfg.beamWidth, 1),
+            common::formatPercent(ms.meanError(v), 2),
+            common::formatFixed(ms.meanLatency(v) * 1e3, 2) + "ms",
+            common::formatFixed(stats::percentile(lats, 99.0) * 1e3,
+                                2) + "ms",
+            common::strprintf("$%.3g", ms.meanCost(v)),
+            common::formatFixed(ms.meanLatency(v) / base_latency, 2) +
+                "x",
+        });
+    }
+    table.print(std::cout);
+
+    std::printf("\nrequests: %zu utterances; latency model: %s\n",
+                ms.requestCount(),
+                "work units x 10us/expansion on cpu-small");
+    return 0;
+}

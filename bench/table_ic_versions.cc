@@ -1,0 +1,94 @@
+/**
+ * @file
+ * TBL-B: the five image-classification model versions (paper §II-B,
+ * §III-A), with top-1 error and latency on both CPU and GPU
+ * deployments — the counterpart of the paper's CNN version table
+ * (SqueezeNet / AlexNet / GoogLeNet / ResNet / VGG roles).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "harness.hh"
+#include "stats/confusion.hh"
+
+using namespace toltiers;
+
+int
+main()
+{
+    bench::banner("TBL-B: IC model versions",
+                  "paper Sec. II-B / III-A (five CNN versions, CPU "
+                  "and GPU deployment)");
+
+    bench::BenchScale scale;
+    bench::IcStack stack(scale.icTrainImages, scale.icTestImages,
+                         scale.icSeed);
+    auto ms = bench::icTrace(scale);
+
+    const auto &cpu = stack.catalog().get("cpu-small");
+    const auto &gpu = stack.catalog().get("gpu");
+
+    common::Table table;
+    table.setHeader({"version", "role", "params", "MACs", "top-1 err",
+                     "lat(cpu)", "lat(gpu)", "cost(cpu)",
+                     "cost(gpu)"});
+
+    for (std::size_t v = 0; v < ms.versionCount(); ++v) {
+        const ic::Classifier &clf = stack.zoo()[v];
+        const auto &lm = clf.latencyModel();
+        double lat_cpu = lm.latency(clf.macsPerImage(),
+                                    cpu.speedFactor);
+        double lat_gpu = lm.latency(clf.macsPerImage(),
+                                    gpu.speedFactor);
+        table.addRow({
+            clf.name(),
+            clf.spec().roleLabel,
+            common::formatSi(static_cast<double>(
+                const_cast<ic::Classifier &>(clf)
+                    .network()
+                    .parameterCount()), 1),
+            common::formatSi(
+                static_cast<double>(clf.macsPerImage()), 2),
+            common::formatPercent(ms.meanError(v), 2),
+            common::formatFixed(lat_cpu * 1e3, 1) + "ms",
+            common::formatFixed(lat_gpu * 1e3, 1) + "ms",
+            common::strprintf("$%.3g",
+                              lat_cpu * cpu.pricePerSecond()),
+            common::strprintf("$%.3g",
+                              lat_gpu * gpu.pricePerSecond()),
+        });
+    }
+    table.print(std::cout);
+
+    std::printf("\nGPU accelerates only the MAC term, so small models"
+                " gain nothing from it\nwhile paying %0.1fx the node "
+                "price; the headline figures use the homogeneous\n"
+                "CPU deployment, matching the paper's CPU-based ASR "
+                "setup.\n",
+                gpu.pricePerHour / cpu.pricePerHour);
+
+    // Per-class picture of the fastest and most accurate versions:
+    // where does capacity actually help?
+    const auto &test = stack.testSet();
+    for (std::size_t v : {std::size_t{0}, stack.zoo().size() - 1}) {
+        stats::ConfusionMatrix cm(test.classes);
+        auto results = stack.zoo()[v].classifyAll(test);
+        for (std::size_t i = 0; i < results.size(); ++i)
+            cm.add(test.labels[i], results[i].label);
+        auto confused = cm.mostConfused();
+        std::printf("\nconfusion of %s (accuracy %s; most confused: "
+                    "%s -> %s):\n",
+                    stack.zoo()[v].name().c_str(),
+                    common::formatPercent(cm.accuracy(), 1).c_str(),
+                    dataset::imageClassName(confused.first),
+                    dataset::imageClassName(confused.second));
+        std::vector<std::string> names;
+        for (std::size_t c = 0; c < test.classes; ++c)
+            names.push_back(dataset::imageClassName(c));
+        std::printf("%s", cm.render(names).c_str());
+    }
+    return 0;
+}

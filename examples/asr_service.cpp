@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Full ASR tier-service walkthrough: the workload the paper's
+ * production speech engine motivates.
+ *
+ * Builds the corpus, shows the version ladder, generates routing
+ * rules on a training split, then replays a live annotated request
+ * stream on the held-out split — verifying on the way that each
+ * tier's accuracy guarantee holds and reporting what each tier
+ * bought relative to the one-size-fits-all deployment.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "asr/service.hh"
+#include "asr/versions.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/rule_generator.hh"
+#include "core/tier_service.hh"
+#include "dataset/speech_corpus.hh"
+#include "serving/api.hh"
+#include "serving/instance.hh"
+#include "stats/levenshtein.hh"
+
+using namespace toltiers;
+
+int
+main()
+{
+    std::printf("== Tolerance Tiers: ASR service ==\n\n");
+
+    asr::AsrWorld world;
+    dataset::SpeechCorpusConfig cc;
+    cc.utterances = 3000;
+    auto corpus = dataset::buildSpeechCorpus(world, cc);
+    std::printf("corpus: %zu utterances, %.1f minutes of audio, "
+                "vocabulary %zu words\n\n",
+                corpus.size(),
+                [&] {
+                    double s = 0.0;
+                    for (const auto &u : corpus)
+                        s += u.audioSeconds();
+                    return s / 60.0;
+                }(),
+                world.lexicon().vocabSize());
+
+    serving::InstanceCatalog catalog;
+    std::vector<std::unique_ptr<asr::AsrEngine>> engines;
+    std::vector<std::unique_ptr<asr::AsrServiceVersion>> adapters;
+    std::vector<const serving::ServiceVersion *> versions;
+    for (const auto &cfg : asr::paretoVersions()) {
+        engines.push_back(
+            std::make_unique<asr::AsrEngine>(world, cfg));
+        adapters.push_back(std::make_unique<asr::AsrServiceVersion>(
+            *engines.back(), corpus, catalog.get("cpu-small")));
+        versions.push_back(adapters.back().get());
+    }
+
+    // Measure every version on every utterance.
+    auto trace = core::MeasurementSet::collect(versions);
+    common::Table ladder("service versions");
+    ladder.setHeader({"version", "WER", "latency", "cost"});
+    for (std::size_t v = 0; v < trace.versionCount(); ++v) {
+        ladder.addRow(
+            {trace.versionName(v),
+             common::formatPercent(trace.meanError(v), 2),
+             common::formatFixed(trace.meanLatency(v) * 1e3, 1) +
+                 "ms",
+             common::strprintf("$%.3g", trace.meanCost(v))});
+    }
+    ladder.print(std::cout);
+
+    // Train on the first 80%, serve the rest live.
+    std::size_t cut = trace.requestCount() * 8 / 10;
+    std::vector<std::size_t> train_rows;
+    for (std::size_t r = 0; r < cut; ++r)
+        train_rows.push_back(r);
+    auto train = trace.subset(train_rows);
+
+    core::RuleGenConfig rg;
+    rg.referenceVersion = trace.versionCount() - 1;
+    core::RoutingRuleGenerator gen(
+        train, core::enumerateCandidates(trace.versionCount()), rg);
+
+    core::TierService service(versions);
+    auto tolerances = core::toleranceGrid(0.10, 0.01);
+    for (auto obj : {serving::Objective::ResponseTime,
+                     serving::Objective::Cost}) {
+        service.setRules(obj, gen.generate(tolerances, obj));
+    }
+
+    // Live replay: clients at three tiers, both objectives.
+    struct Client
+    {
+        const char *annotation;
+        double latency = 0.0;
+        double cost = 0.0;
+        double wer = 0.0;
+        std::size_t requests = 0;
+        std::size_t escalations = 0;
+    };
+    Client clients[] = {
+        {"Tolerance: 0.01\nObjective: response-time\n"},
+        {"Tolerance: 0.05\nObjective: response-time\n"},
+        {"Tolerance: 0.10\nObjective: response-time\n"},
+        {"Tolerance: 0.05\nObjective: cost\n"},
+        {"Tolerance: 0.10\nObjective: cost\n"},
+    };
+
+    double osfa_latency = 0.0, osfa_cost = 0.0, osfa_wer = 0.0;
+    std::size_t reference = trace.versionCount() - 1;
+    std::size_t served = 0;
+    for (std::size_t payload = cut; payload < corpus.size();
+         ++payload, ++served) {
+        for (auto &client : clients) {
+            auto req =
+                serving::parseAnnotatedRequest(client.annotation);
+            req.payload = payload;
+            auto resp = service.handle(req);
+            client.latency += resp.latencySeconds;
+            client.cost += resp.costDollars;
+            client.wer += stats::wordErrorRate(
+                resp.output, corpus[payload].refText);
+            client.escalations += resp.escalated ? 1 : 0;
+            ++client.requests;
+        }
+        auto ref = versions[reference]->process(payload);
+        osfa_latency += ref.latencySeconds;
+        osfa_cost += ref.costDollars;
+        osfa_wer += ref.error;
+    }
+
+    std::printf("\nlive replay on %zu held-out requests "
+                "(OSFA = single most accurate version):\n\n",
+                served);
+    common::Table out("per-tier outcome");
+    out.setHeader({"tier", "WER", "latency cut", "cost cut",
+                   "escalation", "guarantee"});
+    for (const auto &client : clients) {
+        auto req = serving::parseAnnotatedRequest(client.annotation);
+        double wer = client.wer / client.requests;
+        double ref_wer = osfa_wer / served;
+        double degradation =
+            ref_wer > 0 ? (wer - ref_wer) / ref_wer : 0.0;
+        out.addRow({
+            common::strprintf(
+                "%.0f%% %s", req.tier.tolerance * 100.0,
+                serving::objectiveName(req.tier.objective)),
+            common::formatPercent(wer, 2),
+            common::formatPercent(
+                1.0 - client.latency / osfa_latency, 1),
+            common::formatPercent(1.0 - client.cost / osfa_cost, 1),
+            common::formatPercent(
+                static_cast<double>(client.escalations) /
+                    client.requests, 1),
+            degradation <= req.tier.tolerance + 1e-9
+                ? "held"
+                : common::strprintf("deg %.1f%%",
+                                    degradation * 100.0),
+        });
+    }
+    out.print(std::cout);
+    std::printf("\nOSFA baseline: WER %s, latency %.1fms, cost "
+                "$%.3g per request\n",
+                common::formatPercent(osfa_wer / served, 2).c_str(),
+                osfa_latency / served * 1e3, osfa_cost / served);
+    return 0;
+}

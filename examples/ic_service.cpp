@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Image-classification tier service: train the CNN zoo (cached),
+ * deploy the five versions, generate rules for both objectives, and
+ * compare the tiered service against the one-size-fits-all
+ * deployment on a held-out request stream — the paper's vision-side
+ * workload.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/rule_generator.hh"
+#include "core/tier_service.hh"
+#include "dataset/synth_images.hh"
+#include "ic/service.hh"
+#include "ic/trainer.hh"
+#include "serving/api.hh"
+#include "serving/instance.hh"
+
+using namespace toltiers;
+
+int
+main()
+{
+    std::printf("== Tolerance Tiers: image-classification service "
+                "==\n\n");
+
+    dataset::ImageSetConfig dc;
+    dc.seed = 7;
+    dc.count = 2500;
+    auto train_set = dataset::buildImageSet(dc);
+    dc.seed = 8;
+    dc.count = 3000;
+    auto request_set = dataset::buildImageSet(dc);
+
+    ic::ZooTrainConfig zc;
+    zc.cacheDir = ic::defaultCacheDir();
+    zc.verbose = true;
+    auto zoo = ic::trainZoo(train_set, zc);
+
+    serving::InstanceCatalog catalog;
+    std::vector<std::unique_ptr<serving::ServiceVersion>> adapters;
+    std::vector<const serving::ServiceVersion *> versions;
+    for (const auto &clf : zoo) {
+        adapters.push_back(std::make_unique<ic::IcServiceVersion>(
+            clf, request_set, catalog.get(clf.spec().instance)));
+        versions.push_back(adapters.back().get());
+    }
+
+    auto trace = core::MeasurementSet::collect(versions);
+    common::Table ladder("model versions");
+    ladder.setHeader({"version", "role", "top-1 err", "latency"});
+    for (std::size_t v = 0; v < trace.versionCount(); ++v) {
+        ladder.addRow(
+            {trace.versionName(v), zoo[v].spec().roleLabel,
+             common::formatPercent(trace.meanError(v), 2),
+             common::formatFixed(trace.meanLatency(v) * 1e3, 1) +
+                 "ms"});
+    }
+    ladder.print(std::cout);
+
+    std::size_t cut = trace.requestCount() * 7 / 10;
+    std::vector<std::size_t> train_rows;
+    for (std::size_t r = 0; r < cut; ++r)
+        train_rows.push_back(r);
+    auto train_trace = trace.subset(train_rows);
+
+    // Binary top-1 error has coarse granularity, so tolerances are
+    // interpreted as absolute percentage points here (see
+    // core/simulator.hh and EXPERIMENTS.md).
+    core::RuleGenConfig rg;
+    rg.referenceVersion = trace.versionCount() - 1;
+    rg.mode = core::DegradationMode::AbsolutePoints;
+    core::RoutingRuleGenerator gen(
+        train_trace,
+        core::enumerateCandidates(trace.versionCount()), rg);
+
+    core::TierService service(versions);
+    auto tolerances = core::toleranceGrid(0.10, 0.01);
+    for (auto obj : {serving::Objective::ResponseTime,
+                     serving::Objective::Cost}) {
+        service.setRules(obj, gen.generate(tolerances, obj));
+    }
+
+    const char *annotations[] = {
+        "Tolerance: 0.01\nObjective: response-time\n",
+        "Tolerance: 0.05\nObjective: response-time\n",
+        "Tolerance: 0.10\nObjective: response-time\n",
+        "Tolerance: 0.05\nObjective: cost\n",
+    };
+
+    std::printf("\nserving %zu held-out requests per tier:\n\n",
+                trace.requestCount() - cut);
+    common::Table out("per-tier outcome");
+    out.setHeader({"tier", "top-1 err", "latency cut", "cost cut",
+                   "ensemble"});
+
+    std::size_t reference = trace.versionCount() - 1;
+    for (const char *annotation : annotations) {
+        double err = 0.0, latency = 0.0, cost = 0.0;
+        double osfa_err = 0.0, osfa_latency = 0.0, osfa_cost = 0.0;
+        std::string ensemble;
+        std::size_t served = 0;
+        for (std::size_t payload = cut;
+             payload < trace.requestCount(); ++payload, ++served) {
+            auto req = serving::parseAnnotatedRequest(annotation);
+            req.payload = payload;
+            auto resp = service.handle(req);
+            ensemble = resp.config.describe(trace);
+            bool wrong = resp.output !=
+                         dataset::imageClassName(
+                             request_set.labels[payload]);
+            err += wrong ? 1.0 : 0.0;
+            latency += resp.latencySeconds;
+            cost += resp.costDollars;
+            auto ref = versions[reference]->process(payload);
+            osfa_err += ref.error;
+            osfa_latency += ref.latencySeconds;
+            osfa_cost += ref.costDollars;
+        }
+        auto req = serving::parseAnnotatedRequest(annotation);
+        out.addRow({
+            common::strprintf(
+                "%.0f%% %s", req.tier.tolerance * 100.0,
+                serving::objectiveName(req.tier.objective)),
+            common::formatPercent(err / served, 2),
+            common::formatPercent(1.0 - latency / osfa_latency, 1),
+            common::formatPercent(1.0 - cost / osfa_cost, 1),
+            ensemble,
+        });
+    }
+    out.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quickstart: stand up a Tolerance Tiers speech service in ~40 lines
+ * of API use.
+ *
+ *   1. Build the synthetic ASR task and a request corpus.
+ *   2. Deploy the seven engine versions as service versions.
+ *   3. Collect the measurement trace and generate routing rules.
+ *   4. Serve annotated requests at three different tolerance tiers.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "asr/service.hh"
+#include "asr/versions.hh"
+#include "core/rule_generator.hh"
+#include "core/tier_service.hh"
+#include "dataset/speech_corpus.hh"
+#include "serving/api.hh"
+#include "serving/instance.hh"
+
+using namespace toltiers;
+
+int
+main()
+{
+    // 1. The task: lexicon, language model, acoustics, and a corpus.
+    asr::AsrWorld world;
+    dataset::SpeechCorpusConfig corpus_cfg;
+    corpus_cfg.utterances = 1500;
+    auto corpus = dataset::buildSpeechCorpus(world, corpus_cfg);
+
+    // 2. Seven service versions (Pareto frontier), all on CPU nodes.
+    serving::InstanceCatalog catalog;
+    std::vector<std::unique_ptr<asr::AsrEngine>> engines;
+    std::vector<std::unique_ptr<asr::AsrServiceVersion>> adapters;
+    std::vector<const serving::ServiceVersion *> versions;
+    for (const auto &beam_cfg : asr::paretoVersions()) {
+        engines.push_back(
+            std::make_unique<asr::AsrEngine>(world, beam_cfg));
+        adapters.push_back(std::make_unique<asr::AsrServiceVersion>(
+            *engines.back(), corpus, catalog.get("cpu-small")));
+        versions.push_back(adapters.back().get());
+    }
+
+    // 3. Measure, then generate routing rules for both objectives.
+    auto trace = core::MeasurementSet::collect(versions);
+    core::RuleGenConfig rule_cfg;
+    rule_cfg.referenceVersion = trace.versionCount() - 1;
+    core::RoutingRuleGenerator generator(
+        trace, core::enumerateCandidates(trace.versionCount()),
+        rule_cfg);
+
+    core::TierService service(versions);
+    auto tolerances = core::toleranceGrid(0.10, 0.01);
+    service.setRules(serving::Objective::ResponseTime,
+                     generator.generate(
+                         tolerances,
+                         serving::Objective::ResponseTime));
+    service.setRules(serving::Objective::Cost,
+                     generator.generate(tolerances,
+                                        serving::Objective::Cost));
+
+    // 4. Serve one utterance under three different tiers.
+    const char *annotations[] = {
+        "Tolerance: 0.00\nObjective: response-time\n",
+        "Tolerance: 0.03\nObjective: response-time\n",
+        "Tolerance: 0.10\nObjective: cost\n",
+    };
+    std::printf("request payload: \"%s\"\n\n",
+                corpus[42].refText.c_str());
+    for (const char *annotation : annotations) {
+        auto request = serving::parseAnnotatedRequest(annotation);
+        request.payload = 42;
+        auto response = service.handle(request);
+        std::printf("Tolerance %.2f / %-13s -> %-28s %6.1fms  "
+                    "$%.3g%s\n",
+                    request.tier.tolerance,
+                    serving::objectiveName(request.tier.objective),
+                    response.config.describe(trace).c_str(),
+                    response.latencySeconds * 1e3,
+                    response.costDollars,
+                    response.escalated ? "  (escalated)" : "");
+        std::printf("  transcript: \"%s\"\n", response.output.c_str());
+    }
+    return 0;
+}

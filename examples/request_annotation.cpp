@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The paper's §IV-A request annotation, end to end: parse the
+ * curl-style Tolerance/Objective headers (from the command line or
+ * the built-in samples) and show which routing rule a deployed
+ * service would dispatch the request to.
+ *
+ * Usage:
+ *   request_annotation                        # built-in samples
+ *   request_annotation "Tolerance: 0.05
+ *   Objective: cost"                          # your own header block
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "asr/service.hh"
+#include "asr/versions.hh"
+#include "core/rule_generator.hh"
+#include "core/tier_service.hh"
+#include "dataset/speech_corpus.hh"
+#include "serving/api.hh"
+#include "serving/instance.hh"
+
+using namespace toltiers;
+
+int
+main(int argc, char **argv)
+{
+    // A small deployed service to route against.
+    asr::AsrWorld world;
+    dataset::SpeechCorpusConfig cc;
+    cc.utterances = 800;
+    auto corpus = dataset::buildSpeechCorpus(world, cc);
+
+    serving::InstanceCatalog catalog;
+    std::vector<std::unique_ptr<asr::AsrEngine>> engines;
+    std::vector<std::unique_ptr<asr::AsrServiceVersion>> adapters;
+    std::vector<const serving::ServiceVersion *> versions;
+    for (const auto &cfg : asr::paretoVersions()) {
+        engines.push_back(
+            std::make_unique<asr::AsrEngine>(world, cfg));
+        adapters.push_back(std::make_unique<asr::AsrServiceVersion>(
+            *engines.back(), corpus, catalog.get("cpu-small")));
+        versions.push_back(adapters.back().get());
+    }
+    auto trace = core::MeasurementSet::collect(versions);
+    core::RuleGenConfig rg;
+    rg.referenceVersion = trace.versionCount() - 1;
+    core::RoutingRuleGenerator gen(
+        trace, core::enumerateCandidates(trace.versionCount()), rg);
+    core::TierService service(versions);
+    auto tolerances = core::toleranceGrid(0.10, 0.005);
+    for (auto obj : {serving::Objective::ResponseTime,
+                     serving::Objective::Cost}) {
+        service.setRules(obj, gen.generate(tolerances, obj));
+    }
+
+    std::vector<std::string> blocks;
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            blocks.emplace_back(argv[i]);
+    } else {
+        // The paper's own example, plus variations.
+        blocks = {
+            "Tolerance: 0.01\nObjective: response-time\n",
+            "Tolerance: 0.05\nObjective: response-time\n",
+            "Tolerance: 0.10\nObjective: cost\n",
+            "Objective: cost\n",
+            "X-Client: demo\nTolerance: 0.08\n",
+        };
+    }
+
+    for (const auto &block : blocks) {
+        std::printf("---- request ----\n%s", block.c_str());
+        if (block.empty() || block.back() != '\n')
+            std::printf("\n");
+        auto req = serving::parseAnnotatedRequest(block);
+        req.payload = 7;
+        const auto &rule =
+            service.ruleFor(req.tier.tolerance, req.tier.objective);
+        auto resp = service.handle(req);
+        std::printf("-> tier %.3f (rule tolerance %.3f), ensemble "
+                    "%s\n",
+                    req.tier.tolerance, rule.tolerance,
+                    rule.cfg.describe(trace).c_str());
+        std::printf("-> \"%s\"  %.1fms  $%.3g%s\n\n",
+                    resp.output.c_str(), resp.latencySeconds * 1e3,
+                    resp.costDollars,
+                    resp.escalated ? "  (escalated)" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+#include "asr/acoustic_model.hh"
+
+#include "common/logging.hh"
+
+namespace toltiers::asr {
+
+AcousticModel::AcousticModel(const PhonemeSet &phonemes, double sigma)
+    : phonemes_(phonemes), sigma_(sigma),
+      invTwoSigmaSq_(1.0 / (2.0 * sigma * sigma))
+{
+    TT_ASSERT(sigma > 0.0, "acoustic sigma must be positive");
+}
+
+double
+AcousticModel::logLikelihood(const Frame &frame,
+                             std::size_t phoneme) const
+{
+    const std::vector<float> &proto = phonemes_.prototype(phoneme);
+    TT_ASSERT(frame.size() == proto.size(),
+              "frame dimensionality mismatch");
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+        double d = static_cast<double>(frame[i]) - proto[i];
+        d2 += d * d;
+    }
+    return -d2 * invTwoSigmaSq_;
+}
+
+Frame
+AcousticModel::synthesize(std::size_t phoneme,
+                          const std::vector<float> &speaker_offset,
+                          double noise_sigma, common::Pcg32 &rng) const
+{
+    const std::vector<float> &proto = phonemes_.prototype(phoneme);
+    TT_ASSERT(speaker_offset.size() == proto.size(),
+              "speaker offset dimensionality mismatch");
+    Frame f(proto.size());
+    for (std::size_t i = 0; i < proto.size(); ++i) {
+        f[i] = proto[i] + speaker_offset[i] +
+               static_cast<float>(rng.gaussian(0.0, noise_sigma));
+    }
+    return f;
+}
+
+} // namespace toltiers::asr

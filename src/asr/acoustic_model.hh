@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Gaussian acoustic model over the synthetic phoneme space.
+ *
+ * Scoring: per-frame log-likelihood of a phoneme is an isotropic
+ * Gaussian around the phoneme prototype. Synthesis: the corpus
+ * generator renders frames as prototype + speaker offset + noise,
+ * so the model is exact at zero noise and increasingly confusable
+ * as the noise level rises.
+ */
+
+#ifndef TOLTIERS_ASR_ACOUSTIC_MODEL_HH
+#define TOLTIERS_ASR_ACOUSTIC_MODEL_HH
+
+#include <vector>
+
+#include "asr/phoneme.hh"
+#include "common/random.hh"
+
+namespace toltiers::asr {
+
+/** One observed acoustic frame. */
+using Frame = std::vector<float>;
+
+/** Isotropic-Gaussian acoustic scorer and frame synthesizer. */
+class AcousticModel
+{
+  public:
+    /**
+     * @param phonemes the shared inventory (must outlive the model).
+     * @param sigma model standard deviation used for scoring.
+     */
+    explicit AcousticModel(const PhonemeSet &phonemes,
+                           double sigma = 1.0);
+
+    /** Log-likelihood (up to an additive constant) of the frame. */
+    double logLikelihood(const Frame &frame, std::size_t phoneme) const;
+
+    /**
+     * Render one frame of the phoneme: prototype + speaker_offset +
+     * N(0, noise_sigma) per dimension.
+     */
+    Frame synthesize(std::size_t phoneme,
+                     const std::vector<float> &speaker_offset,
+                     double noise_sigma, common::Pcg32 &rng) const;
+
+    const PhonemeSet &phonemes() const { return phonemes_; }
+
+    double sigma() const { return sigma_; }
+
+  private:
+    const PhonemeSet &phonemes_;
+    double sigma_;
+    double invTwoSigmaSq_;
+};
+
+} // namespace toltiers::asr
+
+#endif // TOLTIERS_ASR_ACOUSTIC_MODEL_HH

@@ -1,0 +1,423 @@
+#include "asr/decoder.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace toltiers::asr {
+
+using common::panic;
+
+const char *
+pruneScopeName(PruneScope scope)
+{
+    switch (scope) {
+      case PruneScope::Local:
+        return "local";
+      case PruneScope::Global:
+        return "global";
+      case PruneScope::Network:
+        return "network";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** A live decoding token. */
+struct Hyp
+{
+    std::uint32_t node = 0;
+    int lastWord = kSentenceStart;
+    double score = 0.0;
+    std::vector<int> words;
+};
+
+/** Recombination key: (tree node, bigram LM context). */
+std::uint64_t
+recombKey(std::uint32_t node, int last_word)
+{
+    return (static_cast<std::uint64_t>(node) << 32) |
+           static_cast<std::uint32_t>(last_word + 1);
+}
+
+/** Per-frame acoustic likelihood cache with work accounting. */
+class AmScorer
+{
+  public:
+    AmScorer(const AcousticModel &am, std::size_t phoneme_count)
+        : am_(am), cache_(phoneme_count)
+    {
+    }
+
+    void
+    newFrame(const Frame &frame)
+    {
+        frame_ = &frame;
+        std::fill(cache_.begin(), cache_.end(),
+                  std::numeric_limits<double>::quiet_NaN());
+    }
+
+    double
+    score(std::size_t phoneme, std::uint64_t &work)
+    {
+        // Every request counts as work even on a cache hit: the work
+        // metric models an uncached production engine where the
+        // acoustic evaluation dominates per-expansion cost.
+        ++work;
+        double &slot = cache_[phoneme];
+        if (std::isnan(slot))
+            slot = am_.logLikelihood(*frame_, phoneme);
+        return slot;
+    }
+
+  private:
+    const AcousticModel &am_;
+    const Frame *frame_ = nullptr;
+    std::vector<double> cache_;
+};
+
+/** Group hypotheses and keep the top N per group by score. */
+template <typename KeyFn>
+std::vector<Hyp>
+topNPerGroup(std::vector<Hyp> &hyps, std::size_t n, KeyFn key_of)
+{
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < hyps.size(); ++i)
+        groups[key_of(hyps[i])].push_back(i);
+
+    std::vector<Hyp> out;
+    out.reserve(hyps.size());
+    for (auto &[key, members] : groups) {
+        (void)key;
+        if (members.size() > n) {
+            std::partial_sort(
+                members.begin(), members.begin() + n, members.end(),
+                [&](std::size_t a, std::size_t b) {
+                    return hyps[a].score > hyps[b].score;
+                });
+            members.resize(n);
+        }
+        for (std::size_t i : members)
+            out.push_back(std::move(hyps[i]));
+    }
+    return out;
+}
+
+} // namespace
+
+Decoder::Decoder(const AsrWorld &world) : world_(world) {}
+
+DecodeResult
+Decoder::decode(const Utterance &utt, const BeamConfig &cfg) const
+{
+    DecodeResult res;
+    res.frames = utt.frames.size();
+    if (utt.frames.empty()) {
+        res.aligned = false;
+        return res;
+    }
+    TT_ASSERT(cfg.maxActive > 0, "maxActive must be positive");
+
+    const Lexicon &lex = world_.lexicon();
+    const BigramLm &lm = world_.lm();
+    AmScorer scorer(world_.am(), world_.phonemes().size());
+
+    // Branch id (root-child subtree) per node, for Global scoping.
+    std::vector<std::uint32_t> branch(lex.nodeCount(), 0);
+    {
+        std::vector<std::uint32_t> stack;
+        for (std::uint32_t root_child : lex.rootChildren()) {
+            branch[root_child] = root_child;
+            stack.push_back(root_child);
+            while (!stack.empty()) {
+                std::uint32_t cur = stack.back();
+                stack.pop_back();
+                for (std::uint32_t c : lex.node(cur).children) {
+                    branch[c] = root_child;
+                    stack.push_back(c);
+                }
+            }
+        }
+    }
+
+    std::uint64_t work = 0;
+
+    // --- Initialization: enter every first phoneme on frame 0.
+    scorer.newFrame(utt.frames[0]);
+    std::vector<Hyp> frontier;
+    frontier.reserve(lex.rootChildren().size());
+    for (std::uint32_t rc : lex.rootChildren()) {
+        Hyp h;
+        h.node = rc;
+        h.lastWord = kSentenceStart;
+        h.score = scorer.score(lex.node(rc).phoneme, work);
+        frontier.push_back(std::move(h));
+    }
+
+    auto prune = [&](std::vector<Hyp> &hyps) {
+        if (hyps.empty())
+            return;
+        double best = hyps[0].score;
+        for (const Hyp &h : hyps)
+            best = std::max(best, h.score);
+        // Beam pruning relative to the frame-best score.
+        std::vector<Hyp> kept;
+        kept.reserve(hyps.size());
+        for (Hyp &h : hyps) {
+            if (h.score >= best - cfg.beamWidth)
+                kept.push_back(std::move(h));
+        }
+        // Top-N pruning at the configured scope.
+        switch (cfg.scope) {
+          case PruneScope::Local:
+            kept = topNPerGroup(kept, cfg.maxActive,
+                                [](const Hyp &h) {
+                                    return static_cast<std::uint64_t>(
+                                        h.node);
+                                });
+            break;
+          case PruneScope::Global:
+            kept = topNPerGroup(kept, cfg.maxActive,
+                                [&](const Hyp &h) {
+                                    return static_cast<std::uint64_t>(
+                                        branch[h.node]);
+                                });
+            break;
+          case PruneScope::Network:
+            kept = topNPerGroup(kept, cfg.maxActive,
+                                [](const Hyp &) {
+                                    return std::uint64_t{0};
+                                });
+            break;
+        }
+        hyps = std::move(kept);
+    };
+    prune(frontier);
+
+    // --- Frame loop.
+    for (std::size_t t = 1; t < utt.frames.size(); ++t) {
+        scorer.newFrame(utt.frames[t]);
+
+        double frontier_best = frontier.empty() ? 0.0
+                                                : frontier[0].score;
+        for (const Hyp &h : frontier)
+            frontier_best = std::max(frontier_best, h.score);
+
+        std::vector<Hyp> cands;
+        cands.reserve(frontier.size() * 3);
+        std::unordered_map<std::uint64_t, std::size_t> recomb;
+        recomb.reserve(frontier.size() * 3);
+
+        auto emit = [&](Hyp &&h) {
+            std::uint64_t key = recombKey(h.node, h.lastWord);
+            auto [it, inserted] = recomb.try_emplace(key, cands.size());
+            if (inserted) {
+                cands.push_back(std::move(h));
+            } else if (h.score > cands[it->second].score) {
+                cands[it->second] = std::move(h);
+            }
+        };
+
+        for (const Hyp &h : frontier) {
+            const LexiconNode &node = lex.node(h.node);
+
+            // Self-loop: stay in the same phoneme state.
+            {
+                Hyp n = h;
+                n.score += scorer.score(node.phoneme, work);
+                emit(std::move(n));
+            }
+
+            // Advance within the word.
+            for (std::uint32_t c : node.children) {
+                Hyp n = h;
+                n.node = c;
+                n.score += scorer.score(lex.node(c).phoneme, work);
+                emit(std::move(n));
+            }
+
+            // Cross-word transition at word-end nodes.
+            if (node.wordId != kNoWord &&
+                h.score >= frontier_best - cfg.wordEndBeam) {
+                ++work; // LM query.
+                double base =
+                    h.score +
+                    cfg.lmScale * lm.logProb(h.lastWord, node.wordId) -
+                    cfg.wordInsertionPenalty;
+                for (std::uint32_t rc : lex.rootChildren()) {
+                    Hyp n;
+                    n.node = rc;
+                    n.lastWord = node.wordId;
+                    n.words = h.words;
+                    n.words.push_back(node.wordId);
+                    n.score = base +
+                              scorer.score(lex.node(rc).phoneme, work);
+                    emit(std::move(n));
+                }
+            }
+        }
+
+        prune(cands);
+        frontier = std::move(cands);
+        if (frontier.empty())
+            break; // All paths pruned; degenerate config.
+    }
+
+    // --- Finalization: complete the word in flight.
+    struct Final
+    {
+        double score;
+        std::vector<int> words;
+    };
+    std::vector<Final> finals;
+    finals.reserve(frontier.size());
+    for (const Hyp &h : frontier) {
+        const LexiconNode &node = lex.node(h.node);
+        if (node.wordId == kNoWord)
+            continue;
+        ++work; // LM query.
+        Final f;
+        f.score = h.score +
+                  cfg.lmScale * lm.logProb(h.lastWord, node.wordId) -
+                  cfg.wordInsertionPenalty;
+        f.words = h.words;
+        f.words.push_back(node.wordId);
+        finals.push_back(std::move(f));
+    }
+
+    res.workUnits = work;
+
+    if (finals.empty()) {
+        // No hypothesis ended on a word boundary (over-aggressive
+        // pruning or severe noise). Fall back to the best partial.
+        res.aligned = false;
+        const Hyp *best = nullptr;
+        for (const Hyp &h : frontier) {
+            if (!best || h.score > best->score)
+                best = &h;
+        }
+        if (best) {
+            res.words = best->words;
+            res.score = best->score;
+        }
+        res.text = lex.text(res.words);
+        res.scorePerFrame =
+            res.score / static_cast<double>(res.frames);
+        res.margin = 0.0;
+        return res;
+    }
+
+    std::sort(finals.begin(), finals.end(),
+              [](const Final &a, const Final &b) {
+                  return a.score > b.score;
+              });
+    const Final &best = finals[0];
+    res.words = best.words;
+    res.text = lex.text(res.words);
+    res.score = best.score;
+    res.scorePerFrame = res.score / static_cast<double>(res.frames);
+
+    // Margin against the best final with a different transcript.
+    res.margin = 1.0; // No distinct rival survived: fully confident.
+    for (std::size_t i = 1; i < finals.size(); ++i) {
+        if (finals[i].words != best.words) {
+            res.margin = (best.score - finals[i].score) /
+                         static_cast<double>(res.frames);
+            break;
+        }
+    }
+
+    // N-best list: distinct transcripts in score order.
+    std::size_t want = std::max<std::size_t>(cfg.nbestSize, 1);
+    for (const Final &f : finals) {
+        if (res.nbest.size() >= want)
+            break;
+        bool dup = false;
+        for (const NBestEntry &e : res.nbest)
+            dup |= e.words == f.words;
+        if (dup)
+            continue;
+        NBestEntry entry;
+        entry.words = f.words;
+        entry.text = lex.text(f.words);
+        entry.score = f.score;
+        res.nbest.push_back(std::move(entry));
+    }
+    return res;
+}
+
+double
+Decoder::forcedAlignmentScore(const Utterance &utt,
+                              const std::vector<int> &words,
+                              const BeamConfig &cfg) const
+{
+    const double kNegInf = -std::numeric_limits<double>::infinity();
+    if (utt.frames.empty() || words.empty())
+        return kNegInf;
+
+    const Lexicon &lex = world_.lexicon();
+    const BigramLm &lm = world_.lm();
+    const AcousticModel &am = world_.am();
+
+    // Flatten the word sequence into the state chain the decoder
+    // traverses: one emitting state per phoneme; LM score plus
+    // insertion penalty applied at each word boundary (i.e. when
+    // *entering* a word, matching decode()'s cross-word transition
+    // which scores the completed word before re-entering the tree).
+    // decode() applies the LM when a word completes, so the total
+    // path score is identical either way.
+    struct State
+    {
+        std::size_t phoneme;
+        double entryBonus; //!< LM + penalty applied on entry.
+    };
+    std::vector<State> chain;
+    int prev = kSentenceStart;
+    for (int w : words) {
+        const Word &word = lex.word(w);
+        double bonus = cfg.lmScale * lm.logProb(prev, w) -
+                       cfg.wordInsertionPenalty;
+        for (std::size_t i = 0; i < word.phonemes.size(); ++i) {
+            chain.push_back(
+                {word.phonemes[i], i == 0 ? bonus : 0.0});
+        }
+        prev = w;
+    }
+    const std::size_t frames = utt.frames.size();
+    const std::size_t states = chain.size();
+    if (states > frames)
+        return kNegInf;
+
+    // Viterbi over (frame, state) with self-loop or advance-by-one.
+    std::vector<double> cur(states, kNegInf), next(states, kNegInf);
+    cur[0] = chain[0].entryBonus +
+             am.logLikelihood(utt.frames[0], chain[0].phoneme);
+    for (std::size_t t = 1; t < frames; ++t) {
+        std::fill(next.begin(), next.end(), kNegInf);
+        for (std::size_t s = 0; s < states; ++s) {
+            if (cur[s] == kNegInf)
+                continue;
+            // Self-loop.
+            double stay =
+                cur[s] +
+                am.logLikelihood(utt.frames[t], chain[s].phoneme);
+            next[s] = std::max(next[s], stay);
+            // Advance.
+            if (s + 1 < states) {
+                double adv =
+                    cur[s] + chain[s + 1].entryBonus +
+                    am.logLikelihood(utt.frames[t],
+                                     chain[s + 1].phoneme);
+                next[s + 1] = std::max(next[s + 1], adv);
+            }
+        }
+        std::swap(cur, next);
+    }
+    return cur[states - 1];
+}
+
+} // namespace toltiers::asr

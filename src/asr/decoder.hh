@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Time-synchronous lexicon-tree beam-search decoder.
+ *
+ * The decoder performs Viterbi token passing over the pronunciation
+ * prefix tree: each tree node is a phoneme HMM state with a self-loop;
+ * word-end nodes apply the bigram LM and re-enter the tree root. The
+ * heuristic knobs mirror the two orthogonal concerns the paper
+ * describes: the hypothesis pruning policy (top-N plus beams) and the
+ * scope the pruning is applied at — a single hypothesis state
+ * (local), a branch of hypotheses (global), or the entire HMM network.
+ *
+ * Work accounting: every acoustic-likelihood evaluation and LM query
+ * requested during the search counts one work unit, whether or not it
+ * hits the per-frame likelihood cache. Work units are deterministic
+ * for a given (config, utterance) pair and serve as the
+ * machine-independent latency proxy (see DESIGN.md).
+ */
+
+#ifndef TOLTIERS_ASR_DECODER_HH
+#define TOLTIERS_ASR_DECODER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asr/utterance.hh"
+#include "asr/world.hh"
+
+namespace toltiers::asr {
+
+/**
+ * Scope at which top-N hypothesis pruning is applied, following the
+ * paper's taxonomy:
+ *  - Local: top-N kept per hypothesis state (tree node). The widest
+ *    search for a given N — many states stay alive — and the slowest.
+ *  - Global: top-N kept per branch of the pronunciation tree (the
+ *    subtree of the current word's first phoneme).
+ *  - Network: top-N kept across the entire HMM network frontier
+ *    (classic histogram pruning). The most aggressive and fastest.
+ *
+ * Hypothesis recombination is always exact Viterbi merging per
+ * (node, LM context); the scope only controls pruning granularity.
+ */
+enum class PruneScope { Local, Global, Network };
+
+/** Printable name of a scope. */
+const char *pruneScopeName(PruneScope scope);
+
+/** Beam-search heuristic parameters (one "service version"). */
+struct BeamConfig
+{
+    std::string name = "default";
+    std::size_t maxActive = 16;   //!< Top-N kept per pruning scope unit.
+    double beamWidth = 8.0;       //!< Log-prob beam below the best.
+    double wordEndBeam = 6.0;     //!< Tighter beam at word boundaries.
+    PruneScope scope = PruneScope::Network;
+    double lmScale = 1.0;         //!< LM weight.
+    double wordInsertionPenalty = 0.5;
+    std::size_t nbestSize = 1;    //!< Distinct alternatives returned.
+};
+
+/** One N-best list entry. */
+struct NBestEntry
+{
+    std::vector<int> words;
+    std::string text;
+    double score = 0.0;
+};
+
+/** Result of decoding one utterance. */
+struct DecodeResult
+{
+    std::vector<int> words;   //!< Hypothesized word ids.
+    std::string text;         //!< Space-separated word texts.
+    double score = 0.0;       //!< Log probability of the best path.
+    double scorePerFrame = 0.0;
+    double margin = 0.0;      //!< Best minus runner-up, per frame.
+    std::uint64_t workUnits = 0;
+    std::size_t frames = 0;
+    bool aligned = true;      //!< False if no word-end hyp survived.
+
+    /**
+     * Up to nbestSize distinct surviving transcripts, best first
+     * (the best entry duplicates words/score above). Alternatives
+     * are limited to what the beam kept alive; narrow configurations
+     * may return fewer.
+     */
+    std::vector<NBestEntry> nbest;
+};
+
+/** Lexicon-tree Viterbi beam-search decoder. */
+class Decoder
+{
+  public:
+    /** @param world shared task assets; must outlive the decoder. */
+    explicit Decoder(const AsrWorld &world);
+
+    /** Decode one utterance under the given heuristics. */
+    DecodeResult decode(const Utterance &utt,
+                        const BeamConfig &cfg) const;
+
+    /**
+     * Forced alignment: the exact Viterbi score of a *given* word
+     * sequence against the utterance (same HMM topology, LM scale,
+     * and insertion penalty as decode(), but no search). Because the
+     * beam search explores a superset of this single path, a
+     * sufficiently wide decode() must score at least this value —
+     * the decoder's optimality check. Returns -infinity if the word
+     * sequence cannot be aligned (more phonemes than frames).
+     */
+    double forcedAlignmentScore(const Utterance &utt,
+                                const std::vector<int> &words,
+                                const BeamConfig &cfg) const;
+
+  private:
+    const AsrWorld &world_;
+};
+
+} // namespace toltiers::asr
+
+#endif // TOLTIERS_ASR_DECODER_HH

@@ -1,0 +1,54 @@
+#include "asr/engine.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stopwatch.hh"
+#include "common/strings.hh"
+#include "stats/levenshtein.hh"
+
+namespace toltiers::asr {
+
+double
+ConfidenceCalibration::confidence(const DecodeResult &r) const
+{
+    double z = marginWeight * r.margin +
+               scoreWeight * (r.scorePerFrame - scoreOffset) + bias;
+    if (!r.aligned)
+        z -= 4.0; // Unfinished alignments are deeply suspect.
+    return 1.0 / (1.0 + std::exp(-z));
+}
+
+AsrEngine::AsrEngine(const AsrWorld &world, BeamConfig cfg,
+                     double seconds_per_work_unit,
+                     ConfidenceCalibration cal)
+    : world_(world), decoder_(world), cfg_(std::move(cfg)),
+      secondsPerWorkUnit_(seconds_per_work_unit), cal_(cal)
+{
+    TT_ASSERT(seconds_per_work_unit > 0.0,
+              "latency model must be positive");
+}
+
+AsrResult
+AsrEngine::transcribe(const Utterance &utt) const
+{
+    common::Stopwatch sw;
+    AsrResult res;
+    res.decode = decoder_.decode(utt, cfg_);
+    res.wallSeconds = sw.seconds();
+    res.latencySeconds =
+        static_cast<double>(res.decode.workUnits) *
+        secondsPerWorkUnit_;
+    res.confidence = cal_.confidence(res.decode);
+    return res;
+}
+
+double
+AsrEngine::wer(const AsrResult &res, const Utterance &utt) const
+{
+    return stats::wordErrorRate(
+        common::splitWhitespace(res.decode.text),
+        common::splitWhitespace(utt.refText));
+}
+
+} // namespace toltiers::asr

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The ASR engine facade: one decoder heuristic configuration bound to
+ * a latency model and a confidence calibration — i.e. one deployable
+ * "service version" of the speech service.
+ */
+
+#ifndef TOLTIERS_ASR_ENGINE_HH
+#define TOLTIERS_ASR_ENGINE_HH
+
+#include <string>
+
+#include "asr/decoder.hh"
+
+namespace toltiers::asr {
+
+/** Maps decoder search quality signals to a confidence in (0, 1). */
+struct ConfidenceCalibration
+{
+    double marginWeight = 3.0;   //!< Weight on the per-frame margin.
+    double scoreWeight = 0.8;    //!< Weight on the per-frame score.
+    double scoreOffset = -2.0;   //!< Score level mapped to neutral.
+    double bias = 0.0;
+
+    /** Logistic map of the decode-quality signals. */
+    double confidence(const DecodeResult &r) const;
+};
+
+/** One transcription produced by a service version. */
+struct AsrResult
+{
+    DecodeResult decode;
+    double latencySeconds = 0.0; //!< Work-unit derived latency.
+    double wallSeconds = 0.0;    //!< Measured wall-clock time.
+    double confidence = 0.0;     //!< Calibrated confidence in (0, 1).
+};
+
+/**
+ * A deployable ASR service version: decoder heuristics + latency
+ * model + confidence calibration.
+ */
+class AsrEngine
+{
+  public:
+    /**
+     * @param world shared task assets (must outlive the engine).
+     * @param cfg beam-search heuristics of this version.
+     * @param seconds_per_work_unit latency model: the per-expansion
+     * cost of the production engine this substrate stands in for.
+     */
+    AsrEngine(const AsrWorld &world, BeamConfig cfg,
+              double seconds_per_work_unit = 10e-6,
+              ConfidenceCalibration cal = ConfidenceCalibration());
+
+    /** Transcribe one utterance. */
+    AsrResult transcribe(const Utterance &utt) const;
+
+    /** WER of a result against the utterance's reference. */
+    double wer(const AsrResult &res, const Utterance &utt) const;
+
+    const BeamConfig &config() const { return cfg_; }
+    const std::string &name() const { return cfg_.name; }
+    const AsrWorld &world() const { return world_; }
+    double secondsPerWorkUnit() const { return secondsPerWorkUnit_; }
+
+  private:
+    const AsrWorld &world_;
+    Decoder decoder_;
+    BeamConfig cfg_;
+    double secondsPerWorkUnit_;
+    ConfidenceCalibration cal_;
+};
+
+} // namespace toltiers::asr
+
+#endif // TOLTIERS_ASR_ENGINE_HH

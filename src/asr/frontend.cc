@@ -1,0 +1,74 @@
+#include "asr/frontend.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace toltiers::asr {
+
+Frontend::Frontend(FrontendConfig cfg) : cfg_(cfg)
+{
+    TT_ASSERT(cfg_.frameSamples > 0, "frame must have samples");
+    for (std::size_t bin : cfg_.bins) {
+        TT_ASSERT(bin > 0 && bin < cfg_.frameSamples / 2,
+                  "band bin out of the representable range");
+    }
+}
+
+std::vector<float>
+Frontend::synthesizeFrame(const Frame &features, double noise_sigma,
+                          common::Pcg32 &rng) const
+{
+    TT_ASSERT(features.size() == kFeatureDim,
+              "feature dimensionality mismatch");
+    const std::size_t n = cfg_.frameSamples;
+    std::vector<float> samples(n, 0.0f);
+
+    for (std::size_t k = 0; k < kFeatureDim; ++k) {
+        double amp = std::exp(0.5 * features[k]);
+        double omega = 2.0 * M_PI *
+                       static_cast<double>(cfg_.bins[k]) /
+                       static_cast<double>(n);
+        double phase = rng.uniform(0.0, 2.0 * M_PI);
+        for (std::size_t t = 0; t < n; ++t) {
+            samples[t] += static_cast<float>(
+                amp * std::sin(omega * static_cast<double>(t) +
+                               phase));
+        }
+    }
+    if (noise_sigma > 0.0) {
+        for (float &s : samples)
+            s += static_cast<float>(rng.gaussian(0.0, noise_sigma));
+    }
+    return samples;
+}
+
+Frame
+Frontend::extractFeatures(const std::vector<float> &samples) const
+{
+    TT_ASSERT(samples.size() == cfg_.frameSamples,
+              "sample count mismatch: ", samples.size());
+    const std::size_t n = cfg_.frameSamples;
+    Frame features(kFeatureDim);
+
+    for (std::size_t k = 0; k < kFeatureDim; ++k) {
+        double omega = 2.0 * M_PI *
+                       static_cast<double>(cfg_.bins[k]) /
+                       static_cast<double>(n);
+        double re = 0.0, im = 0.0;
+        for (std::size_t t = 0; t < n; ++t) {
+            double angle = omega * static_cast<double>(t);
+            re += samples[t] * std::cos(angle);
+            im += samples[t] * std::sin(angle);
+        }
+        // A sinusoid of amplitude A at a DFT-aligned bin correlates
+        // to magnitude A*n/2.
+        double amp = 2.0 * std::hypot(re, im) /
+                     static_cast<double>(n);
+        amp = std::max(amp, 1e-6); // Log floor under heavy noise.
+        features[k] = static_cast<float>(2.0 * std::log(amp));
+    }
+    return features;
+}
+
+} // namespace toltiers::asr

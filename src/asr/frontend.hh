@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Acoustic front-end: waveform synthesis and feature extraction.
+ *
+ * The default corpus renders utterances directly in feature space;
+ * this module provides the full DSP path a production engine has in
+ * front of its acoustic model. Each feature dimension corresponds to
+ * one spectral band (a DFT-aligned bin): synthesis emits a 10 ms
+ * frame of samples as a sum of band sinusoids whose amplitudes
+ * encode the feature vector, plus white noise; extraction recovers
+ * the band amplitudes by single-bin DFT correlation (Goertzel) and
+ * maps them back to features. With zero noise the round trip is
+ * exact; waveform noise degrades features monotonically, giving the
+ * same difficulty dial as direct synthesis.
+ */
+
+#ifndef TOLTIERS_ASR_FRONTEND_HH
+#define TOLTIERS_ASR_FRONTEND_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "asr/acoustic_model.hh"
+#include "common/random.hh"
+
+namespace toltiers::asr {
+
+/** Front-end configuration. */
+struct FrontendConfig
+{
+    double sampleRate = 16000.0;
+    std::size_t frameSamples = 160; //!< 10 ms at 16 kHz.
+
+    /**
+     * DFT bin per feature dimension. Bins are DFT-aligned (integer
+     * cycles per frame) so the bands are orthogonal and recovery is
+     * exact in the noiseless case.
+     */
+    std::array<std::size_t, kFeatureDim> bins = {5,  9,  13, 17,
+                                                 21, 25, 29, 33};
+
+    /** Band center frequency in Hz for feature dimension k. */
+    double
+    bandHz(std::size_t k) const
+    {
+        return static_cast<double>(bins[k]) * sampleRate /
+               static_cast<double>(frameSamples);
+    }
+};
+
+/** Waveform synthesis + feature extraction. */
+class Frontend
+{
+  public:
+    explicit Frontend(FrontendConfig cfg = FrontendConfig());
+
+    /**
+     * Render one frame of audio samples encoding the feature vector:
+     * amplitude of band k is exp(features[k] / 2), each band gets an
+     * independent random phase, and white Gaussian noise of the
+     * given level is added per sample.
+     */
+    std::vector<float>
+    synthesizeFrame(const Frame &features, double noise_sigma,
+                    common::Pcg32 &rng) const;
+
+    /**
+     * Recover the feature vector from one frame of samples:
+     * single-bin DFT magnitude per band, mapped back through
+     * 2*log(amplitude). Amplitudes are floored to keep the log
+     * finite under destructive noise.
+     */
+    Frame extractFeatures(const std::vector<float> &samples) const;
+
+    const FrontendConfig &config() const { return cfg_; }
+
+  private:
+    FrontendConfig cfg_;
+};
+
+} // namespace toltiers::asr
+
+#endif // TOLTIERS_ASR_FRONTEND_HH

@@ -1,0 +1,130 @@
+#include "asr/language_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace toltiers::asr {
+
+using common::panic;
+
+BigramLm::BigramLm(std::size_t vocab_size, common::Pcg32 &rng,
+                   std::size_t affinity, double lambda)
+    : vocab_(vocab_size)
+{
+    TT_ASSERT(vocab_size > 1, "bigram LM needs at least two words");
+    TT_ASSERT(lambda >= 0.0 && lambda <= 1.0, "lambda in [0,1]");
+
+    // Zipf-like unigram: weight 1/(rank+1)^s over a shuffled ranking.
+    std::vector<std::size_t> rank(vocab_);
+    for (std::size_t i = 0; i < vocab_; ++i)
+        rank[i] = i;
+    rng.shuffle(rank);
+    unigram_.assign(vocab_, 0.0);
+    double total = 0.0;
+    const double s = 1.1;
+    for (std::size_t i = 0; i < vocab_; ++i) {
+        double w = 1.0 / std::pow(static_cast<double>(rank[i]) + 1.0, s);
+        unigram_[i] = w;
+        total += w;
+    }
+    for (double &w : unigram_)
+        w /= total;
+
+    // Sparse bigram affinities interpolated with the unigram.
+    auto make_row = [&](std::vector<double> &row) {
+        row.assign(vocab_, 0.0);
+        std::vector<double> boost(vocab_, 0.0);
+        double boost_total = 0.0;
+        for (std::size_t a = 0; a < affinity; ++a) {
+            std::size_t w =
+                rng.nextBounded(static_cast<std::uint32_t>(vocab_));
+            double v = rng.uniform(0.5, 2.0);
+            boost[w] += v;
+            boost_total += v;
+        }
+        for (std::size_t w = 0; w < vocab_; ++w) {
+            double big =
+                boost_total > 0.0 ? boost[w] / boost_total : 0.0;
+            row[w] = lambda * big + (1.0 - lambda) * unigram_[w];
+        }
+    };
+
+    bigram_.resize(vocab_);
+    for (std::size_t p = 0; p < vocab_; ++p)
+        make_row(bigram_[p]);
+    make_row(start_);
+}
+
+const std::vector<double> &
+BigramLm::distribution(int prev) const
+{
+    if (prev == kSentenceStart)
+        return start_;
+    TT_ASSERT(prev >= 0 && static_cast<std::size_t>(prev) < vocab_,
+              "LM context out of range: ", prev);
+    return bigram_[static_cast<std::size_t>(prev)];
+}
+
+double
+BigramLm::prob(int prev, int next) const
+{
+    TT_ASSERT(next >= 0 && static_cast<std::size_t>(next) < vocab_,
+              "LM word out of range: ", next);
+    return distribution(prev)[static_cast<std::size_t>(next)];
+}
+
+double
+BigramLm::logProb(int prev, int next) const
+{
+    return std::log(std::max(prob(prev, next), 1e-300));
+}
+
+int
+BigramLm::sampleNext(int prev, common::Pcg32 &rng) const
+{
+    return static_cast<int>(rng.discrete(distribution(prev)));
+}
+
+std::vector<int>
+BigramLm::sampleSentence(std::size_t length, common::Pcg32 &rng) const
+{
+    std::vector<int> out;
+    out.reserve(length);
+    int prev = kSentenceStart;
+    for (std::size_t i = 0; i < length; ++i) {
+        int w = sampleNext(prev, rng);
+        out.push_back(w);
+        prev = w;
+    }
+    return out;
+}
+
+double
+BigramLm::sequenceLogProb(const std::vector<int> &words) const
+{
+    double lp = 0.0;
+    int prev = kSentenceStart;
+    for (int w : words) {
+        lp += logProb(prev, w);
+        prev = w;
+    }
+    return lp;
+}
+
+double
+BigramLm::perplexity(
+    const std::vector<std::vector<int>> &sentences) const
+{
+    double lp = 0.0;
+    std::size_t words = 0;
+    for (const auto &s : sentences) {
+        lp += sequenceLogProb(s);
+        words += s.size();
+    }
+    if (words == 0)
+        return 1.0;
+    return std::exp(-lp / static_cast<double>(words));
+}
+
+} // namespace toltiers::asr

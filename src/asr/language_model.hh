@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic bigram language model with interpolation smoothing.
+ *
+ * The model is generated from a Zipf-like unigram prior plus sparse
+ * bigram affinities, so some word sequences are likely and some are
+ * rare — giving the decoder's LM-dependent pruning real work to do.
+ */
+
+#ifndef TOLTIERS_ASR_LANGUAGE_MODEL_HH
+#define TOLTIERS_ASR_LANGUAGE_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace toltiers::asr {
+
+/** Sentence-start context for bigram queries. */
+constexpr int kSentenceStart = -1;
+
+/**
+ * Bigram LM over an integer vocabulary: p(next | prev) interpolated
+ * between a dense unigram and sparse bigram affinities.
+ */
+class BigramLm
+{
+  public:
+    /**
+     * Generate a model.
+     * @param vocab_size vocabulary size.
+     * @param affinity number of boosted successor words per context.
+     * @param lambda interpolation weight on the bigram component.
+     */
+    BigramLm(std::size_t vocab_size, common::Pcg32 &rng,
+             std::size_t affinity = 8, double lambda = 0.75);
+
+    std::size_t vocabSize() const { return vocab_; }
+
+    /** log p(next | prev); prev may be kSentenceStart. */
+    double logProb(int prev, int next) const;
+
+    /** p(next | prev) as a probability. */
+    double prob(int prev, int next) const;
+
+    /** Sample a successor of prev. */
+    int sampleNext(int prev, common::Pcg32 &rng) const;
+
+    /**
+     * Sample a sentence of the given length (no explicit end token;
+     * the corpus generator controls length).
+     */
+    std::vector<int> sampleSentence(std::size_t length,
+                                    common::Pcg32 &rng) const;
+
+    /** Total log probability of a word sequence. */
+    double sequenceLogProb(const std::vector<int> &words) const;
+
+    /**
+     * Corpus perplexity: exp(-sum logP / word count) over the given
+     * sentences. Lower is a better model of the corpus.
+     */
+    double
+    perplexity(const std::vector<std::vector<int>> &sentences) const;
+
+  private:
+    const std::vector<double> &distribution(int prev) const;
+
+    std::size_t vocab_;
+    std::vector<double> unigram_;              //!< p(w), sums to 1.
+    std::vector<std::vector<double>> bigram_;  //!< p(w | prev), rows sum to 1.
+    std::vector<double> start_;                //!< p(w | <s>).
+};
+
+} // namespace toltiers::asr
+
+#endif // TOLTIERS_ASR_LANGUAGE_MODEL_HH

@@ -1,0 +1,111 @@
+#include "asr/lexicon.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+
+namespace toltiers::asr {
+
+using common::panic;
+
+Lexicon::Lexicon(const PhonemeSet &phonemes, std::size_t vocab_size,
+                 common::Pcg32 &rng, std::size_t max_len)
+{
+    TT_ASSERT(vocab_size > 0, "vocabulary must not be empty");
+    TT_ASSERT(max_len >= 2, "words need at least two phonemes");
+
+    std::set<std::string> seen;
+    const int max_attempts = 200000;
+    int attempts = 0;
+    while (words_.size() < vocab_size) {
+        if (++attempts > max_attempts) {
+            panic("could not generate ", vocab_size,
+                  " unique words; grow the phoneme set");
+        }
+        std::size_t len = static_cast<std::size_t>(
+            rng.uniformInt(2, static_cast<int>(max_len)));
+        Word w;
+        w.phonemes.reserve(len);
+        for (std::size_t i = 0; i < len; ++i) {
+            std::size_t ph = rng.nextBounded(
+                static_cast<std::uint32_t>(phonemes.size()));
+            w.phonemes.push_back(ph);
+            w.text += phonemes.symbol(ph);
+        }
+        if (!seen.insert(w.text).second)
+            continue;
+        w.id = static_cast<int>(words_.size());
+        words_.push_back(std::move(w));
+    }
+
+    // Build the prefix tree.
+    for (const Word &w : words_) {
+        std::uint32_t cur = kRootParent;
+        for (std::size_t i = 0; i < w.phonemes.size(); ++i)
+            cur = addChild(cur, w.phonemes[i]);
+        TT_ASSERT(nodes_[cur].wordId == kNoWord,
+                  "duplicate pronunciation in lexicon");
+        nodes_[cur].wordId = w.id;
+    }
+}
+
+std::uint32_t
+Lexicon::addChild(std::uint32_t parent, std::size_t phoneme)
+{
+    const std::vector<std::uint32_t> &children =
+        parent == kRootParent ? rootChildren_
+                              : nodes_[parent].children;
+    for (std::uint32_t c : children) {
+        if (nodes_[c].phoneme == phoneme)
+            return c;
+    }
+    LexiconNode n;
+    n.phoneme = phoneme;
+    nodes_.push_back(std::move(n));
+    auto idx = static_cast<std::uint32_t>(nodes_.size() - 1);
+    // Re-resolve after push_back: it may have reallocated nodes_.
+    if (parent == kRootParent)
+        rootChildren_.push_back(idx);
+    else
+        nodes_[parent].children.push_back(idx);
+    return idx;
+}
+
+const Word &
+Lexicon::word(int id) const
+{
+    TT_ASSERT(id >= 0 && static_cast<std::size_t>(id) < words_.size(),
+              "word id out of range: ", id);
+    return words_[static_cast<std::size_t>(id)];
+}
+
+int
+Lexicon::findWord(const std::string &text) const
+{
+    for (const Word &w : words_) {
+        if (w.text == text)
+            return w.id;
+    }
+    return kNoWord;
+}
+
+const LexiconNode &
+Lexicon::node(std::uint32_t idx) const
+{
+    TT_ASSERT(idx < nodes_.size(), "lexicon node out of range");
+    return nodes_[idx];
+}
+
+std::string
+Lexicon::text(const std::vector<int> &word_ids) const
+{
+    std::string out;
+    for (std::size_t i = 0; i < word_ids.size(); ++i) {
+        if (i > 0)
+            out += ' ';
+        out += word(word_ids[i]).text;
+    }
+    return out;
+}
+
+} // namespace toltiers::asr

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic pronunciation lexicon and its prefix tree.
+ *
+ * Words are phoneme sequences; the decoder searches a prefix tree
+ * (pronunciation trie) whose nodes are HMM emission states, exactly
+ * as production lexicon-tree decoders do.
+ */
+
+#ifndef TOLTIERS_ASR_LEXICON_HH
+#define TOLTIERS_ASR_LEXICON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asr/phoneme.hh"
+#include "common/random.hh"
+
+namespace toltiers::asr {
+
+/** Sentinel for "no word ends here". */
+constexpr int kNoWord = -1;
+
+/** A vocabulary entry. */
+struct Word
+{
+    int id = kNoWord;
+    std::string text;                //!< Concatenated phoneme symbols.
+    std::vector<std::size_t> phonemes;
+};
+
+/** One node of the pronunciation prefix tree. */
+struct LexiconNode
+{
+    std::size_t phoneme = 0;  //!< Emission phoneme of this state.
+    int wordId = kNoWord;     //!< Word completed at this node, if any.
+    std::vector<std::uint32_t> children; //!< Indices into the node pool.
+};
+
+/**
+ * Vocabulary plus pronunciation prefix tree. Generated synthetically:
+ * each word is a 2..maxLen phoneme sequence, unique as a string.
+ */
+class Lexicon
+{
+  public:
+    /**
+     * Generate a vocabulary over the given phoneme set.
+     * @param vocab_size number of distinct words.
+     * @param max_len maximum phonemes per word (min is 2).
+     */
+    Lexicon(const PhonemeSet &phonemes, std::size_t vocab_size,
+            common::Pcg32 &rng, std::size_t max_len = 4);
+
+    std::size_t vocabSize() const { return words_.size(); }
+
+    const Word &word(int id) const;
+
+    /** Look up a word id by its text; kNoWord if absent. */
+    int findWord(const std::string &text) const;
+
+    /** Root children (first phonemes of all words). */
+    const std::vector<std::uint32_t> &rootChildren() const
+    {
+        return rootChildren_;
+    }
+
+    /** Node pool accessor. */
+    const LexiconNode &node(std::uint32_t idx) const;
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** Render a word-id sequence as space-separated text. */
+    std::string text(const std::vector<int> &word_ids) const;
+
+  private:
+    /**
+     * Child of `parent` (kRootParent for the tree root) with the
+     * given phoneme, creating it if absent. Returns the node index.
+     */
+    static constexpr std::uint32_t kRootParent = 0xffffffffu;
+    std::uint32_t addChild(std::uint32_t parent, std::size_t phoneme);
+
+    std::vector<Word> words_;
+    std::vector<LexiconNode> nodes_;
+    std::vector<std::uint32_t> rootChildren_;
+};
+
+} // namespace toltiers::asr
+
+#endif // TOLTIERS_ASR_LEXICON_HH

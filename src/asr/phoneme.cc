@@ -1,0 +1,97 @@
+#include "asr/phoneme.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace toltiers::asr {
+
+using common::panic;
+
+namespace {
+
+// Consonant-vowel syllable symbols: enough for 21 * 5 = 105 phonemes.
+const char *kConsonants = "kstnhmrgzbpdfvw";
+const char *kVowels = "aeiou";
+
+std::string
+syllable(std::size_t id)
+{
+    std::size_t nc = 15, nv = 5;
+    std::string s;
+    s += kConsonants[id / nv % nc];
+    s += kVowels[id % nv];
+    if (id >= nc * nv) // wrap with a suffix for very large sets
+        s += std::to_string(id / (nc * nv));
+    return s;
+}
+
+double
+distance(const std::vector<float> &a, const std::vector<float> &b)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double x = a[i] - b[i];
+        d += x * x;
+    }
+    return std::sqrt(d);
+}
+
+} // namespace
+
+PhonemeSet::PhonemeSet(std::size_t count, common::Pcg32 &rng,
+                       double separation)
+{
+    TT_ASSERT(count > 0, "phoneme set must not be empty");
+    phonemes_.reserve(count);
+    const int max_attempts = 10000;
+    for (std::size_t id = 0; id < count; ++id) {
+        Phoneme p;
+        p.symbol = syllable(id);
+        bool placed = false;
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+            std::vector<float> cand(kFeatureDim);
+            for (float &x : cand)
+                x = static_cast<float>(rng.gaussian(0.0, 1.5));
+            bool ok = true;
+            for (const auto &other : phonemes_) {
+                if (distance(cand, other.prototype) < separation) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                p.prototype = std::move(cand);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            panic("could not place phoneme ", id,
+                  " with separation ", separation,
+                  "; reduce count or separation");
+        }
+        phonemes_.push_back(std::move(p));
+    }
+}
+
+const Phoneme &
+PhonemeSet::operator[](std::size_t id) const
+{
+    TT_ASSERT(id < phonemes_.size(), "phoneme id out of range");
+    return phonemes_[id];
+}
+
+const std::string &
+PhonemeSet::symbol(std::size_t id) const
+{
+    return (*this)[id].symbol;
+}
+
+const std::vector<float> &
+PhonemeSet::prototype(std::size_t id) const
+{
+    return (*this)[id].prototype;
+}
+
+} // namespace toltiers::asr

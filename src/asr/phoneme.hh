@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Synthetic phoneme inventory.
+ *
+ * Each phoneme owns a prototype feature vector; the acoustic model
+ * scores observed frames against these prototypes and the corpus
+ * generator renders utterance frames from them (prototype + speaker
+ * offset + noise). The inventory is generated deterministically from
+ * a seed so every component sees the same acoustic space.
+ */
+
+#ifndef TOLTIERS_ASR_PHONEME_HH
+#define TOLTIERS_ASR_PHONEME_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace toltiers::asr {
+
+/** Dimensionality of the synthetic acoustic feature space. */
+constexpr std::size_t kFeatureDim = 8;
+
+/** One synthetic phoneme: a symbol plus an acoustic prototype. */
+struct Phoneme
+{
+    std::string symbol;                //!< e.g. "ka".
+    std::vector<float> prototype;      //!< kFeatureDim-sized center.
+};
+
+/**
+ * The phoneme inventory. Prototypes are drawn on a scaled hypersphere
+ * with a minimum pairwise separation so that phonemes are acoustically
+ * distinguishable at low noise but confusable at high noise — the
+ * property the accuracy-latency trade-off rests on.
+ */
+class PhonemeSet
+{
+  public:
+    /**
+     * Generate an inventory of `count` phonemes.
+     * @param separation minimum pairwise L2 distance between
+     * prototypes; candidates violating it are rejection-sampled.
+     */
+    PhonemeSet(std::size_t count, common::Pcg32 &rng,
+               double separation = 2.0);
+
+    std::size_t size() const { return phonemes_.size(); }
+
+    const Phoneme &operator[](std::size_t id) const;
+
+    /** Symbol of phoneme id. */
+    const std::string &symbol(std::size_t id) const;
+
+    /** Prototype vector of phoneme id. */
+    const std::vector<float> &prototype(std::size_t id) const;
+
+  private:
+    std::vector<Phoneme> phonemes_;
+};
+
+} // namespace toltiers::asr
+
+#endif // TOLTIERS_ASR_PHONEME_HH

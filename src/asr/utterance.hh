@@ -1,0 +1,40 @@
+/**
+ * @file
+ * An utterance: the reference transcript plus its rendered acoustic
+ * frames and the synthesis metadata that determines its difficulty.
+ */
+
+#ifndef TOLTIERS_ASR_UTTERANCE_HH
+#define TOLTIERS_ASR_UTTERANCE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "asr/acoustic_model.hh"
+
+namespace toltiers::asr {
+
+/** A synthesized speech sample with its ground truth. */
+struct Utterance
+{
+    std::size_t id = 0;
+    std::vector<int> refWords;      //!< Reference word ids.
+    std::string refText;            //!< Space-separated word texts.
+    std::vector<Frame> frames;      //!< Rendered acoustic frames.
+
+    // Synthesis metadata (the "speaker and recording environment").
+    double noiseSigma = 0.0;        //!< Acoustic noise level.
+    std::size_t framesPerPhoneme = 3; //!< Speaking-rate proxy.
+
+    /** Seconds of simulated audio at a 10 ms frame hop. */
+    double
+    audioSeconds() const
+    {
+        return static_cast<double>(frames.size()) * 0.010;
+    }
+};
+
+} // namespace toltiers::asr
+
+#endif // TOLTIERS_ASR_UTTERANCE_HH

@@ -1,0 +1,63 @@
+#include "asr/versions.hh"
+
+#include "common/strings.hh"
+
+namespace toltiers::asr {
+
+namespace {
+
+BeamConfig
+makeConfig(const std::string &name, PruneScope scope,
+           std::size_t max_active, double beam)
+{
+    BeamConfig cfg;
+    cfg.name = name;
+    cfg.scope = scope;
+    cfg.maxActive = max_active;
+    cfg.beamWidth = beam;
+    cfg.wordEndBeam = 0.75 * beam;
+    return cfg;
+}
+
+} // namespace
+
+std::vector<BeamConfig>
+paretoVersions()
+{
+    // Fastest/least accurate first. Chosen from heuristicGrid() by
+    // Pareto-filtering (latency, WER) on the reference corpus; the
+    // selection is reproduced by bench/fig_pareto.
+    return {
+        makeConfig("v1", PruneScope::Network, 2, 3.0),
+        makeConfig("v2", PruneScope::Network, 3, 4.0),
+        makeConfig("v3", PruneScope::Network, 4, 5.0),
+        makeConfig("v4", PruneScope::Network, 8, 6.0),
+        makeConfig("v5", PruneScope::Global, 4, 8.0),
+        makeConfig("v6", PruneScope::Global, 16, 10.0),
+        makeConfig("v7", PruneScope::Local, 8, 12.0),
+    };
+}
+
+std::vector<BeamConfig>
+heuristicGrid()
+{
+    std::vector<BeamConfig> grid;
+    const PruneScope scopes[] = {PruneScope::Network,
+                                 PruneScope::Global,
+                                 PruneScope::Local};
+    const std::size_t actives[] = {1, 2, 4, 8, 16, 32};
+    const double beams[] = {2.0, 4.0, 8.0, 12.0};
+    for (PruneScope scope : scopes) {
+        for (std::size_t n : actives) {
+            for (double b : beams) {
+                grid.push_back(makeConfig(
+                    common::strprintf("%s-n%zu-b%g",
+                                      pruneScopeName(scope), n, b),
+                    scope, n, b));
+            }
+        }
+    }
+    return grid;
+}
+
+} // namespace toltiers::asr

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Canonical ASR service versions.
+ *
+ * The paper studies seven heuristic configurations lying on the
+ * engine's accuracy-latency Pareto frontier, "the product of two
+ * orthogonal concerns": the hypothesis pruning policy (top-N) and the
+ * scope pruned (local / global / network). paretoVersions() returns
+ * our seven; heuristicGrid() returns the full grid the frontier was
+ * selected from (reproduced by bench/fig_pareto).
+ */
+
+#ifndef TOLTIERS_ASR_VERSIONS_HH
+#define TOLTIERS_ASR_VERSIONS_HH
+
+#include <vector>
+
+#include "asr/decoder.hh"
+
+namespace toltiers::asr {
+
+/** The seven canonical service versions, fastest first. */
+std::vector<BeamConfig> paretoVersions();
+
+/**
+ * The exhaustive heuristic grid (scope x top-N x beam width) that
+ * the Pareto versions were chosen from.
+ */
+std::vector<BeamConfig> heuristicGrid();
+
+} // namespace toltiers::asr
+
+#endif // TOLTIERS_ASR_VERSIONS_HH

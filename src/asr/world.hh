@@ -1,0 +1,68 @@
+/**
+ * @file
+ * AsrWorld bundles the shared linguistic/acoustic assets — phoneme
+ * inventory, lexicon, language model, acoustic model — generated
+ * deterministically from one seed, so the corpus generator and every
+ * engine version agree on the task.
+ */
+
+#ifndef TOLTIERS_ASR_WORLD_HH
+#define TOLTIERS_ASR_WORLD_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "asr/acoustic_model.hh"
+#include "asr/language_model.hh"
+#include "asr/lexicon.hh"
+#include "asr/phoneme.hh"
+#include "common/random.hh"
+
+namespace toltiers::asr {
+
+/** Construction parameters for an AsrWorld. */
+struct WorldConfig
+{
+    std::uint64_t seed = 42;
+    std::size_t phonemeCount = 24;
+    std::size_t vocabSize = 120;
+    std::size_t maxWordLen = 4;
+    std::size_t lmAffinity = 8;
+    double lmLambda = 0.75;
+    double acousticSigma = 1.0;
+};
+
+/** Immutable shared ASR task definition. */
+class AsrWorld
+{
+  public:
+    explicit AsrWorld(const WorldConfig &cfg = WorldConfig())
+        : config_(cfg), rng_(cfg.seed),
+          phonemes_(cfg.phonemeCount, rng_),
+          lexicon_(phonemes_, cfg.vocabSize, rng_, cfg.maxWordLen),
+          lm_(cfg.vocabSize, rng_, cfg.lmAffinity, cfg.lmLambda),
+          am_(phonemes_, cfg.acousticSigma)
+    {
+    }
+
+    AsrWorld(const AsrWorld &) = delete;
+    AsrWorld &operator=(const AsrWorld &) = delete;
+
+    const WorldConfig &config() const { return config_; }
+    const PhonemeSet &phonemes() const { return phonemes_; }
+    const Lexicon &lexicon() const { return lexicon_; }
+    const BigramLm &lm() const { return lm_; }
+    const AcousticModel &am() const { return am_; }
+
+  private:
+    WorldConfig config_;
+    common::Pcg32 rng_;
+    PhonemeSet phonemes_;
+    Lexicon lexicon_;
+    BigramLm lm_;
+    AcousticModel am_;
+};
+
+} // namespace toltiers::asr
+
+#endif // TOLTIERS_ASR_WORLD_HH

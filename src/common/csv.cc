@@ -1,0 +1,56 @@
+#include "common/csv.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace toltiers::common {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file: ", path);
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::string &label,
+                    const std::vector<double> &values)
+{
+    out_ << escape(label);
+    std::ostringstream oss;
+    for (double v : values) {
+        oss.str("");
+        oss << v;
+        out_ << ',' << oss.str();
+    }
+    out_ << '\n';
+}
+
+} // namespace toltiers::common

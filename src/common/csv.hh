@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV writer so benchmark binaries can dump the raw series
+ * behind each figure for external plotting.
+ */
+
+#ifndef TOLTIERS_COMMON_CSV_HH
+#define TOLTIERS_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace toltiers::common {
+
+/**
+ * Streams rows into a CSV file; fields containing commas, quotes, or
+ * newlines are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Open (truncate) the target file; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write a row of raw string fields. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Write a labelled row of numeric fields. */
+    void writeRow(const std::string &label,
+                  const std::vector<double> &values);
+
+    /** Escape a single field per RFC 4180. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ofstream out_;
+};
+
+} // namespace toltiers::common
+
+#endif // TOLTIERS_COMMON_CSV_HH

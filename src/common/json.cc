@@ -1,0 +1,186 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace toltiers::common {
+
+JsonWriter::JsonWriter(std::ostream &os) : os_(os) {}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::comma()
+{
+    if (first_.empty())
+        return;
+    if (!first_.back())
+        os_ << ',';
+    first_.back() = false;
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    os_ << '"' << escape(k) << "\":";
+}
+
+void
+JsonWriter::number(double v)
+{
+    if (std::isnan(v) || std::isinf(v)) {
+        os_ << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os_ << buf;
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    os_ << '{';
+    first_.push_back(true);
+}
+
+void
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    os_ << '{';
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endObject()
+{
+    TT_ASSERT(!first_.empty(), "endObject with no open scope");
+    os_ << '}';
+    first_.pop_back();
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    os_ << '[';
+    first_.push_back(true);
+}
+
+void
+JsonWriter::beginArray(const std::string &k)
+{
+    key(k);
+    os_ << '[';
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endArray()
+{
+    TT_ASSERT(!first_.empty(), "endArray with no open scope");
+    os_ << ']';
+    first_.pop_back();
+}
+
+void
+JsonWriter::member(const std::string &k, const std::string &v)
+{
+    key(k);
+    os_ << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::member(const std::string &k, const char *v)
+{
+    member(k, std::string(v));
+}
+
+void
+JsonWriter::member(const std::string &k, double v)
+{
+    key(k);
+    number(v);
+}
+
+void
+JsonWriter::member(const std::string &k, int v)
+{
+    key(k);
+    os_ << v;
+}
+
+void
+JsonWriter::member(const std::string &k, std::size_t v)
+{
+    key(k);
+    os_ << v;
+}
+
+void
+JsonWriter::member(const std::string &k, bool v)
+{
+    key(k);
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    os_ << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::value(double v)
+{
+    comma();
+    number(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    comma();
+    os_ << (v ? "true" : "false");
+}
+
+} // namespace toltiers::common

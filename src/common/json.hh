@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for experiment result dumps.
+ *
+ * Supports the subset needed by the benchmark harness: nested
+ * objects/arrays, string/number/bool members, correct escaping.
+ */
+
+#ifndef TOLTIERS_COMMON_JSON_HH
+#define TOLTIERS_COMMON_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace toltiers::common {
+
+/**
+ * Streaming JSON writer. Callers open/close objects and arrays in a
+ * strictly nested fashion; the writer tracks separators and nesting
+ * depth and panics on unbalanced close calls.
+ */
+class JsonWriter
+{
+  public:
+    /** Write to the given stream; the stream must outlive the writer. */
+    explicit JsonWriter(std::ostream &os);
+
+    /** Open the root or a nested anonymous object (array element). */
+    void beginObject();
+    /** Open a named object member inside the current object. */
+    void beginObject(const std::string &key);
+    /** Close the innermost object. */
+    void endObject();
+
+    /** Open an anonymous array (array element). */
+    void beginArray();
+    /** Open a named array member. */
+    void beginArray(const std::string &key);
+    /** Close the innermost array. */
+    void endArray();
+
+    /** Named scalar members. */
+    void member(const std::string &key, const std::string &value);
+    void member(const std::string &key, const char *value);
+    void member(const std::string &key, double value);
+    void member(const std::string &key, int value);
+    void member(const std::string &key, std::size_t value);
+    void member(const std::string &key, bool value);
+
+    /** Anonymous scalar array elements. */
+    void value(const std::string &v);
+    void value(double v);
+    void value(bool v);
+
+    /** Escape a string for inclusion inside JSON quotes. */
+    static std::string escape(const std::string &s);
+
+  private:
+    void comma();
+    void key(const std::string &k);
+    void number(double v);
+
+    std::ostream &os_;
+    std::vector<bool> first_; // per-nesting-level "no element yet" flag
+};
+
+} // namespace toltiers::common
+
+#endif // TOLTIERS_COMMON_JSON_HH

@@ -1,0 +1,50 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace toltiers::common {
+
+namespace {
+
+LogLevel g_level = LogLevel::Inform;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+void
+fatalExit(const std::string &msg)
+{
+    std::fprintf(stderr, "[fatal] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panicAbort(const std::string &msg)
+{
+    std::fprintf(stderr, "[panic] %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace toltiers::common

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Logging and error-reporting primitives.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration, invalid arguments) and exits cleanly with an error
+ * code, while panic() is for internal invariant violations (library
+ * bugs) and aborts. inform()/warn() report status without stopping.
+ */
+
+#ifndef TOLTIERS_COMMON_LOGGING_HH
+#define TOLTIERS_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace toltiers::common {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Set the global verbosity threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Emit one formatted log line to stderr. */
+void emit(const char *tag, const std::string &msg);
+
+/** Stringify a pack of arguments via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void fatalExit(const std::string &msg);
+[[noreturn]] void panicAbort(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report a status message the user should see but not worry about.
+ */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Inform)
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report a condition that might indicate a problem but does not stop
+ * execution.
+ */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Debug-level trace message, dropped unless LogLevel::Debug is set. */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit("debug", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of a user error (bad configuration or arguments).
+ * Exits with status 1; never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalExit(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of an internal library bug (a violated invariant
+ * that no user input should be able to trigger). Aborts; never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicAbort(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the given condition holds. */
+#define TT_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::toltiers::common::panic("assertion failed: " #cond " ",     \
+                                      ##__VA_ARGS__);                     \
+        }                                                                 \
+    } while (0)
+
+} // namespace toltiers::common
+
+#endif // TOLTIERS_COMMON_LOGGING_HH

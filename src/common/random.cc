@@ -1,0 +1,148 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace toltiers::common {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u)
+{
+    nextU32();
+    state_ += seed;
+    nextU32();
+}
+
+std::uint32_t
+Pcg32::nextU32()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t
+Pcg32::nextBounded(std::uint32_t bound)
+{
+    TT_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint32_t r = nextU32();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Pcg32::nextDouble()
+{
+    return nextU32() * (1.0 / 4294967296.0);
+}
+
+double
+Pcg32::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+int
+Pcg32::uniformInt(int lo, int hi)
+{
+    TT_ASSERT(lo <= hi, "uniformInt requires lo <= hi");
+    auto span = static_cast<std::uint32_t>(hi - lo) + 1u;
+    return lo + static_cast<int>(nextBounded(span));
+}
+
+double
+Pcg32::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    hasSpare_ = true;
+    return u * mul;
+}
+
+double
+Pcg32::gaussian(double mean, double stdev)
+{
+    return mean + stdev * gaussian();
+}
+
+bool
+Pcg32::bernoulli(double p)
+{
+    return nextDouble() < p;
+}
+
+std::size_t
+Pcg32::discrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        TT_ASSERT(w >= 0.0, "discrete weights must be non-negative");
+        total += w;
+    }
+    TT_ASSERT(total > 0.0, "discrete weights must not all be zero");
+    double x = nextDouble() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (x < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<std::size_t>
+Pcg32::sampleWithReplacement(std::size_t n, std::size_t k)
+{
+    TT_ASSERT(n > 0, "cannot sample from an empty population");
+    std::vector<std::size_t> out(k);
+    for (std::size_t i = 0; i < k; ++i)
+        out[i] = nextBounded(static_cast<std::uint32_t>(n));
+    return out;
+}
+
+std::vector<std::size_t>
+Pcg32::sampleWithoutReplacement(std::size_t n, std::size_t k)
+{
+    TT_ASSERT(k <= n, "sampleWithoutReplacement requires k <= n");
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pool[i] = i;
+    // Partial Fisher-Yates: the first k slots are the sample.
+    for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j =
+            i + nextBounded(static_cast<std::uint32_t>(n - i));
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+Pcg32
+Pcg32::split()
+{
+    std::uint64_t seed =
+        (static_cast<std::uint64_t>(nextU32()) << 32) | nextU32();
+    std::uint64_t stream =
+        (static_cast<std::uint64_t>(nextU32()) << 32) | nextU32();
+    return Pcg32(seed, stream);
+}
+
+} // namespace toltiers::common

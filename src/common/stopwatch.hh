@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wall-clock stopwatch used to report measured (as opposed to
+ * simulated work-unit) latencies.
+ */
+
+#ifndef TOLTIERS_COMMON_STOPWATCH_HH
+#define TOLTIERS_COMMON_STOPWATCH_HH
+
+#include <chrono>
+
+namespace toltiers::common {
+
+/** Monotonic wall-clock stopwatch with microsecond resolution. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart timing from now. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+    /** Milliseconds elapsed since construction or the last reset(). */
+    double milliseconds() const { return seconds() * 1e3; }
+
+    /** Microseconds elapsed since construction or the last reset(). */
+    double microseconds() const { return seconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace toltiers::common
+
+#endif // TOLTIERS_COMMON_STOPWATCH_HH

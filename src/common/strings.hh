@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small string utilities shared across the library.
+ */
+
+#ifndef TOLTIERS_COMMON_STRINGS_HH
+#define TOLTIERS_COMMON_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace toltiers::common {
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; empty tokens are dropped. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** True if s starts with the given prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True if s ends with the given suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Join the pieces with a separator. */
+std::string join(const std::vector<std::string> &pieces,
+                 std::string_view sep);
+
+/** Fixed-precision decimal formatting (printf %.*f). */
+std::string formatFixed(double v, int precision);
+
+/** Format as a percentage with the given precision, e.g. "12.3%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+/** Human-readable SI formatting, e.g. 1530 -> "1.53k". */
+std::string formatSi(double v, int precision = 2);
+
+/** printf-style formatting into a std::string. */
+std::string
+strprintf(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace toltiers::common
+
+#endif // TOLTIERS_COMMON_STRINGS_HH

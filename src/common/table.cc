@@ -1,0 +1,96 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace toltiers::common {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size()) {
+        panic("table row has ", row.size(), " cells, header has ",
+              header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &values,
+              int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(formatFixed(v, precision));
+    addRow(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &row : rows_)
+        ncols = std::max(ncols, row.size());
+
+    std::vector<std::size_t> widths(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    if (!header_.empty())
+        measure(header_);
+    for (const auto &row : rows_)
+        measure(row);
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            os << row[c];
+            if (c + 1 < row.size()) {
+                os << std::string(widths[c] - row[c].size(), ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w;
+    total += 2 * (ncols > 0 ? ncols - 1 : 0);
+
+    if (!title_.empty()) {
+        os << title_ << '\n';
+        os << std::string(std::max(title_.size(), total), '-') << '\n';
+    }
+    if (!header_.empty()) {
+        emitRow(header_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace toltiers::common

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Column-aligned plain-text table printer used by the benchmark
+ * harness to reproduce the paper's tables and figure series.
+ */
+
+#ifndef TOLTIERS_COMMON_TABLE_HH
+#define TOLTIERS_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace toltiers::common {
+
+/**
+ * Accumulates rows of string cells and renders them with aligned
+ * columns, an optional title, and a header separator.
+ */
+class Table
+{
+  public:
+    /** Construct with an optional table title. */
+    explicit Table(std::string title = "");
+
+    /** Set the header row. Column count is fixed by this call. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header's column count if set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: append a row of doubles at fixed precision. */
+    void addRow(const std::string &label,
+                const std::vector<double> &values, int precision = 3);
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render to the stream, including title and separators. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace toltiers::common
+
+#endif // TOLTIERS_COMMON_TABLE_HH

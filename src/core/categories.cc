@@ -1,0 +1,92 @@
+#include "core/categories.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace toltiers::core {
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Unchanged:
+        return "unchanged";
+      case Category::Improves:
+        return "improves";
+      case Category::Degrades:
+        return "degrades";
+      case Category::Varies:
+        return "varies";
+    }
+    return "unknown";
+}
+
+Category
+classifyRequest(const MeasurementSet &ms, std::size_t request,
+                double epsilon)
+{
+    bool any_up = false;   // Error ever rises with a bigger version.
+    bool any_down = false; // Error ever falls with a bigger version.
+    for (std::size_t v = 1; v < ms.versionCount(); ++v) {
+        double prev = ms.at(v - 1, request).error;
+        double cur = ms.at(v, request).error;
+        if (cur > prev + epsilon)
+            any_up = true;
+        else if (cur < prev - epsilon)
+            any_down = true;
+    }
+    if (!any_up && !any_down)
+        return Category::Unchanged;
+    if (any_down && !any_up)
+        return Category::Improves;
+    if (any_up && !any_down)
+        return Category::Degrades;
+    return Category::Varies;
+}
+
+CategoryBreakdown
+categorize(const MeasurementSet &ms, double epsilon)
+{
+    CategoryBreakdown b;
+    b.total = ms.requestCount();
+    for (std::size_t r = 0; r < ms.requestCount(); ++r) {
+        Category c = classifyRequest(ms, r, epsilon);
+        ++b.counts[static_cast<std::size_t>(c)];
+    }
+    return b;
+}
+
+std::vector<std::size_t>
+requestsInCategory(const MeasurementSet &ms, Category c,
+                   double epsilon)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t r = 0; r < ms.requestCount(); ++r) {
+        if (classifyRequest(ms, r, epsilon) == c)
+            out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<double>
+categoryErrorByVersion(const MeasurementSet &ms, Category c,
+                       double epsilon)
+{
+    auto rows = requestsInCategory(ms, c, epsilon);
+    std::vector<double> out(ms.versionCount(), 0.0);
+    for (std::size_t v = 0; v < ms.versionCount(); ++v)
+        out[v] = ms.meanError(v, rows);
+    return out;
+}
+
+std::vector<double>
+errorByVersion(const MeasurementSet &ms)
+{
+    std::vector<double> out(ms.versionCount(), 0.0);
+    for (std::size_t v = 0; v < ms.versionCount(); ++v)
+        out[v] = ms.meanError(v);
+    return out;
+}
+
+} // namespace toltiers::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-request accuracy-latency behaviour categories (paper §III-C).
+ *
+ * With versions ordered fastest-to-most-capable, each request falls
+ * into one of four categories according to how its error evolves as
+ * more computation is spent:
+ *  - Unchanged: identical error under every version;
+ *  - Improves: error only ever decreases with bigger versions;
+ *  - Degrades: error only ever increases with bigger versions;
+ *  - Varies: non-monotone.
+ *
+ * The paper's Fig. 2e/2f report the category breakdown (~74% of ASR
+ * and ~65% of IC requests unchanged, >15% improves) and Fig. 3 the
+ * per-category error across versions.
+ */
+
+#ifndef TOLTIERS_CORE_CATEGORIES_HH
+#define TOLTIERS_CORE_CATEGORIES_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/measurement.hh"
+
+namespace toltiers::core {
+
+/** Request behaviour across the version ladder. */
+enum class Category { Unchanged, Improves, Degrades, Varies };
+
+constexpr std::size_t kCategoryCount = 4;
+
+/** Printable category name. */
+const char *categoryName(Category c);
+
+/**
+ * Classify one request from its error trajectory across versions
+ * (version order = ladder order of the measurement set).
+ * @param epsilon two errors within epsilon count as equal.
+ */
+Category classifyRequest(const MeasurementSet &ms, std::size_t request,
+                         double epsilon = 1e-9);
+
+/** Category histogram over all requests. */
+struct CategoryBreakdown
+{
+    std::array<std::size_t, kCategoryCount> counts{};
+    std::size_t total = 0;
+
+    double
+    fraction(Category c) const
+    {
+        return total == 0 ? 0.0
+                          : static_cast<double>(
+                                counts[static_cast<std::size_t>(c)]) /
+                                static_cast<double>(total);
+    }
+};
+
+/** Classify every request. */
+CategoryBreakdown categorize(const MeasurementSet &ms,
+                             double epsilon = 1e-9);
+
+/** Request indices belonging to a category. */
+std::vector<std::size_t> requestsInCategory(const MeasurementSet &ms,
+                                            Category c,
+                                            double epsilon = 1e-9);
+
+/**
+ * Mean error at each version over the requests of one category
+ * (one Fig. 3 bar group). Returns one value per version.
+ */
+std::vector<double> categoryErrorByVersion(const MeasurementSet &ms,
+                                           Category c,
+                                           double epsilon = 1e-9);
+
+/** Mean error at each version over all requests (the "all" bars). */
+std::vector<double> errorByVersion(const MeasurementSet &ms);
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_CATEGORIES_HH

@@ -1,0 +1,89 @@
+#include "core/chain.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace toltiers::core {
+
+std::string
+ChainConfig::describe(const MeasurementSet &ms) const
+{
+    std::string out = "chain(";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        if (i > 0)
+            out += "->";
+        out += ms.versionName(stages[i].version);
+        if (i + 1 < stages.size()) {
+            out += common::strprintf("@%.2f",
+                                     stages[i].confidenceThreshold);
+        }
+    }
+    out += ")";
+    return out;
+}
+
+PolicyOutcome
+evaluateChainRequest(const MeasurementSet &ms, const ChainConfig &cfg,
+                     std::size_t request)
+{
+    TT_ASSERT(!cfg.stages.empty(), "chain without stages");
+    PolicyOutcome out;
+    for (std::size_t i = 0; i < cfg.stages.size(); ++i) {
+        const ChainStage &stage = cfg.stages[i];
+        const Measurement &m = ms.at(stage.version, request);
+        out.latency += m.latency;
+        out.cost += m.cost;
+        out.error = m.error;
+        bool last = i + 1 == cfg.stages.size();
+        if (last || m.confidence >= stage.confidenceThreshold) {
+            out.escalated = i > 0;
+            return out;
+        }
+    }
+    return out; // Unreachable; the last stage always returns.
+}
+
+PolicyAggregate
+evaluateChainSample(const MeasurementSet &ms, const ChainConfig &cfg,
+                    const std::vector<std::size_t> &sample)
+{
+    PolicyAggregate agg;
+    if (sample.empty())
+        return agg;
+    std::size_t escalations = 0;
+    for (std::size_t r : sample) {
+        PolicyOutcome o = evaluateChainRequest(ms, cfg, r);
+        agg.meanError += o.error;
+        agg.meanLatency += o.latency;
+        agg.meanCost += o.cost;
+        if (o.escalated)
+            ++escalations;
+    }
+    auto n = static_cast<double>(sample.size());
+    agg.meanError /= n;
+    agg.meanLatency /= n;
+    agg.meanCost /= n;
+    agg.escalationRate = static_cast<double>(escalations) / n;
+    return agg;
+}
+
+std::vector<ChainConfig>
+enumerateChains(std::size_t version_count,
+                const std::vector<double> &thresholds)
+{
+    std::vector<ChainConfig> out;
+    for (std::size_t a = 0; a < version_count; ++a) {
+        for (std::size_t b = a + 1; b < version_count; ++b) {
+            for (std::size_t c = b + 1; c < version_count; ++c) {
+                for (double th : thresholds) {
+                    ChainConfig cfg;
+                    cfg.stages = {{a, th}, {b, th}, {c, 0.0}};
+                    out.push_back(std::move(cfg));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace toltiers::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-version sequential chains — one of the "more complex
+ * solutions" the paper evaluated (§IV-C: "using more than two
+ * versions"), kept in the library so the ablation reproducing the
+ * paper's negative result (simple two-version policies win) can be
+ * run against a real implementation.
+ *
+ * A chain escalates through its stages in order: each stage runs its
+ * version and stops if the confidence clears the stage threshold;
+ * the final stage always answers. Latency and cost accumulate over
+ * every stage executed.
+ */
+
+#ifndef TOLTIERS_CORE_CHAIN_HH
+#define TOLTIERS_CORE_CHAIN_HH
+
+#include <string>
+#include <vector>
+
+#include "core/policy.hh"
+
+namespace toltiers::core {
+
+/** One stage of an escalation chain. */
+struct ChainStage
+{
+    std::size_t version = 0;
+    double confidenceThreshold = 0.0; //!< Ignored on the last stage.
+};
+
+/** An N-version sequential escalation chain. */
+struct ChainConfig
+{
+    std::vector<ChainStage> stages;
+
+    /** Human-readable description, e.g. "chain(v1@0.8->v4@0.9->v7)". */
+    std::string describe(const MeasurementSet &ms) const;
+};
+
+/** Evaluate one request under a chain (closed-form over the trace). */
+PolicyOutcome evaluateChainRequest(const MeasurementSet &ms,
+                                   const ChainConfig &cfg,
+                                   std::size_t request);
+
+/** Aggregate a chain over a request subset. */
+PolicyAggregate
+evaluateChainSample(const MeasurementSet &ms, const ChainConfig &cfg,
+                    const std::vector<std::size_t> &sample);
+
+/**
+ * Enumerate three-stage chains: every strictly increasing version
+ * triple with each threshold from the given list (same threshold at
+ * both decision points keeps the space tractable, as a provider
+ * would).
+ */
+std::vector<ChainConfig>
+enumerateChains(std::size_t version_count,
+                const std::vector<double> &thresholds = {0.5, 0.8,
+                                                         0.95});
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_CHAIN_HH

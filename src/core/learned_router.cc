@@ -1,0 +1,114 @@
+#include "core/learned_router.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace toltiers::core {
+
+namespace {
+
+double
+sigmoid(double z)
+{
+    return 1.0 / (1.0 + std::exp(-z));
+}
+
+} // namespace
+
+std::array<double, LearnedRouter::kFeatures>
+LearnedRouter::features(const Measurement &m) const
+{
+    return {1.0, m.confidence,
+            (m.latency - latencyMean_) / latencyStdev_};
+}
+
+void
+LearnedRouter::train(const MeasurementSet &ms, std::size_t fast,
+                     std::size_t reference, const TrainConfig &cfg)
+{
+    TT_ASSERT(fast < ms.versionCount() &&
+                  reference < ms.versionCount(),
+              "router version out of range");
+    TT_ASSERT(ms.requestCount() > 0, "router needs training data");
+
+    // Standardize the latency feature.
+    std::vector<double> lats;
+    lats.reserve(ms.requestCount());
+    for (std::size_t r = 0; r < ms.requestCount(); ++r)
+        lats.push_back(ms.at(fast, r).latency);
+    latencyMean_ = stats::mean(lats);
+    latencyStdev_ = std::max(stats::stdev(lats), 1e-9);
+
+    weights_.fill(0.0);
+    common::Pcg32 rng(cfg.seed);
+    std::vector<std::size_t> order(ms.requestCount());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    double lr = cfg.learningRate;
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (std::size_t r : order) {
+            const Measurement &m = ms.at(fast, r);
+            double target =
+                m.error > ms.at(reference, r).error ? 1.0 : 0.0;
+            auto x = features(m);
+            double z = 0.0;
+            for (std::size_t k = 0; k < kFeatures; ++k)
+                z += weights_[k] * x[k];
+            double err = sigmoid(z) - target;
+            for (std::size_t k = 0; k < kFeatures; ++k) {
+                weights_[k] -=
+                    lr * (err * x[k] + cfg.l2 * weights_[k]);
+            }
+        }
+        lr *= 0.97;
+    }
+    trained_ = true;
+}
+
+double
+LearnedRouter::escalateProbability(const Measurement &fast) const
+{
+    TT_ASSERT(trained_, "router used before training");
+    auto x = features(fast);
+    double z = 0.0;
+    for (std::size_t k = 0; k < kFeatures; ++k)
+        z += weights_[k] * x[k];
+    return sigmoid(z);
+}
+
+PolicyAggregate
+LearnedRouter::evaluate(const MeasurementSet &ms, std::size_t fast,
+                        std::size_t reference, double threshold,
+                        const std::vector<std::size_t> &sample) const
+{
+    PolicyAggregate agg;
+    if (sample.empty())
+        return agg;
+    std::size_t escalations = 0;
+    for (std::size_t r : sample) {
+        const Measurement &f = ms.at(fast, r);
+        const Measurement &ref = ms.at(reference, r);
+        if (shouldEscalate(f, threshold)) {
+            ++escalations;
+            agg.meanError += ref.error;
+            agg.meanLatency += f.latency + ref.latency;
+            agg.meanCost += f.cost + ref.cost;
+        } else {
+            agg.meanError += f.error;
+            agg.meanLatency += f.latency;
+            agg.meanCost += f.cost;
+        }
+    }
+    auto n = static_cast<double>(sample.size());
+    agg.meanError /= n;
+    agg.meanLatency /= n;
+    agg.meanCost /= n;
+    agg.escalationRate = static_cast<double>(escalations) / n;
+    return agg;
+}
+
+} // namespace toltiers::core

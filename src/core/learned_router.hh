@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The "ML-based router" the paper evaluated and rejected (§IV-C).
+ *
+ * A logistic-regression router that predicts, from the fast
+ * version's observable per-request signals (confidence and latency),
+ * whether its result will be worse than the reference version's —
+ * and escalates when the predicted probability exceeds a threshold.
+ * Kept in the library so the ablation reproducing the paper's
+ * negative result runs against a real learned router rather than a
+ * strawman.
+ */
+
+#ifndef TOLTIERS_CORE_LEARNED_ROUTER_HH
+#define TOLTIERS_CORE_LEARNED_ROUTER_HH
+
+#include <array>
+#include <vector>
+
+#include "common/random.hh"
+#include "core/policy.hh"
+
+namespace toltiers::core {
+
+/** Logistic-regression escalation router over a version pair. */
+class LearnedRouter
+{
+  public:
+    /** Feature count: bias, confidence, normalized latency. */
+    static constexpr std::size_t kFeatures = 3;
+
+    /** Training hyper-parameters. */
+    struct TrainConfig
+    {
+        std::size_t epochs = 60;
+        double learningRate = 0.5;
+        double l2 = 1e-4;
+        std::uint64_t seed = 31;
+    };
+
+    /**
+     * Fit on a training trace: the binary target for request r is
+     * "the fast version's error exceeds the reference version's".
+     * Latency features are standardized using training statistics.
+     */
+    void train(const MeasurementSet &ms, std::size_t fast,
+               std::size_t reference, const TrainConfig &cfg);
+
+    /** train() with default hyper-parameters. */
+    void
+    train(const MeasurementSet &ms, std::size_t fast,
+          std::size_t reference)
+    {
+        train(ms, fast, reference, TrainConfig{});
+    }
+
+    /** Escalation probability for one fast-version measurement. */
+    double escalateProbability(const Measurement &fast) const;
+
+    /** True if the router would escalate at the given threshold. */
+    bool
+    shouldEscalate(const Measurement &fast, double threshold) const
+    {
+        return escalateProbability(fast) >= threshold;
+    }
+
+    /**
+     * Evaluate a Sequential(fast -> reference) ensemble whose
+     * escalation decision comes from this router.
+     */
+    PolicyAggregate evaluate(const MeasurementSet &ms,
+                             std::size_t fast, std::size_t reference,
+                             double threshold,
+                             const std::vector<std::size_t> &sample)
+        const;
+
+    const std::array<double, kFeatures> &weights() const
+    {
+        return weights_;
+    }
+
+  private:
+    std::array<double, kFeatures> features(const Measurement &m)
+        const;
+
+    std::array<double, kFeatures> weights_{};
+    double latencyMean_ = 0.0;
+    double latencyStdev_ = 1.0;
+    bool trained_ = false;
+};
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_LEARNED_ROUTER_HH

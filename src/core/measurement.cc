@@ -1,0 +1,223 @@
+#include "core/measurement.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+
+namespace toltiers::core {
+
+using common::fatal;
+using common::panic;
+
+MeasurementSet::MeasurementSet(std::vector<std::string> version_names)
+    : names_(std::move(version_names))
+{
+    TT_ASSERT(!names_.empty(), "measurement set needs versions");
+}
+
+MeasurementSet
+MeasurementSet::collect(
+    const std::vector<const serving::ServiceVersion *> &versions)
+{
+    TT_ASSERT(!versions.empty(), "collect over zero versions");
+    std::vector<std::string> names;
+    names.reserve(versions.size());
+    std::size_t workload = versions[0]->workloadSize();
+    for (const auto *v : versions) {
+        TT_ASSERT(v != nullptr, "null service version");
+        TT_ASSERT(v->workloadSize() == workload,
+                  "versions must share one workload");
+        names.push_back(v->name());
+    }
+
+    MeasurementSet set(std::move(names));
+    std::vector<Measurement> row(versions.size());
+    for (std::size_t r = 0; r < workload; ++r) {
+        for (std::size_t v = 0; v < versions.size(); ++v) {
+            serving::VersionResult res = versions[v]->process(r);
+            row[v] = {res.error, res.latencySeconds, res.costDollars,
+                      res.confidence};
+        }
+        set.addRequest(row);
+    }
+    return set;
+}
+
+const std::string &
+MeasurementSet::versionName(std::size_t v) const
+{
+    TT_ASSERT(v < names_.size(), "version index out of range");
+    return names_[v];
+}
+
+std::size_t
+MeasurementSet::versionIndex(const std::string &name) const
+{
+    for (std::size_t v = 0; v < names_.size(); ++v) {
+        if (names_[v] == name)
+            return v;
+    }
+    fatal("unknown version name: '", name, "'");
+}
+
+const Measurement &
+MeasurementSet::at(std::size_t version, std::size_t request) const
+{
+    TT_ASSERT(version < names_.size(), "version index out of range");
+    TT_ASSERT(request < requests_, "request index out of range");
+    return cells_[request * names_.size() + version];
+}
+
+void
+MeasurementSet::addRequest(const std::vector<Measurement> &cells)
+{
+    TT_ASSERT(cells.size() == names_.size(),
+              "addRequest expects one cell per version");
+    cells_.insert(cells_.end(), cells.begin(), cells.end());
+    ++requests_;
+}
+
+double
+MeasurementSet::meanError(std::size_t version) const
+{
+    std::vector<std::size_t> all(requests_);
+    for (std::size_t i = 0; i < requests_; ++i)
+        all[i] = i;
+    return meanError(version, all);
+}
+
+double
+MeasurementSet::meanError(std::size_t version,
+                          const std::vector<std::size_t> &sample) const
+{
+    if (sample.empty())
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t r : sample)
+        s += at(version, r).error;
+    return s / static_cast<double>(sample.size());
+}
+
+double
+MeasurementSet::meanLatency(std::size_t version) const
+{
+    if (requests_ == 0)
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t r = 0; r < requests_; ++r)
+        s += at(version, r).latency;
+    return s / static_cast<double>(requests_);
+}
+
+double
+MeasurementSet::meanCost(std::size_t version) const
+{
+    if (requests_ == 0)
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t r = 0; r < requests_; ++r)
+        s += at(version, r).cost;
+    return s / static_cast<double>(requests_);
+}
+
+MeasurementSet
+MeasurementSet::subset(const std::vector<std::size_t> &rows) const
+{
+    MeasurementSet out(names_);
+    std::vector<Measurement> row(names_.size());
+    for (std::size_t r : rows) {
+        TT_ASSERT(r < requests_, "subset row out of range");
+        for (std::size_t v = 0; v < names_.size(); ++v)
+            row[v] = at(v, r);
+        out.addRequest(row);
+    }
+    return out;
+}
+
+namespace {
+
+const std::uint32_t kMagic = 0x5454544d; // "TTTM"
+
+} // namespace
+
+void
+MeasurementSet::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot open measurement trace for writing: ", path);
+
+    auto put32 = [&](std::uint32_t v) {
+        out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    };
+    put32(kMagic);
+    put32(static_cast<std::uint32_t>(names_.size()));
+    put32(static_cast<std::uint32_t>(requests_));
+    for (const std::string &n : names_) {
+        put32(static_cast<std::uint32_t>(n.size()));
+        out.write(n.data(), static_cast<std::streamsize>(n.size()));
+    }
+    out.write(reinterpret_cast<const char *>(cells_.data()),
+              static_cast<std::streamsize>(cells_.size() *
+                                           sizeof(Measurement)));
+    if (!out)
+        fatal("error writing measurement trace: ", path);
+}
+
+std::optional<MeasurementSet>
+MeasurementSet::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+
+    auto get32 = [&]() {
+        std::uint32_t v = 0;
+        in.read(reinterpret_cast<char *>(&v), sizeof(v));
+        return v;
+    };
+    if (get32() != kMagic)
+        fatal("not a measurement trace: ", path);
+    std::uint32_t versions = get32();
+    std::uint32_t requests = get32();
+    if (!in || versions == 0)
+        fatal("corrupt measurement trace: ", path);
+
+    std::vector<std::string> names(versions);
+    for (auto &n : names) {
+        std::uint32_t len = get32();
+        n.resize(len);
+        in.read(n.data(), len);
+    }
+    MeasurementSet set(std::move(names));
+    set.requests_ = requests;
+    set.cells_.resize(static_cast<std::size_t>(versions) * requests);
+    in.read(reinterpret_cast<char *>(set.cells_.data()),
+            static_cast<std::streamsize>(set.cells_.size() *
+                                         sizeof(Measurement)));
+    if (!in)
+        fatal("truncated measurement trace: ", path);
+    return set;
+}
+
+void
+MeasurementSet::exportCsv(const std::string &path) const
+{
+    common::CsvWriter csv(path);
+    csv.writeRow({"request", "version", "error", "latency", "cost",
+                  "confidence"});
+    for (std::size_t r = 0; r < requests_; ++r) {
+        for (std::size_t v = 0; v < names_.size(); ++v) {
+            const Measurement &m = at(v, r);
+            csv.writeRow({std::to_string(r), names_[v],
+                          std::to_string(m.error),
+                          std::to_string(m.latency),
+                          std::to_string(m.cost),
+                          std::to_string(m.confidence)});
+        }
+    }
+}
+
+} // namespace toltiers::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-request, per-version measurement traces.
+ *
+ * Tolerance Tier analysis — the OSFA limitation study, the policy
+ * simulator, and the routing-rule generator — all operate on a matrix
+ * of measurements: for every request payload and every service
+ * version, the error, latency, cost, and confidence that version
+ * produced. MeasurementSet collects that matrix by running a workload
+ * through live ServiceVersion instances and can persist it so the
+ * expensive collection runs once per configuration.
+ */
+
+#ifndef TOLTIERS_CORE_MEASUREMENT_HH
+#define TOLTIERS_CORE_MEASUREMENT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serving/service_version.hh"
+
+namespace toltiers::core {
+
+/** One (version, request) measurement cell. */
+struct Measurement
+{
+    double error = 0.0;      //!< WER or binary top-1 error.
+    double latency = 0.0;    //!< Seconds on the version's instance.
+    double cost = 0.0;       //!< Invocation cost in dollars.
+    double confidence = 0.0; //!< Model self-confidence in (0, 1).
+};
+
+/** Versions x requests measurement matrix. */
+class MeasurementSet
+{
+  public:
+    /** Empty set over named versions (rows added via addRequest). */
+    explicit MeasurementSet(std::vector<std::string> version_names);
+
+    /**
+     * Run every payload of the (shared) workload through every
+     * version and collect the full matrix. All versions must be
+     * bound to the same workload.
+     */
+    static MeasurementSet
+    collect(const std::vector<const serving::ServiceVersion *>
+                &versions);
+
+    std::size_t versionCount() const { return names_.size(); }
+    std::size_t requestCount() const { return requests_; }
+
+    const std::string &versionName(std::size_t v) const;
+
+    /** Index of a version by name; fatal() if absent. */
+    std::size_t versionIndex(const std::string &name) const;
+
+    /** Cell accessor. */
+    const Measurement &at(std::size_t version,
+                          std::size_t request) const;
+
+    /** Append one request's measurements (one cell per version). */
+    void addRequest(const std::vector<Measurement> &cells);
+
+    /** Mean error of a version over all requests. */
+    double meanError(std::size_t version) const;
+    /** Mean error of a version over a request subset. */
+    double meanError(std::size_t version,
+                     const std::vector<std::size_t> &sample) const;
+
+    /** Mean latency of a version over all requests. */
+    double meanLatency(std::size_t version) const;
+
+    /** Mean cost of a version over all requests. */
+    double meanCost(std::size_t version) const;
+
+    /** New set restricted to the given request rows. */
+    MeasurementSet subset(const std::vector<std::size_t> &rows) const;
+
+    /**
+     * Binary persistence. save() writes the whole matrix; load()
+     * returns nullopt if the file does not exist and fatal()s if it
+     * exists but is corrupt.
+     */
+    void save(const std::string &path) const;
+    static std::optional<MeasurementSet>
+    load(const std::string &path);
+
+    /**
+     * Long-format CSV export for external analysis: one row per
+     * (request, version) cell with error, latency, cost, and
+     * confidence columns.
+     */
+    void exportCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> names_;
+    std::size_t requests_ = 0;
+    std::vector<Measurement> cells_; //!< Row-major: [version][request].
+};
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_MEASUREMENT_HH

@@ -1,0 +1,174 @@
+#include "core/policy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace toltiers::core {
+
+const char *
+policyKindName(PolicyKind k)
+{
+    switch (k) {
+      case PolicyKind::Single:
+        return "single";
+      case PolicyKind::Sequential:
+        return "seq";
+      case PolicyKind::ConcurrentEt:
+        return "conc-et";
+      case PolicyKind::ConcurrentFo:
+        return "conc-fo";
+    }
+    return "unknown";
+}
+
+std::string
+EnsembleConfig::describe(const MeasurementSet &ms) const
+{
+    if (kind == PolicyKind::Single)
+        return common::strprintf("single(%s)",
+                                 ms.versionName(primary).c_str());
+    return common::strprintf("%s(%s->%s,th=%.2f)",
+                             policyKindName(kind),
+                             ms.versionName(primary).c_str(),
+                             ms.versionName(secondary).c_str(),
+                             confidenceThreshold);
+}
+
+PolicyOutcome
+evaluateRequest(const MeasurementSet &ms, const EnsembleConfig &cfg,
+                std::size_t request)
+{
+    const Measurement &p = ms.at(cfg.primary, request);
+    PolicyOutcome out;
+
+    switch (cfg.kind) {
+      case PolicyKind::Single: {
+        out.error = p.error;
+        out.latency = p.latency;
+        out.cost = p.cost;
+        return out;
+      }
+      case PolicyKind::Sequential: {
+        if (p.confidence >= cfg.confidenceThreshold) {
+            out.error = p.error;
+            out.latency = p.latency;
+            out.cost = p.cost;
+            return out;
+        }
+        const Measurement &s = ms.at(cfg.secondary, request);
+        out.error = s.error;
+        out.latency = p.latency + s.latency;
+        out.cost = p.cost + s.cost;
+        out.escalated = true;
+        return out;
+      }
+      case PolicyKind::ConcurrentEt: {
+        const Measurement &s = ms.at(cfg.secondary, request);
+        if (p.confidence >= cfg.confidenceThreshold) {
+            // The primary's result is accepted the moment it is
+            // available; the secondary is killed then and billed for
+            // its partial execution.
+            out.error = p.error;
+            out.latency = p.latency;
+            double killed = std::min(p.latency, s.latency);
+            out.cost =
+                p.cost +
+                (s.latency > 0.0 ? s.cost * killed / s.latency : 0.0);
+            return out;
+        }
+        // Not confident: wait for the secondary. The primary already
+        // completed (it is the faster version); both bills are paid.
+        out.error = s.error;
+        out.latency = std::max(p.latency, s.latency);
+        out.cost = p.cost + s.cost;
+        out.escalated = true;
+        return out;
+      }
+      case PolicyKind::ConcurrentFo: {
+        const Measurement &s = ms.at(cfg.secondary, request);
+        // Both always run to completion; only the response time
+        // depends on the confidence check.
+        out.cost = p.cost + s.cost;
+        if (p.confidence >= cfg.confidenceThreshold) {
+            out.error = p.error;
+            out.latency = p.latency;
+        } else {
+            out.error = s.error;
+            out.latency = std::max(p.latency, s.latency);
+            out.escalated = true;
+        }
+        return out;
+      }
+    }
+    common::panic("unhandled policy kind");
+}
+
+PolicyAggregate
+evaluateSample(const MeasurementSet &ms, const EnsembleConfig &cfg,
+               const std::vector<std::size_t> &sample)
+{
+    PolicyAggregate agg;
+    if (sample.empty())
+        return agg;
+    std::size_t escalations = 0;
+    for (std::size_t r : sample) {
+        PolicyOutcome o = evaluateRequest(ms, cfg, r);
+        agg.meanError += o.error;
+        agg.meanLatency += o.latency;
+        agg.meanCost += o.cost;
+        if (o.escalated)
+            ++escalations;
+    }
+    auto n = static_cast<double>(sample.size());
+    agg.meanError /= n;
+    agg.meanLatency /= n;
+    agg.meanCost /= n;
+    agg.escalationRate = static_cast<double>(escalations) / n;
+    return agg;
+}
+
+PolicyAggregate
+evaluateAll(const MeasurementSet &ms, const EnsembleConfig &cfg)
+{
+    std::vector<std::size_t> all(ms.requestCount());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    return evaluateSample(ms, cfg, all);
+}
+
+std::vector<EnsembleConfig>
+enumerateCandidates(std::size_t version_count,
+                    const std::vector<double> &thresholds)
+{
+    TT_ASSERT(version_count > 0, "need at least one version");
+    std::vector<EnsembleConfig> out;
+    for (std::size_t v = 0; v < version_count; ++v) {
+        EnsembleConfig c;
+        c.kind = PolicyKind::Single;
+        c.primary = v;
+        c.secondary = v;
+        out.push_back(c);
+    }
+    const PolicyKind kinds[] = {PolicyKind::Sequential,
+                                PolicyKind::ConcurrentEt,
+                                PolicyKind::ConcurrentFo};
+    for (PolicyKind kind : kinds) {
+        for (std::size_t p = 0; p < version_count; ++p) {
+            for (std::size_t s = p + 1; s < version_count; ++s) {
+                for (double th : thresholds) {
+                    EnsembleConfig c;
+                    c.kind = kind;
+                    c.primary = p;
+                    c.secondary = s;
+                    c.confidenceThreshold = th;
+                    out.push_back(c);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace toltiers::core

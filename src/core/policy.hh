@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Service-version ensemble policies (paper §IV).
+ *
+ * A Tolerance Tier is served by an ensemble of service versions under
+ * a routing policy. We implement the policies the paper evaluates —
+ * simple two-version schemes that outperformed more complex ones:
+ *
+ *  - Single:      every request goes to one version (the OSFA shape);
+ *  - Sequential:  run the fast primary; if its confidence is below a
+ *                 threshold, escalate to the accurate secondary
+ *                 (latency and cost add up on escalation);
+ *  - ConcurrentEt: race primary and secondary; if the primary is
+ *                 confident its result is returned at the primary's
+ *                 latency and the secondary is killed — paying for
+ *                 the secondary's partial execution;
+ *  - ConcurrentFo: race both to completion (fail-over): the response
+ *                 is the primary's when confident, the secondary's
+ *                 otherwise, but both bills are always paid.
+ *
+ * Policies are evaluated analytically over measurement traces — the
+ * same simulate() the paper's rule generator calls — and executed
+ * live by the TierService.
+ */
+
+#ifndef TOLTIERS_CORE_POLICY_HH
+#define TOLTIERS_CORE_POLICY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/measurement.hh"
+
+namespace toltiers::core {
+
+/** Ensemble policy shape. */
+enum class PolicyKind { Single, Sequential, ConcurrentEt,
+                        ConcurrentFo };
+
+/** Printable policy-kind name. */
+const char *policyKindName(PolicyKind k);
+
+/** One candidate ensemble configuration. */
+struct EnsembleConfig
+{
+    PolicyKind kind = PolicyKind::Single;
+    std::size_t primary = 0;         //!< Fast version index.
+    std::size_t secondary = 0;       //!< Accurate version index.
+    double confidenceThreshold = 0.0;
+
+    /** Human-readable description, e.g. "seq(v1->v7,th=0.8)". */
+    std::string describe(const MeasurementSet &ms) const;
+};
+
+/** Outcome of one request under a policy. */
+struct PolicyOutcome
+{
+    double error = 0.0;
+    double latency = 0.0;
+    double cost = 0.0;
+    bool escalated = false; //!< Secondary result was used.
+};
+
+/**
+ * Evaluate one request under a configuration using the measurement
+ * trace (closed-form, no queueing).
+ */
+PolicyOutcome evaluateRequest(const MeasurementSet &ms,
+                              const EnsembleConfig &cfg,
+                              std::size_t request);
+
+/** Aggregate of a policy over a request sample. */
+struct PolicyAggregate
+{
+    double meanError = 0.0;
+    double meanLatency = 0.0;
+    double meanCost = 0.0;
+    double escalationRate = 0.0;
+};
+
+/** Evaluate a configuration over a request subset. */
+PolicyAggregate evaluateSample(const MeasurementSet &ms,
+                               const EnsembleConfig &cfg,
+                               const std::vector<std::size_t> &sample);
+
+/** Evaluate a configuration over every request. */
+PolicyAggregate evaluateAll(const MeasurementSet &ms,
+                            const EnsembleConfig &cfg);
+
+/**
+ * Enumerate the candidate configuration space the rule generator
+ * searches: every Single(v), plus every two-version (primary <
+ * secondary) Sequential / ConcurrentEt / ConcurrentFo ensemble at
+ * each confidence threshold.
+ */
+std::vector<EnsembleConfig>
+enumerateCandidates(std::size_t version_count,
+                    const std::vector<double> &thresholds = {
+                        0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.98, 0.99,
+                        0.995, 0.999});
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_POLICY_HH

@@ -1,0 +1,50 @@
+#include "core/provisioner.hh"
+
+#include <optional>
+
+#include "common/logging.hh"
+
+namespace toltiers::core {
+
+ProvisionedService
+provisionTierService(
+    const std::vector<const serving::ServiceVersion *> &versions,
+    const ProvisionOptions &options)
+{
+    TT_ASSERT(!versions.empty(), "no versions to provision");
+
+    ProvisionedService out{MeasurementSet::collect(versions),
+                           {},
+                           {},
+                           nullptr};
+
+    RuleGenConfig rg = options.ruleGen;
+    if (rg.referenceVersion == 0 && versions.size() > 1)
+        rg.referenceVersion = versions.size() - 1;
+
+    const MeasurementSet *train = &out.trace;
+    std::optional<MeasurementSet> train_subset;
+    if (!options.trainRows.empty()) {
+        train_subset.emplace(out.trace.subset(options.trainRows));
+        train = &*train_subset;
+    }
+
+    std::vector<EnsembleConfig> candidates =
+        options.candidates.empty()
+            ? enumerateCandidates(versions.size())
+            : options.candidates;
+
+    RoutingRuleGenerator generator(*train, candidates, rg);
+    out.records = generator.records();
+
+    out.service = std::make_unique<TierService>(versions);
+    for (serving::Objective objective : options.objectives) {
+        auto rules =
+            generator.generate(options.tolerances, objective);
+        out.rules[objective] = rules;
+        out.service->setRules(objective, std::move(rules));
+    }
+    return out;
+}
+
+} // namespace toltiers::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * One-call provisioning: the paper's Fig. 4 framework flow.
+ *
+ * "The service provider only needs to input training data": the
+ * provisioner runs the whole pipeline — measure every version on the
+ * training workload, bootstrap the candidate ensembles, generate
+ * routing rules for the requested objectives and tolerance grid, and
+ * hand back a ready-to-serve TierService together with the artifacts
+ * (trace, bootstrap records, rules) for inspection.
+ */
+
+#ifndef TOLTIERS_CORE_PROVISIONER_HH
+#define TOLTIERS_CORE_PROVISIONER_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/rule_generator.hh"
+#include "core/tier_service.hh"
+
+namespace toltiers::core {
+
+/** Provisioning options. */
+struct ProvisionOptions
+{
+    std::vector<double> tolerances = toleranceGrid(0.10, 0.001);
+    std::vector<serving::Objective> objectives = {
+        serving::Objective::ResponseTime, serving::Objective::Cost};
+    RuleGenConfig ruleGen; //!< referenceVersion defaults to the last
+                           //!< version when left at its default 0.
+
+    /**
+     * Training rows of the workload (empty = all). When non-empty,
+     * rules are generated from these rows only, so the remaining
+     * rows stay untouched for evaluation.
+     */
+    std::vector<std::size_t> trainRows;
+
+    /** Candidate ensembles (empty = enumerateCandidates default). */
+    std::vector<EnsembleConfig> candidates;
+};
+
+/** Everything the provisioning run produced. */
+struct ProvisionedService
+{
+    MeasurementSet trace;          //!< Full workload measurements.
+    std::vector<BootstrapRecord> records;
+    std::map<serving::Objective, std::vector<RoutingRule>> rules;
+    std::unique_ptr<TierService> service; //!< Rules installed.
+};
+
+/**
+ * Provision a tier service over live versions. The versions must
+ * all be bound to the same workload and outlive the returned
+ * service.
+ */
+ProvisionedService
+provisionTierService(
+    const std::vector<const serving::ServiceVersion *> &versions,
+    const ProvisionOptions &options = ProvisionOptions());
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_PROVISIONER_HH

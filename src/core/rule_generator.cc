@@ -1,0 +1,134 @@
+#include "core/rule_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/bootstrap.hh"
+
+namespace toltiers::core {
+
+using common::panic;
+
+RoutingRuleGenerator::RoutingRuleGenerator(
+    const MeasurementSet &train, std::vector<EnsembleConfig> cfgs,
+    const RuleGenConfig &cfg)
+    : cfg_(cfg)
+{
+    TT_ASSERT(cfg_.referenceVersion < train.versionCount(),
+              "reference version out of range");
+    TT_ASSERT(train.requestCount() > 0, "empty training trace");
+    TT_ASSERT(!cfgs.empty(), "no candidate configurations");
+    TT_ASSERT(cfg_.subsampleDivisor > 0, "subsample divisor positive");
+    TT_ASSERT(cfg_.minTrials >= 2 && cfg_.maxTrials >= cfg_.minTrials,
+              "invalid trial bounds");
+
+    common::Pcg32 rng(cfg_.seed);
+    records_.reserve(cfgs.size());
+    for (const EnsembleConfig &candidate : cfgs)
+        records_.push_back(bootstrap(train, candidate, rng));
+}
+
+BootstrapRecord
+RoutingRuleGenerator::bootstrap(const MeasurementSet &train,
+                                const EnsembleConfig &candidate,
+                                common::Pcg32 &rng) const
+{
+    std::size_t n = train.requestCount();
+    std::size_t k = std::max<std::size_t>(
+        2, n / cfg_.subsampleDivisor);
+
+    // Trial series per metric, grown until each series is confident
+    // (paper: "while any([not confident(metric) ...])").
+    std::vector<double> err_deg, latency, cost;
+    while (err_deg.size() < cfg_.maxTrials) {
+        auto sample = rng.sampleWithoutReplacement(n, k);
+        SimMetrics m = simulate(train, sample, candidate,
+                                cfg_.referenceVersion, cfg_.mode);
+        err_deg.push_back(m.errorDegradation);
+        latency.push_back(m.meanLatency);
+        cost.push_back(m.meanCost);
+        if (err_deg.size() >= cfg_.minTrials &&
+            stats::spreadConfident(err_deg, cfg_.confidence) &&
+            stats::spreadConfident(latency, cfg_.confidence) &&
+            stats::spreadConfident(cost, cfg_.confidence)) {
+            break;
+        }
+    }
+
+    BootstrapRecord rec;
+    rec.cfg = candidate;
+    rec.trials = err_deg.size();
+    rec.worstErrorDegradation =
+        *std::max_element(err_deg.begin(), err_deg.end());
+    rec.worstLatency =
+        *std::max_element(latency.begin(), latency.end());
+    rec.worstCost = *std::max_element(cost.begin(), cost.end());
+
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i)
+        all[i] = i;
+    SimMetrics full = simulate(train, all, candidate,
+                               cfg_.referenceVersion, cfg_.mode);
+    rec.meanErrorDegradation = full.errorDegradation;
+    rec.meanLatency = full.meanLatency;
+    rec.meanCost = full.meanCost;
+    return rec;
+}
+
+std::vector<RoutingRule>
+RoutingRuleGenerator::generate(const std::vector<double> &tolerances,
+                               serving::Objective objective) const
+{
+    auto objective_of = [&](const BootstrapRecord &r) {
+        return objective == serving::Objective::ResponseTime
+                   ? r.worstLatency
+                   : r.worstCost;
+    };
+
+    std::vector<RoutingRule> rules;
+    rules.reserve(tolerances.size());
+    for (double tol : tolerances) {
+        const BootstrapRecord *best = nullptr;
+        for (const BootstrapRecord &rec : records_) {
+            if (rec.worstErrorDegradation > tol)
+                continue;
+            if (best == nullptr ||
+                objective_of(rec) < objective_of(*best)) {
+                best = &rec;
+            }
+        }
+
+        RoutingRule rule;
+        rule.tolerance = tol;
+        if (best != nullptr) {
+            rule.cfg = best->cfg;
+            rule.worstErrorDegradation = best->worstErrorDegradation;
+            rule.expectedLatency = best->meanLatency;
+            rule.expectedCost = best->meanCost;
+        } else {
+            // Nothing qualified (can happen if the reference version
+            // is absent from the candidate set): serve the reference
+            // itself, which degrades by zero.
+            rule.cfg.kind = PolicyKind::Single;
+            rule.cfg.primary = cfg_.referenceVersion;
+            rule.cfg.secondary = cfg_.referenceVersion;
+            rule.worstErrorDegradation = 0.0;
+        }
+        rules.push_back(rule);
+    }
+    return rules;
+}
+
+std::vector<double>
+toleranceGrid(double max, double step)
+{
+    TT_ASSERT(max > 0.0 && step > 0.0 && step <= max,
+              "invalid tolerance grid");
+    std::vector<double> out;
+    for (double t = step; t <= max + 1e-12; t += step)
+        out.push_back(t);
+    return out;
+}
+
+} // namespace toltiers::core

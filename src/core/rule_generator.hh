@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The routing-rule generator (paper §IV-D, Fig. 7).
+ *
+ * The generator bootstraps each candidate ensemble configuration on
+ * random subsamples of the training data until the observed error
+ * degradations, response times, and costs all reach the requested
+ * statistical confidence, records the worst case of each metric,
+ * and then emits, per Tolerance Tier, the configuration that
+ * minimizes the tier's objective subject to the worst-case error
+ * degradation staying within the tolerance.
+ */
+
+#ifndef TOLTIERS_CORE_RULE_GENERATOR_HH
+#define TOLTIERS_CORE_RULE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "core/simulator.hh"
+#include "serving/request.hh"
+
+namespace toltiers::core {
+
+/** Generator parameters. */
+struct RuleGenConfig
+{
+    double confidence = 0.999;       //!< Paper default: 99.9%.
+    std::size_t referenceVersion = 0; //!< The most accurate tier.
+    std::size_t subsampleDivisor = 10; //!< Trial size = n / divisor.
+    std::size_t minTrials = 10;
+    std::size_t maxTrials = 400;
+    std::uint64_t seed = 2024;
+    DegradationMode mode = DegradationMode::Relative;
+};
+
+/** Bootstrap summary of one candidate configuration. */
+struct BootstrapRecord
+{
+    EnsembleConfig cfg;
+    double worstErrorDegradation = 0.0;
+    double worstLatency = 0.0;
+    double worstCost = 0.0;
+    double meanLatency = 0.0; //!< Full-training-set mean.
+    double meanCost = 0.0;    //!< Full-training-set mean.
+    double meanErrorDegradation = 0.0;
+    std::size_t trials = 0;
+};
+
+/** One generated routing rule. */
+struct RoutingRule
+{
+    double tolerance = 0.0;
+    EnsembleConfig cfg;
+    double worstErrorDegradation = 0.0;
+    double expectedLatency = 0.0;
+    double expectedCost = 0.0;
+};
+
+/** Bootstraps candidates and generates per-tier routing rules. */
+class RoutingRuleGenerator
+{
+  public:
+    /**
+     * Bootstraps every candidate on construction (mirroring the
+     * paper's __init__). @param train training measurement trace,
+     * @param cfgs candidate configurations, @param cfg generator
+     * parameters. The reference version must be among the trace's
+     * versions.
+     */
+    RoutingRuleGenerator(const MeasurementSet &train,
+                         std::vector<EnsembleConfig> cfgs,
+                         const RuleGenConfig &cfg);
+
+    /** Bootstrap records, one per candidate. */
+    const std::vector<BootstrapRecord> &records() const
+    {
+        return records_;
+    }
+
+    /**
+     * Generate routing rules: for each tolerance, the candidate with
+     * the smallest worst-case objective among those whose worst-case
+     * error degradation fits the tolerance. Falls back to
+     * Single(reference) when nothing qualifies (by construction it
+     * always does, with zero degradation).
+     */
+    std::vector<RoutingRule>
+    generate(const std::vector<double> &tolerances,
+             serving::Objective objective) const;
+
+    const RuleGenConfig &config() const { return cfg_; }
+
+  private:
+    BootstrapRecord bootstrap(const MeasurementSet &train,
+                              const EnsembleConfig &candidate,
+                              common::Pcg32 &rng) const;
+
+    RuleGenConfig cfg_;
+    std::vector<BootstrapRecord> records_;
+};
+
+/** Evenly spaced tolerances: {step, 2*step, ..., max}. */
+std::vector<double> toleranceGrid(double max, double step);
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_RULE_GENERATOR_HH

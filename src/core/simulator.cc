@@ -1,0 +1,47 @@
+#include "core/simulator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace toltiers::core {
+
+const char *
+degradationModeName(DegradationMode mode)
+{
+    switch (mode) {
+      case DegradationMode::Relative:
+        return "relative";
+      case DegradationMode::AbsolutePoints:
+        return "absolute";
+    }
+    return "unknown";
+}
+
+SimMetrics
+simulate(const MeasurementSet &ms,
+         const std::vector<std::size_t> &sample,
+         const EnsembleConfig &cfg, std::size_t reference,
+         DegradationMode mode)
+{
+    TT_ASSERT(reference < ms.versionCount(),
+              "reference version out of range");
+    PolicyAggregate agg = evaluateSample(ms, cfg, sample);
+    double ref_err = ms.meanError(reference, sample);
+
+    SimMetrics m;
+    if (mode == DegradationMode::AbsolutePoints) {
+        m.errorDegradation = agg.meanError - ref_err;
+    } else if (ref_err > 1e-12) {
+        m.errorDegradation = (agg.meanError - ref_err) / ref_err;
+    } else {
+        // A perfect reference on this sample: fall back to the
+        // absolute difference so degradation is still meaningful.
+        m.errorDegradation = agg.meanError;
+    }
+    m.meanLatency = agg.meanLatency;
+    m.meanCost = agg.meanCost;
+    return m;
+}
+
+} // namespace toltiers::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The policy simulator invoked by the routing-rule generator — the
+ * C++ counterpart of `toltiers.simulator.simulate` in the paper's
+ * Fig. 7: given a training-data sample and an ensemble configuration,
+ * return the (error degradation, response time, cost) triple.
+ */
+
+#ifndef TOLTIERS_CORE_SIMULATOR_HH
+#define TOLTIERS_CORE_SIMULATOR_HH
+
+#include <vector>
+
+#include "core/policy.hh"
+
+namespace toltiers::core {
+
+/**
+ * How a tier's tolerance is interpreted against the reference error.
+ * The paper describes the tolerance as the "relative result quality
+ * degradation as compared to the most accurate version"; both
+ * readings of that sentence are supported:
+ *  - Relative: (err_cfg - err_ref) / err_ref, i.e. "1%" allows a 1%
+ *    proportional error increase;
+ *  - AbsolutePoints: err_cfg - err_ref, i.e. "1%" allows one
+ *    percentage point of extra WER / top-1 error.
+ */
+enum class DegradationMode { Relative, AbsolutePoints };
+
+/** Printable mode name. */
+const char *degradationModeName(DegradationMode mode);
+
+/** The trial metrics the rule generator bootstraps. */
+struct SimMetrics
+{
+    /**
+     * Error degradation versus the reference (most accurate)
+     * version over the same sample, under the chosen mode.
+     * Negative when the ensemble beats the reference.
+     */
+    double errorDegradation = 0.0;
+    double meanLatency = 0.0; //!< Mean response time (seconds).
+    double meanCost = 0.0;    //!< Mean invocation cost (dollars).
+};
+
+/**
+ * Simulate a configuration on a sample of training requests.
+ * @param reference version index of the most accurate tier.
+ */
+SimMetrics simulate(const MeasurementSet &ms,
+                    const std::vector<std::size_t> &sample,
+                    const EnsembleConfig &cfg, std::size_t reference,
+                    DegradationMode mode = DegradationMode::Relative);
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_SIMULATOR_HH

@@ -1,0 +1,152 @@
+#include "core/tier_service.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace toltiers::core {
+
+using common::fatal;
+
+TierService::TierService(
+    std::vector<const serving::ServiceVersion *> versions)
+    : versions_(std::move(versions))
+{
+    TT_ASSERT(!versions_.empty(), "tier service needs versions");
+    std::size_t workload = versions_[0]->workloadSize();
+    for (const auto *v : versions_) {
+        TT_ASSERT(v != nullptr, "null service version");
+        TT_ASSERT(v->workloadSize() == workload,
+                  "versions must share one workload");
+    }
+    referenceRule_.tolerance = 0.0;
+    referenceRule_.cfg.kind = PolicyKind::Single;
+    referenceRule_.cfg.primary = versions_.size() - 1;
+    referenceRule_.cfg.secondary = versions_.size() - 1;
+}
+
+void
+TierService::setRules(serving::Objective objective,
+                      std::vector<RoutingRule> rules)
+{
+    std::sort(rules.begin(), rules.end(),
+              [](const RoutingRule &a, const RoutingRule &b) {
+                  return a.tolerance < b.tolerance;
+              });
+    for (const RoutingRule &r : rules) {
+        TT_ASSERT(r.cfg.primary < versions_.size() &&
+                      r.cfg.secondary < versions_.size(),
+                  "rule references an unknown version");
+    }
+    rules_[objective] = std::move(rules);
+}
+
+const RoutingRule &
+TierService::ruleFor(double tolerance,
+                     serving::Objective objective) const
+{
+    auto it = rules_.find(objective);
+    if (it == rules_.end()) {
+        fatal("no routing rules installed for objective '",
+              serving::objectiveName(objective), "'");
+    }
+    const RoutingRule *best = &referenceRule_;
+    for (const RoutingRule &r : it->second) {
+        if (r.tolerance <= tolerance + 1e-12)
+            best = &r;
+        else
+            break; // Sorted ascending.
+    }
+    return *best;
+}
+
+TierResponse
+TierService::handle(const serving::ServiceRequest &request) const
+{
+    const RoutingRule &rule =
+        ruleFor(request.tier.tolerance, request.tier.objective);
+    const EnsembleConfig &cfg = rule.cfg;
+
+    TierResponse resp;
+    resp.config = cfg;
+    resp.ruleTolerance = rule.tolerance;
+
+    serving::VersionResult primary =
+        versions_[cfg.primary]->process(request.payload);
+
+    switch (cfg.kind) {
+      case PolicyKind::Single: {
+        resp.output = primary.output;
+        resp.latencySeconds = primary.latencySeconds;
+        resp.costDollars = primary.costDollars;
+        resp.confidence = primary.confidence;
+        break;
+      }
+      case PolicyKind::Sequential: {
+        if (primary.confidence >= cfg.confidenceThreshold) {
+            resp.output = primary.output;
+            resp.latencySeconds = primary.latencySeconds;
+            resp.costDollars = primary.costDollars;
+            resp.confidence = primary.confidence;
+        } else {
+            serving::VersionResult secondary =
+                versions_[cfg.secondary]->process(request.payload);
+            resp.output = secondary.output;
+            resp.latencySeconds =
+                primary.latencySeconds + secondary.latencySeconds;
+            resp.costDollars =
+                primary.costDollars + secondary.costDollars;
+            resp.confidence = secondary.confidence;
+            resp.escalated = true;
+        }
+        break;
+      }
+      case PolicyKind::ConcurrentEt: {
+        serving::VersionResult secondary =
+            versions_[cfg.secondary]->process(request.payload);
+        if (primary.confidence >= cfg.confidenceThreshold) {
+            resp.output = primary.output;
+            resp.latencySeconds = primary.latencySeconds;
+            double killed = std::min(primary.latencySeconds,
+                                     secondary.latencySeconds);
+            double partial =
+                secondary.latencySeconds > 0.0
+                    ? secondary.costDollars * killed /
+                          secondary.latencySeconds
+                    : 0.0;
+            resp.costDollars = primary.costDollars + partial;
+            resp.confidence = primary.confidence;
+        } else {
+            resp.output = secondary.output;
+            resp.latencySeconds = std::max(primary.latencySeconds,
+                                           secondary.latencySeconds);
+            resp.costDollars =
+                primary.costDollars + secondary.costDollars;
+            resp.confidence = secondary.confidence;
+            resp.escalated = true;
+        }
+        break;
+      }
+      case PolicyKind::ConcurrentFo: {
+        serving::VersionResult secondary =
+            versions_[cfg.secondary]->process(request.payload);
+        resp.costDollars =
+            primary.costDollars + secondary.costDollars;
+        if (primary.confidence >= cfg.confidenceThreshold) {
+            resp.output = primary.output;
+            resp.latencySeconds = primary.latencySeconds;
+            resp.confidence = primary.confidence;
+        } else {
+            resp.output = secondary.output;
+            resp.latencySeconds = std::max(primary.latencySeconds,
+                                           secondary.latencySeconds);
+            resp.confidence = secondary.confidence;
+            resp.escalated = true;
+        }
+        break;
+      }
+    }
+    return resp;
+}
+
+} // namespace toltiers::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The Tolerance Tier service front-end.
+ *
+ * Holds the deployed service versions and the routing rules the
+ * generator produced, and serves annotated requests live: a request
+ * picks its tier via the `Tolerance`/`Objective` headers, the
+ * matching rule's ensemble executes against the real service
+ * versions, and the response reports the composed latency and cost
+ * exactly as the policy semantics define them.
+ */
+
+#ifndef TOLTIERS_CORE_TIER_SERVICE_HH
+#define TOLTIERS_CORE_TIER_SERVICE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rule_generator.hh"
+#include "serving/request.hh"
+#include "serving/service_version.hh"
+
+namespace toltiers::core {
+
+/** Response of the tier service to one annotated request. */
+struct TierResponse
+{
+    std::string output;        //!< The chosen result payload.
+    double latencySeconds = 0.0;
+    double costDollars = 0.0;
+    double confidence = 0.0;   //!< Confidence of the chosen result.
+    bool escalated = false;    //!< Secondary result was used.
+    EnsembleConfig config;     //!< The ensemble that served it.
+    double ruleTolerance = 0.0; //!< Tolerance of the matched rule.
+};
+
+/** The deployed tier service. */
+class TierService
+{
+  public:
+    /**
+     * @param versions live service versions, ladder order (fastest
+     * first); all bound to the same workload. Referents must outlive
+     * the service.
+     */
+    explicit TierService(
+        std::vector<const serving::ServiceVersion *> versions);
+
+    /** Install the rule table for an objective (sorted by tolerance). */
+    void setRules(serving::Objective objective,
+                  std::vector<RoutingRule> rules);
+
+    /**
+     * The rule serving a requested tolerance: the largest rule
+     * tolerance that does not exceed it. Requests tighter than every
+     * rule (including tolerance 0) are served by the most accurate
+     * single version. fatal() if no rules are installed for the
+     * objective.
+     */
+    const RoutingRule &ruleFor(double tolerance,
+                               serving::Objective objective) const;
+
+    /** Serve one annotated request live. */
+    TierResponse handle(const serving::ServiceRequest &request) const;
+
+    std::size_t versionCount() const { return versions_.size(); }
+
+  private:
+    std::vector<const serving::ServiceVersion *> versions_;
+    std::map<serving::Objective, std::vector<RoutingRule>> rules_;
+    RoutingRule referenceRule_; //!< Single(most accurate), tol 0.
+};
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_TIER_SERVICE_HH

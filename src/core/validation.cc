@@ -1,0 +1,62 @@
+#include "core/validation.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "stats/kfold.hh"
+
+namespace toltiers::core {
+
+ValidationReport
+validateGuarantees(const MeasurementSet &trace,
+                   const std::vector<EnsembleConfig> &candidates,
+                   const ValidationConfig &cfg)
+{
+    TT_ASSERT(cfg.folds >= 2, "validation needs at least two folds");
+    TT_ASSERT(!cfg.tolerances.empty(), "no tolerances to validate");
+    TT_ASSERT(!cfg.objectives.empty(), "no objectives to validate");
+
+    common::Pcg32 rng(cfg.foldSeed);
+    auto folds = stats::kfold(trace.requestCount(), cfg.folds, rng);
+
+    ValidationReport report;
+    report.worstMargin = -std::numeric_limits<double>::infinity();
+
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+        auto train = trace.subset(folds[f].train);
+        auto test = trace.subset(folds[f].test);
+        std::vector<std::size_t> test_rows(test.requestCount());
+        for (std::size_t i = 0; i < test_rows.size(); ++i)
+            test_rows[i] = i;
+
+        RuleGenConfig rg = cfg.ruleGen;
+        rg.seed = cfg.ruleGen.seed + f;
+        RoutingRuleGenerator gen(train, candidates, rg);
+        for (const auto &rec : gen.records())
+            report.bootstrapTrials.push_back(rec.trials);
+
+        for (serving::Objective objective : cfg.objectives) {
+            auto rules = gen.generate(cfg.tolerances, objective);
+            for (const auto &rule : rules) {
+                auto m = simulate(test, test_rows, rule.cfg,
+                                  rg.referenceVersion, rg.mode);
+                ValidationCheck check;
+                check.fold = f;
+                check.objective = objective;
+                check.tolerance = rule.tolerance;
+                check.degradation = m.errorDegradation;
+                check.cfg = rule.cfg;
+                if (check.violated())
+                    ++report.violations;
+                report.worstMargin =
+                    std::max(report.worstMargin,
+                             check.degradation - check.tolerance);
+                report.checks.push_back(std::move(check));
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace toltiers::core

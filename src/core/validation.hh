@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Guarantee validation by k-fold cross-validation — the paper's
+ * evaluation methodology ("we put forth our best effort to consider
+ * potential variations in service requests by using 10-fold cross
+ * validation", §IV-D), packaged for reuse by the benchmark harness,
+ * the integration tests, and downstream users deploying their own
+ * rule tables.
+ */
+
+#ifndef TOLTIERS_CORE_VALIDATION_HH
+#define TOLTIERS_CORE_VALIDATION_HH
+
+#include <vector>
+
+#include "core/rule_generator.hh"
+#include "serving/request.hh"
+
+namespace toltiers::core {
+
+/** Validation parameters. */
+struct ValidationConfig
+{
+    std::size_t folds = 10;
+    std::vector<double> tolerances = toleranceGrid(0.10, 0.01);
+    std::vector<serving::Objective> objectives = {
+        serving::Objective::ResponseTime, serving::Objective::Cost};
+    RuleGenConfig ruleGen; //!< referenceVersion filled by caller.
+    std::uint64_t foldSeed = 424242;
+};
+
+/** One held-out check. */
+struct ValidationCheck
+{
+    std::size_t fold = 0;
+    serving::Objective objective = serving::Objective::ResponseTime;
+    double tolerance = 0.0;
+    double degradation = 0.0; //!< Measured on the held-out fold.
+    EnsembleConfig cfg;
+
+    bool violated() const { return degradation > tolerance; }
+};
+
+/** Aggregate validation outcome. */
+struct ValidationReport
+{
+    std::vector<ValidationCheck> checks;
+    std::size_t violations = 0;
+    double worstMargin = 0.0; //!< max(degradation - tolerance).
+    std::vector<std::size_t> bootstrapTrials; //!< Per candidate/fold.
+};
+
+/**
+ * Generate rules on each training fold and measure the achieved
+ * degradation on the held-out fold, for every (objective, tolerance)
+ * pair. The rule generator's mode/confidence come from
+ * cfg.ruleGen.
+ */
+ValidationReport
+validateGuarantees(const MeasurementSet &trace,
+                   const std::vector<EnsembleConfig> &candidates,
+                   const ValidationConfig &cfg);
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_VALIDATION_HH

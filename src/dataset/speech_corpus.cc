@@ -1,0 +1,143 @@
+#include "dataset/speech_corpus.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace toltiers::dataset {
+
+using asr::Utterance;
+
+namespace {
+
+/** Renders one frame for a phoneme under the utterance conditions. */
+using FrameRenderer = std::function<asr::Frame(
+    std::size_t phoneme, const std::vector<float> &speaker_offset,
+    double sigma, common::Pcg32 &rng)>;
+
+std::vector<Utterance>
+buildCorpusImpl(const asr::AsrWorld &world,
+                const SpeechCorpusConfig &cfg,
+                const FrameRenderer &render)
+{
+    TT_ASSERT(cfg.minWords >= 1 && cfg.minWords <= cfg.maxWords,
+              "invalid word-count range");
+    TT_ASSERT(cfg.minFramesPerPhoneme >= 1 &&
+                  cfg.minFramesPerPhoneme <= cfg.maxFramesPerPhoneme,
+              "invalid frames-per-phoneme range");
+    TT_ASSERT(cfg.easyFraction + cfg.mediumFraction <= 1.0,
+              "mixture fractions exceed 1");
+
+    common::Pcg32 master(cfg.seed);
+    const asr::Lexicon &lex = world.lexicon();
+
+    std::vector<Utterance> corpus;
+    corpus.reserve(cfg.utterances);
+
+    for (std::size_t id = 0; id < cfg.utterances; ++id) {
+        // Per-utterance generator: utterance id fully determines its
+        // content, independent of how many draws rendering the
+        // previous utterances consumed (e.g. under different
+        // mispronunciation or rate settings).
+        common::Pcg32 rng = master.split();
+
+        Utterance utt;
+        utt.id = id;
+
+        // Transcript.
+        auto len = static_cast<std::size_t>(rng.uniformInt(
+            static_cast<int>(cfg.minWords),
+            static_cast<int>(cfg.maxWords)));
+        utt.refWords = world.lm().sampleSentence(len, rng);
+        utt.refText = lex.text(utt.refWords);
+
+        // Recording conditions.
+        double u = rng.nextDouble();
+        double sigma;
+        if (u < cfg.easyFraction) {
+            sigma = cfg.easySigma;
+        } else if (u < cfg.easyFraction + cfg.mediumFraction) {
+            sigma = cfg.mediumSigma;
+        } else {
+            sigma = cfg.hardSigma;
+        }
+        sigma = std::max(
+            0.01, sigma + rng.uniform(-cfg.sigmaJitter,
+                                      cfg.sigmaJitter));
+        utt.noiseSigma = sigma;
+        utt.framesPerPhoneme = static_cast<std::size_t>(
+            rng.uniformInt(static_cast<int>(cfg.minFramesPerPhoneme),
+                           static_cast<int>(cfg.maxFramesPerPhoneme)));
+
+        std::vector<float> speaker(asr::kFeatureDim);
+        for (float &x : speaker) {
+            x = static_cast<float>(
+                rng.gaussian(0.0, cfg.speakerOffsetSigma));
+        }
+
+        // Rendering: per word, per phoneme, a run of noisy frames
+        // whose length jitters by one frame (speaking-rate noise).
+        // With mispronounceProb, the speaker utters a different word
+        // than the transcript records.
+        for (int word_id : utt.refWords) {
+            int spoken = word_id;
+            if (rng.bernoulli(cfg.mispronounceProb)) {
+                spoken = static_cast<int>(rng.nextBounded(
+                    static_cast<std::uint32_t>(lex.vocabSize())));
+            }
+            const asr::Word &word = lex.word(spoken);
+            for (std::size_t ph : word.phonemes) {
+                auto run = static_cast<long>(utt.framesPerPhoneme);
+                run += rng.uniformInt(-1, 1);
+                run = std::max<long>(1, run);
+                for (long f = 0; f < run; ++f) {
+                    utt.frames.push_back(
+                        render(ph, speaker, sigma, rng));
+                }
+            }
+        }
+        corpus.push_back(std::move(utt));
+    }
+    return corpus;
+}
+
+} // namespace
+
+std::vector<Utterance>
+buildSpeechCorpus(const asr::AsrWorld &world,
+                  const SpeechCorpusConfig &cfg)
+{
+    const asr::AcousticModel &am = world.am();
+    return buildCorpusImpl(
+        world, cfg,
+        [&am](std::size_t ph, const std::vector<float> &speaker,
+              double sigma, common::Pcg32 &rng) {
+            return am.synthesize(ph, speaker, sigma, rng);
+        });
+}
+
+std::vector<Utterance>
+buildSpeechCorpusViaWaveform(const asr::AsrWorld &world,
+                             const SpeechCorpusConfig &cfg,
+                             const asr::Frontend &frontend,
+                             double waveform_noise_scale)
+{
+    TT_ASSERT(waveform_noise_scale >= 0.0,
+              "waveform noise scale must be non-negative");
+    const asr::PhonemeSet &phonemes = world.phonemes();
+    return buildCorpusImpl(
+        world, cfg,
+        [&](std::size_t ph, const std::vector<float> &speaker,
+            double sigma, common::Pcg32 &rng) {
+            asr::Frame clean(asr::kFeatureDim);
+            const auto &proto = phonemes.prototype(ph);
+            for (std::size_t i = 0; i < asr::kFeatureDim; ++i)
+                clean[i] = proto[i] + speaker[i];
+            auto samples = frontend.synthesizeFrame(
+                clean, sigma * waveform_noise_scale, rng);
+            return frontend.extractFeatures(samples);
+        });
+}
+
+} // namespace toltiers::dataset

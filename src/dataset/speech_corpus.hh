@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic speech corpus generator (the VoxForge stand-in).
+ *
+ * Utterances are word sequences sampled from the task's bigram LM and
+ * rendered to acoustic frames via the acoustic model. Per-utterance
+ * speaker offsets, speaking rates, and a noise mixture reproduce the
+ * difficulty spread the paper's per-request analysis depends on: most
+ * utterances are easy enough that every service version transcribes
+ * them identically, while a noisy tail separates the versions.
+ */
+
+#ifndef TOLTIERS_DATASET_SPEECH_CORPUS_HH
+#define TOLTIERS_DATASET_SPEECH_CORPUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "asr/frontend.hh"
+#include "asr/utterance.hh"
+#include "asr/world.hh"
+
+namespace toltiers::dataset {
+
+/** Corpus synthesis parameters. */
+struct SpeechCorpusConfig
+{
+    std::uint64_t seed = 1234;
+    std::size_t utterances = 1500;
+    std::size_t minWords = 3;
+    std::size_t maxWords = 8;
+    std::size_t minFramesPerPhoneme = 2;
+    std::size_t maxFramesPerPhoneme = 4;
+
+    // Recording-condition mixture (fractions must sum to <= 1;
+    // the remainder is the hard fraction).
+    double easyFraction = 0.75;
+    double mediumFraction = 0.15;
+    double easySigma = 0.50;
+    double mediumSigma = 1.00;
+    double hardSigma = 1.40;
+    double sigmaJitter = 0.10;      //!< Uniform jitter on the sigma.
+    double speakerOffsetSigma = 0.15;
+
+    /**
+     * Per-word probability that the speaker utters a different word
+     * than the reference transcript records (mispronunciations,
+     * disfluencies, transcription noise). These words are decoded
+     * "correctly" by every version and scored wrong against the
+     * reference by every version alike — the shared, version-
+     * insensitive error floor real corpora exhibit.
+     */
+    double mispronounceProb = 0.15;
+};
+
+/** Generate a corpus over the given task world. */
+std::vector<asr::Utterance>
+buildSpeechCorpus(const asr::AsrWorld &world,
+                  const SpeechCorpusConfig &cfg);
+
+/**
+ * Generate a corpus through the full DSP path: each frame is
+ * rendered to audio samples by the front-end (band sinusoids +
+ * white noise) and its features recovered by extraction, instead of
+ * sampling features directly. Transcripts and recording conditions
+ * are identical to buildSpeechCorpus for the same config (the
+ * per-utterance generators are aligned); only the rendering differs.
+ *
+ * @param waveform_noise_scale converts the config's feature-space
+ * noise sigmas into waveform-domain noise levels (the default keeps
+ * the two paths' difficulty dials roughly comparable).
+ */
+std::vector<asr::Utterance>
+buildSpeechCorpusViaWaveform(const asr::AsrWorld &world,
+                             const SpeechCorpusConfig &cfg,
+                             const asr::Frontend &frontend,
+                             double waveform_noise_scale = 4.5);
+
+} // namespace toltiers::dataset
+
+#endif // TOLTIERS_DATASET_SPEECH_CORPUS_HH

@@ -1,0 +1,231 @@
+#include "dataset/synth_images.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace toltiers::dataset {
+
+using common::Pcg32;
+
+namespace {
+
+const char *kClassNames[kImageClasses] = {
+    "hbar", "vbar", "diag", "antidiag", "disc",
+    "ring", "square", "cross", "checker", "dots",
+};
+
+/** Paint one class pattern (amplitude 1) centered in an s x s grid. */
+void
+paintPattern(std::size_t cls, std::vector<float> &img, std::size_t s)
+{
+    auto at = [&](long y, long x) -> float & {
+        return img[static_cast<std::size_t>(y) * s +
+                   static_cast<std::size_t>(x)];
+    };
+    auto ls = static_cast<long>(s);
+    long c = ls / 2;
+    long r = ls / 3;
+
+    switch (cls) {
+      case 0: // horizontal bar
+        for (long x = 1; x < ls - 1; ++x) {
+            at(c, x) = 1.0f;
+            at(c - 1, x) = 0.6f;
+        }
+        break;
+      case 1: // vertical bar
+        for (long y = 1; y < ls - 1; ++y) {
+            at(y, c) = 1.0f;
+            at(y, c - 1) = 0.6f;
+        }
+        break;
+      case 2: // main diagonal
+        for (long i = 1; i < ls - 1; ++i) {
+            at(i, i) = 1.0f;
+            if (i + 1 < ls)
+                at(i + 1, i) = 0.5f;
+        }
+        break;
+      case 3: // anti-diagonal
+        for (long i = 1; i < ls - 1; ++i) {
+            at(i, ls - 1 - i) = 1.0f;
+            if (ls - i < ls)
+                at(i, ls - i) = 0.5f;
+        }
+        break;
+      case 4: // filled disc
+        for (long y = 0; y < ls; ++y) {
+            for (long x = 0; x < ls; ++x) {
+                double d = std::hypot(static_cast<double>(y - c),
+                                      static_cast<double>(x - c));
+                if (d <= r)
+                    at(y, x) = 1.0f;
+            }
+        }
+        break;
+      case 5: // ring
+        for (long y = 0; y < ls; ++y) {
+            for (long x = 0; x < ls; ++x) {
+                double d = std::hypot(static_cast<double>(y - c),
+                                      static_cast<double>(x - c));
+                if (d <= r && d >= r - 1.8)
+                    at(y, x) = 1.0f;
+            }
+        }
+        break;
+      case 6: // square outline
+        for (long i = c - r; i <= c + r; ++i) {
+            at(c - r, i) = 1.0f;
+            at(c + r, i) = 1.0f;
+            at(i, c - r) = 1.0f;
+            at(i, c + r) = 1.0f;
+        }
+        break;
+      case 7: // cross
+        for (long i = 1; i < ls - 1; ++i) {
+            at(c, i) = 1.0f;
+            at(i, c) = 1.0f;
+        }
+        break;
+      case 8: // checkerboard (period 3)
+        for (long y = 0; y < ls; ++y) {
+            for (long x = 0; x < ls; ++x) {
+                if ((y / 3 + x / 3) % 2 == 0)
+                    at(y, x) = 0.8f;
+            }
+        }
+        break;
+      case 9: // four corner dots
+        for (long dy = -1; dy <= 1; ++dy) {
+            for (long dx = -1; dx <= 1; ++dx) {
+                at(c - r + dy, c - r + dx) = 1.0f;
+                at(c - r + dy, c + r + dx) = 1.0f;
+                at(c + r + dy, c - r + dx) = 1.0f;
+                at(c + r + dy, c + r + dx) = 1.0f;
+            }
+        }
+        break;
+      default:
+        common::panic("unknown image class ", cls);
+    }
+}
+
+/** Shift an image by (dy, dx), zero-filling the exposed border. */
+std::vector<float>
+translate(const std::vector<float> &img, std::size_t s, int dy, int dx)
+{
+    std::vector<float> out(img.size(), 0.0f);
+    auto ls = static_cast<long>(s);
+    for (long y = 0; y < ls; ++y) {
+        long sy = y - dy;
+        if (sy < 0 || sy >= ls)
+            continue;
+        for (long x = 0; x < ls; ++x) {
+            long sx = x - dx;
+            if (sx < 0 || sx >= ls)
+                continue;
+            out[static_cast<std::size_t>(y) * s +
+                static_cast<std::size_t>(x)] =
+                img[static_cast<std::size_t>(sy) * s +
+                    static_cast<std::size_t>(sx)];
+        }
+    }
+    return out;
+}
+
+/** Add a short random stroke (clutter that confuses small models). */
+void
+addDistractor(std::vector<float> &img, std::size_t s, Pcg32 &rng)
+{
+    auto ls = static_cast<long>(s);
+    long y = rng.uniformInt(0, static_cast<int>(ls - 1));
+    long x = rng.uniformInt(0, static_cast<int>(ls - 1));
+    long dy = rng.uniformInt(-1, 1);
+    long dx = rng.uniformInt(-1, 1);
+    if (dy == 0 && dx == 0)
+        dx = 1;
+    long len = rng.uniformInt(3, 5);
+    float amp = static_cast<float>(rng.uniform(0.5, 0.9));
+    for (long i = 0; i < len; ++i) {
+        long py = y + i * dy;
+        long px = x + i * dx;
+        if (py < 0 || py >= ls || px < 0 || px >= ls)
+            break;
+        img[static_cast<std::size_t>(py) * s +
+            static_cast<std::size_t>(px)] += amp;
+    }
+}
+
+} // namespace
+
+const char *
+imageClassName(std::size_t cls)
+{
+    TT_ASSERT(cls < kImageClasses, "image class out of range");
+    return kClassNames[cls];
+}
+
+ImageSet
+buildImageSet(const ImageSetConfig &cfg)
+{
+    TT_ASSERT(cfg.size >= 8, "images must be at least 8x8");
+    TT_ASSERT(cfg.count > 0, "image set must not be empty");
+    TT_ASSERT(cfg.easyFraction + cfg.mediumFraction <= 1.0,
+              "mixture fractions exceed 1");
+
+    Pcg32 rng(cfg.seed);
+    std::size_t s = cfg.size;
+
+    ImageSet set;
+    set.images = tensor::Tensor({cfg.count, 1, s, s});
+    set.labels.resize(cfg.count);
+    set.noise.resize(cfg.count);
+
+    for (std::size_t i = 0; i < cfg.count; ++i) {
+        std::size_t cls = rng.nextBounded(kImageClasses);
+        set.labels[i] = cls;
+
+        std::vector<float> img(s * s, 0.0f);
+        paintPattern(cls, img, s);
+
+        // Geometric and photometric augmentation.
+        int dy = rng.uniformInt(-cfg.maxJitter, cfg.maxJitter);
+        int dx = rng.uniformInt(-cfg.maxJitter, cfg.maxJitter);
+        img = translate(img, s, dy, dx);
+        auto amp = static_cast<float>(
+            rng.uniform(cfg.minAmplitude, cfg.maxAmplitude));
+        for (float &v : img)
+            v *= amp;
+
+        // Difficulty mixture: noise plus distractor clutter.
+        double u = rng.nextDouble();
+        double sigma;
+        int distractors;
+        if (u < cfg.easyFraction) {
+            sigma = cfg.easyNoise;
+            distractors = 0;
+        } else if (u < cfg.easyFraction + cfg.mediumFraction) {
+            sigma = cfg.mediumNoise;
+            distractors = 1;
+        } else {
+            sigma = cfg.hardNoise;
+            distractors = 2;
+        }
+        set.noise[i] = sigma;
+        for (int d = 0; d < distractors; ++d)
+            addDistractor(img, s, rng);
+        for (float &v : img)
+            v += static_cast<float>(rng.gaussian(0.0, sigma));
+
+        // Roughly center the dynamic range for training stability.
+        float *dst = set.images.data() + i * s * s;
+        for (std::size_t p = 0; p < s * s; ++p)
+            dst[p] = img[p] - 0.25f;
+    }
+    return set;
+}
+
+} // namespace toltiers::dataset

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Procedural image-classification dataset (the ILSVRC stand-in).
+ *
+ * Ten geometric pattern classes rendered with random translation,
+ * amplitude scaling, distractor strokes, and a noise mixture. The
+ * mixture gives the same difficulty spread the speech corpus has:
+ * most samples are easy for every model version, a noisy tail
+ * separates small from large networks.
+ */
+
+#ifndef TOLTIERS_DATASET_SYNTH_IMAGES_HH
+#define TOLTIERS_DATASET_SYNTH_IMAGES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace toltiers::dataset {
+
+/** Number of pattern classes. */
+constexpr std::size_t kImageClasses = 10;
+
+/** Printable class name. */
+const char *imageClassName(std::size_t cls);
+
+/** Image synthesis parameters. */
+struct ImageSetConfig
+{
+    std::uint64_t seed = 7;
+    std::size_t count = 4000;
+    std::size_t size = 12;          //!< Square image edge length.
+
+    // Difficulty mixture (remainder after easy+medium is hard).
+    double easyFraction = 0.55;
+    double mediumFraction = 0.25;
+    double easyNoise = 0.15;
+    double mediumNoise = 0.40;
+    double hardNoise = 0.75;
+
+    int maxJitter = 2;              //!< Translation range in pixels.
+    double minAmplitude = 0.7;
+    double maxAmplitude = 1.3;
+};
+
+/** A labelled image set. */
+struct ImageSet
+{
+    tensor::Tensor images;          //!< [N, 1, size, size].
+    std::vector<std::size_t> labels;
+    std::vector<double> noise;      //!< Per-sample noise sigma.
+    std::size_t classes = kImageClasses;
+
+    std::size_t count() const { return labels.size(); }
+};
+
+/** Generate a labelled image set. */
+ImageSet buildImageSet(const ImageSetConfig &cfg);
+
+} // namespace toltiers::dataset
+
+#endif // TOLTIERS_DATASET_SYNTH_IMAGES_HH

@@ -1,0 +1,62 @@
+#include "ic/classifier.hh"
+
+#include "common/logging.hh"
+#include "nn/sgd.hh"
+
+namespace toltiers::ic {
+
+Classifier::Classifier(IcVersionSpec spec, nn::Network net,
+                       std::vector<std::size_t> image_shape,
+                       IcLatencyModel latency)
+    : spec_(std::move(spec)), net_(std::move(net)), latency_(latency)
+{
+    macsPerImage_ = net_.macsPerSample(image_shape);
+}
+
+IcResult
+Classifier::classify(const dataset::ImageSet &set,
+                     std::size_t index) const
+{
+    TT_ASSERT(index < set.count(), "image index out of range");
+    tensor::Tensor batch = nn::gatherBatch(set.images, {index});
+    auto preds = net_.predict(batch);
+
+    IcResult res;
+    res.label = preds[0].label;
+    res.className = dataset::imageClassName(res.label);
+    res.confidence = preds[0].confidence;
+    res.margin = preds[0].margin;
+    res.macs = macsPerImage_;
+    res.latencySeconds = latency_.latency(res.macs);
+    return res;
+}
+
+std::vector<IcResult>
+Classifier::classifyAll(const dataset::ImageSet &set,
+                        std::size_t batch) const
+{
+    std::vector<IcResult> out;
+    out.reserve(set.count());
+    for (std::size_t start = 0; start < set.count(); start += batch) {
+        std::size_t end = std::min(set.count(), start + batch);
+        std::vector<std::size_t> rows;
+        rows.reserve(end - start);
+        for (std::size_t i = start; i < end; ++i)
+            rows.push_back(i);
+        tensor::Tensor b = nn::gatherBatch(set.images, rows);
+        auto preds = net_.predict(b);
+        for (const auto &p : preds) {
+            IcResult res;
+            res.label = p.label;
+            res.className = dataset::imageClassName(p.label);
+            res.confidence = p.confidence;
+            res.margin = p.margin;
+            res.macs = macsPerImage_;
+            res.latencySeconds = latency_.latency(res.macs);
+            out.push_back(res);
+        }
+    }
+    return out;
+}
+
+} // namespace toltiers::ic

@@ -1,0 +1,115 @@
+#include "ic/trainer.hh"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "nn/serialize.hh"
+#include "nn/sgd.hh"
+
+namespace toltiers::ic {
+
+using common::inform;
+
+namespace {
+
+/** FNV-1a over the bytes that determine a training outcome. */
+std::uint64_t
+cacheKey(const dataset::ImageSet &train, const IcVersionSpec &spec,
+         std::uint64_t seed)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(seed);
+    mix(train.count());
+    mix(train.images.dim(2));
+    mix(spec.training.epochs);
+    mix(static_cast<std::uint64_t>(spec.training.learningRate * 1e6));
+    // Dataset fingerprint: a strided sample of pixels and labels.
+    for (std::size_t i = 0; i < train.images.size();
+         i += 1 + train.images.size() / 64) {
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(train.images[i] * 1e4)));
+    }
+    for (std::size_t i = 0; i < train.labels.size();
+         i += 1 + train.labels.size() / 64) {
+        mix(train.labels[i]);
+    }
+    for (char c : spec.name)
+        mix(static_cast<std::uint64_t>(c));
+    return h;
+}
+
+} // namespace
+
+std::string
+defaultCacheDir()
+{
+    const char *env = std::getenv("TOLTIERS_CACHE");
+    return env != nullptr ? env : "toltiers_cache";
+}
+
+std::vector<Classifier>
+trainZoo(const dataset::ImageSet &train, const ZooTrainConfig &cfg)
+{
+    std::size_t size = train.images.dim(2);
+    std::vector<std::size_t> image_shape = {1, size, size};
+
+    if (!cfg.cacheDir.empty())
+        std::filesystem::create_directories(cfg.cacheDir);
+
+    std::vector<Classifier> zoo;
+    common::Pcg32 seed_rng(cfg.seed);
+    for (IcVersionSpec spec : zooSpecs()) {
+        if (cfg.epochOverride > 0)
+            spec.training.epochs = cfg.epochOverride;
+        common::Pcg32 rng = seed_rng.split();
+        nn::Network net = buildZooNetwork(spec.name, size,
+                                          train.classes, rng);
+
+        std::string cache_path;
+        bool loaded = false;
+        if (!cfg.cacheDir.empty()) {
+            cache_path = cfg.cacheDir + "/" + spec.name + "-" +
+                         common::strprintf(
+                             "%016llx",
+                             static_cast<unsigned long long>(
+                                 cacheKey(train, spec, cfg.seed))) +
+                         ".ttw";
+            loaded = nn::loadWeights(net, cache_path);
+        }
+
+        if (!loaded) {
+            if (cfg.verbose)
+                inform("training ", spec.name, " (",
+                       net.parameterCount(), " params)");
+            nn::SgdTrainer trainer(spec.training);
+            trainer.train(
+                net, train.images, train.labels, rng,
+                [&](const nn::EpochStats &e) {
+                    if (cfg.verbose) {
+                        inform("  ", spec.name, " epoch ", e.epoch,
+                               " loss=",
+                               common::formatFixed(e.loss, 4),
+                               " acc=",
+                               common::formatPercent(e.accuracy));
+                    }
+                });
+            if (!cache_path.empty())
+                nn::saveWeights(net, cache_path);
+        } else if (cfg.verbose) {
+            inform("loaded ", spec.name, " from cache");
+        }
+
+        zoo.emplace_back(spec, std::move(net), image_shape);
+    }
+    return zoo;
+}
+
+} // namespace toltiers::ic

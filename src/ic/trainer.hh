@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Zoo training driver with an on-disk weight cache, so benchmark
+ * binaries and examples share one training run per configuration.
+ */
+
+#ifndef TOLTIERS_IC_TRAINER_HH
+#define TOLTIERS_IC_TRAINER_HH
+
+#include <string>
+#include <vector>
+
+#include "dataset/synth_images.hh"
+#include "ic/classifier.hh"
+
+namespace toltiers::ic {
+
+/** Zoo training options. */
+struct ZooTrainConfig
+{
+    std::uint64_t seed = 99;
+    std::string cacheDir;      //!< Empty disables the weight cache.
+    bool verbose = false;      //!< Log per-epoch stats.
+    std::size_t epochOverride = 0; //!< Nonzero overrides spec epochs.
+};
+
+/**
+ * Train (or load from cache) every zoo version on the given training
+ * set and return the ready classifiers, fastest version first.
+ *
+ * Cache files are named <cacheDir>/<name>-<key>.ttw where the key
+ * hashes the training configuration, seed, and dataset fingerprint,
+ * so stale caches are never reused across configurations.
+ */
+std::vector<Classifier> trainZoo(const dataset::ImageSet &train,
+                                 const ZooTrainConfig &cfg);
+
+/** Default cache directory: $TOLTIERS_CACHE or "toltiers_cache". */
+std::string defaultCacheDir();
+
+} // namespace toltiers::ic
+
+#endif // TOLTIERS_IC_TRAINER_HH

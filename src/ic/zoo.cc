@@ -1,0 +1,106 @@
+#include "ic/zoo.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace toltiers::ic {
+
+using common::fatal;
+using nn::Network;
+
+std::vector<IcVersionSpec>
+zooSpecs()
+{
+    // Training budgets scale modestly with capacity: bigger models
+    // need a few more epochs to converge but all share the schedule
+    // family. The default deployment is homogeneous CPU (the ladder
+    // the headline figures use); bench/table_ic_versions also
+    // reports the GPU alternative for the conv-heavy versions.
+    auto sgd = [](std::size_t epochs, double lr) {
+        nn::SgdConfig cfg;
+        cfg.epochs = epochs;
+        cfg.learningRate = lr;
+        return cfg;
+    };
+    return {
+        {"mlp-s", "squeezenet", "cpu-small", sgd(8, 0.08)},
+        {"cnn-xs", "alexnet", "cpu-small", sgd(8, 0.05)},
+        {"cnn-s", "googlenet", "cpu-small", sgd(8, 0.05)},
+        {"cnn-m", "resnet", "cpu-small", sgd(10, 0.04)},
+        {"cnn-l", "vgg", "cpu-small", sgd(10, 0.04)},
+    };
+}
+
+Network
+buildZooNetwork(const std::string &name, std::size_t image_size,
+                std::size_t classes, common::Pcg32 &rng)
+{
+    using nn::Conv2d;
+    using nn::Dense;
+    using nn::Flatten;
+    using nn::MaxPool2d;
+    using nn::Relu;
+    using tensor::ConvGeometry;
+
+    const ConvGeometry k3{3, 1, 1};
+    const std::size_t s = image_size;
+    TT_ASSERT(s % 4 == 0, "zoo networks require image size % 4 == 0");
+    const std::size_t s2 = s / 2, s4 = s / 4;
+
+    Network net(name);
+    if (name == "mlp-s") {
+        net.add(std::make_unique<Flatten>())
+            .add(std::make_unique<Dense>(s * s, 48, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<Dense>(48, classes, rng));
+    } else if (name == "cnn-xs") {
+        net.add(std::make_unique<Conv2d>(1, 6, k3, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<MaxPool2d>(2, 2))
+            .add(std::make_unique<Flatten>())
+            .add(std::make_unique<Dense>(6 * s2 * s2, classes, rng));
+    } else if (name == "cnn-s") {
+        net.add(std::make_unique<Conv2d>(1, 8, k3, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<MaxPool2d>(2, 2))
+            .add(std::make_unique<Conv2d>(8, 16, k3, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<MaxPool2d>(2, 2))
+            .add(std::make_unique<Flatten>())
+            .add(std::make_unique<Dense>(16 * s4 * s4, classes, rng));
+    } else if (name == "cnn-m") {
+        net.add(std::make_unique<Conv2d>(1, 12, k3, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<Conv2d>(12, 24, k3, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<MaxPool2d>(2, 2))
+            .add(std::make_unique<Conv2d>(24, 32, k3, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<MaxPool2d>(2, 2))
+            .add(std::make_unique<Flatten>())
+            .add(std::make_unique<Dense>(32 * s4 * s4, 64, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<Dense>(64, classes, rng));
+    } else if (name == "cnn-l") {
+        net.add(std::make_unique<Conv2d>(1, 16, k3, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<Conv2d>(16, 32, k3, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<MaxPool2d>(2, 2))
+            .add(std::make_unique<Conv2d>(32, 48, k3, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<Conv2d>(48, 48, k3, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<MaxPool2d>(2, 2))
+            .add(std::make_unique<Flatten>())
+            .add(std::make_unique<Dense>(48 * s4 * s4, 96, rng))
+            .add(std::make_unique<Relu>())
+            .add(std::make_unique<Dense>(96, classes, rng));
+    } else {
+        fatal("unknown zoo network: '", name, "'");
+    }
+    return net;
+}
+
+} // namespace toltiers::ic

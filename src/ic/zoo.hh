@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The image-classification model zoo: five architectures of
+ * increasing capacity, standing in for the paper's SqueezeNet /
+ * AlexNet / GoogLeNet / ResNet / VGG ladder (see DESIGN.md's
+ * substitution table). Capacity — and therefore both top-1 accuracy
+ * and MAC count — increases monotonically from v1 to v5.
+ */
+
+#ifndef TOLTIERS_IC_ZOO_HH
+#define TOLTIERS_IC_ZOO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+#include "nn/sgd.hh"
+
+namespace toltiers::ic {
+
+/** Static description of one zoo member. */
+struct IcVersionSpec
+{
+    std::string name;       //!< e.g. "cnn-m".
+    std::string roleLabel;  //!< Paper counterpart, e.g. "googlenet".
+    std::string instance;   //!< Default deployment instance type.
+    nn::SgdConfig training; //!< Hyper-parameters used to train it.
+};
+
+/** Specs of the five canonical versions, fastest first. */
+std::vector<IcVersionSpec> zooSpecs();
+
+/**
+ * Construct the (untrained) network for a spec name; fatal() on an
+ * unknown name. @param image_size square input edge length,
+ * @param classes output classes, @param rng weight initialization.
+ */
+nn::Network buildZooNetwork(const std::string &name,
+                            std::size_t image_size,
+                            std::size_t classes, common::Pcg32 &rng);
+
+} // namespace toltiers::ic
+
+#endif // TOLTIERS_IC_ZOO_HH

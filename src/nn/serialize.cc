@@ -1,0 +1,95 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace toltiers::nn {
+
+using common::fatal;
+
+namespace {
+
+const std::uint32_t kMagic = 0x54544e4e; // "TTNN"
+const std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ofstream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::ifstream &in, T &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+void
+saveWeights(Network &net, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot open weight file for writing: ", path);
+
+    auto params = net.params();
+    writePod(out, kMagic);
+    writePod(out, kVersion);
+    writePod(out, static_cast<std::uint32_t>(params.size()));
+    for (Param *p : params) {
+        writePod(out, static_cast<std::uint32_t>(p->value.rank()));
+        for (std::size_t d : p->value.shape())
+            writePod(out, static_cast<std::uint64_t>(d));
+        out.write(reinterpret_cast<const char *>(p->value.data()),
+                  static_cast<std::streamsize>(p->value.size() *
+                                               sizeof(float)));
+    }
+    if (!out)
+        fatal("error writing weight file: ", path);
+}
+
+bool
+loadWeights(Network &net, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+
+    std::uint32_t magic = 0, version = 0, count = 0;
+    if (!readPod(in, magic) || magic != kMagic)
+        fatal("not a toltiers weight file: ", path);
+    if (!readPod(in, version) || version != kVersion)
+        fatal("unsupported weight file version in ", path);
+    if (!readPod(in, count))
+        fatal("truncated weight file: ", path);
+
+    auto params = net.params();
+    if (count != params.size()) {
+        fatal("weight file ", path, " has ", count,
+              " params, network expects ", params.size());
+    }
+    for (Param *p : params) {
+        std::uint32_t rank = 0;
+        if (!readPod(in, rank) || rank != p->value.rank())
+            fatal("weight file ", path, " rank mismatch");
+        for (std::size_t d = 0; d < rank; ++d) {
+            std::uint64_t dim = 0;
+            if (!readPod(in, dim) || dim != p->value.dim(d))
+                fatal("weight file ", path, " shape mismatch");
+        }
+        in.read(reinterpret_cast<char *>(p->value.data()),
+                static_cast<std::streamsize>(p->value.size() *
+                                             sizeof(float)));
+        if (!in)
+            fatal("truncated weight data in ", path);
+    }
+    return true;
+}
+
+} // namespace toltiers::nn

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Binary weight serialization so the trained model zoo can be cached
+ * on disk instead of retrained by every benchmark binary.
+ */
+
+#ifndef TOLTIERS_NN_SERIALIZE_HH
+#define TOLTIERS_NN_SERIALIZE_HH
+
+#include <string>
+
+#include "nn/network.hh"
+
+namespace toltiers::nn {
+
+/**
+ * Write all parameter tensors of the network to the given file.
+ * Format: magic, version, param count, then per-param rank, shape,
+ * and raw float data. fatal() on I/O failure.
+ */
+void saveWeights(Network &net, const std::string &path);
+
+/**
+ * Load parameter tensors saved by saveWeights() into a structurally
+ * identical network. Returns false (leaving the network untouched or
+ * partially loaded only on panic) if the file is absent; fatal() if
+ * present but structurally incompatible.
+ */
+bool loadWeights(Network &net, const std::string &path);
+
+} // namespace toltiers::nn
+
+#endif // TOLTIERS_NN_SERIALIZE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Mini-batch SGD with momentum and weight decay, plus train/eval
+ * loops over a labelled image set.
+ */
+
+#ifndef TOLTIERS_NN_SGD_HH
+#define TOLTIERS_NN_SGD_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/random.hh"
+#include "nn/network.hh"
+
+namespace toltiers::nn {
+
+/** Hyper-parameters for one training run. */
+struct SgdConfig
+{
+    double learningRate = 0.05;
+    double momentum = 0.9;
+    double weightDecay = 1e-4;
+    double lrDecay = 0.85;       //!< Multiplicative decay per epoch.
+    std::size_t batchSize = 32;
+    std::size_t epochs = 10;
+};
+
+/** Per-epoch training telemetry. */
+struct EpochStats
+{
+    std::size_t epoch = 0;
+    double loss = 0.0;     //!< Mean training loss.
+    double accuracy = 0.0; //!< Training accuracy.
+};
+
+/** Result of evaluating a network on a labelled set. */
+struct EvalResult
+{
+    double top1Error = 0.0;       //!< Fraction misclassified.
+    double meanConfidence = 0.0;  //!< Mean softmax top-1 probability.
+    std::vector<Prediction> predictions;
+};
+
+/** Mini-batch SGD trainer. */
+class SgdTrainer
+{
+  public:
+    explicit SgdTrainer(SgdConfig cfg);
+
+    /**
+     * Train in place. @param images NCHW batch of the whole training
+     * set, @param labels one class index per sample, @param rng drives
+     * shuffling. The callback, if set, observes per-epoch stats.
+     */
+    void train(Network &net, const tensor::Tensor &images,
+               const std::vector<std::size_t> &labels,
+               common::Pcg32 &rng,
+               const std::function<void(const EpochStats &)>
+                   &callback = nullptr);
+
+    /** One SGD step over the accumulated gradients. */
+    void step(Network &net, double lr);
+
+    const SgdConfig &config() const { return cfg_; }
+
+  private:
+    SgdConfig cfg_;
+};
+
+/** Evaluate top-1 error and confidence over a labelled set. */
+EvalResult evaluate(Network &net, const tensor::Tensor &images,
+                    const std::vector<std::size_t> &labels,
+                    std::size_t batch_size = 64);
+
+/** Copy the given sample rows of an NCHW set into a new batch. */
+tensor::Tensor gatherBatch(const tensor::Tensor &images,
+                           const std::vector<std::size_t> &rows);
+
+} // namespace toltiers::nn
+
+#endif // TOLTIERS_NN_SGD_HH

@@ -1,0 +1,76 @@
+#include "serving/api.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace toltiers::serving {
+
+using common::fatal;
+
+const char *
+objectiveName(Objective obj)
+{
+    switch (obj) {
+      case Objective::ResponseTime:
+        return "response-time";
+      case Objective::Cost:
+        return "cost";
+    }
+    return "unknown";
+}
+
+Objective
+parseObjective(const std::string &name)
+{
+    std::string n = common::toLower(common::trim(name));
+    if (n == "response-time" || n == "latency")
+        return Objective::ResponseTime;
+    if (n == "cost" || n == "invocation-cost")
+        return Objective::Cost;
+    fatal("unknown Objective header value: '", name, "'");
+}
+
+ServiceRequest
+parseAnnotatedRequest(const std::string &header_block)
+{
+    ServiceRequest req;
+    for (const std::string &line : common::split(header_block, '\n')) {
+        std::string t = common::trim(line);
+        if (t.empty())
+            continue;
+        auto colon = t.find(':');
+        if (colon == std::string::npos)
+            fatal("malformed header line: '", line, "'");
+        std::string name =
+            common::toLower(common::trim(t.substr(0, colon)));
+        std::string value = common::trim(t.substr(colon + 1));
+
+        if (name == "tolerance") {
+            char *end = nullptr;
+            double tol = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                fatal("Tolerance header is not a number: '", value,
+                      "'");
+            if (tol < 0.0 || tol > 1.0)
+                fatal("Tolerance must lie in [0, 1], got ", tol);
+            req.tier.tolerance = tol;
+        } else if (name == "objective") {
+            req.tier.objective = parseObjective(value);
+        } else {
+            req.headers[name] = value;
+        }
+    }
+    return req;
+}
+
+std::string
+formatAnnotation(const TierAnnotation &tier)
+{
+    return common::strprintf("Tolerance: %.4f\nObjective: %s\n",
+                             tier.tolerance,
+                             objectiveName(tier.objective));
+}
+
+} // namespace toltiers::serving

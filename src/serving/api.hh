@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Parsing of curl-style annotated requests, mirroring the paper's
+ * §IV-A example:
+ *
+ *   curl --header Tolerance: 0.01
+ *        --header Objective: response-time
+ *        --data-binary @input-file-name
+ *        -X POST http://cloud-service/compute
+ *
+ * We accept the equivalent raw HTTP-ish header block, one
+ * "Name: value" per line.
+ */
+
+#ifndef TOLTIERS_SERVING_API_HH
+#define TOLTIERS_SERVING_API_HH
+
+#include <string>
+
+#include "serving/request.hh"
+
+namespace toltiers::serving {
+
+/**
+ * Parse a header block into a tier annotation. Unknown headers are
+ * preserved in `request.headers`; missing Tolerance defaults to 0
+ * (the most accurate tier) and missing Objective to response-time.
+ * fatal() on malformed Tolerance values (non-numeric or outside
+ * [0, 1]).
+ */
+ServiceRequest parseAnnotatedRequest(const std::string &header_block);
+
+/** Render an annotation back to a header block. */
+std::string formatAnnotation(const TierAnnotation &tier);
+
+} // namespace toltiers::serving
+
+#endif // TOLTIERS_SERVING_API_HH

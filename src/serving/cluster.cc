@@ -1,0 +1,269 @@
+#include "serving/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "common/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace toltiers::serving {
+
+using common::panic;
+
+namespace {
+
+enum class ExecState { Waiting, Running, Done, Cancelled };
+
+/** One stage execution instance. */
+struct Exec
+{
+    std::size_t job = 0;
+    std::size_t stage = 0;
+    std::size_t pool = 0;
+    double serviceTime = 0.0;
+    double enqueueTime = 0.0;
+    double startTime = 0.0;
+    ExecState state = ExecState::Waiting;
+};
+
+enum class EventKind { Arrival, Completion };
+
+struct Event
+{
+    double time = 0.0;
+    EventKind kind = EventKind::Completion;
+    std::size_t index = 0; //!< Job id (arrival) or exec id.
+
+    bool
+    operator>(const Event &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        // Admit arrivals before completions at the same instant so
+        // a freed server sees the full queue.
+        return kind == EventKind::Completion &&
+               other.kind == EventKind::Arrival;
+    }
+};
+
+struct JobState
+{
+    const SimJob *spec = nullptr;
+    std::size_t nextStage = 0;
+    std::vector<std::size_t> execs; //!< Exec ids, by stage index.
+    bool responded = false;
+    double responseTime = -1.0;
+    double queueing = 0.0;
+    double cost = 0.0;
+};
+
+struct PoolState
+{
+    std::size_t freeServers = 0;
+    std::deque<std::size_t> waiting; //!< Exec ids.
+    double busySeconds = 0.0;
+};
+
+} // namespace
+
+ClusterSim::ClusterSim(std::vector<SimPool> pools)
+    : pools_(std::move(pools))
+{
+    TT_ASSERT(!pools_.empty(), "cluster needs at least one pool");
+    for (const SimPool &p : pools_)
+        TT_ASSERT(p.servers > 0, "pool '", p.name, "' has no servers");
+}
+
+SimReport
+ClusterSim::run(const std::vector<SimJob> &jobs) const
+{
+    std::vector<JobState> states(jobs.size());
+    std::vector<PoolState> pool_states(pools_.size());
+    for (std::size_t p = 0; p < pools_.size(); ++p)
+        pool_states[p].freeServers = pools_[p].servers;
+
+    std::vector<Exec> execs;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events;
+
+    auto start_exec = [&](std::size_t e, double now) {
+        Exec &x = execs[e];
+        x.state = ExecState::Running;
+        x.startTime = now;
+        states[x.job].queueing += now - x.enqueueTime;
+        events.push({now + x.serviceTime, EventKind::Completion, e});
+    };
+
+    auto enqueue = [&](std::size_t job, std::size_t stage,
+                       double now) {
+        const StageSpec &spec = jobs[job].stages[stage];
+        TT_ASSERT(spec.pool < pools_.size(), "stage pool out of range");
+        TT_ASSERT(spec.serviceTime >= 0.0,
+                  "stage service time must be non-negative");
+        Exec x;
+        x.job = job;
+        x.stage = stage;
+        x.pool = spec.pool;
+        x.serviceTime = spec.serviceTime;
+        x.enqueueTime = now;
+        execs.push_back(x);
+        std::size_t e = execs.size() - 1;
+        states[job].execs.push_back(e);
+
+        PoolState &ps = pool_states[spec.pool];
+        if (ps.freeServers > 0) {
+            --ps.freeServers;
+            start_exec(e, now);
+        } else {
+            ps.waiting.push_back(e);
+        }
+    };
+
+    auto release_server = [&](std::size_t pool, double now) {
+        PoolState &ps = pool_states[pool];
+        while (!ps.waiting.empty()) {
+            std::size_t e = ps.waiting.front();
+            ps.waiting.pop_front();
+            if (execs[e].state == ExecState::Cancelled)
+                continue;
+            start_exec(e, now);
+            return;
+        }
+        ++ps.freeServers;
+    };
+
+    auto bill = [&](const Exec &x, double busy) {
+        pool_states[x.pool].busySeconds += busy;
+        states[x.job].cost += busy * pools_[x.pool].pricePerSecond;
+    };
+
+    // Cancel every not-yet-responded stage of the job at `now`.
+    auto cancel_outstanding = [&](std::size_t job, double now) {
+        for (std::size_t e : states[job].execs) {
+            Exec &x = execs[e];
+            if (x.state == ExecState::Waiting) {
+                x.state = ExecState::Cancelled; // Lazily dequeued.
+            } else if (x.state == ExecState::Running) {
+                x.state = ExecState::Cancelled;
+                bill(x, now - x.startTime);
+                release_server(x.pool, now);
+            }
+        }
+    };
+
+    // Seed the simulation with arrival events; a job only enters a
+    // queue once its arrival time is reached.
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        states[j].spec = &jobs[j];
+        const SimJob &job = jobs[j];
+        TT_ASSERT(!job.stages.empty(), "job without stages");
+        if (job.concurrent) {
+            TT_ASSERT(job.stages.size() == 2,
+                      "concurrent jobs race exactly two stages");
+        }
+        events.push({job.arrival, EventKind::Arrival, j});
+    }
+
+    double makespan = 0.0;
+    while (!events.empty()) {
+        Event ev = events.top();
+        events.pop();
+
+        if (ev.kind == EventKind::Arrival) {
+            std::size_t j = ev.index;
+            const SimJob &job = jobs[j];
+            if (job.concurrent) {
+                enqueue(j, 0, ev.time);
+                enqueue(j, 1, ev.time);
+                states[j].nextStage = 2;
+            } else {
+                enqueue(j, 0, ev.time);
+                states[j].nextStage = 1;
+            }
+            continue;
+        }
+
+        Exec &x = execs[ev.index];
+        if (x.state != ExecState::Running)
+            continue; // Stale completion of a cancelled stage.
+
+        // Copy out identifiers: enqueue() below grows the exec pool
+        // and would invalidate the reference.
+        const std::size_t job_id = x.job;
+        const std::size_t stage = x.stage;
+
+        double now = ev.time;
+        makespan = std::max(makespan, now);
+        x.state = ExecState::Done;
+        bill(x, x.serviceTime);
+        release_server(x.pool, now);
+
+        JobState &js = states[job_id];
+        const SimJob &job = jobs[job_id];
+        if (js.responded)
+            continue; // A raced loser finishing after the response.
+
+        if (job.concurrent) {
+            bool authoritative = (stage == 1);
+            if (job.acceptFirst || authoritative) {
+                js.responded = true;
+                js.responseTime = now - job.arrival;
+                cancel_outstanding(job_id, now);
+            }
+        } else if (js.nextStage < job.stages.size()) {
+            std::size_t next = js.nextStage;
+            ++js.nextStage;
+            enqueue(job_id, next, now);
+        } else {
+            js.responded = true;
+            js.responseTime = now - job.arrival;
+        }
+    }
+
+    SimReport report;
+    report.jobs.reserve(jobs.size());
+    std::vector<double> responses;
+    responses.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        TT_ASSERT(states[j].responded, "job ", j, " never responded");
+        JobOutcome out;
+        out.responseTime = states[j].responseTime;
+        out.queueing = states[j].queueing;
+        out.cost = states[j].cost;
+        report.totalCost += out.cost;
+        responses.push_back(out.responseTime);
+        report.jobs.push_back(out);
+    }
+    report.makespan = makespan;
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+        report.poolBusySeconds.push_back(pool_states[p].busySeconds);
+        double denom =
+            static_cast<double>(pools_[p].servers) * makespan;
+        report.poolUtilization.push_back(
+            denom > 0.0 ? pool_states[p].busySeconds / denom : 0.0);
+    }
+    if (!responses.empty()) {
+        report.meanResponse = stats::mean(responses);
+        report.p99Response = stats::percentile(responses, 99.0);
+    }
+    return report;
+}
+
+std::vector<double>
+poissonArrivals(std::size_t n, double rate, common::Pcg32 &rng)
+{
+    TT_ASSERT(rate > 0.0, "arrival rate must be positive");
+    std::vector<double> out;
+    out.reserve(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double u = std::max(rng.nextDouble(), 1e-12);
+        t += -std::log(u) / rate;
+        out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace toltiers::serving

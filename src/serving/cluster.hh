@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation of service-version node pools.
+ *
+ * The per-request analyses in the core layer are closed-form (no
+ * queueing); this simulator adds contention: requests arrive over
+ * time, each version is backed by a pool of identical nodes, and
+ * jobs queue FIFO when all nodes are busy. It supports the three
+ * execution shapes Tolerance Tier policies produce:
+ *
+ *  - a sequential chain of stages (escalation policies), where each
+ *    stage queues at its pool when the previous one completes;
+ *  - a concurrent race of two stages (concurrent / early-termination
+ *    policies), where the job responds at the first completion if the
+ *    fast result is acceptable — cancelling the other stage — or at
+ *    the authoritative stage's completion otherwise.
+ *
+ * Costs are billed as busy node-seconds times the pool's node price,
+ * including the partial busy time of cancelled stages — reproducing
+ * the paper's observation that early termination still pays for the
+ * big configuration it kills.
+ */
+
+#ifndef TOLTIERS_SERVING_CLUSTER_HH
+#define TOLTIERS_SERVING_CLUSTER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace toltiers::serving {
+
+/** One node pool backing a service version. */
+struct SimPool
+{
+    std::string name;
+    std::size_t servers = 1;
+    double pricePerSecond = 0.0;
+};
+
+/** One execution stage of a job: a service time at a pool. */
+struct StageSpec
+{
+    std::size_t pool = 0;
+    double serviceTime = 0.0;
+};
+
+/** One simulated request. */
+struct SimJob
+{
+    double arrival = 0.0;
+    bool concurrent = false;       //!< Race stages[0] and stages[1].
+    bool acceptFirst = true;       //!< Race: respond at first finish.
+    std::vector<StageSpec> stages; //!< Chain, or the two raced stages.
+};
+
+/** Per-job outcome. */
+struct JobOutcome
+{
+    double responseTime = 0.0; //!< Response minus arrival.
+    double queueing = 0.0;     //!< Total time spent waiting.
+    double cost = 0.0;         //!< Busy node-seconds times prices.
+};
+
+/** Aggregate simulation report. */
+struct SimReport
+{
+    std::vector<JobOutcome> jobs;
+    std::vector<double> poolBusySeconds; //!< Per pool.
+    std::vector<double> poolUtilization; //!< Busy / (servers * span).
+    double makespan = 0.0;
+    double meanResponse = 0.0;
+    double p99Response = 0.0;
+    double totalCost = 0.0;
+};
+
+/** FIFO multi-server queueing simulator. */
+class ClusterSim
+{
+  public:
+    explicit ClusterSim(std::vector<SimPool> pools);
+
+    /**
+     * Run the given jobs to completion. Jobs need not be sorted by
+     * arrival. Concurrent jobs must have exactly two stages; stage 1
+     * is the authoritative (accurate) version when acceptFirst is
+     * false.
+     */
+    SimReport run(const std::vector<SimJob> &jobs) const;
+
+    std::size_t poolCount() const { return pools_.size(); }
+
+  private:
+    std::vector<SimPool> pools_;
+};
+
+/** Poisson arrival times: n arrivals at the given mean rate (1/s). */
+std::vector<double> poissonArrivals(std::size_t n, double rate,
+                                    common::Pcg32 &rng);
+
+} // namespace toltiers::serving
+
+#endif // TOLTIERS_SERVING_CLUSTER_HH

@@ -1,0 +1,85 @@
+#include "serving/deployment.hh"
+
+#include "common/logging.hh"
+
+namespace toltiers::serving {
+
+using common::fatal;
+
+std::size_t
+Deployment::addPool(PoolSpec spec)
+{
+    TT_ASSERT(spec.nodes > 0, "pool needs at least one node");
+    pools_.push_back(std::move(spec));
+    return pools_.size() - 1;
+}
+
+const PoolSpec &
+Deployment::pool(std::size_t idx) const
+{
+    TT_ASSERT(idx < pools_.size(), "pool index out of range");
+    return pools_[idx];
+}
+
+std::size_t
+Deployment::poolFor(const std::string &version_name) const
+{
+    for (std::size_t i = 0; i < pools_.size(); ++i) {
+        if (pools_[i].versionName == version_name)
+            return i;
+    }
+    fatal("version '", version_name, "' is not deployed");
+}
+
+std::size_t
+Deployment::totalNodes() const
+{
+    std::size_t n = 0;
+    for (const PoolSpec &p : pools_)
+        n += p.nodes;
+    return n;
+}
+
+double
+Deployment::hourlyCost() const
+{
+    double c = 0.0;
+    for (const PoolSpec &p : pools_)
+        c += static_cast<double>(p.nodes) * p.instance.pricePerHour;
+    return c;
+}
+
+std::vector<SimPool>
+Deployment::simPools() const
+{
+    std::vector<SimPool> out;
+    out.reserve(pools_.size());
+    for (const PoolSpec &p : pools_) {
+        out.push_back({p.versionName, p.nodes,
+                       p.instance.pricePerSecond()});
+    }
+    return out;
+}
+
+Deployment
+osfaDeployment(const std::string &version_name, std::size_t nodes,
+               const InstanceType &instance)
+{
+    Deployment d;
+    d.addPool({version_name, nodes, instance});
+    return d;
+}
+
+Deployment
+tieredDeployment(const std::string &fast_name, std::size_t fast_nodes,
+                 const std::string &accurate_name,
+                 std::size_t accurate_nodes,
+                 const InstanceType &instance)
+{
+    Deployment d;
+    d.addPool({fast_name, fast_nodes, instance});
+    d.addPool({accurate_name, accurate_nodes, instance});
+    return d;
+}
+
+} // namespace toltiers::serving

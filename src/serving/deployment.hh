@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deployment descriptions: how many nodes of which instance type
+ * back each service version, and helpers that turn a deployment plus
+ * a measurement trace plus a routing policy into a queueing
+ * simulation — the bridge between the closed-form tier analysis and
+ * the discrete-event cluster model.
+ */
+
+#ifndef TOLTIERS_SERVING_DEPLOYMENT_HH
+#define TOLTIERS_SERVING_DEPLOYMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "serving/cluster.hh"
+#include "serving/instance.hh"
+
+namespace toltiers::serving {
+
+/** One version's node pool in a deployment. */
+struct PoolSpec
+{
+    std::string versionName;
+    std::size_t nodes = 1;
+    InstanceType instance;
+};
+
+/** A cluster deployment: one pool per deployed version. */
+class Deployment
+{
+  public:
+    Deployment() = default;
+
+    /** Add a pool; returns its pool index. */
+    std::size_t addPool(PoolSpec spec);
+
+    std::size_t poolCount() const { return pools_.size(); }
+
+    const PoolSpec &pool(std::size_t idx) const;
+
+    /** Pool index of a version name; fatal() if not deployed. */
+    std::size_t poolFor(const std::string &version_name) const;
+
+    /** Total nodes across pools. */
+    std::size_t totalNodes() const;
+
+    /** Dollars per hour to keep the whole deployment up. */
+    double hourlyCost() const;
+
+    /** Materialize the SimPool list for ClusterSim. */
+    std::vector<SimPool> simPools() const;
+
+  private:
+    std::vector<PoolSpec> pools_;
+};
+
+/**
+ * A homogeneous OSFA deployment: every node serves one version.
+ */
+Deployment osfaDeployment(const std::string &version_name,
+                          std::size_t nodes,
+                          const InstanceType &instance);
+
+/**
+ * A two-pool tiered deployment splitting a node budget between a
+ * fast and an accurate version (fast pool gets `fast_nodes`).
+ */
+Deployment tieredDeployment(const std::string &fast_name,
+                            std::size_t fast_nodes,
+                            const std::string &accurate_name,
+                            std::size_t accurate_nodes,
+                            const InstanceType &instance);
+
+} // namespace toltiers::serving
+
+#endif // TOLTIERS_SERVING_DEPLOYMENT_HH

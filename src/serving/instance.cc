@@ -1,0 +1,31 @@
+#include "serving/instance.hh"
+
+#include "common/logging.hh"
+
+namespace toltiers::serving {
+
+using common::fatal;
+
+InstanceCatalog::InstanceCatalog()
+{
+    // Speeds/prices modelled on public-cloud CPU vs GPU inference
+    // offerings: the GPU is ~8x faster on dense NN arithmetic but
+    // ~9x the price per hour, so it only pays off for large models.
+    types_ = {
+        {"cpu-small", 1.0, 0.10},
+        {"cpu-large", 1.6, 0.20},
+        {"gpu", 8.0, 0.90},
+    };
+}
+
+const InstanceType &
+InstanceCatalog::get(const std::string &name) const
+{
+    for (const InstanceType &t : types_) {
+        if (t.name == name)
+            return t;
+    }
+    fatal("unknown instance type: '", name, "'");
+}
+
+} // namespace toltiers::serving

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * IaaS instance catalog and cost model.
+ *
+ * Service versions are deployed on instance types that differ in
+ * speed and in price per node-second, standing in for the IBM
+ * Bluemix/IaaS pricing the paper bills invocations against. An
+ * invocation's cost is the node-seconds it keeps busy times the
+ * node's price, which is exactly the linear model the paper's cost
+ * analysis uses.
+ */
+
+#ifndef TOLTIERS_SERVING_INSTANCE_HH
+#define TOLTIERS_SERVING_INSTANCE_HH
+
+#include <string>
+#include <vector>
+
+namespace toltiers::serving {
+
+/** One IaaS machine type. */
+struct InstanceType
+{
+    std::string name;
+    double speedFactor = 1.0;     //!< Throughput relative to cpu-small.
+    double pricePerHour = 0.10;   //!< Dollars per node-hour.
+
+    /** Dollars per node-second. */
+    double pricePerSecond() const { return pricePerHour / 3600.0; }
+
+    /**
+     * Latency of a job on this instance given its latency on the
+     * reference (speedFactor 1.0) machine.
+     */
+    double
+    latency(double reference_latency) const
+    {
+        return reference_latency / speedFactor;
+    }
+
+    /** Cost of keeping one node busy for the scaled latency. */
+    double
+    invocationCost(double reference_latency) const
+    {
+        return latency(reference_latency) * pricePerSecond();
+    }
+};
+
+/** Catalog of the instance types used throughout the evaluation. */
+class InstanceCatalog
+{
+  public:
+    /** The default catalog: cpu-small, cpu-large, gpu. */
+    InstanceCatalog();
+
+    /** Look up by name; fatal() if unknown. */
+    const InstanceType &get(const std::string &name) const;
+
+    const std::vector<InstanceType> &all() const { return types_; }
+
+  private:
+    std::vector<InstanceType> types_;
+};
+
+} // namespace toltiers::serving
+
+#endif // TOLTIERS_SERVING_INSTANCE_HH

@@ -1,0 +1,86 @@
+#include "stats/bootstrap.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "stats/descriptive.hh"
+#include "stats/normal.hh"
+
+namespace toltiers::stats {
+
+using common::panic;
+
+BootstrapResult
+bootstrap(const std::vector<double> &data,
+          const std::function<double(const std::vector<double> &)>
+              &statistic,
+          std::size_t trials, double confidence, common::Pcg32 &rng)
+{
+    if (data.empty())
+        panic("bootstrap on an empty sample");
+    if (trials == 0)
+        panic("bootstrap requires at least one trial");
+
+    BootstrapResult res;
+    res.estimates.reserve(trials);
+    std::vector<double> resample(data.size());
+    for (std::size_t t = 0; t < trials; ++t) {
+        auto idx = rng.sampleWithReplacement(data.size(), data.size());
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            resample[i] = data[idx[i]];
+        res.estimates.push_back(statistic(resample));
+    }
+    res.mean = mean(res.estimates);
+    res.stdev = stdev(res.estimates);
+    double alpha = 1.0 - confidence;
+    res.ciLow = percentile(res.estimates, 100.0 * (alpha / 2.0));
+    res.ciHigh = percentile(res.estimates, 100.0 * (1.0 - alpha / 2.0));
+    res.worst = max(res.estimates);
+    return res;
+}
+
+bool
+spreadConfident(const std::vector<double> &vals, double confidence)
+{
+    if (vals.size() < 2)
+        return false;
+    auto zs = zscores(vals);
+    double zmin = min(zs);
+    double zmax = max(zs);
+    // Degenerate series (all trials equal) cannot spread; treat a
+    // zero-variance series as confident — the statistic is exact.
+    if (zmin == 0.0 && zmax == 0.0)
+        return true;
+    double z = zForConfidence(confidence);
+    return (zmin < -z && zmax > z) || (zmax - zmin > 2.0 * z);
+}
+
+std::vector<double>
+adaptiveBootstrap(std::size_t population_size,
+                  const std::function<double(
+                      const std::vector<std::size_t> &)> &statistic,
+                  double confidence, common::Pcg32 &rng,
+                  std::size_t subsample_divisor,
+                  std::size_t min_trials, std::size_t max_trials)
+{
+    if (population_size == 0)
+        panic("adaptiveBootstrap on an empty population");
+    if (subsample_divisor == 0)
+        panic("subsample_divisor must be positive");
+    std::size_t k =
+        std::max<std::size_t>(1, population_size / subsample_divisor);
+
+    std::vector<double> trials;
+    trials.reserve(min_trials);
+    while (trials.size() < max_trials) {
+        auto idx = rng.sampleWithoutReplacement(population_size, k);
+        trials.push_back(statistic(idx));
+        if (trials.size() >= min_trials &&
+            spreadConfident(trials, confidence)) {
+            break;
+        }
+    }
+    return trials;
+}
+
+} // namespace toltiers::stats

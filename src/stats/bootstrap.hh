@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bootstrap resampling (Efron) utilities.
+ *
+ * The routing-rule generator repeatedly simulates a configuration on
+ * random subsamples of the training data ("trials") until the trial
+ * statistics reach a target confidence; the helpers here provide both
+ * the classic fixed-trial bootstrap and that adaptive stopping rule.
+ */
+
+#ifndef TOLTIERS_STATS_BOOTSTRAP_HH
+#define TOLTIERS_STATS_BOOTSTRAP_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace toltiers::stats {
+
+/** Result of a fixed-trial bootstrap of a scalar statistic. */
+struct BootstrapResult
+{
+    std::vector<double> estimates; //!< One statistic value per trial.
+    double mean = 0.0;
+    double stdev = 0.0;
+    double ciLow = 0.0;  //!< Percentile CI lower bound.
+    double ciHigh = 0.0; //!< Percentile CI upper bound.
+    double worst = 0.0;  //!< Max over trials (conservative bound).
+};
+
+/**
+ * Classic bootstrap: resample `data` with replacement `trials` times,
+ * apply `statistic` to each resample, and summarize with a two-sided
+ * percentile confidence interval at the given level.
+ */
+BootstrapResult
+bootstrap(const std::vector<double> &data,
+          const std::function<double(const std::vector<double> &)>
+              &statistic,
+          std::size_t trials, double confidence, common::Pcg32 &rng);
+
+/**
+ * Adaptive confidence check from the paper's rule generator: a metric
+ * series is "confident" once its empirical z-scores span the two-sided
+ * z threshold for the requested confidence level, i.e. the trials have
+ * exhibited enough dispersion that the extreme order statistics are
+ * trustworthy worst-case estimates.
+ */
+bool spreadConfident(const std::vector<double> &vals, double confidence);
+
+/**
+ * Adaptive bootstrap loop: draw subsamples of size
+ * max(1, n / subsampleDivisor) without replacement, evaluate
+ * `statistic` on each, and stop when spreadConfident() holds (or
+ * maxTrials is reached, whichever is first). At least minTrials
+ * trials are always run.
+ *
+ * Returns the full trial series; callers typically take max() as the
+ * worst-case estimate, as the paper's generator does.
+ */
+std::vector<double>
+adaptiveBootstrap(std::size_t population_size,
+                  const std::function<double(
+                      const std::vector<std::size_t> &)> &statistic,
+                  double confidence, common::Pcg32 &rng,
+                  std::size_t subsample_divisor = 10,
+                  std::size_t min_trials = 8,
+                  std::size_t max_trials = 512);
+
+} // namespace toltiers::stats
+
+#endif // TOLTIERS_STATS_BOOTSTRAP_HH

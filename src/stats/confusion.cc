@@ -1,0 +1,123 @@
+#include "stats/confusion.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace toltiers::stats {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : classes_(classes), counts_(classes * classes, 0)
+{
+    TT_ASSERT(classes > 0, "confusion matrix needs classes");
+}
+
+void
+ConfusionMatrix::add(std::size_t truth, std::size_t predicted)
+{
+    TT_ASSERT(truth < classes_ && predicted < classes_,
+              "class label out of range");
+    ++counts_[truth * classes_ + predicted];
+    ++total_;
+}
+
+std::size_t
+ConfusionMatrix::count(std::size_t truth, std::size_t predicted) const
+{
+    TT_ASSERT(truth < classes_ && predicted < classes_,
+              "class label out of range");
+    return counts_[truth * classes_ + predicted];
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t c = 0; c < classes_; ++c)
+        correct += counts_[c * classes_ + c];
+    return static_cast<double>(correct) /
+           static_cast<double>(total_);
+}
+
+double
+ConfusionMatrix::recall(std::size_t truth) const
+{
+    std::size_t row = 0;
+    for (std::size_t p = 0; p < classes_; ++p)
+        row += count(truth, p);
+    if (row == 0)
+        return 0.0;
+    return static_cast<double>(count(truth, truth)) /
+           static_cast<double>(row);
+}
+
+double
+ConfusionMatrix::precision(std::size_t predicted) const
+{
+    std::size_t col = 0;
+    for (std::size_t t = 0; t < classes_; ++t)
+        col += count(t, predicted);
+    if (col == 0)
+        return 0.0;
+    return static_cast<double>(count(predicted, predicted)) /
+           static_cast<double>(col);
+}
+
+std::pair<std::size_t, std::size_t>
+ConfusionMatrix::mostConfused() const
+{
+    std::pair<std::size_t, std::size_t> best{0, 0};
+    std::size_t best_count = 0;
+    for (std::size_t t = 0; t < classes_; ++t) {
+        for (std::size_t p = 0; p < classes_; ++p) {
+            if (t != p && count(t, p) > best_count) {
+                best_count = count(t, p);
+                best = {t, p};
+            }
+        }
+    }
+    return best;
+}
+
+std::string
+ConfusionMatrix::render(const std::vector<std::string> &names) const
+{
+    TT_ASSERT(names.empty() || names.size() == classes_,
+              "one name per class");
+    auto name_of = [&](std::size_t c) {
+        return names.empty() ? "c" + std::to_string(c) : names[c];
+    };
+
+    std::size_t width = 5;
+    for (std::size_t c = 0; c < classes_; ++c)
+        width = std::max(width, name_of(c).size() + 1);
+
+    std::ostringstream oss;
+    oss << std::string(width, ' ');
+    for (std::size_t p = 0; p < classes_; ++p) {
+        std::string n = name_of(p);
+        oss << common::strprintf("%*s", static_cast<int>(width),
+                                 n.c_str());
+    }
+    oss << common::strprintf("%*s\n", static_cast<int>(width),
+                             "recall");
+    for (std::size_t t = 0; t < classes_; ++t) {
+        std::string n = name_of(t);
+        oss << common::strprintf("%-*s", static_cast<int>(width),
+                                 n.c_str());
+        for (std::size_t p = 0; p < classes_; ++p) {
+            oss << common::strprintf("%*zu",
+                                     static_cast<int>(width),
+                                     count(t, p));
+        }
+        oss << common::strprintf(
+            "%*s\n", static_cast<int>(width),
+            common::formatPercent(recall(t), 0).c_str());
+    }
+    return oss.str();
+}
+
+} // namespace toltiers::stats

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Confusion matrix for classification analysis: which classes a
+ * model version confuses, per-class recall/precision, and a
+ * plain-text rendering used by the IC benches.
+ */
+
+#ifndef TOLTIERS_STATS_CONFUSION_HH
+#define TOLTIERS_STATS_CONFUSION_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace toltiers::stats {
+
+/** Square confusion matrix over integer class labels. */
+class ConfusionMatrix
+{
+  public:
+    /** @param classes number of classes (>= 1). */
+    explicit ConfusionMatrix(std::size_t classes);
+
+    /** Record one (truth, prediction) pair. */
+    void add(std::size_t truth, std::size_t predicted);
+
+    /** Count of (truth, predicted). */
+    std::size_t count(std::size_t truth, std::size_t predicted) const;
+
+    std::size_t classes() const { return classes_; }
+
+    /** Total recorded samples. */
+    std::size_t total() const { return total_; }
+
+    /** Overall accuracy (0 for an empty matrix). */
+    double accuracy() const;
+
+    /** Recall of one class (0 when the class never occurred). */
+    double recall(std::size_t truth) const;
+
+    /** Precision of one class (0 when it was never predicted). */
+    double precision(std::size_t predicted) const;
+
+    /**
+     * The most-confused pair: the off-diagonal cell with the
+     * largest count, as (truth, predicted). Returns (0, 0) when no
+     * confusion was recorded.
+     */
+    std::pair<std::size_t, std::size_t> mostConfused() const;
+
+    /**
+     * Plain-text rendering with optional class names (must have one
+     * name per class when provided).
+     */
+    std::string
+    render(const std::vector<std::string> &names = {}) const;
+
+  private:
+    std::size_t classes_;
+    std::size_t total_ = 0;
+    std::vector<std::size_t> counts_; //!< Row-major [truth][pred].
+};
+
+} // namespace toltiers::stats
+
+#endif // TOLTIERS_STATS_CONFUSION_HH

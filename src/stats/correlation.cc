@@ -1,0 +1,79 @@
+#include "stats/correlation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace toltiers::stats {
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    TT_ASSERT(xs.size() == ys.size(),
+              "correlation needs equal-length samples");
+    if (xs.size() < 2)
+        return 0.0;
+    double mx = mean(xs), my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+fractionalRanks(const std::vector<double> &xs)
+{
+    std::vector<std::size_t> order(xs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return xs[a] < xs[b];
+              });
+
+    std::vector<double> ranks(xs.size(), 0.0);
+    std::size_t i = 0;
+    while (i < order.size()) {
+        std::size_t j = i;
+        while (j + 1 < order.size() &&
+               xs[order[j + 1]] == xs[order[i]]) {
+            ++j;
+        }
+        // Average rank over the tie run [i, j], 1-based.
+        double avg = (static_cast<double>(i) +
+                      static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+spearman(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    TT_ASSERT(xs.size() == ys.size(),
+              "correlation needs equal-length samples");
+    return pearson(fractionalRanks(xs), fractionalRanks(ys));
+}
+
+double
+pointBiserial(const std::vector<bool> &labels,
+              const std::vector<double> &scores)
+{
+    std::vector<double> numeric(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        numeric[i] = labels[i] ? 1.0 : 0.0;
+    return pearson(numeric, scores);
+}
+
+} // namespace toltiers::stats

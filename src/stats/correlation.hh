@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Correlation measures, used to quantify how informative a model's
+ * confidence signal is about its correctness — the property the
+ * escalation policies depend on.
+ */
+
+#ifndef TOLTIERS_STATS_CORRELATION_HH
+#define TOLTIERS_STATS_CORRELATION_HH
+
+#include <vector>
+
+namespace toltiers::stats {
+
+/**
+ * Pearson product-moment correlation of two equal-length samples.
+ * Returns 0 when either sample is degenerate (zero variance).
+ */
+double pearson(const std::vector<double> &xs,
+               const std::vector<double> &ys);
+
+/**
+ * Spearman rank correlation (Pearson over fractional ranks, with
+ * ties sharing their average rank). Robust to monotone rescaling —
+ * appropriate for confidence scores, which are only meaningful up
+ * to ordering.
+ */
+double spearman(const std::vector<double> &xs,
+                const std::vector<double> &ys);
+
+/**
+ * Point-biserial correlation between a binary label sequence and a
+ * continuous score (Pearson with the labels as 0/1). Used for
+ * confidence-vs-correctness.
+ */
+double pointBiserial(const std::vector<bool> &labels,
+                     const std::vector<double> &scores);
+
+/** Fractional ranks of a sample (ties averaged), 1-based. */
+std::vector<double> fractionalRanks(const std::vector<double> &xs);
+
+} // namespace toltiers::stats
+
+#endif // TOLTIERS_STATS_CORRELATION_HH

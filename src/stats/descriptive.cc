@@ -1,0 +1,144 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace toltiers::stats {
+
+using common::panic;
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size() - 1);
+}
+
+double
+stdev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+stdevPopulation(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+min(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        panic("min of an empty sample");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+max(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        panic("max of an empty sample");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+sum(const std::vector<double> &xs)
+{
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            panic("geomean requires positive samples");
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double
+percentile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        panic("percentile of an empty sample");
+    if (q < 0.0 || q > 100.0)
+        panic("percentile q out of range: ", q);
+    std::sort(xs.begin(), xs.end());
+    double pos = q / 100.0 * static_cast<double>(xs.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+median(std::vector<double> xs)
+{
+    return percentile(std::move(xs), 50.0);
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    Summary s;
+    if (xs.empty())
+        return s;
+    s.n = xs.size();
+    s.mean = mean(xs);
+    s.stdev = stdev(xs);
+    s.min = min(xs);
+    s.p25 = percentile(xs, 25.0);
+    s.median = percentile(xs, 50.0);
+    s.p75 = percentile(xs, 75.0);
+    s.p99 = percentile(xs, 99.0);
+    s.max = max(xs);
+    return s;
+}
+
+std::vector<double>
+zscores(const std::vector<double> &xs)
+{
+    std::vector<double> out(xs.size(), 0.0);
+    double sd = stdevPopulation(xs);
+    if (sd == 0.0)
+        return out;
+    double m = mean(xs);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        out[i] = (xs[i] - m) / sd;
+    return out;
+}
+
+} // namespace toltiers::stats

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Descriptive statistics over samples of doubles.
+ */
+
+#ifndef TOLTIERS_STATS_DESCRIPTIVE_HH
+#define TOLTIERS_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace toltiers::stats {
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Unbiased sample variance (n-1 denominator); 0 if n < 2. */
+double variance(const std::vector<double> &xs);
+
+/** Unbiased sample standard deviation. */
+double stdev(const std::vector<double> &xs);
+
+/** Population standard deviation (n denominator); 0 if empty. */
+double stdevPopulation(const std::vector<double> &xs);
+
+/** Smallest element; panics on an empty sample. */
+double min(const std::vector<double> &xs);
+
+/** Largest element; panics on an empty sample. */
+double max(const std::vector<double> &xs);
+
+/** Sum of elements. */
+double sum(const std::vector<double> &xs);
+
+/** Geometric mean; panics if any element is non-positive. */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile, q in [0, 100].
+ * Panics on an empty sample.
+ */
+double percentile(std::vector<double> xs, double q);
+
+/** Median (50th percentile). */
+double median(std::vector<double> xs);
+
+/**
+ * Compact five-number-plus summary of a sample.
+ */
+struct Summary
+{
+    std::size_t n = 0;
+    double mean = 0.0;
+    double stdev = 0.0;
+    double min = 0.0;
+    double p25 = 0.0;
+    double median = 0.0;
+    double p75 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Compute a Summary; all fields zero for an empty sample. */
+Summary summarize(const std::vector<double> &xs);
+
+/**
+ * Standard scores of a sample relative to its own mean/stdev
+ * (population stdev, matching scipy.stats.zscore). All-equal samples
+ * yield all-zero scores.
+ */
+std::vector<double> zscores(const std::vector<double> &xs);
+
+} // namespace toltiers::stats
+
+#endif // TOLTIERS_STATS_DESCRIPTIVE_HH

@@ -1,0 +1,92 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace toltiers::stats {
+
+using common::panic;
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (!(lo < hi))
+        panic("histogram requires lo < hi");
+    if (bins == 0)
+        panic("histogram requires at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    double t = (x - lo_) / (hi_ - lo_);
+    auto b = static_cast<long>(
+        std::floor(t * static_cast<double>(counts_.size())));
+    b = std::clamp<long>(b, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(b)];
+    ++total_;
+}
+
+void
+Histogram::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+Histogram::binLow(std::size_t b) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                     static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHigh(std::size_t b) const
+{
+    return binLow(b + 1);
+}
+
+double
+Histogram::fraction(std::size_t b) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_[b]) /
+           static_cast<double>(total_);
+}
+
+double
+Histogram::cumulativeFraction(std::size_t b) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::size_t acc = 0;
+    for (std::size_t i = 0; i <= b && i < counts_.size(); ++i)
+        acc += counts_[i];
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 0;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+
+    std::ostringstream oss;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        std::size_t bar =
+            peak == 0 ? 0 : counts_[b] * width / peak;
+        oss << common::strprintf("[%10.4g, %10.4g) %8zu |",
+                                 binLow(b), binHigh(b), counts_[b]);
+        oss << std::string(bar, '#') << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace toltiers::stats

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fixed-bin histogram used for per-request latency/error
+ * distributions in the figure reproductions.
+ */
+
+#ifndef TOLTIERS_STATS_HISTOGRAM_HH
+#define TOLTIERS_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace toltiers::stats {
+
+/**
+ * Equal-width histogram over [lo, hi). Samples outside the range are
+ * clamped into the first/last bin so nothing is silently dropped.
+ */
+class Histogram
+{
+  public:
+    /** @param bins number of bins (>= 1); [lo, hi) with lo < hi. */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Record many samples. */
+    void addAll(const std::vector<double> &xs);
+
+    /** Count in bin b. */
+    std::size_t count(std::size_t b) const { return counts_[b]; }
+
+    /** Total recorded samples. */
+    std::size_t total() const { return total_; }
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Inclusive lower edge of bin b. */
+    double binLow(std::size_t b) const;
+
+    /** Exclusive upper edge of bin b. */
+    double binHigh(std::size_t b) const;
+
+    /** Fraction of samples in bin b (0 if empty histogram). */
+    double fraction(std::size_t b) const;
+
+    /** Cumulative fraction of samples in bins [0, b]. */
+    double cumulativeFraction(std::size_t b) const;
+
+    /** ASCII rendering: one row per bin with a proportional bar. */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace toltiers::stats
+
+#endif // TOLTIERS_STATS_HISTOGRAM_HH

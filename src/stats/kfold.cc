@@ -1,0 +1,37 @@
+#include "stats/kfold.hh"
+
+#include "common/logging.hh"
+
+namespace toltiers::stats {
+
+using common::panic;
+
+std::vector<Fold>
+kfold(std::size_t n, std::size_t k, common::Pcg32 &rng)
+{
+    if (k < 2 || k > n)
+        panic("kfold requires 2 <= k <= n (k=", k, ", n=", n, ")");
+
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+    rng.shuffle(perm);
+
+    std::vector<Fold> folds(k);
+    // Assign test indices round-robin over the shuffled permutation so
+    // fold sizes differ by at most one.
+    for (std::size_t i = 0; i < n; ++i)
+        folds[i % k].test.push_back(perm[i]);
+    for (std::size_t f = 0; f < k; ++f) {
+        for (std::size_t g = 0; g < k; ++g) {
+            if (g == f)
+                continue;
+            folds[f].train.insert(folds[f].train.end(),
+                                  folds[g].test.begin(),
+                                  folds[g].test.end());
+        }
+    }
+    return folds;
+}
+
+} // namespace toltiers::stats

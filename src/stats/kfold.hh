@@ -1,0 +1,34 @@
+/**
+ * @file
+ * K-fold cross-validation index splits, used to validate the
+ * routing-rule generator's accuracy guarantees on held-out data as
+ * the paper does (10-fold CV).
+ */
+
+#ifndef TOLTIERS_STATS_KFOLD_HH
+#define TOLTIERS_STATS_KFOLD_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace toltiers::stats {
+
+/** One train/test split. */
+struct Fold
+{
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> test;
+};
+
+/**
+ * Produce k shuffled folds over [0, n). Every index appears in exactly
+ * one test set; fold sizes differ by at most one. Requires 2 <= k <= n.
+ */
+std::vector<Fold> kfold(std::size_t n, std::size_t k,
+                        common::Pcg32 &rng);
+
+} // namespace toltiers::stats
+
+#endif // TOLTIERS_STATS_KFOLD_HH

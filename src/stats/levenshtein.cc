@@ -1,0 +1,93 @@
+#include "stats/levenshtein.hh"
+
+#include <algorithm>
+
+#include "common/strings.hh"
+
+namespace toltiers::stats {
+
+EditOps
+editOps(const std::vector<std::string> &hyp,
+        const std::vector<std::string> &ref)
+{
+    const std::size_t n = hyp.size();
+    const std::size_t m = ref.size();
+
+    // Full DP matrix so we can backtrace the operation breakdown.
+    std::vector<std::vector<std::size_t>> d(
+        n + 1, std::vector<std::size_t>(m + 1, 0));
+    for (std::size_t i = 0; i <= n; ++i)
+        d[i][0] = i;
+    for (std::size_t j = 0; j <= m; ++j)
+        d[0][j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            std::size_t sub =
+                d[i - 1][j - 1] + (hyp[i - 1] == ref[j - 1] ? 0 : 1);
+            std::size_t ins = d[i - 1][j] + 1;
+            std::size_t del = d[i][j - 1] + 1;
+            d[i][j] = std::min({sub, ins, del});
+        }
+    }
+
+    EditOps ops;
+    std::size_t i = n, j = m;
+    while (i > 0 || j > 0) {
+        if (i > 0 && j > 0 &&
+            d[i][j] == d[i - 1][j - 1] +
+                           (hyp[i - 1] == ref[j - 1] ? 0 : 1)) {
+            if (hyp[i - 1] != ref[j - 1])
+                ++ops.substitutions;
+            --i;
+            --j;
+        } else if (i > 0 && d[i][j] == d[i - 1][j] + 1) {
+            ++ops.insertions;
+            --i;
+        } else {
+            ++ops.deletions;
+            --j;
+        }
+    }
+    return ops;
+}
+
+std::size_t
+editDistance(const std::vector<std::string> &hyp,
+             const std::vector<std::string> &ref)
+{
+    // Two-row DP; cheaper than editOps when the breakdown is unneeded.
+    const std::size_t n = hyp.size();
+    const std::size_t m = ref.size();
+    std::vector<std::size_t> prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            std::size_t sub =
+                prev[j - 1] + (hyp[i - 1] == ref[j - 1] ? 0 : 1);
+            cur[j] = std::min({sub, prev[j] + 1, cur[j - 1] + 1});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+double
+wordErrorRate(const std::vector<std::string> &hyp,
+              const std::vector<std::string> &ref)
+{
+    if (ref.empty())
+        return hyp.empty() ? 0.0 : static_cast<double>(hyp.size());
+    return static_cast<double>(editDistance(hyp, ref)) /
+           static_cast<double>(ref.size());
+}
+
+double
+wordErrorRate(const std::string &hyp, const std::string &ref)
+{
+    return wordErrorRate(common::splitWhitespace(hyp),
+                         common::splitWhitespace(ref));
+}
+
+} // namespace toltiers::stats

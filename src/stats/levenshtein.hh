@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Token-level edit distance and the word error rate (WER) metric used
+ * to score ASR hypotheses against reference transcripts.
+ */
+
+#ifndef TOLTIERS_STATS_LEVENSHTEIN_HH
+#define TOLTIERS_STATS_LEVENSHTEIN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace toltiers::stats {
+
+/** Breakdown of the minimum-cost alignment between two sequences. */
+struct EditOps
+{
+    std::size_t insertions = 0;    //!< Tokens in hyp but not ref.
+    std::size_t deletions = 0;     //!< Tokens in ref missing from hyp.
+    std::size_t substitutions = 0; //!< Mismatched aligned tokens.
+
+    /** Total number of word errors. */
+    std::size_t total() const
+    {
+        return insertions + deletions + substitutions;
+    }
+};
+
+/**
+ * Minimum edit distance (unit costs) between hypothesis and reference
+ * token sequences, with the operation breakdown of one optimal
+ * alignment.
+ */
+EditOps editOps(const std::vector<std::string> &hyp,
+                const std::vector<std::string> &ref);
+
+/** Plain minimum edit distance. */
+std::size_t editDistance(const std::vector<std::string> &hyp,
+                         const std::vector<std::string> &ref);
+
+/**
+ * Word error rate: word errors between hypothesis and reference,
+ * divided by the reference length. An empty reference with a
+ * non-empty hypothesis scores 1.0 per inserted word; empty/empty
+ * scores 0.
+ */
+double wordErrorRate(const std::vector<std::string> &hyp,
+                     const std::vector<std::string> &ref);
+
+/** WER over whitespace-tokenized strings. */
+double wordErrorRate(const std::string &hyp, const std::string &ref);
+
+} // namespace toltiers::stats
+
+#endif // TOLTIERS_STATS_LEVENSHTEIN_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Standard normal distribution functions, including the inverse CDF
+ * (percent-point function) that the routing-rule generator uses to
+ * translate confidence levels into z thresholds, mirroring
+ * scipy.stats.norm.ppf in the paper's Fig. 7 pseudo-code.
+ */
+
+#ifndef TOLTIERS_STATS_NORMAL_HH
+#define TOLTIERS_STATS_NORMAL_HH
+
+namespace toltiers::stats {
+
+/** Standard normal probability density at x. */
+double normalPdf(double x);
+
+/** Standard normal cumulative distribution at x. */
+double normalCdf(double x);
+
+/**
+ * Inverse standard normal CDF (percent-point function).
+ *
+ * Uses Acklam's rational approximation (relative error < 1.15e-9)
+ * refined with one Halley step. Panics for p outside (0, 1).
+ */
+double normalPpf(double p);
+
+/**
+ * Two-sided z threshold for the given confidence level, e.g.
+ * confidence = 0.999 yields ppf(0.9995) ~= 3.29.
+ */
+double zForConfidence(double confidence);
+
+} // namespace toltiers::stats
+
+#endif // TOLTIERS_STATS_NORMAL_HH

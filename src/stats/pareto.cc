@@ -1,0 +1,38 @@
+#include "stats/pareto.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace toltiers::stats {
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    bool no_worse = a.latency <= b.latency && a.error <= b.error;
+    bool better = a.latency < b.latency || a.error < b.error;
+    return no_worse && better;
+}
+
+std::vector<ParetoPoint>
+paretoFrontier(const std::vector<ParetoPoint> &points)
+{
+    std::vector<ParetoPoint> sorted = points;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const ParetoPoint &a, const ParetoPoint &b) {
+                         if (a.latency != b.latency)
+                             return a.latency < b.latency;
+                         return a.error < b.error;
+                     });
+
+    std::vector<ParetoPoint> frontier;
+    double best_error = std::numeric_limits<double>::infinity();
+    for (const auto &p : sorted) {
+        if (p.error < best_error) {
+            frontier.push_back(p);
+            best_error = p.error;
+        }
+    }
+    return frontier;
+}
+
+} // namespace toltiers::stats

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Pareto-frontier filtering over (latency, error) points.
+ *
+ * The paper studies service versions "that encompass the
+ * pareto-optimal accuracy-latency trade-off space"; this helper
+ * selects that frontier from a grid-searched candidate set.
+ */
+
+#ifndef TOLTIERS_STATS_PARETO_HH
+#define TOLTIERS_STATS_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace toltiers::stats {
+
+/** A candidate operating point: both coordinates are "lower better". */
+struct ParetoPoint
+{
+    double latency = 0.0;
+    double error = 0.0;
+    std::size_t tag = 0; //!< Caller-defined identifier (e.g. index).
+};
+
+/**
+ * True if a dominates b: no worse on both axes and strictly better on
+ * at least one.
+ */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+/**
+ * Return the non-dominated subset, sorted by ascending latency.
+ * Duplicate points are kept once (first occurrence wins).
+ */
+std::vector<ParetoPoint>
+paretoFrontier(const std::vector<ParetoPoint> &points);
+
+} // namespace toltiers::stats
+
+#endif // TOLTIERS_STATS_PARETO_HH

@@ -1,0 +1,174 @@
+#include "tensor/tensor.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace toltiers::tensor {
+
+using common::panic;
+
+namespace {
+
+std::size_t
+shapeSize(const std::vector<std::size_t> &shape)
+{
+    std::size_t n = 1;
+    for (std::size_t d : shape) {
+        TT_ASSERT(d > 0, "tensor dimensions must be positive");
+        n *= d;
+    }
+    return shape.empty() ? 0 : n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shapeSize(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape))
+{
+}
+
+std::size_t
+Tensor::dim(std::size_t i) const
+{
+    TT_ASSERT(i < shape_.size(), "dim index out of range");
+    return shape_[i];
+}
+
+float &
+Tensor::at2(std::size_t i, std::size_t j)
+{
+    TT_ASSERT(rank() == 2, "at2 on a rank-", rank(), " tensor");
+    return data_[i * shape_[1] + j];
+}
+
+float
+Tensor::at2(std::size_t i, std::size_t j) const
+{
+    TT_ASSERT(rank() == 2, "at2 on a rank-", rank(), " tensor");
+    return data_[i * shape_[1] + j];
+}
+
+float &
+Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
+{
+    TT_ASSERT(rank() == 4, "at4 on a rank-", rank(), " tensor");
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float
+Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+            std::size_t w) const
+{
+    TT_ASSERT(rank() == 4, "at4 on a rank-", rank(), " tensor");
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+void
+Tensor::fill(float v)
+{
+    for (float &x : data_)
+        x = v;
+}
+
+void
+Tensor::reshape(std::vector<std::size_t> shape)
+{
+    if (shapeSize(shape) != data_.size()) {
+        panic("reshape changes element count: ", data_.size(), " -> ",
+              shapeSize(shape));
+    }
+    shape_ = std::move(shape);
+}
+
+void
+Tensor::randomNormal(common::Pcg32 &rng, float stdev)
+{
+    for (float &x : data_)
+        x = static_cast<float>(rng.gaussian(0.0, stdev));
+}
+
+void
+Tensor::randomKaiming(common::Pcg32 &rng, std::size_t fan_in)
+{
+    TT_ASSERT(fan_in > 0, "fan_in must be positive");
+    float stdev =
+        std::sqrt(2.0f / static_cast<float>(fan_in));
+    randomNormal(rng, stdev);
+}
+
+void
+Tensor::randomUniform(common::Pcg32 &rng, float lo, float hi)
+{
+    for (float &x : data_)
+        x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+Tensor &
+Tensor::operator+=(const Tensor &other)
+{
+    TT_ASSERT(sameShape(other), "shape mismatch in +=");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator-=(const Tensor &other)
+{
+    TT_ASSERT(sameShape(other), "shape mismatch in -=");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator*=(float s)
+{
+    for (float &x : data_)
+        x *= s;
+    return *this;
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float x : data_)
+        s += x;
+    return s;
+}
+
+std::size_t
+Tensor::argmax() const
+{
+    TT_ASSERT(!data_.empty(), "argmax of an empty tensor");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < data_.size(); ++i) {
+        if (data_[i] > data_[best])
+            best = i;
+    }
+    return best;
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream oss;
+    oss << "f32[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        if (i > 0)
+            oss << ", ";
+        oss << shape_[i];
+    }
+    oss << ']';
+    return oss.str();
+}
+
+} // namespace toltiers::tensor

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Dense row-major float tensor.
+ *
+ * The image-classification substrate trains and runs its CNNs on this
+ * type. It is deliberately simple: contiguous storage, explicit shape,
+ * no views or broadcasting — the operations in tensor/ops.hh do all
+ * the heavy lifting.
+ */
+
+#ifndef TOLTIERS_TENSOR_TENSOR_HH
+#define TOLTIERS_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace toltiers::tensor {
+
+/** Dense row-major float tensor with an explicit shape. */
+class Tensor
+{
+  public:
+    /** Empty (rank-0, size-0) tensor. */
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<std::size_t> shape);
+
+    /** Convenience: Tensor({2, 3}). */
+    Tensor(std::initializer_list<std::size_t> shape);
+
+    /** Shape accessors. */
+    const std::vector<std::size_t> &shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+    std::size_t dim(std::size_t i) const;
+    std::size_t size() const { return data_.size(); }
+
+    /** Raw storage. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Flat element access. */
+    float &operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /** 2-D element access; tensor must be rank 2. */
+    float &at2(std::size_t i, std::size_t j);
+    float at2(std::size_t i, std::size_t j) const;
+
+    /** 4-D element access; tensor must be rank 4 (NCHW). */
+    float &at4(std::size_t n, std::size_t c, std::size_t h,
+               std::size_t w);
+    float at4(std::size_t n, std::size_t c, std::size_t h,
+              std::size_t w) const;
+
+    /** Set every element to v. */
+    void fill(float v);
+
+    /** Set every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /**
+     * Reinterpret the shape; the element count must be preserved.
+     */
+    void reshape(std::vector<std::size_t> shape);
+
+    /** Gaussian init with the given stdev. */
+    void randomNormal(common::Pcg32 &rng, float stdev);
+
+    /**
+     * Kaiming/He initialization for a layer with the given fan-in
+     * (stdev = sqrt(2 / fan_in)), appropriate before ReLU.
+     */
+    void randomKaiming(common::Pcg32 &rng, std::size_t fan_in);
+
+    /** Uniform init in [lo, hi). */
+    void randomUniform(common::Pcg32 &rng, float lo, float hi);
+
+    /** Element-wise in-place operations. */
+    Tensor &operator+=(const Tensor &other);
+    Tensor &operator-=(const Tensor &other);
+    Tensor &operator*=(float s);
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Index of the largest element (first on ties). */
+    std::size_t argmax() const;
+
+    /** Human-readable "f32[2, 3]" shape string. */
+    std::string shapeString() const;
+
+    /** True if shapes match exactly. */
+    bool sameShape(const Tensor &other) const
+    {
+        return shape_ == other.shape_;
+    }
+
+  private:
+    std::vector<std::size_t> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace toltiers::tensor
+
+#endif // TOLTIERS_TENSOR_TENSOR_HH

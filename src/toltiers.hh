@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Umbrella header: the complete public API of the toltiers library.
+ *
+ * Downstream users can include this single header; the individual
+ * module headers remain available for finer-grained dependencies.
+ */
+
+#ifndef TOLTIERS_TOLTIERS_HH
+#define TOLTIERS_TOLTIERS_HH
+
+// Common utilities.
+#include "common/cli.hh"
+#include "common/csv.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stopwatch.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+
+// Statistics.
+#include "stats/bootstrap.hh"
+#include "stats/confusion.hh"
+#include "stats/correlation.hh"
+#include "stats/descriptive.hh"
+#include "stats/histogram.hh"
+#include "stats/kfold.hh"
+#include "stats/levenshtein.hh"
+#include "stats/normal.hh"
+#include "stats/pareto.hh"
+
+// Neural-network substrate.
+#include "nn/layer.hh"
+#include "nn/network.hh"
+#include "nn/serialize.hh"
+#include "nn/sgd.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+// Speech recognition substrate.
+#include "asr/decoder.hh"
+#include "asr/engine.hh"
+#include "asr/frontend.hh"
+#include "asr/service.hh"
+#include "asr/versions.hh"
+#include "asr/world.hh"
+
+// Image classification substrate.
+#include "ic/classifier.hh"
+#include "ic/service.hh"
+#include "ic/trainer.hh"
+#include "ic/zoo.hh"
+
+// Datasets.
+#include "dataset/speech_corpus.hh"
+#include "dataset/synth_images.hh"
+
+// Serving layer.
+#include "serving/api.hh"
+#include "serving/cluster.hh"
+#include "serving/deployment.hh"
+#include "serving/instance.hh"
+#include "serving/request.hh"
+#include "serving/service_version.hh"
+
+// Tolerance Tiers core.
+#include "core/categories.hh"
+#include "core/chain.hh"
+#include "core/learned_router.hh"
+#include "core/measurement.hh"
+#include "core/policy.hh"
+#include "core/provisioner.hh"
+#include "core/rule_generator.hh"
+#include "core/simulator.hh"
+#include "core/tier_service.hh"
+#include "core/validation.hh"
+
+#endif // TOLTIERS_TOLTIERS_HH

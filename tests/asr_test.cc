@@ -1,0 +1,630 @@
+/**
+ * @file
+ * Unit and property tests for the ASR substrate: phoneme inventory,
+ * lexicon, language model, acoustic model, decoder, and engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "asr/decoder.hh"
+#include "asr/engine.hh"
+#include "asr/versions.hh"
+#include "asr/world.hh"
+#include "common/random.hh"
+#include "dataset/speech_corpus.hh"
+
+namespace ta = toltiers::asr;
+namespace tc = toltiers::common;
+namespace td = toltiers::dataset;
+
+namespace {
+
+/** Small shared world: cheap to build, used by most tests. */
+const ta::AsrWorld &
+smallWorld()
+{
+    static ta::WorldConfig cfg = [] {
+        ta::WorldConfig c;
+        c.seed = 5;
+        c.phonemeCount = 16;
+        c.vocabSize = 40;
+        return c;
+    }();
+    static ta::AsrWorld world(cfg);
+    return world;
+}
+
+/** Render a noiseless utterance for the given word ids. */
+ta::Utterance
+renderClean(const ta::AsrWorld &world, const std::vector<int> &words,
+            std::size_t frames_per_phoneme = 3)
+{
+    tc::Pcg32 rng(99);
+    std::vector<float> no_offset(ta::kFeatureDim, 0.0f);
+    ta::Utterance utt;
+    utt.refWords = words;
+    utt.refText = world.lexicon().text(words);
+    utt.framesPerPhoneme = frames_per_phoneme;
+    for (int w : words) {
+        for (std::size_t ph : world.lexicon().word(w).phonemes) {
+            for (std::size_t f = 0; f < frames_per_phoneme; ++f) {
+                utt.frames.push_back(
+                    world.am().synthesize(ph, no_offset, 0.0, rng));
+            }
+        }
+    }
+    return utt;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- phoneme
+
+TEST(Phoneme, InventoryHasRequestedSize)
+{
+    tc::Pcg32 rng(1);
+    ta::PhonemeSet set(12, rng);
+    EXPECT_EQ(set.size(), 12u);
+}
+
+TEST(Phoneme, SymbolsAreUnique)
+{
+    tc::Pcg32 rng(1);
+    ta::PhonemeSet set(24, rng);
+    std::set<std::string> symbols;
+    for (std::size_t i = 0; i < set.size(); ++i)
+        symbols.insert(set.symbol(i));
+    EXPECT_EQ(symbols.size(), 24u);
+}
+
+TEST(Phoneme, PrototypesRespectSeparation)
+{
+    tc::Pcg32 rng(1);
+    const double sep = 2.0;
+    ta::PhonemeSet set(20, rng, sep);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        for (std::size_t j = i + 1; j < set.size(); ++j) {
+            double d2 = 0.0;
+            for (std::size_t k = 0; k < ta::kFeatureDim; ++k) {
+                double d = set.prototype(i)[k] - set.prototype(j)[k];
+                d2 += d * d;
+            }
+            EXPECT_GE(std::sqrt(d2), sep);
+        }
+    }
+}
+
+TEST(Phoneme, OutOfRangeAccessPanics)
+{
+    tc::Pcg32 rng(1);
+    ta::PhonemeSet set(4, rng);
+    EXPECT_DEATH(set.symbol(4), "out of range");
+}
+
+// ---------------------------------------------------------------- lexicon
+
+TEST(Lexicon, VocabularySizeAndUniqueness)
+{
+    const ta::Lexicon &lex = smallWorld().lexicon();
+    EXPECT_EQ(lex.vocabSize(), 40u);
+    std::set<std::string> texts;
+    for (std::size_t i = 0; i < lex.vocabSize(); ++i)
+        texts.insert(lex.word(static_cast<int>(i)).text);
+    EXPECT_EQ(texts.size(), 40u);
+}
+
+TEST(Lexicon, WordsHaveTwoToMaxPhonemes)
+{
+    const ta::Lexicon &lex = smallWorld().lexicon();
+    for (std::size_t i = 0; i < lex.vocabSize(); ++i) {
+        const auto &w = lex.word(static_cast<int>(i));
+        EXPECT_GE(w.phonemes.size(), 2u);
+        EXPECT_LE(w.phonemes.size(), 4u);
+    }
+}
+
+TEST(Lexicon, PrefixTreeSpellsEveryWord)
+{
+    const ta::Lexicon &lex = smallWorld().lexicon();
+    for (std::size_t i = 0; i < lex.vocabSize(); ++i) {
+        const auto &w = lex.word(static_cast<int>(i));
+        // Walk the tree along the word's phonemes.
+        const std::vector<std::uint32_t> *children =
+            &lex.rootChildren();
+        std::uint32_t cur = 0;
+        for (std::size_t p = 0; p < w.phonemes.size(); ++p) {
+            bool found = false;
+            for (std::uint32_t c : *children) {
+                if (lex.node(c).phoneme == w.phonemes[p]) {
+                    cur = c;
+                    found = true;
+                    break;
+                }
+            }
+            ASSERT_TRUE(found) << "word " << w.text << " phoneme " << p;
+            children = &lex.node(cur).children;
+        }
+        EXPECT_EQ(lex.node(cur).wordId, w.id);
+    }
+}
+
+TEST(Lexicon, EveryTerminalIsAWord)
+{
+    const ta::Lexicon &lex = smallWorld().lexicon();
+    std::size_t terminals = 0;
+    for (std::size_t n = 0; n < lex.nodeCount(); ++n) {
+        if (lex.node(static_cast<std::uint32_t>(n)).wordId !=
+            ta::kNoWord)
+            ++terminals;
+    }
+    EXPECT_EQ(terminals, lex.vocabSize());
+}
+
+TEST(Lexicon, FindWordRoundTrip)
+{
+    const ta::Lexicon &lex = smallWorld().lexicon();
+    const auto &w = lex.word(7);
+    EXPECT_EQ(lex.findWord(w.text), 7);
+    EXPECT_EQ(lex.findWord("zzz-not-a-word"), ta::kNoWord);
+}
+
+TEST(Lexicon, TextJoinsWords)
+{
+    const ta::Lexicon &lex = smallWorld().lexicon();
+    std::string t = lex.text({0, 1});
+    EXPECT_EQ(t, lex.word(0).text + " " + lex.word(1).text);
+    EXPECT_EQ(lex.text({}), "");
+}
+
+// --------------------------------------------------------- language model
+
+TEST(BigramLm, DistributionsAreNormalized)
+{
+    const ta::BigramLm &lm = smallWorld().lm();
+    for (int prev = ta::kSentenceStart;
+         prev < static_cast<int>(lm.vocabSize()); ++prev) {
+        double total = 0.0;
+        for (std::size_t next = 0; next < lm.vocabSize(); ++next)
+            total += lm.prob(prev, static_cast<int>(next));
+        EXPECT_NEAR(total, 1.0, 1e-9) << "context " << prev;
+    }
+}
+
+TEST(BigramLm, LogProbMatchesProb)
+{
+    const ta::BigramLm &lm = smallWorld().lm();
+    EXPECT_NEAR(lm.logProb(0, 1), std::log(lm.prob(0, 1)), 1e-12);
+}
+
+TEST(BigramLm, SampleNextRespectsSupport)
+{
+    const ta::BigramLm &lm = smallWorld().lm();
+    tc::Pcg32 rng(2);
+    for (int i = 0; i < 200; ++i) {
+        int w = lm.sampleNext(ta::kSentenceStart, rng);
+        EXPECT_GE(w, 0);
+        EXPECT_LT(w, static_cast<int>(lm.vocabSize()));
+    }
+}
+
+TEST(BigramLm, SentenceLengthHonored)
+{
+    const ta::BigramLm &lm = smallWorld().lm();
+    tc::Pcg32 rng(2);
+    auto s = lm.sampleSentence(5, rng);
+    EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(BigramLm, SequenceLogProbSumsBigrams)
+{
+    const ta::BigramLm &lm = smallWorld().lm();
+    std::vector<int> words = {3, 1, 4};
+    double expected = lm.logProb(ta::kSentenceStart, 3) +
+                      lm.logProb(3, 1) + lm.logProb(1, 4);
+    EXPECT_NEAR(lm.sequenceLogProb(words), expected, 1e-12);
+}
+
+TEST(BigramLm, ZipfSkewExists)
+{
+    // Some words should be much likelier than others.
+    const ta::BigramLm &lm = smallWorld().lm();
+    double mn = 1.0, mx = 0.0;
+    for (std::size_t w = 0; w < lm.vocabSize(); ++w) {
+        double p = lm.prob(ta::kSentenceStart, static_cast<int>(w));
+        mn = std::min(mn, p);
+        mx = std::max(mx, p);
+    }
+    EXPECT_GT(mx / mn, 5.0);
+}
+
+// ----------------------------------------------------------- acoustic model
+
+TEST(AcousticModel, PrototypeScoresHighest)
+{
+    const ta::AsrWorld &world = smallWorld();
+    const ta::AcousticModel &am = world.am();
+    for (std::size_t ph = 0; ph < world.phonemes().size(); ++ph) {
+        ta::Frame f(world.phonemes().prototype(ph).begin(),
+                    world.phonemes().prototype(ph).end());
+        double own = am.logLikelihood(f, ph);
+        EXPECT_NEAR(own, 0.0, 1e-9);
+        for (std::size_t other = 0; other < world.phonemes().size();
+             ++other) {
+            if (other != ph) {
+                EXPECT_LT(am.logLikelihood(f, other), own);
+            }
+        }
+    }
+}
+
+TEST(AcousticModel, NoiselessSynthesisIsPrototype)
+{
+    const ta::AsrWorld &world = smallWorld();
+    tc::Pcg32 rng(3);
+    std::vector<float> zero(ta::kFeatureDim, 0.0f);
+    ta::Frame f = world.am().synthesize(2, zero, 0.0, rng);
+    for (std::size_t i = 0; i < f.size(); ++i)
+        EXPECT_FLOAT_EQ(f[i], world.phonemes().prototype(2)[i]);
+}
+
+TEST(AcousticModel, SpeakerOffsetShiftsFrame)
+{
+    const ta::AsrWorld &world = smallWorld();
+    tc::Pcg32 rng(3);
+    std::vector<float> offset(ta::kFeatureDim, 0.5f);
+    ta::Frame f = world.am().synthesize(2, offset, 0.0, rng);
+    EXPECT_FLOAT_EQ(f[0],
+                    world.phonemes().prototype(2)[0] + 0.5f);
+}
+
+// ---------------------------------------------------------------- decoder
+
+TEST(Decoder, DecodesCleanSingleWordExactly)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    for (int w : {0, 5, 11, 23}) {
+        ta::Utterance utt = renderClean(world, {w});
+        ta::BeamConfig cfg;
+        cfg.maxActive = 16;
+        cfg.beamWidth = 12.0;
+        auto res = dec.decode(utt, cfg);
+        ASSERT_EQ(res.words.size(), 1u) << "word " << w;
+        EXPECT_EQ(res.words[0], w);
+        EXPECT_TRUE(res.aligned);
+    }
+}
+
+TEST(Decoder, DecodesCleanSentenceExactly)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    std::vector<int> sentence = {3, 17, 8, 30};
+    ta::Utterance utt = renderClean(world, sentence);
+    ta::BeamConfig cfg;
+    cfg.maxActive = 32;
+    cfg.beamWidth = 14.0;
+    cfg.wordEndBeam = 12.0;
+    auto res = dec.decode(utt, cfg);
+    EXPECT_EQ(res.words, sentence);
+    EXPECT_EQ(res.text, utt.refText);
+}
+
+TEST(Decoder, EmptyUtteranceIsGraceful)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    ta::Utterance utt;
+    auto res = dec.decode(utt, ta::BeamConfig{});
+    EXPECT_FALSE(res.aligned);
+    EXPECT_TRUE(res.words.empty());
+}
+
+TEST(Decoder, WorkIsDeterministic)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    ta::Utterance utt = renderClean(world, {1, 2, 3});
+    ta::BeamConfig cfg;
+    auto a = dec.decode(utt, cfg);
+    auto b = dec.decode(utt, cfg);
+    EXPECT_EQ(a.workUnits, b.workUnits);
+    EXPECT_EQ(a.words, b.words);
+    EXPECT_DOUBLE_EQ(a.score, b.score);
+}
+
+TEST(Decoder, WiderTopNCostsMoreWork)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    tc::Pcg32 rng(4);
+    std::vector<float> zero(ta::kFeatureDim, 0.0f);
+
+    // A noisy utterance so the beam actually fills up.
+    ta::Utterance utt;
+    utt.refWords = {1, 2};
+    for (int w : utt.refWords) {
+        for (std::size_t ph : world.lexicon().word(w).phonemes)
+            for (int f = 0; f < 3; ++f)
+                utt.frames.push_back(
+                    world.am().synthesize(ph, zero, 0.8, rng));
+    }
+
+    ta::BeamConfig narrow, wide;
+    narrow.maxActive = 1;
+    narrow.beamWidth = 3.0;
+    wide.maxActive = 32;
+    wide.beamWidth = 12.0;
+    auto rn = dec.decode(utt, narrow);
+    auto rw = dec.decode(utt, wide);
+    EXPECT_LT(rn.workUnits, rw.workUnits);
+}
+
+TEST(Decoder, ScopeOrderingLocalWidestNetworkNarrowest)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    tc::Pcg32 rng(5);
+    std::vector<float> zero(ta::kFeatureDim, 0.0f);
+    ta::Utterance utt;
+    utt.refWords = {4, 9, 2};
+    for (int w : utt.refWords) {
+        for (std::size_t ph : world.lexicon().word(w).phonemes)
+            for (int f = 0; f < 3; ++f)
+                utt.frames.push_back(
+                    world.am().synthesize(ph, zero, 0.9, rng));
+    }
+
+    auto work_for = [&](ta::PruneScope scope) {
+        ta::BeamConfig cfg;
+        cfg.scope = scope;
+        cfg.maxActive = 4;
+        cfg.beamWidth = 10.0;
+        return dec.decode(utt, cfg).workUnits;
+    };
+    auto local = work_for(ta::PruneScope::Local);
+    auto global = work_for(ta::PruneScope::Global);
+    auto network = work_for(ta::PruneScope::Network);
+    EXPECT_GE(local, global);
+    EXPECT_GE(global, network);
+}
+
+TEST(Decoder, ScopeNames)
+{
+    EXPECT_STREQ(ta::pruneScopeName(ta::PruneScope::Local), "local");
+    EXPECT_STREQ(ta::pruneScopeName(ta::PruneScope::Global), "global");
+    EXPECT_STREQ(ta::pruneScopeName(ta::PruneScope::Network),
+                 "network");
+}
+
+TEST(Decoder, MarginPositiveWhenUnambiguous)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    ta::Utterance utt = renderClean(world, {6, 13});
+    ta::BeamConfig cfg;
+    cfg.maxActive = 32;
+    cfg.beamWidth = 14.0;
+    auto res = dec.decode(utt, cfg);
+    EXPECT_GT(res.margin, 0.0);
+    EXPECT_GT(res.scorePerFrame, -1.0);
+}
+
+/** Property: decoding a clean rendering recovers the transcript for
+ * any sampled sentence with a generous beam. */
+class DecoderProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(DecoderProperty, CleanRoundTrip)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    tc::Pcg32 rng(GetParam() + 42);
+    auto words = world.lm().sampleSentence(
+        2 + rng.nextBounded(4), rng);
+    ta::Utterance utt = renderClean(world, words);
+    ta::BeamConfig cfg;
+    cfg.maxActive = 32;
+    cfg.beamWidth = 16.0;
+    cfg.wordEndBeam = 12.0;
+    auto res = dec.decode(utt, cfg);
+    // Two transcripts are acoustically indistinguishable under this
+    // HMM topology when their phoneme strings match after collapsing
+    // adjacent repeats: word-text concatenation hides segmentation
+    // (homophone sentences) and self-loop states absorb repeated
+    // phonemes. A clean decode must recover exactly that equivalence
+    // class; the residual counts toward the corpus error floor.
+    auto spell = [&](const std::vector<int> &ws) {
+        std::vector<std::size_t> phones;
+        for (int w : ws) {
+            for (std::size_t ph : world.lexicon().word(w).phonemes) {
+                if (phones.empty() || phones.back() != ph)
+                    phones.push_back(ph);
+            }
+        }
+        return phones;
+    };
+    EXPECT_EQ(spell(res.words), spell(words));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderProperty, testing::Range(0, 25));
+
+/** Optimality: a wide-beam decode never scores below the forced
+ * alignment of the reference transcript. */
+class ForcedAlignmentProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ForcedAlignmentProperty, DecodeScoreBoundsForcedAlignment)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    tc::Pcg32 rng(GetParam() + 7000);
+    auto words = world.lm().sampleSentence(
+        2 + rng.nextBounded(4), rng);
+
+    // Noisy rendering: decode may *beat* the reference path's score
+    // (a different transcript can match the noisy audio better),
+    // but must never fall below it with a wide beam.
+    std::vector<float> zero(ta::kFeatureDim, 0.0f);
+    ta::Utterance utt;
+    utt.refWords = words;
+    utt.refText = world.lexicon().text(words);
+    for (int w : words) {
+        for (std::size_t ph : world.lexicon().word(w).phonemes)
+            for (int f = 0; f < 3; ++f)
+                utt.frames.push_back(
+                    world.am().synthesize(ph, zero, 0.6, rng));
+    }
+
+    ta::BeamConfig cfg;
+    cfg.maxActive = 64;
+    cfg.beamWidth = 25.0;
+    cfg.wordEndBeam = 20.0;
+    auto res = dec.decode(utt, cfg);
+    double forced = dec.forcedAlignmentScore(utt, words, cfg);
+    ASSERT_TRUE(std::isfinite(forced));
+    EXPECT_GE(res.score, forced - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForcedAlignmentProperty,
+                         testing::Range(0, 20));
+
+TEST(ForcedAlignment, MatchesDecodeScoreOnCleanAudio)
+{
+    // On clean audio the decoded transcript is (an acoustic
+    // equivalent of) the reference, so its score must equal the
+    // forced alignment of the decoded words exactly.
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    ta::Utterance utt = renderClean(world, {4, 12, 20});
+    ta::BeamConfig cfg;
+    cfg.maxActive = 32;
+    cfg.beamWidth = 16.0;
+    auto res = dec.decode(utt, cfg);
+    double forced =
+        dec.forcedAlignmentScore(utt, res.words, cfg);
+    EXPECT_NEAR(res.score, forced, 1e-6);
+}
+
+TEST(ForcedAlignment, UnalignableReturnsNegativeInfinity)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::Decoder dec(world);
+    // One frame cannot carry a multi-phoneme word sequence.
+    ta::Utterance utt = renderClean(world, {1});
+    utt.frames.resize(1);
+    double s = dec.forcedAlignmentScore(utt, {1, 2, 3},
+                                        ta::BeamConfig{});
+    EXPECT_TRUE(std::isinf(s));
+    EXPECT_LT(s, 0.0);
+    EXPECT_TRUE(std::isinf(dec.forcedAlignmentScore(
+        ta::Utterance{}, {1}, ta::BeamConfig{})));
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(Engine, TranscribeReportsLatencyFromWork)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::BeamConfig cfg;
+    cfg.name = "test";
+    const double spu = 1e-6;
+    ta::AsrEngine engine(world, cfg, spu);
+    ta::Utterance utt = renderClean(world, {2, 7});
+    auto res = engine.transcribe(utt);
+    EXPECT_DOUBLE_EQ(
+        res.latencySeconds,
+        static_cast<double>(res.decode.workUnits) * spu);
+    EXPECT_GT(res.wallSeconds, 0.0);
+    EXPECT_GT(res.confidence, 0.0);
+    EXPECT_LT(res.confidence, 1.0);
+}
+
+TEST(Engine, WerZeroForPerfectTranscription)
+{
+    const ta::AsrWorld &world = smallWorld();
+    ta::BeamConfig cfg;
+    cfg.maxActive = 32;
+    cfg.beamWidth = 14.0;
+    ta::AsrEngine engine(world, cfg);
+    ta::Utterance utt = renderClean(world, {2, 7, 19});
+    auto res = engine.transcribe(utt);
+    EXPECT_DOUBLE_EQ(engine.wer(res, utt), 0.0);
+}
+
+TEST(Engine, ConfidenceCalibrationMonotoneInMargin)
+{
+    ta::ConfidenceCalibration cal;
+    ta::DecodeResult lo, hi;
+    lo.margin = 0.0;
+    lo.scorePerFrame = -2.0;
+    hi = lo;
+    hi.margin = 1.0;
+    EXPECT_GT(cal.confidence(hi), cal.confidence(lo));
+}
+
+TEST(Engine, UnalignedResultsPenalized)
+{
+    ta::ConfidenceCalibration cal;
+    ta::DecodeResult r;
+    r.margin = 0.5;
+    r.scorePerFrame = -1.0;
+    r.aligned = true;
+    double with = cal.confidence(r);
+    r.aligned = false;
+    EXPECT_LT(cal.confidence(r), with);
+}
+
+// --------------------------------------------------------------- versions
+
+TEST(Versions, SevenParetoVersions)
+{
+    auto versions = ta::paretoVersions();
+    ASSERT_EQ(versions.size(), 7u);
+    std::set<std::string> names;
+    for (const auto &v : versions)
+        names.insert(v.name);
+    EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Versions, GridCoversAllScopes)
+{
+    auto grid = ta::heuristicGrid();
+    EXPECT_GT(grid.size(), 50u);
+    std::set<ta::PruneScope> scopes;
+    for (const auto &c : grid)
+        scopes.insert(c.scope);
+    EXPECT_EQ(scopes.size(), 3u);
+}
+
+TEST(Versions, LadderIsOrderedByWorkOnRealCorpus)
+{
+    // The canonical versions must cost monotonically more work and
+    // err monotonically less on a representative corpus.
+    ta::AsrWorld world;
+    td::SpeechCorpusConfig cc;
+    cc.utterances = 150;
+    cc.seed = 77;
+    auto corpus = td::buildSpeechCorpus(world, cc);
+
+    double prev_work = -1.0;
+    double prev_wer = 2.0;
+    for (const auto &cfg : ta::paretoVersions()) {
+        ta::AsrEngine engine(world, cfg);
+        double work = 0.0, wer = 0.0;
+        for (const auto &utt : corpus) {
+            auto res = engine.transcribe(utt);
+            work += static_cast<double>(res.decode.workUnits);
+            wer += engine.wer(res, utt);
+        }
+        EXPECT_GT(work, prev_work) << cfg.name;
+        EXPECT_LT(wer / corpus.size(), prev_wer + 0.02) << cfg.name;
+        prev_work = work;
+        prev_wer = wer / corpus.size();
+    }
+}

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Unit tests for the common utility library: RNG, strings, table,
+ * CSV, JSON, CLI parsing, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/cli.hh"
+#include "common/csv.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stopwatch.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+
+namespace tc = toltiers::common;
+
+// ----------------------------------------------------------------- Pcg32
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    tc::Pcg32 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge)
+{
+    tc::Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.nextU32() == b.nextU32())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval)
+{
+    tc::Pcg32 rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Pcg32, NextBoundedStaysInRange)
+{
+    tc::Pcg32 rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(13), 13u);
+}
+
+TEST(Pcg32, NextBoundedCoversRange)
+{
+    tc::Pcg32 rng(7);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Pcg32, UniformIntInclusiveBounds)
+{
+    tc::Pcg32 rng(3);
+    std::set<int> seen;
+    for (int i = 0; i < 2000; ++i) {
+        int v = rng.uniformInt(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Pcg32, GaussianMomentsApproximatelyStandard)
+{
+    tc::Pcg32 rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.gaussian();
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Pcg32, GaussianScaled)
+{
+    tc::Pcg32 rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Pcg32, BernoulliFrequency)
+{
+    tc::Pcg32 rng(5);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Pcg32, DiscreteRespectsWeights)
+{
+    tc::Pcg32 rng(5);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.discrete(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Pcg32, SampleWithReplacementSizeAndRange)
+{
+    tc::Pcg32 rng(5);
+    auto s = rng.sampleWithReplacement(10, 100);
+    EXPECT_EQ(s.size(), 100u);
+    for (auto i : s)
+        EXPECT_LT(i, 10u);
+}
+
+TEST(Pcg32, SampleWithoutReplacementIsDistinct)
+{
+    tc::Pcg32 rng(5);
+    auto s = rng.sampleWithoutReplacement(50, 25);
+    std::set<std::size_t> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), 25u);
+    for (auto i : s)
+        EXPECT_LT(i, 50u);
+}
+
+TEST(Pcg32, SampleWithoutReplacementFullPopulation)
+{
+    tc::Pcg32 rng(5);
+    auto s = rng.sampleWithoutReplacement(10, 10);
+    std::set<std::size_t> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(Pcg32, ShufflePreservesElements)
+{
+    tc::Pcg32 rng(5);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    rng.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Pcg32, SplitProducesIndependentStream)
+{
+    tc::Pcg32 rng(5);
+    tc::Pcg32 child = rng.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (rng.nextU32() == child.nextU32())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, SplitBasic)
+{
+    auto parts = tc::split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitEmptyString)
+{
+    auto parts = tc::split("", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty)
+{
+    auto parts = tc::splitWhitespace("  foo \t bar\nbaz  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "foo");
+    EXPECT_EQ(parts[1], "bar");
+    EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(tc::trim("  x y  "), "x y");
+    EXPECT_EQ(tc::trim("\t\n"), "");
+    EXPECT_EQ(tc::trim("abc"), "abc");
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(tc::toLower("AbC-12"), "abc-12");
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(tc::startsWith("response-time", "resp"));
+    EXPECT_FALSE(tc::startsWith("abc", "abcd"));
+    EXPECT_TRUE(tc::endsWith("file.csv", ".csv"));
+    EXPECT_FALSE(tc::endsWith("csv", ".csv"));
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(tc::join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(tc::join({}, ","), "");
+}
+
+TEST(Strings, FormatFixedAndPercent)
+{
+    EXPECT_EQ(tc::formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(tc::formatPercent(0.1234, 1), "12.3%");
+}
+
+TEST(Strings, FormatSi)
+{
+    EXPECT_EQ(tc::formatSi(1530.0, 2), "1.53k");
+    EXPECT_EQ(tc::formatSi(2.5e6, 1), "2.5M");
+    EXPECT_EQ(tc::formatSi(12.0, 0), "12");
+}
+
+TEST(Strings, Strprintf)
+{
+    EXPECT_EQ(tc::strprintf("%s=%d", "x", 42), "x=42");
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    tc::Table t("My Table");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow("b", {2.5}, 1);
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::string s = t.toString();
+    EXPECT_NE(s.find("My Table"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(Table, RowMismatchPanics)
+{
+    tc::Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+// -------------------------------------------------------------------- csv
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(tc::CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(tc::CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(tc::CsvWriter::escape("say \"hi\""),
+              "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRowsToFile)
+{
+    std::string path = testing::TempDir() + "tt_csv_test.csv";
+    {
+        tc::CsvWriter csv(path);
+        csv.writeRow({"h1", "h2"});
+        csv.writeRow("row", {1.5, 2.0});
+    }
+    std::ifstream in(path);
+    std::string line1, line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "h1,h2");
+    EXPECT_EQ(line2, "row,1.5,2");
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(Json, WritesNestedStructure)
+{
+    std::ostringstream oss;
+    tc::JsonWriter w(oss);
+    w.beginObject();
+    w.member("name", "tiers");
+    w.member("count", 3);
+    w.member("ok", true);
+    w.beginArray("xs");
+    w.value(1.5);
+    w.value(std::string("two"));
+    w.endArray();
+    w.beginObject("inner");
+    w.member("pi", 3.25);
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(oss.str(),
+              "{\"name\":\"tiers\",\"count\":3,\"ok\":true,"
+              "\"xs\":[1.5,\"two\"],\"inner\":{\"pi\":3.25}}");
+}
+
+TEST(Json, EscapesStrings)
+{
+    EXPECT_EQ(tc::JsonWriter::escape("a\"b\\c\nd"),
+              "a\\\"b\\\\c\\nd");
+}
+
+TEST(Json, NanBecomesNull)
+{
+    std::ostringstream oss;
+    tc::JsonWriter w(oss);
+    w.beginObject();
+    w.member("bad", std::nan(""));
+    w.endObject();
+    EXPECT_EQ(oss.str(), "{\"bad\":null}");
+}
+
+TEST(Json, UnbalancedEndPanics)
+{
+    std::ostringstream oss;
+    tc::JsonWriter w(oss);
+    EXPECT_DEATH(w.endObject(), "no open scope");
+}
+
+// -------------------------------------------------------------------- cli
+
+TEST(Cli, ParsesFlagsAndPositionals)
+{
+    const char *argv[] = {"prog", "--count=5", "--name", "foo",
+                          "pos1", "--flag"};
+    tc::CliArgs args(6, argv);
+    EXPECT_EQ(args.getInt("count", 0), 5);
+    EXPECT_EQ(args.getString("name", ""), "foo");
+    EXPECT_TRUE(args.getBool("flag", false));
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Cli, FallbacksApply)
+{
+    const char *argv[] = {"prog"};
+    tc::CliArgs args(1, argv);
+    EXPECT_EQ(args.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+    EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, UnknownFlagIsFatal)
+{
+    const char *argv[] = {"prog", "--nope=1"};
+    EXPECT_DEATH(tc::CliArgs(2, argv, {"yes"}), "unknown flag");
+}
+
+TEST(Cli, MalformedIntIsFatal)
+{
+    const char *argv[] = {"prog", "--n=abc"};
+    tc::CliArgs args(2, argv);
+    EXPECT_DEATH(args.getInt("n", 0), "expects an integer");
+}
+
+TEST(Cli, BooleanSpellings)
+{
+    const char *argv[] = {"prog", "--a=yes", "--b=off", "--c=1"};
+    tc::CliArgs args(4, argv);
+    EXPECT_TRUE(args.getBool("a", false));
+    EXPECT_FALSE(args.getBool("b", true));
+    EXPECT_TRUE(args.getBool("c", false));
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, LevelGate)
+{
+    auto old = tc::logLevel();
+    tc::setLogLevel(tc::LogLevel::Quiet);
+    EXPECT_EQ(tc::logLevel(), tc::LogLevel::Quiet);
+    tc::setLogLevel(old);
+}
+
+TEST(Logging, FatalExitsWithError)
+{
+    EXPECT_EXIT(tc::fatal("bad config ", 7),
+                testing::ExitedWithCode(1), "bad config 7");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(tc::panic("broken invariant"), "broken invariant");
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_DEATH(TT_ASSERT(1 == 2, "math ", "failed"),
+                 "assertion failed");
+    TT_ASSERT(1 == 1, "never fires");
+}
+
+// --------------------------------------------------------------- stopwatch
+
+TEST(Stopwatch, MeasuresElapsedTime)
+{
+    tc::Stopwatch sw;
+    volatile double x = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        x = x + 1.0;
+    EXPECT_GT(sw.seconds(), 0.0);
+    EXPECT_GE(sw.milliseconds(), sw.seconds() * 1000.0 * 0.99);
+}

@@ -1,0 +1,831 @@
+/**
+ * @file
+ * Unit tests for the Tolerance Tiers core: measurement traces,
+ * request categories, ensemble policies, the simulator, the
+ * routing-rule generator, and the tier service.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.hh"
+#include "core/categories.hh"
+#include "core/measurement.hh"
+#include "core/policy.hh"
+#include "core/rule_generator.hh"
+#include "core/simulator.hh"
+#include "core/tier_service.hh"
+#include "serving/api.hh"
+
+namespace co = toltiers::core;
+namespace sv = toltiers::serving;
+namespace tc = toltiers::common;
+
+namespace {
+
+/** A deterministic in-memory service version for testing. */
+class FakeVersion : public sv::ServiceVersion
+{
+  public:
+    FakeVersion(std::string name, std::vector<sv::VersionResult> rows)
+        : name_(std::move(name)), instance_("cpu-small"),
+          rows_(std::move(rows))
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    const std::string &instanceName() const override
+    {
+        return instance_;
+    }
+    std::size_t workloadSize() const override { return rows_.size(); }
+    sv::VersionResult
+    process(std::size_t index) const override
+    {
+        return rows_.at(index);
+    }
+
+  private:
+    std::string name_;
+    std::string instance_;
+    std::vector<sv::VersionResult> rows_;
+};
+
+sv::VersionResult
+vr(double error, double latency, double cost, double confidence,
+   std::string output = "out")
+{
+    sv::VersionResult r;
+    r.error = error;
+    r.latencySeconds = latency;
+    r.costDollars = cost;
+    r.confidence = confidence;
+    r.output = std::move(output);
+    return r;
+}
+
+/**
+ * Build a two-version measurement set directly:
+ * fast (v0) and accurate (v1). Cell order: per request
+ * {fast, accurate}.
+ */
+co::MeasurementSet
+twoVersionSet(const std::vector<std::array<co::Measurement, 2>> &rows)
+{
+    co::MeasurementSet ms({"fast", "accurate"});
+    for (const auto &row : rows)
+        ms.addRequest({row[0], row[1]});
+    return ms;
+}
+
+/**
+ * Synthetic trace generator: `n` requests; the fast version errs on
+ * a fraction of them with confidence correlated to correctness.
+ */
+co::MeasurementSet
+syntheticTrace(std::size_t n, double fast_err_rate,
+               double conf_quality, tc::Pcg32 &rng)
+{
+    co::MeasurementSet ms({"fast", "accurate"});
+    for (std::size_t i = 0; i < n; ++i) {
+        bool fast_wrong = rng.bernoulli(fast_err_rate);
+        bool caught = rng.bernoulli(conf_quality);
+        co::Measurement fast;
+        fast.error = fast_wrong ? 1.0 : 0.0;
+        fast.latency = 0.010;
+        fast.cost = 1e-6;
+        fast.confidence = fast_wrong ? (caught ? 0.2 : 0.9)
+                                     : (caught ? 0.95 : 0.4);
+        co::Measurement acc;
+        acc.error = rng.bernoulli(0.05) ? 1.0 : 0.0;
+        acc.latency = 0.050;
+        acc.cost = 5e-6;
+        acc.confidence = 0.97;
+        ms.addRequest({fast, acc});
+    }
+    return ms;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ measurement
+
+TEST(MeasurementSet, AddAndAccess)
+{
+    co::MeasurementSet ms({"a", "b"});
+    ms.addRequest({{0.1, 1.0, 2.0, 0.5}, {0.2, 3.0, 4.0, 0.6}});
+    EXPECT_EQ(ms.versionCount(), 2u);
+    EXPECT_EQ(ms.requestCount(), 1u);
+    EXPECT_DOUBLE_EQ(ms.at(0, 0).error, 0.1);
+    EXPECT_DOUBLE_EQ(ms.at(1, 0).latency, 3.0);
+    EXPECT_EQ(ms.versionName(1), "b");
+    EXPECT_EQ(ms.versionIndex("b"), 1u);
+}
+
+TEST(MeasurementSet, UnknownVersionNameIsFatal)
+{
+    co::MeasurementSet ms({"a"});
+    EXPECT_DEATH(ms.versionIndex("zzz"), "unknown version");
+}
+
+TEST(MeasurementSet, WrongCellCountPanics)
+{
+    co::MeasurementSet ms({"a", "b"});
+    EXPECT_DEATH(ms.addRequest({{0.1, 1.0, 2.0, 0.5}}),
+                 "one cell per version");
+}
+
+TEST(MeasurementSet, Means)
+{
+    co::MeasurementSet ms({"a"});
+    ms.addRequest({{0.2, 1.0, 10.0, 0.5}});
+    ms.addRequest({{0.4, 3.0, 20.0, 0.5}});
+    EXPECT_DOUBLE_EQ(ms.meanError(0), 0.3);
+    EXPECT_DOUBLE_EQ(ms.meanLatency(0), 2.0);
+    EXPECT_DOUBLE_EQ(ms.meanCost(0), 15.0);
+    EXPECT_DOUBLE_EQ(ms.meanError(0, {1}), 0.4);
+}
+
+TEST(MeasurementSet, SubsetSelectsRows)
+{
+    co::MeasurementSet ms({"a"});
+    for (int i = 0; i < 5; ++i)
+        ms.addRequest({{i * 0.1, 0.0, 0.0, 0.0}});
+    auto sub = ms.subset({4, 0});
+    EXPECT_EQ(sub.requestCount(), 2u);
+    EXPECT_DOUBLE_EQ(sub.at(0, 0).error, 0.4);
+    EXPECT_DOUBLE_EQ(sub.at(0, 1).error, 0.0);
+}
+
+TEST(MeasurementSet, CollectRunsAllVersions)
+{
+    FakeVersion fast("fast", {vr(0.0, 1.0, 1.0, 0.9),
+                              vr(1.0, 1.0, 1.0, 0.3)});
+    FakeVersion slow("slow", {vr(0.0, 5.0, 5.0, 0.95),
+                              vr(0.0, 5.0, 5.0, 0.95)});
+    auto ms = co::MeasurementSet::collect({&fast, &slow});
+    EXPECT_EQ(ms.versionCount(), 2u);
+    EXPECT_EQ(ms.requestCount(), 2u);
+    EXPECT_DOUBLE_EQ(ms.at(0, 1).error, 1.0);
+    EXPECT_DOUBLE_EQ(ms.at(1, 1).error, 0.0);
+}
+
+TEST(MeasurementSet, CollectRejectsMismatchedWorkloads)
+{
+    FakeVersion a("a", {vr(0, 1, 1, 1)});
+    FakeVersion b("b", {vr(0, 1, 1, 1), vr(0, 1, 1, 1)});
+    EXPECT_DEATH(co::MeasurementSet::collect({&a, &b}),
+                 "share one workload");
+}
+
+TEST(MeasurementSet, SaveLoadRoundTrip)
+{
+    co::MeasurementSet ms({"x", "y"});
+    ms.addRequest({{0.1, 1.5, 2.5, 0.7}, {0.2, 3.5, 4.5, 0.8}});
+    std::string path = testing::TempDir() + "tt_trace_test.ttm";
+    ms.save(path);
+    auto loaded = co::MeasurementSet::load(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->versionCount(), 2u);
+    EXPECT_EQ(loaded->requestCount(), 1u);
+    EXPECT_DOUBLE_EQ(loaded->at(1, 0).confidence, 0.8);
+    EXPECT_EQ(loaded->versionName(0), "x");
+    std::remove(path.c_str());
+}
+
+TEST(MeasurementSet, LoadMissingReturnsNullopt)
+{
+    EXPECT_FALSE(
+        co::MeasurementSet::load("/nonexistent/trace.ttm"));
+}
+
+TEST(MeasurementSet, ExportCsvLongFormat)
+{
+    co::MeasurementSet ms({"a", "b"});
+    ms.addRequest({{0.5, 1.0, 2.0, 0.7}, {0.0, 3.0, 4.0, 0.9}});
+    std::string path = testing::TempDir() + "tt_trace_export.csv";
+    ms.exportCsv(path);
+    std::ifstream in(path);
+    std::string header, row1, row2, extra;
+    std::getline(in, header);
+    std::getline(in, row1);
+    std::getline(in, row2);
+    bool more = static_cast<bool>(std::getline(in, extra));
+    EXPECT_EQ(header,
+              "request,version,error,latency,cost,confidence");
+    EXPECT_NE(row1.find("0,a,0.5"), std::string::npos);
+    EXPECT_NE(row2.find("0,b,0.0"), std::string::npos);
+    EXPECT_FALSE(more); // 1 request x 2 versions = 2 data rows.
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- categories
+
+namespace {
+
+co::MeasurementSet
+errorTrajectory(std::vector<std::vector<double>> per_request_errors)
+{
+    std::size_t versions = per_request_errors[0].size();
+    std::vector<std::string> names;
+    for (std::size_t v = 0; v < versions; ++v)
+        names.push_back("v" + std::to_string(v));
+    co::MeasurementSet ms(names);
+    for (const auto &errs : per_request_errors) {
+        std::vector<co::Measurement> row;
+        for (double e : errs)
+            row.push_back({e, 0.0, 0.0, 0.0});
+        ms.addRequest(row);
+    }
+    return ms;
+}
+
+} // namespace
+
+TEST(Categories, ClassifiesAllFourKinds)
+{
+    auto ms = errorTrajectory({
+        {0.5, 0.5, 0.5}, // unchanged
+        {0.5, 0.3, 0.1}, // improves
+        {0.1, 0.3, 0.5}, // degrades
+        {0.1, 0.5, 0.2}, // varies
+    });
+    EXPECT_EQ(co::classifyRequest(ms, 0), co::Category::Unchanged);
+    EXPECT_EQ(co::classifyRequest(ms, 1), co::Category::Improves);
+    EXPECT_EQ(co::classifyRequest(ms, 2), co::Category::Degrades);
+    EXPECT_EQ(co::classifyRequest(ms, 3), co::Category::Varies);
+}
+
+TEST(Categories, PlateausStillMonotone)
+{
+    auto ms = errorTrajectory({{0.5, 0.5, 0.3}, {0.3, 0.3, 0.5}});
+    EXPECT_EQ(co::classifyRequest(ms, 0), co::Category::Improves);
+    EXPECT_EQ(co::classifyRequest(ms, 1), co::Category::Degrades);
+}
+
+TEST(Categories, EpsilonAbsorbsJitter)
+{
+    auto ms = errorTrajectory({{0.5, 0.5001, 0.5}});
+    EXPECT_EQ(co::classifyRequest(ms, 0, 1e-2),
+              co::Category::Unchanged);
+    EXPECT_NE(co::classifyRequest(ms, 0, 1e-6),
+              co::Category::Unchanged);
+}
+
+TEST(Categories, BreakdownFractionsSumToOne)
+{
+    auto ms = errorTrajectory({
+        {0.5, 0.5}, {0.5, 0.1}, {0.1, 0.5}, {0.5, 0.5},
+    });
+    auto b = co::categorize(ms);
+    EXPECT_EQ(b.total, 4u);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < co::kCategoryCount; ++c)
+        sum += b.fraction(static_cast<co::Category>(c));
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+    EXPECT_DOUBLE_EQ(b.fraction(co::Category::Unchanged), 0.5);
+}
+
+TEST(Categories, RequestsInCategoryAndPerVersionError)
+{
+    auto ms = errorTrajectory({
+        {0.4, 0.2}, // improves
+        {0.6, 0.0}, // improves
+        {0.1, 0.1}, // unchanged
+    });
+    auto rows = co::requestsInCategory(ms, co::Category::Improves);
+    EXPECT_EQ(rows, (std::vector<std::size_t>{0, 1}));
+    auto err = co::categoryErrorByVersion(ms, co::Category::Improves);
+    EXPECT_DOUBLE_EQ(err[0], 0.5);
+    EXPECT_DOUBLE_EQ(err[1], 0.1);
+    auto all = co::errorByVersion(ms);
+    EXPECT_NEAR(all[0], (0.4 + 0.6 + 0.1) / 3.0, 1e-12);
+}
+
+TEST(Categories, Names)
+{
+    EXPECT_STREQ(co::categoryName(co::Category::Unchanged),
+                 "unchanged");
+    EXPECT_STREQ(co::categoryName(co::Category::Varies), "varies");
+}
+
+// ----------------------------------------------------------------- policy
+
+TEST(Policy, SingleUsesPrimaryExactly)
+{
+    auto ms = twoVersionSet({{{{0.3, 1.0, 2.0, 0.4},
+                               {0.1, 5.0, 9.0, 0.9}}}});
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::Single;
+    cfg.primary = 1;
+    auto o = co::evaluateRequest(ms, cfg, 0);
+    EXPECT_DOUBLE_EQ(o.error, 0.1);
+    EXPECT_DOUBLE_EQ(o.latency, 5.0);
+    EXPECT_DOUBLE_EQ(o.cost, 9.0);
+    EXPECT_FALSE(o.escalated);
+}
+
+TEST(Policy, SequentialConfidentStaysOnPrimary)
+{
+    auto ms = twoVersionSet({{{{0.3, 1.0, 2.0, 0.9},
+                               {0.1, 5.0, 9.0, 0.95}}}});
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::Sequential;
+    cfg.primary = 0;
+    cfg.secondary = 1;
+    cfg.confidenceThreshold = 0.8;
+    auto o = co::evaluateRequest(ms, cfg, 0);
+    EXPECT_DOUBLE_EQ(o.error, 0.3);
+    EXPECT_DOUBLE_EQ(o.latency, 1.0);
+    EXPECT_DOUBLE_EQ(o.cost, 2.0);
+    EXPECT_FALSE(o.escalated);
+}
+
+TEST(Policy, SequentialEscalationAddsUp)
+{
+    auto ms = twoVersionSet({{{{0.3, 1.0, 2.0, 0.4},
+                               {0.1, 5.0, 9.0, 0.95}}}});
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::Sequential;
+    cfg.primary = 0;
+    cfg.secondary = 1;
+    cfg.confidenceThreshold = 0.8;
+    auto o = co::evaluateRequest(ms, cfg, 0);
+    EXPECT_DOUBLE_EQ(o.error, 0.1);   // Secondary result used.
+    EXPECT_DOUBLE_EQ(o.latency, 6.0); // 1 + 5.
+    EXPECT_DOUBLE_EQ(o.cost, 11.0);   // 2 + 9.
+    EXPECT_TRUE(o.escalated);
+}
+
+TEST(Policy, ConcurrentEtConfidentKillsSecondary)
+{
+    auto ms = twoVersionSet({{{{0.3, 1.0, 2.0, 0.9},
+                               {0.1, 5.0, 10.0, 0.95}}}});
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::ConcurrentEt;
+    cfg.primary = 0;
+    cfg.secondary = 1;
+    cfg.confidenceThreshold = 0.8;
+    auto o = co::evaluateRequest(ms, cfg, 0);
+    EXPECT_DOUBLE_EQ(o.error, 0.3);
+    EXPECT_DOUBLE_EQ(o.latency, 1.0);
+    // Secondary billed for 1s of its 5s run: 10 * 1/5 = 2.
+    EXPECT_DOUBLE_EQ(o.cost, 2.0 + 2.0);
+    EXPECT_FALSE(o.escalated);
+}
+
+TEST(Policy, ConcurrentEtUnconfidentWaits)
+{
+    auto ms = twoVersionSet({{{{0.3, 1.0, 2.0, 0.4},
+                               {0.1, 5.0, 10.0, 0.95}}}});
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::ConcurrentEt;
+    cfg.primary = 0;
+    cfg.secondary = 1;
+    cfg.confidenceThreshold = 0.8;
+    auto o = co::evaluateRequest(ms, cfg, 0);
+    EXPECT_DOUBLE_EQ(o.error, 0.1);
+    EXPECT_DOUBLE_EQ(o.latency, 5.0);
+    EXPECT_DOUBLE_EQ(o.cost, 12.0); // Both run fully.
+    EXPECT_TRUE(o.escalated);
+}
+
+TEST(Policy, ConcurrentFoAlwaysPaysBoth)
+{
+    auto ms = twoVersionSet({{{{0.3, 1.0, 2.0, 0.9},
+                               {0.1, 5.0, 10.0, 0.95}}}});
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::ConcurrentFo;
+    cfg.primary = 0;
+    cfg.secondary = 1;
+    cfg.confidenceThreshold = 0.8;
+    auto o = co::evaluateRequest(ms, cfg, 0);
+    EXPECT_DOUBLE_EQ(o.latency, 1.0);
+    EXPECT_DOUBLE_EQ(o.cost, 12.0); // No early termination savings.
+}
+
+TEST(Policy, AggregateAveragesAndEscalationRate)
+{
+    auto ms = twoVersionSet({
+        {{{1.0, 1.0, 1.0, 0.2}, {0.0, 4.0, 4.0, 0.9}}},
+        {{{0.0, 1.0, 1.0, 0.9}, {0.0, 4.0, 4.0, 0.9}}},
+    });
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::Sequential;
+    cfg.primary = 0;
+    cfg.secondary = 1;
+    cfg.confidenceThreshold = 0.5;
+    auto agg = co::evaluateAll(ms, cfg);
+    EXPECT_DOUBLE_EQ(agg.meanError, 0.0);
+    EXPECT_DOUBLE_EQ(agg.meanLatency, (5.0 + 1.0) / 2.0);
+    EXPECT_DOUBLE_EQ(agg.escalationRate, 0.5);
+}
+
+TEST(Policy, DescribeFormats)
+{
+    auto ms = twoVersionSet({{{{0, 0, 0, 0}, {0, 0, 0, 0}}}});
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::Sequential;
+    cfg.primary = 0;
+    cfg.secondary = 1;
+    cfg.confidenceThreshold = 0.75;
+    EXPECT_EQ(cfg.describe(ms), "seq(fast->accurate,th=0.75)");
+    cfg.kind = co::PolicyKind::Single;
+    EXPECT_EQ(cfg.describe(ms), "single(fast)");
+}
+
+TEST(Policy, EnumerateCandidatesStructure)
+{
+    auto cands = co::enumerateCandidates(3, {0.5, 0.9});
+    // 3 singles + 3 kinds * 3 pairs * 2 thresholds = 3 + 18.
+    EXPECT_EQ(cands.size(), 21u);
+    std::size_t singles = 0;
+    for (const auto &c : cands) {
+        if (c.kind == co::PolicyKind::Single)
+            ++singles;
+        else
+            EXPECT_LT(c.primary, c.secondary);
+    }
+    EXPECT_EQ(singles, 3u);
+}
+
+// -------------------------------------------------------------- simulator
+
+TEST(Simulator, RelativeDegradation)
+{
+    auto ms = twoVersionSet({
+        {{{0.2, 1.0, 1.0, 0.9}, {0.1, 2.0, 2.0, 0.9}}},
+        {{{0.2, 1.0, 1.0, 0.9}, {0.1, 2.0, 2.0, 0.9}}},
+    });
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::Single;
+    cfg.primary = 0;
+    auto m = co::simulate(ms, {0, 1}, cfg, 1);
+    EXPECT_NEAR(m.errorDegradation, (0.2 - 0.1) / 0.1, 1e-12);
+    EXPECT_DOUBLE_EQ(m.meanLatency, 1.0);
+}
+
+TEST(Simulator, AbsoluteDegradationMode)
+{
+    auto ms = twoVersionSet({
+        {{{0.2, 1.0, 1.0, 0.9}, {0.1, 2.0, 2.0, 0.9}}},
+    });
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::Single;
+    cfg.primary = 0;
+    auto m = co::simulate(ms, {0}, cfg, 1,
+                          co::DegradationMode::AbsolutePoints);
+    EXPECT_NEAR(m.errorDegradation, 0.1, 1e-12);
+}
+
+TEST(Simulator, PerfectReferenceFallsBackToAbsolute)
+{
+    auto ms = twoVersionSet({
+        {{{0.2, 1.0, 1.0, 0.9}, {0.0, 2.0, 2.0, 0.9}}},
+    });
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::Single;
+    cfg.primary = 0;
+    auto m = co::simulate(ms, {0}, cfg, 1);
+    EXPECT_NEAR(m.errorDegradation, 0.2, 1e-12);
+}
+
+TEST(Simulator, NegativeDegradationWhenBetter)
+{
+    auto ms = twoVersionSet({
+        {{{0.0, 1.0, 1.0, 0.9}, {0.2, 2.0, 2.0, 0.9}}},
+    });
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::Single;
+    cfg.primary = 0;
+    auto m = co::simulate(ms, {0}, cfg, 1);
+    EXPECT_LT(m.errorDegradation, 0.0);
+}
+
+// ----------------------------------------------------------- rule generator
+
+TEST(RuleGenerator, GuaranteesHoldOnTrainingSet)
+{
+    tc::Pcg32 rng(11);
+    auto ms = syntheticTrace(2000, 0.3, 0.9, rng);
+    co::RuleGenConfig cfg;
+    cfg.referenceVersion = 1;
+    cfg.seed = 5;
+    co::RoutingRuleGenerator gen(
+        ms, co::enumerateCandidates(2, {0.5, 0.8}), cfg);
+
+    auto tolerances = co::toleranceGrid(0.5, 0.1);
+    auto rules = gen.generate(tolerances,
+                              sv::Objective::ResponseTime);
+    ASSERT_EQ(rules.size(), tolerances.size());
+    std::vector<std::size_t> all(ms.requestCount());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    for (const auto &rule : rules) {
+        EXPECT_LE(rule.worstErrorDegradation, rule.tolerance);
+        auto m = co::simulate(ms, all, rule.cfg, 1);
+        // Full-train degradation is within the worst-case bound.
+        EXPECT_LE(m.errorDegradation,
+                  rule.worstErrorDegradation + 1e-9);
+    }
+}
+
+TEST(RuleGenerator, LatencyMonotoneInTolerance)
+{
+    tc::Pcg32 rng(12);
+    auto ms = syntheticTrace(2000, 0.3, 0.9, rng);
+    co::RuleGenConfig cfg;
+    cfg.referenceVersion = 1;
+    co::RoutingRuleGenerator gen(ms, co::enumerateCandidates(2), cfg);
+    auto rules = gen.generate(co::toleranceGrid(1.0, 0.05),
+                              sv::Objective::ResponseTime);
+    double prev = 1e100;
+    for (const auto &rule : rules) {
+        // Looser tolerance can only help the objective (records are
+        // shared, the qualifying set only grows).
+        double obj = 0.0;
+        for (const auto &rec : gen.records()) {
+            if (rec.cfg.kind == rule.cfg.kind &&
+                rec.cfg.primary == rule.cfg.primary &&
+                rec.cfg.secondary == rule.cfg.secondary &&
+                rec.cfg.confidenceThreshold ==
+                    rule.cfg.confidenceThreshold) {
+                obj = rec.worstLatency;
+                break;
+            }
+        }
+        EXPECT_LE(obj, prev + 1e-12);
+        prev = obj;
+    }
+}
+
+TEST(RuleGenerator, FallsBackToReferenceWhenNothingQualifies)
+{
+    tc::Pcg32 rng(13);
+    auto ms = syntheticTrace(400, 0.5, 0.5, rng);
+    co::RuleGenConfig cfg;
+    cfg.referenceVersion = 1;
+    // Candidate set deliberately excludes the reference single.
+    std::vector<co::EnsembleConfig> cands;
+    co::EnsembleConfig bad;
+    bad.kind = co::PolicyKind::Single;
+    bad.primary = 0;
+    cands.push_back(bad);
+    co::RoutingRuleGenerator gen(ms, cands, cfg);
+    auto rules = gen.generate({1e-9}, sv::Objective::Cost);
+    ASSERT_EQ(rules.size(), 1u);
+    EXPECT_EQ(rules[0].cfg.kind, co::PolicyKind::Single);
+    EXPECT_EQ(rules[0].cfg.primary, 1u);
+}
+
+TEST(RuleGenerator, RecordsOnePerCandidate)
+{
+    tc::Pcg32 rng(14);
+    auto ms = syntheticTrace(500, 0.2, 0.9, rng);
+    co::RuleGenConfig cfg;
+    cfg.referenceVersion = 1;
+    auto cands = co::enumerateCandidates(2, {0.5});
+    co::RoutingRuleGenerator gen(ms, cands, cfg);
+    EXPECT_EQ(gen.records().size(), cands.size());
+    for (const auto &rec : gen.records()) {
+        EXPECT_GE(rec.trials, cfg.minTrials);
+        EXPECT_LE(rec.trials, cfg.maxTrials);
+        EXPECT_GE(rec.worstLatency, rec.meanLatency - 1e-9);
+        EXPECT_GE(rec.worstCost, rec.meanCost - 1e-9);
+    }
+}
+
+TEST(RuleGenerator, CostObjectivePicksCheaper)
+{
+    tc::Pcg32 rng(15);
+    auto ms = syntheticTrace(3000, 0.2, 0.95, rng);
+    co::RuleGenConfig cfg;
+    cfg.referenceVersion = 1;
+    co::RoutingRuleGenerator gen(ms, co::enumerateCandidates(2), cfg);
+    auto rules = gen.generate({0.5}, sv::Objective::Cost);
+    // At a generous tolerance the cost rule must beat the reference.
+    EXPECT_LT(rules[0].expectedCost, ms.meanCost(1));
+}
+
+TEST(RuleGenerator, InvalidConfigPanics)
+{
+    tc::Pcg32 rng(16);
+    auto ms = syntheticTrace(100, 0.2, 0.9, rng);
+    co::RuleGenConfig cfg;
+    cfg.referenceVersion = 5;
+    EXPECT_DEATH(
+        co::RoutingRuleGenerator(ms, co::enumerateCandidates(2), cfg),
+        "reference version");
+}
+
+TEST(RuleGenerator, ToleranceGrid)
+{
+    auto grid = co::toleranceGrid(0.10, 0.02);
+    ASSERT_EQ(grid.size(), 5u);
+    EXPECT_NEAR(grid.front(), 0.02, 1e-12);
+    EXPECT_NEAR(grid.back(), 0.10, 1e-12);
+    EXPECT_DEATH(co::toleranceGrid(0.0, 0.1), "invalid tolerance");
+}
+
+// ------------------------------------------------------------ tier service
+
+namespace {
+
+/** Two fake versions with distinct, easily checkable numbers. */
+struct FakePair
+{
+    FakeVersion fast;
+    FakeVersion slow;
+
+    FakePair()
+        : fast("fast",
+               {vr(1.0, 1.0, 2.0, 0.2, "fast-answer-0"),
+                vr(0.0, 1.0, 2.0, 0.9, "fast-answer-1")}),
+          slow("slow",
+               {vr(0.0, 5.0, 10.0, 0.95, "slow-answer-0"),
+                vr(0.0, 5.0, 10.0, 0.95, "slow-answer-1")})
+    {
+    }
+};
+
+co::RoutingRule
+makeRule(double tol, co::PolicyKind kind, std::size_t p,
+         std::size_t s, double th)
+{
+    co::RoutingRule r;
+    r.tolerance = tol;
+    r.cfg.kind = kind;
+    r.cfg.primary = p;
+    r.cfg.secondary = s;
+    r.cfg.confidenceThreshold = th;
+    return r;
+}
+
+} // namespace
+
+TEST(TierService, RuleSelectionPicksLargestFitting)
+{
+    FakePair pair;
+    co::TierService svc({&pair.fast, &pair.slow});
+    svc.setRules(sv::Objective::ResponseTime,
+                 {makeRule(0.05, co::PolicyKind::Sequential, 0, 1,
+                           0.5),
+                  makeRule(0.01, co::PolicyKind::Single, 1, 1, 0.0)});
+    EXPECT_DOUBLE_EQ(
+        svc.ruleFor(0.03, sv::Objective::ResponseTime).tolerance,
+        0.01);
+    EXPECT_DOUBLE_EQ(
+        svc.ruleFor(0.05, sv::Objective::ResponseTime).tolerance,
+        0.05);
+    EXPECT_DOUBLE_EQ(
+        svc.ruleFor(0.9, sv::Objective::ResponseTime).tolerance,
+        0.05);
+    // Tighter than every rule: the reference single version.
+    auto &r = svc.ruleFor(0.001, sv::Objective::ResponseTime);
+    EXPECT_EQ(r.cfg.kind, co::PolicyKind::Single);
+    EXPECT_EQ(r.cfg.primary, 1u);
+}
+
+TEST(TierService, MissingObjectiveRulesIsFatal)
+{
+    FakePair pair;
+    co::TierService svc({&pair.fast, &pair.slow});
+    EXPECT_DEATH(svc.ruleFor(0.1, sv::Objective::Cost),
+                 "no routing rules");
+}
+
+TEST(TierService, HandleSequentialEscalatesLive)
+{
+    FakePair pair;
+    co::TierService svc({&pair.fast, &pair.slow});
+    svc.setRules(sv::Objective::ResponseTime,
+                 {makeRule(0.05, co::PolicyKind::Sequential, 0, 1,
+                           0.5)});
+
+    sv::ServiceRequest req;
+    req.payload = 0; // fast is wrong and unconfident here
+    req.tier.tolerance = 0.05;
+    auto resp = svc.handle(req);
+    EXPECT_TRUE(resp.escalated);
+    EXPECT_EQ(resp.output, "slow-answer-0");
+    EXPECT_DOUBLE_EQ(resp.latencySeconds, 6.0);
+    EXPECT_DOUBLE_EQ(resp.costDollars, 12.0);
+
+    req.payload = 1; // fast is confident here
+    resp = svc.handle(req);
+    EXPECT_FALSE(resp.escalated);
+    EXPECT_EQ(resp.output, "fast-answer-1");
+    EXPECT_DOUBLE_EQ(resp.latencySeconds, 1.0);
+}
+
+TEST(TierService, HandleConcurrentEtMatchesPolicyMath)
+{
+    FakePair pair;
+    co::TierService svc({&pair.fast, &pair.slow});
+    svc.setRules(sv::Objective::ResponseTime,
+                 {makeRule(0.05, co::PolicyKind::ConcurrentEt, 0, 1,
+                           0.5)});
+    sv::ServiceRequest req;
+    req.payload = 1;
+    req.tier.tolerance = 0.05;
+    auto resp = svc.handle(req);
+    EXPECT_DOUBLE_EQ(resp.latencySeconds, 1.0);
+    // Secondary billed 1/5 of its 10.0 cost.
+    EXPECT_DOUBLE_EQ(resp.costDollars, 2.0 + 2.0);
+}
+
+TEST(TierService, HandleConcurrentFoBillsBoth)
+{
+    FakePair pair;
+    co::TierService svc({&pair.fast, &pair.slow});
+    svc.setRules(sv::Objective::Cost,
+                 {makeRule(0.05, co::PolicyKind::ConcurrentFo, 0, 1,
+                           0.5)});
+    sv::ServiceRequest req;
+    req.payload = 1;
+    req.tier.tolerance = 0.05;
+    req.tier.objective = sv::Objective::Cost;
+    auto resp = svc.handle(req);
+    EXPECT_DOUBLE_EQ(resp.costDollars, 12.0);
+    EXPECT_DOUBLE_EQ(resp.latencySeconds, 1.0);
+}
+
+TEST(TierService, ZeroToleranceServesReference)
+{
+    FakePair pair;
+    co::TierService svc({&pair.fast, &pair.slow});
+    svc.setRules(sv::Objective::ResponseTime, {});
+    sv::ServiceRequest req;
+    req.payload = 0;
+    req.tier.tolerance = 0.0;
+    auto resp = svc.handle(req);
+    EXPECT_EQ(resp.output, "slow-answer-0");
+    EXPECT_DOUBLE_EQ(resp.latencySeconds, 5.0);
+}
+
+TEST(TierService, RuleReferencingUnknownVersionPanics)
+{
+    FakePair pair;
+    co::TierService svc({&pair.fast, &pair.slow});
+    EXPECT_DEATH(
+        svc.setRules(sv::Objective::Cost,
+                     {makeRule(0.1, co::PolicyKind::Single, 7, 7,
+                               0.0)}),
+        "unknown version");
+}
+
+TEST(TierService, AnnotatedRequestEndToEnd)
+{
+    FakePair pair;
+    co::TierService svc({&pair.fast, &pair.slow});
+    svc.setRules(sv::Objective::ResponseTime,
+                 {makeRule(0.05, co::PolicyKind::Sequential, 0, 1,
+                           0.5)});
+    auto req = sv::parseAnnotatedRequest(
+        "Tolerance: 0.05\nObjective: response-time\n");
+    req.payload = 1;
+    auto resp = svc.handle(req);
+    EXPECT_EQ(resp.output, "fast-answer-1");
+    EXPECT_DOUBLE_EQ(resp.ruleTolerance, 0.05);
+}
+
+// ---------------------------------------------------- guarantee property
+
+/** Across seeds: generated rules never violate their tolerance on
+ * held-out data at practical confidence levels. */
+class GuaranteeProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(GuaranteeProperty, HeldOutDegradationWithinTolerance)
+{
+    tc::Pcg32 rng(GetParam() + 500);
+    auto train = syntheticTrace(3000, 0.25, 0.9, rng);
+    auto test = syntheticTrace(1500, 0.25, 0.9, rng);
+
+    co::RuleGenConfig cfg;
+    cfg.referenceVersion = 1;
+    cfg.seed = GetParam();
+    co::RoutingRuleGenerator gen(
+        train, co::enumerateCandidates(2, {0.5, 0.8}), cfg);
+    auto rules = gen.generate(co::toleranceGrid(0.6, 0.2),
+                              sv::Objective::ResponseTime);
+
+    std::vector<std::size_t> all(test.requestCount());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    for (const auto &rule : rules) {
+        auto m = co::simulate(test, all, rule.cfg, 1);
+        // Held-out degradation stays within tolerance plus a small
+        // sampling slack (the guarantee is statistical).
+        EXPECT_LE(m.errorDegradation, rule.tolerance + 0.05)
+            << rule.cfg.describe(test) << " @tol " << rule.tolerance;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuaranteeProperty,
+                         testing::Range(0, 10));

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the synthetic dataset generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dataset/speech_corpus.hh"
+#include "dataset/synth_images.hh"
+
+namespace td = toltiers::dataset;
+namespace ta = toltiers::asr;
+
+// ----------------------------------------------------------- speech corpus
+
+namespace {
+
+const ta::AsrWorld &
+corpusWorld()
+{
+    static ta::WorldConfig cfg = [] {
+        ta::WorldConfig c;
+        c.seed = 9;
+        c.phonemeCount = 16;
+        c.vocabSize = 40;
+        return c;
+    }();
+    static ta::AsrWorld world(cfg);
+    return world;
+}
+
+} // namespace
+
+TEST(SpeechCorpus, GeneratesRequestedCount)
+{
+    td::SpeechCorpusConfig cfg;
+    cfg.utterances = 50;
+    auto corpus = td::buildSpeechCorpus(corpusWorld(), cfg);
+    EXPECT_EQ(corpus.size(), 50u);
+}
+
+TEST(SpeechCorpus, DeterministicForSeed)
+{
+    td::SpeechCorpusConfig cfg;
+    cfg.utterances = 20;
+    cfg.seed = 123;
+    auto a = td::buildSpeechCorpus(corpusWorld(), cfg);
+    auto b = td::buildSpeechCorpus(corpusWorld(), cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].refText, b[i].refText);
+        ASSERT_EQ(a[i].frames.size(), b[i].frames.size());
+        EXPECT_EQ(a[i].frames[0], b[i].frames[0]);
+    }
+}
+
+TEST(SpeechCorpus, DifferentSeedsDiffer)
+{
+    td::SpeechCorpusConfig cfg;
+    cfg.utterances = 20;
+    cfg.seed = 1;
+    auto a = td::buildSpeechCorpus(corpusWorld(), cfg);
+    cfg.seed = 2;
+    auto b = td::buildSpeechCorpus(corpusWorld(), cfg);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i].refText == b[i].refText ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(SpeechCorpus, WordCountsInRange)
+{
+    td::SpeechCorpusConfig cfg;
+    cfg.utterances = 100;
+    cfg.minWords = 2;
+    cfg.maxWords = 5;
+    auto corpus = td::buildSpeechCorpus(corpusWorld(), cfg);
+    for (const auto &u : corpus) {
+        EXPECT_GE(u.refWords.size(), 2u);
+        EXPECT_LE(u.refWords.size(), 5u);
+    }
+}
+
+TEST(SpeechCorpus, FramesMatchTranscriptLength)
+{
+    td::SpeechCorpusConfig cfg;
+    cfg.utterances = 30;
+    cfg.mispronounceProb = 0.0; // Keep spoken == reference.
+    auto corpus = td::buildSpeechCorpus(corpusWorld(), cfg);
+    for (const auto &u : corpus) {
+        std::size_t phonemes = 0;
+        for (int w : u.refWords)
+            phonemes += corpusWorld().lexicon().word(w).phonemes.size();
+        // Each phoneme renders framesPerPhoneme +/- 1 frames (min 1).
+        EXPECT_GE(u.frames.size(), phonemes);
+        EXPECT_LE(u.frames.size(),
+                  phonemes * (u.framesPerPhoneme + 1));
+        EXPECT_GT(u.audioSeconds(), 0.0);
+    }
+}
+
+TEST(SpeechCorpus, NoiseMixtureFractionsApproximatelyHonored)
+{
+    td::SpeechCorpusConfig cfg;
+    cfg.utterances = 3000;
+    cfg.easyFraction = 0.5;
+    cfg.mediumFraction = 0.3;
+    auto corpus = td::buildSpeechCorpus(corpusWorld(), cfg);
+    std::size_t easy = 0, medium = 0, hard = 0;
+    for (const auto &u : corpus) {
+        double mid_easy = (cfg.easySigma + cfg.mediumSigma) / 2.0;
+        double mid_hard = (cfg.mediumSigma + cfg.hardSigma) / 2.0;
+        if (u.noiseSigma < mid_easy)
+            ++easy;
+        else if (u.noiseSigma < mid_hard)
+            ++medium;
+        else
+            ++hard;
+    }
+    auto n = static_cast<double>(corpus.size());
+    EXPECT_NEAR(easy / n, 0.5, 0.05);
+    EXPECT_NEAR(medium / n, 0.3, 0.05);
+    EXPECT_NEAR(hard / n, 0.2, 0.05);
+}
+
+TEST(SpeechCorpus, MispronunciationsCreateFloor)
+{
+    // With a nonzero mispronounce probability some rendered audio
+    // must deviate from the reference; detect this by checking that
+    // a zero-probability corpus with the same seed has identical
+    // transcripts but different frames somewhere.
+    td::SpeechCorpusConfig with;
+    with.utterances = 80;
+    with.seed = 33;
+    with.mispronounceProb = 0.5;
+    td::SpeechCorpusConfig without = with;
+    without.mispronounceProb = 0.0;
+    auto a = td::buildSpeechCorpus(corpusWorld(), with);
+    auto b = td::buildSpeechCorpus(corpusWorld(), without);
+    std::size_t frame_count_diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].refText, b[i].refText);
+        if (a[i].frames.size() != b[i].frames.size())
+            ++frame_count_diff;
+    }
+    // Substituted words have different phoneme counts often enough.
+    EXPECT_GT(frame_count_diff, 10u);
+}
+
+TEST(SpeechCorpus, InvalidConfigPanics)
+{
+    td::SpeechCorpusConfig cfg;
+    cfg.minWords = 5;
+    cfg.maxWords = 2;
+    EXPECT_DEATH(td::buildSpeechCorpus(corpusWorld(), cfg),
+                 "word-count");
+    td::SpeechCorpusConfig cfg2;
+    cfg2.easyFraction = 0.9;
+    cfg2.mediumFraction = 0.9;
+    EXPECT_DEATH(td::buildSpeechCorpus(corpusWorld(), cfg2),
+                 "fractions");
+}
+
+// ------------------------------------------------------------ synth images
+
+TEST(SynthImages, ShapesAndLabels)
+{
+    td::ImageSetConfig cfg;
+    cfg.count = 64;
+    cfg.size = 12;
+    auto set = td::buildImageSet(cfg);
+    EXPECT_EQ(set.count(), 64u);
+    EXPECT_EQ(set.images.dim(0), 64u);
+    EXPECT_EQ(set.images.dim(1), 1u);
+    EXPECT_EQ(set.images.dim(2), 12u);
+    for (auto l : set.labels)
+        EXPECT_LT(l, td::kImageClasses);
+}
+
+TEST(SynthImages, DeterministicForSeed)
+{
+    td::ImageSetConfig cfg;
+    cfg.count = 16;
+    auto a = td::buildImageSet(cfg);
+    auto b = td::buildImageSet(cfg);
+    for (std::size_t i = 0; i < a.images.size(); ++i)
+        ASSERT_EQ(a.images[i], b.images[i]);
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(SynthImages, AllClassesRepresented)
+{
+    td::ImageSetConfig cfg;
+    cfg.count = 500;
+    auto set = td::buildImageSet(cfg);
+    std::set<std::size_t> classes(set.labels.begin(),
+                                  set.labels.end());
+    EXPECT_EQ(classes.size(), td::kImageClasses);
+}
+
+TEST(SynthImages, ClassNamesDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t c = 0; c < td::kImageClasses; ++c)
+        names.insert(td::imageClassName(c));
+    EXPECT_EQ(names.size(), td::kImageClasses);
+    EXPECT_DEATH(td::imageClassName(td::kImageClasses),
+                 "out of range");
+}
+
+TEST(SynthImages, NoiseMixtureRecorded)
+{
+    td::ImageSetConfig cfg;
+    cfg.count = 2000;
+    auto set = td::buildImageSet(cfg);
+    std::size_t easy = 0;
+    for (double s : set.noise) {
+        EXPECT_GT(s, 0.0);
+        if (s == cfg.easyNoise)
+            ++easy;
+    }
+    EXPECT_NEAR(static_cast<double>(easy) / 2000.0,
+                cfg.easyFraction, 0.05);
+}
+
+TEST(SynthImages, PatternsDifferAcrossClasses)
+{
+    // Noiseless-ish class means must be pairwise distinguishable.
+    td::ImageSetConfig cfg;
+    cfg.count = 1000;
+    cfg.easyFraction = 1.0;
+    cfg.mediumFraction = 0.0;
+    cfg.easyNoise = 0.01;
+    cfg.maxJitter = 0;
+    auto set = td::buildImageSet(cfg);
+
+    std::size_t pix = cfg.size * cfg.size;
+    std::vector<std::vector<double>> means(
+        td::kImageClasses, std::vector<double>(pix, 0.0));
+    std::vector<std::size_t> counts(td::kImageClasses, 0);
+    for (std::size_t i = 0; i < set.count(); ++i) {
+        ++counts[set.labels[i]];
+        for (std::size_t p = 0; p < pix; ++p)
+            means[set.labels[i]][p] += set.images[i * pix + p];
+    }
+    for (std::size_t c = 0; c < td::kImageClasses; ++c)
+        for (std::size_t p = 0; p < pix; ++p)
+            means[c][p] /= static_cast<double>(counts[c]);
+
+    for (std::size_t a = 0; a < td::kImageClasses; ++a) {
+        for (std::size_t b = a + 1; b < td::kImageClasses; ++b) {
+            double d2 = 0.0;
+            for (std::size_t p = 0; p < pix; ++p) {
+                double d = means[a][p] - means[b][p];
+                d2 += d * d;
+            }
+            EXPECT_GT(std::sqrt(d2), 0.5)
+                << td::imageClassName(a) << " vs "
+                << td::imageClassName(b);
+        }
+    }
+}
+
+TEST(SynthImages, InvalidConfigPanics)
+{
+    td::ImageSetConfig cfg;
+    cfg.size = 4;
+    EXPECT_DEATH(td::buildImageSet(cfg), "at least 8x8");
+    td::ImageSetConfig cfg2;
+    cfg2.count = 0;
+    EXPECT_DEATH(td::buildImageSet(cfg2), "empty");
+}

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Tests for the extension modules: multi-version chains, the learned
+ * router, the k-fold validation utility, decoder N-best lists, and
+ * LM perplexity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "asr/decoder.hh"
+#include "asr/world.hh"
+#include "common/random.hh"
+#include "core/chain.hh"
+#include "core/learned_router.hh"
+#include "core/provisioner.hh"
+#include "core/validation.hh"
+#include "serving/api.hh"
+
+namespace co = toltiers::core;
+namespace ta = toltiers::asr;
+namespace tc = toltiers::common;
+namespace sv = toltiers::serving;
+
+namespace {
+
+co::MeasurementSet
+threeVersionSet(
+    const std::vector<std::array<co::Measurement, 3>> &rows)
+{
+    co::MeasurementSet ms({"a", "b", "c"});
+    for (const auto &row : rows)
+        ms.addRequest({row[0], row[1], row[2]});
+    return ms;
+}
+
+co::MeasurementSet
+syntheticTrace(std::size_t n, double fast_err_rate,
+               double conf_quality, tc::Pcg32 &rng)
+{
+    co::MeasurementSet ms({"fast", "accurate"});
+    for (std::size_t i = 0; i < n; ++i) {
+        bool fast_wrong = rng.bernoulli(fast_err_rate);
+        bool caught = rng.bernoulli(conf_quality);
+        co::Measurement fast;
+        fast.error = fast_wrong ? 1.0 : 0.0;
+        fast.latency = 0.010;
+        fast.cost = 1e-6;
+        fast.confidence = fast_wrong ? (caught ? 0.2 : 0.9)
+                                     : (caught ? 0.95 : 0.4);
+        co::Measurement acc;
+        acc.error = rng.bernoulli(0.05) ? 1.0 : 0.0;
+        acc.latency = 0.050;
+        acc.cost = 5e-6;
+        acc.confidence = 0.97;
+        ms.addRequest({fast, acc});
+    }
+    return ms;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------ chain
+
+TEST(Chain, StopsAtFirstConfidentStage)
+{
+    auto ms = threeVersionSet({{{{0.3, 1.0, 1.0, 0.9},
+                                 {0.2, 2.0, 2.0, 0.9},
+                                 {0.1, 4.0, 4.0, 0.9}}}});
+    co::ChainConfig cfg;
+    cfg.stages = {{0, 0.8}, {1, 0.8}, {2, 0.0}};
+    auto o = co::evaluateChainRequest(ms, cfg, 0);
+    EXPECT_DOUBLE_EQ(o.error, 0.3);
+    EXPECT_DOUBLE_EQ(o.latency, 1.0);
+    EXPECT_FALSE(o.escalated);
+}
+
+TEST(Chain, EscalatesThroughAllStages)
+{
+    auto ms = threeVersionSet({{{{0.3, 1.0, 1.0, 0.1},
+                                 {0.2, 2.0, 2.0, 0.1},
+                                 {0.1, 4.0, 4.0, 0.9}}}});
+    co::ChainConfig cfg;
+    cfg.stages = {{0, 0.8}, {1, 0.8}, {2, 0.0}};
+    auto o = co::evaluateChainRequest(ms, cfg, 0);
+    EXPECT_DOUBLE_EQ(o.error, 0.1);
+    EXPECT_DOUBLE_EQ(o.latency, 7.0);
+    EXPECT_DOUBLE_EQ(o.cost, 7.0);
+    EXPECT_TRUE(o.escalated);
+}
+
+TEST(Chain, StopsAtMiddleStage)
+{
+    auto ms = threeVersionSet({{{{0.3, 1.0, 1.0, 0.1},
+                                 {0.2, 2.0, 2.0, 0.95},
+                                 {0.1, 4.0, 4.0, 0.9}}}});
+    co::ChainConfig cfg;
+    cfg.stages = {{0, 0.8}, {1, 0.8}, {2, 0.0}};
+    auto o = co::evaluateChainRequest(ms, cfg, 0);
+    EXPECT_DOUBLE_EQ(o.error, 0.2);
+    EXPECT_DOUBLE_EQ(o.latency, 3.0);
+    EXPECT_TRUE(o.escalated);
+}
+
+TEST(Chain, TwoStageChainMatchesSequentialPolicy)
+{
+    // A two-stage chain must be arithmetically identical to the
+    // Sequential two-version policy.
+    tc::Pcg32 rng(3);
+    auto ms = syntheticTrace(500, 0.3, 0.8, rng);
+    co::ChainConfig chain;
+    chain.stages = {{0, 0.7}, {1, 0.0}};
+    co::EnsembleConfig seq;
+    seq.kind = co::PolicyKind::Sequential;
+    seq.primary = 0;
+    seq.secondary = 1;
+    seq.confidenceThreshold = 0.7;
+    for (std::size_t r = 0; r < ms.requestCount(); r += 17) {
+        auto a = co::evaluateChainRequest(ms, chain, r);
+        auto b = co::evaluateRequest(ms, seq, r);
+        EXPECT_DOUBLE_EQ(a.error, b.error);
+        EXPECT_DOUBLE_EQ(a.latency, b.latency);
+        EXPECT_DOUBLE_EQ(a.cost, b.cost);
+    }
+}
+
+TEST(Chain, DescribeAndEnumerate)
+{
+    auto ms = threeVersionSet({{{{0, 0, 0, 0},
+                                 {0, 0, 0, 0},
+                                 {0, 0, 0, 0}}}});
+    co::ChainConfig cfg;
+    cfg.stages = {{0, 0.8}, {1, 0.9}, {2, 0.0}};
+    EXPECT_EQ(cfg.describe(ms), "chain(a@0.80->b@0.90->c)");
+
+    auto chains = co::enumerateChains(4, {0.5, 0.9});
+    // C(4,3) = 4 triples x 2 thresholds.
+    EXPECT_EQ(chains.size(), 8u);
+    for (const auto &c : chains) {
+        ASSERT_EQ(c.stages.size(), 3u);
+        EXPECT_LT(c.stages[0].version, c.stages[1].version);
+        EXPECT_LT(c.stages[1].version, c.stages[2].version);
+    }
+}
+
+TEST(Chain, EmptyChainPanics)
+{
+    auto ms = threeVersionSet({{{{0, 0, 0, 0},
+                                 {0, 0, 0, 0},
+                                 {0, 0, 0, 0}}}});
+    co::ChainConfig cfg;
+    EXPECT_DEATH(co::evaluateChainRequest(ms, cfg, 0),
+                 "chain without stages");
+}
+
+// --------------------------------------------------------- learned router
+
+TEST(LearnedRouter, LearnsConfidenceSignal)
+{
+    tc::Pcg32 rng(5);
+    auto ms = syntheticTrace(3000, 0.3, 0.95, rng);
+    co::LearnedRouter router;
+    router.train(ms, 0, 1);
+
+    // Low-confidence fast results must get a higher escalation
+    // probability than high-confidence ones.
+    co::Measurement low{0.0, 0.010, 1e-6, 0.2};
+    co::Measurement high{0.0, 0.010, 1e-6, 0.95};
+    EXPECT_GT(router.escalateProbability(low),
+              router.escalateProbability(high));
+}
+
+TEST(LearnedRouter, BeatsNoEscalationOnError)
+{
+    tc::Pcg32 rng(6);
+    auto ms = syntheticTrace(3000, 0.3, 0.9, rng);
+    co::LearnedRouter router;
+    router.train(ms, 0, 1);
+
+    std::vector<std::size_t> all(ms.requestCount());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    auto routed = router.evaluate(ms, 0, 1, 0.3, all);
+    EXPECT_LT(routed.meanError, ms.meanError(0));
+    EXPECT_GT(routed.escalationRate, 0.0);
+    EXPECT_LT(routed.escalationRate, 1.0);
+}
+
+TEST(LearnedRouter, ThresholdMonotonicity)
+{
+    tc::Pcg32 rng(7);
+    auto ms = syntheticTrace(1000, 0.3, 0.9, rng);
+    co::LearnedRouter router;
+    router.train(ms, 0, 1);
+    std::vector<std::size_t> all(ms.requestCount());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    double prev = 2.0;
+    for (double th : {0.1, 0.3, 0.5, 0.9}) {
+        auto agg = router.evaluate(ms, 0, 1, th, all);
+        EXPECT_LE(agg.escalationRate, prev);
+        prev = agg.escalationRate;
+    }
+}
+
+TEST(LearnedRouter, UntrainedUsePanics)
+{
+    co::LearnedRouter router;
+    co::Measurement m{0.0, 0.01, 1e-6, 0.5};
+    EXPECT_DEATH(router.escalateProbability(m), "before training");
+}
+
+// -------------------------------------------------------------- validation
+
+TEST(Validation, ReportsChecksAndHoldsOnSyntheticTrace)
+{
+    tc::Pcg32 rng(8);
+    auto ms = syntheticTrace(2000, 0.25, 0.9, rng);
+    co::ValidationConfig cfg;
+    cfg.folds = 5;
+    cfg.tolerances = {0.2, 0.4};
+    cfg.objectives = {sv::Objective::ResponseTime};
+    cfg.ruleGen.referenceVersion = 1;
+    auto report = co::validateGuarantees(
+        ms, co::enumerateCandidates(2, {0.5, 0.8}), cfg);
+    EXPECT_EQ(report.checks.size(), 5u * 2u);
+    EXPECT_EQ(report.violations, 0u);
+    EXPECT_LE(report.worstMargin, 0.1);
+    EXPECT_FALSE(report.bootstrapTrials.empty());
+}
+
+TEST(Validation, ChecksCarryContext)
+{
+    tc::Pcg32 rng(9);
+    auto ms = syntheticTrace(600, 0.25, 0.9, rng);
+    co::ValidationConfig cfg;
+    cfg.folds = 3;
+    cfg.tolerances = {0.5};
+    cfg.ruleGen.referenceVersion = 1;
+    auto report = co::validateGuarantees(
+        ms, co::enumerateCandidates(2, {0.5}), cfg);
+    // folds x objectives(2) x tolerances(1).
+    EXPECT_EQ(report.checks.size(), 6u);
+    for (const auto &check : report.checks) {
+        EXPECT_LT(check.fold, 3u);
+        EXPECT_DOUBLE_EQ(check.tolerance, 0.5);
+        EXPECT_EQ(check.violated(),
+                  check.degradation > check.tolerance);
+    }
+}
+
+TEST(Validation, InvalidConfigPanics)
+{
+    tc::Pcg32 rng(10);
+    auto ms = syntheticTrace(100, 0.25, 0.9, rng);
+    co::ValidationConfig cfg;
+    cfg.folds = 1;
+    cfg.ruleGen.referenceVersion = 1;
+    EXPECT_DEATH(co::validateGuarantees(
+                     ms, co::enumerateCandidates(2, {0.5}), cfg),
+                 "two folds");
+}
+
+// ------------------------------------------------------------- provisioner
+
+namespace {
+
+/** Deterministic fake version for provisioning tests. */
+class StubVersion : public sv::ServiceVersion
+{
+  public:
+    StubVersion(std::string name, double error_rate, double latency,
+                std::uint64_t seed)
+        : name_(std::move(name)), instance_("cpu-small")
+    {
+        tc::Pcg32 rng(seed);
+        for (int i = 0; i < 400; ++i) {
+            sv::VersionResult r;
+            bool wrong = rng.bernoulli(error_rate);
+            r.error = wrong ? 1.0 : 0.0;
+            r.latencySeconds = latency;
+            r.costDollars = latency * 1e-4;
+            r.confidence = wrong ? rng.uniform(0.0, 0.5)
+                                 : rng.uniform(0.5, 1.0);
+            r.output = "result-" + std::to_string(i);
+            rows_.push_back(r);
+        }
+    }
+
+    const std::string &name() const override { return name_; }
+    const std::string &instanceName() const override
+    {
+        return instance_;
+    }
+    std::size_t workloadSize() const override { return rows_.size(); }
+    sv::VersionResult
+    process(std::size_t index) const override
+    {
+        return rows_.at(index);
+    }
+
+  private:
+    std::string name_;
+    std::string instance_;
+    std::vector<sv::VersionResult> rows_;
+};
+
+} // namespace
+
+TEST(Provisioner, OneCallProducesServingService)
+{
+    StubVersion fast("fast", 0.3, 0.01, 1);
+    StubVersion slow("slow", 0.05, 0.05, 1);
+    co::ProvisionOptions opts;
+    opts.tolerances = co::toleranceGrid(0.5, 0.1);
+    auto provisioned =
+        co::provisionTierService({&fast, &slow}, opts);
+
+    EXPECT_EQ(provisioned.trace.versionCount(), 2u);
+    EXPECT_EQ(provisioned.trace.requestCount(), 400u);
+    EXPECT_FALSE(provisioned.records.empty());
+    EXPECT_EQ(provisioned.rules.size(), 2u);
+    ASSERT_NE(provisioned.service, nullptr);
+
+    auto req = sv::parseAnnotatedRequest(
+        "Tolerance: 0.5\nObjective: response-time\n");
+    req.payload = 3;
+    auto resp = provisioned.service->handle(req);
+    EXPECT_FALSE(resp.output.empty());
+    EXPECT_GT(resp.latencySeconds, 0.0);
+}
+
+TEST(Provisioner, TrainRowsRestrictRuleGeneration)
+{
+    StubVersion fast("fast", 0.3, 0.01, 2);
+    StubVersion slow("slow", 0.05, 0.05, 2);
+    co::ProvisionOptions opts;
+    opts.tolerances = {0.5};
+    opts.objectives = {sv::Objective::Cost};
+    for (std::size_t r = 0; r < 300; ++r)
+        opts.trainRows.push_back(r);
+    auto provisioned =
+        co::provisionTierService({&fast, &slow}, opts);
+    // The trace still covers the full workload even though rules
+    // came from the training rows only.
+    EXPECT_EQ(provisioned.trace.requestCount(), 400u);
+    EXPECT_EQ(provisioned.rules.count(sv::Objective::Cost), 1u);
+    EXPECT_EQ(provisioned.rules.count(sv::Objective::ResponseTime),
+              0u);
+}
+
+TEST(Provisioner, ReferenceDefaultsToMostAccurate)
+{
+    StubVersion fast("fast", 0.3, 0.01, 3);
+    StubVersion slow("slow", 0.05, 0.05, 3);
+    co::ProvisionOptions opts;
+    opts.tolerances = {1e-9};
+    auto provisioned =
+        co::provisionTierService({&fast, &slow}, opts);
+    // At a near-zero tolerance the chosen rule must behave like the
+    // reference (last) version.
+    const auto &rules =
+        provisioned.rules.at(sv::Objective::ResponseTime);
+    ASSERT_EQ(rules.size(), 1u);
+    EXPECT_LE(rules[0].worstErrorDegradation, 1e-9);
+}
+
+TEST(Provisioner, NoVersionsPanics)
+{
+    EXPECT_DEATH(co::provisionTierService({}),
+                 "no versions");
+}
+
+// ----------------------------------------------------------------- N-best
+
+namespace {
+
+const ta::AsrWorld &
+nbestWorld()
+{
+    static ta::WorldConfig cfg = [] {
+        ta::WorldConfig c;
+        c.seed = 5;
+        c.phonemeCount = 16;
+        c.vocabSize = 40;
+        return c;
+    }();
+    static ta::AsrWorld world(cfg);
+    return world;
+}
+
+ta::Utterance
+noisyUtterance(const std::vector<int> &words, double sigma,
+               std::uint64_t seed)
+{
+    const ta::AsrWorld &world = nbestWorld();
+    tc::Pcg32 rng(seed);
+    std::vector<float> zero(ta::kFeatureDim, 0.0f);
+    ta::Utterance utt;
+    utt.refWords = words;
+    utt.refText = world.lexicon().text(words);
+    for (int w : words) {
+        for (std::size_t ph : world.lexicon().word(w).phonemes)
+            for (int f = 0; f < 3; ++f)
+                utt.frames.push_back(
+                    world.am().synthesize(ph, zero, sigma, rng));
+    }
+    return utt;
+}
+
+} // namespace
+
+TEST(NBest, ReturnsDistinctAlternativesInScoreOrder)
+{
+    ta::Decoder dec(nbestWorld());
+    ta::BeamConfig cfg;
+    cfg.maxActive = 32;
+    cfg.beamWidth = 14.0;
+    cfg.nbestSize = 5;
+    auto utt = noisyUtterance({3, 11, 7}, 0.9, 12);
+    auto res = dec.decode(utt, cfg);
+    ASSERT_FALSE(res.nbest.empty());
+    EXPECT_EQ(res.nbest[0].words, res.words);
+    EXPECT_DOUBLE_EQ(res.nbest[0].score, res.score);
+    for (std::size_t i = 1; i < res.nbest.size(); ++i) {
+        EXPECT_LE(res.nbest[i].score, res.nbest[i - 1].score);
+        for (std::size_t j = 0; j < i; ++j)
+            EXPECT_NE(res.nbest[i].words, res.nbest[j].words);
+    }
+    EXPECT_LE(res.nbest.size(), 5u);
+}
+
+TEST(NBest, DefaultConfigReturnsSingleEntry)
+{
+    ta::Decoder dec(nbestWorld());
+    ta::BeamConfig cfg;
+    auto utt = noisyUtterance({2, 5}, 0.3, 13);
+    auto res = dec.decode(utt, cfg);
+    EXPECT_EQ(res.nbest.size(), 1u);
+}
+
+TEST(NBest, MarginMatchesTopTwoEntries)
+{
+    ta::Decoder dec(nbestWorld());
+    ta::BeamConfig cfg;
+    cfg.maxActive = 32;
+    cfg.beamWidth = 14.0;
+    cfg.nbestSize = 2;
+    auto utt = noisyUtterance({1, 9, 14}, 1.0, 14);
+    auto res = dec.decode(utt, cfg);
+    if (res.nbest.size() == 2) {
+        double margin = (res.nbest[0].score - res.nbest[1].score) /
+                        static_cast<double>(res.frames);
+        EXPECT_NEAR(res.margin, margin, 1e-9);
+    }
+}
+
+// ------------------------------------------------------------- perplexity
+
+TEST(Perplexity, LowerForModelSampledText)
+{
+    const ta::AsrWorld &world = nbestWorld();
+    tc::Pcg32 rng(20);
+
+    std::vector<std::vector<int>> sampled, uniform;
+    for (int i = 0; i < 200; ++i) {
+        sampled.push_back(world.lm().sampleSentence(6, rng));
+        std::vector<int> u;
+        for (int w = 0; w < 6; ++w)
+            u.push_back(static_cast<int>(rng.nextBounded(
+                static_cast<std::uint32_t>(
+                    world.lm().vocabSize()))));
+        uniform.push_back(std::move(u));
+    }
+    double pp_sampled = world.lm().perplexity(sampled);
+    double pp_uniform = world.lm().perplexity(uniform);
+    EXPECT_LT(pp_sampled, pp_uniform);
+    EXPECT_GT(pp_sampled, 1.0);
+    // Uniform text can't beat the vocabulary-size ceiling by much.
+    EXPECT_GT(pp_uniform,
+              static_cast<double>(world.lm().vocabSize()) * 0.5);
+}
+
+TEST(Perplexity, EmptyCorpusIsUnit)
+{
+    const ta::AsrWorld &world = nbestWorld();
+    EXPECT_DOUBLE_EQ(world.lm().perplexity({}), 1.0);
+}

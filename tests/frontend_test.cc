@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the acoustic front-end (waveform synthesis + feature
+ * extraction) and the waveform-path corpus builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asr/engine.hh"
+#include "asr/frontend.hh"
+#include "asr/versions.hh"
+#include "asr/world.hh"
+#include "common/random.hh"
+#include "dataset/speech_corpus.hh"
+#include "stats/descriptive.hh"
+
+namespace ta = toltiers::asr;
+namespace tc = toltiers::common;
+namespace td = toltiers::dataset;
+
+namespace {
+
+const ta::AsrWorld &
+world()
+{
+    static ta::WorldConfig cfg = [] {
+        ta::WorldConfig c;
+        c.seed = 5;
+        c.phonemeCount = 16;
+        c.vocabSize = 40;
+        return c;
+    }();
+    static ta::AsrWorld w(cfg);
+    return w;
+}
+
+} // namespace
+
+TEST(Frontend, NoiselessRoundTripIsExact)
+{
+    ta::Frontend fe;
+    tc::Pcg32 rng(1);
+    ta::Frame features = {0.5f, -1.0f, 2.0f, 0.0f,
+                          -2.5f, 1.5f, -0.3f, 0.8f};
+    auto samples = fe.synthesizeFrame(features, 0.0, rng);
+    ASSERT_EQ(samples.size(), fe.config().frameSamples);
+    auto recovered = fe.extractFeatures(samples);
+    for (std::size_t k = 0; k < ta::kFeatureDim; ++k)
+        EXPECT_NEAR(recovered[k], features[k], 1e-3) << "band " << k;
+}
+
+TEST(Frontend, RoundTripExactForPhonemePrototypes)
+{
+    ta::Frontend fe;
+    tc::Pcg32 rng(2);
+    for (std::size_t ph = 0; ph < world().phonemes().size(); ++ph) {
+        ta::Frame proto(world().phonemes().prototype(ph).begin(),
+                        world().phonemes().prototype(ph).end());
+        auto recovered = fe.extractFeatures(
+            fe.synthesizeFrame(proto, 0.0, rng));
+        for (std::size_t k = 0; k < ta::kFeatureDim; ++k)
+            EXPECT_NEAR(recovered[k], proto[k], 1e-3);
+    }
+}
+
+TEST(Frontend, PhaseInvariance)
+{
+    // Band phases are random per call; recovery must not depend on
+    // them.
+    ta::Frontend fe;
+    tc::Pcg32 rng(3);
+    ta::Frame features = {1.0f, 1.0f, 1.0f, 1.0f,
+                          1.0f, 1.0f, 1.0f, 1.0f};
+    auto a = fe.extractFeatures(fe.synthesizeFrame(features, 0.0,
+                                                   rng));
+    auto b = fe.extractFeatures(fe.synthesizeFrame(features, 0.0,
+                                                   rng));
+    for (std::size_t k = 0; k < ta::kFeatureDim; ++k)
+        EXPECT_NEAR(a[k], b[k], 1e-3);
+}
+
+TEST(Frontend, NoiseDegradesRecoveryMonotonically)
+{
+    ta::Frontend fe;
+    tc::Pcg32 rng(4);
+    ta::Frame features = {0.0f, 0.5f, -0.5f, 1.0f,
+                          -1.0f, 0.2f, 0.8f, -0.2f};
+    double prev_err = -1.0;
+    for (double sigma : {0.0, 2.0, 8.0}) {
+        double err = 0.0;
+        for (int trial = 0; trial < 40; ++trial) {
+            auto rec = fe.extractFeatures(
+                fe.synthesizeFrame(features, sigma, rng));
+            for (std::size_t k = 0; k < ta::kFeatureDim; ++k)
+                err += std::fabs(rec[k] - features[k]);
+        }
+        EXPECT_GT(err, prev_err) << "sigma " << sigma;
+        prev_err = err;
+    }
+}
+
+TEST(Frontend, BandFrequenciesAreDistinctAndAudible)
+{
+    ta::FrontendConfig cfg;
+    double prev = 0.0;
+    for (std::size_t k = 0; k < ta::kFeatureDim; ++k) {
+        double hz = cfg.bandHz(k);
+        EXPECT_GT(hz, prev);
+        EXPECT_LT(hz, cfg.sampleRate / 2.0);
+        prev = hz;
+    }
+}
+
+TEST(Frontend, InvalidConfigPanics)
+{
+    ta::FrontendConfig cfg;
+    cfg.bins[0] = 0;
+    EXPECT_DEATH(ta::Frontend{cfg}, "band bin");
+    ta::FrontendConfig cfg2;
+    cfg2.bins[7] = cfg2.frameSamples; // Beyond Nyquist.
+    EXPECT_DEATH(ta::Frontend{cfg2}, "band bin");
+}
+
+TEST(Frontend, WrongSampleCountPanics)
+{
+    ta::Frontend fe;
+    EXPECT_DEATH(fe.extractFeatures(std::vector<float>(7)),
+                 "sample count");
+}
+
+// ------------------------------------------------------ waveform corpus
+
+TEST(WaveformCorpus, TranscriptsMatchDirectPath)
+{
+    td::SpeechCorpusConfig cfg;
+    cfg.utterances = 40;
+    cfg.seed = 21;
+    ta::Frontend fe;
+    auto direct = td::buildSpeechCorpus(world(), cfg);
+    auto wave = td::buildSpeechCorpusViaWaveform(world(), cfg, fe);
+    ASSERT_EQ(direct.size(), wave.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_EQ(direct[i].refText, wave[i].refText);
+        EXPECT_DOUBLE_EQ(direct[i].noiseSigma, wave[i].noiseSigma);
+    }
+}
+
+TEST(WaveformCorpus, DecodableByTheEngine)
+{
+    // The DSP path must produce utterances the decoder can
+    // transcribe with reasonable accuracy on the easy portion.
+    td::SpeechCorpusConfig cfg;
+    cfg.utterances = 60;
+    cfg.seed = 22;
+    cfg.easyFraction = 1.0;
+    cfg.mediumFraction = 0.0;
+    cfg.mispronounceProb = 0.0;
+    ta::Frontend fe;
+    auto corpus = td::buildSpeechCorpusViaWaveform(world(), cfg, fe);
+
+    ta::BeamConfig beam;
+    beam.maxActive = 16;
+    beam.beamWidth = 12.0;
+    ta::AsrEngine engine(world(), beam);
+    double wer = 0.0;
+    for (const auto &utt : corpus) {
+        auto res = engine.transcribe(utt);
+        wer += engine.wer(res, utt);
+    }
+    EXPECT_LT(wer / corpus.size(), 0.15);
+}
+
+TEST(WaveformCorpus, NoiseScaleControlsDifficulty)
+{
+    td::SpeechCorpusConfig cfg;
+    cfg.utterances = 50;
+    cfg.seed = 23;
+    cfg.mispronounceProb = 0.0;
+    ta::Frontend fe;
+    ta::BeamConfig beam;
+    beam.maxActive = 16;
+    beam.beamWidth = 12.0;
+    ta::AsrEngine engine(world(), beam);
+
+    double prev_wer = -1.0;
+    for (double scale : {0.0, 4.5, 12.0}) {
+        auto corpus = td::buildSpeechCorpusViaWaveform(world(), cfg,
+                                                       fe, scale);
+        double wer = 0.0;
+        for (const auto &utt : corpus)
+            wer += engine.wer(engine.transcribe(utt), utt);
+        wer /= corpus.size();
+        EXPECT_GE(wer, prev_wer - 0.02) << "scale " << scale;
+        prev_wer = wer;
+    }
+    EXPECT_GT(prev_wer, 0.2); // Heavy waveform noise really hurts.
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * End-to-end integration tests: synthetic world -> corpus -> engine
+ * versions -> measurement traces -> rule generation -> live tier
+ * service, with 10-fold cross-validated guarantee checks (the
+ * paper's validation methodology at reduced scale).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "asr/service.hh"
+#include "asr/versions.hh"
+#include "core/categories.hh"
+#include "core/rule_generator.hh"
+#include "core/tier_service.hh"
+#include "dataset/speech_corpus.hh"
+#include "serving/api.hh"
+#include "serving/instance.hh"
+#include "stats/kfold.hh"
+
+namespace ta = toltiers::asr;
+namespace td = toltiers::dataset;
+namespace co = toltiers::core;
+namespace sv = toltiers::serving;
+namespace ts = toltiers::stats;
+namespace tc = toltiers::common;
+
+namespace {
+
+/** Shared pipeline fixture: built once for the whole suite. */
+class AsrPipeline : public testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        world_ = new ta::AsrWorld();
+        td::SpeechCorpusConfig cc;
+        cc.utterances = 1200;
+        cc.seed = 2026;
+        corpus_ = new std::vector<ta::Utterance>(
+            td::buildSpeechCorpus(*world_, cc));
+
+        catalog_ = new sv::InstanceCatalog();
+        const auto &cpu = catalog_->get("cpu-small");
+        engines_ = new std::vector<std::unique_ptr<ta::AsrEngine>>();
+        services_ =
+            new std::vector<std::unique_ptr<ta::AsrServiceVersion>>();
+        auto *ptrs =
+            new std::vector<const sv::ServiceVersion *>();
+        for (const auto &cfg : ta::paretoVersions()) {
+            engines_->push_back(
+                std::make_unique<ta::AsrEngine>(*world_, cfg));
+            services_->push_back(
+                std::make_unique<ta::AsrServiceVersion>(
+                    *engines_->back(), *corpus_, cpu));
+            ptrs->push_back(services_->back().get());
+        }
+        versions_ = ptrs;
+        trace_ = new co::MeasurementSet(
+            co::MeasurementSet::collect(*versions_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete trace_;
+        delete versions_;
+        delete services_;
+        delete engines_;
+        delete catalog_;
+        delete corpus_;
+        delete world_;
+    }
+
+    static ta::AsrWorld *world_;
+    static std::vector<ta::Utterance> *corpus_;
+    static sv::InstanceCatalog *catalog_;
+    static std::vector<std::unique_ptr<ta::AsrEngine>> *engines_;
+    static std::vector<std::unique_ptr<ta::AsrServiceVersion>>
+        *services_;
+    static std::vector<const sv::ServiceVersion *> *versions_;
+    static co::MeasurementSet *trace_;
+};
+
+ta::AsrWorld *AsrPipeline::world_ = nullptr;
+std::vector<ta::Utterance> *AsrPipeline::corpus_ = nullptr;
+sv::InstanceCatalog *AsrPipeline::catalog_ = nullptr;
+std::vector<std::unique_ptr<ta::AsrEngine>> *AsrPipeline::engines_ =
+    nullptr;
+std::vector<std::unique_ptr<ta::AsrServiceVersion>>
+    *AsrPipeline::services_ = nullptr;
+std::vector<const sv::ServiceVersion *> *AsrPipeline::versions_ =
+    nullptr;
+co::MeasurementSet *AsrPipeline::trace_ = nullptr;
+
+} // namespace
+
+TEST_F(AsrPipeline, TraceDimensionsMatchWorkload)
+{
+    EXPECT_EQ(trace_->versionCount(), 7u);
+    EXPECT_EQ(trace_->requestCount(), corpus_->size());
+}
+
+TEST_F(AsrPipeline, VersionLadderMonotone)
+{
+    for (std::size_t v = 1; v < trace_->versionCount(); ++v) {
+        EXPECT_LT(trace_->meanLatency(v - 1), trace_->meanLatency(v));
+        EXPECT_LT(trace_->meanCost(v - 1), trace_->meanCost(v));
+        // Accuracy improves (small jitter tolerated).
+        EXPECT_LT(trace_->meanError(v),
+                  trace_->meanError(v - 1) + 0.005);
+    }
+}
+
+TEST_F(AsrPipeline, MostRequestsAreVersionInsensitive)
+{
+    auto breakdown = co::categorize(*trace_);
+    EXPECT_GT(breakdown.fraction(co::Category::Unchanged), 0.5);
+    EXPECT_GT(breakdown.fraction(co::Category::Improves), 0.08);
+    EXPECT_LT(breakdown.fraction(co::Category::Degrades), 0.05);
+}
+
+TEST_F(AsrPipeline, TenFoldGuaranteeValidation)
+{
+    // The paper's headline validation: rules generated on train
+    // folds never violate their tolerance on the held-out fold
+    // (modulo the statistical nature of the guarantee; we allow a
+    // small sampling slack on 120-utterance folds).
+    tc::Pcg32 rng(77);
+    auto folds = ts::kfold(trace_->requestCount(), 10, rng);
+    std::size_t reference = trace_->versionCount() - 1;
+
+    // A reduced candidate set keeps the 10-fold loop fast.
+    auto candidates = co::enumerateCandidates(
+        trace_->versionCount(), {0.5, 0.9});
+
+    std::size_t violations = 0, checks = 0;
+    for (std::size_t f = 0; f < 3; ++f) { // 3 folds suffice here
+        auto train = trace_->subset(folds[f].train);
+        auto test = trace_->subset(folds[f].test);
+        co::RuleGenConfig rg;
+        rg.referenceVersion = reference;
+        rg.seed = f;
+        co::RoutingRuleGenerator gen(train, candidates, rg);
+        auto rules = gen.generate({0.02, 0.05, 0.10},
+                                  sv::Objective::ResponseTime);
+        std::vector<std::size_t> all(test.requestCount());
+        for (std::size_t i = 0; i < all.size(); ++i)
+            all[i] = i;
+        for (const auto &rule : rules) {
+            auto m = co::simulate(test, all, rule.cfg, reference);
+            ++checks;
+            if (m.errorDegradation > rule.tolerance + 0.05)
+                ++violations;
+        }
+    }
+    EXPECT_EQ(violations, 0u) << "of " << checks << " checks";
+}
+
+TEST_F(AsrPipeline, TierServiceBeatsOsfaLatency)
+{
+    std::size_t reference = trace_->versionCount() - 1;
+    co::RuleGenConfig rg;
+    rg.referenceVersion = reference;
+    co::RoutingRuleGenerator gen(
+        *trace_,
+        co::enumerateCandidates(trace_->versionCount(), {0.5, 0.9}),
+        rg);
+
+    co::TierService svc(*versions_);
+    svc.setRules(sv::Objective::ResponseTime,
+                 gen.generate(co::toleranceGrid(0.10, 0.02),
+                              sv::Objective::ResponseTime));
+
+    // Replay annotated requests live at a loose tolerance and
+    // compare to the OSFA (reference) version.
+    double tier_latency = 0.0, osfa_latency = 0.0;
+    const std::size_t n = 60;
+    for (std::size_t i = 0; i < n; ++i) {
+        sv::ServiceRequest req;
+        req.payload = i;
+        req.tier.tolerance = 0.10;
+        auto resp = svc.handle(req);
+        tier_latency += resp.latencySeconds;
+        osfa_latency +=
+            (*versions_)[reference]->process(i).latencySeconds;
+        EXPECT_FALSE(resp.output.empty() && !resp.escalated);
+    }
+    EXPECT_LT(tier_latency, osfa_latency);
+}
+
+TEST_F(AsrPipeline, AnnotatedRequestRoundTrip)
+{
+    std::size_t reference = trace_->versionCount() - 1;
+    co::RuleGenConfig rg;
+    rg.referenceVersion = reference;
+    co::RoutingRuleGenerator gen(
+        *trace_,
+        co::enumerateCandidates(trace_->versionCount(), {0.9}), rg);
+    co::TierService svc(*versions_);
+    svc.setRules(sv::Objective::Cost,
+                 gen.generate({0.05}, sv::Objective::Cost));
+
+    auto req = sv::parseAnnotatedRequest(
+        "Tolerance: 0.05\nObjective: cost\n");
+    req.payload = 3;
+    auto resp = svc.handle(req);
+    EXPECT_GT(resp.latencySeconds, 0.0);
+    EXPECT_GT(resp.costDollars, 0.0);
+    EXPECT_LE(resp.ruleTolerance, 0.05 + 1e-12);
+}
+
+TEST_F(AsrPipeline, TraceCachingRoundTrip)
+{
+    std::string path = testing::TempDir() + "tt_asr_trace.ttm";
+    trace_->save(path);
+    auto loaded = co::MeasurementSet::load(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->requestCount(), trace_->requestCount());
+    EXPECT_DOUBLE_EQ(loaded->meanError(3), trace_->meanError(3));
+    std::remove(path.c_str());
+}

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Cross-module property tests: invariants that must hold for every
+ * random trace, policy, and simulation, swept over seeds with
+ * parameterized gtest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "core/policy.hh"
+#include "core/rule_generator.hh"
+#include "serving/cluster.hh"
+#include "stats/descriptive.hh"
+#include "stats/levenshtein.hh"
+#include "tensor/ops.hh"
+
+namespace co = toltiers::core;
+namespace sv = toltiers::serving;
+namespace ts = toltiers::stats;
+namespace tc = toltiers::common;
+namespace tt = toltiers::tensor;
+
+namespace {
+
+/** Random two-version trace with correlated confidence. */
+co::MeasurementSet
+randomTrace(std::size_t n, tc::Pcg32 &rng)
+{
+    co::MeasurementSet ms({"fast", "accurate"});
+    for (std::size_t i = 0; i < n; ++i) {
+        co::Measurement fast;
+        fast.error = rng.bernoulli(0.3) ? rng.uniform(0.2, 1.0) : 0.0;
+        fast.latency = rng.uniform(0.005, 0.02);
+        fast.cost = fast.latency * 1e-4;
+        fast.confidence = fast.error > 0.0 ? rng.uniform(0.0, 0.7)
+                                           : rng.uniform(0.3, 1.0);
+        co::Measurement acc;
+        acc.error = rng.bernoulli(0.05) ? rng.uniform(0.2, 1.0) : 0.0;
+        acc.latency = rng.uniform(0.03, 0.08);
+        acc.cost = acc.latency * 1e-4;
+        acc.confidence = rng.uniform(0.8, 1.0);
+        ms.addRequest({fast, acc});
+    }
+    return ms;
+}
+
+} // namespace
+
+// --------------------------------------------------------- policy algebra
+
+class PolicyProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(PolicyProperty, KindsAgreeOnErrorAndOrderOnCost)
+{
+    tc::Pcg32 rng(GetParam() + 9000);
+    auto ms = randomTrace(200, rng);
+
+    for (double th : {0.3, 0.6, 0.9}) {
+        co::EnsembleConfig seq, et, fo;
+        for (auto *cfg : {&seq, &et, &fo}) {
+            cfg->primary = 0;
+            cfg->secondary = 1;
+            cfg->confidenceThreshold = th;
+        }
+        seq.kind = co::PolicyKind::Sequential;
+        et.kind = co::PolicyKind::ConcurrentEt;
+        fo.kind = co::PolicyKind::ConcurrentFo;
+
+        for (std::size_t r = 0; r < ms.requestCount(); r += 7) {
+            auto os = co::evaluateRequest(ms, seq, r);
+            auto oe = co::evaluateRequest(ms, et, r);
+            auto of = co::evaluateRequest(ms, fo, r);
+
+            // All three escalate on the same confidence test, so
+            // they must return the same result (error).
+            EXPECT_DOUBLE_EQ(os.error, oe.error);
+            EXPECT_DOUBLE_EQ(oe.error, of.error);
+            EXPECT_EQ(os.escalated, oe.escalated);
+
+            // Concurrent variants respond at the same time.
+            EXPECT_DOUBLE_EQ(oe.latency, of.latency);
+            // Sequential is never faster than concurrent.
+            EXPECT_GE(os.latency, oe.latency - 1e-12);
+
+            // Cost ordering: seq <= et <= fo.
+            EXPECT_LE(os.cost, oe.cost + 1e-12);
+            EXPECT_LE(oe.cost, of.cost + 1e-12);
+
+            // Bounds against the underlying singles.
+            const auto &p = ms.at(0, r);
+            const auto &s = ms.at(1, r);
+            EXPECT_GE(os.cost, p.cost - 1e-12);
+            EXPECT_LE(of.cost, p.cost + s.cost + 1e-12);
+            EXPECT_GE(oe.latency,
+                      std::min(p.latency, s.latency) - 1e-12);
+            EXPECT_LE(os.latency, p.latency + s.latency + 1e-12);
+        }
+    }
+}
+
+TEST_P(PolicyProperty, AggregateIsMeanOfPerRequest)
+{
+    tc::Pcg32 rng(GetParam() + 9100);
+    auto ms = randomTrace(64, rng);
+    co::EnsembleConfig cfg;
+    cfg.kind = co::PolicyKind::Sequential;
+    cfg.primary = 0;
+    cfg.secondary = 1;
+    cfg.confidenceThreshold = 0.5;
+
+    auto rows = std::vector<std::size_t>{};
+    for (std::size_t r = 0; r < ms.requestCount(); ++r)
+        rows.push_back(r);
+    auto agg = co::evaluateSample(ms, cfg, rows);
+
+    double err = 0.0, lat = 0.0, cost = 0.0;
+    for (std::size_t r : rows) {
+        auto o = co::evaluateRequest(ms, cfg, r);
+        err += o.error;
+        lat += o.latency;
+        cost += o.cost;
+    }
+    auto n = static_cast<double>(rows.size());
+    EXPECT_NEAR(agg.meanError, err / n, 1e-12);
+    EXPECT_NEAR(agg.meanLatency, lat / n, 1e-12);
+    EXPECT_NEAR(agg.meanCost, cost / n, 1e-12);
+}
+
+TEST_P(PolicyProperty, ThresholdMonotonicityOfEscalation)
+{
+    tc::Pcg32 rng(GetParam() + 9200);
+    auto ms = randomTrace(300, rng);
+    auto rows = std::vector<std::size_t>{};
+    for (std::size_t r = 0; r < ms.requestCount(); ++r)
+        rows.push_back(r);
+
+    double prev = -1.0;
+    for (double th : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        co::EnsembleConfig cfg;
+        cfg.kind = co::PolicyKind::Sequential;
+        cfg.primary = 0;
+        cfg.secondary = 1;
+        cfg.confidenceThreshold = th;
+        auto agg = co::evaluateSample(ms, cfg, rows);
+        EXPECT_GE(agg.escalationRate, prev);
+        prev = agg.escalationRate;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyProperty, testing::Range(0, 12));
+
+// ----------------------------------------------------- rule-gen property
+
+class RuleGenProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(RuleGenProperty, ObjectiveMonotoneInTolerance)
+{
+    tc::Pcg32 rng(GetParam() + 9300);
+    auto ms = randomTrace(1200, rng);
+    co::RuleGenConfig cfg;
+    cfg.referenceVersion = 1;
+    cfg.seed = GetParam();
+    co::RoutingRuleGenerator gen(
+        ms, co::enumerateCandidates(2, {0.3, 0.6, 0.9}), cfg);
+    auto worst_objective = [&](const co::EnsembleConfig &cfg,
+                               sv::Objective objective) {
+        for (const auto &rec : gen.records()) {
+            if (rec.cfg.kind == cfg.kind &&
+                rec.cfg.primary == cfg.primary &&
+                rec.cfg.secondary == cfg.secondary &&
+                rec.cfg.confidenceThreshold ==
+                    cfg.confidenceThreshold) {
+                return objective == sv::Objective::ResponseTime
+                           ? rec.worstLatency
+                           : rec.worstCost;
+            }
+        }
+        return 0.0; // Fallback rule: not among the candidates.
+    };
+
+    for (auto objective : {sv::Objective::ResponseTime,
+                           sv::Objective::Cost}) {
+        auto rules = gen.generate(co::toleranceGrid(1.0, 0.1),
+                                  objective);
+        double prev = 1e100;
+        for (const auto &rule : rules) {
+            // Each rule respects its tolerance by construction.
+            EXPECT_LE(rule.worstErrorDegradation,
+                      rule.tolerance + 1e-12);
+            // A looser tolerance only grows the qualifying set, so
+            // the chosen worst-case objective never worsens.
+            double w = worst_objective(rule.cfg, objective);
+            if (w == 0.0)
+                continue; // Fallback rule.
+            EXPECT_LE(w, prev * (1.0 + 1e-9));
+            prev = w;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleGenProperty,
+                         testing::Range(0, 8));
+
+// ------------------------------------------------------- cluster property
+
+class ClusterProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ClusterProperty, CostEqualsBilledBusySeconds)
+{
+    tc::Pcg32 rng(GetParam() + 9400);
+    const double price0 = 2.0, price1 = 5.0;
+    sv::ClusterSim sim({{"a", 2, price0}, {"b", 1, price1}});
+
+    std::vector<sv::SimJob> jobs;
+    double t = 0.0;
+    for (int i = 0; i < 60; ++i) {
+        t += rng.uniform(0.0, 0.05);
+        sv::SimJob j;
+        j.arrival = t;
+        if (rng.bernoulli(0.4)) {
+            j.concurrent = true;
+            j.acceptFirst = rng.bernoulli(0.5);
+            j.stages = {{0, rng.uniform(0.01, 0.1)},
+                        {1, rng.uniform(0.05, 0.3)}};
+        } else {
+            j.stages = {{0, rng.uniform(0.01, 0.1)}};
+            if (rng.bernoulli(0.5))
+                j.stages.push_back({1, rng.uniform(0.05, 0.3)});
+        }
+        jobs.push_back(j);
+    }
+    auto rep = sim.run(jobs);
+
+    // Conservation: total billed cost equals pool busy-seconds
+    // weighted by prices.
+    double expected = rep.poolBusySeconds[0] * price0 +
+                      rep.poolBusySeconds[1] * price1;
+    EXPECT_NEAR(rep.totalCost, expected, 1e-9);
+
+    // Sanity: responses non-negative, utilization within [0, 1].
+    for (const auto &j : rep.jobs) {
+        EXPECT_GE(j.responseTime, 0.0);
+        EXPECT_GE(j.queueing, 0.0);
+    }
+    for (double u : rep.poolUtilization) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0 + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterProperty,
+                         testing::Range(0, 10));
+
+// ------------------------------------------------------- tensor property
+
+class TensorProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(TensorProperty, MatmulAssociativity)
+{
+    tc::Pcg32 rng(GetParam() + 9500);
+    auto rand = [&](std::size_t r, std::size_t c) {
+        tt::Tensor t({r, c});
+        t.randomNormal(rng, 1.0f);
+        return t;
+    };
+    std::size_t a = 2 + rng.nextBounded(5);
+    std::size_t b = 2 + rng.nextBounded(5);
+    std::size_t c = 2 + rng.nextBounded(5);
+    std::size_t d = 2 + rng.nextBounded(5);
+    tt::Tensor A = rand(a, b), B = rand(b, c), C = rand(c, d);
+    tt::Tensor left = tt::matmul(tt::matmul(A, B), C);
+    tt::Tensor right = tt::matmul(A, tt::matmul(B, C));
+    ASSERT_TRUE(left.sameShape(right));
+    for (std::size_t i = 0; i < left.size(); ++i)
+        EXPECT_NEAR(left[i], right[i], 1e-3);
+}
+
+TEST_P(TensorProperty, SoftmaxInvariantToLogitShift)
+{
+    tc::Pcg32 rng(GetParam() + 9600);
+    tt::Tensor logits({3, 5});
+    logits.randomNormal(rng, 2.0f);
+    tt::Tensor shifted = logits;
+    float shift = static_cast<float>(rng.uniform(-50.0, 50.0));
+    for (std::size_t i = 0; i < shifted.size(); ++i)
+        shifted[i] += shift;
+    auto p1 = tt::softmaxRows(logits);
+    auto p2 = tt::softmaxRows(shifted);
+    for (std::size_t i = 0; i < p1.size(); ++i)
+        EXPECT_NEAR(p1[i], p2[i], 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorProperty,
+                         testing::Range(0, 10));
+
+// ------------------------------------------------------- metric property
+
+class WerProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(WerProperty, WerConsistentWithEditDistance)
+{
+    tc::Pcg32 rng(GetParam() + 9700);
+    auto random_seq = [&](std::size_t max_len) {
+        std::vector<std::string> s;
+        std::size_t len = 1 + rng.nextBounded(
+            static_cast<std::uint32_t>(max_len));
+        for (std::size_t i = 0; i < len; ++i)
+            s.push_back(std::string(1, 'a' + rng.nextBounded(5)));
+        return s;
+    };
+    auto hyp = random_seq(10), ref = random_seq(10);
+    double wer = ts::wordErrorRate(hyp, ref);
+    EXPECT_NEAR(wer,
+                static_cast<double>(ts::editDistance(hyp, ref)) /
+                    static_cast<double>(ref.size()),
+                1e-12);
+    EXPECT_GE(wer, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WerProperty, testing::Range(0, 10));

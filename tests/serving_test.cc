@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Unit tests for the serving layer: request annotation parsing,
+ * instance catalog / cost model, and the discrete-event cluster
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "serving/api.hh"
+#include "serving/cluster.hh"
+#include "serving/deployment.hh"
+#include "serving/instance.hh"
+
+namespace sv = toltiers::serving;
+namespace tc = toltiers::common;
+
+// -------------------------------------------------------------------- api
+
+TEST(Api, ParsesPaperExampleAnnotation)
+{
+    auto req = sv::parseAnnotatedRequest(
+        "Tolerance: 0.01\nObjective: response-time\n");
+    EXPECT_DOUBLE_EQ(req.tier.tolerance, 0.01);
+    EXPECT_EQ(req.tier.objective, sv::Objective::ResponseTime);
+}
+
+TEST(Api, ParsesCostObjective)
+{
+    auto req = sv::parseAnnotatedRequest("Objective: cost");
+    EXPECT_EQ(req.tier.objective, sv::Objective::Cost);
+}
+
+TEST(Api, DefaultsWhenHeadersAbsent)
+{
+    auto req = sv::parseAnnotatedRequest("X-Other: 1\n");
+    EXPECT_DOUBLE_EQ(req.tier.tolerance, 0.0);
+    EXPECT_EQ(req.tier.objective, sv::Objective::ResponseTime);
+    EXPECT_EQ(req.headers.at("x-other"), "1");
+}
+
+TEST(Api, HeaderNamesCaseInsensitive)
+{
+    auto req = sv::parseAnnotatedRequest(
+        "TOLERANCE: 0.05\nobjective: Cost\n");
+    EXPECT_DOUBLE_EQ(req.tier.tolerance, 0.05);
+    EXPECT_EQ(req.tier.objective, sv::Objective::Cost);
+}
+
+TEST(Api, MalformedToleranceIsFatal)
+{
+    EXPECT_DEATH(sv::parseAnnotatedRequest("Tolerance: abc"),
+                 "not a number");
+    EXPECT_DEATH(sv::parseAnnotatedRequest("Tolerance: 1.5"),
+                 "lie in");
+    EXPECT_DEATH(sv::parseAnnotatedRequest("Tolerance: -0.1"),
+                 "lie in");
+}
+
+TEST(Api, MalformedHeaderLineIsFatal)
+{
+    EXPECT_DEATH(sv::parseAnnotatedRequest("no colon here"),
+                 "malformed header");
+}
+
+TEST(Api, UnknownObjectiveIsFatal)
+{
+    EXPECT_DEATH(sv::parseAnnotatedRequest("Objective: speed"),
+                 "unknown Objective");
+}
+
+TEST(Api, FormatRoundTrip)
+{
+    sv::TierAnnotation tier;
+    tier.tolerance = 0.03;
+    tier.objective = sv::Objective::Cost;
+    auto req = sv::parseAnnotatedRequest(sv::formatAnnotation(tier));
+    EXPECT_DOUBLE_EQ(req.tier.tolerance, 0.03);
+    EXPECT_EQ(req.tier.objective, sv::Objective::Cost);
+}
+
+TEST(Api, ObjectiveNames)
+{
+    EXPECT_STREQ(sv::objectiveName(sv::Objective::ResponseTime),
+                 "response-time");
+    EXPECT_STREQ(sv::objectiveName(sv::Objective::Cost), "cost");
+    EXPECT_EQ(sv::parseObjective("latency"),
+              sv::Objective::ResponseTime);
+}
+
+// --------------------------------------------------------------- instance
+
+TEST(Instance, CatalogContainsExpectedTypes)
+{
+    sv::InstanceCatalog cat;
+    EXPECT_EQ(cat.all().size(), 3u);
+    EXPECT_DOUBLE_EQ(cat.get("cpu-small").speedFactor, 1.0);
+    EXPECT_GT(cat.get("gpu").speedFactor,
+              cat.get("cpu-large").speedFactor);
+}
+
+TEST(Instance, UnknownTypeIsFatal)
+{
+    sv::InstanceCatalog cat;
+    EXPECT_DEATH(cat.get("tpu"), "unknown instance");
+}
+
+TEST(Instance, CostModelLinearInTime)
+{
+    sv::InstanceType t{"x", 2.0, 0.36};
+    EXPECT_DOUBLE_EQ(t.pricePerSecond(), 0.0001);
+    EXPECT_DOUBLE_EQ(t.latency(1.0), 0.5);
+    EXPECT_DOUBLE_EQ(t.invocationCost(1.0), 0.5 * 0.0001);
+}
+
+// ---------------------------------------------------------------- cluster
+
+namespace {
+
+sv::SimJob
+singleJob(double arrival, std::size_t pool, double service)
+{
+    sv::SimJob j;
+    j.arrival = arrival;
+    j.stages = {{pool, service}};
+    return j;
+}
+
+} // namespace
+
+TEST(Cluster, SingleJobNoQueueing)
+{
+    sv::ClusterSim sim({{"p0", 1, 1.0}});
+    auto rep = sim.run({singleJob(0.0, 0, 2.0)});
+    ASSERT_EQ(rep.jobs.size(), 1u);
+    EXPECT_DOUBLE_EQ(rep.jobs[0].responseTime, 2.0);
+    EXPECT_DOUBLE_EQ(rep.jobs[0].queueing, 0.0);
+    EXPECT_DOUBLE_EQ(rep.jobs[0].cost, 2.0);
+    EXPECT_DOUBLE_EQ(rep.makespan, 2.0);
+}
+
+TEST(Cluster, FifoQueueingOnBusyServer)
+{
+    sv::ClusterSim sim({{"p0", 1, 0.0}});
+    auto rep = sim.run({singleJob(0.0, 0, 2.0),
+                        singleJob(0.5, 0, 1.0)});
+    // Second job waits until t=2, finishes at t=3.
+    EXPECT_DOUBLE_EQ(rep.jobs[1].responseTime, 2.5);
+    EXPECT_DOUBLE_EQ(rep.jobs[1].queueing, 1.5);
+}
+
+TEST(Cluster, TwoServersRunInParallel)
+{
+    sv::ClusterSim sim({{"p0", 2, 0.0}});
+    auto rep = sim.run({singleJob(0.0, 0, 2.0),
+                        singleJob(0.0, 0, 2.0)});
+    EXPECT_DOUBLE_EQ(rep.jobs[0].responseTime, 2.0);
+    EXPECT_DOUBLE_EQ(rep.jobs[1].responseTime, 2.0);
+}
+
+TEST(Cluster, SequentialChainTraversesPools)
+{
+    sv::ClusterSim sim({{"fast", 1, 1.0}, {"slow", 1, 2.0}});
+    sv::SimJob j;
+    j.arrival = 1.0;
+    j.stages = {{0, 1.0}, {1, 3.0}};
+    auto rep = sim.run({j});
+    EXPECT_DOUBLE_EQ(rep.jobs[0].responseTime, 4.0);
+    EXPECT_DOUBLE_EQ(rep.jobs[0].cost, 1.0 * 1.0 + 3.0 * 2.0);
+    EXPECT_DOUBLE_EQ(rep.poolBusySeconds[0], 1.0);
+    EXPECT_DOUBLE_EQ(rep.poolBusySeconds[1], 3.0);
+}
+
+TEST(Cluster, ConcurrentAcceptFirstCancelsLoser)
+{
+    sv::ClusterSim sim({{"fast", 1, 1.0}, {"slow", 1, 1.0}});
+    sv::SimJob j;
+    j.arrival = 0.0;
+    j.concurrent = true;
+    j.acceptFirst = true;
+    j.stages = {{0, 1.0}, {1, 5.0}};
+    auto rep = sim.run({j});
+    EXPECT_DOUBLE_EQ(rep.jobs[0].responseTime, 1.0);
+    // Loser billed for its partial run: 1s of the 5s job.
+    EXPECT_DOUBLE_EQ(rep.jobs[0].cost, 1.0 + 1.0);
+    EXPECT_DOUBLE_EQ(rep.poolBusySeconds[1], 1.0);
+}
+
+TEST(Cluster, ConcurrentAuthoritativeWaitsForSlow)
+{
+    sv::ClusterSim sim({{"fast", 1, 1.0}, {"slow", 1, 1.0}});
+    sv::SimJob j;
+    j.arrival = 0.0;
+    j.concurrent = true;
+    j.acceptFirst = false; // Must wait for stage 1.
+    j.stages = {{0, 1.0}, {1, 5.0}};
+    auto rep = sim.run({j});
+    EXPECT_DOUBLE_EQ(rep.jobs[0].responseTime, 5.0);
+    EXPECT_DOUBLE_EQ(rep.jobs[0].cost, 1.0 + 5.0);
+}
+
+TEST(Cluster, CancelledWaitingStageCostsNothing)
+{
+    // Two concurrent jobs race on a single-server slow pool; the
+    // second job's slow stage is still waiting when its fast stage
+    // responds, so it must be dequeued at zero cost.
+    sv::ClusterSim sim({{"fast", 2, 1.0}, {"slow", 1, 1.0}});
+    sv::SimJob a;
+    a.arrival = 0.0;
+    a.concurrent = true;
+    a.stages = {{0, 1.0}, {1, 10.0}};
+    sv::SimJob b = a;
+    auto rep = sim.run({a, b});
+    EXPECT_DOUBLE_EQ(rep.jobs[0].responseTime, 1.0);
+    EXPECT_DOUBLE_EQ(rep.jobs[1].responseTime, 1.0);
+    // Pool 1 ran at most one partial second for the first job; the
+    // second job's slow stage never started.
+    EXPECT_LE(rep.poolBusySeconds[1], 1.0 + 1e-9);
+}
+
+TEST(Cluster, UtilizationComputed)
+{
+    sv::ClusterSim sim({{"p0", 2, 0.0}});
+    auto rep = sim.run({singleJob(0.0, 0, 4.0),
+                        singleJob(0.0, 0, 2.0)});
+    EXPECT_DOUBLE_EQ(rep.makespan, 4.0);
+    EXPECT_DOUBLE_EQ(rep.poolUtilization[0], 6.0 / 8.0);
+}
+
+TEST(Cluster, AggregatesMeanAndP99)
+{
+    sv::ClusterSim sim({{"p0", 4, 0.0}});
+    std::vector<sv::SimJob> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back(singleJob(0.0, 0, 1.0 + i));
+    auto rep = sim.run(jobs);
+    EXPECT_DOUBLE_EQ(rep.meanResponse, 2.5);
+    EXPECT_GT(rep.p99Response, 3.9);
+}
+
+TEST(Cluster, HighLoadQueueingGrows)
+{
+    // With utilization > 1, response times must blow up relative to
+    // service time.
+    sv::ClusterSim sim({{"p0", 1, 0.0}});
+    std::vector<sv::SimJob> jobs;
+    for (int i = 0; i < 50; ++i)
+        jobs.push_back(singleJob(i * 0.5, 0, 1.0));
+    auto rep = sim.run(jobs);
+    EXPECT_GT(rep.jobs.back().queueing, 10.0);
+}
+
+TEST(Cluster, InvalidConfigurationsPanic)
+{
+    EXPECT_DEATH(sv::ClusterSim({}), "at least one pool");
+    EXPECT_DEATH(sv::ClusterSim({{"p", 0, 0.0}}), "no servers");
+    sv::ClusterSim sim({{"p0", 1, 0.0}});
+    sv::SimJob j;
+    j.arrival = 0.0;
+    EXPECT_DEATH(sim.run({j}), "without stages");
+    sv::SimJob c;
+    c.arrival = 0.0;
+    c.concurrent = true;
+    c.stages = {{0, 1.0}};
+    EXPECT_DEATH(sim.run({c}), "exactly two");
+}
+
+TEST(Cluster, LateArrivalNeverStartsEarly)
+{
+    // Regression: a job whose arrival is later than a server-free
+    // instant must still wait for its own arrival. With one server,
+    // job A (0s, 1s long) frees the server at t=1; job B arrives at
+    // t=5 and must respond at t=6, never before its arrival.
+    sv::ClusterSim sim({{"p0", 1, 0.0}});
+    auto rep = sim.run({singleJob(0.0, 0, 1.0),
+                        singleJob(5.0, 0, 1.0)});
+    EXPECT_DOUBLE_EQ(rep.jobs[1].responseTime, 1.0);
+    EXPECT_DOUBLE_EQ(rep.jobs[1].queueing, 0.0);
+    EXPECT_DOUBLE_EQ(rep.makespan, 6.0);
+}
+
+TEST(Cluster, ManyJobsNonNegativeResponse)
+{
+    // Regression companion: under random arrivals no response time
+    // or queueing delay may ever be negative.
+    tc::Pcg32 rng(3);
+    sv::ClusterSim sim({{"p0", 3, 1.0}});
+    auto arrivals = sv::poissonArrivals(500, 50.0, rng);
+    std::vector<sv::SimJob> jobs;
+    for (double a : arrivals)
+        jobs.push_back(singleJob(a, 0, rng.uniform(0.01, 0.1)));
+    auto rep = sim.run(jobs);
+    for (const auto &j : rep.jobs) {
+        EXPECT_GE(j.responseTime, 0.0);
+        EXPECT_GE(j.queueing, 0.0);
+    }
+}
+
+TEST(Cluster, PoissonArrivalsSortedAndRateConsistent)
+{
+    tc::Pcg32 rng(1);
+    auto arr = sv::poissonArrivals(5000, 2.0, rng);
+    ASSERT_EQ(arr.size(), 5000u);
+    for (std::size_t i = 1; i < arr.size(); ++i)
+        EXPECT_GE(arr[i], arr[i - 1]);
+    // Mean inter-arrival ~ 1/rate.
+    EXPECT_NEAR(arr.back() / 5000.0, 0.5, 0.05);
+}
+
+// ------------------------------------------------------------- deployment
+
+TEST(Deployment, PoolAccountingAndCosts)
+{
+    sv::InstanceCatalog cat;
+    sv::Deployment d;
+    d.addPool({"v1", 6, cat.get("cpu-small")});
+    d.addPool({"v7", 2, cat.get("gpu")});
+    EXPECT_EQ(d.poolCount(), 2u);
+    EXPECT_EQ(d.totalNodes(), 8u);
+    EXPECT_DOUBLE_EQ(d.hourlyCost(), 6 * 0.10 + 2 * 0.90);
+    EXPECT_EQ(d.poolFor("v7"), 1u);
+    EXPECT_EQ(d.pool(0).versionName, "v1");
+}
+
+TEST(Deployment, UnknownVersionIsFatal)
+{
+    sv::Deployment d;
+    d.addPool({"v1", 1, sv::InstanceType{"x", 1.0, 0.1}});
+    EXPECT_EXIT(d.poolFor("nope"), testing::ExitedWithCode(1),
+                "not deployed");
+}
+
+TEST(Deployment, SimPoolsCarryPricing)
+{
+    sv::InstanceCatalog cat;
+    auto d = sv::tieredDeployment("fast", 3, "slow", 1,
+                                  cat.get("cpu-small"));
+    auto pools = d.simPools();
+    ASSERT_EQ(pools.size(), 2u);
+    EXPECT_EQ(pools[0].name, "fast");
+    EXPECT_EQ(pools[0].servers, 3u);
+    EXPECT_DOUBLE_EQ(pools[0].pricePerSecond,
+                     cat.get("cpu-small").pricePerSecond());
+}
+
+TEST(Deployment, OsfaHelperIsSinglePool)
+{
+    sv::InstanceCatalog cat;
+    auto d = sv::osfaDeployment("v7", 4, cat.get("cpu-large"));
+    EXPECT_EQ(d.poolCount(), 1u);
+    EXPECT_EQ(d.totalNodes(), 4u);
+}
+
+TEST(Deployment, ZeroNodePoolPanics)
+{
+    sv::Deployment d;
+    EXPECT_DEATH(
+        d.addPool({"v1", 0, sv::InstanceType{"x", 1.0, 0.1}}),
+        "at least one node");
+}

@@ -1,0 +1,586 @@
+/**
+ * @file
+ * Unit and property tests for the statistics library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.hh"
+#include "stats/bootstrap.hh"
+#include "stats/confusion.hh"
+#include "stats/correlation.hh"
+#include "stats/descriptive.hh"
+#include "stats/histogram.hh"
+#include "stats/kfold.hh"
+#include "stats/levenshtein.hh"
+#include "stats/normal.hh"
+#include "stats/pareto.hh"
+
+namespace ts = toltiers::stats;
+namespace tc = toltiers::common;
+
+// ------------------------------------------------------------ descriptive
+
+TEST(Descriptive, MeanAndVariance)
+{
+    std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(ts::mean(xs), 5.0);
+    EXPECT_NEAR(ts::stdevPopulation(xs), 2.0, 1e-12);
+    EXPECT_NEAR(ts::variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, EmptySampleDefaults)
+{
+    std::vector<double> xs;
+    EXPECT_DOUBLE_EQ(ts::mean(xs), 0.0);
+    EXPECT_DOUBLE_EQ(ts::variance(xs), 0.0);
+    EXPECT_DOUBLE_EQ(ts::sum(xs), 0.0);
+}
+
+TEST(Descriptive, MinMaxPanicOnEmpty)
+{
+    std::vector<double> xs;
+    EXPECT_DEATH(ts::min(xs), "empty");
+    EXPECT_DEATH(ts::max(xs), "empty");
+}
+
+TEST(Descriptive, PercentileInterpolates)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(ts::percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(ts::percentile(xs, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(ts::percentile(xs, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(ts::median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Descriptive, PercentileOutOfRangePanics)
+{
+    EXPECT_DEATH(ts::percentile({1.0}, 101.0), "out of range");
+}
+
+TEST(Descriptive, Geomean)
+{
+    EXPECT_NEAR(ts::geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+    EXPECT_DEATH(ts::geomean({1.0, -1.0}), "positive");
+}
+
+TEST(Descriptive, SummaryFields)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i)
+        xs.push_back(i);
+    auto s = ts::summarize(xs);
+    EXPECT_EQ(s.n, 100u);
+    EXPECT_DOUBLE_EQ(s.mean, 50.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_NEAR(s.median, 50.5, 1e-12);
+    EXPECT_GT(s.p99, 98.0);
+}
+
+TEST(Descriptive, ZscoresStandardize)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0};
+    auto zs = ts::zscores(xs);
+    EXPECT_NEAR(zs[0], -std::sqrt(1.5), 1e-12);
+    EXPECT_NEAR(zs[1], 0.0, 1e-12);
+    EXPECT_NEAR(ts::mean(zs), 0.0, 1e-12);
+}
+
+TEST(Descriptive, ZscoresDegenerateSample)
+{
+    auto zs = ts::zscores({5.0, 5.0, 5.0});
+    for (double z : zs)
+        EXPECT_DOUBLE_EQ(z, 0.0);
+}
+
+// ----------------------------------------------------------------- normal
+
+TEST(Normal, PdfAtZero)
+{
+    EXPECT_NEAR(ts::normalPdf(0.0), 0.3989422804014327, 1e-12);
+}
+
+TEST(Normal, CdfKnownValues)
+{
+    EXPECT_NEAR(ts::normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(ts::normalCdf(1.959963985), 0.975, 1e-6);
+    EXPECT_NEAR(ts::normalCdf(-1.0), 0.15865525393145707, 1e-9);
+}
+
+TEST(Normal, PpfInvertsCdf)
+{
+    for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.8, 0.999}) {
+        double x = ts::normalPpf(p);
+        EXPECT_NEAR(ts::normalCdf(x), p, 1e-9) << "p=" << p;
+    }
+}
+
+TEST(Normal, PpfKnownQuantiles)
+{
+    EXPECT_NEAR(ts::normalPpf(0.975), 1.959963985, 1e-6);
+    EXPECT_NEAR(ts::normalPpf(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(ts::normalPpf(0.9995), 3.2905267, 1e-5);
+}
+
+TEST(Normal, PpfRejectsBoundaries)
+{
+    EXPECT_DEATH(ts::normalPpf(0.0), "requires p");
+    EXPECT_DEATH(ts::normalPpf(1.0), "requires p");
+}
+
+TEST(Normal, ZForConfidence)
+{
+    EXPECT_NEAR(ts::zForConfidence(0.95), 1.959963985, 1e-6);
+    EXPECT_NEAR(ts::zForConfidence(0.999), 3.2905267, 1e-5);
+    EXPECT_DEATH(ts::zForConfidence(1.5), "confidence");
+}
+
+// -------------------------------------------------------------- bootstrap
+
+TEST(Bootstrap, MeanEstimateCoversTruth)
+{
+    tc::Pcg32 rng(42);
+    std::vector<double> data;
+    for (int i = 0; i < 500; ++i)
+        data.push_back(rng.gaussian(10.0, 2.0));
+    auto res = ts::bootstrap(
+        data, [](const std::vector<double> &xs) { return ts::mean(xs); },
+        200, 0.95, rng);
+    EXPECT_GT(10.0, res.ciLow);
+    EXPECT_LT(10.0, res.ciHigh);
+    EXPECT_NEAR(res.mean, 10.0, 0.5);
+    EXPECT_GE(res.worst, res.mean);
+}
+
+TEST(Bootstrap, RequiresData)
+{
+    tc::Pcg32 rng(1);
+    EXPECT_DEATH(ts::bootstrap(
+                     {}, [](const std::vector<double> &) { return 0.0; },
+                     10, 0.9, rng),
+                 "empty");
+}
+
+TEST(Bootstrap, SpreadConfidentNeedsDispersion)
+{
+    // Two identical values: no spread yet at high confidence.
+    EXPECT_FALSE(ts::spreadConfident({1.0, 1.1}, 0.999));
+    // A single value can never be confident.
+    EXPECT_FALSE(ts::spreadConfident({1.0}, 0.9));
+}
+
+TEST(Bootstrap, SpreadConfidentDegenerateSeries)
+{
+    // Zero-variance series: the statistic is exact.
+    EXPECT_TRUE(ts::spreadConfident({2.0, 2.0, 2.0}, 0.999));
+}
+
+TEST(Bootstrap, SpreadConfidentEventuallyHolds)
+{
+    // A series with clear outliers on both sides spans the z range.
+    std::vector<double> vals = {0.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+                                1.0, 1.0, 1.0, 1.0, 1.0, 2.0};
+    EXPECT_TRUE(ts::spreadConfident(vals, 0.95));
+}
+
+TEST(Bootstrap, AdaptiveStopsAndReturnsTrials)
+{
+    tc::Pcg32 rng(7);
+    auto trials = ts::adaptiveBootstrap(
+        1000,
+        [&](const std::vector<std::size_t> &idx) {
+            double s = 0.0;
+            for (auto i : idx)
+                s += static_cast<double>(i % 7);
+            return s / static_cast<double>(idx.size());
+        },
+        0.99, rng);
+    EXPECT_GE(trials.size(), 8u);
+    EXPECT_LE(trials.size(), 512u);
+}
+
+TEST(Bootstrap, AdaptiveRespectsMaxTrials)
+{
+    tc::Pcg32 rng(7);
+    // A constant statistic across distinct subsamples is confident
+    // immediately under the degenerate rule.
+    auto trials = ts::adaptiveBootstrap(
+        100, [](const std::vector<std::size_t> &) { return 5.0; },
+        0.999, rng, 10, 4, 16);
+    EXPECT_EQ(trials.size(), 4u);
+}
+
+// ------------------------------------------------------------------ kfold
+
+TEST(Kfold, PartitionsEveryIndexExactlyOnce)
+{
+    tc::Pcg32 rng(3);
+    auto folds = ts::kfold(103, 10, rng);
+    ASSERT_EQ(folds.size(), 10u);
+    std::vector<int> seen(103, 0);
+    for (const auto &f : folds) {
+        for (auto i : f.test)
+            ++seen[i];
+    }
+    for (int c : seen)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(Kfold, TrainTestDisjointAndComplete)
+{
+    tc::Pcg32 rng(3);
+    auto folds = ts::kfold(50, 5, rng);
+    for (const auto &f : folds) {
+        EXPECT_EQ(f.train.size() + f.test.size(), 50u);
+        std::set<std::size_t> train(f.train.begin(), f.train.end());
+        for (auto i : f.test)
+            EXPECT_EQ(train.count(i), 0u);
+    }
+}
+
+TEST(Kfold, BalancedSizes)
+{
+    tc::Pcg32 rng(3);
+    auto folds = ts::kfold(101, 10, rng);
+    for (const auto &f : folds) {
+        EXPECT_GE(f.test.size(), 10u);
+        EXPECT_LE(f.test.size(), 11u);
+    }
+}
+
+TEST(Kfold, InvalidParametersPanic)
+{
+    tc::Pcg32 rng(3);
+    EXPECT_DEATH(ts::kfold(5, 1, rng), "kfold");
+    EXPECT_DEATH(ts::kfold(5, 6, rng), "kfold");
+}
+
+// ------------------------------------------------------------ levenshtein
+
+TEST(Levenshtein, IdenticalSequencesZero)
+{
+    std::vector<std::string> a = {"the", "cat"};
+    EXPECT_EQ(ts::editDistance(a, a), 0u);
+    EXPECT_DOUBLE_EQ(ts::wordErrorRate(a, a), 0.0);
+}
+
+TEST(Levenshtein, KnownDistances)
+{
+    EXPECT_EQ(ts::editDistance({"a", "b", "c"}, {"a", "x", "c"}), 1u);
+    EXPECT_EQ(ts::editDistance({"a", "b"}, {"a", "b", "c"}), 1u);
+    EXPECT_EQ(ts::editDistance({"a", "b", "c"}, {"b", "c"}), 1u);
+    EXPECT_EQ(ts::editDistance({}, {"a", "b"}), 2u);
+}
+
+TEST(Levenshtein, OpsBreakdownSumsToDistance)
+{
+    std::vector<std::string> hyp = {"x", "b", "c", "d"};
+    std::vector<std::string> ref = {"a", "b", "d"};
+    auto ops = ts::editOps(hyp, ref);
+    EXPECT_EQ(ops.total(), ts::editDistance(hyp, ref));
+    EXPECT_EQ(ops.substitutions, 1u);
+    EXPECT_EQ(ops.insertions, 1u);
+    EXPECT_EQ(ops.deletions, 0u);
+}
+
+TEST(Levenshtein, WerNormalizesByReference)
+{
+    EXPECT_DOUBLE_EQ(
+        ts::wordErrorRate({"a", "x"}, {"a", "b", "c", "d"}), 0.75);
+    EXPECT_DOUBLE_EQ(ts::wordErrorRate("hello world", "hello there"),
+                     0.5);
+}
+
+TEST(Levenshtein, EmptyReferenceEdgeCases)
+{
+    std::vector<std::string> empty;
+    std::vector<std::string> ab = {"a", "b"};
+    EXPECT_DOUBLE_EQ(ts::wordErrorRate(empty, empty), 0.0);
+    EXPECT_DOUBLE_EQ(ts::wordErrorRate(ab, empty), 2.0);
+}
+
+/** Property sweep: metric axioms on random token sequences. */
+class LevenshteinProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(LevenshteinProperty, MetricAxiomsHold)
+{
+    tc::Pcg32 rng(GetParam());
+    auto random_seq = [&](std::size_t max_len) {
+        std::vector<std::string> s;
+        std::size_t len = rng.nextBounded(
+            static_cast<std::uint32_t>(max_len + 1));
+        for (std::size_t i = 0; i < len; ++i)
+            s.push_back(std::string(1, 'a' + rng.nextBounded(4)));
+        return s;
+    };
+    auto a = random_seq(8), b = random_seq(8), c = random_seq(8);
+
+    // Symmetry.
+    EXPECT_EQ(ts::editDistance(a, b), ts::editDistance(b, a));
+    // Identity of indiscernibles.
+    EXPECT_EQ(ts::editDistance(a, a), 0u);
+    if (a != b) {
+        EXPECT_GT(ts::editDistance(a, b), 0u);
+    }
+    // Triangle inequality.
+    EXPECT_LE(ts::editDistance(a, c),
+              ts::editDistance(a, b) + ts::editDistance(b, c));
+    // Length difference lower bound, max length upper bound.
+    std::size_t la = a.size(), lb = b.size();
+    EXPECT_GE(ts::editDistance(a, b),
+              la > lb ? la - lb : lb - la);
+    EXPECT_LE(ts::editDistance(a, b), std::max(la, lb));
+    // Ops breakdown consistency.
+    EXPECT_EQ(ts::editOps(a, b).total(), ts::editDistance(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LevenshteinProperty,
+                         testing::Range(0, 50));
+
+// ------------------------------------------------------------ correlation
+
+TEST(Correlation, PearsonPerfectAndInverse)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    std::vector<double> y_pos = {2.0, 4.0, 6.0, 8.0};
+    std::vector<double> y_neg = {8.0, 6.0, 4.0, 2.0};
+    EXPECT_NEAR(ts::pearson(xs, y_pos), 1.0, 1e-12);
+    EXPECT_NEAR(ts::pearson(xs, y_neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonDegenerateIsZero)
+{
+    std::vector<double> xs = {1.0, 1.0, 1.0};
+    std::vector<double> ys = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(ts::pearson(xs, ys), 0.0);
+    EXPECT_DOUBLE_EQ(ts::pearson({1.0}, {2.0}), 0.0);
+}
+
+TEST(Correlation, MismatchedLengthsPanic)
+{
+    EXPECT_DEATH(ts::pearson({1.0}, {1.0, 2.0}), "equal-length");
+}
+
+TEST(Correlation, SpearmanInvariantToMonotoneRescaling)
+{
+    tc::Pcg32 rng(77);
+    std::vector<double> xs, ys, ys_scaled;
+    for (int i = 0; i < 50; ++i) {
+        double x = rng.uniform(0.0, 1.0);
+        double y = x + rng.gaussian(0.0, 0.1);
+        xs.push_back(x);
+        ys.push_back(y);
+        ys_scaled.push_back(std::exp(3.0 * y)); // Monotone map.
+    }
+    EXPECT_NEAR(ts::spearman(xs, ys), ts::spearman(xs, ys_scaled),
+                1e-12);
+    EXPECT_GT(ts::spearman(xs, ys), 0.8);
+}
+
+TEST(Correlation, FractionalRanksAverageTies)
+{
+    auto r = ts::fractionalRanks({3.0, 1.0, 3.0, 2.0});
+    // sorted: 1 (rank 1), 2 (rank 2), 3,3 (ranks 3,4 -> 3.5 each).
+    EXPECT_DOUBLE_EQ(r[0], 3.5);
+    EXPECT_DOUBLE_EQ(r[1], 1.0);
+    EXPECT_DOUBLE_EQ(r[2], 3.5);
+    EXPECT_DOUBLE_EQ(r[3], 2.0);
+}
+
+TEST(Correlation, PointBiserialSeparatesGroups)
+{
+    std::vector<bool> wrong = {true, true, false, false, false};
+    std::vector<double> conf = {0.2, 0.3, 0.9, 0.95, 0.85};
+    // Wrong results have lower confidence: negative correlation.
+    EXPECT_LT(ts::pointBiserial(wrong, conf), -0.8);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(Histogram, BinsAndFractions)
+{
+    ts::Histogram h(0.0, 10.0, 5);
+    h.addAll({0.5, 1.5, 2.5, 2.6, 9.9});
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(0), 2u); // 0.5 and 1.5
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(1), 0.8);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(4), 1.0);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    ts::Histogram h(0.0, 1.0, 2);
+    h.add(-5.0);
+    h.add(99.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    ts::Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binLow(4), 8.0);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    ts::Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.2);
+    h.add(0.9);
+    std::string s = h.render(10);
+    EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstructionPanics)
+{
+    EXPECT_DEATH(ts::Histogram(1.0, 0.0, 4), "lo < hi");
+    EXPECT_DEATH(ts::Histogram(0.0, 1.0, 0), "bin");
+}
+
+// -------------------------------------------------------------- confusion
+
+TEST(Confusion, CountsAndAccuracy)
+{
+    ts::ConfusionMatrix cm(3);
+    cm.add(0, 0);
+    cm.add(0, 0);
+    cm.add(0, 1);
+    cm.add(1, 1);
+    cm.add(2, 0);
+    EXPECT_EQ(cm.total(), 5u);
+    EXPECT_EQ(cm.count(0, 0), 2u);
+    EXPECT_EQ(cm.count(0, 1), 1u);
+    EXPECT_NEAR(cm.accuracy(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(Confusion, RecallAndPrecision)
+{
+    ts::ConfusionMatrix cm(2);
+    cm.add(0, 0);
+    cm.add(0, 0);
+    cm.add(0, 1);
+    cm.add(1, 0);
+    cm.add(1, 1);
+    EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cm.recall(1), 0.5, 1e-12);
+    EXPECT_NEAR(cm.precision(0), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cm.precision(1), 0.5, 1e-12);
+}
+
+TEST(Confusion, EmptyAndDegenerateCases)
+{
+    ts::ConfusionMatrix cm(2);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.recall(0), 0.0);
+    EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+    EXPECT_DEATH(ts::ConfusionMatrix(0), "classes");
+    EXPECT_DEATH(cm.add(2, 0), "out of range");
+}
+
+TEST(Confusion, MostConfusedPair)
+{
+    ts::ConfusionMatrix cm(3);
+    cm.add(0, 1);
+    cm.add(0, 1);
+    cm.add(2, 1);
+    cm.add(1, 1);
+    auto pair = cm.mostConfused();
+    EXPECT_EQ(pair.first, 0u);
+    EXPECT_EQ(pair.second, 1u);
+}
+
+TEST(Confusion, RenderContainsNamesAndCounts)
+{
+    ts::ConfusionMatrix cm(2);
+    cm.add(0, 0);
+    cm.add(1, 0);
+    std::string s = cm.render({"cat", "dog"});
+    EXPECT_NE(s.find("cat"), std::string::npos);
+    EXPECT_NE(s.find("dog"), std::string::npos);
+    EXPECT_NE(s.find("recall"), std::string::npos);
+    EXPECT_DEATH(cm.render({"only-one"}), "one name per class");
+}
+
+// ----------------------------------------------------------------- pareto
+
+TEST(Pareto, DominanceDefinition)
+{
+    ts::ParetoPoint a{1.0, 1.0, 0};
+    ts::ParetoPoint b{2.0, 2.0, 1};
+    ts::ParetoPoint c{1.0, 2.0, 2};
+    EXPECT_TRUE(ts::dominates(a, b));
+    EXPECT_TRUE(ts::dominates(a, c));
+    EXPECT_FALSE(ts::dominates(b, a));
+    EXPECT_FALSE(ts::dominates(a, a));
+}
+
+TEST(Pareto, FrontierFiltersDominated)
+{
+    std::vector<ts::ParetoPoint> pts = {
+        {1.0, 10.0, 0}, {2.0, 5.0, 1}, {3.0, 6.0, 2}, // dominated
+        {4.0, 2.0, 3},  {5.0, 2.5, 4},                // dominated
+    };
+    auto f = ts::paretoFrontier(pts);
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0].tag, 0u);
+    EXPECT_EQ(f[1].tag, 1u);
+    EXPECT_EQ(f[2].tag, 3u);
+}
+
+TEST(Pareto, FrontierSortedByLatency)
+{
+    std::vector<ts::ParetoPoint> pts = {
+        {5.0, 1.0, 0}, {1.0, 5.0, 1}, {3.0, 3.0, 2}};
+    auto f = ts::paretoFrontier(pts);
+    for (std::size_t i = 1; i < f.size(); ++i)
+        EXPECT_LE(f[i - 1].latency, f[i].latency);
+}
+
+/** Property sweep: no frontier member dominates another. */
+class ParetoProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ParetoProperty, FrontierIsMutuallyNonDominated)
+{
+    tc::Pcg32 rng(GetParam() + 100);
+    std::vector<ts::ParetoPoint> pts;
+    for (std::size_t i = 0; i < 40; ++i)
+        pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10), i});
+    auto f = ts::paretoFrontier(pts);
+    ASSERT_FALSE(f.empty());
+    for (const auto &a : f) {
+        for (const auto &b : f) {
+            if (a.tag != b.tag) {
+                EXPECT_FALSE(ts::dominates(a, b));
+            }
+        }
+    }
+    // Every input point is dominated by or equal to some frontier pt.
+    for (const auto &p : pts) {
+        bool covered = false;
+        for (const auto &fp : f) {
+            if (fp.tag == p.tag || ts::dominates(fp, p) ||
+                (fp.latency == p.latency && fp.error == p.error)) {
+                covered = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(covered);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ParetoProperty,
+                         testing::Range(0, 20));

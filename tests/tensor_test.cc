@@ -1,0 +1,511 @@
+/**
+ * @file
+ * Unit and property tests for the tensor library, including
+ * numerical gradient checks of every differentiable kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace tt = toltiers::tensor;
+namespace tc = toltiers::common;
+
+using tt::Tensor;
+
+// ----------------------------------------------------------------- tensor
+
+TEST(Tensor, ShapeAndSize)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.rank(), 3u);
+    EXPECT_EQ(t.size(), 24u);
+    EXPECT_EQ(t.dim(1), 3u);
+    EXPECT_EQ(t.shapeString(), "f32[2, 3, 4]");
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({4, 4});
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, At2Indexing)
+{
+    Tensor t({2, 3});
+    t.at2(1, 2) = 7.0f;
+    EXPECT_EQ(t[5], 7.0f);
+    EXPECT_EQ(t.at2(1, 2), 7.0f);
+}
+
+TEST(Tensor, At4Indexing)
+{
+    Tensor t({2, 3, 4, 5});
+    t.at4(1, 2, 3, 4) = 9.0f;
+    EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 6});
+    t[7] = 3.0f;
+    t.reshape({3, 4});
+    EXPECT_EQ(t.dim(0), 3u);
+    EXPECT_EQ(t[7], 3.0f);
+}
+
+TEST(Tensor, ReshapeSizeMismatchPanics)
+{
+    Tensor t({2, 3});
+    EXPECT_DEATH(t.reshape({4, 2}), "reshape");
+}
+
+TEST(Tensor, ElementwiseOps)
+{
+    Tensor a({3});
+    Tensor b({3});
+    a[0] = 1;
+    a[1] = 2;
+    a[2] = 3;
+    b.fill(1.0f);
+    a += b;
+    EXPECT_EQ(a[2], 4.0f);
+    a -= b;
+    EXPECT_EQ(a[2], 3.0f);
+    a *= 2.0f;
+    EXPECT_EQ(a[0], 2.0f);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(Tensor, ShapeMismatchInPlusPanics)
+{
+    Tensor a({2}), b({3});
+    EXPECT_DEATH(a += b, "shape mismatch");
+}
+
+TEST(Tensor, Argmax)
+{
+    Tensor t({4});
+    t[2] = 5.0f;
+    EXPECT_EQ(t.argmax(), 2u);
+}
+
+TEST(Tensor, RandomInitializers)
+{
+    tc::Pcg32 rng(1);
+    Tensor t({1000});
+    t.randomNormal(rng, 2.0f);
+    double s = 0, sq = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        s += t[i];
+        sq += t[i] * t[i];
+    }
+    double mean = s / 1000.0;
+    EXPECT_NEAR(mean, 0.0, 0.25);
+    EXPECT_NEAR(std::sqrt(sq / 1000.0 - mean * mean), 2.0, 0.25);
+
+    t.randomUniform(rng, -1.0f, 1.0f);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t[i], -1.0f);
+        EXPECT_LT(t[i], 1.0f);
+    }
+}
+
+// ----------------------------------------------------------------- matmul
+
+namespace {
+
+Tensor
+naiveMatmul(const Tensor &a, const Tensor &b)
+{
+    std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += a.at2(i, kk) * b.at2(kk, j);
+            c.at2(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+Tensor
+randomTensor(std::vector<std::size_t> shape, tc::Pcg32 &rng)
+{
+    Tensor t(std::move(shape));
+    t.randomNormal(rng, 1.0f);
+    return t;
+}
+
+void
+expectNear(const Tensor &a, const Tensor &b, float tol = 1e-4f)
+{
+    ASSERT_TRUE(a.sameShape(b));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(a[i], b[i], tol) << "at flat index " << i;
+}
+
+} // namespace
+
+TEST(Matmul, MatchesNaive)
+{
+    tc::Pcg32 rng(2);
+    Tensor a = randomTensor({5, 7}, rng);
+    Tensor b = randomTensor({7, 3}, rng);
+    expectNear(tt::matmul(a, b), naiveMatmul(a, b));
+}
+
+TEST(Matmul, TransAMatchesExplicitTranspose)
+{
+    tc::Pcg32 rng(3);
+    Tensor a = randomTensor({6, 4}, rng); // stored [k=6, m=4]
+    Tensor b = randomTensor({6, 5}, rng);
+    Tensor at({4, 6});
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            at.at2(j, i) = a.at2(i, j);
+    expectNear(tt::matmulTransA(a, b), naiveMatmul(at, b));
+}
+
+TEST(Matmul, TransBMatchesExplicitTranspose)
+{
+    tc::Pcg32 rng(4);
+    Tensor a = randomTensor({3, 6}, rng);
+    Tensor b = randomTensor({5, 6}, rng); // stored [n=5, k=6]
+    Tensor bt({6, 5});
+    for (std::size_t i = 0; i < 5; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            bt.at2(j, i) = b.at2(i, j);
+    expectNear(tt::matmulTransB(a, b), naiveMatmul(a, bt));
+}
+
+TEST(Matmul, InnerDimMismatchPanics)
+{
+    Tensor a({2, 3}), b({4, 2});
+    EXPECT_DEATH(tt::matmul(a, b), "inner dim");
+}
+
+TEST(Matmul, AddBiasRows)
+{
+    Tensor x({2, 3});
+    Tensor b({3});
+    b[0] = 1;
+    b[1] = 2;
+    b[2] = 3;
+    tt::addBiasRows(x, b);
+    EXPECT_EQ(x.at2(0, 1), 2.0f);
+    EXPECT_EQ(x.at2(1, 2), 3.0f);
+}
+
+// ------------------------------------------------------------------- relu
+
+TEST(Relu, ForwardClamps)
+{
+    Tensor x({4});
+    x[0] = -1;
+    x[1] = 0;
+    x[2] = 2;
+    x[3] = -0.5;
+    Tensor y = tt::reluForward(x);
+    EXPECT_EQ(y[0], 0.0f);
+    EXPECT_EQ(y[2], 2.0f);
+    EXPECT_EQ(y[3], 0.0f);
+}
+
+TEST(Relu, BackwardMasks)
+{
+    Tensor x({3});
+    x[0] = -1;
+    x[1] = 1;
+    x[2] = 0;
+    Tensor d({3});
+    d.fill(1.0f);
+    Tensor g = tt::reluBackward(d, x);
+    EXPECT_EQ(g[0], 0.0f);
+    EXPECT_EQ(g[1], 1.0f);
+    EXPECT_EQ(g[2], 0.0f);
+}
+
+// ------------------------------------------------------------------- conv
+
+namespace {
+
+/** Direct (non-im2col) convolution reference. */
+Tensor
+naiveConv(const Tensor &in, const Tensor &w, const Tensor &bias,
+          const tt::ConvGeometry &g)
+{
+    std::size_t n = in.dim(0), c = in.dim(1);
+    std::size_t h = in.dim(2), wd = in.dim(3);
+    std::size_t f = w.dim(0);
+    std::size_t oh = g.outExtent(h), ow = g.outExtent(wd);
+    Tensor out({n, f, oh, ow});
+    for (std::size_t s = 0; s < n; ++s)
+        for (std::size_t ff = 0; ff < f; ++ff)
+            for (std::size_t oy = 0; oy < oh; ++oy)
+                for (std::size_t ox = 0; ox < ow; ++ox) {
+                    float acc = bias[ff];
+                    for (std::size_t ch = 0; ch < c; ++ch)
+                        for (std::size_t ky = 0; ky < g.kernel; ++ky)
+                            for (std::size_t kx = 0; kx < g.kernel;
+                                 ++kx) {
+                                long iy = static_cast<long>(
+                                              oy * g.stride + ky) -
+                                          static_cast<long>(g.pad);
+                                long ix = static_cast<long>(
+                                              ox * g.stride + kx) -
+                                          static_cast<long>(g.pad);
+                                if (iy < 0 ||
+                                    iy >= static_cast<long>(h) ||
+                                    ix < 0 ||
+                                    ix >= static_cast<long>(wd))
+                                    continue;
+                                acc += in.at4(s, ch, iy, ix) *
+                                       w.at4(ff, ch, ky, kx);
+                            }
+                    out.at4(s, ff, oy, ox) = acc;
+                }
+    return out;
+}
+
+} // namespace
+
+TEST(Conv2d, MatchesNaiveReference)
+{
+    tc::Pcg32 rng(5);
+    tt::ConvGeometry g{3, 1, 1};
+    Tensor in = randomTensor({2, 3, 6, 6}, rng);
+    Tensor w = randomTensor({4, 3, 3, 3}, rng);
+    Tensor b = randomTensor({4}, rng);
+    expectNear(tt::conv2dForward(in, w, b, g), naiveConv(in, w, b, g),
+               1e-3f);
+}
+
+TEST(Conv2d, StrideTwoMatchesNaive)
+{
+    tc::Pcg32 rng(6);
+    tt::ConvGeometry g{3, 2, 1};
+    Tensor in = randomTensor({1, 2, 8, 8}, rng);
+    Tensor w = randomTensor({3, 2, 3, 3}, rng);
+    Tensor b({3});
+    expectNear(tt::conv2dForward(in, w, b, g), naiveConv(in, w, b, g),
+               1e-3f);
+}
+
+TEST(Conv2d, OutputShape)
+{
+    tt::ConvGeometry g{3, 1, 1};
+    EXPECT_EQ(g.outExtent(12), 12u);
+    tt::ConvGeometry g2{3, 2, 1};
+    EXPECT_EQ(g2.outExtent(8), 4u);
+    tt::ConvGeometry g3{5, 1, 0};
+    EXPECT_EQ(g3.outExtent(12), 8u);
+}
+
+TEST(Conv2d, Im2colCol2imAdjoint)
+{
+    // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+    // property of an adjoint pair, which the backward pass relies on.
+    tc::Pcg32 rng(7);
+    tt::ConvGeometry g{3, 1, 1};
+    Tensor x = randomTensor({1, 2, 5, 5}, rng);
+    Tensor cols = tt::im2col(x, 0, g);
+    Tensor y = randomTensor(cols.shape(), rng);
+
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        lhs += static_cast<double>(cols[i]) * y[i];
+
+    Tensor xback({1, 2, 5, 5});
+    tt::col2im(y, xback, 0, g);
+    double rhs = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        rhs += static_cast<double>(x[i]) * xback[i];
+
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+// ---------------------------------------------------------------- pooling
+
+TEST(MaxPool, ForwardSelectsMaxima)
+{
+    Tensor in({1, 1, 4, 4});
+    for (std::size_t i = 0; i < 16; ++i)
+        in[i] = static_cast<float>(i);
+    auto res = tt::maxPool2dForward(in, 2, 2);
+    EXPECT_EQ(res.out.dim(2), 2u);
+    EXPECT_EQ(res.out.at4(0, 0, 0, 0), 5.0f);
+    EXPECT_EQ(res.out.at4(0, 0, 1, 1), 15.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax)
+{
+    Tensor in({1, 1, 4, 4});
+    for (std::size_t i = 0; i < 16; ++i)
+        in[i] = static_cast<float>(i);
+    auto res = tt::maxPool2dForward(in, 2, 2);
+    Tensor d(res.out.shape());
+    d.fill(1.0f);
+    Tensor g = tt::maxPool2dBackward(d, res.argmax, in.shape());
+    EXPECT_EQ(g[5], 1.0f);
+    EXPECT_EQ(g[15], 1.0f);
+    EXPECT_EQ(g[0], 0.0f);
+    EXPECT_DOUBLE_EQ(g.sum(), 4.0);
+}
+
+TEST(GlobalAvgPool, ForwardAverages)
+{
+    Tensor in({1, 2, 2, 2});
+    for (std::size_t i = 0; i < 4; ++i)
+        in[i] = 4.0f; // channel 0
+    for (std::size_t i = 4; i < 8; ++i)
+        in[i] = static_cast<float>(i - 4); // channel 1: 0,1,2,3
+    Tensor out = tt::globalAvgPoolForward(in);
+    EXPECT_EQ(out.at2(0, 0), 4.0f);
+    EXPECT_EQ(out.at2(0, 1), 1.5f);
+}
+
+TEST(GlobalAvgPool, BackwardSpreadsEvenly)
+{
+    Tensor d({1, 1});
+    d[0] = 8.0f;
+    Tensor g = tt::globalAvgPoolBackward(d, {1, 1, 2, 2});
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(g[i], 2.0f);
+}
+
+// ---------------------------------------------------------------- softmax
+
+TEST(Softmax, RowsSumToOne)
+{
+    tc::Pcg32 rng(8);
+    Tensor logits = randomTensor({4, 6}, rng);
+    Tensor probs = tt::softmaxRows(logits);
+    for (std::size_t i = 0; i < 4; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < 6; ++j) {
+            double p = probs.at2(i, j);
+            EXPECT_GT(p, 0.0);
+            s += p;
+        }
+        EXPECT_NEAR(s, 1.0, 1e-5);
+    }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits)
+{
+    Tensor logits({1, 3});
+    logits[0] = 1000.0f;
+    logits[1] = 1000.0f;
+    logits[2] = -1000.0f;
+    Tensor probs = tt::softmaxRows(logits);
+    EXPECT_NEAR(probs[0], 0.5, 1e-5);
+    EXPECT_NEAR(probs[2], 0.0, 1e-5);
+}
+
+TEST(Softmax, CrossEntropyOfPerfectPrediction)
+{
+    Tensor probs({2, 2});
+    probs.at2(0, 0) = 1.0f;
+    probs.at2(1, 1) = 1.0f;
+    EXPECT_NEAR(tt::crossEntropy(probs, {0, 1}), 0.0, 1e-6);
+}
+
+TEST(Softmax, CrossEntropyKnownValue)
+{
+    Tensor probs({1, 2});
+    probs.at2(0, 0) = 0.25f;
+    probs.at2(0, 1) = 0.75f;
+    EXPECT_NEAR(tt::crossEntropy(probs, {0}), -std::log(0.25), 1e-6);
+}
+
+TEST(Softmax, XentBackwardIsProbsMinusOnehot)
+{
+    Tensor probs({1, 3});
+    probs.at2(0, 0) = 0.2f;
+    probs.at2(0, 1) = 0.3f;
+    probs.at2(0, 2) = 0.5f;
+    Tensor d = tt::softmaxXentBackward(probs, {2});
+    EXPECT_NEAR(d.at2(0, 0), 0.2f, 1e-6);
+    EXPECT_NEAR(d.at2(0, 2), -0.5f, 1e-6);
+}
+
+// ------------------------------------------------- numerical gradient check
+
+namespace {
+
+/**
+ * Loss used for gradient checking: weighted sum of conv output, so
+ * dLoss/dOut is the weight tensor itself.
+ */
+double
+convLoss(const Tensor &in, const Tensor &w, const Tensor &b,
+         const tt::ConvGeometry &g, const Tensor &weights)
+{
+    Tensor out = tt::conv2dForward(in, w, b, g);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        loss += static_cast<double>(out[i]) * weights[i];
+    return loss;
+}
+
+} // namespace
+
+TEST(GradientCheck, Conv2dWeightsInputAndBias)
+{
+    tc::Pcg32 rng(9);
+    tt::ConvGeometry g{3, 1, 1};
+    Tensor in = randomTensor({1, 2, 4, 4}, rng);
+    Tensor w = randomTensor({2, 2, 3, 3}, rng);
+    Tensor b = randomTensor({2}, rng);
+    Tensor lw = randomTensor({1, 2, 4, 4}, rng); // dLoss/dOut
+
+    auto grads = tt::conv2dBackward(in, w, lw, g);
+    const double eps = 1e-3;
+    const double tol = 2e-2;
+
+    for (std::size_t i = 0; i < w.size(); i += 5) {
+        Tensor wp = w, wm = w;
+        wp[i] += static_cast<float>(eps);
+        wm[i] -= static_cast<float>(eps);
+        double num = (convLoss(in, wp, b, g, lw) -
+                      convLoss(in, wm, b, g, lw)) /
+                     (2 * eps);
+        EXPECT_NEAR(grads.dW[i], num, tol) << "dW[" << i << "]";
+    }
+    for (std::size_t i = 0; i < in.size(); i += 7) {
+        Tensor ip = in, im = in;
+        ip[i] += static_cast<float>(eps);
+        im[i] -= static_cast<float>(eps);
+        double num = (convLoss(ip, w, b, g, lw) -
+                      convLoss(im, w, b, g, lw)) /
+                     (2 * eps);
+        EXPECT_NEAR(grads.dIn[i], num, tol) << "dIn[" << i << "]";
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        Tensor bp = b, bm = b;
+        bp[i] += static_cast<float>(eps);
+        bm[i] -= static_cast<float>(eps);
+        double num = (convLoss(in, w, bp, g, lw) -
+                      convLoss(in, w, bm, g, lw)) /
+                     (2 * eps);
+        EXPECT_NEAR(grads.dBias[i], num, tol) << "dBias[" << i << "]";
+    }
+}
+
+// ------------------------------------------------------------------- macs
+
+TEST(Macs, DenseAndConvFormulas)
+{
+    EXPECT_EQ(tt::denseMacs(2, 3, 4), 24u);
+    tt::ConvGeometry g{3, 1, 1};
+    // n*f*oh*ow*c*k*k = 1*4*6*6*2*9
+    EXPECT_EQ(tt::convMacs(1, 2, 6, 6, 4, g), 2592u);
+}
