@@ -19,6 +19,7 @@
 #include "common/strings.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "obs/metrics.hh"
 #include "serving/cluster.hh"
 #include "serving/deployment.hh"
 
@@ -63,6 +64,7 @@ loadSweep(const char *label, const core::MeasurementSet &ms)
 
         // OSFA: all nodes serve the reference version.
         serving::ClusterSim osfa_sim(osfa.simPools());
+        osfa_sim.attachMetrics(&obs::Registry::global());
         std::vector<serving::SimJob> osfa_jobs;
         for (std::size_t j = 0; j < jobs; ++j) {
             serving::SimJob job;
@@ -76,6 +78,7 @@ loadSweep(const char *label, const core::MeasurementSet &ms)
         // Tiered: split the node budget; requests start at the fast
         // pool and escalate on low confidence.
         serving::ClusterSim tier_sim(tiered.simPools());
+        tier_sim.attachMetrics(&obs::Registry::global());
         std::vector<serving::SimJob> tier_jobs;
         for (std::size_t j = 0; j < jobs; ++j) {
             std::size_t r = j % ms.requestCount();
@@ -110,8 +113,9 @@ loadSweep(const char *label, const core::MeasurementSet &ms)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsSession obs_session(argc, argv);
     bench::banner("ABL-4: tiering under queueing load",
                   "discrete-event node-pool simulation; load relative "
                   "to OSFA saturation");

@@ -17,6 +17,7 @@
 
 #include "core/validation.hh"
 #include "harness.hh"
+#include "obs/metrics.hh"
 #include "stats/descriptive.hh"
 
 using namespace toltiers;
@@ -28,6 +29,7 @@ validate(const char *label, const core::MeasurementSet &trace)
 {
     core::ValidationConfig cfg;
     cfg.ruleGen.referenceVersion = trace.versionCount() - 1;
+    cfg.ruleGen.metrics = &obs::Registry::global();
     auto report = core::validateGuarantees(
         trace, core::enumerateCandidates(trace.versionCount()), cfg);
 
@@ -74,8 +76,9 @@ validate(const char *label, const core::MeasurementSet &trace)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsSession obs_session(argc, argv);
     bench::banner("FIG-7 validation: guarantee checks, 10-fold CV",
                   "paper Sec. IV-D (bootstrap rule generator) and "
                   "Sec. V (no violations)");

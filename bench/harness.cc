@@ -8,10 +8,24 @@
 #include "common/strings.hh"
 #include "ic/service.hh"
 #include "ic/trainer.hh"
+#include "obs/export.hh"
 
 namespace toltiers::bench {
 
 using common::inform;
+
+ObsSession::ObsSession(int argc, const char *const *argv,
+                       std::vector<std::string> extra_flags)
+    : args_(argc, argv,
+            common::telemetryFlags(std::move(extra_flags)))
+{
+    common::applyLogLevel(args_);
+}
+
+ObsSession::~ObsSession()
+{
+    obs::exportForCli(args_);
+}
 
 AsrStack::AsrStack(std::size_t utterances, std::uint64_t seed)
     : world_(std::make_unique<asr::AsrWorld>())

@@ -22,6 +22,7 @@
 #include "asr/service.hh"
 #include "asr/versions.hh"
 #include "asr/world.hh"
+#include "common/cli.hh"
 #include "core/measurement.hh"
 #include "core/rule_generator.hh"
 #include "dataset/speech_corpus.hh"
@@ -30,6 +31,28 @@
 #include "serving/instance.hh"
 
 namespace toltiers::bench {
+
+/**
+ * Telemetry session for a bench binary: parses the standard
+ * --log-level / --metrics-out flags (plus any bench-specific ones),
+ * applies the log level immediately, and writes the global metrics
+ * registry snapshot to --metrics-out when the session ends.
+ */
+class ObsSession
+{
+  public:
+    ObsSession(int argc, const char *const *argv,
+               std::vector<std::string> extra_flags = {});
+    ~ObsSession();
+
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+    const common::CliArgs &args() const { return args_; }
+
+  private:
+    common::CliArgs args_;
+};
 
 /** Default evaluation scale (chosen so a full bench run stays fast). */
 struct BenchScale

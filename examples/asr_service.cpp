@@ -16,11 +16,13 @@
 
 #include "asr/service.hh"
 #include "asr/versions.hh"
+#include "common/cli.hh"
 #include "common/strings.hh"
 #include "common/table.hh"
 #include "core/rule_generator.hh"
 #include "core/tier_service.hh"
 #include "dataset/speech_corpus.hh"
+#include "obs/obs.hh"
 #include "serving/api.hh"
 #include "serving/instance.hh"
 #include "stats/levenshtein.hh"
@@ -28,8 +30,11 @@
 using namespace toltiers;
 
 int
-main()
+main(int argc, char **argv)
 {
+    common::CliArgs args(argc, argv, common::telemetryFlags());
+    common::applyLogLevel(args);
+
     std::printf("== Tolerance Tiers: ASR service ==\n\n");
 
     asr::AsrWorld world;
@@ -82,10 +87,17 @@ main()
 
     core::RuleGenConfig rg;
     rg.referenceVersion = trace.versionCount() - 1;
+    rg.metrics = &obs::Registry::global();
     core::RoutingRuleGenerator gen(
         train, core::enumerateCandidates(trace.versionCount()), rg);
 
+    // Full telemetry: metrics on the global registry, per-request
+    // trace spans, and the live guarantee monitor.
+    obs::Tracer tracer;
+    obs::GuaranteeMonitor monitor;
     core::TierService service(versions);
+    service.attachObservability(
+        obs::ObsContext::standard(&tracer, &monitor));
     auto tolerances = core::toleranceGrid(0.10, 0.01);
     for (auto obj : {serving::Objective::ResponseTime,
                      serving::Objective::Cost}) {
@@ -115,22 +127,28 @@ main()
     std::size_t served = 0;
     for (std::size_t payload = cut; payload < corpus.size();
          ++payload, ++served) {
+        auto ref = versions[reference]->process(payload);
+        osfa_latency += ref.latencySeconds;
+        osfa_cost += ref.costDollars;
+        osfa_wer += ref.error;
         for (auto &client : clients) {
             auto req =
                 serving::parseAnnotatedRequest(client.annotation);
             req.payload = payload;
             auto resp = service.handle(req);
+            double wer = stats::wordErrorRate(
+                resp.output, corpus[payload].refText);
             client.latency += resp.latencySeconds;
             client.cost += resp.costDollars;
-            client.wer += stats::wordErrorRate(
-                resp.output, corpus[payload].refText);
+            client.wer += wer;
             client.escalations += resp.escalated ? 1 : 0;
             ++client.requests;
+            // The replay harness holds the reference transcripts,
+            // so it (not the service) scores for the monitor.
+            monitor.observeError(
+                serving::objectiveName(req.tier.objective),
+                resp.ruleTolerance, wer, ref.error);
         }
-        auto ref = versions[reference]->process(payload);
-        osfa_latency += ref.latencySeconds;
-        osfa_cost += ref.costDollars;
-        osfa_wer += ref.error;
     }
 
     std::printf("\nlive replay on %zu held-out requests "
@@ -167,5 +185,11 @@ main()
                 "$%.3g per request\n",
                 common::formatPercent(osfa_wer / served, 2).c_str(),
                 osfa_latency / served * 1e3, osfa_cost / served);
+
+    monitor.updateMetrics(obs::Registry::global());
+    std::printf("\nlive guarantee monitor (%zu violations):\n%s",
+                monitor.violationCount(), monitor.report().c_str());
+    obs::exportForCli(args);
+    obs::exportTracesForCli(args, tracer);
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <memory>
 
+#include "common/cli.hh"
 #include "common/strings.hh"
 #include "common/table.hh"
 #include "core/rule_generator.hh"
@@ -18,14 +19,18 @@
 #include "dataset/synth_images.hh"
 #include "ic/service.hh"
 #include "ic/trainer.hh"
+#include "obs/obs.hh"
 #include "serving/api.hh"
 #include "serving/instance.hh"
 
 using namespace toltiers;
 
 int
-main()
+main(int argc, char **argv)
 {
+    common::CliArgs args(argc, argv, common::telemetryFlags());
+    common::applyLogLevel(args);
+
     std::printf("== Tolerance Tiers: image-classification service "
                 "==\n\n");
 
@@ -75,11 +80,19 @@ main()
     core::RuleGenConfig rg;
     rg.referenceVersion = trace.versionCount() - 1;
     rg.mode = core::DegradationMode::AbsolutePoints;
+    rg.metrics = &obs::Registry::global();
     core::RoutingRuleGenerator gen(
         train_trace,
         core::enumerateCandidates(trace.versionCount()), rg);
 
+    obs::Tracer tracer;
+    obs::GuaranteeMonitor monitor;
     core::TierService service(versions);
+    // Tolerances are absolute points here, so the monitor compares
+    // the same way the rule generator did.
+    service.attachObservability(
+        obs::ObsContext::standard(&tracer, &monitor),
+        obs::DegradationKind::AbsolutePoints);
     auto tolerances = core::toleranceGrid(0.10, 0.01);
     for (auto obj : {serving::Objective::ResponseTime,
                      serving::Objective::Cost}) {
@@ -121,6 +134,9 @@ main()
             osfa_err += ref.error;
             osfa_latency += ref.latencySeconds;
             osfa_cost += ref.costDollars;
+            monitor.observeError(
+                serving::objectiveName(req.tier.objective),
+                resp.ruleTolerance, wrong ? 1.0 : 0.0, ref.error);
         }
         auto req = serving::parseAnnotatedRequest(annotation);
         out.addRow({
@@ -134,5 +150,11 @@ main()
         });
     }
     out.print(std::cout);
+
+    monitor.updateMetrics(obs::Registry::global());
+    std::printf("\nlive guarantee monitor (%zu violations):\n%s",
+                monitor.violationCount(), monitor.report().c_str());
+    obs::exportForCli(args);
+    obs::exportTracesForCli(args, tracer);
     return 0;
 }

@@ -16,10 +16,13 @@
 
 #include "asr/service.hh"
 #include "asr/versions.hh"
+#include "common/cli.hh"
 #include "common/strings.hh"
 #include "common/table.hh"
 #include "core/measurement.hh"
 #include "dataset/speech_corpus.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
 #include "serving/cluster.hh"
 #include "serving/deployment.hh"
 #include "serving/instance.hh"
@@ -27,8 +30,11 @@
 using namespace toltiers;
 
 int
-main()
+main(int argc, char **argv)
 {
+    common::CliArgs args(argc, argv, common::telemetryFlags());
+    common::applyLogLevel(args);
+
     std::printf("== capacity planning with tiered deployments ==\n\n");
 
     // Workload measurements: the per-request service times and
@@ -103,6 +109,7 @@ main()
         }
 
         serving::ClusterSim sim(deployment.simPools());
+        sim.attachMetrics(&obs::Registry::global());
         auto rep = sim.run(jobs);
 
         table.addRow({
@@ -127,5 +134,7 @@ main()
                 "pool) until the escalation pool itself becomes "
                 "the\nbottleneck — the capacity trade-off a provider "
                 "tunes with this API.\n");
+
+    obs::exportForCli(args);
     return 0;
 }

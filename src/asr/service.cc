@@ -1,6 +1,7 @@
 #include "asr/service.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace toltiers::asr {
 
@@ -35,6 +36,18 @@ AsrServiceVersion::process(std::size_t index) const
     TT_ASSERT(index < workload_.size(), "utterance index out of range");
     const Utterance &utt = workload_[index];
     AsrResult r = engine_.transcribe(utt);
+
+#if TOLTIERS_OBS_ENABLED
+    if (obs::metricsEnabled()) {
+        obs::Registry::global()
+            .histogram("toltiers_inference_wall_seconds",
+                       {{"service", "asr"},
+                        {"version", engine_.name()}},
+                       {},
+                       "Measured per-invocation decode wall time")
+            .observe(r.wallSeconds);
+    }
+#endif
 
     serving::VersionResult out;
     out.output = r.decode.text;

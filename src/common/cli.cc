@@ -86,6 +86,22 @@ CliArgs::getDouble(const std::string &key, double fallback) const
     return v;
 }
 
+std::vector<std::string>
+telemetryFlags(std::vector<std::string> extra)
+{
+    extra.push_back("log-level");
+    extra.push_back("metrics-out");
+    extra.push_back("trace-out");
+    return extra;
+}
+
+void
+applyLogLevel(const CliArgs &args)
+{
+    if (args.has("log-level"))
+        setLogLevel(parseLogLevel(args.getString("log-level", "")));
+}
+
 bool
 CliArgs::getBool(const std::string &key, bool fallback) const
 {

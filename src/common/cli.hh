@@ -54,6 +54,18 @@ class CliArgs
     std::vector<std::string> positional_;
 };
 
+/**
+ * The telemetry flags every toltiers binary accepts, appended to a
+ * binary's own flag names: --log-level (quiet|warn|inform|debug),
+ * --metrics-out (metrics snapshot path, format by extension), and
+ * --trace-out (JSONL trace log path).
+ */
+std::vector<std::string>
+telemetryFlags(std::vector<std::string> extra = {});
+
+/** Apply --log-level to the global log threshold if present. */
+void applyLogLevel(const CliArgs &args);
+
 } // namespace toltiers::common
 
 #endif // TOLTIERS_COMMON_CLI_HH

@@ -1,26 +1,78 @@
 #include "common/logging.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <mutex>
 
 namespace toltiers::common {
 
 namespace {
 
-LogLevel g_level = LogLevel::Inform;
+std::atomic<LogLevel> g_level{LogLevel::Inform};
+
+/** Serializes emission so interleaved threads produce whole lines. */
+std::mutex g_emit_mutex;
+
+/** Small stable per-thread id (in registration order, from 1). */
+int
+threadId()
+{
+    static std::atomic<int> next{1};
+    thread_local int id = next.fetch_add(1);
+    return id;
+}
+
+/** ISO-8601 UTC timestamp with millisecond resolution. */
+std::string
+timestamp()
+{
+    using namespace std::chrono;
+    auto now = system_clock::now();
+    std::time_t secs = system_clock::to_time_t(now);
+    auto millis =
+        duration_cast<milliseconds>(now.time_since_epoch()).count() %
+        1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(millis));
+    return buf;
+}
 
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "quiet")
+        return LogLevel::Quiet;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "inform" || name == "info")
+        return LogLevel::Inform;
+    if (name == "debug")
+        return LogLevel::Debug;
+    fatal("unknown log level '", name,
+          "' (expected quiet|warn|inform|debug)");
 }
 
 namespace detail {
@@ -28,20 +80,22 @@ namespace detail {
 void
 emit(const char *tag, const std::string &msg)
 {
-    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::fprintf(stderr, "%s t%d [%s] %s\n", timestamp().c_str(),
+                 threadId(), tag, msg.c_str());
 }
 
 void
 fatalExit(const std::string &msg)
 {
-    std::fprintf(stderr, "[fatal] %s\n", msg.c_str());
+    emit("fatal", msg);
     std::exit(1);
 }
 
 void
 panicAbort(const std::string &msg)
 {
-    std::fprintf(stderr, "[panic] %s\n", msg.c_str());
+    emit("panic", msg);
     std::abort();
 }
 

@@ -6,6 +6,11 @@
  * configuration, invalid arguments) and exits cleanly with an error
  * code, while panic() is for internal invariant violations (library
  * bugs) and aborts. inform()/warn() report status without stopping.
+ *
+ * Emission is thread-safe and each line is prefixed with an
+ * ISO-8601 UTC timestamp and a small per-thread id
+ * (`2024-01-01T00:00:00.000Z t1 [info] ...`), so interleaved logs
+ * from the simulator and the service remain attributable.
  */
 
 #ifndef TOLTIERS_COMMON_LOGGING_HH
@@ -24,6 +29,12 @@ void setLogLevel(LogLevel level);
 
 /** Current global verbosity threshold. */
 LogLevel logLevel();
+
+/**
+ * Parse a level name ("quiet" | "warn" | "inform"/"info" |
+ * "debug"); fatal() on unknown names. Used by the --log-level flag.
+ */
+LogLevel parseLogLevel(const std::string &name);
 
 namespace detail {
 

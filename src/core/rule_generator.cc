@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/stopwatch.hh"
+#include "obs/metrics.hh"
 #include "stats/bootstrap.hh"
 
 namespace toltiers::core {
@@ -23,10 +25,34 @@ RoutingRuleGenerator::RoutingRuleGenerator(
     TT_ASSERT(cfg_.minTrials >= 2 && cfg_.maxTrials >= cfg_.minTrials,
               "invalid trial bounds");
 
+    common::Stopwatch sw;
     common::Pcg32 rng(cfg_.seed);
     records_.reserve(cfgs.size());
     for (const EnsembleConfig &candidate : cfgs)
         records_.push_back(bootstrap(train, candidate, rng));
+
+    if (obs::Registry *reg = cfg_.metrics) {
+        auto &trials = reg->histogram(
+            "toltiers_rulegen_trials_per_config", {},
+            obs::linearBounds(
+                static_cast<double>(cfg_.minTrials),
+                static_cast<double>(cfg_.maxTrials), 10),
+            "Bootstrap iterations per candidate configuration");
+        double total = 0.0;
+        for (const BootstrapRecord &rec : records_) {
+            trials.observe(static_cast<double>(rec.trials));
+            total += static_cast<double>(rec.trials);
+        }
+        reg->counter("toltiers_rulegen_trials_total", {},
+                     "Total bootstrap iterations run")
+            .inc(total);
+        reg->counter("toltiers_rulegen_configs_total", {},
+                     "Candidate configurations bootstrapped")
+            .inc(static_cast<double>(records_.size()));
+        reg->counter("toltiers_rulegen_bootstrap_seconds_total", {},
+                     "Wall time spent bootstrapping candidates")
+            .inc(sw.seconds());
+    }
 }
 
 BootstrapRecord
@@ -86,13 +112,31 @@ RoutingRuleGenerator::generate(const std::vector<double> &tolerances,
                    : r.worstCost;
     };
 
+    obs::Counter *pruned = nullptr;
+    obs::Histogram *tol_seconds = nullptr;
+    if (obs::Registry *reg = cfg_.metrics) {
+        obs::Labels labels = {
+            {"objective", serving::objectiveName(objective)}};
+        pruned = &reg->counter(
+            "toltiers_rulegen_configs_pruned_total", labels,
+            "Candidates rejected for exceeding a tier's tolerance");
+        tol_seconds = &reg->histogram(
+            "toltiers_rulegen_generate_seconds", labels,
+            obs::exponentialBounds(1e-7, 1.0, 15),
+            "Wall time selecting the rule for one tolerance");
+    }
+
     std::vector<RoutingRule> rules;
     rules.reserve(tolerances.size());
     for (double tol : tolerances) {
+        common::Stopwatch tol_sw;
         const BootstrapRecord *best = nullptr;
         for (const BootstrapRecord &rec : records_) {
-            if (rec.worstErrorDegradation > tol)
+            if (rec.worstErrorDegradation > tol) {
+                if (pruned)
+                    pruned->inc();
                 continue;
+            }
             if (best == nullptr ||
                 objective_of(rec) < objective_of(*best)) {
                 best = &rec;
@@ -106,6 +150,8 @@ RoutingRuleGenerator::generate(const std::vector<double> &tolerances,
             rule.worstErrorDegradation = best->worstErrorDegradation;
             rule.expectedLatency = best->meanLatency;
             rule.expectedCost = best->meanCost;
+            rule.worstLatency = best->worstLatency;
+            rule.worstCost = best->worstCost;
         } else {
             // Nothing qualified (can happen if the reference version
             // is absent from the candidate set): serve the reference
@@ -115,6 +161,8 @@ RoutingRuleGenerator::generate(const std::vector<double> &tolerances,
             rule.cfg.secondary = cfg_.referenceVersion;
             rule.worstErrorDegradation = 0.0;
         }
+        if (tol_seconds)
+            tol_seconds->observe(tol_sw.seconds());
         rules.push_back(rule);
     }
     return rules;

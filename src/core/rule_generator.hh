@@ -21,6 +21,10 @@
 #include "core/simulator.hh"
 #include "serving/request.hh"
 
+namespace toltiers::obs {
+class Registry;
+} // namespace toltiers::obs
+
 namespace toltiers::core {
 
 /** Generator parameters. */
@@ -33,6 +37,9 @@ struct RuleGenConfig
     std::size_t maxTrials = 400;
     std::uint64_t seed = 2024;
     DegradationMode mode = DegradationMode::Relative;
+    /** Optional telemetry sink: bootstrap trial counts, pruning
+     * decisions, and wall time are recorded here when set. */
+    obs::Registry *metrics = nullptr;
 };
 
 /** Bootstrap summary of one candidate configuration. */
@@ -56,6 +63,11 @@ struct RoutingRule
     double worstErrorDegradation = 0.0;
     double expectedLatency = 0.0;
     double expectedCost = 0.0;
+    /** Bootstrap worst-case mean latency/cost of the chosen
+     * configuration — the bounds the live GuaranteeMonitor holds
+     * the tier to. Zero for the reference fallback rule. */
+    double worstLatency = 0.0;
+    double worstCost = 0.0;
 };
 
 /** Bootstraps candidates and generates per-tier routing rules. */

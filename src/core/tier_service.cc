@@ -3,10 +3,30 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/stopwatch.hh"
+#include "common/strings.hh"
 
 namespace toltiers::core {
 
 using common::fatal;
+
+namespace {
+
+/** Stable "tier" label value for a rule tolerance. */
+std::string
+tierLabel(double tolerance)
+{
+    return common::strprintf("%g", tolerance);
+}
+
+obs::Labels
+tierLabels(serving::Objective objective, double tolerance)
+{
+    return {{"objective", serving::objectiveName(objective)},
+            {"tier", tierLabel(tolerance)}};
+}
+
+} // namespace
 
 TierService::TierService(
     std::vector<const serving::ServiceVersion *> versions)
@@ -38,7 +58,71 @@ TierService::setRules(serving::Objective objective,
                       r.cfg.secondary < versions_.size(),
                   "rule references an unknown version");
     }
+    installGuarantees(objective, rules);
+    registerRuleSeries(objective, rules);
     rules_[objective] = std::move(rules);
+}
+
+void
+TierService::attachObservability(const obs::ObsContext &ctx,
+                                 obs::DegradationKind kind)
+{
+    ctx_ = ctx;
+    degradationKind_ = kind;
+    for (const auto &[objective, rules] : rules_) {
+        installGuarantees(objective, rules);
+        registerRuleSeries(objective, rules);
+    }
+}
+
+void
+TierService::installGuarantees(serving::Objective objective,
+                               const std::vector<RoutingRule> &rules)
+{
+    if (!ctx_.monitor)
+        return;
+    // The implicit reference tier serves requests tighter than
+    // every installed rule; it degrades by zero by construction.
+    obs::TierGuarantee ref;
+    ref.objective = serving::objectiveName(objective);
+    ref.tolerance = referenceRule_.tolerance;
+    ref.kind = degradationKind_;
+    ctx_.monitor->installTier(ref);
+
+    for (const RoutingRule &r : rules) {
+        obs::TierGuarantee g;
+        g.objective = serving::objectiveName(objective);
+        g.tolerance = r.tolerance;
+        g.worstLatency = r.worstLatency;
+        g.worstCost = r.worstCost;
+        g.kind = degradationKind_;
+        ctx_.monitor->installTier(g);
+    }
+}
+
+void
+TierService::registerRuleSeries(serving::Objective objective,
+                                const std::vector<RoutingRule> &rules)
+{
+    if (!ctx_.metrics)
+        return;
+    // Pre-register every tier's series so a snapshot shows zeroed
+    // counters for tiers that have not seen traffic yet.
+    for (const RoutingRule &r : rules) {
+        obs::Labels labels = tierLabels(objective, r.tolerance);
+        ctx_.metrics->counter("toltiers_tier_requests_total", labels,
+                              "Requests served per tier");
+        ctx_.metrics->counter("toltiers_tier_escalations_total",
+                              labels,
+                              "Requests escalated to the secondary");
+        ctx_.metrics->histogram("toltiers_tier_latency_seconds",
+                                labels, {},
+                                "Response latency per tier");
+        ctx_.metrics
+            ->gauge("toltiers_tier_rule_tolerance", labels,
+                    "Tolerance of the rule serving the tier")
+            .set(r.tolerance);
+    }
 }
 
 const RoutingRule &
@@ -63,13 +147,26 @@ TierService::ruleFor(double tolerance,
 TierResponse
 TierService::handle(const serving::ServiceRequest &request) const
 {
+    common::Stopwatch rule_match_sw;
     const RoutingRule &rule =
         ruleFor(request.tier.tolerance, request.tier.objective);
+    double rule_match_wall = rule_match_sw.seconds();
     const EnsembleConfig &cfg = rule.cfg;
 
     TierResponse resp;
     resp.config = cfg;
     resp.ruleTolerance = rule.tolerance;
+
+    auto stage = [&](std::size_t version, double start,
+                     double latency, bool cancelled = false) {
+        StageTiming t;
+        t.version = version;
+        t.versionName = versions_[version]->name();
+        t.startSeconds = start;
+        t.latencySeconds = latency;
+        t.cancelled = cancelled;
+        resp.stages.push_back(std::move(t));
+    };
 
     serving::VersionResult primary =
         versions_[cfg.primary]->process(request.payload);
@@ -80,6 +177,7 @@ TierService::handle(const serving::ServiceRequest &request) const
         resp.latencySeconds = primary.latencySeconds;
         resp.costDollars = primary.costDollars;
         resp.confidence = primary.confidence;
+        stage(cfg.primary, 0.0, primary.latencySeconds);
         break;
       }
       case PolicyKind::Sequential: {
@@ -88,6 +186,7 @@ TierService::handle(const serving::ServiceRequest &request) const
             resp.latencySeconds = primary.latencySeconds;
             resp.costDollars = primary.costDollars;
             resp.confidence = primary.confidence;
+            stage(cfg.primary, 0.0, primary.latencySeconds);
         } else {
             serving::VersionResult secondary =
                 versions_[cfg.secondary]->process(request.payload);
@@ -98,6 +197,9 @@ TierService::handle(const serving::ServiceRequest &request) const
                 primary.costDollars + secondary.costDollars;
             resp.confidence = secondary.confidence;
             resp.escalated = true;
+            stage(cfg.primary, 0.0, primary.latencySeconds);
+            stage(cfg.secondary, primary.latencySeconds,
+                  secondary.latencySeconds);
         }
         break;
       }
@@ -116,6 +218,8 @@ TierService::handle(const serving::ServiceRequest &request) const
                     : 0.0;
             resp.costDollars = primary.costDollars + partial;
             resp.confidence = primary.confidence;
+            stage(cfg.primary, 0.0, primary.latencySeconds);
+            stage(cfg.secondary, 0.0, killed, true);
         } else {
             resp.output = secondary.output;
             resp.latencySeconds = std::max(primary.latencySeconds,
@@ -124,6 +228,8 @@ TierService::handle(const serving::ServiceRequest &request) const
                 primary.costDollars + secondary.costDollars;
             resp.confidence = secondary.confidence;
             resp.escalated = true;
+            stage(cfg.primary, 0.0, primary.latencySeconds);
+            stage(cfg.secondary, 0.0, secondary.latencySeconds);
         }
         break;
       }
@@ -143,10 +249,88 @@ TierService::handle(const serving::ServiceRequest &request) const
             resp.confidence = secondary.confidence;
             resp.escalated = true;
         }
+        stage(cfg.primary, 0.0, primary.latencySeconds);
+        stage(cfg.secondary, 0.0, secondary.latencySeconds);
         break;
       }
     }
+
+    recordMetrics(request.tier.objective, rule, resp);
+    if (ctx_.monitor) {
+        ctx_.monitor->observeLatency(
+            serving::objectiveName(request.tier.objective),
+            rule.tolerance, resp.latencySeconds);
+    }
+    if (ctx_.tracer)
+        recordTrace(request, resp, rule_match_wall);
     return resp;
+}
+
+void
+TierService::recordMetrics(serving::Objective objective,
+                           const RoutingRule &rule,
+                           const TierResponse &resp) const
+{
+    if (!ctx_.metrics || !obs::metricsEnabled())
+        return;
+    obs::Labels labels = tierLabels(objective, rule.tolerance);
+    ctx_.metrics
+        ->counter("toltiers_tier_requests_total", labels,
+                  "Requests served per tier")
+        .inc();
+    if (resp.escalated) {
+        ctx_.metrics
+            ->counter("toltiers_tier_escalations_total", labels,
+                      "Requests escalated to the secondary")
+            .inc();
+    }
+    ctx_.metrics
+        ->histogram("toltiers_tier_latency_seconds", labels, {},
+                    "Response latency per tier")
+        .observe(resp.latencySeconds);
+    ctx_.metrics
+        ->histogram("toltiers_tier_cost_dollars", labels,
+                    obs::exponentialBounds(1e-6, 10.0, 15),
+                    "Invocation cost per tier")
+        .observe(resp.costDollars);
+}
+
+void
+TierService::recordTrace(const serving::ServiceRequest &request,
+                         TierResponse &resp,
+                         double rule_match_wall) const
+{
+    obs::Trace trace = ctx_.tracer->startTrace();
+    resp.traceId = trace.traceId();
+
+    std::uint64_t root =
+        trace.addSpan("request", 0.0, resp.latencySeconds);
+    trace.annotate(root, "objective",
+                   serving::objectiveName(request.tier.objective));
+    trace.annotate(root, "tolerance",
+                   tierLabel(request.tier.tolerance));
+    trace.annotate(root, "tier", tierLabel(resp.ruleTolerance));
+    trace.annotate(root, "policy",
+                   policyKindName(resp.config.kind));
+    trace.annotate(root, "escalated",
+                   resp.escalated ? "true" : "false");
+
+    // Control-plane work is measured wall clock; it is orders of
+    // magnitude below the modeled stage latencies.
+    std::uint64_t match = trace.addSpan("rule_match", 0.0,
+                                        rule_match_wall, root);
+    trace.annotate(match, "clock", "wall");
+
+    for (const StageTiming &t : resp.stages) {
+        std::uint64_t span =
+            trace.addSpan("stage:" + t.versionName, t.startSeconds,
+                          t.latencySeconds, root);
+        if (t.cancelled)
+            trace.annotate(span, "cancelled", "true");
+        if (resp.escalated && t.startSeconds > 0.0)
+            trace.annotate(span, "escalation", "true");
+    }
+    ctx_.tracer->finish(std::move(trace));
 }
 
 } // namespace toltiers::core

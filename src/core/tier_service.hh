@@ -8,20 +8,40 @@
  * matching rule's ensemble executes against the real service
  * versions, and the response reports the composed latency and cost
  * exactly as the policy semantics define them.
+ *
+ * The service is instrumented end to end (attachObservability):
+ * per-tier request/escalation counters and latency/cost histograms
+ * land in a metrics registry, each request can emit a span timeline
+ * into a Tracer (root `request` span plus wall-clock `rule_match`
+ * and modeled per-stage spans), and every response's latency feeds
+ * the live GuaranteeMonitor for its matched tier. All telemetry is
+ * optional and adds nothing when no context is attached.
  */
 
 #ifndef TOLTIERS_CORE_TIER_SERVICE_HH
 #define TOLTIERS_CORE_TIER_SERVICE_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/rule_generator.hh"
+#include "obs/obs.hh"
 #include "serving/request.hh"
 #include "serving/service_version.hh"
 
 namespace toltiers::core {
+
+/** Timing of one executed (or cancelled) ensemble stage. */
+struct StageTiming
+{
+    std::size_t version = 0;     //!< Index into the version ladder.
+    std::string versionName;
+    double startSeconds = 0.0;   //!< Offset within the request.
+    double latencySeconds = 0.0; //!< Busy time of the stage.
+    bool cancelled = false;      //!< Raced loser killed early.
+};
 
 /** Response of the tier service to one annotated request. */
 struct TierResponse
@@ -33,6 +53,12 @@ struct TierResponse
     bool escalated = false;    //!< Secondary result was used.
     EnsembleConfig config;     //!< The ensemble that served it.
     double ruleTolerance = 0.0; //!< Tolerance of the matched rule.
+    /** Trace id of the request's span timeline (0 when tracing is
+     * off) — callers correlate responses with trace records by it. */
+    std::uint64_t traceId = 0;
+    /** Per-stage timing breakdown in execution order. Sequential
+     * stages abut; raced stages share start offset 0. */
+    std::vector<StageTiming> stages;
 };
 
 /** The deployed tier service. */
@@ -52,6 +78,17 @@ class TierService
                   std::vector<RoutingRule> rules);
 
     /**
+     * Attach telemetry sinks (any pointer may be null). Guarantees
+     * for already-installed rules are registered with the monitor
+     * immediately; later setRules calls register theirs too.
+     * @param kind how the monitor interprets tolerances against
+     * observed errors (must match the rule generator's mode).
+     */
+    void attachObservability(
+        const obs::ObsContext &ctx,
+        obs::DegradationKind kind = obs::DegradationKind::Relative);
+
+    /**
      * The rule serving a requested tolerance: the largest rule
      * tolerance that does not exceed it. Requests tighter than every
      * rule (including tolerance 0) are served by the most accurate
@@ -67,9 +104,23 @@ class TierService
     std::size_t versionCount() const { return versions_.size(); }
 
   private:
+    void installGuarantees(serving::Objective objective,
+                           const std::vector<RoutingRule> &rules);
+    void registerRuleSeries(serving::Objective objective,
+                            const std::vector<RoutingRule> &rules);
+    void recordMetrics(serving::Objective objective,
+                       const RoutingRule &rule,
+                       const TierResponse &resp) const;
+    void recordTrace(const serving::ServiceRequest &request,
+                     TierResponse &resp, double rule_match_wall)
+        const;
+
     std::vector<const serving::ServiceVersion *> versions_;
     std::map<serving::Objective, std::vector<RoutingRule>> rules_;
     RoutingRule referenceRule_; //!< Single(most accurate), tol 0.
+    obs::ObsContext ctx_;       //!< All-null until attached.
+    obs::DegradationKind degradationKind_ =
+        obs::DegradationKind::Relative;
 };
 
 } // namespace toltiers::core

@@ -1,6 +1,8 @@
 #include "ic/service.hh"
 
 #include "common/logging.hh"
+#include "common/stopwatch.hh"
+#include "obs/metrics.hh"
 
 namespace toltiers::ic {
 
@@ -33,7 +35,22 @@ IcServiceVersion::workloadSize() const
 serving::VersionResult
 IcServiceVersion::process(std::size_t index) const
 {
+#if TOLTIERS_OBS_ENABLED
+    common::Stopwatch wall;
+#endif
     IcResult r = classifier_.classify(workload_, index);
+
+#if TOLTIERS_OBS_ENABLED
+    if (obs::metricsEnabled()) {
+        obs::Registry::global()
+            .histogram("toltiers_inference_wall_seconds",
+                       {{"service", "ic"},
+                        {"version", classifier_.name()}},
+                       {},
+                       "Measured per-invocation forward wall time")
+            .observe(wall.seconds());
+    }
+#endif
 
     serving::VersionResult out;
     out.output = r.className;

@@ -1,0 +1,180 @@
+#include "obs/guarantee.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/metrics.hh"
+
+namespace toltiers::obs {
+
+GuaranteeMonitor::GuaranteeMonitor(GuaranteeConfig cfg) : cfg_(cfg)
+{
+    TT_ASSERT(cfg_.minSamples > 0, "minSamples must be positive");
+    TT_ASSERT(cfg_.latencySlack >= 1.0, "latency slack below 1");
+}
+
+GuaranteeMonitor::TierState &
+GuaranteeMonitor::state(const std::string &objective,
+                        double tolerance)
+{
+    TierState &ts = tiers_[{objective, tolerance}];
+    if (!ts.installed && ts.guarantee.objective.empty()) {
+        // Auto-created by an observation: track, never flag.
+        ts.guarantee.objective = objective;
+        ts.guarantee.tolerance = tolerance;
+        ts.guarantee.worstLatency = 0.0;
+    }
+    return ts;
+}
+
+void
+GuaranteeMonitor::installTier(const TierGuarantee &guarantee)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TierState &ts =
+        state(guarantee.objective, guarantee.tolerance);
+    ts.guarantee = guarantee;
+    ts.installed = true;
+}
+
+void
+GuaranteeMonitor::observeLatency(const std::string &objective,
+                                 double tolerance,
+                                 double latencySeconds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TierState &ts = state(objective, tolerance);
+    ++ts.latencySamples;
+    ts.latencySum += latencySeconds;
+}
+
+void
+GuaranteeMonitor::observeError(const std::string &objective,
+                               double tolerance, double error,
+                               double referenceError)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TierState &ts = state(objective, tolerance);
+    ++ts.errorSamples;
+    ts.errorSum += error;
+    ts.referenceErrorSum += referenceError;
+}
+
+TierStatus
+GuaranteeMonitor::evaluate(const TierState &ts) const
+{
+    TierStatus st;
+    st.guarantee = ts.guarantee;
+    st.latencySamples = ts.latencySamples;
+    st.errorSamples = ts.errorSamples;
+    if (ts.latencySamples > 0) {
+        st.meanLatency =
+            ts.latencySum / static_cast<double>(ts.latencySamples);
+    }
+    if (ts.errorSamples > 0) {
+        auto n = static_cast<double>(ts.errorSamples);
+        st.meanError = ts.errorSum / n;
+        st.meanReferenceError = ts.referenceErrorSum / n;
+        if (ts.guarantee.kind == DegradationKind::Relative) {
+            st.degradation =
+                st.meanReferenceError > 0.0
+                    ? (st.meanError - st.meanReferenceError) /
+                          st.meanReferenceError
+                    : 0.0;
+        } else {
+            st.degradation = st.meanError - st.meanReferenceError;
+        }
+    }
+
+    if (!ts.installed)
+        return st; // Unbounded promise: never flagged.
+
+    if (ts.errorSamples >= cfg_.minSamples &&
+        st.degradation >
+            ts.guarantee.tolerance + cfg_.epsilon) {
+        st.errorViolation = true;
+    }
+    if (ts.guarantee.worstLatency > 0.0 &&
+        ts.latencySamples >= cfg_.minSamples &&
+        st.meanLatency >
+            ts.guarantee.worstLatency * cfg_.latencySlack +
+                cfg_.epsilon) {
+        st.latencyViolation = true;
+    }
+    return st;
+}
+
+std::vector<TierStatus>
+GuaranteeMonitor::statuses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TierStatus> out;
+    out.reserve(tiers_.size());
+    for (const auto &[key, ts] : tiers_)
+        out.push_back(evaluate(ts));
+    return out;
+}
+
+std::size_t
+GuaranteeMonitor::violationCount() const
+{
+    std::size_t n = 0;
+    for (const TierStatus &st : statuses()) {
+        if (st.violated())
+            ++n;
+    }
+    return n;
+}
+
+std::string
+GuaranteeMonitor::report() const
+{
+    std::ostringstream oss;
+    for (const TierStatus &st : statuses()) {
+        oss << common::strprintf(
+            "tier %-14s tol %5.2f%%: deg %+6.2f%% "
+            "(%zu scored), mean latency %7.1fms",
+            st.guarantee.objective.c_str(),
+            st.guarantee.tolerance * 100.0, st.degradation * 100.0,
+            st.errorSamples, st.meanLatency * 1e3);
+        if (st.guarantee.worstLatency > 0.0) {
+            oss << common::strprintf(
+                " (worst-case %.1fms)",
+                st.guarantee.worstLatency * 1e3);
+        }
+        if (st.errorViolation)
+            oss << "  ERROR-GUARANTEE VIOLATED";
+        if (st.latencyViolation)
+            oss << "  LATENCY-GUARANTEE VIOLATED";
+        if (!st.violated())
+            oss << "  ok";
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+void
+GuaranteeMonitor::updateMetrics(Registry &registry) const
+{
+    for (const TierStatus &st : statuses()) {
+        Labels labels = {
+            {"objective", st.guarantee.objective},
+            {"tier",
+             common::strprintf("%g", st.guarantee.tolerance)}};
+        registry
+            .gauge("toltiers_guarantee_degradation", labels,
+                   "Observed running error degradation per tier")
+            .set(st.degradation);
+        registry
+            .gauge("toltiers_guarantee_tolerance", labels,
+                   "Promised error-degradation bound per tier")
+            .set(st.guarantee.tolerance);
+        registry
+            .gauge("toltiers_guarantee_violation", labels,
+                   "1 when the tier currently violates its promise")
+            .set(st.violated() ? 1.0 : 0.0);
+    }
+}
+
+} // namespace toltiers::obs

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Live tier-guarantee monitoring.
+ *
+ * The paper's operational claim is that every installed tier keeps
+ * its promise: the observed error degradation versus the reference
+ * (most accurate) version stays within the tier's tolerance, at a
+ * response time no worse than the worst case the rule generator
+ * recorded. Offline, the figure pipeline asserts this after the
+ * fact; the GuaranteeMonitor asserts it *while the service runs* —
+ * each tier accumulates its observed errors and latencies, and the
+ * monitor flags a violation the moment a tier's running degradation
+ * exceeds its tolerance (or its running mean latency exceeds the
+ * recorded worst case with slack), once enough samples have
+ * accumulated to make the signal meaningful.
+ *
+ * Error ground truth is not available inside the serving path (the
+ * live service does not know the reference transcript), so the
+ * split mirrors reality: the tier service feeds latencies
+ * automatically, while error observations are fed by whichever
+ * component can score outputs (the replay harness, a shadow scorer,
+ * or an offline join).
+ */
+
+#ifndef TOLTIERS_OBS_GUARANTEE_HH
+#define TOLTIERS_OBS_GUARANTEE_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace toltiers::obs {
+
+class Registry;
+
+/** How a tier's tolerance is compared against observed errors. */
+enum class DegradationKind
+{
+    Relative,       //!< (err - ref) / ref.
+    AbsolutePoints, //!< err - ref.
+};
+
+/** The promise one installed tier makes (from its routing rule). */
+struct TierGuarantee
+{
+    std::string objective;  //!< "response-time" or "cost".
+    double tolerance = 0.0; //!< Error-degradation bound.
+    /** Worst-case mean latency the rule generator recorded (s);
+     * <= 0 disables latency monitoring for the tier. */
+    double worstLatency = 0.0;
+    /** Worst-case mean cost recorded ($); informational. */
+    double worstCost = 0.0;
+    DegradationKind kind = DegradationKind::Relative;
+};
+
+/** Monitor thresholds. */
+struct GuaranteeConfig
+{
+    /** Observations before a tier can be flagged (running means on
+     * fewer samples are noise, not violations). */
+    std::size_t minSamples = 30;
+    /** Multiplier on the recorded worst-case latency before the
+     * running mean counts as a latency violation. */
+    double latencySlack = 1.5;
+    /** Numerical slack on the tolerance comparison. */
+    double epsilon = 1e-9;
+};
+
+/** Live status of one monitored tier. */
+struct TierStatus
+{
+    TierGuarantee guarantee;
+
+    std::size_t latencySamples = 0;
+    double meanLatency = 0.0;
+    std::size_t errorSamples = 0;
+    double meanError = 0.0;
+    double meanReferenceError = 0.0;
+    double degradation = 0.0; //!< Under the tier's kind.
+
+    bool errorViolation = false;
+    bool latencyViolation = false;
+
+    bool violated() const { return errorViolation || latencyViolation; }
+};
+
+/**
+ * Tracks every installed tier's observed error degradation and
+ * latency against its promise. All observe calls are thread-safe.
+ */
+class GuaranteeMonitor
+{
+  public:
+    explicit GuaranteeMonitor(GuaranteeConfig cfg = GuaranteeConfig());
+
+    /**
+     * Install (or replace) the promise for (objective, tolerance).
+     * Unknown tiers observed before installation are tracked with
+     * an unbounded promise and never flagged.
+     */
+    void installTier(const TierGuarantee &guarantee);
+
+    /** Record one served request's latency for a tier. */
+    void observeLatency(const std::string &objective,
+                        double tolerance, double latencySeconds);
+
+    /**
+     * Record one scored output for a tier: the observed error of
+     * the response and the reference version's error on the same
+     * payload.
+     */
+    void observeError(const std::string &objective, double tolerance,
+                      double error, double referenceError);
+
+    /** Current status of every tracked tier, sorted by key. */
+    std::vector<TierStatus> statuses() const;
+
+    /** Number of tiers currently in violation. */
+    std::size_t violationCount() const;
+
+    /** Human-readable status report, one line per tier. */
+    std::string report() const;
+
+    /**
+     * Publish per-tier status into a registry:
+     * toltiers_guarantee_degradation, toltiers_guarantee_tolerance,
+     * and toltiers_guarantee_violation gauges labelled by
+     * objective/tier.
+     */
+    void updateMetrics(Registry &registry) const;
+
+    const GuaranteeConfig &config() const { return cfg_; }
+
+  private:
+    struct TierState
+    {
+        TierGuarantee guarantee;
+        bool installed = false; //!< False: auto-created, unbounded.
+        std::size_t latencySamples = 0;
+        double latencySum = 0.0;
+        std::size_t errorSamples = 0;
+        double errorSum = 0.0;
+        double referenceErrorSum = 0.0;
+    };
+
+    using Key = std::pair<std::string, double>;
+
+    TierState &state(const std::string &objective, double tolerance);
+    TierStatus evaluate(const TierState &ts) const;
+
+    GuaranteeConfig cfg_;
+    mutable std::mutex mu_;
+    std::map<Key, TierState> tiers_;
+};
+
+} // namespace toltiers::obs
+
+#endif // TOLTIERS_OBS_GUARANTEE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Observability umbrella header and the ObsContext handle that
+ * instrumented components accept.
+ *
+ * The subsystem has three legs (see README.md "Observability"):
+ *  - metrics.hh / export.hh — the thread-safe metrics registry and
+ *    its Prometheus/JSON/CSV exporters;
+ *  - trace.hh — per-request span timelines and the JSONL trace log;
+ *  - guarantee.hh — the live tier-guarantee monitor.
+ *
+ * ObsContext bundles optional pointers to all three so a component
+ * can be instrumented with one attach call; every pointer may be
+ * null, and a default-constructed context disables everything.
+ */
+
+#ifndef TOLTIERS_OBS_OBS_HH
+#define TOLTIERS_OBS_OBS_HH
+
+#include "obs/export.hh"
+#include "obs/guarantee.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace toltiers::obs {
+
+/** Optional telemetry sinks a component records into. */
+struct ObsContext
+{
+    Registry *metrics = nullptr;
+    Tracer *tracer = nullptr;
+    GuaranteeMonitor *monitor = nullptr;
+
+    /** Context with all three sinks, metrics on the global registry. */
+    static ObsContext
+    standard(Tracer *tracer, GuaranteeMonitor *monitor)
+    {
+        return {&Registry::global(), tracer, monitor};
+    }
+};
+
+} // namespace toltiers::obs
+
+#endif // TOLTIERS_OBS_OBS_HH

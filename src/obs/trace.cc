@@ -1,0 +1,170 @@
+#include "obs/trace.hh"
+
+#include <fstream>
+
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace toltiers::obs {
+
+using common::fatal;
+using common::inform;
+
+double
+TraceRecord::rootDuration() const
+{
+    double total = 0.0;
+    for (const SpanRecord &s : spans) {
+        if (s.parent == 0)
+            total += s.duration;
+    }
+    return total;
+}
+
+// ---------------------------------------------------------------- trace
+
+Trace::Trace(std::uint64_t trace_id)
+{
+    record_.traceId = trace_id;
+}
+
+std::uint64_t
+Trace::addSpan(const std::string &name, double start,
+               double duration, std::uint64_t parent)
+{
+    TT_ASSERT(duration >= 0.0, "span duration must be non-negative");
+    SpanRecord span;
+    span.id = nextSpan_++;
+    span.parent = parent;
+    span.name = name;
+    span.start = start;
+    span.duration = duration;
+    record_.spans.push_back(std::move(span));
+    return record_.spans.back().id;
+}
+
+void
+Trace::annotate(std::uint64_t span_id, const std::string &key,
+                const std::string &value)
+{
+    for (SpanRecord &s : record_.spans) {
+        if (s.id == span_id) {
+            s.attrs.emplace_back(key, value);
+            return;
+        }
+    }
+    common::panic("annotate: unknown span id ", span_id);
+}
+
+// ---------------------------------------------------------- scoped span
+
+ScopedSpan::ScopedSpan(Trace &trace, const std::string &name,
+                       std::uint64_t parent)
+    : trace_(trace), start_(trace.elapsed())
+{
+    id_ = trace_.addSpan(name, start_, 0.0, parent);
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    close();
+}
+
+void
+ScopedSpan::close()
+{
+    if (!open_)
+        return;
+    open_ = false;
+    double end = trace_.elapsed();
+    for (SpanRecord &s : trace_.record_.spans) {
+        if (s.id == id_) {
+            s.duration = end - start_;
+            return;
+        }
+    }
+}
+
+// --------------------------------------------------------------- tracer
+
+Trace
+Tracer::startTrace()
+{
+    return Trace(nextTrace_.fetch_add(1, std::memory_order_relaxed));
+}
+
+void
+Tracer::finish(Trace &&trace)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    traces_.push_back(std::move(trace.record_));
+}
+
+std::size_t
+Tracer::traceCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return traces_.size();
+}
+
+std::vector<TraceRecord>
+Tracer::drain()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceRecord> out;
+    out.swap(traces_);
+    return out;
+}
+
+void
+Tracer::exportJsonl(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceRecord &t : traces_) {
+        common::JsonWriter w(os);
+        w.beginObject();
+        w.member("traceId", static_cast<std::size_t>(t.traceId));
+        w.beginArray("spans");
+        for (const SpanRecord &s : t.spans) {
+            w.beginObject();
+            w.member("id", static_cast<std::size_t>(s.id));
+            w.member("parent", static_cast<std::size_t>(s.parent));
+            w.member("name", s.name);
+            w.member("start", s.start);
+            w.member("duration", s.duration);
+            if (!s.attrs.empty()) {
+                w.beginObject("attrs");
+                for (const auto &[k, v] : s.attrs)
+                    w.member(k, v);
+                w.endObject();
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+    }
+}
+
+void
+Tracer::exportJsonl(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace output file '", path, "'");
+    exportJsonl(out);
+}
+
+bool
+exportTracesForCli(const common::CliArgs &args, const Tracer &tracer)
+{
+    std::string path = args.getString("trace-out", "");
+    if (path.empty())
+        return false;
+    tracer.exportJsonl(path);
+    inform("trace log (", tracer.traceCount(), " traces) -> ", path);
+    return true;
+}
+
+} // namespace toltiers::obs

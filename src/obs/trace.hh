@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Lightweight request tracing: per-request timelines of named,
+ * nested spans.
+ *
+ * A Trace is the timeline of one request. Spans carry a start
+ * offset and a duration in seconds relative to the trace origin and
+ * may nest via parent ids. Two recording styles coexist, because
+ * the repo mixes measured and modeled time:
+ *
+ *  - wall-clock spans (ScopedSpan) measure real elapsed time with
+ *    common::Stopwatch — used for the control-plane work the
+ *    service actually performs (rule matching, bookkeeping);
+ *  - modeled spans (Trace::addSpan with explicit start/duration)
+ *    carry the work-unit-derived latencies of the simulated service
+ *    versions, so a trace reproduces the policy timeline the tier
+ *    semantics define (sequential stages abut, raced stages
+ *    overlap).
+ *
+ * Finished traces accumulate in the Tracer, which can drain them to
+ * a JSONL log: one JSON object per line per trace, the schema
+ * documented in README.md ("Observability").
+ */
+
+#ifndef TOLTIERS_OBS_TRACE_HH
+#define TOLTIERS_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.hh"
+
+namespace toltiers::common {
+class CliArgs;
+} // namespace toltiers::common
+
+namespace toltiers::obs {
+
+/** One completed span within a trace. */
+struct SpanRecord
+{
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0; //!< 0 = root (no parent).
+    std::string name;
+    double start = 0.0;    //!< Seconds from the trace origin.
+    double duration = 0.0; //!< Seconds.
+    std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/** One request's finished timeline. */
+struct TraceRecord
+{
+    std::uint64_t traceId = 0;
+    std::vector<SpanRecord> spans;
+
+    /** Total of the root spans' durations (parent == 0). */
+    double rootDuration() const;
+};
+
+/**
+ * Builder for one request's timeline. Not thread-safe; one trace
+ * belongs to one request on one thread. The trace origin (offset
+ * zero) is the construction instant for wall-clock spans; modeled
+ * spans choose their own offsets.
+ */
+class Trace
+{
+  public:
+    explicit Trace(std::uint64_t trace_id);
+
+    std::uint64_t traceId() const { return record_.traceId; }
+
+    /**
+     * Record a modeled span with an explicit timeline position.
+     * @return the span id, usable as a parent for nested spans.
+     */
+    std::uint64_t addSpan(const std::string &name, double start,
+                          double duration,
+                          std::uint64_t parent = 0);
+
+    /** Attach a key/value attribute to an existing span. */
+    void annotate(std::uint64_t span_id, const std::string &key,
+                  const std::string &value);
+
+    /** Seconds since the trace origin (for wall-clock spans). */
+    double elapsed() const { return clock_.seconds(); }
+
+    /** The record built so far (finalized by Tracer::finish). */
+    const TraceRecord &record() const { return record_; }
+
+  private:
+    friend class ScopedSpan;
+    friend class Tracer;
+
+    TraceRecord record_;
+    std::uint64_t nextSpan_ = 1;
+    common::Stopwatch clock_;
+};
+
+/**
+ * RAII wall-clock span: starts at construction, closes at
+ * destruction (or close()), measuring real elapsed time against
+ * the owning trace's origin.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Trace &trace, const std::string &name,
+               std::uint64_t parent = 0);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** The span id (for nesting children under this span). */
+    std::uint64_t id() const { return id_; }
+
+    /** Close early; idempotent. */
+    void close();
+
+  private:
+    Trace &trace_;
+    std::uint64_t id_ = 0;
+    double start_ = 0.0;
+    bool open_ = true;
+};
+
+/**
+ * Thread-safe collector of finished traces. Assigns trace ids and
+ * buffers completed records until they are drained or exported.
+ */
+class Tracer
+{
+  public:
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Begin a new trace with a fresh id. */
+    Trace startTrace();
+
+    /** File a completed trace. Thread-safe. */
+    void finish(Trace &&trace);
+
+    /** Number of buffered traces. */
+    std::size_t traceCount() const;
+
+    /** Remove and return every buffered trace. */
+    std::vector<TraceRecord> drain();
+
+    /**
+     * Write every buffered trace as JSONL (one object per line)
+     * without draining. fatal() if the file cannot be opened.
+     */
+    void exportJsonl(std::ostream &os) const;
+    void exportJsonl(const std::string &path) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::atomic<std::uint64_t> nextTrace_{1};
+    std::vector<TraceRecord> traces_;
+};
+
+/**
+ * Standard CLI wiring: if the parsed args carry --trace-out=PATH,
+ * export the tracer's buffered traces there as JSONL and inform()
+ * about it. Returns true if a log was written.
+ */
+bool exportTracesForCli(const common::CliArgs &args,
+                        const Tracer &tracer);
+
+} // namespace toltiers::obs
+
+#endif // TOLTIERS_OBS_TRACE_HH

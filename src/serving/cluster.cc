@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 #include "stats/descriptive.hh"
 
 namespace toltiers::serving {
@@ -64,9 +65,58 @@ struct PoolState
     std::size_t freeServers = 0;
     std::deque<std::size_t> waiting; //!< Exec ids.
     double busySeconds = 0.0;
+    double cancelledBusySeconds = 0.0;
 };
 
+/** Pre-resolved per-pool metric handles (null when detached). */
+struct PoolMetrics
+{
+    obs::Histogram *queueWait = nullptr;
+    obs::Counter *busySeconds = nullptr;
+    obs::Counter *cancelledBusySeconds = nullptr;
+    obs::Counter *completedStages = nullptr;
+    obs::Counter *cancelledStages = nullptr;
+    obs::Gauge *utilization = nullptr;
+};
+
+std::vector<PoolMetrics>
+resolvePoolMetrics(obs::Registry *registry,
+                   const std::vector<SimPool> &pools)
+{
+    std::vector<PoolMetrics> out(pools.size());
+    if (!registry || !obs::metricsEnabled())
+        return out;
+    for (std::size_t p = 0; p < pools.size(); ++p) {
+        obs::Labels labels = {{"pool", pools[p].name}};
+        out[p].queueWait = &registry->histogram(
+            "toltiers_sim_queue_wait_seconds", labels, {},
+            "Time stages spend queued before a server frees up");
+        out[p].busySeconds = &registry->counter(
+            "toltiers_sim_busy_seconds_total", labels,
+            "Billed busy node-seconds per pool");
+        out[p].cancelledBusySeconds = &registry->counter(
+            "toltiers_sim_cancelled_busy_seconds_total", labels,
+            "Busy node-seconds billed to cancelled stages");
+        out[p].completedStages = &registry->counter(
+            "toltiers_sim_completed_stages_total", labels,
+            "Stages run to completion per pool");
+        out[p].cancelledStages = &registry->counter(
+            "toltiers_sim_cancelled_stages_total", labels,
+            "Stages cancelled by a raced winner per pool");
+        out[p].utilization = &registry->gauge(
+            "toltiers_sim_pool_utilization", labels,
+            "Busy fraction of the pool over the last run");
+    }
+    return out;
+}
+
 } // namespace
+
+void
+ClusterSim::attachMetrics(obs::Registry *registry)
+{
+    metrics_ = registry;
+}
 
 ClusterSim::ClusterSim(std::vector<SimPool> pools)
     : pools_(std::move(pools))
@@ -87,12 +137,17 @@ ClusterSim::run(const std::vector<SimJob> &jobs) const
     std::vector<Exec> execs;
     std::priority_queue<Event, std::vector<Event>, std::greater<>>
         events;
+    std::vector<PoolMetrics> pool_metrics =
+        resolvePoolMetrics(metrics_, pools_);
 
     auto start_exec = [&](std::size_t e, double now) {
         Exec &x = execs[e];
         x.state = ExecState::Running;
         x.startTime = now;
         states[x.job].queueing += now - x.enqueueTime;
+        if (pool_metrics[x.pool].queueWait)
+            pool_metrics[x.pool].queueWait->observe(
+                now - x.enqueueTime);
         events.push({now + x.serviceTime, EventKind::Completion, e});
     };
 
@@ -137,6 +192,8 @@ ClusterSim::run(const std::vector<SimJob> &jobs) const
     auto bill = [&](const Exec &x, double busy) {
         pool_states[x.pool].busySeconds += busy;
         states[x.job].cost += busy * pools_[x.pool].pricePerSecond;
+        if (pool_metrics[x.pool].busySeconds)
+            pool_metrics[x.pool].busySeconds->inc(busy);
     };
 
     // Cancel every not-yet-responded stage of the job at `now`.
@@ -147,7 +204,14 @@ ClusterSim::run(const std::vector<SimJob> &jobs) const
                 x.state = ExecState::Cancelled; // Lazily dequeued.
             } else if (x.state == ExecState::Running) {
                 x.state = ExecState::Cancelled;
-                bill(x, now - x.startTime);
+                double busy = now - x.startTime;
+                bill(x, busy);
+                pool_states[x.pool].cancelledBusySeconds += busy;
+                if (pool_metrics[x.pool].cancelledBusySeconds) {
+                    pool_metrics[x.pool].cancelledBusySeconds->inc(
+                        busy);
+                    pool_metrics[x.pool].cancelledStages->inc();
+                }
                 release_server(x.pool, now);
             }
         }
@@ -198,6 +262,8 @@ ClusterSim::run(const std::vector<SimJob> &jobs) const
         makespan = std::max(makespan, now);
         x.state = ExecState::Done;
         bill(x, x.serviceTime);
+        if (pool_metrics[x.pool].completedStages)
+            pool_metrics[x.pool].completedStages->inc();
         release_server(x.pool, now);
 
         JobState &js = states[job_id];
@@ -239,10 +305,15 @@ ClusterSim::run(const std::vector<SimJob> &jobs) const
     report.makespan = makespan;
     for (std::size_t p = 0; p < pools_.size(); ++p) {
         report.poolBusySeconds.push_back(pool_states[p].busySeconds);
+        report.poolCancelledBusySeconds.push_back(
+            pool_states[p].cancelledBusySeconds);
         double denom =
             static_cast<double>(pools_[p].servers) * makespan;
-        report.poolUtilization.push_back(
-            denom > 0.0 ? pool_states[p].busySeconds / denom : 0.0);
+        double utilization =
+            denom > 0.0 ? pool_states[p].busySeconds / denom : 0.0;
+        report.poolUtilization.push_back(utilization);
+        if (pool_metrics[p].utilization)
+            pool_metrics[p].utilization->set(utilization);
     }
     if (!responses.empty()) {
         report.meanResponse = stats::mean(responses);

@@ -30,6 +30,10 @@
 
 #include "common/random.hh"
 
+namespace toltiers::obs {
+class Registry;
+} // namespace toltiers::obs
+
 namespace toltiers::serving {
 
 /** One node pool backing a service version. */
@@ -70,6 +74,10 @@ struct SimReport
     std::vector<JobOutcome> jobs;
     std::vector<double> poolBusySeconds; //!< Per pool.
     std::vector<double> poolUtilization; //!< Busy / (servers * span).
+    /** Busy node-seconds billed to stages that were cancelled by a
+     * raced winner — the "paid for the big configuration it killed"
+     * cost component, per pool. */
+    std::vector<double> poolCancelledBusySeconds;
     double makespan = 0.0;
     double meanResponse = 0.0;
     double p99Response = 0.0;
@@ -83,6 +91,14 @@ class ClusterSim
     explicit ClusterSim(std::vector<SimPool> pools);
 
     /**
+     * Record per-pool telemetry into `registry` on every run():
+     * queue-wait histograms, busy/cancelled-busy counters, and
+     * utilization gauges, all labelled {pool=<name>}. Pass nullptr
+     * to detach. The registry must outlive the simulator.
+     */
+    void attachMetrics(obs::Registry *registry);
+
+    /**
      * Run the given jobs to completion. Jobs need not be sorted by
      * arrival. Concurrent jobs must have exactly two stages; stage 1
      * is the authoritative (accurate) version when acceptFirst is
@@ -94,6 +110,7 @@ class ClusterSim
 
   private:
     std::vector<SimPool> pools_;
+    obs::Registry *metrics_ = nullptr;
 };
 
 /** Poisson arrival times: n arrivals at the given mean rate (1/s). */

@@ -56,6 +56,13 @@
 #include "dataset/speech_corpus.hh"
 #include "dataset/synth_images.hh"
 
+// Observability: metrics, traces, guarantee monitoring.
+#include "obs/export.hh"
+#include "obs/guarantee.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
+
 // Serving layer.
 #include "serving/api.hh"
 #include "serving/cluster.hh"

@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Unit tests for the observability subsystem: histogram bucket and
+ * quantile math, metric registry behaviour, exporter round-trips,
+ * trace span accounting, the guarantee monitor, and the tier
+ * service's stage-timing / trace integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "core/tier_service.hh"
+#include "obs/export.hh"
+#include "obs/guarantee.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serving/request.hh"
+#include "serving/service_version.hh"
+
+namespace ob = toltiers::obs;
+namespace tc = toltiers::core;
+namespace sv = toltiers::serving;
+
+// -------------------------------------------------------------- histogram
+
+TEST(Histogram, CountsSamplesIntoCorrectBuckets)
+{
+    ob::Histogram h({1.0, 2.0, 4.0});
+    for (double x : {0.5, 1.0, 1.5, 3.0, 10.0})
+        h.observe(x);
+
+    auto s = h.snapshot();
+    ASSERT_EQ(s.counts.size(), 4u); // 3 bounds + implicit +Inf.
+    EXPECT_EQ(s.counts[0], 2u);     // 0.5, 1.0 (le = inclusive).
+    EXPECT_EQ(s.counts[1], 1u);     // 1.5.
+    EXPECT_EQ(s.counts[2], 1u);     // 3.0.
+    EXPECT_EQ(s.counts[3], 1u);     // 10.0 overflows to +Inf.
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.sum, 16.0);
+    EXPECT_DOUBLE_EQ(s.minimum, 0.5);
+    EXPECT_DOUBLE_EQ(s.maximum, 10.0);
+}
+
+TEST(Histogram, QuantilesInterpolateWithinBuckets)
+{
+    ob::Histogram h({10.0, 20.0, 30.0, 40.0});
+    for (int i = 1; i <= 40; ++i)
+        h.observe(static_cast<double>(i));
+
+    // Uniform 1..40: quantiles should land close to q * 40.
+    EXPECT_NEAR(h.p50(), 20.0, 2.5);
+    EXPECT_NEAR(h.p95(), 38.0, 2.5);
+    EXPECT_NEAR(h.quantile(0.25), 10.0, 2.5);
+    // Extremes clamp to the observed range.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero)
+{
+    ob::Histogram h({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, MergeFoldsCountsSumsAndExtremes)
+{
+    ob::Histogram a({1.0, 2.0, 4.0});
+    ob::Histogram b({1.0, 2.0, 4.0});
+    a.observe(0.5);
+    a.observe(3.0);
+    b.observe(1.5);
+    b.observe(8.0);
+
+    a.merge(b);
+    auto s = a.snapshot();
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.sum, 13.0);
+    EXPECT_DOUBLE_EQ(s.minimum, 0.5);
+    EXPECT_DOUBLE_EQ(s.maximum, 8.0);
+    EXPECT_EQ(s.counts[0], 1u); // 0.5.
+    EXPECT_EQ(s.counts[1], 1u); // 1.5.
+    EXPECT_EQ(s.counts[2], 1u); // 3.0.
+    EXPECT_EQ(s.counts[3], 1u); // 8.0.
+}
+
+TEST(Histogram, BoundHelpersAreAscending)
+{
+    auto exp = ob::exponentialBounds(0.001, 10.0, 9);
+    ASSERT_EQ(exp.size(), 9u);
+    EXPECT_DOUBLE_EQ(exp.front(), 0.001);
+    EXPECT_NEAR(exp.back(), 10.0, 1e-9);
+    for (std::size_t i = 1; i < exp.size(); ++i)
+        EXPECT_LT(exp[i - 1], exp[i]);
+
+    auto lin = ob::linearBounds(0.0, 1.0, 5);
+    ASSERT_EQ(lin.size(), 5u);
+    EXPECT_DOUBLE_EQ(lin.front(), 0.0);
+    EXPECT_DOUBLE_EQ(lin.back(), 1.0);
+    for (std::size_t i = 1; i < lin.size(); ++i)
+        EXPECT_LT(lin[i - 1], lin[i]);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, ReturnsStableHandlesPerNameAndLabels)
+{
+    ob::Registry reg;
+    ob::Counter &a = reg.counter("requests", {{"tier", "0.01"}});
+    ob::Counter &b = reg.counter("requests", {{"tier", "0.01"}});
+    ob::Counter &c = reg.counter("requests", {{"tier", "0.05"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+    a.inc();
+    a.inc(2.5);
+    EXPECT_DOUBLE_EQ(b.value(), 3.5);
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+    EXPECT_EQ(reg.seriesCount(), 2u);
+}
+
+TEST(Registry, GaugeSetAndAdd)
+{
+    ob::Registry reg;
+    ob::Gauge &g = reg.gauge("utilization");
+    g.set(0.75);
+    g.add(-0.25);
+    EXPECT_DOUBLE_EQ(g.value(), 0.5);
+}
+
+TEST(Registry, HistogramBoundsFixedAtFirstRegistration)
+{
+    ob::Registry reg;
+    ob::Histogram &h =
+        reg.histogram("latency", {}, {0.1, 0.2, 0.4});
+    // Later lookups with empty bounds reuse the series.
+    ob::Histogram &again = reg.histogram("latency");
+    EXPECT_EQ(&h, &again);
+    EXPECT_EQ(h.bounds().size(), 3u);
+}
+
+TEST(Registry, SnapshotIsSortedAndComplete)
+{
+    ob::Registry reg;
+    reg.counter("b_total", {{"x", "1"}}).inc(2.0);
+    reg.gauge("a_gauge").set(7.0);
+    reg.histogram("c_hist", {}, {1.0}).observe(0.5);
+
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "a_gauge");
+    EXPECT_EQ(snap[1].name, "b_total");
+    EXPECT_EQ(snap[2].name, "c_hist");
+    EXPECT_EQ(snap[0].kind, ob::MetricKind::Gauge);
+    EXPECT_DOUBLE_EQ(snap[0].value, 7.0);
+    EXPECT_DOUBLE_EQ(snap[1].value, 2.0);
+    EXPECT_EQ(snap[2].hist.count, 1u);
+}
+
+TEST(Registry, ConcurrentUpdatesAreLossless)
+{
+    ob::Registry reg;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg] {
+            for (int i = 0; i < kIters; ++i) {
+                reg.counter("hits", {{"worker", "shared"}}).inc();
+                reg.histogram("obs", {}, {0.5, 1.0})
+                    .observe(i % 2 == 0 ? 0.25 : 0.75);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_DOUBLE_EQ(
+        reg.counter("hits", {{"worker", "shared"}}).value(),
+        static_cast<double>(kThreads * kIters));
+    EXPECT_EQ(reg.histogram("obs").count(),
+              static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+TEST(Registry, RuntimeSwitchRoundTrips)
+{
+    EXPECT_TRUE(ob::metricsEnabled());
+    ob::setMetricsEnabled(false);
+    EXPECT_FALSE(ob::metricsEnabled());
+    ob::setMetricsEnabled(true);
+    EXPECT_TRUE(ob::metricsEnabled());
+}
+
+// -------------------------------------------------------------- exporters
+
+namespace {
+
+/**
+ * Minimal Prometheus text parser: maps "name{labels}" (labels part
+ * kept verbatim, empty when absent) to the sample value, skipping
+ * comments.
+ */
+std::map<std::string, double>
+parsePrometheus(const std::string &text)
+{
+    std::map<std::string, double> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto space = line.rfind(' ');
+        EXPECT_NE(space, std::string::npos) << line;
+        out[line.substr(0, space)] =
+            std::stod(line.substr(space + 1));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Export, PrometheusTextParsesBackToRegistryState)
+{
+    ob::Registry reg;
+    reg.counter("toltiers_requests_total", {{"tier", "0.05"}})
+        .inc(42.0);
+    reg.gauge("toltiers_utilization").set(0.5);
+    ob::Histogram &h =
+        reg.histogram("toltiers_latency_seconds", {}, {0.1, 1.0});
+    h.observe(0.05);
+    h.observe(0.5);
+    h.observe(2.0);
+
+    std::ostringstream os;
+    ob::exportPrometheus(reg, os);
+    auto samples = parsePrometheus(os.str());
+
+    EXPECT_DOUBLE_EQ(
+        samples.at("toltiers_requests_total{tier=\"0.05\"}"), 42.0);
+    EXPECT_DOUBLE_EQ(samples.at("toltiers_utilization"), 0.5);
+    // Cumulative buckets plus the +Inf catch-all.
+    EXPECT_DOUBLE_EQ(
+        samples.at("toltiers_latency_seconds_bucket{le=\"0.1\"}"),
+        1.0);
+    EXPECT_DOUBLE_EQ(
+        samples.at("toltiers_latency_seconds_bucket{le=\"1\"}"),
+        2.0);
+    EXPECT_DOUBLE_EQ(
+        samples.at("toltiers_latency_seconds_bucket{le=\"+Inf\"}"),
+        3.0);
+    EXPECT_DOUBLE_EQ(samples.at("toltiers_latency_seconds_count"),
+                     3.0);
+    EXPECT_NEAR(samples.at("toltiers_latency_seconds_sum"), 2.55,
+                1e-9);
+    // TYPE comments are present for scrapers.
+    EXPECT_NE(os.str().find("# TYPE toltiers_requests_total counter"),
+              std::string::npos);
+}
+
+TEST(Export, JsonCarriesEverySeries)
+{
+    ob::Registry reg;
+    reg.counter("hits", {{"k", "v"}}).inc(3.0);
+    reg.histogram("lat", {}, {1.0}).observe(0.5);
+
+    std::ostringstream os;
+    ob::exportJson(reg, os);
+    const std::string j = os.str();
+    EXPECT_NE(j.find("\"hits\""), std::string::npos);
+    EXPECT_NE(j.find("\"lat\""), std::string::npos);
+    EXPECT_NE(j.find("\"count\""), std::string::npos);
+    EXPECT_NE(j.find("\"p99\""), std::string::npos);
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerSeries)
+{
+    ob::Registry reg;
+    reg.counter("a").inc();
+    reg.gauge("b").set(1.0);
+
+    std::ostringstream os;
+    ob::exportCsv(reg, os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line.substr(0, 5), "name,");
+    std::size_t rows = 0;
+    while (std::getline(is, line))
+        if (!line.empty())
+            ++rows;
+    EXPECT_EQ(rows, 2u);
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(Trace, ModeledSpansNestAndKeepTimeline)
+{
+    ob::Tracer tracer;
+    ob::Trace t = tracer.startTrace();
+    std::uint64_t root = t.addSpan("request", 0.0, 0.9);
+    std::uint64_t s1 = t.addSpan("stage:v1", 0.0, 0.3, root);
+    std::uint64_t s2 = t.addSpan("stage:v7", 0.3, 0.6, root);
+    t.annotate(s2, "escalation", "true");
+    tracer.finish(std::move(t));
+
+    ASSERT_EQ(tracer.traceCount(), 1u);
+    auto records = tracer.drain();
+    EXPECT_EQ(tracer.traceCount(), 0u);
+    ASSERT_EQ(records.size(), 1u);
+    const ob::TraceRecord &rec = records[0];
+    ASSERT_EQ(rec.spans.size(), 3u);
+    EXPECT_DOUBLE_EQ(rec.rootDuration(), 0.9);
+
+    // Children reference the root and abut on the timeline.
+    EXPECT_EQ(rec.spans[1].parent, root);
+    EXPECT_EQ(rec.spans[2].parent, root);
+    EXPECT_NE(s1, s2);
+    EXPECT_DOUBLE_EQ(rec.spans[1].start + rec.spans[1].duration,
+                     rec.spans[2].start);
+    EXPECT_DOUBLE_EQ(
+        rec.spans[1].duration + rec.spans[2].duration, 0.9);
+    ASSERT_EQ(rec.spans[2].attrs.size(), 1u);
+    EXPECT_EQ(rec.spans[2].attrs[0].first, "escalation");
+}
+
+TEST(Trace, ScopedSpanMeasuresWallClock)
+{
+    ob::Tracer tracer;
+    ob::Trace t = tracer.startTrace();
+    {
+        ob::ScopedSpan outer(t, "outer");
+        ob::ScopedSpan inner(t, "inner", outer.id());
+        volatile double sink = 0.0;
+        for (int i = 0; i < 10000; ++i)
+            sink = sink + 1.0;
+        inner.close();
+        inner.close(); // Idempotent.
+    }
+    tracer.finish(std::move(t));
+
+    auto records = tracer.drain();
+    ASSERT_EQ(records.size(), 1u);
+    const auto &spans = records[0].spans;
+    ASSERT_EQ(spans.size(), 2u);
+    // Spans are recorded in opening order: outer first.
+    const ob::SpanRecord &outer = spans[0];
+    const ob::SpanRecord &inner = spans[1];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(inner.parent, outer.id);
+    EXPECT_GE(inner.duration, 0.0);
+    EXPECT_GE(outer.duration, inner.duration);
+    EXPECT_GE(inner.start, outer.start);
+}
+
+TEST(Trace, TracerAssignsFreshIdsAndExportsJsonl)
+{
+    ob::Tracer tracer;
+    ob::Trace a = tracer.startTrace();
+    ob::Trace b = tracer.startTrace();
+    EXPECT_NE(a.traceId(), b.traceId());
+    a.addSpan("request", 0.0, 1.0);
+    b.addSpan("request", 0.0, 2.0);
+    tracer.finish(std::move(a));
+    tracer.finish(std::move(b));
+
+    std::ostringstream os;
+    tracer.exportJsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        ++lines;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"traceId\""), std::string::npos);
+        EXPECT_NE(line.find("\"spans\""), std::string::npos);
+    }
+    EXPECT_EQ(lines, 2u);
+    // exportJsonl does not drain.
+    EXPECT_EQ(tracer.traceCount(), 2u);
+}
+
+// -------------------------------------------------------------- guarantee
+
+namespace {
+
+ob::TierGuarantee
+guarantee(double tolerance, double worst_latency = 0.0,
+          ob::DegradationKind kind = ob::DegradationKind::Relative)
+{
+    ob::TierGuarantee g;
+    g.objective = "response-time";
+    g.tolerance = tolerance;
+    g.worstLatency = worst_latency;
+    g.kind = kind;
+    return g;
+}
+
+} // namespace
+
+TEST(GuaranteeMonitor, FiresOnInjectedErrorViolation)
+{
+    ob::GuaranteeMonitor mon;
+    mon.installTier(guarantee(0.05));
+    // Degradation (0.2 - 0.1) / 0.1 = 100% >> 5%.
+    for (int i = 0; i < 40; ++i)
+        mon.observeError("response-time", 0.05, 0.2, 0.1);
+
+    EXPECT_EQ(mon.violationCount(), 1u);
+    auto statuses = mon.statuses();
+    ASSERT_EQ(statuses.size(), 1u);
+    EXPECT_TRUE(statuses[0].errorViolation);
+    EXPECT_FALSE(statuses[0].latencyViolation);
+    EXPECT_NEAR(statuses[0].degradation, 1.0, 1e-9);
+    EXPECT_NE(mon.report().find("VIOLATED"), std::string::npos);
+}
+
+TEST(GuaranteeMonitor, StaysQuietBelowMinSamples)
+{
+    ob::GuaranteeMonitor mon;
+    mon.installTier(guarantee(0.05));
+    for (int i = 0; i < 10; ++i) // < minSamples (30).
+        mon.observeError("response-time", 0.05, 0.2, 0.1);
+    EXPECT_EQ(mon.violationCount(), 0u);
+}
+
+TEST(GuaranteeMonitor, StaysQuietWithinTolerance)
+{
+    ob::GuaranteeMonitor mon;
+    mon.installTier(guarantee(0.05));
+    // Degradation (0.103 - 0.1) / 0.1 = 3% < 5%.
+    for (int i = 0; i < 100; ++i)
+        mon.observeError("response-time", 0.05, 0.103, 0.1);
+    EXPECT_EQ(mon.violationCount(), 0u);
+    auto statuses = mon.statuses();
+    ASSERT_EQ(statuses.size(), 1u);
+    EXPECT_NEAR(statuses[0].degradation, 0.03, 1e-9);
+}
+
+TEST(GuaranteeMonitor, FiresOnLatencyBeyondWorstCaseWithSlack)
+{
+    ob::GuaranteeMonitor mon;
+    mon.installTier(guarantee(0.05, /*worst_latency=*/0.1));
+    // 0.2 > 0.1 * 1.5 slack.
+    for (int i = 0; i < 40; ++i)
+        mon.observeLatency("response-time", 0.05, 0.2);
+    auto statuses = mon.statuses();
+    ASSERT_EQ(statuses.size(), 1u);
+    EXPECT_TRUE(statuses[0].latencyViolation);
+    EXPECT_FALSE(statuses[0].errorViolation);
+
+    // Under the slack multiplier there is no violation.
+    ob::GuaranteeMonitor ok;
+    ok.installTier(guarantee(0.05, 0.1));
+    for (int i = 0; i < 40; ++i)
+        ok.observeLatency("response-time", 0.05, 0.12);
+    EXPECT_EQ(ok.violationCount(), 0u);
+}
+
+TEST(GuaranteeMonitor, AbsolutePointsKindComparesDifferences)
+{
+    ob::GuaranteeMonitor mon;
+    mon.installTier(guarantee(0.02, 0.0,
+                              ob::DegradationKind::AbsolutePoints));
+    // err - ref = 0.05 points > 0.02 tolerance.
+    for (int i = 0; i < 40; ++i)
+        mon.observeError("response-time", 0.02, 0.15, 0.10);
+    EXPECT_EQ(mon.violationCount(), 1u);
+}
+
+TEST(GuaranteeMonitor, UninstalledTiersAreTrackedButNeverFlagged)
+{
+    ob::GuaranteeMonitor mon;
+    for (int i = 0; i < 100; ++i)
+        mon.observeError("cost", 0.01, 0.9, 0.1);
+    EXPECT_EQ(mon.violationCount(), 0u);
+    ASSERT_EQ(mon.statuses().size(), 1u);
+    EXPECT_EQ(mon.statuses()[0].errorSamples, 100u);
+}
+
+TEST(GuaranteeMonitor, PublishesStatusGauges)
+{
+    ob::GuaranteeMonitor mon;
+    mon.installTier(guarantee(0.05));
+    for (int i = 0; i < 40; ++i)
+        mon.observeError("response-time", 0.05, 0.2, 0.1);
+
+    ob::Registry reg;
+    mon.updateMetrics(reg);
+    ob::Labels labels = {{"objective", "response-time"},
+                         {"tier", "0.05"}};
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("toltiers_guarantee_violation", labels).value(),
+        1.0);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("toltiers_guarantee_tolerance", labels).value(),
+        0.05);
+    EXPECT_NEAR(
+        reg.gauge("toltiers_guarantee_degradation", labels).value(),
+        1.0, 1e-9);
+}
+
+// ----------------------------------------------- tier service integration
+
+namespace {
+
+/** Deterministic fake version: fixed latency/cost/confidence. */
+class FakeVersion : public sv::ServiceVersion
+{
+  public:
+    FakeVersion(std::string name, double latency, double cost,
+                double confidence)
+        : name_(std::move(name)), instance_("fake"),
+          latency_(latency), cost_(cost), confidence_(confidence)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    const std::string &instanceName() const override
+    {
+        return instance_;
+    }
+    std::size_t workloadSize() const override { return 100; }
+
+    sv::VersionResult
+    process(std::size_t index) const override
+    {
+        sv::VersionResult r;
+        r.output = name_ + ":" + std::to_string(index);
+        r.confidence = confidence_;
+        r.latencySeconds = latency_;
+        r.costDollars = cost_;
+        return r;
+    }
+
+  private:
+    std::string name_;
+    std::string instance_;
+    double latency_;
+    double cost_;
+    double confidence_;
+};
+
+} // namespace
+
+TEST(TierServiceObs, SequentialEscalationStagesSumToLatency)
+{
+    // Fast version's confidence (0.4) is below the threshold, so
+    // every request escalates: total latency = 0.1 + 0.5.
+    FakeVersion fast("fast", 0.1, 0.001, 0.4);
+    FakeVersion accurate("accurate", 0.5, 0.01, 0.99);
+    tc::TierService service({&fast, &accurate});
+
+    tc::RoutingRule rule;
+    rule.tolerance = 0.05;
+    rule.cfg.kind = tc::PolicyKind::Sequential;
+    rule.cfg.primary = 0;
+    rule.cfg.secondary = 1;
+    rule.cfg.confidenceThreshold = 0.8;
+    service.setRules(sv::Objective::ResponseTime, {rule});
+
+    ob::Registry reg;
+    ob::Tracer tracer;
+    ob::GuaranteeMonitor monitor;
+    service.attachObservability({&reg, &tracer, &monitor});
+
+    sv::ServiceRequest req;
+    req.payload = 3;
+    req.tier.tolerance = 0.05;
+    req.tier.objective = sv::Objective::ResponseTime;
+    auto resp = service.handle(req);
+
+    EXPECT_TRUE(resp.escalated);
+    EXPECT_NE(resp.traceId, 0u);
+    ASSERT_EQ(resp.stages.size(), 2u);
+    EXPECT_EQ(resp.stages[0].versionName, "fast");
+    EXPECT_EQ(resp.stages[1].versionName, "accurate");
+    EXPECT_DOUBLE_EQ(resp.stages[0].startSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(resp.stages[1].startSeconds, 0.1);
+    EXPECT_DOUBLE_EQ(resp.stages[0].latencySeconds +
+                         resp.stages[1].latencySeconds,
+                     resp.latencySeconds);
+
+    // The trace mirrors the stage breakdown.
+    auto records = tracer.drain();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].traceId, resp.traceId);
+    EXPECT_DOUBLE_EQ(records[0].rootDuration(),
+                     resp.latencySeconds);
+    double staged = 0.0;
+    for (const auto &span : records[0].spans)
+        if (span.name.rfind("stage:", 0) == 0)
+            staged += span.duration;
+    EXPECT_DOUBLE_EQ(staged, resp.latencySeconds);
+
+    // Metrics recorded under the matched tier's labels.
+    ob::Labels labels = {{"objective", "response-time"},
+                         {"tier", "0.05"}};
+    EXPECT_DOUBLE_EQ(
+        reg.counter("toltiers_tier_requests_total", labels).value(),
+        1.0);
+    EXPECT_DOUBLE_EQ(
+        reg.counter("toltiers_tier_escalations_total", labels)
+            .value(),
+        1.0);
+    EXPECT_EQ(
+        reg.histogram("toltiers_tier_latency_seconds", labels)
+            .count(),
+        1u);
+
+    // The monitor saw the latency for this tier.
+    auto statuses = monitor.statuses();
+    bool found = false;
+    for (const auto &st : statuses) {
+        if (st.guarantee.tolerance == 0.05 &&
+            st.latencySamples == 1) {
+            found = true;
+            EXPECT_DOUBLE_EQ(st.meanLatency, resp.latencySeconds);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(TierServiceObs, CancelledRaceLoserIsMarkedInStages)
+{
+    // Primary is confident, so the concurrent-ET race kills the
+    // secondary at the primary's completion time.
+    FakeVersion fast("fast", 0.1, 0.001, 0.95);
+    FakeVersion accurate("accurate", 0.5, 0.01, 0.99);
+    tc::TierService service({&fast, &accurate});
+
+    tc::RoutingRule rule;
+    rule.tolerance = 0.10;
+    rule.cfg.kind = tc::PolicyKind::ConcurrentEt;
+    rule.cfg.primary = 0;
+    rule.cfg.secondary = 1;
+    rule.cfg.confidenceThreshold = 0.8;
+    service.setRules(sv::Objective::ResponseTime, {rule});
+
+    sv::ServiceRequest req;
+    req.tier.tolerance = 0.10;
+    auto resp = service.handle(req);
+
+    EXPECT_FALSE(resp.escalated);
+    ASSERT_EQ(resp.stages.size(), 2u);
+    EXPECT_FALSE(resp.stages[0].cancelled);
+    EXPECT_TRUE(resp.stages[1].cancelled);
+    // Both raced stages start at the arrival instant; the loser's
+    // recorded busy time is the kill time.
+    EXPECT_DOUBLE_EQ(resp.stages[1].startSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(resp.stages[1].latencySeconds, 0.1);
+}
