@@ -102,6 +102,28 @@ runToleranceSweep(const core::MeasurementSet &trace,
 }
 
 void
+writeSweepCsv(const SweepResult &result,
+              const std::string &csv_path)
+{
+    const SweepSeries &all = result.series.front();
+    common::CsvWriter csv(csv_path);
+    std::vector<std::string> header = {"tolerance"};
+    for (const auto &series : result.series)
+        header.push_back(series.family);
+    header.push_back("chosen");
+    csv.writeRow(header);
+    for (std::size_t i = 0; i < all.points.size(); ++i) {
+        std::vector<std::string> row = {
+            common::formatFixed(all.points[i].tolerance, 3)};
+        for (const auto &series : result.series)
+            row.push_back(common::formatFixed(
+                series.points[i].reduction, 4));
+        row.push_back(all.points[i].config);
+        csv.writeRow(row);
+    }
+}
+
+void
 printSweep(const SweepResult &result, const std::string &label,
            serving::Objective objective, core::DegradationMode mode,
            const std::string &csv_path)
@@ -175,21 +197,7 @@ printSweep(const SweepResult &result, const std::string &label,
     }
 
     // Full 0.1%-step series to CSV.
-    common::CsvWriter csv(csv_path);
-    std::vector<std::string> header = {"tolerance"};
-    for (const auto &series : result.series)
-        header.push_back(series.family);
-    header.push_back("chosen");
-    csv.writeRow(header);
-    for (std::size_t i = 0; i < all.points.size(); ++i) {
-        std::vector<std::string> row = {
-            common::formatFixed(all.points[i].tolerance, 3)};
-        for (const auto &series : result.series)
-            row.push_back(common::formatFixed(
-                series.points[i].reduction, 4));
-        row.push_back(all.points[i].config);
-        csv.writeRow(row);
-    }
+    writeSweepCsv(result, csv_path);
     std::printf("\nfull 0.1%%-step series written to %s\n",
                 csv_path.c_str());
 

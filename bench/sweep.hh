@@ -61,9 +61,18 @@ runToleranceSweep(const core::MeasurementSet &trace,
                   double max_tolerance = 0.10, double step = 0.001);
 
 /**
+ * Write the sweep's per-family reduction series as CSV: one row per
+ * tolerance, one column per family, plus the chosen ensemble of the
+ * full candidate set. This is the figure data the golden-file
+ * regression tests pin down.
+ */
+void writeSweepCsv(const SweepResult &result,
+                   const std::string &csv_path);
+
+/**
  * Print a sweep: coarse table (every 1%), the paper's headline
  * tolerances (1% / 5% / 10%), per-family series, and the full
- * 0.1%-step data as CSV.
+ * 0.1%-step data as CSV (via writeSweepCsv).
  */
 void printSweep(const SweepResult &result, const std::string &label,
                 serving::Objective objective,

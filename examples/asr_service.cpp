@@ -133,7 +133,8 @@ main(int argc, char **argv)
         osfa_wer += ref.error;
         for (auto &client : clients) {
             auto req =
-                serving::parseAnnotatedRequest(client.annotation);
+                serving::parseAnnotatedRequest(client.annotation)
+                    .request;
             req.payload = payload;
             auto resp = service.handle(req);
             double wer = stats::wordErrorRate(
@@ -158,7 +159,8 @@ main(int argc, char **argv)
     out.setHeader({"tier", "WER", "latency cut", "cost cut",
                    "escalation", "guarantee"});
     for (const auto &client : clients) {
-        auto req = serving::parseAnnotatedRequest(client.annotation);
+        auto req =
+            serving::parseAnnotatedRequest(client.annotation).request;
         double wer = client.wer / client.requests;
         double ref_wer = osfa_wer / served;
         double degradation =

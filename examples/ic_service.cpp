@@ -120,7 +120,8 @@ main(int argc, char **argv)
         std::size_t served = 0;
         for (std::size_t payload = cut;
              payload < trace.requestCount(); ++payload, ++served) {
-            auto req = serving::parseAnnotatedRequest(annotation);
+            auto req =
+                serving::parseAnnotatedRequest(annotation).request;
             req.payload = payload;
             auto resp = service.handle(req);
             ensemble = resp.config.describe(trace);
@@ -138,7 +139,8 @@ main(int argc, char **argv)
                 serving::objectiveName(req.tier.objective),
                 resp.ruleTolerance, wrong ? 1.0 : 0.0, ref.error);
         }
-        auto req = serving::parseAnnotatedRequest(annotation);
+        auto req =
+            serving::parseAnnotatedRequest(annotation).request;
         out.addRow({
             common::strprintf(
                 "%.0f%% %s", req.tier.tolerance * 100.0,

@@ -71,7 +71,8 @@ main()
     std::printf("request payload: \"%s\"\n\n",
                 corpus[42].refText.c_str());
     for (const char *annotation : annotations) {
-        auto request = serving::parseAnnotatedRequest(annotation);
+        auto request =
+            serving::parseAnnotatedRequest(annotation).request;
         request.payload = 42;
         auto response = service.handle(request);
         std::printf("Tolerance %.2f / %-13s -> %-28s %6.1fms  "

@@ -68,6 +68,9 @@ main(int argc, char **argv)
             "Tolerance: 0.10\nObjective: cost\n",
             "Objective: cost\n",
             "X-Client: demo\nTolerance: 0.08\n",
+            // Malformed on purpose: rejected, not served.
+            "Tolerance: lots\nObjective: response-time\n",
+            "Tolerance: 0.05\nObjective: teleport\n",
         };
     }
 
@@ -75,7 +78,14 @@ main(int argc, char **argv)
         std::printf("---- request ----\n%s", block.c_str());
         if (block.empty() || block.back() != '\n')
             std::printf("\n");
-        auto req = serving::parseAnnotatedRequest(block);
+        auto parse = serving::parseAnnotatedRequest(block);
+        if (!parse.ok()) {
+            std::printf("-> rejected (%s): %s\n\n",
+                        serving::parseStatusName(parse.status),
+                        parse.error.c_str());
+            continue;
+        }
+        auto req = parse.request;
         req.payload = 7;
         const auto &rule =
             service.ruleFor(req.tier.tolerance, req.tier.objective);

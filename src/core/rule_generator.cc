@@ -168,6 +168,28 @@ RoutingRuleGenerator::generate(const std::vector<double> &tolerances,
     return rules;
 }
 
+std::vector<VersionProfile>
+singleVersionProfiles(const std::vector<BootstrapRecord> &records)
+{
+    std::vector<VersionProfile> out;
+    for (const BootstrapRecord &rec : records) {
+        if (rec.cfg.kind != PolicyKind::Single)
+            continue;
+        bool seen = false;
+        for (const VersionProfile &p : out)
+            seen = seen || p.version == rec.cfg.primary;
+        if (seen)
+            continue;
+        VersionProfile p;
+        p.version = rec.cfg.primary;
+        p.worstErrorDegradation = rec.worstErrorDegradation;
+        p.meanLatency = rec.meanLatency;
+        p.meanCost = rec.meanCost;
+        out.push_back(p);
+    }
+    return out;
+}
+
 std::vector<double>
 toleranceGrid(double max, double step)
 {

@@ -70,6 +70,28 @@ struct RoutingRule
     double worstCost = 0.0;
 };
 
+/**
+ * Per-version worst-case profile, used by the tier service to pick
+ * a graceful-degradation fallback: a version may serve a request
+ * whose tolerance its recorded worst-case error degradation still
+ * satisfies.
+ */
+struct VersionProfile
+{
+    std::size_t version = 0; //!< Index into the version ladder.
+    double worstErrorDegradation = 0.0;
+    double meanLatency = 0.0;
+    double meanCost = 0.0;
+};
+
+/**
+ * Extract the Single(v) candidates' profiles from bootstrap
+ * records — the fallback table the tier service consumes. One
+ * profile per distinct primary version, in record order.
+ */
+std::vector<VersionProfile>
+singleVersionProfiles(const std::vector<BootstrapRecord> &records);
+
 /** Bootstraps candidates and generates per-tier routing rules. */
 class RoutingRuleGenerator
 {

@@ -1,6 +1,8 @@
 #include "core/tier_service.hh"
 
 #include <algorithm>
+#include <future>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
@@ -11,6 +13,8 @@ namespace toltiers::core {
 using common::fatal;
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /** Stable "tier" label value for a rule tolerance. */
 std::string
@@ -26,7 +30,36 @@ tierLabels(serving::Objective objective, double tolerance)
             {"tier", tierLabel(tolerance)}};
 }
 
+/**
+ * Cost a stage accrues by absolute time `t` when cancelled there —
+ * proportional over the stage's own timeline, the same
+ * early-termination billing the paper applies to raced losers.
+ */
+double
+proratedCost(const StageOutcome &outcome, double t)
+{
+    if (outcome.latencySeconds <= 0.0)
+        return outcome.costDollars;
+    double frac =
+        std::clamp(t / outcome.latencySeconds, 0.0, 1.0);
+    return outcome.costDollars * frac;
+}
+
+/** Attempt-id namespaces: stage i of the rule uses salt 64*i;
+ * fallback stage j uses 128 + 64*j. 32 attempt rounds (two ids
+ * each) fit without collision. */
+constexpr std::uint64_t kStageSaltStride = 64;
+constexpr std::uint64_t kFallbackSaltBase = 128;
+
+const char *serveStatusNames[] = {"ok", "fell-back", "violation"};
+
 } // namespace
+
+const char *
+serveStatusName(ServeStatus status)
+{
+    return serveStatusNames[static_cast<std::size_t>(status)];
+}
 
 TierService::TierService(
     std::vector<const serving::ServiceVersion *> versions)
@@ -61,6 +94,29 @@ TierService::setRules(serving::Objective objective,
     installGuarantees(objective, rules);
     registerRuleSeries(objective, rules);
     rules_[objective] = std::move(rules);
+}
+
+void
+TierService::setResilience(const ResiliencePolicy &policy)
+{
+    TT_ASSERT(policy.backoffBaseSeconds >= 0.0 &&
+                  policy.backoffMultiplier >= 1.0,
+              "invalid backoff parameters");
+    TT_ASSERT(policy.backoffJitterFraction >= 0.0 &&
+                  policy.backoffJitterFraction <= 1.0,
+              "backoff jitter fraction outside [0, 1]");
+    resilience_ = policy;
+}
+
+void
+TierService::setVersionProfiles(
+    std::vector<VersionProfile> profiles)
+{
+    for (const VersionProfile &p : profiles) {
+        TT_ASSERT(p.version < versions_.size(),
+                  "profile references an unknown version");
+    }
+    profiles_ = std::move(profiles);
 }
 
 void
@@ -118,6 +174,15 @@ TierService::registerRuleSeries(serving::Objective objective,
         ctx_.metrics->histogram("toltiers_tier_latency_seconds",
                                 labels, {},
                                 "Response latency per tier");
+        ctx_.metrics->counter("tt_retries_total", labels,
+                              "Stage retry attempts per tier");
+        ctx_.metrics->counter("tt_hedges_total", labels,
+                              "Hedged duplicate dispatches per tier");
+        ctx_.metrics->counter("tt_fallbacks_total", labels,
+                              "Requests served by a fallback version");
+        ctx_.metrics->counter(
+            "tt_guarantee_violations_total", labels,
+            "Requests whose tolerance promise could not be honored");
         ctx_.metrics
             ->gauge("toltiers_tier_rule_tolerance", labels,
                     "Tolerance of the rule serving the tier")
@@ -144,6 +209,137 @@ TierService::ruleFor(double tolerance,
     return *best;
 }
 
+TierService::StageRun
+TierService::runStage(std::size_t version, std::size_t payload,
+                      double budget_left, std::uint64_t salt) const
+{
+    StageRun run;
+    run.version = version;
+    run.outcome = executeStage(*versions_[version], payload,
+                               resilience_, budget_left, salt);
+    return run;
+}
+
+void
+TierService::appendStageTimings(TierResponse &resp,
+                                const StageRun &run, double offset,
+                                bool fallback,
+                                double cancel_at) const
+{
+    for (const StageAttempt &a : run.outcome.attempts) {
+        StageTiming t;
+        t.version = run.version;
+        t.versionName = versions_[run.version]->name();
+        t.startSeconds = offset + a.startSeconds;
+        t.latencySeconds = a.latencySeconds;
+        t.attempt = a.attemptId;
+        t.hedge = a.hedge;
+        t.failed = a.failed;
+        t.timedOut = a.timedOut;
+        t.fallback = fallback;
+        if (cancel_at >= 0.0) {
+            if (t.startSeconds >= cancel_at)
+                continue; // Never dispatched: winner beat its start.
+            double end = t.startSeconds + t.latencySeconds;
+            if (end > cancel_at) {
+                t.latencySeconds = cancel_at - t.startSeconds;
+                t.cancelled = true;
+            }
+        }
+        resp.stages.push_back(std::move(t));
+    }
+}
+
+void
+TierService::tallyStage(TierResponse &resp,
+                        const StageOutcome &outcome) const
+{
+    resp.retries += outcome.retries;
+    resp.hedges += outcome.hedges;
+    resp.timeouts += outcome.timeouts;
+    resp.failures += outcome.failures;
+}
+
+bool
+TierService::runFallbackChain(
+    TierResponse &resp, const serving::ServiceRequest &request,
+    double &elapsed, double &cost,
+    std::vector<bool> &failed_versions) const
+{
+    if (!resilience_.fallbackEnabled) {
+        resp.status = ServeStatus::GuaranteeViolation;
+        resp.statusNote = "stage exhausted and fallback disabled";
+        return false;
+    }
+
+    // The fallback table: recorded per-version worst cases, or just
+    // the reference version (zero degradation by construction) when
+    // no profiles were installed.
+    std::vector<VersionProfile> cands = profiles_;
+    if (cands.empty()) {
+        VersionProfile ref;
+        ref.version = referenceRule_.cfg.primary;
+        cands.push_back(ref);
+    }
+
+    // Keep the versions whose recorded worst-case degradation still
+    // satisfies the *request's* tolerance and whose backend has not
+    // already failed this request; serve with the cheapest by the
+    // request's objective.
+    double tol = request.tier.tolerance;
+    std::erase_if(cands, [&](const VersionProfile &p) {
+        return p.worstErrorDegradation > tol + 1e-12;
+    });
+    bool any_satisfying = !cands.empty();
+    std::erase_if(cands, [&](const VersionProfile &p) {
+        return failed_versions[p.version];
+    });
+    bool by_latency =
+        request.tier.objective == serving::Objective::ResponseTime;
+    std::sort(cands.begin(), cands.end(),
+              [&](const VersionProfile &a, const VersionProfile &b) {
+                  double ka = by_latency ? a.meanLatency : a.meanCost;
+                  double kb = by_latency ? b.meanLatency : b.meanCost;
+                  if (ka != kb)
+                      return ka < kb;
+                  return a.version < b.version;
+              });
+
+    double budget = resilience_.requestBudgetSeconds > 0.0
+                        ? resilience_.requestBudgetSeconds
+                        : kInf;
+    std::uint64_t salt = kFallbackSaltBase;
+    for (const VersionProfile &cand : cands) {
+        if (!(budget - elapsed > 0.0))
+            break; // Budget exhausted mid-chain.
+        StageRun run = runStage(cand.version, request.payload,
+                                budget - elapsed, salt);
+        salt += kStageSaltStride;
+        appendStageTimings(resp, run, elapsed, /*fallback=*/true,
+                           -1.0);
+        tallyStage(resp, run.outcome);
+        cost += run.outcome.costDollars;
+        elapsed += run.outcome.latencySeconds;
+        if (run.outcome.ok) {
+            resp.output = run.outcome.result.output;
+            resp.confidence = run.outcome.result.confidence;
+            resp.status = ServeStatus::FellBack;
+            resp.fallbackVersion = cand.version;
+            resp.statusNote =
+                "fell back to " + versions_[cand.version]->name();
+            return true;
+        }
+        failed_versions[cand.version] = true;
+    }
+
+    resp.status = ServeStatus::GuaranteeViolation;
+    resp.statusNote =
+        !any_satisfying
+            ? "no version satisfies the requested tolerance"
+            : "every satisfying version failed or the budget ran out";
+    return false;
+}
+
 TierResponse
 TierService::handle(const serving::ServiceRequest &request) const
 {
@@ -157,109 +353,177 @@ TierService::handle(const serving::ServiceRequest &request) const
     resp.config = cfg;
     resp.ruleTolerance = rule.tolerance;
 
-    auto stage = [&](std::size_t version, double start,
-                     double latency, bool cancelled = false) {
-        StageTiming t;
-        t.version = version;
-        t.versionName = versions_[version]->name();
-        t.startSeconds = start;
-        t.latencySeconds = latency;
-        t.cancelled = cancelled;
-        resp.stages.push_back(std::move(t));
+    double budget = resilience_.requestBudgetSeconds > 0.0
+                        ? resilience_.requestBudgetSeconds
+                        : kInf;
+    double elapsed = 0.0;
+    double cost = 0.0;
+    std::vector<bool> failed_versions(versions_.size(), false);
+    bool done = false;
+
+    auto adopt = [&](const serving::VersionResult &r) {
+        resp.output = r.output;
+        resp.confidence = r.confidence;
+        done = true;
     };
 
-    serving::VersionResult primary =
-        versions_[cfg.primary]->process(request.payload);
+    // Race both legs on real threads (deterministic: results are
+    // keyed by (payload, attempt), the merge by modeled latency).
+    auto race = [&](StageRun &s1, StageRun &s2) {
+        if (cfg.primary != cfg.secondary) {
+            auto fut = std::async(std::launch::async, [&] {
+                return runStage(cfg.secondary, request.payload,
+                                budget, kStageSaltStride);
+            });
+            s1 = runStage(cfg.primary, request.payload, budget, 0);
+            s2 = fut.get();
+        } else {
+            s1 = runStage(cfg.primary, request.payload, budget, 0);
+            s2 = runStage(cfg.secondary, request.payload, budget,
+                          kStageSaltStride);
+        }
+    };
 
     switch (cfg.kind) {
       case PolicyKind::Single: {
-        resp.output = primary.output;
-        resp.latencySeconds = primary.latencySeconds;
-        resp.costDollars = primary.costDollars;
-        resp.confidence = primary.confidence;
-        stage(cfg.primary, 0.0, primary.latencySeconds);
+        StageRun s = runStage(cfg.primary, request.payload, budget,
+                              0);
+        appendStageTimings(resp, s, 0.0, false, -1.0);
+        tallyStage(resp, s.outcome);
+        elapsed = s.outcome.latencySeconds;
+        cost = s.outcome.costDollars;
+        if (s.outcome.ok)
+            adopt(s.outcome.result);
+        else
+            failed_versions[cfg.primary] = true;
         break;
       }
       case PolicyKind::Sequential: {
-        if (primary.confidence >= cfg.confidenceThreshold) {
-            resp.output = primary.output;
-            resp.latencySeconds = primary.latencySeconds;
-            resp.costDollars = primary.costDollars;
-            resp.confidence = primary.confidence;
-            stage(cfg.primary, 0.0, primary.latencySeconds);
-        } else {
-            serving::VersionResult secondary =
-                versions_[cfg.secondary]->process(request.payload);
-            resp.output = secondary.output;
-            resp.latencySeconds =
-                primary.latencySeconds + secondary.latencySeconds;
-            resp.costDollars =
-                primary.costDollars + secondary.costDollars;
-            resp.confidence = secondary.confidence;
+        StageRun s1 = runStage(cfg.primary, request.payload, budget,
+                               0);
+        appendStageTimings(resp, s1, 0.0, false, -1.0);
+        tallyStage(resp, s1.outcome);
+        elapsed = s1.outcome.latencySeconds;
+        cost = s1.outcome.costDollars;
+        if (s1.outcome.ok &&
+            s1.outcome.result.confidence >=
+                cfg.confidenceThreshold) {
+            adopt(s1.outcome.result);
+            break;
+        }
+        // Escalate: the primary was unconfident — or dead, which
+        // escalates just the same.
+        StageRun s2 = runStage(cfg.secondary, request.payload,
+                               budget - elapsed, kStageSaltStride);
+        appendStageTimings(resp, s2, elapsed, false, -1.0);
+        tallyStage(resp, s2.outcome);
+        elapsed += s2.outcome.latencySeconds;
+        cost += s2.outcome.costDollars;
+        if (s2.outcome.ok) {
+            adopt(s2.outcome.result);
             resp.escalated = true;
-            stage(cfg.primary, 0.0, primary.latencySeconds);
-            stage(cfg.secondary, primary.latencySeconds,
-                  secondary.latencySeconds);
+        } else {
+            if (!s1.outcome.ok)
+                failed_versions[cfg.primary] = true;
+            failed_versions[cfg.secondary] = true;
         }
         break;
       }
       case PolicyKind::ConcurrentEt: {
-        serving::VersionResult secondary =
-            versions_[cfg.secondary]->process(request.payload);
-        if (primary.confidence >= cfg.confidenceThreshold) {
-            resp.output = primary.output;
-            resp.latencySeconds = primary.latencySeconds;
-            double killed = std::min(primary.latencySeconds,
-                                     secondary.latencySeconds);
-            double partial =
-                secondary.latencySeconds > 0.0
-                    ? secondary.costDollars * killed /
-                          secondary.latencySeconds
-                    : 0.0;
-            resp.costDollars = primary.costDollars + partial;
-            resp.confidence = primary.confidence;
-            stage(cfg.primary, 0.0, primary.latencySeconds);
-            stage(cfg.secondary, 0.0, killed, true);
-        } else {
-            resp.output = secondary.output;
-            resp.latencySeconds = std::max(primary.latencySeconds,
-                                           secondary.latencySeconds);
-            resp.costDollars =
-                primary.costDollars + secondary.costDollars;
-            resp.confidence = secondary.confidence;
-            resp.escalated = true;
-            stage(cfg.primary, 0.0, primary.latencySeconds);
-            stage(cfg.secondary, 0.0, secondary.latencySeconds);
+        StageRun s1, s2;
+        race(s1, s2);
+        double t1 = s1.outcome.latencySeconds;
+        double t2 = s2.outcome.latencySeconds;
+        if (s1.outcome.ok &&
+            s1.outcome.result.confidence >=
+                cfg.confidenceThreshold) {
+            // Early termination: the confident primary answers and
+            // kills the secondary, paying for its partial run.
+            appendStageTimings(resp, s1, 0.0, false, -1.0);
+            appendStageTimings(resp, s2, 0.0, false, t1);
+            tallyStage(resp, s1.outcome);
+            tallyStage(resp, s2.outcome);
+            elapsed = t1;
+            cost = s1.outcome.costDollars + proratedCost(s2.outcome, t1);
+            adopt(s1.outcome.result);
+            break;
         }
+        if (s2.outcome.ok) {
+            // The authoritative secondary answers; a still-running
+            // (dead) primary leg is cancelled at the response.
+            bool prim_alive = s1.outcome.ok;
+            appendStageTimings(resp, s1, 0.0, false,
+                               prim_alive ? -1.0 : t2);
+            appendStageTimings(resp, s2, 0.0, false, -1.0);
+            tallyStage(resp, s1.outcome);
+            tallyStage(resp, s2.outcome);
+            elapsed = prim_alive ? std::max(t1, t2) : t2;
+            cost = s2.outcome.costDollars +
+                   (prim_alive ? s1.outcome.costDollars
+                               : proratedCost(s1.outcome, t2));
+            adopt(s2.outcome.result);
+            resp.escalated = true;
+            break;
+        }
+        // No usable result from either leg.
+        appendStageTimings(resp, s1, 0.0, false, -1.0);
+        appendStageTimings(resp, s2, 0.0, false, -1.0);
+        tallyStage(resp, s1.outcome);
+        tallyStage(resp, s2.outcome);
+        elapsed = std::max(t1, t2);
+        cost = s1.outcome.costDollars + s2.outcome.costDollars;
+        if (!s1.outcome.ok)
+            failed_versions[cfg.primary] = true;
+        failed_versions[cfg.secondary] = true;
         break;
       }
       case PolicyKind::ConcurrentFo: {
-        serving::VersionResult secondary =
-            versions_[cfg.secondary]->process(request.payload);
-        resp.costDollars =
-            primary.costDollars + secondary.costDollars;
-        if (primary.confidence >= cfg.confidenceThreshold) {
-            resp.output = primary.output;
-            resp.latencySeconds = primary.latencySeconds;
-            resp.confidence = primary.confidence;
-        } else {
-            resp.output = secondary.output;
-            resp.latencySeconds = std::max(primary.latencySeconds,
-                                           secondary.latencySeconds);
-            resp.confidence = secondary.confidence;
+        StageRun s1, s2;
+        race(s1, s2);
+        double t1 = s1.outcome.latencySeconds;
+        double t2 = s2.outcome.latencySeconds;
+        appendStageTimings(resp, s1, 0.0, false, -1.0);
+        appendStageTimings(resp, s2, 0.0, false, -1.0);
+        tallyStage(resp, s1.outcome);
+        tallyStage(resp, s2.outcome);
+        // Fail-over never cancels: both bills are always paid.
+        cost = s1.outcome.costDollars + s2.outcome.costDollars;
+        if (s1.outcome.ok &&
+            s1.outcome.result.confidence >=
+                cfg.confidenceThreshold) {
+            elapsed = t1;
+            adopt(s1.outcome.result);
+        } else if (s2.outcome.ok) {
+            elapsed = s1.outcome.ok ? std::max(t1, t2) : t2;
+            adopt(s2.outcome.result);
             resp.escalated = true;
+        } else {
+            elapsed = std::max(t1, t2);
+            if (!s1.outcome.ok)
+                failed_versions[cfg.primary] = true;
+            failed_versions[cfg.secondary] = true;
         }
-        stage(cfg.primary, 0.0, primary.latencySeconds);
-        stage(cfg.secondary, 0.0, secondary.latencySeconds);
         break;
       }
     }
+
+    if (!done)
+        runFallbackChain(resp, request, elapsed, cost,
+                         failed_versions);
+
+    resp.latencySeconds = elapsed;
+    resp.costDollars = cost;
 
     recordMetrics(request.tier.objective, rule, resp);
     if (ctx_.monitor) {
         ctx_.monitor->observeLatency(
             serving::objectiveName(request.tier.objective),
             rule.tolerance, resp.latencySeconds);
+        if (resp.violated()) {
+            ctx_.monitor->observeViolation(
+                serving::objectiveName(request.tier.objective),
+                rule.tolerance);
+        }
     }
     if (ctx_.tracer)
         recordTrace(request, resp, rule_match_wall);
@@ -293,6 +557,31 @@ TierService::recordMetrics(serving::Objective objective,
                     obs::exponentialBounds(1e-6, 10.0, 15),
                     "Invocation cost per tier")
         .observe(resp.costDollars);
+    if (resp.retries > 0) {
+        ctx_.metrics
+            ->counter("tt_retries_total", labels,
+                      "Stage retry attempts per tier")
+            .inc(static_cast<double>(resp.retries));
+    }
+    if (resp.hedges > 0) {
+        ctx_.metrics
+            ->counter("tt_hedges_total", labels,
+                      "Hedged duplicate dispatches per tier")
+            .inc(static_cast<double>(resp.hedges));
+    }
+    if (resp.status == ServeStatus::FellBack) {
+        ctx_.metrics
+            ->counter("tt_fallbacks_total", labels,
+                      "Requests served by a fallback version")
+            .inc();
+    }
+    if (resp.violated()) {
+        ctx_.metrics
+            ->counter("tt_guarantee_violations_total", labels,
+                      "Requests whose tolerance promise could not "
+                      "be honored")
+            .inc();
+    }
 }
 
 void
@@ -314,6 +603,10 @@ TierService::recordTrace(const serving::ServiceRequest &request,
                    policyKindName(resp.config.kind));
     trace.annotate(root, "escalated",
                    resp.escalated ? "true" : "false");
+    if (resp.status != ServeStatus::Ok) {
+        trace.annotate(root, "status",
+                       serveStatusName(resp.status));
+    }
 
     // Control-plane work is measured wall clock; it is orders of
     // magnitude below the modeled stage latencies.
@@ -325,9 +618,23 @@ TierService::recordTrace(const serving::ServiceRequest &request,
         std::uint64_t span =
             trace.addSpan("stage:" + t.versionName, t.startSeconds,
                           t.latencySeconds, root);
+        if (t.attempt != 0) {
+            trace.annotate(span, "attempt",
+                           common::strprintf("%llu",
+                                             static_cast<unsigned long long>(
+                                                 t.attempt)));
+        }
         if (t.cancelled)
             trace.annotate(span, "cancelled", "true");
-        if (resp.escalated && t.startSeconds > 0.0)
+        if (t.hedge)
+            trace.annotate(span, "hedge", "true");
+        if (t.failed)
+            trace.annotate(span, "failed", "true");
+        if (t.timedOut)
+            trace.annotate(span, "timed_out", "true");
+        if (t.fallback)
+            trace.annotate(span, "fallback", "true");
+        if (resp.escalated && !t.fallback && t.startSeconds > 0.0)
             trace.annotate(span, "escalation", "true");
     }
     ctx_.tracer->finish(std::move(trace));

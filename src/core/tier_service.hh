@@ -9,13 +9,28 @@
  * versions, and the response reports the composed latency and cost
  * exactly as the policy semantics define them.
  *
+ * The serving path is fault-tolerant (setResilience): every stage
+ * runs through the deadline / retry-with-backoff / hedging executor
+ * in core/resilience.hh, concurrent-policy legs and hedge
+ * duplicates run on real threads, and a stage that exhausts its
+ * attempts degrades gracefully — the service falls back to the
+ * cheapest version whose recorded worst-case error degradation
+ * (setVersionProfiles) still satisfies the request's tolerance, or
+ * reports an explicit guarantee-violation status when none does.
+ * Responses never lie: status says whether the tolerance promise
+ * was honored, and by which path.
+ *
  * The service is instrumented end to end (attachObservability):
- * per-tier request/escalation counters and latency/cost histograms
- * land in a metrics registry, each request can emit a span timeline
- * into a Tracer (root `request` span plus wall-clock `rule_match`
- * and modeled per-stage spans), and every response's latency feeds
- * the live GuaranteeMonitor for its matched tier. All telemetry is
- * optional and adds nothing when no context is attached.
+ * per-tier request/escalation counters, latency/cost histograms,
+ * and the fault-path counters (tt_retries_total, tt_hedges_total,
+ * tt_fallbacks_total, tt_guarantee_violations_total) land in a
+ * metrics registry; each request can emit a span timeline into a
+ * Tracer (root `request` span plus wall-clock `rule_match` and
+ * modeled per-attempt stage spans, hedges and fallbacks included);
+ * latencies feed the live GuaranteeMonitor, and explicit
+ * violations are reported to it the moment they are served. All
+ * telemetry is optional and adds nothing when no context is
+ * attached.
  */
 
 #ifndef TOLTIERS_CORE_TIER_SERVICE_HH
@@ -26,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "core/resilience.hh"
 #include "core/rule_generator.hh"
 #include "obs/obs.hh"
 #include "serving/request.hh"
@@ -33,7 +49,7 @@
 
 namespace toltiers::core {
 
-/** Timing of one executed (or cancelled) ensemble stage. */
+/** Timing of one executed (or cancelled) ensemble stage attempt. */
 struct StageTiming
 {
     std::size_t version = 0;     //!< Index into the version ladder.
@@ -41,7 +57,23 @@ struct StageTiming
     double startSeconds = 0.0;   //!< Offset within the request.
     double latencySeconds = 0.0; //!< Busy time of the stage.
     bool cancelled = false;      //!< Raced loser killed early.
+    std::uint64_t attempt = 0;   //!< Attempt id within the request.
+    bool hedge = false;          //!< Hedged duplicate dispatch.
+    bool failed = false;         //!< Backend error on this attempt.
+    bool timedOut = false;       //!< Ran past the deadline cap.
+    bool fallback = false;       //!< Graceful-degradation stage.
 };
+
+/** How a response's tolerance promise was (or was not) honored. */
+enum class ServeStatus
+{
+    Ok,                 //!< Served by the matched rule's ensemble.
+    FellBack,           //!< Served by a tolerance-safe fallback.
+    GuaranteeViolation, //!< No satisfying version could answer.
+};
+
+/** Printable status name ("ok" / "fell-back" / "violation"). */
+const char *serveStatusName(ServeStatus status);
 
 /** Response of the tier service to one annotated request. */
 struct TierResponse
@@ -59,6 +91,21 @@ struct TierResponse
     /** Per-stage timing breakdown in execution order. Sequential
      * stages abut; raced stages share start offset 0. */
     std::vector<StageTiming> stages;
+
+    ServeStatus status = ServeStatus::Ok;
+    std::size_t retries = 0;  //!< Retry attempts across all stages.
+    std::size_t hedges = 0;   //!< Hedge legs dispatched.
+    std::size_t timeouts = 0; //!< Attempts that outlived a deadline.
+    std::size_t failures = 0; //!< Attempts that errored.
+    /** Version that served the request when status == FellBack. */
+    std::size_t fallbackVersion = 0;
+    /** Human-readable detail for non-Ok statuses. */
+    std::string statusNote;
+
+    bool violated() const
+    {
+        return status == ServeStatus::GuaranteeViolation;
+    }
 };
 
 /** The deployed tier service. */
@@ -76,6 +123,22 @@ class TierService
     /** Install the rule table for an objective (sorted by tolerance). */
     void setRules(serving::Objective objective,
                   std::vector<RoutingRule> rules);
+
+    /** Install the fault-tolerance policy for the serving path. */
+    void setResilience(const ResiliencePolicy &policy);
+
+    const ResiliencePolicy &resilience() const
+    {
+        return resilience_;
+    }
+
+    /**
+     * Install per-version worst-case profiles (from the rule
+     * generator's Single candidates) — the table fallback selection
+     * consults. Without profiles, the reference (most accurate)
+     * version is the only known-safe fallback.
+     */
+    void setVersionProfiles(std::vector<VersionProfile> profiles);
 
     /**
      * Attach telemetry sinks (any pointer may be null). Guarantees
@@ -104,6 +167,25 @@ class TierService
     std::size_t versionCount() const { return versions_.size(); }
 
   private:
+    struct StageRun
+    {
+        StageOutcome outcome;
+        std::size_t version = 0;
+    };
+
+    StageRun runStage(std::size_t version, std::size_t payload,
+                      double budget_left,
+                      std::uint64_t salt) const;
+    void appendStageTimings(TierResponse &resp,
+                            const StageRun &run, double offset,
+                            bool fallback, double cancel_at) const;
+    void tallyStage(TierResponse &resp,
+                    const StageOutcome &outcome) const;
+    bool runFallbackChain(TierResponse &resp,
+                          const serving::ServiceRequest &request,
+                          double &elapsed, double &cost,
+                          std::vector<bool> &failed_versions) const;
+
     void installGuarantees(serving::Objective objective,
                            const std::vector<RoutingRule> &rules);
     void registerRuleSeries(serving::Objective objective,
@@ -118,6 +200,8 @@ class TierService
     std::vector<const serving::ServiceVersion *> versions_;
     std::map<serving::Objective, std::vector<RoutingRule>> rules_;
     RoutingRule referenceRule_; //!< Single(most accurate), tol 0.
+    ResiliencePolicy resilience_;
+    std::vector<VersionProfile> profiles_;
     obs::ObsContext ctx_;       //!< All-null until attached.
     obs::DegradationKind degradationKind_ =
         obs::DegradationKind::Relative;

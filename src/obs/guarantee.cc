@@ -61,6 +61,15 @@ GuaranteeMonitor::observeError(const std::string &objective,
     ts.referenceErrorSum += referenceError;
 }
 
+void
+GuaranteeMonitor::observeViolation(const std::string &objective,
+                                   double tolerance)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TierState &ts = state(objective, tolerance);
+    ++ts.servedViolations;
+}
+
 TierStatus
 GuaranteeMonitor::evaluate(const TierState &ts) const
 {
@@ -68,6 +77,7 @@ GuaranteeMonitor::evaluate(const TierState &ts) const
     st.guarantee = ts.guarantee;
     st.latencySamples = ts.latencySamples;
     st.errorSamples = ts.errorSamples;
+    st.servedViolations = ts.servedViolations;
     if (ts.latencySamples > 0) {
         st.meanLatency =
             ts.latencySum / static_cast<double>(ts.latencySamples);
@@ -89,6 +99,10 @@ GuaranteeMonitor::evaluate(const TierState &ts) const
 
     if (!ts.installed)
         return st; // Unbounded promise: never flagged.
+
+    // One explicit violation suffices: the service itself reported
+    // that it served outside the promise.
+    st.servedViolation = ts.servedViolations > 0;
 
     if (ts.errorSamples >= cfg_.minSamples &&
         st.degradation >
@@ -147,6 +161,10 @@ GuaranteeMonitor::report() const
             oss << "  ERROR-GUARANTEE VIOLATED";
         if (st.latencyViolation)
             oss << "  LATENCY-GUARANTEE VIOLATED";
+        if (st.servedViolation) {
+            oss << common::strprintf(
+                "  SERVED %zu VIOLATION(S)", st.servedViolations);
+        }
         if (!st.violated())
             oss << "  ok";
         oss << "\n";
@@ -174,6 +192,10 @@ GuaranteeMonitor::updateMetrics(Registry &registry) const
             .gauge("toltiers_guarantee_violation", labels,
                    "1 when the tier currently violates its promise")
             .set(st.violated() ? 1.0 : 0.0);
+        registry
+            .gauge("toltiers_guarantee_served_violations", labels,
+                   "Requests explicitly served in violation")
+            .set(static_cast<double>(st.servedViolations));
     }
 }
 

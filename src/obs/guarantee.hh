@@ -79,10 +79,17 @@ struct TierStatus
     double meanReferenceError = 0.0;
     double degradation = 0.0; //!< Under the tier's kind.
 
+    /** Requests the service explicitly served in violation. */
+    std::size_t servedViolations = 0;
+
     bool errorViolation = false;
     bool latencyViolation = false;
+    bool servedViolation = false;
 
-    bool violated() const { return errorViolation || latencyViolation; }
+    bool violated() const
+    {
+        return errorViolation || latencyViolation || servedViolation;
+    }
 };
 
 /**
@@ -113,6 +120,16 @@ class GuaranteeMonitor
     void observeError(const std::string &objective, double tolerance,
                       double error, double referenceError);
 
+    /**
+     * Record one request the tier service *explicitly* served in
+     * violation of its promise (no tolerance-satisfying version
+     * could answer). Unlike running-mean drift, a single served
+     * violation flags the tier immediately — the service itself
+     * admitted the promise broke.
+     */
+    void observeViolation(const std::string &objective,
+                          double tolerance);
+
     /** Current status of every tracked tier, sorted by key. */
     std::vector<TierStatus> statuses() const;
 
@@ -142,6 +159,7 @@ class GuaranteeMonitor
         std::size_t errorSamples = 0;
         double errorSum = 0.0;
         double referenceErrorSum = 0.0;
+        std::size_t servedViolations = 0;
     };
 
     using Key = std::pair<std::string, double>;

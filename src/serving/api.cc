@@ -21,28 +21,69 @@ objectiveName(Objective obj)
     return "unknown";
 }
 
+bool
+tryParseObjective(const std::string &name, Objective &out)
+{
+    std::string n = common::toLower(common::trim(name));
+    if (n == "response-time" || n == "latency") {
+        out = Objective::ResponseTime;
+        return true;
+    }
+    if (n == "cost" || n == "invocation-cost") {
+        out = Objective::Cost;
+        return true;
+    }
+    return false;
+}
+
 Objective
 parseObjective(const std::string &name)
 {
-    std::string n = common::toLower(common::trim(name));
-    if (n == "response-time" || n == "latency")
-        return Objective::ResponseTime;
-    if (n == "cost" || n == "invocation-cost")
-        return Objective::Cost;
-    fatal("unknown Objective header value: '", name, "'");
+    Objective obj = Objective::ResponseTime;
+    if (!tryParseObjective(name, obj))
+        fatal("unknown Objective header value: '", name, "'");
+    return obj;
 }
 
-ServiceRequest
+const char *
+parseStatusName(ParseStatus status)
+{
+    switch (status) {
+      case ParseStatus::Ok:
+        return "ok";
+      case ParseStatus::MalformedHeader:
+        return "malformed-header";
+      case ParseStatus::BadTolerance:
+        return "bad-tolerance";
+      case ParseStatus::BadObjective:
+        return "bad-objective";
+    }
+    return "unknown";
+}
+
+RequestParse
 parseAnnotatedRequest(const std::string &header_block)
 {
-    ServiceRequest req;
+    RequestParse out;
+    ServiceRequest &req = out.request;
+    auto reject = [&](ParseStatus status, std::string error) {
+        out.status = status;
+        out.error = std::move(error);
+        // No half-parsed state escapes: a rejected request reads as
+        // the (tightest) default annotation.
+        out.request = ServiceRequest();
+        return out;
+    };
+
     for (const std::string &line : common::split(header_block, '\n')) {
         std::string t = common::trim(line);
         if (t.empty())
             continue;
         auto colon = t.find(':');
-        if (colon == std::string::npos)
-            fatal("malformed header line: '", line, "'");
+        if (colon == std::string::npos) {
+            return reject(ParseStatus::MalformedHeader,
+                          "malformed header line: '" + t + "'");
+        }
         std::string name =
             common::toLower(common::trim(t.substr(0, colon)));
         std::string value = common::trim(t.substr(colon + 1));
@@ -50,19 +91,28 @@ parseAnnotatedRequest(const std::string &header_block)
         if (name == "tolerance") {
             char *end = nullptr;
             double tol = std::strtod(value.c_str(), &end);
-            if (end == value.c_str() || *end != '\0')
-                fatal("Tolerance header is not a number: '", value,
-                      "'");
-            if (tol < 0.0 || tol > 1.0)
-                fatal("Tolerance must lie in [0, 1], got ", tol);
+            if (end == value.c_str() || *end != '\0') {
+                return reject(ParseStatus::BadTolerance,
+                              "Tolerance header is not a number: '" +
+                                  value + "'");
+            }
+            if (!(tol >= 0.0 && tol <= 1.0)) {
+                return reject(ParseStatus::BadTolerance,
+                              "Tolerance must lie in [0, 1], got '" +
+                                  value + "'");
+            }
             req.tier.tolerance = tol;
         } else if (name == "objective") {
-            req.tier.objective = parseObjective(value);
+            if (!tryParseObjective(value, req.tier.objective)) {
+                return reject(ParseStatus::BadObjective,
+                              "unknown Objective header value: '" +
+                                  value + "'");
+            }
         } else {
             req.headers[name] = value;
         }
     }
-    return req;
+    return out;
 }
 
 std::string

@@ -9,7 +9,9 @@
  *        -X POST http://cloud-service/compute
  *
  * We accept the equivalent raw HTTP-ish header block, one
- * "Name: value" per line.
+ * "Name: value" per line. Parsing never terminates the process: a
+ * malformed block comes back as an error status (a serving front
+ * door must shed a bad request, not die on it).
  */
 
 #ifndef TOLTIERS_SERVING_API_HH
@@ -21,14 +23,42 @@
 
 namespace toltiers::serving {
 
+/** Why a header block failed to parse. */
+enum class ParseStatus
+{
+    Ok,
+    MalformedHeader, //!< A non-empty line without a colon.
+    BadTolerance,    //!< Non-numeric or outside [0, 1].
+    BadObjective,    //!< Unknown Objective value.
+};
+
+/** Printable status name ("ok" / "malformed-header" / ...). */
+const char *parseStatusName(ParseStatus status);
+
+/** Result of parsing one annotated request. */
+struct RequestParse
+{
+    ServiceRequest request;  //!< Valid only when ok().
+    ParseStatus status = ParseStatus::Ok;
+    std::string error;       //!< Human-readable detail when !ok().
+
+    bool ok() const { return status == ParseStatus::Ok; }
+};
+
+/**
+ * Parse an objective name into `out`; returns false (leaving `out`
+ * untouched) on unknown names.
+ */
+bool tryParseObjective(const std::string &name, Objective &out);
+
 /**
  * Parse a header block into a tier annotation. Unknown headers are
  * preserved in `request.headers`; missing Tolerance defaults to 0
  * (the most accurate tier) and missing Objective to response-time.
- * fatal() on malformed Tolerance values (non-numeric or outside
- * [0, 1]).
+ * Malformed input is reported via the returned status — never
+ * fatal; the partially parsed request is left as-is.
  */
-ServiceRequest parseAnnotatedRequest(const std::string &header_block);
+RequestParse parseAnnotatedRequest(const std::string &header_block);
 
 /** Render an annotation back to a header block. */
 std::string formatAnnotation(const TierAnnotation &tier);

@@ -23,29 +23,33 @@ struct Exec
     std::size_t job = 0;
     std::size_t stage = 0;
     std::size_t pool = 0;
+    std::size_t attempt = 0;
+    serving::FaultKind fault = serving::FaultKind::None;
     double serviceTime = 0.0;
     double enqueueTime = 0.0;
     double startTime = 0.0;
     ExecState state = ExecState::Waiting;
 };
 
-enum class EventKind { Arrival, Completion };
+enum class EventKind { Arrival, Retry, Completion };
 
 struct Event
 {
     double time = 0.0;
     EventKind kind = EventKind::Completion;
-    std::size_t index = 0; //!< Job id (arrival) or exec id.
+    std::size_t index = 0; //!< Job id (arrival/retry) or exec id.
+    std::size_t stage = 0;   //!< Retry only.
+    std::size_t attempt = 0; //!< Retry only.
 
     bool
     operator>(const Event &other) const
     {
         if (time != other.time)
             return time > other.time;
-        // Admit arrivals before completions at the same instant so
-        // a freed server sees the full queue.
+        // Admit arrivals and retries before completions at the same
+        // instant so a freed server sees the full queue.
         return kind == EventKind::Completion &&
-               other.kind == EventKind::Arrival;
+               other.kind != EventKind::Completion;
     }
 };
 
@@ -53,11 +57,15 @@ struct JobState
 {
     const SimJob *spec = nullptr;
     std::size_t nextStage = 0;
-    std::vector<std::size_t> execs; //!< Exec ids, by stage index.
+    std::vector<std::size_t> execs; //!< Exec ids, dispatch order.
     bool responded = false;
     double responseTime = -1.0;
     double queueing = 0.0;
     double cost = 0.0;
+    bool failed = false;
+    bool corrupt = false;
+    std::size_t retries = 0;
+    bool legDead[2] = {false, false}; //!< Concurrent legs only.
 };
 
 struct PoolState
@@ -76,6 +84,8 @@ struct PoolMetrics
     obs::Counter *cancelledBusySeconds = nullptr;
     obs::Counter *completedStages = nullptr;
     obs::Counter *cancelledStages = nullptr;
+    obs::Counter *faultedStages = nullptr;
+    obs::Counter *retries = nullptr;
     obs::Gauge *utilization = nullptr;
 };
 
@@ -103,6 +113,12 @@ resolvePoolMetrics(obs::Registry *registry,
         out[p].cancelledStages = &registry->counter(
             "toltiers_sim_cancelled_stages_total", labels,
             "Stages cancelled by a raced winner per pool");
+        out[p].faultedStages = &registry->counter(
+            "toltiers_sim_faulted_stages_total", labels,
+            "Stage executions struck by an injected fault");
+        out[p].retries = &registry->counter(
+            "toltiers_sim_retries_total", labels,
+            "Stage re-executions after an injected fault");
         out[p].utilization = &registry->gauge(
             "toltiers_sim_pool_utilization", labels,
             "Busy fraction of the pool over the last run");
@@ -116,6 +132,15 @@ void
 ClusterSim::attachMetrics(obs::Registry *registry)
 {
     metrics_ = registry;
+}
+
+void
+ClusterSim::setFaults(const SimFaultConfig &faults)
+{
+    TT_ASSERT(faults.backoffBaseSeconds >= 0.0 &&
+                  faults.backoffMultiplier >= 1.0,
+              "invalid sim retry backoff");
+    faults_ = faults;
 }
 
 ClusterSim::ClusterSim(std::vector<SimPool> pools)
@@ -152,7 +177,7 @@ ClusterSim::run(const std::vector<SimJob> &jobs) const
     };
 
     auto enqueue = [&](std::size_t job, std::size_t stage,
-                       double now) {
+                       double now, std::size_t attempt = 0) {
         const StageSpec &spec = jobs[job].stages[stage];
         TT_ASSERT(spec.pool < pools_.size(), "stage pool out of range");
         TT_ASSERT(spec.serviceTime >= 0.0,
@@ -161,8 +186,29 @@ ClusterSim::run(const std::vector<SimJob> &jobs) const
         x.job = job;
         x.stage = stage;
         x.pool = spec.pool;
+        x.attempt = attempt;
         x.serviceTime = spec.serviceTime;
         x.enqueueTime = now;
+        if (faults_.schedule != nullptr) {
+            // The deterministic draw for this (job, stage, attempt);
+            // faults reshape the execution before it ever queues.
+            x.fault = faults_.schedule->decide(job, stage, attempt);
+            const FaultSpec &fs = faults_.schedule->spec();
+            switch (x.fault) {
+              case FaultKind::Failure:
+                x.serviceTime *= fs.failureLatencyFraction;
+                break;
+              case FaultKind::Timeout:
+                x.serviceTime = fs.timeoutLatencySeconds;
+                break;
+              case FaultKind::SlowDown:
+                x.serviceTime *= fs.slowdownFactor;
+                break;
+              case FaultKind::None:
+              case FaultKind::Corrupt:
+                break;
+            }
+        }
         execs.push_back(x);
         std::size_t e = execs.size() - 1;
         states[job].execs.push_back(e);
@@ -248,6 +294,11 @@ ClusterSim::run(const std::vector<SimJob> &jobs) const
             }
             continue;
         }
+        if (ev.kind == EventKind::Retry) {
+            if (!states[ev.index].responded)
+                enqueue(ev.index, ev.stage, ev.time, ev.attempt);
+            continue;
+        }
 
         Exec &x = execs[ev.index];
         if (x.state != ExecState::Running)
@@ -257,34 +308,78 @@ ClusterSim::run(const std::vector<SimJob> &jobs) const
         // and would invalidate the reference.
         const std::size_t job_id = x.job;
         const std::size_t stage = x.stage;
+        const std::size_t attempt = x.attempt;
+        const std::size_t pool = x.pool;
+        const FaultKind fault = x.fault;
 
         double now = ev.time;
         makespan = std::max(makespan, now);
         x.state = ExecState::Done;
         bill(x, x.serviceTime);
-        if (pool_metrics[x.pool].completedStages)
-            pool_metrics[x.pool].completedStages->inc();
-        release_server(x.pool, now);
+        if (pool_metrics[pool].completedStages)
+            pool_metrics[pool].completedStages->inc();
+        if (fault != FaultKind::None &&
+            pool_metrics[pool].faultedStages)
+            pool_metrics[pool].faultedStages->inc();
+        release_server(pool, now);
 
         JobState &js = states[job_id];
         const SimJob &job = jobs[job_id];
         if (js.responded)
             continue; // A raced loser finishing after the response.
 
+        bool attempt_failed = fault == FaultKind::Failure ||
+                              fault == FaultKind::Timeout;
+        if (attempt_failed) {
+            if (attempt < faults_.maxRetries) {
+                // Re-execute the stage after exponential backoff;
+                // the retry draws its own fault decision.
+                double backoff =
+                    faults_.backoffBaseSeconds *
+                    std::pow(faults_.backoffMultiplier,
+                             static_cast<double>(attempt));
+                ++js.retries;
+                if (pool_metrics[pool].retries)
+                    pool_metrics[pool].retries->inc();
+                events.push({now + backoff, EventKind::Retry,
+                             job_id, stage, attempt + 1});
+                continue;
+            }
+            // Stage exhausted. A raced job may still be saved by
+            // its other leg; everything else fails loudly.
+            if (job.concurrent) {
+                js.legDead[stage] = true;
+                bool authoritative_dead = js.legDead[1];
+                bool both_dead = js.legDead[0] && js.legDead[1];
+                if ((job.acceptFirst && !both_dead) ||
+                    (!job.acceptFirst && !authoritative_dead))
+                    continue; // The surviving leg can still answer.
+            }
+            js.responded = true;
+            js.failed = true;
+            js.responseTime = now - job.arrival;
+            cancel_outstanding(job_id, now);
+            continue;
+        }
+
         if (job.concurrent) {
             bool authoritative = (stage == 1);
             if (job.acceptFirst || authoritative) {
                 js.responded = true;
                 js.responseTime = now - job.arrival;
+                js.corrupt = fault == FaultKind::Corrupt;
                 cancel_outstanding(job_id, now);
             }
         } else if (js.nextStage < job.stages.size()) {
             std::size_t next = js.nextStage;
             ++js.nextStage;
+            // A corrupt intermediate stage poisons the chain.
+            js.corrupt = js.corrupt || fault == FaultKind::Corrupt;
             enqueue(job_id, next, now);
         } else {
             js.responded = true;
             js.responseTime = now - job.arrival;
+            js.corrupt = js.corrupt || fault == FaultKind::Corrupt;
         }
     }
 
@@ -298,7 +393,13 @@ ClusterSim::run(const std::vector<SimJob> &jobs) const
         out.responseTime = states[j].responseTime;
         out.queueing = states[j].queueing;
         out.cost = states[j].cost;
+        out.failed = states[j].failed;
+        out.corrupt = states[j].corrupt;
+        out.retries = states[j].retries;
         report.totalCost += out.cost;
+        report.failedJobs += out.failed ? 1 : 0;
+        report.corruptJobs += out.corrupt ? 1 : 0;
+        report.totalRetries += out.retries;
         responses.push_back(out.responseTime);
         report.jobs.push_back(out);
     }

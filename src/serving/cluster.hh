@@ -19,6 +19,17 @@
  * including the partial busy time of cancelled stages — reproducing
  * the paper's observation that early termination still pays for the
  * big configuration it kills.
+ *
+ * The simulator can additionally run under an injected fault
+ * schedule (setFaults): each stage execution deterministically
+ * draws a fault keyed on (job, stage, attempt) — failures burn part
+ * of the service time and retry after exponential backoff up to a
+ * bound, timeouts hold their server for the hang latency before
+ * retrying, slowdowns stretch the service time, and corruptions
+ * complete normally but mark the job's answer wrong. A job whose
+ * stage exhausts its retries responds as failed (never silently
+ * dropped), and the whole chaos run is bit-for-bit reproducible
+ * from the schedule seed.
  */
 
 #ifndef TOLTIERS_SERVING_CLUSTER_HH
@@ -29,6 +40,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "serving/fault.hh"
 
 namespace toltiers::obs {
 class Registry;
@@ -60,12 +72,26 @@ struct SimJob
     std::vector<StageSpec> stages; //!< Chain, or the two raced stages.
 };
 
+/** Fault-injection configuration for a simulation run. */
+struct SimFaultConfig
+{
+    /** The fault plan; null disables injection. Must outlive the
+     * simulator's run() calls. */
+    const FaultSchedule *schedule = nullptr;
+    std::size_t maxRetries = 2;      //!< Per stage execution.
+    double backoffBaseSeconds = 0.01; //!< Retry k waits base*mult^k.
+    double backoffMultiplier = 2.0;
+};
+
 /** Per-job outcome. */
 struct JobOutcome
 {
     double responseTime = 0.0; //!< Response minus arrival.
     double queueing = 0.0;     //!< Total time spent waiting.
     double cost = 0.0;         //!< Busy node-seconds times prices.
+    bool failed = false;  //!< A stage exhausted its retries.
+    bool corrupt = false; //!< The served answer was corrupted.
+    std::size_t retries = 0; //!< Re-executions across all stages.
 };
 
 /** Aggregate simulation report. */
@@ -82,6 +108,9 @@ struct SimReport
     double meanResponse = 0.0;
     double p99Response = 0.0;
     double totalCost = 0.0;
+    std::size_t failedJobs = 0;   //!< Jobs that responded failed.
+    std::size_t corruptJobs = 0;  //!< Jobs served a wrong answer.
+    std::size_t totalRetries = 0; //!< Stage re-executions.
 };
 
 /** FIFO multi-server queueing simulator. */
@@ -99,6 +128,13 @@ class ClusterSim
     void attachMetrics(obs::Registry *registry);
 
     /**
+     * Run subsequent simulations under the given fault plan. The
+     * referenced schedule must outlive the simulator; a config with
+     * a null schedule restores fault-free operation.
+     */
+    void setFaults(const SimFaultConfig &faults);
+
+    /**
      * Run the given jobs to completion. Jobs need not be sorted by
      * arrival. Concurrent jobs must have exactly two stages; stage 1
      * is the authoritative (accurate) version when acceptFirst is
@@ -111,6 +147,7 @@ class ClusterSim
   private:
     std::vector<SimPool> pools_;
     obs::Registry *metrics_ = nullptr;
+    SimFaultConfig faults_;
 };
 
 /** Poisson arrival times: n arrivals at the given mean rate (1/s). */

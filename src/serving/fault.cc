@@ -1,0 +1,211 @@
+#include "serving/fault.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace toltiers::serving {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None:
+        return "none";
+      case FaultKind::Failure:
+        return "failure";
+      case FaultKind::Timeout:
+        return "timeout";
+      case FaultKind::SlowDown:
+        return "slowdown";
+      case FaultKind::Corrupt:
+        return "corrupt";
+    }
+    return "unknown";
+}
+
+bool
+FaultSpec::none() const
+{
+    return failureRate <= 0.0 && timeoutRate <= 0.0 &&
+           slowdownRate <= 0.0 && corruptRate <= 0.0;
+}
+
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+double
+faultHash01(std::uint64_t seed, std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t u = mix64(mix64(mix64(seed) ^ a) ^ b);
+    return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+FaultSchedule::FaultSchedule(const FaultSpec &spec) : spec_(spec)
+{
+    double total = spec_.failureRate + spec_.timeoutRate +
+                   spec_.slowdownRate + spec_.corruptRate;
+    TT_ASSERT(spec_.failureRate >= 0.0 && spec_.timeoutRate >= 0.0 &&
+                  spec_.slowdownRate >= 0.0 &&
+                  spec_.corruptRate >= 0.0,
+              "fault rates must be non-negative");
+    TT_ASSERT(total <= 1.0 + 1e-12,
+              "fault rates sum above 1: ", total);
+    TT_ASSERT(spec_.slowdownFactor >= 1.0,
+              "slowdown factor below 1");
+    TT_ASSERT(spec_.failureLatencyFraction >= 0.0 &&
+                  spec_.failureLatencyFraction <= 1.0,
+              "failure latency fraction outside [0, 1]");
+}
+
+FaultKind
+FaultSchedule::pick(double u) const
+{
+    double edge = spec_.failureRate;
+    if (u < edge)
+        return FaultKind::Failure;
+    edge += spec_.timeoutRate;
+    if (u < edge)
+        return FaultKind::Timeout;
+    edge += spec_.slowdownRate;
+    if (u < edge)
+        return FaultKind::SlowDown;
+    edge += spec_.corruptRate;
+    if (u < edge)
+        return FaultKind::Corrupt;
+    return FaultKind::None;
+}
+
+FaultKind
+FaultSchedule::decide(std::uint64_t payload,
+                      std::uint64_t attempt) const
+{
+    if (spec_.none())
+        return FaultKind::None;
+    return pick(faultHash01(spec_.seed, payload, attempt));
+}
+
+FaultKind
+FaultSchedule::decide(std::uint64_t a, std::uint64_t b,
+                      std::uint64_t attempt) const
+{
+    if (spec_.none())
+        return FaultKind::None;
+    return pick(faultHash01(spec_.seed, mix64(a) ^ b, attempt));
+}
+
+FaultyServiceVersion::FaultyServiceVersion(
+    const ServiceVersion &inner, FaultSchedule schedule)
+    : inner_(inner), schedule_(schedule)
+{
+}
+
+const std::string &
+FaultyServiceVersion::name() const
+{
+    return inner_.name();
+}
+
+const std::string &
+FaultyServiceVersion::instanceName() const
+{
+    return inner_.instanceName();
+}
+
+std::size_t
+FaultyServiceVersion::workloadSize() const
+{
+    return inner_.workloadSize();
+}
+
+std::uint64_t
+FaultyServiceVersion::injectedCount(FaultKind kind) const
+{
+    return injected_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+}
+
+VersionResult
+FaultyServiceVersion::process(std::size_t index) const
+{
+    std::uint64_t attempt =
+        autoAttempt_.fetch_add(1, std::memory_order_relaxed);
+    return processAttempt(index, attempt).result;
+}
+
+AttemptResult
+FaultyServiceVersion::processAttempt(std::size_t index,
+                                     std::uint64_t attempt) const
+{
+    AttemptResult out{inner_.process(index), false};
+    FaultKind fault = schedule_.decide(index, attempt);
+    if (fault == FaultKind::None)
+        return out;
+
+    injected_[static_cast<std::size_t>(fault)].fetch_add(
+        1, std::memory_order_relaxed);
+#if TOLTIERS_OBS_ENABLED
+    if (obs::metricsEnabled()) {
+        obs::Registry::global()
+            .counter("toltiers_faults_injected_total",
+                     {{"version", inner_.name()},
+                      {"kind", faultKindName(fault)}},
+                     "Faults injected per wrapped version")
+            .inc();
+    }
+#endif
+
+    VersionResult &r = out.result;
+    const FaultSpec &spec = schedule_.spec();
+    switch (fault) {
+      case FaultKind::Failure: {
+        double frac = spec.failureLatencyFraction;
+        r.latencySeconds *= frac;
+        r.costDollars *= frac;
+        r.output.clear();
+        r.confidence = 0.0;
+        r.error = 1.0;
+        out.failed = true;
+        break;
+      }
+      case FaultKind::Timeout: {
+        // The backend hangs: latency becomes the hang time and the
+        // bill scales with it — a caller without a deadline pays
+        // the full wait, exactly as a real stuck RPC would charge.
+        double scale = r.latencySeconds > 0.0
+                           ? spec.timeoutLatencySeconds /
+                                 r.latencySeconds
+                           : 0.0;
+        r.latencySeconds = spec.timeoutLatencySeconds;
+        r.costDollars *= scale;
+        break;
+      }
+      case FaultKind::SlowDown: {
+        r.latencySeconds *= spec.slowdownFactor;
+        r.costDollars *= spec.slowdownFactor;
+        break;
+      }
+      case FaultKind::Corrupt: {
+        std::reverse(r.output.begin(), r.output.end());
+        r.output += " [corrupt]";
+        r.error = 1.0;
+        break;
+      }
+      case FaultKind::None:
+        break;
+    }
+    return out;
+}
+
+} // namespace toltiers::serving

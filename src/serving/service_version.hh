@@ -11,6 +11,7 @@
 #ifndef TOLTIERS_SERVING_SERVICE_VERSION_HH
 #define TOLTIERS_SERVING_SERVICE_VERSION_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -25,6 +26,21 @@ struct VersionResult
     double costDollars = 0.0;     //!< Node-seconds times node price.
     double error = 0.0;           //!< Vs ground truth (WER or 0/1).
     std::uint64_t workUnits = 0;  //!< Machine-independent work.
+};
+
+/**
+ * The outcome of one *attempt* against a version. A backend that
+ * errors out reports failed = true with the partial latency/cost it
+ * burned before erroring; a hung backend simply reports a latency
+ * far beyond any deadline (timeouts are detected by the caller's
+ * deadline, exactly as in a real client). A silently corrupted
+ * result is *not* failed — the caller cannot detect it without
+ * ground truth, which is the point.
+ */
+struct AttemptResult
+{
+    VersionResult result;
+    bool failed = false; //!< Backend returned an explicit error.
 };
 
 /** A deployable model version bound to a workload and an instance. */
@@ -44,6 +60,20 @@ class ServiceVersion
 
     /** Process payload `index` of the bound workload. */
     virtual VersionResult process(std::size_t index) const = 0;
+
+    /**
+     * Process one numbered attempt at payload `index`. Reliable
+     * versions ignore the attempt number and never fail; the fault
+     * injector overrides this to key deterministic fault decisions
+     * on (payload, attempt). Must be thread-safe for distinct
+     * attempt numbers (retry/hedge paths call it concurrently).
+     */
+    virtual AttemptResult
+    processAttempt(std::size_t index, std::uint64_t attempt) const
+    {
+        (void)attempt;
+        return {process(index), false};
+    }
 };
 
 } // namespace toltiers::serving

@@ -785,8 +785,10 @@ TEST(TierService, AnnotatedRequestEndToEnd)
     svc.setRules(sv::Objective::ResponseTime,
                  {makeRule(0.05, co::PolicyKind::Sequential, 0, 1,
                            0.5)});
-    auto req = sv::parseAnnotatedRequest(
+    auto parse = sv::parseAnnotatedRequest(
         "Tolerance: 0.05\nObjective: response-time\n");
+    ASSERT_TRUE(parse.ok());
+    auto req = parse.request;
     req.payload = 1;
     auto resp = svc.handle(req);
     EXPECT_EQ(resp.output, "fast-answer-1");

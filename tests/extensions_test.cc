@@ -324,8 +324,10 @@ TEST(Provisioner, OneCallProducesServingService)
     EXPECT_EQ(provisioned.rules.size(), 2u);
     ASSERT_NE(provisioned.service, nullptr);
 
-    auto req = sv::parseAnnotatedRequest(
+    auto parse = sv::parseAnnotatedRequest(
         "Tolerance: 0.5\nObjective: response-time\n");
+    ASSERT_TRUE(parse.ok());
+    auto req = parse.request;
     req.payload = 3;
     auto resp = provisioned.service->handle(req);
     EXPECT_FALSE(resp.output.empty());

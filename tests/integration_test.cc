@@ -204,8 +204,10 @@ TEST_F(AsrPipeline, AnnotatedRequestRoundTrip)
     svc.setRules(sv::Objective::Cost,
                  gen.generate({0.05}, sv::Objective::Cost));
 
-    auto req = sv::parseAnnotatedRequest(
+    auto parse = sv::parseAnnotatedRequest(
         "Tolerance: 0.05\nObjective: cost\n");
+    ASSERT_TRUE(parse.ok());
+    auto req = parse.request;
     req.payload = 3;
     auto resp = svc.handle(req);
     EXPECT_GT(resp.latencySeconds, 0.0);

@@ -8,11 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/random.hh"
 #include "core/policy.hh"
+#include "core/resilience.hh"
 #include "core/rule_generator.hh"
+#include "core/tier_service.hh"
 #include "serving/cluster.hh"
+#include "serving/fault.hh"
 #include "stats/descriptive.hh"
 #include "stats/levenshtein.hh"
 #include "tensor/ops.hh"
@@ -258,6 +262,220 @@ TEST_P(ClusterProperty, CostEqualsBilledBusySeconds)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ClusterProperty,
+                         testing::Range(0, 10));
+
+// ---------------------------------------------------- fault properties
+
+namespace {
+
+/** Constant-profile version for resilience property tests. */
+class PropStubVersion : public sv::ServiceVersion
+{
+  public:
+    PropStubVersion(double latency, double cost)
+        : name_("stub"), instance_("cpu"), latency_(latency),
+          cost_(cost)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    const std::string &instanceName() const override
+    {
+        return instance_;
+    }
+    std::size_t workloadSize() const override { return 1u << 20; }
+
+    sv::VersionResult
+    process(std::size_t index) const override
+    {
+        sv::VersionResult r;
+        r.output = name_ + "-" + std::to_string(index);
+        r.confidence = 0.9;
+        r.latencySeconds = latency_;
+        r.costDollars = cost_;
+        return r;
+    }
+
+  private:
+    std::string name_;
+    std::string instance_;
+    double latency_;
+    double cost_;
+};
+
+} // namespace
+
+class FaultProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(FaultProperty, RetryWithBackoffNeverExceedsBudget)
+{
+    tc::Pcg32 rng(GetParam() + 9800);
+    PropStubVersion inner(rng.uniform(0.005, 0.05),
+                          rng.uniform(0.5, 5.0));
+
+    sv::FaultSpec spec;
+    spec.failureRate = rng.uniform(0.0, 0.25);
+    spec.timeoutRate = rng.uniform(0.0, 0.25);
+    spec.slowdownRate = rng.uniform(0.0, 0.25);
+    spec.corruptRate = rng.uniform(0.0, 0.25);
+    spec.timeoutLatencySeconds = rng.uniform(0.5, 5.0);
+    spec.seed = static_cast<std::uint64_t>(GetParam()) + 1;
+    sv::FaultyServiceVersion faulty(inner,
+                                    sv::FaultSchedule(spec));
+
+    co::ResiliencePolicy policy;
+    policy.stageDeadlineSeconds =
+        rng.bernoulli(0.7) ? rng.uniform(0.01, 0.1) : 0.0;
+    policy.maxRetries = rng.nextBounded(5);
+    policy.backoffBaseSeconds = rng.uniform(0.0005, 0.005);
+    policy.backoffMultiplier = rng.uniform(1.5, 3.0);
+    policy.hedgeDelaySeconds =
+        rng.bernoulli(0.5) ? rng.uniform(0.005, 0.05) : 0.0;
+
+    for (std::size_t p = 0; p < 30; ++p) {
+        double budget = rng.uniform(0.02, 0.5);
+        auto out = co::executeStage(faulty, p, policy, budget, 0);
+        // The invariant: however many retries, backoffs, and
+        // hedges happened, the stage never overspends its budget.
+        EXPECT_LE(out.latencySeconds, budget + 1e-9);
+        if (policy.stageDeadlineSeconds > 0.0) {
+            for (const auto &a : out.attempts)
+                EXPECT_LE(a.latencySeconds,
+                          policy.stageDeadlineSeconds + 1e-9);
+        }
+        if (out.ok) {
+            EXPECT_FALSE(out.result.output.empty());
+        }
+    }
+}
+
+TEST_P(FaultProperty, FallbackPicksSatisfyingVersionWhenOneExists)
+{
+    tc::Pcg32 rng(GetParam() + 9900);
+    PropStubVersion dead(0.01, 1.0);
+    PropStubVersion v1(0.012, 1.2);
+    PropStubVersion v2(0.025, 2.5);
+    PropStubVersion v3(0.06, 6.0);
+
+    sv::FaultSpec always_fail;
+    always_fail.failureRate = 1.0;
+    always_fail.seed = static_cast<std::uint64_t>(GetParam()) + 7;
+    sv::FaultyServiceVersion faulty(
+        dead, sv::FaultSchedule(always_fail));
+
+    co::TierService svc({&faulty, &v1, &v2, &v3});
+    co::RoutingRule rule;
+    rule.tolerance = 0.0;
+    rule.cfg.kind = co::PolicyKind::Single;
+    svc.setRules(sv::Objective::ResponseTime, {rule});
+    svc.setResilience({});
+
+    for (int trial = 0; trial < 20; ++trial) {
+        // The dead primary never satisfies; the healthy versions
+        // get random degradation profiles.
+        std::vector<co::VersionProfile> profiles = {
+            {0, 0.5 + rng.uniform(0.0, 0.5), 0.01, 1.0},
+            {1, rng.uniform(0.0, 0.3), 0.012, 1.2},
+            {2, rng.uniform(0.0, 0.3), 0.025, 2.5},
+            {3, rng.uniform(0.0, 0.3), 0.06, 6.0}};
+        svc.setVersionProfiles(profiles);
+
+        double tol = rng.uniform(0.0, 0.3);
+        sv::ServiceRequest req;
+        req.payload = static_cast<std::size_t>(trial);
+        req.tier.tolerance = tol;
+        auto resp = svc.handle(req);
+
+        double best_latency =
+            std::numeric_limits<double>::infinity();
+        bool exists = false;
+        for (std::size_t v = 1; v < profiles.size(); ++v) {
+            if (profiles[v].worstErrorDegradation <= tol) {
+                exists = true;
+                best_latency = std::min(
+                    best_latency, profiles[v].meanLatency);
+            }
+        }
+        if (exists) {
+            // A satisfying version exists => it must be chosen,
+            // it must satisfy, and it must be the cheapest one.
+            ASSERT_EQ(resp.status, co::ServeStatus::FellBack);
+            const auto &chosen =
+                profiles[resp.fallbackVersion];
+            EXPECT_LE(chosen.worstErrorDegradation, tol + 1e-12);
+            EXPECT_DOUBLE_EQ(chosen.meanLatency, best_latency);
+            EXPECT_FALSE(resp.output.empty());
+        } else {
+            EXPECT_EQ(resp.status,
+                      co::ServeStatus::GuaranteeViolation);
+        }
+    }
+}
+
+TEST_P(FaultProperty, ChaosSimulationIsDeterministicPerSeed)
+{
+    tc::Pcg32 rng(GetParam() + 10000);
+
+    sv::FaultSpec spec;
+    spec.failureRate = rng.uniform(0.0, 0.2);
+    spec.timeoutRate = rng.uniform(0.0, 0.2);
+    spec.slowdownRate = rng.uniform(0.0, 0.2);
+    spec.corruptRate = rng.uniform(0.0, 0.2);
+    spec.timeoutLatencySeconds = rng.uniform(0.2, 2.0);
+    spec.seed = static_cast<std::uint64_t>(GetParam()) + 17;
+    sv::FaultSchedule sched(spec);
+
+    std::vector<sv::SimJob> jobs;
+    double t = 0.0;
+    for (int i = 0; i < 80; ++i) {
+        t += rng.uniform(0.0, 0.05);
+        sv::SimJob j;
+        j.arrival = t;
+        if (rng.bernoulli(0.3)) {
+            j.concurrent = true;
+            j.acceptFirst = rng.bernoulli(0.5);
+            j.stages = {{0, rng.uniform(0.01, 0.1)},
+                        {1, rng.uniform(0.05, 0.3)}};
+        } else {
+            j.stages = {{0, rng.uniform(0.01, 0.1)}};
+            if (rng.bernoulli(0.5))
+                j.stages.push_back({1, rng.uniform(0.05, 0.3)});
+        }
+        jobs.push_back(j);
+    }
+
+    sv::SimFaultConfig faults;
+    faults.schedule = &sched;
+    faults.maxRetries = rng.nextBounded(4);
+    faults.backoffBaseSeconds = rng.uniform(0.001, 0.01);
+
+    // Two independently constructed simulators must reproduce the
+    // chaos run bit for bit from the shared schedule seed.
+    sv::ClusterSim first({{"a", 2, 2.0}, {"b", 1, 5.0}});
+    first.setFaults(faults);
+    sv::ClusterSim second({{"a", 2, 2.0}, {"b", 1, 5.0}});
+    second.setFaults(faults);
+
+    auto a = first.run(jobs);
+    auto b = second.run(jobs);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+        EXPECT_EQ(a.jobs[i].responseTime, b.jobs[i].responseTime);
+        EXPECT_EQ(a.jobs[i].queueing, b.jobs[i].queueing);
+        EXPECT_EQ(a.jobs[i].cost, b.jobs[i].cost);
+        EXPECT_EQ(a.jobs[i].failed, b.jobs[i].failed);
+        EXPECT_EQ(a.jobs[i].corrupt, b.jobs[i].corrupt);
+        EXPECT_EQ(a.jobs[i].retries, b.jobs[i].retries);
+    }
+    EXPECT_EQ(a.totalCost, b.totalCost);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.failedJobs, b.failedJobs);
+    EXPECT_EQ(a.totalRetries, b.totalRetries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultProperty,
                          testing::Range(0, 10));
 
 // ------------------------------------------------------- tensor property

@@ -22,54 +22,130 @@ namespace tc = toltiers::common;
 
 TEST(Api, ParsesPaperExampleAnnotation)
 {
-    auto req = sv::parseAnnotatedRequest(
+    auto parse = sv::parseAnnotatedRequest(
         "Tolerance: 0.01\nObjective: response-time\n");
-    EXPECT_DOUBLE_EQ(req.tier.tolerance, 0.01);
-    EXPECT_EQ(req.tier.objective, sv::Objective::ResponseTime);
+    ASSERT_TRUE(parse.ok());
+    EXPECT_DOUBLE_EQ(parse.request.tier.tolerance, 0.01);
+    EXPECT_EQ(parse.request.tier.objective,
+              sv::Objective::ResponseTime);
 }
 
 TEST(Api, ParsesCostObjective)
 {
-    auto req = sv::parseAnnotatedRequest("Objective: cost");
-    EXPECT_EQ(req.tier.objective, sv::Objective::Cost);
+    auto parse = sv::parseAnnotatedRequest("Objective: cost");
+    ASSERT_TRUE(parse.ok());
+    EXPECT_EQ(parse.request.tier.objective, sv::Objective::Cost);
 }
 
 TEST(Api, DefaultsWhenHeadersAbsent)
 {
-    auto req = sv::parseAnnotatedRequest("X-Other: 1\n");
-    EXPECT_DOUBLE_EQ(req.tier.tolerance, 0.0);
-    EXPECT_EQ(req.tier.objective, sv::Objective::ResponseTime);
-    EXPECT_EQ(req.headers.at("x-other"), "1");
+    auto parse = sv::parseAnnotatedRequest("X-Other: 1\n");
+    ASSERT_TRUE(parse.ok());
+    EXPECT_DOUBLE_EQ(parse.request.tier.tolerance, 0.0);
+    EXPECT_EQ(parse.request.tier.objective,
+              sv::Objective::ResponseTime);
+    EXPECT_EQ(parse.request.headers.at("x-other"), "1");
 }
 
 TEST(Api, HeaderNamesCaseInsensitive)
 {
-    auto req = sv::parseAnnotatedRequest(
+    auto parse = sv::parseAnnotatedRequest(
         "TOLERANCE: 0.05\nobjective: Cost\n");
-    EXPECT_DOUBLE_EQ(req.tier.tolerance, 0.05);
-    EXPECT_EQ(req.tier.objective, sv::Objective::Cost);
+    ASSERT_TRUE(parse.ok());
+    EXPECT_DOUBLE_EQ(parse.request.tier.tolerance, 0.05);
+    EXPECT_EQ(parse.request.tier.objective, sv::Objective::Cost);
 }
 
-TEST(Api, MalformedToleranceIsFatal)
+TEST(Api, MalformedToleranceIsRejected)
 {
-    EXPECT_DEATH(sv::parseAnnotatedRequest("Tolerance: abc"),
-                 "not a number");
-    EXPECT_DEATH(sv::parseAnnotatedRequest("Tolerance: 1.5"),
-                 "lie in");
-    EXPECT_DEATH(sv::parseAnnotatedRequest("Tolerance: -0.1"),
-                 "lie in");
+    auto parse = sv::parseAnnotatedRequest("Tolerance: abc");
+    EXPECT_EQ(parse.status, sv::ParseStatus::BadTolerance);
+    EXPECT_FALSE(parse.ok());
+    EXPECT_NE(parse.error.find("not a number"), std::string::npos);
+
+    parse = sv::parseAnnotatedRequest("Tolerance: 1.5");
+    EXPECT_EQ(parse.status, sv::ParseStatus::BadTolerance);
+    EXPECT_NE(parse.error.find("lie in"), std::string::npos);
+
+    parse = sv::parseAnnotatedRequest("Tolerance: -0.1");
+    EXPECT_EQ(parse.status, sv::ParseStatus::BadTolerance);
+
+    parse = sv::parseAnnotatedRequest("Tolerance: nan");
+    EXPECT_EQ(parse.status, sv::ParseStatus::BadTolerance);
 }
 
-TEST(Api, MalformedHeaderLineIsFatal)
+TEST(Api, MalformedHeaderLineIsRejected)
 {
-    EXPECT_DEATH(sv::parseAnnotatedRequest("no colon here"),
-                 "malformed header");
+    auto parse = sv::parseAnnotatedRequest("no colon here");
+    EXPECT_EQ(parse.status, sv::ParseStatus::MalformedHeader);
+    EXPECT_FALSE(parse.ok());
 }
 
-TEST(Api, UnknownObjectiveIsFatal)
+TEST(Api, UnknownObjectiveIsRejected)
 {
-    EXPECT_DEATH(sv::parseAnnotatedRequest("Objective: speed"),
-                 "unknown Objective");
+    auto parse = sv::parseAnnotatedRequest("Objective: speed");
+    EXPECT_EQ(parse.status, sv::ParseStatus::BadObjective);
+    EXPECT_FALSE(parse.ok());
+}
+
+TEST(Api, RejectedParseKeepsDefaultAnnotation)
+{
+    // A rejected request must not leak half-parsed state: the
+    // embedded request stays at the (tightest) defaults.
+    auto parse = sv::parseAnnotatedRequest(
+        "Tolerance: 0.08\nObjective: warp\n");
+    EXPECT_FALSE(parse.ok());
+    EXPECT_DOUBLE_EQ(parse.request.tier.tolerance, 0.0);
+    EXPECT_EQ(parse.request.tier.objective,
+              sv::Objective::ResponseTime);
+}
+
+TEST(Api, ParseStatusNames)
+{
+    EXPECT_STREQ(sv::parseStatusName(sv::ParseStatus::Ok), "ok");
+    EXPECT_STREQ(
+        sv::parseStatusName(sv::ParseStatus::MalformedHeader),
+        "malformed-header");
+    EXPECT_STREQ(sv::parseStatusName(sv::ParseStatus::BadTolerance),
+                 "bad-tolerance");
+    EXPECT_STREQ(sv::parseStatusName(sv::ParseStatus::BadObjective),
+                 "bad-objective");
+}
+
+TEST(Api, FuzzedHeaderBlocksNeverCrash)
+{
+    // Deterministic fuzz: random printable garbage, random colon
+    // placement, truncated valid blocks. The parser must always
+    // return a status — never abort — and valid-looking inputs
+    // must keep their invariants.
+    tc::Pcg32 rng(20260805);
+    const std::string alphabet =
+        "Tolerance: 0.5\nObjective respns-time cost\t:%;=#";
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::size_t len = rng.nextBounded(64);
+        std::string block;
+        for (std::size_t i = 0; i < len; ++i) {
+            block += alphabet[rng.nextBounded(
+                static_cast<std::uint32_t>(alphabet.size()))];
+        }
+        auto parse = sv::parseAnnotatedRequest(block);
+        if (parse.ok()) {
+            EXPECT_GE(parse.request.tier.tolerance, 0.0);
+            EXPECT_LE(parse.request.tier.tolerance, 1.0);
+        } else {
+            EXPECT_FALSE(parse.error.empty());
+        }
+    }
+    // Truncations of a valid block.
+    const std::string full =
+        "Tolerance: 0.07\nObjective: cost\nX-Client: fuzz\n";
+    for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+        auto parse = sv::parseAnnotatedRequest(full.substr(0, cut));
+        if (parse.ok()) {
+            EXPECT_GE(parse.request.tier.tolerance, 0.0);
+            EXPECT_LE(parse.request.tier.tolerance, 1.0);
+        }
+    }
 }
 
 TEST(Api, FormatRoundTrip)
@@ -77,9 +153,11 @@ TEST(Api, FormatRoundTrip)
     sv::TierAnnotation tier;
     tier.tolerance = 0.03;
     tier.objective = sv::Objective::Cost;
-    auto req = sv::parseAnnotatedRequest(sv::formatAnnotation(tier));
-    EXPECT_DOUBLE_EQ(req.tier.tolerance, 0.03);
-    EXPECT_EQ(req.tier.objective, sv::Objective::Cost);
+    auto parse =
+        sv::parseAnnotatedRequest(sv::formatAnnotation(tier));
+    ASSERT_TRUE(parse.ok());
+    EXPECT_DOUBLE_EQ(parse.request.tier.tolerance, 0.03);
+    EXPECT_EQ(parse.request.tier.objective, sv::Objective::Cost);
 }
 
 TEST(Api, ObjectiveNames)
