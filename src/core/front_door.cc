@@ -1,0 +1,247 @@
+#include "core/front_door.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "exec/parallel.hh"
+
+namespace toltiers::core {
+
+using common::panic;
+
+namespace {
+
+/** Registry handle for one tt_frontdoor_* counter. */
+obs::Counter &
+frontDoorCounter(obs::Registry &reg, const char *name,
+                 const char *help)
+{
+    return reg.counter(name, {}, help);
+}
+
+} // namespace
+
+TierFrontDoor::TierFrontDoor(const TierService &service,
+                             FrontDoorConfig cfg)
+    : service_(service),
+      pool_(cfg.pool != nullptr ? *cfg.pool : exec::globalPool()),
+      capacity_(cfg.queueCapacity), metrics_(cfg.metrics)
+{
+    TT_ASSERT(capacity_ > 0, "front door needs a positive capacity");
+    if (metrics_ != nullptr) {
+        // Pre-register the series so an idle door exports zeros.
+        frontDoorCounter(*metrics_, "tt_frontdoor_submitted_total",
+                         "Requests offered to the front door");
+        frontDoorCounter(*metrics_, "tt_frontdoor_rejected_total",
+                         "Requests shed at the door (queue full)");
+        frontDoorCounter(*metrics_, "tt_frontdoor_completed_total",
+                         "Responses produced");
+        frontDoorCounter(
+            *metrics_, "tt_frontdoor_violations_total",
+            "Completed responses that reported a guarantee "
+            "violation");
+    }
+}
+
+TierFrontDoor::~TierFrontDoor()
+{
+    drain();
+}
+
+TierFrontDoor::Ticket
+TierFrontDoor::submit(serving::ServiceRequest request)
+{
+    submitted_.inc();
+    if (metrics_ != nullptr) {
+        frontDoorCounter(*metrics_, "tt_frontdoor_submitted_total",
+                         "")
+            .inc();
+    }
+
+    // Bounded admission: claim a queue slot or shed. The claim is
+    // optimistic (fetch_add then check) so concurrent submitters
+    // never race past the capacity.
+    std::size_t claimed =
+        inFlight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (claimed > capacity_) {
+        inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+        rejected_.inc();
+        if (metrics_ != nullptr) {
+            frontDoorCounter(*metrics_,
+                             "tt_frontdoor_rejected_total", "")
+                .inc();
+        }
+        return kRejected;
+    }
+
+    auto slot = std::make_shared<Slot>();
+    Ticket ticket;
+    {
+        std::lock_guard<std::mutex> lock(mapMu_);
+        ticket = nextTicket_++;
+        slots_.emplace(ticket, slot);
+    }
+
+    pool_.submit(
+        [this, slot, request = std::move(request)]() mutable {
+            complete(slot, service_.handle(request));
+        });
+    return ticket;
+}
+
+void
+TierFrontDoor::complete(const std::shared_ptr<Slot> &slot,
+                        TierResponse response)
+{
+    // Account the outcome when the response is *produced*: a
+    // violation is recorded even if no caller ever collects the
+    // ticket.
+    completed_.inc();
+    switch (response.status) {
+      case ServeStatus::Ok:
+        ok_.inc();
+        break;
+      case ServeStatus::FellBack:
+        fellBack_.inc();
+        break;
+      case ServeStatus::GuaranteeViolation:
+        violations_.inc();
+        break;
+    }
+    if (metrics_ != nullptr) {
+        frontDoorCounter(*metrics_, "tt_frontdoor_completed_total",
+                         "")
+            .inc();
+        if (response.violated()) {
+            frontDoorCounter(*metrics_,
+                             "tt_frontdoor_violations_total", "")
+                .inc();
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        slot->response = std::move(response);
+        slot->ready = true;
+    }
+    slot->cv.notify_all();
+
+    inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+        std::lock_guard<std::mutex> lock(drainMu_);
+    }
+    drainCv_.notify_all();
+}
+
+std::shared_ptr<TierFrontDoor::Slot>
+TierFrontDoor::findSlot(Ticket ticket) const
+{
+    std::lock_guard<std::mutex> lock(mapMu_);
+    auto it = slots_.find(ticket);
+    return it != slots_.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<TierFrontDoor::Slot>
+TierFrontDoor::takeSlot(Ticket ticket)
+{
+    std::lock_guard<std::mutex> lock(mapMu_);
+    auto it = slots_.find(ticket);
+    if (it == slots_.end())
+        return nullptr;
+    auto slot = it->second;
+    slots_.erase(it);
+    return slot;
+}
+
+bool
+TierFrontDoor::ready(Ticket ticket) const
+{
+    auto slot = findSlot(ticket);
+    if (!slot)
+        panic("unknown or already-collected ticket ", ticket);
+    std::lock_guard<std::mutex> lock(slot->mu);
+    return slot->ready;
+}
+
+bool
+TierFrontDoor::poll(Ticket ticket, TierResponse &out)
+{
+    auto slot = findSlot(ticket);
+    if (!slot)
+        panic("unknown or already-collected ticket ", ticket);
+    {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        if (!slot->ready)
+            return false;
+        out = std::move(slot->response);
+    }
+    takeSlot(ticket); // Retire only after a successful collect.
+    collected_.inc();
+    return true;
+}
+
+TierResponse
+TierFrontDoor::wait(Ticket ticket)
+{
+    auto slot = takeSlot(ticket);
+    if (!slot)
+        panic("unknown or already-collected ticket ", ticket);
+    TierResponse out;
+    {
+        std::unique_lock<std::mutex> lock(slot->mu);
+        // Help the pool while the response is pending: a waiter
+        // that is itself a pool worker must not park, and an
+        // external waiter donating cycles only speeds the queue.
+        while (!slot->ready) {
+            lock.unlock();
+            if (!pool_.runOneTask()) {
+                lock.lock();
+                slot->cv.wait_for(lock,
+                                  std::chrono::milliseconds(1));
+            } else {
+                lock.lock();
+            }
+        }
+        out = std::move(slot->response);
+    }
+    collected_.inc();
+    return out;
+}
+
+void
+TierFrontDoor::drain()
+{
+    while (inFlight_.load(std::memory_order_acquire) > 0) {
+        if (pool_.runOneTask())
+            continue;
+        std::unique_lock<std::mutex> lock(drainMu_);
+        if (inFlight_.load(std::memory_order_acquire) == 0)
+            break;
+        drainCv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+}
+
+std::size_t
+TierFrontDoor::inFlight() const
+{
+    return inFlight_.load(std::memory_order_acquire);
+}
+
+FrontDoorStats
+TierFrontDoor::stats() const
+{
+    auto count = [](const obs::Counter &c) {
+        return static_cast<std::uint64_t>(c.value() + 0.5);
+    };
+    FrontDoorStats s;
+    s.submitted = count(submitted_);
+    s.rejected = count(rejected_);
+    s.completed = count(completed_);
+    s.ok = count(ok_);
+    s.fellBack = count(fellBack_);
+    s.violations = count(violations_);
+    s.collected = count(collected_);
+    return s;
+}
+
+} // namespace toltiers::core

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Concurrent front door for the tier service.
+ *
+ * TierService::handle() serves one request synchronously on the
+ * calling thread. The front door turns that into a concurrent
+ * serving surface: submit() admits a request into a bounded queue
+ * and dispatches it onto the shared work-stealing pool, poll() or
+ * wait() retrieves the finished TierResponse by ticket. Admission
+ * is load-shedding, not blocking — when `queueCapacity` requests
+ * are already in flight, submit() rejects immediately (a serving
+ * system sheds at the door; it does not build an unbounded queue).
+ *
+ * Accounting is conservation-checked: every submitted request is
+ * exactly one of rejected / completed, completed responses split
+ * exactly into ok / fell-back / violation, and a violation is
+ * never silently dropped — it is counted the moment the response
+ * is produced (not when the caller collects it), mirrored into the
+ * registry's tt_frontdoor_* counters when metrics are attached,
+ * and still delivered to the caller through poll()/wait(). The hot
+ * tallies are obs::Counter instances, which are striped across
+ * cache-line-padded atomics, so eight clients hammering the door
+ * do not serialize on one counter line.
+ *
+ * Thread safety: every method may be called from any thread.
+ * handle() itself is const over immutable service state and its
+ * telemetry sinks are thread-safe, so requests execute genuinely
+ * in parallel.
+ */
+
+#ifndef TOLTIERS_CORE_FRONT_DOOR_HH
+#define TOLTIERS_CORE_FRONT_DOOR_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/tier_service.hh"
+#include "exec/pool.hh"
+#include "obs/metrics.hh"
+
+namespace toltiers::core {
+
+/** Front-door construction parameters. */
+struct FrontDoorConfig
+{
+    /** Max requests admitted but not yet completed; submits beyond
+     * it are rejected. */
+    std::size_t queueCapacity = 1024;
+    /** Pool to serve on; nullptr means exec::globalPool(). */
+    exec::ThreadPool *pool = nullptr;
+    /** Optional registry for the tt_frontdoor_* counters. */
+    obs::Registry *metrics = nullptr;
+};
+
+/** Point-in-time front-door accounting (sums are exact once the
+ * traffic quiesces; see obs/metrics.hh on striped counters). */
+struct FrontDoorStats
+{
+    std::uint64_t submitted = 0; //!< Accepted + rejected.
+    std::uint64_t rejected = 0;  //!< Shed at the door (queue full).
+    std::uint64_t completed = 0; //!< Responses produced.
+    std::uint64_t ok = 0;
+    std::uint64_t fellBack = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t collected = 0; //!< Responses handed to callers.
+};
+
+/** Concurrent submit()/poll() surface over one TierService. */
+class TierFrontDoor
+{
+  public:
+    /** Ticket identifying one admitted request; 0 is never issued. */
+    using Ticket = std::uint64_t;
+    static constexpr Ticket kRejected = 0;
+
+    /** The service must outlive the front door. */
+    explicit TierFrontDoor(const TierService &service,
+                           FrontDoorConfig cfg = FrontDoorConfig());
+
+    /** Drains in-flight requests before returning. */
+    ~TierFrontDoor();
+
+    TierFrontDoor(const TierFrontDoor &) = delete;
+    TierFrontDoor &operator=(const TierFrontDoor &) = delete;
+
+    /**
+     * Admit one request. Returns its ticket, or kRejected when the
+     * bounded queue is full (the request was not enqueued).
+     */
+    Ticket submit(serving::ServiceRequest request);
+
+    /** True once the ticket's response is ready to collect. */
+    bool ready(Ticket ticket) const;
+
+    /**
+     * Collect a finished response without blocking. Returns false
+     * while the request is still in flight. A collected ticket is
+     * retired; collecting it again is a caller bug (panics).
+     */
+    bool poll(Ticket ticket, TierResponse &out);
+
+    /** Block until the ticket's response is ready and collect it. */
+    TierResponse wait(Ticket ticket);
+
+    /** Block until every admitted request has completed. */
+    void drain();
+
+    /** In-flight requests (admitted, not yet completed). */
+    std::size_t inFlight() const;
+
+    FrontDoorStats stats() const;
+
+    std::size_t queueCapacity() const { return capacity_; }
+
+  private:
+    struct Slot
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool ready = false;
+        TierResponse response;
+    };
+
+    std::shared_ptr<Slot> findSlot(Ticket ticket) const;
+    std::shared_ptr<Slot> takeSlot(Ticket ticket);
+    void complete(const std::shared_ptr<Slot> &slot,
+                  TierResponse response);
+
+    const TierService &service_;
+    exec::ThreadPool &pool_;
+    std::size_t capacity_;
+
+    mutable std::mutex mapMu_;
+    std::unordered_map<Ticket, std::shared_ptr<Slot>> slots_;
+    Ticket nextTicket_ = 1; //!< Guarded by mapMu_.
+
+    std::atomic<std::size_t> inFlight_{0};
+    mutable std::mutex drainMu_;
+    std::condition_variable drainCv_;
+
+    // Striped hot tallies (see the file comment). The registry
+    // handles alias these when metrics are attached.
+    obs::Counter submitted_;
+    obs::Counter rejected_;
+    obs::Counter completed_;
+    obs::Counter ok_;
+    obs::Counter fellBack_;
+    obs::Counter violations_;
+    obs::Counter collected_;
+
+    obs::Registry *metrics_ = nullptr;
+};
+
+} // namespace toltiers::core
+
+#endif // TOLTIERS_CORE_FRONT_DOOR_HH

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
+#include "exec/parallel.hh"
+#include "exec/rng.hh"
 #include "obs/metrics.hh"
 #include "stats/bootstrap.hh"
 
@@ -26,10 +28,16 @@ RoutingRuleGenerator::RoutingRuleGenerator(
               "invalid trial bounds");
 
     common::Stopwatch sw;
-    common::Pcg32 rng(cfg_.seed);
-    records_.reserve(cfgs.size());
-    for (const EnsembleConfig &candidate : cfgs)
-        records_.push_back(bootstrap(train, candidate, rng));
+    // Candidates bootstrap in parallel on the shared pool. Each
+    // candidate draws from its own splitmix64-derived RNG stream
+    // keyed by (seed, candidate index), and the records land in
+    // candidate order, so the result is bit-identical for any
+    // thread count, including 1.
+    records_ = exec::parallelMap<BootstrapRecord>(
+        exec::globalPool(), cfgs.size(), [&](std::size_t i) {
+            common::Pcg32 rng = exec::taskRng(cfg_.seed, i);
+            return bootstrap(train, cfgs[i], rng);
+        });
 
     if (obs::Registry *reg = cfg_.metrics) {
         auto &trials = reg->histogram(

@@ -4,9 +4,21 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "exec/parallel.hh"
 #include "stats/kfold.hh"
 
 namespace toltiers::core {
+
+namespace {
+
+/** Everything one fold contributes, merged in fold order below. */
+struct FoldReport
+{
+    std::vector<ValidationCheck> checks;
+    std::vector<std::size_t> bootstrapTrials;
+};
+
+} // namespace
 
 ValidationReport
 validateGuarantees(const MeasurementSet &trace,
@@ -20,40 +32,57 @@ validateGuarantees(const MeasurementSet &trace,
     common::Pcg32 rng(cfg.foldSeed);
     auto folds = stats::kfold(trace.requestCount(), cfg.folds, rng);
 
+    // Folds are independent (each seeds its rule generator with
+    // seed + f), so they run in parallel; the nested candidate
+    // bootstrap inside each fold shares the same pool (waiters
+    // help, so the nest cannot deadlock). Per-fold reports merge in
+    // fold order, keeping the aggregate bit-identical for any
+    // thread count.
+    auto fold_reports = exec::parallelMap<FoldReport>(
+        exec::globalPool(), folds.size(), [&](std::size_t f) {
+            auto train = trace.subset(folds[f].train);
+            auto test = trace.subset(folds[f].test);
+            std::vector<std::size_t> test_rows(test.requestCount());
+            for (std::size_t i = 0; i < test_rows.size(); ++i)
+                test_rows[i] = i;
+
+            RuleGenConfig rg = cfg.ruleGen;
+            rg.seed = cfg.ruleGen.seed + f;
+            RoutingRuleGenerator gen(train, candidates, rg);
+
+            FoldReport fold;
+            for (const auto &rec : gen.records())
+                fold.bootstrapTrials.push_back(rec.trials);
+            for (serving::Objective objective : cfg.objectives) {
+                auto rules = gen.generate(cfg.tolerances, objective);
+                for (const auto &rule : rules) {
+                    auto m = simulate(test, test_rows, rule.cfg,
+                                      rg.referenceVersion, rg.mode);
+                    ValidationCheck check;
+                    check.fold = f;
+                    check.objective = objective;
+                    check.tolerance = rule.tolerance;
+                    check.degradation = m.errorDegradation;
+                    check.cfg = rule.cfg;
+                    fold.checks.push_back(std::move(check));
+                }
+            }
+            return fold;
+        });
+
     ValidationReport report;
     report.worstMargin = -std::numeric_limits<double>::infinity();
-
-    for (std::size_t f = 0; f < folds.size(); ++f) {
-        auto train = trace.subset(folds[f].train);
-        auto test = trace.subset(folds[f].test);
-        std::vector<std::size_t> test_rows(test.requestCount());
-        for (std::size_t i = 0; i < test_rows.size(); ++i)
-            test_rows[i] = i;
-
-        RuleGenConfig rg = cfg.ruleGen;
-        rg.seed = cfg.ruleGen.seed + f;
-        RoutingRuleGenerator gen(train, candidates, rg);
-        for (const auto &rec : gen.records())
-            report.bootstrapTrials.push_back(rec.trials);
-
-        for (serving::Objective objective : cfg.objectives) {
-            auto rules = gen.generate(cfg.tolerances, objective);
-            for (const auto &rule : rules) {
-                auto m = simulate(test, test_rows, rule.cfg,
-                                  rg.referenceVersion, rg.mode);
-                ValidationCheck check;
-                check.fold = f;
-                check.objective = objective;
-                check.tolerance = rule.tolerance;
-                check.degradation = m.errorDegradation;
-                check.cfg = rule.cfg;
-                if (check.violated())
-                    ++report.violations;
-                report.worstMargin =
-                    std::max(report.worstMargin,
-                             check.degradation - check.tolerance);
-                report.checks.push_back(std::move(check));
-            }
+    for (FoldReport &fold : fold_reports) {
+        report.bootstrapTrials.insert(report.bootstrapTrials.end(),
+                                      fold.bootstrapTrials.begin(),
+                                      fold.bootstrapTrials.end());
+        for (ValidationCheck &check : fold.checks) {
+            if (check.violated())
+                ++report.violations;
+            report.worstMargin =
+                std::max(report.worstMargin,
+                         check.degradation - check.tolerance);
+            report.checks.push_back(std::move(check));
         }
     }
     return report;

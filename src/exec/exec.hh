@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Umbrella header for the execution subsystem: the work-stealing
+ * thread pool, structured parallel loops, and per-task RNG streams.
+ *
+ * See README "Parallelism & determinism" and DESIGN.md for the
+ * subsystem's contracts.
+ */
+
+#ifndef TOLTIERS_EXEC_EXEC_HH
+#define TOLTIERS_EXEC_EXEC_HH
+
+#include "exec/parallel.hh"
+#include "exec/pool.hh"
+#include "exec/rng.hh"
+
+#endif // TOLTIERS_EXEC_EXEC_HH

@@ -1,0 +1,121 @@
+#include "exec/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace toltiers::exec {
+
+std::size_t
+configuredThreadCount()
+{
+    if (const char *env = std::getenv("TT_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<std::size_t>(std::min(v, 256L));
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+} // namespace
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(configuredThreadCount());
+    return *g_pool;
+}
+
+void
+setGlobalThreadCount(std::size_t threads)
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    g_pool.reset(); // Joins the old workers after draining.
+    g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t begin, std::size_t end,
+            const std::function<void(std::size_t)> &body,
+            std::size_t grain)
+{
+    if (begin >= end)
+        return;
+    if (grain == 0)
+        grain = 1;
+    std::size_t n = end - begin;
+    std::size_t chunks = (n + grain - 1) / grain;
+    if (pool.threadCount() <= 1 || chunks <= 1) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    struct Shared
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> abort{false};
+    };
+    Shared shared;
+    shared.next.store(begin, std::memory_order_relaxed);
+
+    auto runChunks = [&] {
+        for (;;) {
+            if (shared.abort.load(std::memory_order_acquire))
+                return;
+            std::size_t lo = shared.next.fetch_add(
+                grain, std::memory_order_relaxed);
+            if (lo >= end)
+                return;
+            std::size_t hi = std::min(end, lo + grain);
+            for (std::size_t i = lo; i < hi; ++i)
+                body(i);
+        }
+    };
+
+    // One runner per worker beyond the caller; the caller claims
+    // chunks too, so a pool whose workers are all busy with
+    // unrelated tasks still makes progress on this loop.
+    std::size_t runners =
+        std::min(pool.threadCount(), chunks - 1);
+    TaskGroup group(pool);
+    for (std::size_t r = 0; r < runners; ++r) {
+        group.run([&] {
+            try {
+                runChunks();
+            } catch (...) {
+                shared.abort.store(true, std::memory_order_release);
+                throw; // TaskGroup captures the first exception.
+            }
+        });
+    }
+    try {
+        runChunks();
+    } catch (...) {
+        shared.abort.store(true, std::memory_order_release);
+        group.wait(); // Runners drain fast once aborted.
+        throw;        // The caller's own exception wins.
+    }
+    group.wait();
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end,
+            const std::function<void(std::size_t)> &body,
+            std::size_t grain)
+{
+    parallelFor(globalPool(), begin, end, body, grain);
+}
+
+} // namespace toltiers::exec

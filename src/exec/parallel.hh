@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Structured parallel loops over the work-stealing pool, and the
+ * process-wide pool configuration (TT_THREADS).
+ *
+ * Determinism contract: parallelFor/parallelMap partition an index
+ * range; each index is processed exactly once and parallelMap
+ * writes result i into slot i, so the returned vector is in index
+ * order — an *ordered reduction* — no matter how the chunks were
+ * scheduled. Combined with per-index RNG streams (exec/rng.hh) this
+ * makes every parallel path produce bit-identical output for any
+ * thread count, including 1.
+ */
+
+#ifndef TOLTIERS_EXEC_PARALLEL_HH
+#define TOLTIERS_EXEC_PARALLEL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/pool.hh"
+
+namespace toltiers::exec {
+
+/**
+ * Threads the global pool runs: the TT_THREADS environment variable
+ * when set (clamped to [1, 256]), otherwise hardware concurrency,
+ * never less than 1.
+ */
+std::size_t configuredThreadCount();
+
+/**
+ * The process-wide pool every parallel path uses by default.
+ * Created lazily at configuredThreadCount().
+ */
+ThreadPool &globalPool();
+
+/**
+ * Replace the global pool with one of `threads` threads (tests and
+ * benchmarks sweep thread counts in one process this way). Blocks
+ * until the old pool drains. Not safe concurrently with running
+ * parallel work on the old pool.
+ */
+void setGlobalThreadCount(std::size_t threads);
+
+/**
+ * Run body(i) for every i in [begin, end) on the pool, the calling
+ * thread included. Chunks of `grain` consecutive indices are
+ * claimed from a shared atomic cursor. Falls back to a plain serial
+ * loop when the range is small or the pool has no workers. The
+ * first exception thrown by any iteration is rethrown on the
+ * caller; remaining chunks are abandoned (each claimed chunk still
+ * finishes its current iteration).
+ */
+void parallelFor(ThreadPool &pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)> &body,
+                 std::size_t grain = 1);
+
+/** parallelFor on the global pool. */
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)> &body,
+                 std::size_t grain = 1);
+
+/**
+ * Ordered parallel map: out[i] = fn(i) for i in [0, n). Results are
+ * always in index order (see the file comment). T must be default
+ * constructible and movable.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(ThreadPool &pool, std::size_t n, Fn &&fn,
+            std::size_t grain = 1)
+{
+    std::vector<T> out(n);
+    parallelFor(
+        pool, 0, n, [&](std::size_t i) { out[i] = fn(i); }, grain);
+    return out;
+}
+
+/** parallelMap on the global pool. */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(std::size_t n, Fn &&fn, std::size_t grain = 1)
+{
+    return parallelMap<T>(globalPool(), n, std::forward<Fn>(fn),
+                          grain);
+}
+
+} // namespace toltiers::exec
+
+#endif // TOLTIERS_EXEC_PARALLEL_HH

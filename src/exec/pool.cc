@@ -1,0 +1,210 @@
+#include "exec/pool.hh"
+
+#include <chrono>
+
+namespace toltiers::exec {
+
+namespace {
+
+/** Worker identity: which pool this thread belongs to, and which
+ * of its deques it owns. Set for the lifetime of workerMain. */
+thread_local ThreadPool *t_pool = nullptr;
+thread_local std::size_t t_worker = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads <= 1)
+        return; // Inline pool: waiters drain the injection queue.
+    queues_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(sleepMu_);
+    }
+    sleepCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+    // An inline pool (no workers) may still hold queued tasks from
+    // fire-and-forget submits nobody waited on; run them so their
+    // side effects (completion flags, counters) are not lost.
+    Task task;
+    while (popInjected(task))
+        task();
+}
+
+ThreadPool *
+ThreadPool::current()
+{
+    return t_pool;
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    pending_.fetch_add(1, std::memory_order_release);
+    if (t_pool == this && !queues_.empty()) {
+        WorkerQueue &mine = *queues_[t_worker];
+        std::lock_guard<std::mutex> lock(mine.mu);
+        mine.q.push_back(std::move(task));
+    } else {
+        std::lock_guard<std::mutex> lock(injectMu_);
+        injected_.push_back(std::move(task));
+    }
+    sleepCv_.notify_one();
+}
+
+bool
+ThreadPool::popOwn(std::size_t index, Task &out)
+{
+    WorkerQueue &mine = *queues_[index];
+    std::lock_guard<std::mutex> lock(mine.mu);
+    if (mine.q.empty())
+        return false;
+    out = std::move(mine.q.back());
+    mine.q.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::popInjected(Task &out)
+{
+    std::lock_guard<std::mutex> lock(injectMu_);
+    if (injected_.empty())
+        return false;
+    out = std::move(injected_.front());
+    injected_.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::steal(std::size_t thief, Task &out)
+{
+    std::size_t n = queues_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        WorkerQueue &victim = *queues_[(thief + k) % n];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (victim.q.empty())
+            continue;
+        out = std::move(victim.q.front());
+        victim.q.pop_front();
+        return true;
+    }
+    return false;
+}
+
+bool
+ThreadPool::runOneTask()
+{
+    Task task;
+    bool got = false;
+    if (t_pool == this && !queues_.empty()) {
+        got = popOwn(t_worker, task) || popInjected(task) ||
+              steal(t_worker, task);
+    } else {
+        // External thread (or inline pool): injection queue first,
+        // then steal from worker 0's perspective.
+        got = popInjected(task);
+        if (!got && !queues_.empty())
+            got = steal(0, task) || popOwn(0, task);
+    }
+    if (!got)
+        return false;
+    task();
+    pending_.fetch_sub(1, std::memory_order_release);
+    return true;
+}
+
+std::size_t
+ThreadPool::pendingTasks() const
+{
+    return pending_.load(std::memory_order_acquire);
+}
+
+void
+ThreadPool::workerMain(std::size_t index)
+{
+    t_pool = this;
+    t_worker = index;
+    for (;;) {
+        if (runOneTask())
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMu_);
+        if (stop_.load(std::memory_order_acquire) &&
+            pending_.load(std::memory_order_acquire) == 0) {
+            break;
+        }
+        // Re-check for work after a bounded nap: a task pushed to
+        // another worker's deque between our scan and this wait
+        // does not signal sleepCv_, so never park unbounded.
+        sleepCv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    t_pool = nullptr;
+}
+
+void
+TaskGroup::run(Task task)
+{
+    pending_.fetch_add(1, std::memory_order_release);
+    pool_.submit([this, task = std::move(task)] {
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        pending_.fetch_sub(1, std::memory_order_release);
+        cv_.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    // Help first: drain runnable work (ours or anybody's) so a
+    // worker waiting on a nested group makes progress instead of
+    // deadlocking the pool.
+    while (pending_.load(std::memory_order_acquire) > 0) {
+        if (pool_.runOneTask())
+            continue;
+        std::unique_lock<std::mutex> lock(mu_);
+        if (pending_.load(std::memory_order_acquire) == 0)
+            break;
+        // Bounded nap, not a pure park: our remaining tasks may be
+        // *running* on other workers (nothing left to help with),
+        // or new helpable work may appear without a signal to us.
+        cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        err = error_;
+        error_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+TaskGroup::waitNoThrow()
+{
+    try {
+        wait();
+    } catch (...) {
+        // Destructor context: the batch's exception was already
+        // either observed via wait() or is intentionally dropped.
+    }
+}
+
+} // namespace toltiers::exec

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Fixed-size work-stealing thread pool.
+ *
+ * The pool is the shared execution core behind every parallel path
+ * in the library: the routing-rule generator bootstraps candidates
+ * on it, cross-validation runs folds on it, the tolerance sweeps
+ * score points on it, and the tier service's concurrent front door
+ * serves requests on it. One pool instance therefore has to support
+ * *nested* structured parallelism: a task running on a worker may
+ * itself fan out a parallelFor and wait for it.
+ *
+ * Scheduling model: every worker owns a deque. The owner pushes and
+ * pops at the back (LIFO, cache-warm); thieves steal from the front
+ * (FIFO, oldest first). External threads inject into a shared queue
+ * the workers also drain. A TaskGroup::wait() never parks a worker
+ * while work is runnable — the waiter *helps*, executing pending
+ * tasks (its own, stolen, or injected) until its group drains. That
+ * helping rule is the nested-submission deadlock guard: even a pool
+ * with one worker can run arbitrarily deep nests, because the
+ * waiter is itself an executor.
+ *
+ * Determinism contract: the pool makes **no ordering promises** —
+ * callers that need bit-identical results across thread counts must
+ * key all randomness by task index (see exec/rng.hh) and write
+ * results into index-addressed slots (see exec::parallelMap).
+ */
+
+#ifndef TOLTIERS_EXEC_POOL_HH
+#define TOLTIERS_EXEC_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace toltiers::exec {
+
+using Task = std::function<void()>;
+
+/** Fixed-size work-stealing pool; see the file comment. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers. 0 and 1 both mean "no worker
+     * threads": submitted tasks are queued and executed by whoever
+     * waits on them (TaskGroup::wait drains the queue inline), so a
+     * single-threaded pool is exactly the serial execution order.
+     */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Stops and joins. Pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker threads owned by the pool (0 for an inline pool). */
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Enqueue one detached task. From a worker thread of this pool
+     * the task lands on the worker's own deque; from any other
+     * thread it lands on the shared injection queue.
+     */
+    void submit(Task task);
+
+    /**
+     * Run one pending task on the calling thread if any is
+     * immediately available (own deque, injection queue, or stolen).
+     * Returns false when nothing was runnable. This is the helping
+     * primitive TaskGroup::wait is built on; it is also public so
+     * latency-sensitive callers can donate cycles to the pool.
+     */
+    bool runOneTask();
+
+    /** The pool the calling thread is a worker of, or nullptr. */
+    static ThreadPool *current();
+
+    /** Tasks currently queued (approximate; for tests/telemetry). */
+    std::size_t pendingTasks() const;
+
+  private:
+    struct WorkerQueue
+    {
+        mutable std::mutex mu;
+        std::deque<Task> q;
+    };
+
+    void workerMain(std::size_t index);
+    bool popOwn(std::size_t index, Task &out);
+    bool popInjected(Task &out);
+    bool steal(std::size_t thief, Task &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex injectMu_;
+    std::deque<Task> injected_;
+
+    std::mutex sleepMu_;
+    std::condition_variable sleepCv_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::size_t> pending_{0};
+};
+
+/**
+ * Structured completion tracking for a batch of tasks: run() tasks,
+ * then wait() for all of them. wait() *helps* (executes pool tasks)
+ * instead of parking while work is runnable, so it is safe to call
+ * from inside another pool task. The first exception thrown by any
+ * task is captured and rethrown from wait(); later ones are
+ * swallowed (the batch still runs to completion).
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+    ~TaskGroup() { waitNoThrow(); }
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Submit one task belonging to this group. */
+    void run(Task task);
+
+    /**
+     * Block until every task run() so far has finished, helping the
+     * pool while any task is runnable. Rethrows the batch's first
+     * exception.
+     */
+    void wait();
+
+    /** Tasks not yet finished. */
+    std::size_t pendingCount() const
+    {
+        return pending_.load(std::memory_order_acquire);
+    }
+
+  private:
+    void waitNoThrow();
+
+    ThreadPool &pool_;
+    std::atomic<std::size_t> pending_{0};
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::exception_ptr error_; //!< Guarded by mu_.
+};
+
+} // namespace toltiers::exec
+
+#endif // TOLTIERS_EXEC_POOL_HH

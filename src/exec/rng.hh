@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-task deterministic RNG streams.
+ *
+ * Parallel loops must not share one sequential RNG: the draw order
+ * would then depend on scheduling and the results on the thread
+ * count. Instead every task index derives its own decorrelated
+ * Pcg32 stream from (seed, index) through splitmix64 — a bijective
+ * finalizer whose consecutive outputs pass statistical testing —
+ * so task i's randomness is a pure function of the seed and i,
+ * bit-identical whether the loop runs on 1 thread or 64.
+ */
+
+#ifndef TOLTIERS_EXEC_RNG_HH
+#define TOLTIERS_EXEC_RNG_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace toltiers::exec {
+
+/** splitmix64 output function (Steele, Lea & Flood / Vigna). */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** The seed of task `task`'s stream under master seed `seed`. */
+constexpr std::uint64_t
+taskSeed(std::uint64_t seed, std::uint64_t task)
+{
+    return splitmix64(seed ^ splitmix64(task));
+}
+
+/**
+ * The independent Pcg32 stream of task `task` under master seed
+ * `seed`: both the PCG seed and its stream selector are derived, so
+ * distinct tasks land on distinct, decorrelated sequences.
+ */
+inline common::Pcg32
+taskRng(std::uint64_t seed, std::uint64_t task)
+{
+    std::uint64_t s = taskSeed(seed, task);
+    return common::Pcg32(s, splitmix64(s));
+}
+
+} // namespace toltiers::exec
+
+#endif // TOLTIERS_EXEC_RNG_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -13,7 +14,40 @@ namespace {
 
 std::atomic<bool> g_metrics_enabled{true};
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Lower `target` to x if x is smaller (lock-free running min). */
+void
+atomicMin(std::atomic<double> &target, double x)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (x < cur &&
+           !target.compare_exchange_weak(cur, x,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/** Raise `target` to x if x is larger (lock-free running max). */
+void
+atomicMax(std::atomic<double> &target, double x)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (x > cur &&
+           !target.compare_exchange_weak(cur, x,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
 } // namespace
+
+std::size_t
+Counter::stripeIndex()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local std::size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return idx;
+}
 
 void
 setMetricsEnabled(bool enabled)
@@ -91,13 +125,18 @@ HistogramSnapshot::quantile(double q) const
 }
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1])
 {
     TT_ASSERT(!bounds_.empty(), "histogram needs at least one bound");
     TT_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()) &&
                   std::adjacent_find(bounds_.begin(), bounds_.end()) ==
                       bounds_.end(),
               "histogram bounds must be strictly ascending");
+    for (std::size_t b = 0; b <= bounds_.size(); ++b)
+        counts_[b].store(0, std::memory_order_relaxed);
+    min_.store(kInf, std::memory_order_relaxed);
+    max_.store(-kInf, std::memory_order_relaxed);
 }
 
 void
@@ -106,16 +145,11 @@ Histogram::observe(double x)
     auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
     std::size_t b =
         static_cast<std::size_t>(it - bounds_.begin());
-    std::lock_guard<std::mutex> lock(mu_);
-    ++counts_[b];
-    sum_ += x;
-    if (count_ == 0) {
-        min_ = max_ = x;
-    } else {
-        min_ = std::min(min_, x);
-        max_ = std::max(max_, x);
-    }
-    ++count_;
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(x, std::memory_order_relaxed);
+    atomicMin(min_, x);
+    atomicMax(max_, x);
+    count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -124,33 +158,33 @@ Histogram::merge(const Histogram &other)
     TT_ASSERT(bounds_ == other.bounds_,
               "can only merge histograms with identical bounds");
     HistogramSnapshot theirs = other.snapshot();
-    std::lock_guard<std::mutex> lock(mu_);
-    for (std::size_t b = 0; b < counts_.size(); ++b)
-        counts_[b] += theirs.counts[b];
-    sum_ += theirs.sum;
+    for (std::size_t b = 0; b < theirs.counts.size(); ++b) {
+        counts_[b].fetch_add(theirs.counts[b],
+                             std::memory_order_relaxed);
+    }
+    sum_.fetch_add(theirs.sum, std::memory_order_relaxed);
     if (theirs.count > 0) {
-        if (count_ == 0) {
-            min_ = theirs.minimum;
-            max_ = theirs.maximum;
-        } else {
-            min_ = std::min(min_, theirs.minimum);
-            max_ = std::max(max_, theirs.maximum);
-        }
-        count_ += theirs.count;
+        atomicMin(min_, theirs.minimum);
+        atomicMax(max_, theirs.maximum);
+        count_.fetch_add(theirs.count, std::memory_order_relaxed);
     }
 }
 
 HistogramSnapshot
 Histogram::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
     HistogramSnapshot s;
     s.bounds = bounds_;
-    s.counts = counts_;
-    s.count = count_;
-    s.sum = sum_;
-    s.minimum = min_;
-    s.maximum = max_;
+    s.counts.resize(bounds_.size() + 1);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b)
+        s.counts[b] = counts_[b].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    double lo = min_.load(std::memory_order_relaxed);
+    double hi = max_.load(std::memory_order_relaxed);
+    // Map the empty-state sentinels back to the documented zeros.
+    s.minimum = lo == kInf ? 0.0 : lo;
+    s.maximum = hi == -kInf ? 0.0 : hi;
     return s;
 }
 

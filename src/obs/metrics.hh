@@ -11,9 +11,17 @@
  *
  * Concurrency model: metric handles returned by the registry are
  * stable for the registry's lifetime, so hot paths resolve a handle
- * once and then update it lock-free (counters/gauges are atomics)
- * or under a short per-histogram mutex. Registration itself takes
- * the registry mutex and is expected off the hot path.
+ * once and then update it lock-free. Counters are striped across
+ * cache-line-padded atomics (writers on different threads touch
+ * different lines; value() sums the stripes), gauges are single
+ * atomics, and histogram updates are per-bucket atomics — no mutex
+ * anywhere on the update path. Histogram snapshots are taken
+ * without stopping writers, so a snapshot racing updates may be
+ * momentarily inconsistent between count/sum/buckets (each field
+ * is individually atomic); totals are exact whenever reads are
+ * ordered after writes (e.g. after a thread join). Registration
+ * itself takes the registry mutex and is expected off the hot
+ * path.
  */
 
 #ifndef TOLTIERS_OBS_METRICS_HH
@@ -42,7 +50,15 @@ enum class MetricKind { Counter, Gauge, Histogram };
 /** Printable kind name ("counter" / "gauge" / "histogram"). */
 const char *metricKindName(MetricKind kind);
 
-/** Monotonically increasing value (events, accumulated seconds). */
+/**
+ * Monotonically increasing value (events, accumulated seconds).
+ *
+ * Internally striped: each writing thread lands on one of a few
+ * cache-line-padded atomic cells, so heavily shared hot counters
+ * (the tier service's tt_* tallies under a concurrent front door)
+ * do not serialize on a single contended line. value() sums the
+ * stripes; it is exact whenever it is ordered after the writes.
+ */
 class Counter
 {
   public:
@@ -50,17 +66,30 @@ class Counter
     void
     inc(double delta = 1.0)
     {
-        value_.fetch_add(delta, std::memory_order_relaxed);
+        stripes_[stripeIndex()].v.fetch_add(
+            delta, std::memory_order_relaxed);
     }
 
     double
     value() const
     {
-        return value_.load(std::memory_order_relaxed);
+        double total = 0.0;
+        for (const Stripe &s : stripes_)
+            total += s.v.load(std::memory_order_relaxed);
+        return total;
     }
 
   private:
-    std::atomic<double> value_{0.0};
+    struct alignas(64) Stripe
+    {
+        std::atomic<double> v{0.0};
+    };
+    static constexpr std::size_t kStripes = 8;
+
+    /** The calling thread's stripe (round-robin assigned once). */
+    static std::size_t stripeIndex();
+
+    Stripe stripes_[kStripes];
 };
 
 /** A value that can go up and down (utilization, queue depth). */
@@ -111,6 +140,8 @@ struct HistogramSnapshot
 /**
  * Fixed-bucket histogram. Bounds are ascending upper bucket edges;
  * an implicit +Inf bucket catches everything above the last bound.
+ * Updates are lock-free (per-bucket atomics, CAS'd extremes); see
+ * the file comment for snapshot consistency.
  */
 class Histogram
 {
@@ -141,12 +172,12 @@ class Histogram
 
   private:
     std::vector<double> bounds_;
-    std::vector<std::uint64_t> counts_; //!< bounds_.size() + 1.
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
-    mutable std::mutex mu_;
+    /** Per-bucket tallies, bounds_.size() + 1 entries. */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0}; //!< +Inf until first sample.
+    std::atomic<double> max_{0.0}; //!< -Inf until first sample.
 };
 
 /** Default latency bucket bounds in seconds (1ms .. 10s, log-ish). */

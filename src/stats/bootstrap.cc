@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "exec/parallel.hh"
+#include "exec/rng.hh"
 #include "stats/descriptive.hh"
 #include "stats/normal.hh"
 
@@ -30,6 +32,42 @@ bootstrap(const std::vector<double> &data,
             resample[i] = data[idx[i]];
         res.estimates.push_back(statistic(resample));
     }
+    res.mean = mean(res.estimates);
+    res.stdev = stdev(res.estimates);
+    double alpha = 1.0 - confidence;
+    res.ciLow = percentile(res.estimates, 100.0 * (alpha / 2.0));
+    res.ciHigh = percentile(res.estimates, 100.0 * (1.0 - alpha / 2.0));
+    res.worst = max(res.estimates);
+    return res;
+}
+
+BootstrapResult
+bootstrapParallel(const std::vector<double> &data,
+                  const std::function<double(
+                      const std::vector<double> &)> &statistic,
+                  std::size_t trials, double confidence,
+                  std::uint64_t seed)
+{
+    if (data.empty())
+        panic("bootstrap on an empty sample");
+    if (trials == 0)
+        panic("bootstrap requires at least one trial");
+
+    BootstrapResult res;
+    // Chunked so each task amortizes its resample buffer; per-trial
+    // streams keep the estimate series independent of scheduling.
+    res.estimates = exec::parallelMap<double>(
+        exec::globalPool(), trials,
+        [&](std::size_t t) {
+            common::Pcg32 rng = exec::taskRng(seed, t);
+            auto idx =
+                rng.sampleWithReplacement(data.size(), data.size());
+            std::vector<double> resample(data.size());
+            for (std::size_t i = 0; i < idx.size(); ++i)
+                resample[i] = data[idx[i]];
+            return statistic(resample);
+        },
+        /*grain=*/8);
     res.mean = mean(res.estimates);
     res.stdev = stdev(res.estimates);
     double alpha = 1.0 - confidence;

@@ -12,6 +12,7 @@
 #define TOLTIERS_STATS_BOOTSTRAP_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -40,6 +41,22 @@ bootstrap(const std::vector<double> &data,
           const std::function<double(const std::vector<double> &)>
               &statistic,
           std::size_t trials, double confidence, common::Pcg32 &rng);
+
+/**
+ * Fixed-trial bootstrap with the trials resampled in parallel on
+ * the shared pool. Unlike bootstrap(), which threads one RNG
+ * through the trials sequentially, every trial here draws from its
+ * own splitmix64-derived stream keyed by (seed, trial), and the
+ * estimates land in trial order — the result is a pure function of
+ * (data, statistic, trials, confidence, seed), bit-identical for
+ * any thread count. `statistic` must be safe to call concurrently.
+ */
+BootstrapResult
+bootstrapParallel(const std::vector<double> &data,
+                  const std::function<double(
+                      const std::vector<double> &)> &statistic,
+                  std::size_t trials, double confidence,
+                  std::uint64_t seed);
 
 /**
  * Adaptive confidence check from the paper's rule generator: a metric

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "exec/parallel.hh"
 
 namespace toltiers::stats {
 
@@ -28,6 +29,25 @@ struct Fold
  */
 std::vector<Fold> kfold(std::size_t n, std::size_t k,
                         common::Pcg32 &rng);
+
+/**
+ * Run fn(f, fold) for every fold of a k-fold split, folds in
+ * parallel on the shared pool, results in fold order. The split is
+ * drawn from `rng` before any fold runs, so the fold assignment —
+ * and therefore the result vector — is bit-identical for any
+ * thread count. fn must be safe to call concurrently (give each
+ * fold its own derived seed; see exec/rng.hh).
+ */
+template <typename T, typename Fn>
+std::vector<T>
+crossValidate(std::size_t n, std::size_t k, common::Pcg32 &rng,
+              Fn &&fn)
+{
+    auto folds = kfold(n, k, rng);
+    return exec::parallelMap<T>(
+        exec::globalPool(), folds.size(),
+        [&](std::size_t f) { return fn(f, folds[f]); });
+}
 
 } // namespace toltiers::stats
 

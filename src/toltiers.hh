@@ -19,6 +19,9 @@
 #include "common/strings.hh"
 #include "common/table.hh"
 
+// Execution core: work-stealing pool, parallel loops, RNG streams.
+#include "exec/exec.hh"
+
 // Statistics.
 #include "stats/bootstrap.hh"
 #include "stats/confusion.hh"
@@ -74,6 +77,7 @@
 // Tolerance Tiers core.
 #include "core/categories.hh"
 #include "core/chain.hh"
+#include "core/front_door.hh"
 #include "core/learned_router.hh"
 #include "core/measurement.hh"
 #include "core/policy.hh"

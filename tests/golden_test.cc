@@ -14,6 +14,12 @@
  * Regenerate the goldens after an intentional behavior change with
  *   TT_UPDATE_GOLDEN=1 ./golden_test
  * and commit the result.
+ *
+ * The determinism suite below the golden checks pins the parallel
+ * execution contract: rule generation and the full sweeps must be
+ * **byte-identical** at 1, 2, and 8 threads (exec/parallel.hh keys
+ * all randomness by task index, so scheduling cannot leak into the
+ * output). These comparisons are exact — no numeric tolerance.
  */
 
 #include <gtest/gtest.h>
@@ -26,6 +32,8 @@
 
 #include "common/random.hh"
 #include "core/measurement.hh"
+#include "core/rule_generator.hh"
+#include "exec/parallel.hh"
 #include "sweep.hh"
 
 namespace co = toltiers::core;
@@ -154,4 +162,87 @@ TEST(Golden, CostSweepCsvMatchesGolden)
         co::DegradationMode::AbsolutePoints, 0.10, 0.01);
     checkAgainstGolden(result, "fig6_cost.csv",
                        "golden_tmp_fig6.csv");
+}
+
+// ------------------------------------------------ determinism suite
+
+namespace {
+
+/** Full-precision dump of a rule table; any bit of drift differs. */
+std::string
+dumpRules(const std::vector<co::RoutingRule> &rules,
+          const co::MeasurementSet &trace)
+{
+    std::ostringstream out;
+    out.precision(17);
+    for (const auto &r : rules) {
+        out << r.tolerance << '|' << r.cfg.describe(trace) << '|'
+            << r.worstErrorDegradation << '|' << r.expectedLatency
+            << '|' << r.expectedCost << '|' << r.worstLatency << '|'
+            << r.worstCost << '\n';
+    }
+    return out.str();
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+TEST(Determinism, RuleTableIsByteIdenticalAcrossThreadCounts)
+{
+    auto trace = goldenTrace();
+    auto generate = [&] {
+        co::RuleGenConfig rg;
+        rg.referenceVersion = trace.versionCount() - 1;
+        rg.mode = co::DegradationMode::AbsolutePoints;
+        co::RoutingRuleGenerator gen(
+            trace, co::enumerateCandidates(trace.versionCount()),
+            rg);
+        return dumpRules(gen.generate(co::toleranceGrid(0.10, 0.01),
+                                      sv::Objective::ResponseTime),
+                         trace);
+    };
+
+    toltiers::exec::setGlobalThreadCount(1);
+    const std::string serial = generate();
+    ASSERT_FALSE(serial.empty());
+    for (std::size_t threads : {2u, 8u}) {
+        toltiers::exec::setGlobalThreadCount(threads);
+        EXPECT_EQ(generate(), serial)
+            << "rule table drifted at " << threads << " threads";
+    }
+    toltiers::exec::setGlobalThreadCount(
+        toltiers::exec::configuredThreadCount());
+}
+
+TEST(Determinism, SweepCsvIsByteIdenticalAcrossThreadCounts)
+{
+    auto trace = goldenTrace();
+    auto sweepBytes = [&](const std::string &tmp) {
+        auto result = bn::runToleranceSweep(
+            trace, sv::Objective::ResponseTime,
+            co::DegradationMode::AbsolutePoints, 0.10, 0.01);
+        bn::writeSweepCsv(result, tmp);
+        return readFileBytes(tmp);
+    };
+
+    toltiers::exec::setGlobalThreadCount(1);
+    const std::string serial = sweepBytes("det_sweep_t1.csv");
+    ASSERT_FALSE(serial.empty());
+    for (std::size_t threads : {2u, 8u}) {
+        toltiers::exec::setGlobalThreadCount(threads);
+        EXPECT_EQ(sweepBytes("det_sweep_t" +
+                             std::to_string(threads) + ".csv"),
+                  serial)
+            << "sweep CSV drifted at " << threads << " threads";
+    }
+    toltiers::exec::setGlobalThreadCount(
+        toltiers::exec::configuredThreadCount());
 }
