@@ -37,7 +37,7 @@ timestamp()
         1000;
     std::tm tm{};
     gmtime_r(&secs, &tm);
-    char buf[32];
+    char buf[48];
     std::snprintf(buf, sizeof(buf),
                   "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                   tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,

@@ -90,7 +90,7 @@ class TierFrontDoor
      * Admit one request. Returns its ticket, or kRejected when the
      * bounded queue is full (the request was not enqueued).
      */
-    Ticket submit(serving::ServiceRequest request);
+    [[nodiscard]] Ticket submit(serving::ServiceRequest request);
 
     /** True once the ticket's response is ready to collect. */
     bool ready(Ticket ticket) const;
@@ -100,7 +100,7 @@ class TierFrontDoor
      * while the request is still in flight. A collected ticket is
      * retired; collecting it again is a caller bug (panics).
      */
-    bool poll(Ticket ticket, TierResponse &out);
+    [[nodiscard]] bool poll(Ticket ticket, TierResponse &out);
 
     /** Block until the ticket's response is ready and collect it. */
     TierResponse wait(Ticket ticket);

@@ -126,7 +126,8 @@ HistogramSnapshot::quantile(double q) const
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
-      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1])
+      counts_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          bounds_.size() + 1))
 {
     TT_ASSERT(!bounds_.empty(), "histogram needs at least one bound");
     TT_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()) &&

@@ -35,8 +35,13 @@ enum class ParseStatus
 /** Printable status name ("ok" / "malformed-header" / ...). */
 const char *parseStatusName(ParseStatus status);
 
-/** Result of parsing one annotated request. */
-struct RequestParse
+/**
+ * Result of parsing one annotated request. [[nodiscard]] at the
+ * type level: dropping a parse status on the floor is exactly the
+ * bug class ttlint's nodiscard-status rule exists to stop, and
+ * this makes the compiler enforce it for by-value returns too.
+ */
+struct [[nodiscard]] RequestParse
 {
     ServiceRequest request;  //!< Valid only when ok().
     ParseStatus status = ParseStatus::Ok;
@@ -49,7 +54,8 @@ struct RequestParse
  * Parse an objective name into `out`; returns false (leaving `out`
  * untouched) on unknown names.
  */
-bool tryParseObjective(const std::string &name, Objective &out);
+[[nodiscard]] bool tryParseObjective(const std::string &name,
+                                     Objective &out);
 
 /**
  * Parse a header block into a tier annotation. Unknown headers are

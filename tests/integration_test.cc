@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 
 #include "asr/service.hh"
 #include "asr/versions.hh"
@@ -29,95 +30,95 @@ namespace tc = toltiers::common;
 
 namespace {
 
-/** Shared pipeline fixture: built once for the whole suite. */
-class AsrPipeline : public testing::Test
+/**
+ * Shared pipeline state, built once for the whole suite. Members
+ * are constructed in place (constructor body, not moved-in), so
+ * the cross-references the services hold — engine, corpus, and
+ * catalog instance — stay valid for the life of the program.
+ */
+struct Pipeline
 {
-  protected:
-    static void
-    SetUpTestSuite()
+    ta::AsrWorld world;
+    std::vector<ta::Utterance> corpus;
+    sv::InstanceCatalog catalog;
+    std::vector<std::unique_ptr<ta::AsrEngine>> engines;
+    std::vector<std::unique_ptr<ta::AsrServiceVersion>> services;
+    std::vector<const sv::ServiceVersion *> versions;
+    std::optional<co::MeasurementSet> trace;
+
+    Pipeline()
     {
-        world_ = new ta::AsrWorld();
         td::SpeechCorpusConfig cc;
         cc.utterances = 1200;
         cc.seed = 2026;
-        corpus_ = new std::vector<ta::Utterance>(
-            td::buildSpeechCorpus(*world_, cc));
+        corpus = td::buildSpeechCorpus(world, cc);
 
-        catalog_ = new sv::InstanceCatalog();
-        const auto &cpu = catalog_->get("cpu-small");
-        engines_ = new std::vector<std::unique_ptr<ta::AsrEngine>>();
-        services_ =
-            new std::vector<std::unique_ptr<ta::AsrServiceVersion>>();
-        auto *ptrs =
-            new std::vector<const sv::ServiceVersion *>();
+        const auto &cpu = catalog.get("cpu-small");
         for (const auto &cfg : ta::paretoVersions()) {
-            engines_->push_back(
-                std::make_unique<ta::AsrEngine>(*world_, cfg));
-            services_->push_back(
+            engines.push_back(
+                std::make_unique<ta::AsrEngine>(world, cfg));
+            services.push_back(
                 std::make_unique<ta::AsrServiceVersion>(
-                    *engines_->back(), *corpus_, cpu));
-            ptrs->push_back(services_->back().get());
+                    *engines.back(), corpus, cpu));
+            versions.push_back(services.back().get());
         }
-        versions_ = ptrs;
-        trace_ = new co::MeasurementSet(
-            co::MeasurementSet::collect(*versions_));
+        trace.emplace(co::MeasurementSet::collect(versions));
     }
-
-    static void
-    TearDownTestSuite()
-    {
-        delete trace_;
-        delete versions_;
-        delete services_;
-        delete engines_;
-        delete catalog_;
-        delete corpus_;
-        delete world_;
-    }
-
-    static ta::AsrWorld *world_;
-    static std::vector<ta::Utterance> *corpus_;
-    static sv::InstanceCatalog *catalog_;
-    static std::vector<std::unique_ptr<ta::AsrEngine>> *engines_;
-    static std::vector<std::unique_ptr<ta::AsrServiceVersion>>
-        *services_;
-    static std::vector<const sv::ServiceVersion *> *versions_;
-    static co::MeasurementSet *trace_;
 };
 
-ta::AsrWorld *AsrPipeline::world_ = nullptr;
-std::vector<ta::Utterance> *AsrPipeline::corpus_ = nullptr;
-sv::InstanceCatalog *AsrPipeline::catalog_ = nullptr;
-std::vector<std::unique_ptr<ta::AsrEngine>> *AsrPipeline::engines_ =
-    nullptr;
-std::vector<std::unique_ptr<ta::AsrServiceVersion>>
-    *AsrPipeline::services_ = nullptr;
-std::vector<const sv::ServiceVersion *> *AsrPipeline::versions_ =
-    nullptr;
-co::MeasurementSet *AsrPipeline::trace_ = nullptr;
+/**
+ * The suite fixture exposes the pipeline through a function-local
+ * static: initialization is lazy, thread-safe by the language, and
+ * there is no mutable class-scope static or naked allocation.
+ */
+class AsrPipeline : public testing::Test
+{
+  protected:
+    static const Pipeline &
+    pipe()
+    {
+        static const Pipeline p;
+        return p;
+    }
+    static const co::MeasurementSet &
+    trace()
+    {
+        return *pipe().trace;
+    }
+    static const std::vector<const sv::ServiceVersion *> &
+    versions()
+    {
+        return pipe().versions;
+    }
+    static const std::vector<ta::Utterance> &
+    corpus()
+    {
+        return pipe().corpus;
+    }
+};
 
 } // namespace
 
 TEST_F(AsrPipeline, TraceDimensionsMatchWorkload)
 {
-    EXPECT_EQ(trace_->versionCount(), 7u);
-    EXPECT_EQ(trace_->requestCount(), corpus_->size());
+    EXPECT_EQ(trace().versionCount(), 7u);
+    EXPECT_EQ(trace().requestCount(), corpus().size());
 }
 
 TEST_F(AsrPipeline, VersionLadderMonotone)
 {
-    for (std::size_t v = 1; v < trace_->versionCount(); ++v) {
-        EXPECT_LT(trace_->meanLatency(v - 1), trace_->meanLatency(v));
-        EXPECT_LT(trace_->meanCost(v - 1), trace_->meanCost(v));
+    for (std::size_t v = 1; v < trace().versionCount(); ++v) {
+        EXPECT_LT(trace().meanLatency(v - 1), trace().meanLatency(v));
+        EXPECT_LT(trace().meanCost(v - 1), trace().meanCost(v));
         // Accuracy improves (small jitter tolerated).
-        EXPECT_LT(trace_->meanError(v),
-                  trace_->meanError(v - 1) + 0.005);
+        EXPECT_LT(trace().meanError(v),
+                  trace().meanError(v - 1) + 0.005);
     }
 }
 
 TEST_F(AsrPipeline, MostRequestsAreVersionInsensitive)
 {
-    auto breakdown = co::categorize(*trace_);
+    auto breakdown = co::categorize(trace());
     EXPECT_GT(breakdown.fraction(co::Category::Unchanged), 0.5);
     EXPECT_GT(breakdown.fraction(co::Category::Improves), 0.08);
     EXPECT_LT(breakdown.fraction(co::Category::Degrades), 0.05);
@@ -130,17 +131,17 @@ TEST_F(AsrPipeline, TenFoldGuaranteeValidation)
     // (modulo the statistical nature of the guarantee; we allow a
     // small sampling slack on 120-utterance folds).
     tc::Pcg32 rng(77);
-    auto folds = ts::kfold(trace_->requestCount(), 10, rng);
-    std::size_t reference = trace_->versionCount() - 1;
+    auto folds = ts::kfold(trace().requestCount(), 10, rng);
+    std::size_t reference = trace().versionCount() - 1;
 
     // A reduced candidate set keeps the 10-fold loop fast.
     auto candidates = co::enumerateCandidates(
-        trace_->versionCount(), {0.5, 0.9});
+        trace().versionCount(), {0.5, 0.9});
 
     std::size_t violations = 0, checks = 0;
     for (std::size_t f = 0; f < 3; ++f) { // 3 folds suffice here
-        auto train = trace_->subset(folds[f].train);
-        auto test = trace_->subset(folds[f].test);
+        auto train = trace().subset(folds[f].train);
+        auto test = trace().subset(folds[f].test);
         co::RuleGenConfig rg;
         rg.referenceVersion = reference;
         rg.seed = f;
@@ -162,15 +163,15 @@ TEST_F(AsrPipeline, TenFoldGuaranteeValidation)
 
 TEST_F(AsrPipeline, TierServiceBeatsOsfaLatency)
 {
-    std::size_t reference = trace_->versionCount() - 1;
+    std::size_t reference = trace().versionCount() - 1;
     co::RuleGenConfig rg;
     rg.referenceVersion = reference;
     co::RoutingRuleGenerator gen(
-        *trace_,
-        co::enumerateCandidates(trace_->versionCount(), {0.5, 0.9}),
+        trace(),
+        co::enumerateCandidates(trace().versionCount(), {0.5, 0.9}),
         rg);
 
-    co::TierService svc(*versions_);
+    co::TierService svc(versions());
     svc.setRules(sv::Objective::ResponseTime,
                  gen.generate(co::toleranceGrid(0.10, 0.02),
                               sv::Objective::ResponseTime));
@@ -186,7 +187,7 @@ TEST_F(AsrPipeline, TierServiceBeatsOsfaLatency)
         auto resp = svc.handle(req);
         tier_latency += resp.latencySeconds;
         osfa_latency +=
-            (*versions_)[reference]->process(i).latencySeconds;
+            versions()[reference]->process(i).latencySeconds;
         EXPECT_FALSE(resp.output.empty() && !resp.escalated);
     }
     EXPECT_LT(tier_latency, osfa_latency);
@@ -194,13 +195,13 @@ TEST_F(AsrPipeline, TierServiceBeatsOsfaLatency)
 
 TEST_F(AsrPipeline, AnnotatedRequestRoundTrip)
 {
-    std::size_t reference = trace_->versionCount() - 1;
+    std::size_t reference = trace().versionCount() - 1;
     co::RuleGenConfig rg;
     rg.referenceVersion = reference;
     co::RoutingRuleGenerator gen(
-        *trace_,
-        co::enumerateCandidates(trace_->versionCount(), {0.9}), rg);
-    co::TierService svc(*versions_);
+        trace(),
+        co::enumerateCandidates(trace().versionCount(), {0.9}), rg);
+    co::TierService svc(versions());
     svc.setRules(sv::Objective::Cost,
                  gen.generate({0.05}, sv::Objective::Cost));
 
@@ -218,10 +219,10 @@ TEST_F(AsrPipeline, AnnotatedRequestRoundTrip)
 TEST_F(AsrPipeline, TraceCachingRoundTrip)
 {
     std::string path = testing::TempDir() + "tt_asr_trace.ttm";
-    trace_->save(path);
+    trace().save(path);
     auto loaded = co::MeasurementSet::load(path);
     ASSERT_TRUE(loaded.has_value());
-    EXPECT_EQ(loaded->requestCount(), trace_->requestCount());
-    EXPECT_DOUBLE_EQ(loaded->meanError(3), trace_->meanError(3));
+    EXPECT_EQ(loaded->requestCount(), trace().requestCount());
+    EXPECT_DOUBLE_EQ(loaded->meanError(3), trace().meanError(3));
     std::remove(path.c_str());
 }

@@ -1,0 +1,9 @@
+// Fixture: a detached thread must trip no-detached-thread.
+#include <thread>
+
+void
+fireAndForget()
+{
+    std::thread worker([] {});
+    worker.detach(); // no-detached-thread
+}

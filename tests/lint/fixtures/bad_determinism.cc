@@ -1,0 +1,15 @@
+// Fixture: every determinism rule must fire on this file.
+// (Never compiled; consumed by lint_test.cc and excluded from the
+// tree-wide ttlint gate.)
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+entropySoup()
+{
+    std::random_device rd; // no-random-device
+    srand(time(nullptr));  // no-crand + no-wallclock-seed
+    int x = rand();        // no-crand
+    return static_cast<int>(rd()) + x;
+}

@@ -1,0 +1,3 @@
+// Fixture: a header with no include guard at all.
+
+int unguardedHeader();

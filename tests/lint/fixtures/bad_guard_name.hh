@@ -1,0 +1,8 @@
+// Fixture: guard macro does not match the path convention.
+
+#ifndef SOME_OTHER_GUARD_HH
+#define SOME_OTHER_GUARD_HH
+
+int wrongGuard();
+
+#endif // SOME_OTHER_GUARD_HH

@@ -1,0 +1,5 @@
+// Fixture: #pragma once is off-convention for this project.
+
+#pragma once
+
+int pragmaOnceHeader();

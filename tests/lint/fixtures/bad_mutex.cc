@@ -1,0 +1,13 @@
+// Fixture: bare lock()/unlock() on a declared mutex must trip
+// no-naked-mutex (twice).
+#include <mutex>
+
+std::mutex fixtureMu_;
+
+void
+criticalSection()
+{
+    fixtureMu_.lock(); // no-naked-mutex
+    // ... anything throwing here leaks the lock ...
+    fixtureMu_.unlock(); // no-naked-mutex
+}

@@ -1,0 +1,9 @@
+// Fixture: a raw allocation must trip no-naked-new.
+int
+leakyBirthday()
+{
+    int *candles = new int(42); // no-naked-new
+    int n = *candles;
+    delete candles;
+    return n;
+}

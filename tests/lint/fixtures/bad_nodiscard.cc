@@ -1,0 +1,14 @@
+// Fixture: discarding a status-returning call must trip
+// nodiscard-status; consuming or (void)-casting it must not.
+#include "status_api.hh"
+
+void
+handleRequest()
+{
+    parseThing(1); // nodiscard-status: silently dropped
+
+    auto parsed = parseThing(2); // consumed: fine
+    (void)parsed;
+
+    (void)parseThing(3); // explicit visible discard: fine
+}

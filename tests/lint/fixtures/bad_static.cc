@@ -1,0 +1,14 @@
+// Fixture: mutable statics without atomics/const/annotation must
+// trip atomic-or-guarded-static; a GUARDED_BY naming a mutex that
+// exists nowhere must trip it too.
+#include <vector>
+
+static int hitCount_; // atomic-or-guarded-static
+
+class Cache
+{
+    static std::vector<int> entries_; // atomic-or-guarded-static
+};
+
+// GUARDED_BY(no_such_mu)
+static int orphanGuarded_; // annotation names an unknown mutex

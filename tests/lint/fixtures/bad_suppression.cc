@@ -1,0 +1,16 @@
+// Fixture: suppressions without a reason (or naming unknown
+// rules) are themselves findings, and suppress nothing.
+
+int
+unreasonedSuppressions()
+{
+    int *p = new int(1); // TTLINT(off:no-naked-new)
+    // ^ ttlint-suppression (no reason) AND no-naked-new survives
+
+    // TTLINT(off:not-a-real-rule): typo'd rule id
+    int *q = new int(2); // no-naked-new: invalid suppression above
+
+    delete p;
+    delete q;
+    return 0;
+}

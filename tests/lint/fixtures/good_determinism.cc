@@ -1,0 +1,23 @@
+// Fixture: deterministic randomness in the sanctioned style; no
+// rule may fire.
+#include <cstdint>
+
+struct TinyRng
+{
+    std::uint64_t state;
+    std::uint32_t
+    next()
+    {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<std::uint32_t>(state >> 32);
+    }
+};
+
+std::uint32_t
+drawWithExplicitSeed(std::uint64_t seed)
+{
+    TinyRng rng{seed};
+    // Identifiers that merely contain banned substrings are fine:
+    std::uint32_t randomish = rng.next();
+    return randomish;
+}

@@ -1,0 +1,8 @@
+// Fixture: a conforming path-derived include guard.
+
+#ifndef TOLTIERS_GOOD_GUARD_HH
+#define TOLTIERS_GOOD_GUARD_HH
+
+int properlyGuarded();
+
+#endif // TOLTIERS_GOOD_GUARD_HH

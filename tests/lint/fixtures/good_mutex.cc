@@ -1,0 +1,20 @@
+// Fixture: RAII locking discipline; no rule may fire. A
+// unique_lock may be re-locked through the wrapper — that is the
+// sanctioned escape hatch for wait loops.
+#include <mutex>
+
+std::mutex fixtureGoodMu_;
+
+void
+guardedSection()
+{
+    std::lock_guard<std::mutex> g(fixtureGoodMu_);
+}
+
+void
+relockThroughWrapper()
+{
+    std::unique_lock<std::mutex> lk(fixtureGoodMu_);
+    lk.unlock();
+    lk.lock();
+}

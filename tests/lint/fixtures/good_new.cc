@@ -1,0 +1,11 @@
+// Fixture: owned allocations; no rule may fire.
+#include <memory>
+
+std::unique_ptr<int>
+ownedFromBirth()
+{
+    auto a = std::make_unique<int>(1);
+    std::unique_ptr<int> b(new int(2)); // handed straight to owner
+    b.reset(new int(3));
+    return b;
+}

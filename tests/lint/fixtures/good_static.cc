@@ -1,0 +1,18 @@
+// Fixture: the accepted static shapes; no rule may fire.
+#include <atomic>
+#include <mutex>
+
+static std::atomic<int> hits_{0};
+static const char *const kName = "toltiers";
+static constexpr double kPi = 3.14159265358979;
+static std::mutex registryMu_;
+
+// GUARDED_BY(registryMu_)
+static int registrySize_;
+
+int
+bump()
+{
+    static int localCounter = 0; // function-local: out of scope
+    return ++localCounter;
+}

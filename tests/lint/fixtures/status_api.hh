@@ -1,0 +1,15 @@
+// Fixture: declares a status-returning function; the cross-file
+// index must pick it up so discards in sibling fixtures are
+// caught.
+
+#ifndef TOLTIERS_STATUS_API_HH
+#define TOLTIERS_STATUS_API_HH
+
+struct RequestParse
+{
+    bool ok = false;
+};
+
+RequestParse parseThing(int payload);
+
+#endif // TOLTIERS_STATUS_API_HH

@@ -1,0 +1,15 @@
+// Fixture: valid suppressions (with reasons) silence findings on
+// their own line and on the next line; nothing may fire here.
+#include <cstdlib>
+
+int
+sanctionedExceptions()
+{
+    // TTLINT(off:no-crand): fixture demonstrates comment-above form
+    int a = rand();
+
+    int *p = new int(7); // TTLINT(off:no-naked-new): freed two lines down, demonstrates trailing form
+    int b = *p;
+    delete p;
+    return a + b;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * ttlint fixture suite: every rule's positive (known-bad fixture
+ * must be flagged), negative (known-good fixture must stay
+ * silent), and suppression cases, driven through the engine
+ * in-process against the corpus in tests/lint/fixtures.
+ *
+ * TT_LINT_FIXTURE_DIR is injected by CMake and points at the
+ * fixture directory; scans here use it as the root so guard
+ * expectations are path-stable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ttlint/engine.hh"
+
+namespace {
+
+using ttlint::Finding;
+using ttlint::ScanResult;
+
+std::string
+fixtureDir()
+{
+    return TT_LINT_FIXTURE_DIR;
+}
+
+/** Scan the given fixture files; return rule -> hit count. */
+std::map<std::string, int>
+ruleHits(const std::vector<std::string> &files)
+{
+    ScanResult result = ttlint::scanPaths(fixtureDir(), files);
+    EXPECT_TRUE(result.errors.empty());
+    std::map<std::string, int> hits;
+    for (const Finding &f : result.findings)
+        ++hits[f.rule];
+    return hits;
+}
+
+TEST(TtlintFixtures, DeterminismBadFlagsAllThreeRules)
+{
+    auto hits = ruleHits({"bad_determinism.cc"});
+    EXPECT_EQ(hits["no-random-device"], 1);
+    EXPECT_EQ(hits["no-crand"], 2); // srand + rand
+    EXPECT_EQ(hits["no-wallclock-seed"], 1);
+    EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(TtlintFixtures, DeterminismGoodIsSilent)
+{
+    EXPECT_TRUE(ruleHits({"good_determinism.cc"}).empty());
+}
+
+TEST(TtlintFixtures, NakedMutexFlagged)
+{
+    auto hits = ruleHits({"bad_mutex.cc"});
+    EXPECT_EQ(hits["no-naked-mutex"], 2); // lock + unlock
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintFixtures, RaiiLockingIsSilent)
+{
+    EXPECT_TRUE(ruleHits({"good_mutex.cc"}).empty());
+}
+
+TEST(TtlintFixtures, DetachedThreadFlagged)
+{
+    auto hits = ruleHits({"bad_detach.cc"});
+    EXPECT_EQ(hits["no-detached-thread"], 1);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintFixtures, MutableStaticsFlagged)
+{
+    auto hits = ruleHits({"bad_static.cc"});
+    // namespace-scope int, class-scope vector, and a GUARDED_BY
+    // pointing at a mutex that exists nowhere.
+    EXPECT_EQ(hits["atomic-or-guarded-static"], 3);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintFixtures, AcceptedStaticShapesAreSilent)
+{
+    EXPECT_TRUE(ruleHits({"good_static.cc"}).empty());
+}
+
+TEST(TtlintFixtures, NakedNewFlagged)
+{
+    auto hits = ruleHits({"bad_new.cc"});
+    EXPECT_EQ(hits["no-naked-new"], 1);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintFixtures, OwnedAllocationsAreSilent)
+{
+    EXPECT_TRUE(ruleHits({"good_new.cc"}).empty());
+}
+
+TEST(TtlintFixtures, DiscardedStatusFlaggedAcrossFiles)
+{
+    // The declaration lives in status_api.hh; the discard in
+    // bad_nodiscard.cc — the cross-file index must connect them.
+    auto hits = ruleHits({"status_api.hh", "bad_nodiscard.cc"});
+    EXPECT_EQ(hits["nodiscard-status"], 1);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintFixtures, GuardViolationsFlagged)
+{
+    EXPECT_EQ(ruleHits({"bad_guard_name.hh"})["include-guard"], 1);
+    EXPECT_EQ(ruleHits({"bad_guard_pragma.hh"})["include-guard"],
+              1);
+    EXPECT_EQ(ruleHits({"bad_guard_missing.hh"})["include-guard"],
+              1);
+}
+
+TEST(TtlintFixtures, ConformingGuardIsSilent)
+{
+    EXPECT_TRUE(ruleHits({"good_guard.hh"}).empty());
+}
+
+TEST(TtlintFixtures, ValidSuppressionsSilenceFindings)
+{
+    EXPECT_TRUE(ruleHits({"suppressed.cc"}).empty());
+}
+
+TEST(TtlintFixtures, UnreasonedSuppressionsAreFindings)
+{
+    auto hits = ruleHits({"bad_suppression.cc"});
+    // One reasonless suppression, one unknown-rule suppression...
+    EXPECT_EQ(hits["ttlint-suppression"], 2);
+    // ...and neither suppresses its naked new.
+    EXPECT_EQ(hits["no-naked-new"], 2);
+    EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(TtlintFixtures, WholeCorpusHasKnownBadPerRule)
+{
+    // Acceptance guard: at least one known-bad fixture fires for
+    // every rule in the catalog.
+    auto hits = ruleHits({"."});
+    for (const ttlint::RuleInfo &rule : ttlint::ruleCatalog())
+        EXPECT_GE(hits[rule.name], 1)
+            << "no known-bad fixture covers rule " << rule.name;
+}
+
+TEST(TtlintFixtures, FindingsAreDeterministicallyOrdered)
+{
+    ScanResult a = ttlint::scanPaths(fixtureDir(), {"."});
+    ScanResult b = ttlint::scanPaths(fixtureDir(), {"."});
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (std::size_t i = 0; i < a.findings.size(); ++i) {
+        EXPECT_EQ(a.findings[i].path, b.findings[i].path);
+        EXPECT_EQ(a.findings[i].line, b.findings[i].line);
+        EXPECT_EQ(a.findings[i].rule, b.findings[i].rule);
+    }
+    // Sorted by path, then line.
+    for (std::size_t i = 1; i < a.findings.size(); ++i) {
+        const Finding &p = a.findings[i - 1];
+        const Finding &q = a.findings[i];
+        EXPECT_LE(p.path, q.path);
+        if (p.path == q.path) {
+            EXPECT_LE(p.line, q.line);
+        }
+    }
+}
+
+TEST(TtlintFixtures, LintBuffersMatchesDiskScan)
+{
+    // The in-memory entry point applies the same rules.
+    ScanResult r = ttlint::lintBuffers(
+        {{"mem.cc", "static int naked_;\n"},
+         {"mem.hh", "#pragma once\nint f();\n"}});
+    std::map<std::string, int> hits;
+    for (const Finding &f : r.findings)
+        ++hits[f.rule];
+    EXPECT_EQ(hits["atomic-or-guarded-static"], 1);
+    EXPECT_EQ(hits["include-guard"], 1);
+}
+
+} // namespace

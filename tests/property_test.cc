@@ -487,7 +487,7 @@ class TensorProperty : public testing::TestWithParam<int>
 TEST_P(TensorProperty, MatmulAssociativity)
 {
     tc::Pcg32 rng(GetParam() + 9500);
-    auto rand = [&](std::size_t r, std::size_t c) {
+    auto randMat = [&](std::size_t r, std::size_t c) {
         tt::Tensor t({r, c});
         t.randomNormal(rng, 1.0f);
         return t;
@@ -496,7 +496,8 @@ TEST_P(TensorProperty, MatmulAssociativity)
     std::size_t b = 2 + rng.nextBounded(5);
     std::size_t c = 2 + rng.nextBounded(5);
     std::size_t d = 2 + rng.nextBounded(5);
-    tt::Tensor A = rand(a, b), B = rand(b, c), C = rand(c, d);
+    tt::Tensor A = randMat(a, b), B = randMat(b, c),
+               C = randMat(c, d);
     tt::Tensor left = tt::matmul(tt::matmul(A, B), C);
     tt::Tensor right = tt::matmul(A, tt::matmul(B, C));
     ASSERT_TRUE(left.sameShape(right));

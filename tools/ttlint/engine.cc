@@ -1,0 +1,148 @@
+#include "ttlint/engine.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ttlint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".h" || ext == ".hpp" || ext == ".cxx";
+}
+
+bool
+isSkippedDir(const std::string &name)
+{
+    return name == ".git" || name == "CMakeFiles" ||
+           name == "toltiers_cache" ||
+           name.rfind("build", 0) == 0;
+}
+
+bool
+isFixturePath(const std::string &relPath)
+{
+    return relPath.find("lint/fixtures") != std::string::npos;
+}
+
+std::string
+relativeTo(const fs::path &root, const fs::path &p)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(p, root, ec);
+    std::string s = (ec ? p : rel).generic_string();
+    // Normalize away a leading "./".
+    if (s.rfind("./", 0) == 0)
+        s = s.substr(2);
+    return s;
+}
+
+ScanResult
+lintUnits(std::vector<FileUnit> units)
+{
+    std::sort(units.begin(), units.end(),
+              [](const FileUnit &a, const FileUnit &b) {
+                  return a.relPath < b.relPath;
+              });
+    ProjectIndex index = buildIndex(units);
+    ScanResult result;
+    result.filesScanned = static_cast<int>(units.size());
+    for (const FileUnit &u : units) {
+        std::vector<Finding> fs = lintFile(u, index);
+        result.findings.insert(result.findings.end(),
+                               std::make_move_iterator(fs.begin()),
+                               std::make_move_iterator(fs.end()));
+    }
+    return result;
+}
+
+} // namespace
+
+ScanResult
+lintBuffers(const std::vector<std::pair<std::string, std::string>>
+                &buffers)
+{
+    std::vector<FileUnit> units;
+    units.reserve(buffers.size());
+    for (const auto &[relPath, text] : buffers)
+        units.push_back(FileUnit{relPath, tokenize(text)});
+    return lintUnits(std::move(units));
+}
+
+ScanResult
+scanPaths(const std::string &root,
+          const std::vector<std::string> &paths)
+{
+    const fs::path rootPath(root);
+    std::vector<fs::path> files;
+    std::vector<std::string> errors;
+
+    auto addFile = [&](const fs::path &p) {
+        if (isSourceFile(p))
+            files.push_back(p);
+    };
+
+    for (const std::string &raw : paths) {
+        fs::path p(raw);
+        if (p.is_relative())
+            p = rootPath / p;
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            fs::recursive_directory_iterator it(
+                p, fs::directory_options::skip_permission_denied,
+                ec);
+            if (ec) {
+                errors.push_back(raw + ": " + ec.message());
+                continue;
+            }
+            for (auto end = fs::end(it); it != end;
+                 it.increment(ec)) {
+                if (ec)
+                    break;
+                const fs::directory_entry &e = *it;
+                if (e.is_directory() &&
+                    isSkippedDir(e.path().filename().string())) {
+                    it.disable_recursion_pending();
+                    continue;
+                }
+                if (e.is_regular_file())
+                    addFile(e.path());
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            addFile(p);
+        } else {
+            errors.push_back(raw + ": no such file or directory");
+        }
+    }
+
+    std::vector<FileUnit> units;
+    units.reserve(files.size());
+    for (const fs::path &f : files) {
+        std::string rel = relativeTo(rootPath, f);
+        if (isFixturePath(rel))
+            continue;
+        std::ifstream in(f, std::ios::binary);
+        if (!in) {
+            errors.push_back(rel + ": unreadable");
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        units.push_back(FileUnit{std::move(rel),
+                                 tokenize(buf.str())});
+    }
+
+    ScanResult result = lintUnits(std::move(units));
+    result.errors = std::move(errors);
+    return result;
+}
+
+} // namespace ttlint

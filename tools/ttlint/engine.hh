@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ttlint engine: file discovery, two-pass analysis, reporting.
+ *
+ * Pass 1 lexes every file and builds the cross-file ProjectIndex
+ * (status-returning functions, declared mutex names); pass 2 runs
+ * the rules per file. File order, token order, and finding order
+ * are all fully deterministic — the linter obeys the same contract
+ * it enforces.
+ */
+
+#ifndef TOLTIERS_TOOLS_TTLINT_ENGINE_HH
+#define TOLTIERS_TOOLS_TTLINT_ENGINE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ttlint/rules.hh"
+
+namespace ttlint {
+
+struct ScanResult
+{
+    std::vector<Finding> findings;
+    int filesScanned = 0;
+    std::vector<std::string> errors; ///< unreadable paths etc.
+};
+
+/**
+ * Lint in-memory buffers (relPath, source) — the fixture-test
+ * entry point. Buffers participate in one shared ProjectIndex,
+ * exactly like files on disk.
+ */
+ScanResult
+lintBuffers(const std::vector<std::pair<std::string, std::string>>
+                &buffers);
+
+/**
+ * Walk `paths` (files or directories, relative to `root`), lint
+ * every C++ source found, and return the findings with paths
+ * relative to `root`.
+ *
+ * Skipped while walking: directories named `.git`, `CMakeFiles`,
+ * or starting with `build`, the `toltiers_cache` tree, and the
+ * lint fixture corpus (`lint/fixtures`), which exists to be
+ * deliberately in violation.
+ */
+ScanResult scanPaths(const std::string &root,
+                     const std::vector<std::string> &paths);
+
+} // namespace ttlint
+
+#endif // TOLTIERS_TOOLS_TTLINT_ENGINE_HH

@@ -1,0 +1,261 @@
+#include "ttlint/lexer.hh"
+
+#include <cctype>
+
+namespace ttlint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Cursor over the source buffer with line/column bookkeeping. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::string_view src) : src_(src) {}
+
+    bool
+    done() const
+    {
+        return pos_ >= src_.size();
+    }
+    char
+    peek(std::size_t ahead = 0) const
+    {
+        std::size_t p = pos_ + ahead;
+        return p < src_.size() ? src_[p] : '\0';
+    }
+    char
+    advance()
+    {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+    int
+    line() const
+    {
+        return line_;
+    }
+    int
+    col() const
+    {
+        return col_;
+    }
+    std::size_t
+    pos() const
+    {
+        return pos_;
+    }
+    std::string_view
+    slice(std::size_t from) const
+    {
+        return src_.substr(from, pos_ - from);
+    }
+
+  private:
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(std::string_view source)
+{
+    std::vector<Token> out;
+    Cursor cur(source);
+
+    auto emit = [&](TokenKind kind, std::size_t from, int line,
+                    int col) {
+        out.push_back(
+            Token{kind, std::string(cur.slice(from)), line, col});
+    };
+
+    bool atLineStart = true;
+    while (!cur.done()) {
+        char c = cur.peek();
+
+        // Whitespace.
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+            c == '\f' || c == '\v') {
+            if (c == '\n')
+                atLineStart = true;
+            cur.advance();
+            continue;
+        }
+
+        std::size_t from = cur.pos();
+        int line = cur.line();
+        int col = cur.col();
+
+        // Preprocessor directive: consume the logical line,
+        // honouring backslash continuations.
+        if (c == '#' && atLineStart) {
+            while (!cur.done()) {
+                char d = cur.peek();
+                if (d == '\\' && cur.peek(1) == '\n') {
+                    cur.advance();
+                    cur.advance();
+                    continue;
+                }
+                if (d == '\\' && cur.peek(1) == '\r' &&
+                    cur.peek(2) == '\n') {
+                    cur.advance();
+                    cur.advance();
+                    cur.advance();
+                    continue;
+                }
+                if (d == '\n')
+                    break;
+                // A // comment ends the directive text.
+                if (d == '/' && cur.peek(1) == '/')
+                    break;
+                cur.advance();
+            }
+            emit(TokenKind::Preprocessor, from, line, col);
+            continue;
+        }
+        atLineStart = false;
+
+        // Comments.
+        if (c == '/' && cur.peek(1) == '/') {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            emit(TokenKind::LineComment, from, line, col);
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.advance();
+            cur.advance();
+            while (!cur.done()) {
+                if (cur.peek() == '*' && cur.peek(1) == '/') {
+                    cur.advance();
+                    cur.advance();
+                    break;
+                }
+                cur.advance();
+            }
+            emit(TokenKind::BlockComment, from, line, col);
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && cur.peek(1) == '"') {
+            cur.advance(); // R
+            cur.advance(); // "
+            std::string delim;
+            while (!cur.done() && cur.peek() != '(' &&
+                   delim.size() < 16)
+                delim.push_back(cur.advance());
+            if (!cur.done())
+                cur.advance(); // (
+            std::string close = ")" + delim + "\"";
+            std::string seen;
+            while (!cur.done()) {
+                seen.push_back(cur.advance());
+                if (seen.size() >= close.size() &&
+                    seen.compare(seen.size() - close.size(),
+                                 close.size(), close) == 0)
+                    break;
+            }
+            emit(TokenKind::String, from, line, col);
+            continue;
+        }
+
+        // String / char literals (with escape handling).
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            cur.advance();
+            while (!cur.done()) {
+                char d = cur.peek();
+                if (d == '\\') {
+                    cur.advance();
+                    if (!cur.done())
+                        cur.advance();
+                    continue;
+                }
+                if (d == quote) {
+                    cur.advance();
+                    break;
+                }
+                if (d == '\n')
+                    break; // unterminated; stop at line end
+                cur.advance();
+            }
+            emit(quote == '"' ? TokenKind::String
+                              : TokenKind::CharLit,
+                 from, line, col);
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if (isIdentStart(c)) {
+            while (!cur.done() && isIdentChar(cur.peek()))
+                cur.advance();
+            emit(TokenKind::Identifier, from, line, col);
+            continue;
+        }
+
+        // Numbers (loose: digits, then any ident chars, dots, and
+        // exponent signs — precision is irrelevant to the rules).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+            while (!cur.done()) {
+                char d = cur.peek();
+                if (isIdentChar(d) || d == '.') {
+                    cur.advance();
+                    continue;
+                }
+                if ((d == '+' || d == '-') && !cur.done()) {
+                    char prev = cur.slice(from).back();
+                    if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                        prev == 'P') {
+                        cur.advance();
+                        continue;
+                    }
+                }
+                break;
+            }
+            emit(TokenKind::Number, from, line, col);
+            continue;
+        }
+
+        // Punctuation: fuse `::` and `->`, else single characters.
+        if (c == ':' && cur.peek(1) == ':') {
+            cur.advance();
+            cur.advance();
+            emit(TokenKind::Punct, from, line, col);
+            continue;
+        }
+        if (c == '-' && cur.peek(1) == '>') {
+            cur.advance();
+            cur.advance();
+            emit(TokenKind::Punct, from, line, col);
+            continue;
+        }
+        cur.advance();
+        emit(TokenKind::Punct, from, line, col);
+    }
+    return out;
+}
+
+} // namespace ttlint

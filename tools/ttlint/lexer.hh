@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A minimal C++ tokenizer for ttlint.
+ *
+ * ttlint deliberately avoids a real compiler frontend: the project
+ * invariants it enforces (see rules.hh) are lexical by design, so a
+ * small hand-rolled tokenizer keeps the checker dependency-free,
+ * fast, and fully deterministic. The lexer preserves comments and
+ * preprocessor directives as tokens because suppressions
+ * (`// TTLINT(off:<rule>): reason`), `GUARDED_BY(<mutex>)`
+ * annotations, and include guards all live there.
+ */
+
+#ifndef TOLTIERS_TOOLS_TTLINT_LEXER_HH
+#define TOLTIERS_TOOLS_TTLINT_LEXER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ttlint {
+
+enum class TokenKind
+{
+    Identifier,   ///< identifiers and keywords alike
+    Number,       ///< numeric literal (ints, floats, hex, ...)
+    String,       ///< "..." including raw string literals
+    CharLit,      ///< '...'
+    Punct,        ///< operators and punctuation; `::` and `->` fused
+    LineComment,  ///< `// ...` (text includes the slashes)
+    BlockComment, ///< `/* ... */`
+    Preprocessor, ///< a whole `#...` logical line (continuations kept)
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    int line = 0; ///< 1-based line of the first character
+    int col = 0;  ///< 1-based column of the first character
+
+    bool
+    is(std::string_view s) const
+    {
+        return text == s;
+    }
+    bool
+    isIdent(std::string_view s) const
+    {
+        return kind == TokenKind::Identifier && text == s;
+    }
+    bool
+    isCode() const
+    {
+        return kind != TokenKind::LineComment &&
+               kind != TokenKind::BlockComment &&
+               kind != TokenKind::Preprocessor;
+    }
+};
+
+/**
+ * Tokenize a C++ source buffer. Never fails: malformed input
+ * degrades to single-character punctuation tokens, which is
+ * acceptable for a linter (the compiler will reject the file
+ * anyway).
+ */
+std::vector<Token> tokenize(std::string_view source);
+
+} // namespace ttlint
+
+#endif // TOLTIERS_TOOLS_TTLINT_LEXER_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * ttlint command-line driver.
+ *
+ * Usage:
+ *   ttlint [--root <dir>] [--list-rules] <path>...
+ *
+ * Paths are files or directories, resolved against --root
+ * (default: current directory). Exit status: 0 — clean; 1 —
+ * findings; 2 — usage or I/O error. Findings print as
+ * `path:line:col: [rule] message`, sorted, to stdout.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ttlint/engine.hh"
+
+namespace {
+
+void
+printUsage()
+{
+    std::fputs(
+        "usage: ttlint [--root <dir>] [--list-rules] <path>...\n"
+        "  Scans C++ sources for tolerance-tiers project\n"
+        "  invariants. Suppress a finding with\n"
+        "  // TTLINT(off:<rule>): <reason>\n",
+        stderr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::vector<std::string> paths;
+    bool listRules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                printUsage();
+                return 2;
+            }
+            root = argv[++i];
+        } else if (arg == "--list-rules") {
+            listRules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "ttlint: unknown flag '%s'\n",
+                         arg.c_str());
+            printUsage();
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (listRules) {
+        for (const ttlint::RuleInfo &r : ttlint::ruleCatalog())
+            std::printf("%-26s %s\n", r.name, r.invariant);
+        return 0;
+    }
+    if (paths.empty()) {
+        printUsage();
+        return 2;
+    }
+
+    ttlint::ScanResult result = ttlint::scanPaths(root, paths);
+    for (const std::string &err : result.errors)
+        std::fprintf(stderr, "ttlint: error: %s\n", err.c_str());
+    for (const ttlint::Finding &f : result.findings)
+        std::printf("%s:%d:%d: [%s] %s\n", f.path.c_str(), f.line,
+                    f.col, f.rule.c_str(), f.message.c_str());
+    std::fprintf(stderr, "ttlint: %zu finding(s) in %d file(s)\n",
+                 result.findings.size(), result.filesScanned);
+    if (!result.errors.empty())
+        return 2;
+    return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,828 @@
+#include "ttlint/rules.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+
+namespace ttlint {
+
+namespace {
+
+// ---------------------------------------------------------------
+// Rule tables.
+
+const std::array<const char *, 7> kCrandFunctions = {
+    "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48",
+    "erand48"};
+
+const std::array<const char *, 4> kWallclockFunctions = {
+    "time", "gettimeofday", "clock", "timespec_get"};
+
+const std::array<const char *, 5> kMutexTypes = {
+    "mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
+    "recursive_timed_mutex"};
+
+const std::array<const char *, 4> kLockWrapperTypes = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+
+const std::array<const char *, 4> kLockMethods = {
+    "lock", "unlock", "try_lock", "try_lock_for"};
+
+// Identifiers that make a static declaration acceptable without a
+// GUARDED_BY annotation: immutability, atomics, or the declaration
+// being itself a synchronization primitive.
+const std::array<const char *, 10> kSafeStaticMarkers = {
+    "const",        "constexpr",   "constinit",
+    "atomic",       "atomic_flag", "mutex",
+    "shared_mutex", "once_flag",   "condition_variable",
+    "thread_local"};
+
+// Smart-pointer context that legitimizes a `new` expression within
+// the same statement.
+const std::array<const char *, 5> kSmartPtrMarkers = {
+    "unique_ptr", "shared_ptr", "make_unique", "make_shared",
+    "reset"};
+
+// Status-like return types whose results must not be discarded.
+const std::array<const char *, 2> kStatusTypes = {"RequestParse",
+                                                  "ServeStatus"};
+
+// The one place allowed to touch entropy sources: the seed entry
+// point that everything else derives its Pcg32 streams from.
+const std::array<const char *, 2> kSanctionedSeedFiles = {
+    "src/common/random.cc", "src/common/random.hh"};
+
+template <std::size_t N>
+bool
+contains(const std::array<const char *, N> &arr,
+         const std::string &s)
+{
+    return std::find(arr.begin(), arr.end(), s) != arr.end();
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    auto ends = [&](const char *suf) {
+        std::string s(suf);
+        return path.size() >= s.size() &&
+               path.compare(path.size() - s.size(), s.size(), s) ==
+                   0;
+    };
+    return ends(".hh") || ends(".h") || ends(".hpp");
+}
+
+// ---------------------------------------------------------------
+// Token-stream view: code tokens only, with safe prev/next access.
+
+class CodeView
+{
+  public:
+    explicit CodeView(const std::vector<Token> &tokens)
+    {
+        for (const Token &t : tokens)
+            if (t.isCode())
+                code_.push_back(&t);
+    }
+
+    std::size_t
+    size() const
+    {
+        return code_.size();
+    }
+    const Token &
+    at(std::size_t i) const
+    {
+        return *code_[i];
+    }
+    /** Token at i, or a sentinel empty punct if out of range. */
+    const Token &
+    get(std::size_t i) const
+    {
+        static const Token kNone{TokenKind::Punct, "", 0, 0};
+        return i < code_.size() ? *code_[i] : kNone;
+    }
+    const Token &
+    prev(std::size_t i) const
+    {
+        return i == 0 ? get(size()) : get(i - 1);
+    }
+
+    /** Index of the `)` matching an opening paren at `open`. */
+    std::size_t
+    matchParen(std::size_t open) const
+    {
+        int depth = 0;
+        for (std::size_t i = open; i < code_.size(); ++i) {
+            if (code_[i]->is("("))
+                ++depth;
+            else if (code_[i]->is(")")) {
+                if (--depth == 0)
+                    return i;
+            }
+        }
+        return code_.size();
+    }
+
+  private:
+    std::vector<const Token *> code_;
+};
+
+void
+add(std::vector<Finding> &out, const std::string &rule,
+    const FileUnit &unit, const Token &at, std::string message)
+{
+    out.push_back(Finding{rule, unit.relPath, at.line, at.col,
+                          std::move(message)});
+}
+
+// ---------------------------------------------------------------
+// Suppressions: `// TTLINT(off:<rule>[,<rule>...]): <reason>`.
+// A valid suppression covers its own line and the next one.
+
+struct Suppressions
+{
+    std::map<int, std::set<std::string>> byLine;
+
+    bool
+    covers(const std::string &rule, int line) const
+    {
+        auto it = byLine.find(line);
+        return it != byLine.end() && it->second.count(rule) > 0;
+    }
+};
+
+Suppressions
+collectSuppressions(const FileUnit &unit,
+                    std::vector<Finding> &findings)
+{
+    Suppressions sup;
+    for (const Token &t : unit.tokens) {
+        if (t.kind != TokenKind::LineComment &&
+            t.kind != TokenKind::BlockComment)
+            continue;
+        std::size_t pos = t.text.find("TTLINT(");
+        if (pos == std::string::npos)
+            continue;
+        std::size_t open = pos + 6; // index of '('
+        std::size_t close = t.text.find(')', open);
+        std::string inner =
+            close == std::string::npos
+                ? ""
+                : t.text.substr(open + 1, close - open - 1);
+        // Documentation that *mentions* the syntax (e.g.
+        // "TTLINT(off:<rule>)") is not a suppression.
+        if (inner.find('<') != std::string::npos)
+            continue;
+        if (inner.rfind("off:", 0) != 0) {
+            add(findings, "ttlint-suppression", unit, t,
+                "malformed suppression; expected "
+                "TTLINT(off:<rule>): <reason>");
+            continue;
+        }
+        // Reason: everything after "): ", trimmed.
+        std::string reason;
+        if (close != std::string::npos) {
+            reason = t.text.substr(close + 1);
+            // Strip a leading colon and surrounding whitespace,
+            // plus a block comment's trailing `*/`.
+            if (!reason.empty() && reason[0] == ':')
+                reason.erase(0, 1);
+            if (t.kind == TokenKind::BlockComment &&
+                reason.size() >= 2 &&
+                reason.compare(reason.size() - 2, 2, "*/") == 0)
+                reason.erase(reason.size() - 2);
+            while (!reason.empty() &&
+                   std::isspace(static_cast<unsigned char>(
+                       reason.front())))
+                reason.erase(reason.begin());
+            while (!reason.empty() &&
+                   std::isspace(static_cast<unsigned char>(
+                       reason.back())))
+                reason.pop_back();
+        }
+        if (reason.empty()) {
+            add(findings, "ttlint-suppression", unit, t,
+                "suppression requires a reason: "
+                "TTLINT(off:<rule>): <why this is safe>");
+            continue; // an unreasoned suppression suppresses nothing
+        }
+        // Parse the comma-separated rule list.
+        bool allKnown = true;
+        std::vector<std::string> rules;
+        std::string cur;
+        std::string list = inner.substr(4);
+        for (char c : list + ",") {
+            if (c == ',') {
+                // trim
+                while (!cur.empty() && cur.front() == ' ')
+                    cur.erase(cur.begin());
+                while (!cur.empty() && cur.back() == ' ')
+                    cur.pop_back();
+                if (!cur.empty()) {
+                    if (!isKnownRule(cur)) {
+                        add(findings, "ttlint-suppression", unit, t,
+                            "suppression names unknown rule '" +
+                                cur + "'");
+                        allKnown = false;
+                    }
+                    rules.push_back(cur);
+                }
+                cur.clear();
+            } else {
+                cur.push_back(c);
+            }
+        }
+        if (!allKnown || rules.empty())
+            continue;
+        for (const std::string &r : rules) {
+            sup.byLine[t.line].insert(r);
+            sup.byLine[t.line + 1].insert(r);
+        }
+    }
+    return sup;
+}
+
+// ---------------------------------------------------------------
+// Determinism rules.
+
+void
+checkDeterminism(const FileUnit &unit, const CodeView &code,
+                 std::vector<Finding> &out)
+{
+    bool sanctioned = false;
+    for (const char *f : kSanctionedSeedFiles)
+        if (unit.relPath == f)
+            sanctioned = true;
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code.at(i);
+        if (t.kind != TokenKind::Identifier)
+            continue;
+
+        if (t.text == "random_device" && !sanctioned) {
+            add(out, "no-random-device", unit, t,
+                "std::random_device is nondeterministic; derive "
+                "seeds from the sanctioned entry point "
+                "(common/random.hh) or exec::taskRng");
+            continue;
+        }
+
+        // The remaining determinism rules fire on call sites:
+        // `name(` not preceded by a member accessor or by a
+        // declaration-ish token (another identifier, `>`/`*`/`&`).
+        if (!code.get(i + 1).is("("))
+            continue;
+        const Token &p = code.prev(i);
+        if (p.is(".") || p.is("->"))
+            continue;
+        if (p.kind == TokenKind::Identifier || p.is(">") ||
+            p.is("*") || p.is("&") || p.is("~"))
+            continue; // declaration or qualified user type
+
+        if (contains(kCrandFunctions, t.text)) {
+            add(out, "no-crand", unit, t,
+                "C PRNG '" + t.text +
+                    "' is global-state and platform-dependent; "
+                    "use a seeded Pcg32 / exec::taskRng stream");
+        } else if (contains(kWallclockFunctions, t.text)) {
+            add(out, "no-wallclock-seed", unit, t,
+                "wallclock source '" + t.text +
+                    "()' breaks bit-for-bit reproducibility; "
+                    "seeds must be explicit");
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Concurrency rules.
+
+void
+collectMutexNames(const FileUnit &unit, std::set<std::string> &out)
+{
+    CodeView code(unit.tokens);
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+        const Token &t = code.at(i);
+        if (t.kind != TokenKind::Identifier ||
+            !contains(kMutexTypes, t.text))
+            continue;
+        const Token &name = code.get(i + 1);
+        if (name.kind != TokenKind::Identifier)
+            continue;
+        const Token &after = code.get(i + 2);
+        if (after.is(";") || after.is(",") || after.is("{") ||
+            after.is("="))
+            out.insert(name.text);
+    }
+}
+
+/** Names declared in this file as RAII lock wrappers. */
+std::set<std::string>
+collectLockWrapperNames(const CodeView &code)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code.at(i);
+        if (t.kind != TokenKind::Identifier ||
+            !contains(kLockWrapperTypes, t.text))
+            continue;
+        // Skip an optional template argument list to the declared
+        // variable name: unique_lock<std::mutex> name(...)
+        std::size_t j = i + 1;
+        if (code.get(j).is("<")) {
+            int depth = 0;
+            for (; j < code.size(); ++j) {
+                if (code.at(j).is("<"))
+                    ++depth;
+                else if (code.at(j).is(">") && --depth == 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        if (code.get(j).kind == TokenKind::Identifier)
+            names.insert(code.get(j).text);
+    }
+    return names;
+}
+
+void
+checkConcurrency(const FileUnit &unit, const CodeView &code,
+                 const ProjectIndex &index,
+                 std::vector<Finding> &out)
+{
+    std::set<std::string> wrappers = collectLockWrapperNames(code);
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code.at(i);
+        if (t.kind != TokenKind::Identifier)
+            continue;
+
+        // <receiver> . lock|unlock|try_lock (
+        if ((code.get(i + 1).is(".") || code.get(i + 1).is("->")) &&
+            contains(kLockMethods, code.get(i + 2).text) &&
+            code.get(i + 3).is("(")) {
+            if (index.mutexNames.count(t.text) > 0 &&
+                wrappers.count(t.text) == 0) {
+                add(out, "no-naked-mutex", unit, code.get(i + 2),
+                    "bare ." + code.get(i + 2).text + "() on mutex '" +
+                        t.text +
+                        "'; use std::lock_guard / unique_lock / "
+                        "scoped_lock");
+            }
+        }
+
+        // any `.detach()` — threads must be joined.
+        if (t.text == "detach" &&
+            (code.prev(i).is(".") || code.prev(i).is("->")) &&
+            code.get(i + 1).is("(") && code.get(i + 2).is(")")) {
+            add(out, "no-detached-thread", unit, t,
+                "detached threads outlive scope and race shutdown; "
+                "join every thread");
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// atomic-or-guarded-static.
+
+/**
+ * Extract the mutex name from a `GUARDED_BY(name)` annotation in a
+ * comment adjacent to `declLine` (same line or the line above).
+ * Returns empty if there is no annotation.
+ */
+std::string
+guardedByAnnotation(const FileUnit &unit, int declLine)
+{
+    for (const Token &t : unit.tokens) {
+        if (t.kind != TokenKind::LineComment &&
+            t.kind != TokenKind::BlockComment)
+            continue;
+        if (t.line != declLine && t.line != declLine - 1)
+            continue;
+        std::size_t pos = t.text.find("GUARDED_BY(");
+        if (pos == std::string::npos)
+            continue;
+        std::size_t open = pos + 10;
+        std::size_t close = t.text.find(')', open);
+        if (close == std::string::npos)
+            continue;
+        std::string name =
+            t.text.substr(open + 1, close - open - 1);
+        while (!name.empty() && name.front() == ' ')
+            name.erase(name.begin());
+        while (!name.empty() && name.back() == ' ')
+            name.pop_back();
+        return name.empty() ? "<empty>" : name;
+    }
+    return "";
+}
+
+void
+checkStatics(const FileUnit &unit, const CodeView &code,
+             const ProjectIndex &index, std::vector<Finding> &out)
+{
+    enum class Scope
+    {
+        Namespace,
+        Class,
+        Block
+    };
+    std::vector<Scope> stack;
+    bool pendingNamespace = false;
+    bool pendingClass = false;
+
+    auto atDeclScope = [&]() {
+        return stack.empty() || stack.back() == Scope::Namespace ||
+               stack.back() == Scope::Class;
+    };
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code.at(i);
+
+        if (t.isIdent("namespace")) {
+            pendingNamespace = true;
+            continue;
+        }
+        if ((t.isIdent("class") || t.isIdent("struct") ||
+             t.isIdent("union")) &&
+            !code.prev(i).isIdent("enum")) {
+            pendingClass = true;
+            continue;
+        }
+        if (t.is(";") || t.is("(") || t.is(">") || t.is(",")) {
+            // forward declaration, template parameter, or
+            // elaborated type in a signature — not a scope.
+            pendingNamespace = pendingClass = false;
+            continue;
+        }
+        if (t.is("{")) {
+            if (pendingNamespace)
+                stack.push_back(Scope::Namespace);
+            else if (pendingClass)
+                stack.push_back(Scope::Class);
+            else
+                stack.push_back(Scope::Block);
+            pendingNamespace = pendingClass = false;
+            continue;
+        }
+        if (t.is("}")) {
+            if (!stack.empty())
+                stack.pop_back();
+            continue;
+        }
+
+        if (!t.isIdent("static") || !atDeclScope())
+            continue;
+
+        // Scan the declaration: a `(` before `;`/`=`/`{` means a
+        // function declaration (fine); otherwise look for a marker
+        // that makes the mutable static safe.
+        bool isFunction = false;
+        bool safe = false;
+        int angleDepth = 0;
+        std::string declName;
+        for (std::size_t j = i + 1; j < code.size(); ++j) {
+            const Token &d = code.at(j);
+            if (d.is("(")) {
+                isFunction = true;
+                break;
+            }
+            if (d.is(";") || d.is("=") || d.is("{"))
+                break;
+            if (d.is("<"))
+                ++angleDepth;
+            else if (d.is(">") && angleDepth > 0)
+                --angleDepth;
+            if (d.kind == TokenKind::Identifier) {
+                // A marker inside template arguments
+                // (vector<const T*>) does not make the outer
+                // object safe; atomic<...> itself sits at depth 0.
+                if (angleDepth == 0 &&
+                    contains(kSafeStaticMarkers, d.text))
+                    safe = true;
+                declName = d.text;
+            }
+        }
+        if (isFunction || safe)
+            continue;
+
+        std::string guard = guardedByAnnotation(unit, t.line);
+        if (guard.empty()) {
+            add(out, "atomic-or-guarded-static", unit, t,
+                "mutable static '" + declName +
+                    "' at namespace/class scope must be "
+                    "std::atomic, const, or carry "
+                    "// GUARDED_BY(<mutex>)");
+        } else if (index.mutexNames.count(guard) == 0) {
+            add(out, "atomic-or-guarded-static", unit, t,
+                "GUARDED_BY(" + guard +
+                    ") names a mutex not declared anywhere in the "
+                    "project");
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Hygiene rules.
+
+void
+checkNakedNew(const FileUnit &unit, const CodeView &code,
+              std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code.at(i);
+        if (!t.isIdent("new"))
+            continue;
+        const Token &p = code.prev(i);
+        if (p.isIdent("operator") || p.is(".") || p.is("->") ||
+            p.is("::"))
+            continue;
+        // Look back to the statement boundary for smart-pointer
+        // context that takes ownership of the allocation.
+        bool owned = false;
+        for (std::size_t back = 1; back <= 64 && back <= i; ++back) {
+            const Token &b = code.at(i - back);
+            if (b.is(";") || b.is("}"))
+                break;
+            if (b.kind == TokenKind::Identifier &&
+                contains(kSmartPtrMarkers, b.text)) {
+                owned = true;
+                break;
+            }
+        }
+        if (!owned)
+            add(out, "no-naked-new", unit, t,
+                "naked new leaks on early exit; use "
+                "std::make_unique / make_shared (or hand the "
+                "result straight to a smart pointer)");
+    }
+}
+
+void
+collectStatusFunctions(const FileUnit &unit,
+                       std::set<std::string> &out)
+{
+    CodeView code(unit.tokens);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code.at(i);
+        if (t.kind != TokenKind::Identifier ||
+            !contains(kStatusTypes, t.text))
+            continue;
+        // <StatusType> (ident ::)* ident ( — a declaration or
+        // definition of a function returning the status type.
+        std::size_t j = i + 1;
+        std::string last;
+        while (code.get(j).kind == TokenKind::Identifier) {
+            last = code.get(j).text;
+            if (code.get(j + 1).is("::"))
+                j += 2;
+            else {
+                ++j;
+                break;
+            }
+        }
+        if (!last.empty() && code.get(j).is("("))
+            out.insert(last);
+    }
+}
+
+void
+checkNodiscardStatus(const FileUnit &unit, const CodeView &code,
+                     const ProjectIndex &index,
+                     std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = code.at(i);
+        if (t.kind != TokenKind::Identifier ||
+            index.statusFunctions.count(t.text) == 0 ||
+            !code.get(i + 1).is("("))
+            continue;
+
+        // The result must be consumed: a call whose full statement
+        // is just `chain.name(...);` discards the status.
+        std::size_t close = code.matchParen(i + 1);
+        if (!code.get(close + 1).is(";"))
+            continue;
+
+        // Walk back across the receiver chain (`a.b::c->name`).
+        std::size_t start = i;
+        while (start >= 2 && (code.prev(start).is(".") ||
+                              code.prev(start).is("->") ||
+                              code.prev(start).is("::")) &&
+               code.get(start - 2).kind == TokenKind::Identifier)
+            start -= 2;
+        const Token &before = code.prev(start);
+
+        // `(void) name(...)` is an explicit, visible discard.
+        if (before.is(")") && start >= 3 &&
+            code.get(start - 2).isIdent("void") &&
+            code.get(start - 3).is("("))
+            continue;
+        // A token that can precede a declaration or an expression
+        // that uses the value means the result is consumed.
+        if (before.kind == TokenKind::Identifier ||
+            before.is(">") || before.is("*") || before.is("&") ||
+            before.is("=") || before.is("("))
+            continue;
+
+        if (before.is(";") || before.is("{") || before.is("}") ||
+            before.is(")") || before.is(":") || before.text.empty())
+            add(out, "nodiscard-status", unit, t,
+                "result of status-returning '" + t.text +
+                    "()' is discarded; check it or cast to (void) "
+                    "deliberately");
+    }
+}
+
+// ---------------------------------------------------------------
+// include-guard.
+
+std::string
+expectedGuard(const std::string &relPath)
+{
+    std::string p = relPath;
+    if (p.rfind("src/", 0) == 0)
+        p = p.substr(4);
+    std::string g = "TOLTIERS_";
+    for (char c : p) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            g.push_back(static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c))));
+        else
+            g.push_back('_');
+    }
+    return g;
+}
+
+/** Split a directive like `#ifndef FOO` into its words. */
+std::vector<std::string>
+directiveWords(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::string cur;
+    for (char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c)) ||
+            c == '#') {
+            if (c == '#' && cur.empty() && words.empty()) {
+                cur = "#";
+                continue;
+            }
+            if (!cur.empty()) {
+                words.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        words.push_back(cur);
+    // Re-fuse "#" with the directive name ("# ifndef" is legal).
+    if (words.size() >= 2 && words[0] == "#") {
+        words[1] = "#" + words[1];
+        words.erase(words.begin());
+    }
+    return words;
+}
+
+void
+checkIncludeGuard(const FileUnit &unit, std::vector<Finding> &out)
+{
+    if (!isHeaderPath(unit.relPath))
+        return;
+
+    std::vector<const Token *> directives;
+    for (const Token &t : unit.tokens)
+        if (t.kind == TokenKind::Preprocessor)
+            directives.push_back(&t);
+
+    const std::string want = expectedGuard(unit.relPath);
+    const Token anchor{TokenKind::Preprocessor, "", 1, 1};
+
+    for (const Token *d : directives) {
+        if (d->text.find("pragma") != std::string::npos &&
+            d->text.find("once") != std::string::npos) {
+            add(out, "include-guard", unit, *d,
+                "#pragma once is off-convention here; use the "
+                "#ifndef " +
+                    want + " guard");
+            return;
+        }
+    }
+    if (directives.size() < 3) {
+        add(out, "include-guard", unit, anchor,
+            "header lacks an include guard; expected #ifndef " +
+                want);
+        return;
+    }
+    auto first = directiveWords(directives[0]->text);
+    auto second = directiveWords(directives[1]->text);
+    auto last = directiveWords(directives.back()->text);
+    if (first.size() < 2 || first[0] != "#ifndef" ||
+        second.size() < 2 || second[0] != "#define" ||
+        first[1] != second[1]) {
+        add(out, "include-guard", unit, *directives[0],
+            "header must open with #ifndef/#define of the same "
+            "guard macro; expected " +
+                want);
+        return;
+    }
+    if (first[1] != want) {
+        add(out, "include-guard", unit, *directives[0],
+            "guard macro '" + first[1] +
+                "' does not match the path convention; expected " +
+                want);
+    }
+    if (last.empty() || last[0] != "#endif")
+        add(out, "include-guard", unit, *directives.back(),
+            "header must close with #endif (guard " + want + ")");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Public surface.
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> kCatalog = {
+        {"no-random-device",
+         "seeds flow only from the sanctioned entry point; "
+         "results reproduce bit-for-bit"},
+        {"no-crand",
+         "no global-state platform-dependent C PRNGs on any path"},
+        {"no-wallclock-seed",
+         "no wallclock-derived seeds; reruns are deterministic"},
+        {"no-naked-mutex",
+         "mutexes are locked only through RAII wrappers"},
+        {"no-detached-thread",
+         "every thread joins; nothing races process shutdown"},
+        {"atomic-or-guarded-static",
+         "shared mutable statics are atomic, const, or "
+         "GUARDED_BY a real mutex"},
+        {"no-naked-new",
+         "allocations are owned by smart pointers from birth"},
+        {"nodiscard-status",
+         "status-returning calls are never silently discarded"},
+        {"include-guard",
+         "headers carry path-derived TOLTIERS_*_HH guards"},
+        {"ttlint-suppression",
+         "suppressions are well-formed and carry a reason"},
+    };
+    return kCatalog;
+}
+
+bool
+isKnownRule(const std::string &name)
+{
+    for (const RuleInfo &r : ruleCatalog())
+        if (name == r.name)
+            return true;
+    return false;
+}
+
+ProjectIndex
+buildIndex(const std::vector<FileUnit> &units)
+{
+    ProjectIndex index;
+    for (const FileUnit &u : units) {
+        collectStatusFunctions(u, index.statusFunctions);
+        collectMutexNames(u, index.mutexNames);
+    }
+    return index;
+}
+
+std::vector<Finding>
+lintFile(const FileUnit &unit, const ProjectIndex &index)
+{
+    std::vector<Finding> raw;
+    Suppressions sup = collectSuppressions(unit, raw);
+
+    CodeView code(unit.tokens);
+    checkDeterminism(unit, code, raw);
+    checkConcurrency(unit, code, index, raw);
+    checkStatics(unit, code, index, raw);
+    checkNakedNew(unit, code, raw);
+    checkNodiscardStatus(unit, code, index, raw);
+    checkIncludeGuard(unit, raw);
+
+    std::vector<Finding> kept;
+    for (Finding &f : raw)
+        if (f.rule == "ttlint-suppression" ||
+            !sup.covers(f.rule, f.line))
+            kept.push_back(std::move(f));
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  return a.rule < b.rule;
+              });
+    return kept;
+}
+
+} // namespace ttlint

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ttlint rule engine: project invariants as named lexical rules.
+ *
+ * The rules encode the repository's core contract — deterministic,
+ * byte-identical results at any thread count and a race-free
+ * serving hot path — as build-time checks that run before TSan or
+ * the golden suite ever compile:
+ *
+ * Determinism
+ *  - no-random-device: `std::random_device` is banned everywhere
+ *    except the sanctioned seed entry point (src/common/random.*);
+ *    all randomness must flow from explicitly seeded Pcg32 /
+ *    exec::taskRng streams.
+ *  - no-crand: the C PRNG family (`rand`, `srand`, `drand48`, ...)
+ *    is banned: it is global-state, platform-dependent, and
+ *    invisible to the per-task stream discipline.
+ *  - no-wallclock-seed: wallclock sources (`time()`,
+ *    `gettimeofday`, `clock()`, `timespec_get`) are banned; seeds
+ *    must be explicit so reruns reproduce bit-for-bit.
+ *
+ * Concurrency
+ *  - no-naked-mutex: a declared `std::mutex` may only be locked
+ *    through RAII wrappers (`lock_guard` / `unique_lock` /
+ *    `scoped_lock`); bare `.lock()` / `.unlock()` on the mutex
+ *    itself cannot survive exceptions or early returns.
+ *  - no-detached-thread: `.detach()` orphans a thread past the end
+ *    of the test/process lifecycle; every thread must be joined.
+ *  - atomic-or-guarded-static: a mutable namespace- or class-scope
+ *    static must be `std::atomic`, `const`/`constexpr`, a sync
+ *    primitive, or carry a `// GUARDED_BY(<mutex>)` annotation
+ *    naming a mutex that actually exists in the project.
+ *
+ * Hygiene
+ *  - no-naked-new: `new` outside smart-pointer context leaks on
+ *    every early exit; use `std::make_unique` / `make_shared`.
+ *  - nodiscard-status: calls to functions returning a status-like
+ *    type (`RequestParse`, `ServeStatus`) must consume the result.
+ *  - include-guard: headers use `#ifndef TOLTIERS_<PATH>_HH`
+ *    guards whose macro matches the file path; `#pragma once` is
+ *    off-convention.
+ *
+ * Any finding can be suppressed on its line (or the line below the
+ * comment) with `// TTLINT(off:<rule>[,<rule>...]): <reason>`; the
+ * reason string is mandatory and a malformed suppression is itself
+ * a finding (rule `ttlint-suppression`).
+ */
+
+#ifndef TOLTIERS_TOOLS_TTLINT_RULES_HH
+#define TOLTIERS_TOOLS_TTLINT_RULES_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ttlint/lexer.hh"
+
+namespace ttlint {
+
+struct Finding
+{
+    std::string rule;
+    std::string path; ///< path as given (relative to scan root)
+    int line = 0;
+    int col = 0;
+    std::string message;
+};
+
+/** One source file, lexed. */
+struct FileUnit
+{
+    std::string relPath;
+    std::vector<Token> tokens;
+};
+
+/**
+ * Cross-file facts gathered in a first pass over every unit:
+ * which functions return a status-like type (for
+ * nodiscard-status) and which identifiers are declared as
+ * mutexes anywhere in the project (for no-naked-mutex and for
+ * validating GUARDED_BY annotations).
+ */
+struct ProjectIndex
+{
+    std::set<std::string> statusFunctions;
+    std::set<std::string> mutexNames;
+};
+
+struct RuleInfo
+{
+    const char *name;
+    const char *invariant; ///< one-line statement of what it protects
+};
+
+/** The rule catalog, in reporting order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** True if `name` is a known rule id. */
+bool isKnownRule(const std::string &name);
+
+/** Build the cross-file index over all units. */
+ProjectIndex buildIndex(const std::vector<FileUnit> &units);
+
+/**
+ * Run every rule over one file and return the surviving findings
+ * (suppressions already applied), sorted by line then column.
+ */
+std::vector<Finding> lintFile(const FileUnit &unit,
+                              const ProjectIndex &index);
+
+} // namespace ttlint
+
+#endif // TOLTIERS_TOOLS_TTLINT_RULES_HH
