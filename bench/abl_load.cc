@@ -18,6 +18,16 @@
  * (override with --parallel-json=...; --parallel-requests scales
  * the run). On a single-core host the sweep still runs — it then
  * documents the (absent) speedup honestly rather than skipping.
+ *
+ * Throughput is steady-state only: pool construction and a warmup
+ * batch run before the timed region starts, so thread start-up and
+ * first-touch allocation costs never land in the reported numbers.
+ * The serving-path extras are optional here: --cache-mb/--cache-ttl
+ * front the service with a result cache and --batch-max/
+ * --batch-delay-us route submissions through the adaptive
+ * micro-batcher (both off by default, keeping BENCH_parallel.json
+ * comparable across runs; bench/abl_cache.cc is the dedicated
+ * cache/batching ablation).
  */
 
 #include <algorithm>
@@ -26,6 +36,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +50,8 @@
 #include "exec/exec.hh"
 #include "harness.hh"
 #include "obs/metrics.hh"
+#include "serving/batcher.hh"
+#include "serving/cache.hh"
 #include "serving/cluster.hh"
 #include "serving/deployment.hh"
 
@@ -131,53 +144,13 @@ loadSweep(const char *label, const core::MeasurementSet &ms)
 
 // ------------------------------------------------ real-threads mode
 
-/**
- * Service version that burns real CPU: a splitmix-style hash loop
- * whose trip count models the version's latency. Unlike the trace
- * replay above, wall-clock time through this version is genuine
- * compute, so the thread sweep measures the serving path itself.
- */
-class SpinVersion : public serving::ServiceVersion
+/** Optional serving-path extras for the thread sweep. */
+struct ServeOptions
 {
-  public:
-    SpinVersion(std::string name, std::size_t spin_iters,
-                double cost)
-        : name_(std::move(name)), instance_("cpu-small"),
-          spinIters_(spin_iters), cost_(cost)
-    {
-    }
-
-    const std::string &name() const override { return name_; }
-    const std::string &instanceName() const override
-    {
-        return instance_;
-    }
-    std::size_t workloadSize() const override { return 64; }
-
-    serving::VersionResult
-    process(std::size_t index) const override
-    {
-        std::uint64_t h = 0x9e3779b97f4a7c15ull + index;
-        for (std::size_t i = 0; i < spinIters_; ++i) {
-            h ^= h >> 30;
-            h *= 0xbf58476d1ce4e5b9ull;
-            h ^= h >> 27;
-        }
-        serving::VersionResult r;
-        r.output = name_ + "-answer-" + std::to_string(index) +
-                   "-" + std::to_string(h & 0xf);
-        r.confidence = 0.9;
-        r.latencySeconds = 1e-8 * static_cast<double>(spinIters_);
-        r.costDollars = cost_;
-        r.error = 0.0;
-        return r;
-    }
-
-  private:
-    std::string name_;
-    std::string instance_;
-    std::size_t spinIters_;
-    double cost_;
+    std::size_t cacheMb = 0;    //!< 0 disables the result cache.
+    double cacheTtlSeconds = 0.0;
+    std::size_t batchMax = 0;   //!< 0 submits per request.
+    double batchDelayUs = 200.0;
 };
 
 struct ParallelPoint
@@ -189,35 +162,87 @@ struct ParallelPoint
     core::FrontDoorStats stats;
 };
 
+/** One annotated request of the synthetic stream. */
+serving::ServiceRequest
+spinRequest(std::size_t i)
+{
+    serving::ServiceRequest req;
+    req.id = i;
+    req.payload = i % 64;
+    req.tier.tolerance = 0.05;
+    return req;
+}
+
 /**
  * Push `requests` through a TierFrontDoor backed by a pool of
  * `threads` threads and report wall-clock throughput. The submit
  * side runs on the calling thread; capacity is sized so admission
  * never sheds (this measures the serving path, not the shedder).
+ *
+ * Steady state only: the pool, the front door, and (when enabled)
+ * the batcher are constructed — and a warmup batch is served and
+ * drained — before the stopwatch starts, so the timed region holds
+ * nothing but request execution. A separate warmup door keeps the
+ * measured door's accounting clean.
  */
 ParallelPoint
-frontDoorRun(const core::TierService &svc, std::size_t threads,
-             std::size_t requests)
+frontDoorRun(core::TierService &svc, std::size_t threads,
+             std::size_t requests, const ServeOptions &opts)
 {
     exec::ThreadPool pool(threads);
     core::FrontDoorConfig cfg;
     cfg.pool = &pool;
     cfg.queueCapacity = requests;
+
+    // Warmup outside the timed region: spins every worker thread
+    // up, faults the allocator's arenas in, and primes the service
+    // path. The cache (if any) is attached only afterwards, so the
+    // measured run starts from a cold, clean cache.
+    {
+        core::TierFrontDoor warm_door(svc, cfg);
+        std::size_t warm = std::min<std::size_t>(
+            256, std::max<std::size_t>(threads * 8, 32));
+        for (std::size_t i = 0; i < warm; ++i)
+            (void)warm_door.submit(spinRequest(i));
+        warm_door.drain();
+    }
+
+    std::unique_ptr<serving::ResultCache> cache;
+    if (opts.cacheMb > 0) {
+        serving::CacheConfig cc;
+        cc.capacityBytes = opts.cacheMb * 1024 * 1024;
+        cc.ttlSeconds = opts.cacheTtlSeconds;
+        cache = std::make_unique<serving::ResultCache>(cc);
+        svc.setCache(cache.get());
+    }
     core::TierFrontDoor door(svc, cfg);
 
     common::Stopwatch watch;
-    std::vector<core::TierFrontDoor::Ticket> tickets;
-    tickets.reserve(requests);
-    for (std::size_t i = 0; i < requests; ++i) {
-        serving::ServiceRequest req;
-        req.id = i;
-        req.payload = i % 64;
-        req.tier.tolerance = 0.05;
-        tickets.push_back(door.submit(req));
+    if (opts.batchMax > 0) {
+        serving::BatcherConfig bc;
+        bc.maxBatch = opts.batchMax;
+        bc.maxDelaySeconds = opts.batchDelayUs * 1e-6;
+        serving::AdaptiveBatcher batcher(
+            [&door](std::vector<serving::ServiceRequest> batch,
+                    serving::BatchDone done) {
+                (void)door.submitBatch(std::move(batch),
+                                       std::move(done));
+            },
+            bc);
+        for (std::size_t i = 0; i < requests; ++i)
+            batcher.submit(spinRequest(i));
+        batcher.flush();
+        door.drain();
+    } else {
+        std::vector<core::TierFrontDoor::Ticket> tickets;
+        tickets.reserve(requests);
+        for (std::size_t i = 0; i < requests; ++i)
+            tickets.push_back(door.submit(spinRequest(i)));
+        for (auto t : tickets)
+            door.wait(t);
     }
-    for (auto t : tickets)
-        door.wait(t);
     double seconds = watch.seconds();
+    svc.setCache(nullptr);
 
     ParallelPoint pt;
     pt.threads = threads;
@@ -229,13 +254,14 @@ frontDoorRun(const core::TierService &svc, std::size_t threads,
 }
 
 void
-parallelSweep(std::size_t requests, const std::string &json_path)
+parallelSweep(std::size_t requests, const std::string &json_path,
+              const ServeOptions &opts)
 {
     // ~40µs of real compute per request on a contemporary core —
     // long enough to dominate dispatch overhead, short enough that
     // the whole sweep stays in bench time.
-    SpinVersion fast("spin-fast", 4000, 1.0);
-    SpinVersion accurate("spin-accurate", 12000, 5.0);
+    bench::SpinVersion fast("spin-fast", 4000, 1.0);
+    bench::SpinVersion accurate("spin-accurate", 12000, 5.0);
     core::TierService svc({&fast, &accurate});
     core::RoutingRule rule;
     rule.tolerance = 0.05;
@@ -259,7 +285,7 @@ parallelSweep(std::size_t requests, const std::string &json_path)
 
     std::vector<ParallelPoint> points;
     for (std::size_t threads : sweep) {
-        auto pt = frontDoorRun(svc, threads, requests);
+        auto pt = frontDoorRun(svc, threads, requests, opts);
         pt.speedup = points.empty()
                          ? 1.0
                          : points.front().seconds / pt.seconds;
@@ -307,16 +333,29 @@ int
 main(int argc, char **argv)
 {
     bench::ObsSession obs_session(
-        argc, argv, {"parallel-json", "parallel-requests"});
+        argc, argv,
+        {"parallel-json", "parallel-requests", "cache-mb",
+         "cache-ttl", "batch-max", "batch-delay-us"});
     bench::banner("ABL-4: tiering under queueing load",
                   "discrete-event node-pool simulation; load relative "
                   "to OSFA saturation");
+
+    ServeOptions opts;
+    opts.cacheMb = static_cast<std::size_t>(
+        obs_session.args().getInt("cache-mb", 0));
+    opts.cacheTtlSeconds =
+        obs_session.args().getDouble("cache-ttl", 0.0);
+    opts.batchMax = static_cast<std::size_t>(
+        obs_session.args().getInt("batch-max", 0));
+    opts.batchDelayUs =
+        obs_session.args().getDouble("batch-delay-us", 200.0);
 
     parallelSweep(
         static_cast<std::size_t>(obs_session.args().getInt(
             "parallel-requests", 2000)),
         obs_session.args().getString("parallel-json",
-                                     "BENCH_parallel.json"));
+                                     "BENCH_parallel.json"),
+        opts);
 
     auto asr_ms = bench::asrTrace();
     loadSweep("ASR", asr_ms);

@@ -178,6 +178,32 @@ allRows(const core::MeasurementSet &ms)
     return rows;
 }
 
+SpinVersion::SpinVersion(std::string name, std::size_t spin_iters,
+                         double cost, std::size_t workload)
+    : name_(std::move(name)), instance_("cpu-small"),
+      spinIters_(spin_iters), cost_(cost), workload_(workload)
+{
+}
+
+serving::VersionResult
+SpinVersion::process(std::size_t index) const
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ull + index;
+    for (std::size_t i = 0; i < spinIters_; ++i) {
+        h ^= h >> 30;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 27;
+    }
+    serving::VersionResult r;
+    r.output = name_ + "-answer-" + std::to_string(index) + "-" +
+               std::to_string(h & 0xf);
+    r.confidence = 0.9;
+    r.latencySeconds = 1e-8 * static_cast<double>(spinIters_);
+    r.costDollars = cost_;
+    r.error = 0.0;
+    return r;
+}
+
 void
 banner(const std::string &title, const std::string &paper_ref)
 {

@@ -29,6 +29,7 @@
 #include "dataset/synth_images.hh"
 #include "ic/classifier.hh"
 #include "serving/instance.hh"
+#include "serving/service_version.hh"
 
 namespace toltiers::bench {
 
@@ -159,6 +160,43 @@ std::vector<std::size_t> allRows(const core::MeasurementSet &ms);
 
 /** Print the standard bench banner. */
 void banner(const std::string &title, const std::string &paper_ref);
+
+/**
+ * Service version that burns real CPU: a splitmix-style hash loop
+ * whose trip count models the version's latency (~10ns per
+ * iteration on a contemporary core). Unlike the cached trace
+ * replays, wall-clock time through this version is genuine compute,
+ * so thread sweeps and cache ablations over it measure the serving
+ * path itself. Shared by abl_load and abl_cache.
+ */
+class SpinVersion : public serving::ServiceVersion
+{
+  public:
+    /**
+     * @param name version name reported in responses
+     * @param spin_iters hash-loop trip count (models latency)
+     * @param cost modeled per-request cost in dollars
+     * @param workload payload-index space of the bound workload
+     */
+    SpinVersion(std::string name, std::size_t spin_iters,
+                double cost, std::size_t workload = 64);
+
+    const std::string &name() const override { return name_; }
+    const std::string &instanceName() const override
+    {
+        return instance_;
+    }
+    std::size_t workloadSize() const override { return workload_; }
+
+    serving::VersionResult process(std::size_t index) const override;
+
+  private:
+    std::string name_;
+    std::string instance_;
+    std::size_t spinIters_;
+    double cost_;
+    std::size_t workload_;
+};
 
 } // namespace toltiers::bench
 

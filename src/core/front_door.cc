@@ -1,8 +1,10 @@
 #include "core/front_door.hh"
 
 #include <chrono>
+#include <utility>
 
 #include "common/logging.hh"
+#include "common/stopwatch.hh"
 #include "exec/parallel.hh"
 
 namespace toltiers::core {
@@ -40,6 +42,8 @@ TierFrontDoor::TierFrontDoor(const TierService &service,
             *metrics_, "tt_frontdoor_violations_total",
             "Completed responses that reported a guarantee "
             "violation");
+        frontDoorCounter(*metrics_, "tt_frontdoor_batches_total",
+                         "Batch tasks run via submitBatch()");
     }
 }
 
@@ -49,7 +53,7 @@ TierFrontDoor::~TierFrontDoor()
 }
 
 TierFrontDoor::Ticket
-TierFrontDoor::submit(serving::ServiceRequest request)
+TierFrontDoor::admit(std::shared_ptr<Slot> &slot_out)
 {
     submitted_.inc();
     if (metrics_ != nullptr) {
@@ -74,19 +78,72 @@ TierFrontDoor::submit(serving::ServiceRequest request)
         return kRejected;
     }
 
-    auto slot = std::make_shared<Slot>();
-    Ticket ticket;
-    {
-        std::lock_guard<std::mutex> lock(mapMu_);
-        ticket = nextTicket_++;
-        slots_.emplace(ticket, slot);
-    }
+    slot_out = std::make_shared<Slot>();
+    std::lock_guard<std::mutex> lock(mapMu_);
+    Ticket ticket = nextTicket_++;
+    slots_.emplace(ticket, slot_out);
+    return ticket;
+}
+
+TierFrontDoor::Ticket
+TierFrontDoor::submit(serving::ServiceRequest request)
+{
+    std::shared_ptr<Slot> slot;
+    Ticket ticket = admit(slot);
+    if (ticket == kRejected)
+        return kRejected;
 
     pool_.submit(
         [this, slot, request = std::move(request)]() mutable {
             complete(slot, service_.handle(request));
         });
     return ticket;
+}
+
+std::vector<TierFrontDoor::Ticket>
+TierFrontDoor::submitBatch(std::vector<serving::ServiceRequest> batch,
+                           BatchDone done)
+{
+    std::vector<Ticket> tickets(batch.size(), kRejected);
+
+    // One admitted (request, slot) unit of the batch task.
+    struct Unit
+    {
+        serving::ServiceRequest request;
+        std::shared_ptr<Slot> slot;
+    };
+    auto units = std::make_shared<std::vector<Unit>>();
+    units->reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        std::shared_ptr<Slot> slot;
+        Ticket t = admit(slot);
+        tickets[i] = t;
+        if (t != kRejected)
+            units->push_back({std::move(batch[i]), std::move(slot)});
+    }
+
+    if (units->empty()) {
+        // Fully shed: the feedback hook still fires (a batcher's
+        // AIMD loop must never starve), but nothing runs.
+        if (done)
+            done(0, 0.0);
+        return tickets;
+    }
+
+    batches_.inc();
+    if (metrics_ != nullptr) {
+        frontDoorCounter(*metrics_, "tt_frontdoor_batches_total",
+                         "")
+            .inc();
+    }
+    pool_.submit([this, units, done = std::move(done)] {
+        common::Stopwatch watch;
+        for (Unit &u : *units)
+            complete(u.slot, service_.handle(u.request));
+        if (done)
+            done(units->size(), watch.seconds());
+    });
+    return tickets;
 }
 
 void
@@ -241,6 +298,7 @@ TierFrontDoor::stats() const
     s.fellBack = count(fellBack_);
     s.violations = count(violations_);
     s.collected = count(collected_);
+    s.batches = count(batches_);
     return s;
 }
 

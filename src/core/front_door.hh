@@ -10,6 +10,10 @@
  * is load-shedding, not blocking — when `queueCapacity` requests
  * are already in flight, submit() rejects immediately (a serving
  * system sheds at the door; it does not build an unbounded queue).
+ * submitBatch() admits a whole batch and executes it as one pool
+ * task — the dispatch surface the adaptive micro-batcher
+ * (serving/batcher.hh) feeds, reporting per-batch wall latency
+ * back through its completion hook for AIMD batch sizing.
  *
  * Accounting is conservation-checked: every submitted request is
  * exactly one of rejected / completed, completed responses split
@@ -33,9 +37,11 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/tier_service.hh"
 #include "exec/pool.hh"
@@ -62,10 +68,11 @@ struct FrontDoorStats
     std::uint64_t submitted = 0; //!< Accepted + rejected.
     std::uint64_t rejected = 0;  //!< Shed at the door (queue full).
     std::uint64_t completed = 0; //!< Responses produced.
-    std::uint64_t ok = 0;
-    std::uint64_t fellBack = 0;
-    std::uint64_t violations = 0;
+    std::uint64_t ok = 0;        //!< Served by the matched ensemble.
+    std::uint64_t fellBack = 0;  //!< Served by a safe fallback.
+    std::uint64_t violations = 0; //!< Explicit guarantee violations.
     std::uint64_t collected = 0; //!< Responses handed to callers.
+    std::uint64_t batches = 0;   //!< submitBatch() pool tasks run.
 };
 
 /** Concurrent submit()/poll() surface over one TierService. */
@@ -92,6 +99,30 @@ class TierFrontDoor
      */
     [[nodiscard]] Ticket submit(serving::ServiceRequest request);
 
+    /**
+     * Completion hook for one batch: invoked exactly once with the
+     * number of requests executed and the batch's wall-clock
+     * seconds (the AIMD feedback the adaptive batcher consumes).
+     */
+    using BatchDone =
+        std::function<void(std::size_t executed,
+                           double wall_seconds)>;
+
+    /**
+     * Admit a batch of requests and execute all admitted ones as
+     * ONE pool task, in order — amortizing per-task dispatch
+     * overhead the way Clipper's batching layer does. Admission is
+     * still per request: each either gets a ticket or kRejected
+     * when the bounded queue is full, so a batch can be partially
+     * shed. The returned tickets line up with the batch by index
+     * and behave exactly like submit() tickets (poll/wait/drain).
+     * `done`, if given, fires after the last admitted request
+     * completes — inline when the whole batch was shed.
+     */
+    [[nodiscard]] std::vector<Ticket>
+    submitBatch(std::vector<serving::ServiceRequest> batch,
+                BatchDone done = nullptr);
+
     /** True once the ticket's response is ready to collect. */
     bool ready(Ticket ticket) const;
 
@@ -111,8 +142,10 @@ class TierFrontDoor
     /** In-flight requests (admitted, not yet completed). */
     std::size_t inFlight() const;
 
+    /** Point-in-time accounting snapshot. */
     FrontDoorStats stats() const;
 
+    /** The bounded-admission capacity this door sheds beyond. */
     std::size_t queueCapacity() const { return capacity_; }
 
   private:
@@ -124,6 +157,9 @@ class TierFrontDoor
         TierResponse response;
     };
 
+    /** Count + admit one request: claims a capacity slot and
+     * registers a ticket, or returns kRejected (shed). */
+    Ticket admit(std::shared_ptr<Slot> &slot_out);
     std::shared_ptr<Slot> findSlot(Ticket ticket) const;
     std::shared_ptr<Slot> takeSlot(Ticket ticket);
     void complete(const std::shared_ptr<Slot> &slot,
@@ -150,6 +186,7 @@ class TierFrontDoor
     obs::Counter fellBack_;
     obs::Counter violations_;
     obs::Counter collected_;
+    obs::Counter batches_;
 
     obs::Registry *metrics_ = nullptr;
 };

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
 #include "common/strings.hh"
+#include "serving/cache.hh"
 
 namespace toltiers::core {
 
@@ -353,6 +354,34 @@ TierService::handle(const serving::ServiceRequest &request) const
     resp.config = cfg;
     resp.ruleTolerance = rule.tolerance;
 
+    // Cache lookup before tier-chain execution: the fingerprint is
+    // keyed by the *matched rule's* tolerance (the bucket), and the
+    // cache itself re-checks that the stored bound does not exceed
+    // the request's tolerance, so a hit never weakens a guarantee.
+    serving::CacheFingerprint fp;
+    if (cache_ != nullptr) {
+        fp = serving::makeFingerprint(request.payload,
+                                      request.tier.objective,
+                                      rule.tolerance);
+        serving::CachedResult cached;
+        if (cache_->lookup(fp, request.tier.tolerance, cached)) {
+            resp.output = cached.output;
+            resp.confidence = cached.confidence;
+            resp.servedFromCache = true;
+            resp.latencySeconds = 0.0;
+            resp.costDollars = 0.0;
+            recordMetrics(request.tier.objective, rule, resp);
+            if (ctx_.monitor) {
+                ctx_.monitor->observeLatency(
+                    serving::objectiveName(request.tier.objective),
+                    rule.tolerance, resp.latencySeconds);
+            }
+            if (ctx_.tracer)
+                recordTrace(request, resp, rule_match_wall);
+            return resp;
+        }
+    }
+
     double budget = resilience_.requestBudgetSeconds > 0.0
                         ? resilience_.requestBudgetSeconds
                         : kInf;
@@ -514,6 +543,18 @@ TierService::handle(const serving::ServiceRequest &request) const
     resp.latencySeconds = elapsed;
     resp.costDollars = cost;
 
+    // Insert after execution: only responses the matched rule's
+    // ensemble itself served (Ok) are cacheable — a fell-back
+    // result is keyed to *this* request's tolerance, not the
+    // rule's bound, and a violation must never be replayed.
+    if (cache_ != nullptr && resp.status == ServeStatus::Ok) {
+        serving::CachedResult entry;
+        entry.output = resp.output;
+        entry.confidence = resp.confidence;
+        entry.tolerance = rule.tolerance;
+        cache_->insert(fp, std::move(entry));
+    }
+
     recordMetrics(request.tier.objective, rule, resp);
     if (ctx_.monitor) {
         ctx_.monitor->observeLatency(
@@ -603,6 +644,8 @@ TierService::recordTrace(const serving::ServiceRequest &request,
                    policyKindName(resp.config.kind));
     trace.annotate(root, "escalated",
                    resp.escalated ? "true" : "false");
+    if (resp.servedFromCache)
+        trace.annotate(root, "cached", "true");
     if (resp.status != ServeStatus::Ok) {
         trace.annotate(root, "status",
                        serveStatusName(resp.status));

@@ -31,6 +31,16 @@
  * violations are reported to it the moment they are served. All
  * telemetry is optional and adds nothing when no context is
  * attached.
+ *
+ * The serving path can be fronted by a result cache (setCache):
+ * handle() looks the request's fingerprint up before executing the
+ * tier chain and serves a hit at zero modeled latency and cost;
+ * Ok responses are inserted after execution, keyed by the matched
+ * rule's tolerance, so a cached answer is only ever reused by
+ * requests whose tolerance is at least as loose as the bound the
+ * answer was produced under (see serving/cache.hh for the
+ * tolerance-safety contract). With no cache attached the path is
+ * byte-identical to the uncached service.
  */
 
 #ifndef TOLTIERS_CORE_TIER_SERVICE_HH
@@ -47,13 +57,17 @@
 #include "serving/request.hh"
 #include "serving/service_version.hh"
 
+namespace toltiers::serving {
+class ResultCache;
+} // namespace toltiers::serving
+
 namespace toltiers::core {
 
 /** Timing of one executed (or cancelled) ensemble stage attempt. */
 struct StageTiming
 {
     std::size_t version = 0;     //!< Index into the version ladder.
-    std::string versionName;
+    std::string versionName;     //!< Name of that version.
     double startSeconds = 0.0;   //!< Offset within the request.
     double latencySeconds = 0.0; //!< Busy time of the stage.
     bool cancelled = false;      //!< Raced loser killed early.
@@ -79,8 +93,8 @@ const char *serveStatusName(ServeStatus status);
 struct TierResponse
 {
     std::string output;        //!< The chosen result payload.
-    double latencySeconds = 0.0;
-    double costDollars = 0.0;
+    double latencySeconds = 0.0; //!< Composed response latency.
+    double costDollars = 0.0;    //!< Composed invocation cost.
     double confidence = 0.0;   //!< Confidence of the chosen result.
     bool escalated = false;    //!< Secondary result was used.
     EnsembleConfig config;     //!< The ensemble that served it.
@@ -101,6 +115,9 @@ struct TierResponse
     std::size_t fallbackVersion = 0;
     /** Human-readable detail for non-Ok statuses. */
     std::string statusNote;
+    /** True when the result came from the attached result cache
+     * (no tier-chain execution; zero modeled latency and cost). */
+    bool servedFromCache = false;
 
     bool violated() const
     {
@@ -127,10 +144,23 @@ class TierService
     /** Install the fault-tolerance policy for the serving path. */
     void setResilience(const ResiliencePolicy &policy);
 
+    /** The installed fault-tolerance policy (defaults apply). */
     const ResiliencePolicy &resilience() const
     {
         return resilience_;
     }
+
+    /**
+     * Front the serving path with a result cache (nullptr detaches
+     * it). The cache must outlive the service; it may be shared by
+     * several services only if their payload indices identify the
+     * same inputs. See the file comment for the hit/insert
+     * semantics.
+     */
+    void setCache(serving::ResultCache *cache) { cache_ = cache; }
+
+    /** The attached result cache, or nullptr. */
+    serving::ResultCache *cache() const { return cache_; }
 
     /**
      * Install per-version worst-case profiles (from the rule
@@ -164,6 +194,7 @@ class TierService
     /** Serve one annotated request live. */
     TierResponse handle(const serving::ServiceRequest &request) const;
 
+    /** Number of deployed service versions. */
     std::size_t versionCount() const { return versions_.size(); }
 
   private:
@@ -200,6 +231,7 @@ class TierService
     std::vector<const serving::ServiceVersion *> versions_;
     std::map<serving::Objective, std::vector<RoutingRule>> rules_;
     RoutingRule referenceRule_; //!< Single(most accurate), tol 0.
+    serving::ResultCache *cache_ = nullptr;
     ResiliencePolicy resilience_;
     std::vector<VersionProfile> profiles_;
     obs::ObsContext ctx_;       //!< All-null until attached.

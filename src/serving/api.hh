@@ -26,7 +26,7 @@ namespace toltiers::serving {
 /** Why a header block failed to parse. */
 enum class ParseStatus
 {
-    Ok,
+    Ok,              //!< Parsed cleanly; the request is usable.
     MalformedHeader, //!< A non-empty line without a colon.
     BadTolerance,    //!< Non-numeric or outside [0, 1].
     BadObjective,    //!< Unknown Objective value.
@@ -47,6 +47,7 @@ struct [[nodiscard]] RequestParse
     ParseStatus status = ParseStatus::Ok;
     std::string error;       //!< Human-readable detail when !ok().
 
+    /** True when parsing succeeded and `request` is usable. */
     bool ok() const { return status == ParseStatus::Ok; }
 };
 

@@ -1,0 +1,277 @@
+#include "serving/batcher.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace toltiers::serving {
+
+void
+AdaptiveBatcher::Control::observe(std::size_t batch_size,
+                                  double wall_seconds)
+{
+    batches.inc();
+    batchedRequests.inc(static_cast<double>(batch_size));
+    if (metrics != nullptr) {
+        metrics->counter("tt_batcher_batches_total", {}, "").inc();
+        metrics
+            ->counter("tt_batcher_batched_requests_total", {}, "")
+            .inc(static_cast<double>(batch_size));
+        metrics
+            ->histogram("tt_batch_latency_seconds", {},
+                        obs::exponentialBounds(1e-6, 1.0, 13),
+                        "Wall latency of dispatched batches")
+            .observe(wall_seconds);
+    }
+    if (!adaptive)
+        return;
+
+    // Clipper-style AIMD: halve on overshoot, otherwise creep up
+    // one request at a time — but only when the batch actually
+    // filled the current limit (an under-full batch says nothing
+    // about whether a larger one would fit the target).
+    std::size_t cur = limit.load(std::memory_order_relaxed);
+    if (wall_seconds > latencyTargetSeconds) {
+        std::size_t next = std::max<std::size_t>(1, cur / 2);
+        if (next != cur &&
+            limit.compare_exchange_strong(
+                cur, next, std::memory_order_relaxed)) {
+            limitDecreases.inc();
+            if (metrics != nullptr) {
+                metrics
+                    ->counter("tt_batcher_limit_decreases_total",
+                              {}, "")
+                    .inc();
+            }
+        }
+    } else if (batch_size >= cur && cur < maxBatch) {
+        if (limit.compare_exchange_strong(
+                cur, cur + 1, std::memory_order_relaxed)) {
+            limitIncreases.inc();
+            if (metrics != nullptr) {
+                metrics
+                    ->counter("tt_batcher_limit_increases_total",
+                              {}, "")
+                    .inc();
+            }
+        }
+    }
+    if (metrics != nullptr) {
+        metrics->gauge("tt_batcher_limit", {}, "")
+            .set(static_cast<double>(
+                limit.load(std::memory_order_relaxed)));
+    }
+}
+
+AdaptiveBatcher::AdaptiveBatcher(BatchDispatch dispatch,
+                                 BatcherConfig cfg)
+    : dispatch_(std::move(dispatch)), cfg_(cfg)
+{
+    TT_ASSERT(cfg_.maxBatch >= 1, "batcher needs maxBatch >= 1");
+    TT_ASSERT(static_cast<bool>(dispatch_),
+              "batcher needs a dispatch callback");
+    control_ = std::make_shared<Control>();
+    control_->maxBatch = cfg_.maxBatch;
+    control_->latencyTargetSeconds = cfg_.latencyTargetSeconds;
+    control_->adaptive = cfg_.adaptive;
+    control_->metrics = cfg_.metrics;
+    // Adaptive mode probes upward from 1; static mode pins the
+    // ceiling.
+    control_->limit.store(cfg_.adaptive ? 1 : cfg_.maxBatch,
+                          std::memory_order_relaxed);
+
+    if (cfg_.metrics != nullptr) {
+        // Pre-register so an idle batcher exports zeroed series.
+        cfg_.metrics->counter("tt_batcher_submitted_total", {},
+                              "Requests accepted by the batcher");
+        cfg_.metrics->counter("tt_batcher_batches_total", {},
+                              "Batches dispatched");
+        cfg_.metrics->counter(
+            "tt_batcher_batched_requests_total", {},
+            "Requests dispatched inside batches");
+        cfg_.metrics->counter("tt_batcher_limit_increases_total",
+                              {}, "AIMD additive increases");
+        cfg_.metrics->counter("tt_batcher_limit_decreases_total",
+                              {}, "AIMD multiplicative decreases");
+        cfg_.metrics
+            ->gauge("tt_batcher_limit", {},
+                    "Current adaptive batch limit")
+            .set(static_cast<double>(
+                control_->limit.load(std::memory_order_relaxed)));
+    }
+
+    flusher_ = std::thread([this] { flusherMain(); });
+}
+
+AdaptiveBatcher::~AdaptiveBatcher()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    flusher_.join();
+    flush(); // Dispatch whatever the flusher had not yet seen.
+}
+
+AdaptiveBatcher::GroupKey
+AdaptiveBatcher::keyOf(const ServiceRequest &request) const
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(request.tier.tolerance));
+    std::memcpy(&bits, &request.tier.tolerance, sizeof(bits));
+    return {static_cast<std::uint32_t>(request.tier.objective),
+            bits};
+}
+
+void
+AdaptiveBatcher::submit(ServiceRequest request)
+{
+    submitted_.inc();
+    if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("tt_batcher_submitted_total", {}, "")
+            .inc();
+    }
+
+    std::vector<ServiceRequest> ready;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        Group &group = pending_[keyOf(request)];
+        if (group.requests.empty())
+            group.oldestArrival = Clock::now();
+        group.requests.push_back(std::move(request));
+        if (group.requests.size() >=
+            control_->limit.load(std::memory_order_relaxed)) {
+            ready = std::move(group.requests);
+            group.requests.clear();
+        }
+    }
+    if (!ready.empty()) {
+        dispatchGroup(std::move(ready));
+    } else {
+        // A fresh group needs the flusher to arm its deadline.
+        cv_.notify_one();
+    }
+}
+
+void
+AdaptiveBatcher::flush()
+{
+    std::vector<std::vector<ServiceRequest>> groups;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &[key, group] : pending_) {
+            if (!group.requests.empty())
+                groups.push_back(std::move(group.requests));
+        }
+        pending_.clear();
+    }
+    for (auto &g : groups)
+        dispatchGroup(std::move(g));
+}
+
+void
+AdaptiveBatcher::dispatchGroup(std::vector<ServiceRequest> requests)
+{
+    // Chunk to the hard ceiling: a group can transiently exceed the
+    // adaptive limit when AIMD halves it between submit and here.
+    std::size_t offset = 0;
+    while (offset < requests.size()) {
+        std::size_t n = std::min(cfg_.maxBatch,
+                                 requests.size() - offset);
+        std::vector<ServiceRequest> chunk(
+            std::make_move_iterator(requests.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        offset)),
+            std::make_move_iterator(requests.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        offset + n)));
+        offset += n;
+        // The hook captures the shared control block, not `this`:
+        // a batch may outlive the batcher.
+        std::shared_ptr<Control> control = control_;
+        dispatch_(std::move(chunk),
+                  [control](std::size_t batch_size,
+                            double wall_seconds) {
+                      control->observe(batch_size, wall_seconds);
+                  });
+    }
+}
+
+void
+AdaptiveBatcher::flusherMain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    auto delay = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(cfg_.maxDelaySeconds));
+    while (!stop_) {
+        // Earliest deadline across pending groups, if any.
+        bool have_deadline = false;
+        Clock::time_point deadline{};
+        for (const auto &[key, group] : pending_) {
+            if (group.requests.empty())
+                continue;
+            Clock::time_point d = group.oldestArrival + delay;
+            if (!have_deadline || d < deadline) {
+                deadline = d;
+                have_deadline = true;
+            }
+        }
+
+        if (!have_deadline) {
+            cv_.wait(lock);
+            continue;
+        }
+        if (cv_.wait_until(lock, deadline) ==
+            std::cv_status::no_timeout)
+            continue; // Re-derive deadlines (new group / stop).
+
+        // Deadline passed: flush every overdue group.
+        Clock::time_point now = Clock::now();
+        std::vector<std::vector<ServiceRequest>> due;
+        for (auto &[key, group] : pending_) {
+            if (!group.requests.empty() &&
+                group.oldestArrival + delay <= now) {
+                due.push_back(std::move(group.requests));
+                group.requests.clear();
+            }
+        }
+        if (due.empty())
+            continue;
+        lock.unlock();
+        for (auto &g : due)
+            dispatchGroup(std::move(g));
+        lock.lock();
+    }
+}
+
+std::size_t
+AdaptiveBatcher::currentBatchLimit() const
+{
+    return control_->limit.load(std::memory_order_relaxed);
+}
+
+BatcherStats
+AdaptiveBatcher::stats() const
+{
+    auto count = [](const obs::Counter &c) {
+        return static_cast<std::uint64_t>(c.value() + 0.5);
+    };
+    BatcherStats s;
+    s.submitted = count(submitted_);
+    s.batches = count(control_->batches);
+    s.batchedRequests = count(control_->batchedRequests);
+    s.limitIncreases = count(control_->limitIncreases);
+    s.limitDecreases = count(control_->limitDecreases);
+    s.currentLimit =
+        control_->limit.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[key, group] : pending_)
+            s.pending += group.requests.size();
+    }
+    return s;
+}
+
+} // namespace toltiers::serving

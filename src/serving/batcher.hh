@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Adaptive micro-batcher for the serving path.
+ *
+ * Dispatching every request as its own pool task pays per-task
+ * scheduling overhead and scatters same-tier work across workers.
+ * Clipper's serving layer showed that coalescing requests into
+ * small batches under a latency bound recovers that overhead, and
+ * that the right batch size is a moving target best tracked by
+ * AIMD: grow the batch additively while the observed per-batch
+ * latency stays under the target, halve it multiplicatively the
+ * moment a batch overshoots. This batcher implements exactly that
+ * policy in front of the tier service's concurrent front door.
+ *
+ * Mechanics: submit() appends the request to the pending group of
+ * its batch key — (objective, tolerance bucket), i.e. requests the
+ * tier service would route through the same rule ensemble. A group
+ * is dispatched when it reaches the current adaptive batch limit
+ * (from the submitting thread, inline) or when its oldest request
+ * has waited `maxDelaySeconds` (from the batcher's flusher thread).
+ * Dispatch hands the batch to a caller-supplied BatchDispatch
+ * callback — in this repo, TierFrontDoor::submitBatch, which runs
+ * the whole batch as one pool task — together with a completion
+ * hook the executor invokes with the batch's measured wall latency;
+ * that measurement drives the AIMD adjustment.
+ *
+ * Layering: the batcher lives in serving/ and knows nothing about
+ * the core tier service — it batches ServiceRequests and calls a
+ * std::function. The glue to TierFrontDoor::submitBatch is one
+ * lambda at the call site (see bench/abl_cache.cc and
+ * examples), which keeps serving/ free of a dependency cycle on
+ * core/.
+ *
+ * Lifetime: the destructor flushes pending requests and joins the
+ * flusher thread. AIMD state is held in a shared control block
+ * captured by the completion hooks, so batches still executing when
+ * the batcher is destroyed complete safely; callers who need all
+ * *responses* collected should drain the executor (e.g.
+ * TierFrontDoor::drain) after destroying or flushing the batcher.
+ */
+
+#ifndef TOLTIERS_SERVING_BATCHER_HH
+#define TOLTIERS_SERVING_BATCHER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "serving/request.hh"
+
+namespace toltiers::serving {
+
+/**
+ * Completion hook for one dispatched batch: the executor calls it
+ * exactly once with the batch size and the measured wall-clock
+ * seconds from dispatch to the last response.
+ */
+using BatchDone = std::function<void(std::size_t batch_size,
+                                     double wall_seconds)>;
+
+/**
+ * Executes one closed batch. The callback owns the requests and
+ * must eventually invoke `done` (the AIMD feedback path); dropping
+ * it degrades the batcher to its static limits but loses nothing
+ * else.
+ */
+using BatchDispatch =
+    std::function<void(std::vector<ServiceRequest> batch,
+                       BatchDone done)>;
+
+/** Batcher construction parameters. */
+struct BatcherConfig
+{
+    /** Hard ceiling on a dispatched batch's size (>= 1). */
+    std::size_t maxBatch = 16;
+    /** Longest a request may wait for co-batching before its group
+     * is flushed regardless of size. */
+    double maxDelaySeconds = 200e-6;
+    /** AIMD latency target: a batch whose measured wall latency
+     * exceeds this halves the adaptive limit; a full batch under it
+     * raises the limit by one. */
+    double latencyTargetSeconds = 2e-3;
+    /** When false the adaptive limit is pinned to maxBatch. */
+    bool adaptive = true;
+    /** Optional registry for the tt_batcher_* series. */
+    obs::Registry *metrics = nullptr;
+};
+
+/** Point-in-time batcher accounting. */
+struct BatcherStats
+{
+    std::uint64_t submitted = 0; //!< Requests accepted.
+    std::uint64_t batches = 0;   //!< Batches dispatched.
+    /** Requests dispatched inside batches (== submitted once the
+     * batcher is flushed). */
+    std::uint64_t batchedRequests = 0;
+    std::uint64_t limitIncreases = 0; //!< AIMD additive steps.
+    std::uint64_t limitDecreases = 0; //!< AIMD halvings.
+    std::size_t currentLimit = 0;     //!< Adaptive limit now.
+    std::size_t pending = 0;          //!< Waiting, not dispatched.
+};
+
+/** AIMD micro-batcher; see the file comment. Thread-safe. */
+class AdaptiveBatcher
+{
+  public:
+    /** @param dispatch executor for closed batches (see
+     * BatchDispatch); copied into the batcher. */
+    explicit AdaptiveBatcher(BatchDispatch dispatch,
+                             BatcherConfig cfg = BatcherConfig());
+
+    /** Flushes pending requests and joins the flusher thread. */
+    ~AdaptiveBatcher();
+
+    AdaptiveBatcher(const AdaptiveBatcher &) = delete;
+    AdaptiveBatcher &operator=(const AdaptiveBatcher &) = delete;
+
+    /**
+     * Enqueue one request into its batch group. Dispatches the
+     * group inline when it reaches the adaptive limit.
+     */
+    void submit(ServiceRequest request);
+
+    /** Dispatch every pending group now, regardless of age/size. */
+    void flush();
+
+    /** The adaptive batch limit right now, in [1, maxBatch]. */
+    std::size_t currentBatchLimit() const;
+
+    /** Point-in-time accounting snapshot. */
+    BatcherStats stats() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** Requests sharing one rule bucket, batched together. */
+    struct Group
+    {
+        std::vector<ServiceRequest> requests;
+        Clock::time_point oldestArrival;
+    };
+
+    /** Batch key: same-objective, same-tolerance-bucket requests. */
+    using GroupKey = std::pair<std::uint32_t, std::uint64_t>;
+
+    /**
+     * AIMD state shared with in-flight completion hooks, so a batch
+     * finishing after the batcher is gone still lands safely.
+     */
+    struct Control
+    {
+        std::atomic<std::size_t> limit{1};
+        std::size_t maxBatch = 16;
+        double latencyTargetSeconds = 0.0;
+        bool adaptive = true;
+        obs::Counter batches;
+        obs::Counter batchedRequests;
+        obs::Counter limitIncreases;
+        obs::Counter limitDecreases;
+        obs::Registry *metrics = nullptr;
+
+        /** Apply one batch observation (the AIMD step). */
+        void observe(std::size_t batch_size, double wall_seconds);
+    };
+
+    void flusherMain();
+    /** Dispatch `group` (chunked to maxBatch); call unlocked. */
+    void dispatchGroup(std::vector<ServiceRequest> requests);
+    GroupKey keyOf(const ServiceRequest &request) const;
+
+    BatchDispatch dispatch_;
+    BatcherConfig cfg_;
+    std::shared_ptr<Control> control_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<GroupKey, Group> pending_; //!< GUARDED_BY(mu_)
+    bool stop_ = false;                 //!< GUARDED_BY(mu_)
+
+    obs::Counter submitted_;
+    std::thread flusher_;
+};
+
+} // namespace toltiers::serving
+
+#endif // TOLTIERS_SERVING_BATCHER_HH

@@ -1,0 +1,290 @@
+#include "serving/cache.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace toltiers::serving {
+
+namespace {
+
+constexpr double kTolEps = 1e-12;
+
+/** The registry handle for one tt_cache_* counter. */
+obs::Counter &
+cacheCounter(obs::Registry &reg, const char *name, const char *help)
+{
+    return reg.counter(name, {}, help);
+}
+
+} // namespace
+
+CacheFingerprint
+makeFingerprint(std::uint64_t input_hash, Objective objective,
+                double tolerance_bucket)
+{
+    CacheFingerprint fp;
+    fp.inputHash = mix64(input_hash);
+    fp.objective = static_cast<std::uint32_t>(objective);
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(tolerance_bucket));
+    std::memcpy(&bits, &tolerance_bucket, sizeof(bits));
+    fp.toleranceBits = bits;
+    return fp;
+}
+
+std::size_t
+cacheEntryBytes(const CachedResult &result)
+{
+    // Key + doubles + list/map node overhead, then the payload. The
+    // exact allocator numbers do not matter; what matters is that
+    // the budget scales with what is actually stored.
+    constexpr std::size_t kOverhead =
+        sizeof(CacheFingerprint) + sizeof(CachedResult) + 64;
+    return kOverhead + result.output.size();
+}
+
+ResultCache::ResultCache(CacheConfig cfg)
+    : capacityBytes_(cfg.capacityBytes), ttlSeconds_(cfg.ttlSeconds),
+      metrics_(cfg.metrics)
+{
+    TT_ASSERT(capacityBytes_ > 0,
+              "result cache needs a positive byte budget");
+    std::size_t shards = std::bit_ceil(
+        cfg.shards == 0 ? std::size_t{1} : cfg.shards);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    shardBudget_ = std::max<std::size_t>(1, capacityBytes_ / shards);
+
+    if (metrics_ != nullptr) {
+        // Pre-register so an idle cache exports zeroed series.
+        cacheCounter(*metrics_, "tt_cache_lookups_total",
+                     "Result-cache lookups (hits + misses)");
+        cacheCounter(*metrics_, "tt_cache_hits_total",
+                     "Result-cache hits served");
+        cacheCounter(*metrics_, "tt_cache_misses_total",
+                     "Result-cache misses");
+        cacheCounter(*metrics_, "tt_cache_tolerance_rejects_total",
+                     "Misses caused by a stored tolerance bound "
+                     "above the request's tolerance");
+        cacheCounter(*metrics_, "tt_cache_insertions_total",
+                     "Entries inserted into the result cache");
+        cacheCounter(*metrics_, "tt_cache_evictions_total",
+                     "Entries evicted by the byte budget");
+        cacheCounter(*metrics_, "tt_cache_expired_total",
+                     "Entries removed by TTL expiry");
+        metrics_->gauge("tt_cache_bytes", {},
+                        "Resident result-cache bytes");
+        metrics_->gauge("tt_cache_entries", {},
+                        "Resident result-cache entries");
+    }
+}
+
+ResultCache::Shard &
+ResultCache::shardFor(const CacheFingerprint &key)
+{
+    // shards_.size() is a power of two, so the mask picks uniform
+    // high-quality bits from the mixed hash.
+    return *shards_[key.hash() & (shards_.size() - 1)];
+}
+
+bool
+ResultCache::expired(const Entry &e, double now) const
+{
+    return ttlSeconds_ > 0.0 &&
+           now - e.insertSeconds > ttlSeconds_;
+}
+
+bool
+ResultCache::lookup(const CacheFingerprint &key,
+                    double request_tolerance, CachedResult &out)
+{
+    lookups_.inc();
+    if (metrics_ != nullptr)
+        cacheCounter(*metrics_, "tt_cache_lookups_total", "").inc();
+
+    Shard &shard = shardFor(key);
+    double now = clock_.seconds();
+    bool hit = false;
+    bool tolerance_reject = false;
+    bool expired_entry = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            auto node = it->second;
+            if (expired(*node, now)) {
+                shard.bytes -= node->bytes;
+                shard.map.erase(it);
+                shard.lru.erase(node);
+                expired_entry = true;
+            } else if (node->result.tolerance >
+                       request_tolerance + kTolEps) {
+                // Entry exists but was produced under a *looser*
+                // bound than this request demands — serving it
+                // could weaken the guarantee. Leave it for the
+                // looser tiers it is valid for.
+                tolerance_reject = true;
+            } else {
+                out = node->result;
+                shard.lru.splice(shard.lru.begin(), shard.lru,
+                                 node); // Promote to MRU.
+                hit = true;
+            }
+        }
+    }
+
+    if (hit) {
+        hits_.inc();
+        if (metrics_ != nullptr)
+            cacheCounter(*metrics_, "tt_cache_hits_total", "").inc();
+        return true;
+    }
+    misses_.inc();
+    if (tolerance_reject)
+        toleranceRejects_.inc();
+    if (expired_entry)
+        expirations_.inc();
+    if (metrics_ != nullptr) {
+        cacheCounter(*metrics_, "tt_cache_misses_total", "").inc();
+        if (tolerance_reject) {
+            cacheCounter(*metrics_,
+                         "tt_cache_tolerance_rejects_total", "")
+                .inc();
+        }
+        if (expired_entry) {
+            cacheCounter(*metrics_, "tt_cache_expired_total", "")
+                .inc();
+            // Residency changed; the all-shard walk is only paid
+            // when an expiry actually removed something.
+            updateGauges();
+        }
+    }
+    return false;
+}
+
+void
+ResultCache::insert(const CacheFingerprint &key, CachedResult result)
+{
+    std::size_t bytes = cacheEntryBytes(result);
+    if (bytes > shardBudget_) {
+        oversized_.inc();
+        return;
+    }
+
+    Shard &shard = shardFor(key);
+    double now = clock_.seconds();
+    std::uint64_t evicted = 0;
+    std::uint64_t expired_count = 0;
+    bool replaced = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            auto node = it->second;
+            shard.bytes -= node->bytes;
+            shard.lru.erase(node);
+            shard.map.erase(it);
+            replaced = true;
+        }
+        // Make room: drop expired entries opportunistically, then
+        // least-recently-used ones until the new entry fits.
+        while (!shard.lru.empty() &&
+               shard.bytes + bytes > shardBudget_) {
+            auto victim = std::prev(shard.lru.end());
+            shard.bytes -= victim->bytes;
+            shard.map.erase(victim->key);
+            if (expired(*victim, now))
+                ++expired_count;
+            else
+                ++evicted;
+            shard.lru.erase(victim);
+        }
+        Entry e;
+        e.key = key;
+        e.result = std::move(result);
+        e.bytes = bytes;
+        e.insertSeconds = now;
+        shard.lru.push_front(std::move(e));
+        shard.map.emplace(key, shard.lru.begin());
+        shard.bytes += bytes;
+    }
+
+    insertions_.inc();
+    if (replaced)
+        replacements_.inc();
+    if (evicted > 0)
+        evictions_.inc(static_cast<double>(evicted));
+    if (expired_count > 0)
+        expirations_.inc(static_cast<double>(expired_count));
+    if (metrics_ != nullptr) {
+        cacheCounter(*metrics_, "tt_cache_insertions_total", "")
+            .inc();
+        if (evicted > 0) {
+            cacheCounter(*metrics_, "tt_cache_evictions_total", "")
+                .inc(static_cast<double>(evicted));
+        }
+        if (expired_count > 0) {
+            cacheCounter(*metrics_, "tt_cache_expired_total", "")
+                .inc(static_cast<double>(expired_count));
+        }
+        updateGauges();
+    }
+}
+
+void
+ResultCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->lru.clear();
+        shard->map.clear();
+        shard->bytes = 0;
+    }
+    if (metrics_ != nullptr)
+        updateGauges();
+}
+
+void
+ResultCache::updateGauges() const
+{
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        entries += shard->map.size();
+        bytes += shard->bytes;
+    }
+    metrics_->gauge("tt_cache_bytes", {}, "")
+        .set(static_cast<double>(bytes));
+    metrics_->gauge("tt_cache_entries", {}, "")
+        .set(static_cast<double>(entries));
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    auto count = [](const obs::Counter &c) {
+        return static_cast<std::uint64_t>(c.value() + 0.5);
+    };
+    CacheStats s;
+    s.lookups = count(lookups_);
+    s.hits = count(hits_);
+    s.misses = count(misses_);
+    s.toleranceRejects = count(toleranceRejects_);
+    s.insertions = count(insertions_);
+    s.evictions = count(evictions_);
+    s.expirations = count(expirations_);
+    s.replacements = count(replacements_);
+    s.oversized = count(oversized_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        s.entries += shard->map.size();
+        s.bytes += shard->bytes;
+    }
+    return s;
+}
+
+} // namespace toltiers::serving

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""In-repo markdown link checker.
+
+Validates every inline markdown link ``[text](target)`` in the files
+given on the command line:
+
+* relative file targets must exist (resolved against the linking
+  file's directory);
+* ``#anchor`` fragments — standalone or on a file target — must
+  match a heading in the target file, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens, ``-1``/``-2``
+  suffixes for duplicates);
+* absolute URLs (http/https/mailto) are skipped — this checker is
+  offline by design, it guards the repo's *internal* link graph.
+
+Exit status is the number of broken links (0 = all good), so CI can
+gate on it directly:
+
+    python3 tools/check_links.py README.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) — target up to the first
+# unescaped ')'. Good enough for this repo's plain markdown (no
+# nested parens in targets, no reference-style links).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL_RE = re.compile(r"^[a-z][a-z0-9+.-]*:", re.IGNORECASE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for one heading line."""
+    # Inline code markers vanish, text remains. (No emphasis
+    # handling: underscores inside code spans are slug-significant
+    # on GitHub, and this repo's headings never use *emphasis*.)
+    text = heading.replace("`", "")
+    # Links in headings anchor on their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    # Keep word characters, spaces, and hyphens; drop the rest.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    """All heading anchors of one markdown file."""
+    slugs = {}
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(2))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every inline link."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path) -> list:
+    """All broken links of one file, as printable messages."""
+    problems = []
+    for lineno, target in iter_links(path):
+        if EXTERNAL_RE.match(target):
+            continue  # http(s)/mailto: out of scope, offline check.
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        where = f"{path}:{lineno}"
+        if not dest.exists():
+            problems.append(f"{where}: missing file: {target}")
+            continue
+        if not fragment:
+            continue
+        if dest.suffix.lower() != ".md":
+            problems.append(
+                f"{where}: anchor on non-markdown target: {target}"
+            )
+            continue
+        if fragment.lower() not in anchors_of(dest):
+            problems.append(f"{where}: missing anchor: {target}")
+    return problems
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(
+            "usage: check_links.py FILE.md [FILE.md ...]",
+            file=sys.stderr,
+        )
+        return 2
+    problems = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            problems.append(f"{path}: no such file")
+            continue
+        problems.extend(check_file(path))
+    for p in problems:
+        print(p, file=sys.stderr)
+    checked = len(argv) - 1
+    print(
+        f"check_links: {checked} file(s), "
+        f"{len(problems)} broken link(s)"
+    )
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
