@@ -1,0 +1,236 @@
+/**
+ * @file
+ * ABL-OBS: observability overhead ablation.
+ *
+ * Tracing is only acceptable on the serving path if it is close to
+ * free, so this ablation measures the same front-door workload
+ * three ways and reports the cost of each telemetry posture:
+ *
+ *  - off:     no tracer attached (the metrics registry stays on —
+ *             metrics are the steady state, tracing is the knob);
+ *  - sampled: tracer attached, head-sampling 1 in 64 requests;
+ *  - full:    tracer attached, every request traced end to end
+ *             (root span, admission, rule match, execution stages,
+ *             attempt leaves).
+ *
+ * Each posture runs best-of-N over a fixed synthetic stream of
+ * CPU-burning requests (bench::SpinVersion — real compute, so the
+ * overhead denominator is genuine work, not dispatch). Results land
+ * in BENCH_obs.json; --assert-overhead=PCT makes the run exit
+ * non-zero when full tracing costs more than PCT percent over off —
+ * the CI gate that keeps the "tracing is cheap enough to leave on"
+ * claim honest. --trace-out=PATH additionally exports the full
+ * posture's trace log (the CI artifact tools/ttrace analyzes).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stopwatch.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/front_door.hh"
+#include "core/tier_service.hh"
+#include "exec/exec.hh"
+#include "harness.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+using namespace toltiers;
+
+namespace {
+
+serving::ServiceRequest
+spinRequest(std::size_t i)
+{
+    serving::ServiceRequest req;
+    req.id = i;
+    req.payload = i % 64;
+    req.tier.tolerance = 0.05;
+    return req;
+}
+
+/**
+ * One timed pass: `requests` requests through a TierFrontDoor on a
+ * single-thread pool (serialized execution keeps the measurement's
+ * variance down; the tracing cost is per request, not per thread).
+ * The tracer — when given — is wired to both the door (originator)
+ * and the service the caller configured beforehand.
+ */
+double
+timedRun(const core::TierService &svc, obs::Tracer *tracer,
+         std::size_t requests)
+{
+    exec::ThreadPool pool(1);
+    core::FrontDoorConfig cfg;
+    cfg.pool = &pool;
+    cfg.queueCapacity = requests;
+    cfg.metrics = &obs::Registry::global();
+    cfg.tracer = tracer;
+    core::TierFrontDoor door(svc, cfg);
+
+    common::Stopwatch watch;
+    std::vector<core::TierFrontDoor::Ticket> tickets;
+    tickets.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i)
+        tickets.push_back(door.submit(spinRequest(i)));
+    for (auto t : tickets)
+        door.wait(t);
+    return watch.seconds();
+}
+
+struct ModeResult
+{
+    std::string mode;
+    double seconds = 0.0;     //!< Best-of-N wall time.
+    double throughput = 0.0;  //!< Requests per second at the best.
+    double overheadPct = 0.0; //!< vs. the off posture.
+    std::size_t traces = 0;   //!< Traces kept in the final pass.
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ObsSession obs_session(
+        argc, argv,
+        {"obs-requests", "obs-reps", "obs-json",
+         "assert-overhead"});
+    bench::banner("ABL-OBS: tracing overhead",
+                  "off / sampled(1:64) / full posture over the "
+                  "same front-door stream");
+
+    const auto requests = static_cast<std::size_t>(
+        obs_session.args().getInt("obs-requests", 2000));
+    const auto reps = static_cast<std::size_t>(
+        obs_session.args().getInt("obs-reps", 5));
+    const std::string json_path =
+        obs_session.args().getString("obs-json", "BENCH_obs.json");
+    const double assert_pct =
+        obs_session.args().getDouble("assert-overhead", 0.0);
+
+    // ~100µs of real compute per request — the cheap end of a real
+    // inference — so the ~2-3µs of span bookkeeping is measured
+    // against genuine work, not against an empty dispatch loop.
+    bench::SpinVersion fast("spin-fast", 32000, 1.0);
+    core::TierService svc({&fast});
+    core::RoutingRule rule;
+    rule.tolerance = 0.05;
+    rule.cfg.kind = core::PolicyKind::Single;
+    rule.cfg.primary = 0;
+    rule.cfg.secondary = 0;
+    svc.setRules(serving::Objective::ResponseTime, {rule});
+
+    obs::Tracer tracer;
+    svc.attachObservability(
+        {&obs::Registry::global(), &tracer, nullptr});
+
+    // Warm up the allocator and the service path once, untraced.
+    tracer.setSampleEvery(0);
+    (void)timedRun(svc, nullptr, std::min<std::size_t>(
+                                     requests, 256));
+
+    struct Posture
+    {
+        const char *mode;
+        bool attach;
+        std::uint64_t sampleEvery;
+    };
+    const Posture postures[] = {
+        {"off", false, 0},
+        {"sampled", true, 64},
+        {"full", true, 1},
+    };
+
+    std::vector<ModeResult> results;
+    for (const Posture &p : postures) {
+        tracer.setSampleEvery(p.sampleEvery);
+        ModeResult r;
+        r.mode = p.mode;
+        r.seconds = 1e300;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+            bool last = rep + 1 == reps;
+            r.seconds = std::min(
+                r.seconds,
+                timedRun(svc, p.attach ? &tracer : nullptr,
+                         requests));
+            // Keep only the final pass's traces: the sampled and
+            // full postures pay the recording cost every pass, but
+            // the exported artifact stays one run's worth.
+            if (!last)
+                (void)tracer.drain();
+        }
+        r.throughput = static_cast<double>(requests) / r.seconds;
+        r.traces = tracer.traceCount();
+        if (std::string(p.mode) == "full" &&
+            obs::exportTracesForCli(obs_session.args(), tracer)) {
+            // Full posture's log exported for offline analysis.
+        }
+        (void)tracer.drain();
+        results.push_back(r);
+    }
+
+    double off_seconds = results.front().seconds;
+    for (ModeResult &r : results)
+        r.overheadPct =
+            (r.seconds - off_seconds) / off_seconds * 100.0;
+
+    common::Table table(common::strprintf(
+        "tracing overhead (%zu requests, best of %zu)", requests,
+        reps));
+    table.setHeader(
+        {"posture", "wall time", "req/s", "overhead", "traces"});
+    for (const ModeResult &r : results) {
+        table.addRow({r.mode,
+                      common::formatFixed(r.seconds * 1e3, 1) + "ms",
+                      common::formatFixed(r.throughput, 0),
+                      common::formatFixed(r.overheadPct, 2) + "%",
+                      std::to_string(r.traces)});
+    }
+    table.print(std::cout);
+
+    std::ofstream json_out(json_path);
+    common::JsonWriter json(json_out);
+    json.beginObject();
+    json.member("bench", "obs_overhead");
+    json.member("requests", static_cast<double>(requests));
+    json.member("repetitions", static_cast<double>(reps));
+    json.beginArray("postures");
+    for (const ModeResult &r : results) {
+        json.beginObject();
+        json.member("mode", r.mode);
+        json.member("seconds", r.seconds);
+        json.member("throughput", r.throughput);
+        json.member("overheadPct", r.overheadPct);
+        json.member("traces", static_cast<double>(r.traces));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    json_out << '\n';
+    std::printf("\nobs ablation written to %s\n", json_path.c_str());
+
+    double full_pct = results.back().overheadPct;
+    if (assert_pct > 0.0 && full_pct > assert_pct) {
+        std::fprintf(stderr,
+                     "FAIL: full tracing costs %.2f%% over off "
+                     "(bound: %.2f%%)\n",
+                     full_pct, assert_pct);
+        return 1;
+    }
+    std::printf("reading: full tracing adds %.2f%% over the "
+                "untraced path%s.\n",
+                full_pct,
+                assert_pct > 0.0 ? common::strprintf(
+                                       " (within the %.1f%% bound)",
+                                       assert_pct)
+                                       .c_str()
+                                 : "");
+    return 0;
+}

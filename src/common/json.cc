@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -68,8 +69,16 @@ JsonWriter::number(double v)
         os_ << "null";
         return;
     }
+    // Shortest representation that parses back to the same double,
+    // so readers (the ttrace trace-log reader in particular)
+    // reconstruct values exactly without paying 17 digits for every
+    // cleanly-representable number.
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    for (int precision = 12; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
     os_ << buf;
 }
 

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
 #include "exec/parallel.hh"
+#include "obs/attribution.hh"
 
 namespace toltiers::core {
 
@@ -27,11 +28,16 @@ TierFrontDoor::TierFrontDoor(const TierService &service,
                              FrontDoorConfig cfg)
     : service_(service),
       pool_(cfg.pool != nullptr ? *cfg.pool : exec::globalPool()),
-      capacity_(cfg.queueCapacity), metrics_(cfg.metrics)
+      capacity_(cfg.queueCapacity), metrics_(cfg.metrics),
+      tracer_(cfg.tracer)
 {
     TT_ASSERT(capacity_ > 0, "front door needs a positive capacity");
     if (metrics_ != nullptr) {
         // Pre-register the series so an idle door exports zeros.
+        metrics_->histogram(
+            "tt_frontdoor_queue_wait_seconds", {},
+            obs::exponentialBounds(1e-7, 1.0, 15),
+            "Seconds between admission and pool pickup");
         frontDoorCounter(*metrics_, "tt_frontdoor_submitted_total",
                          "Requests offered to the front door");
         frontDoorCounter(*metrics_, "tt_frontdoor_rejected_total",
@@ -93,10 +99,17 @@ TierFrontDoor::submit(serving::ServiceRequest request)
     if (ticket == kRejected)
         return kRejected;
 
-    pool_.submit(
-        [this, slot, request = std::move(request)]() mutable {
-            complete(slot, service_.handle(request));
-        });
+    // The trace (when sampled) starts at admission so the queue
+    // wait is part of the request's span tree; the pool lambda
+    // must stay copyable, hence the shared_ptr carrier.
+    std::shared_ptr<obs::Trace> trace;
+    if (tracer_ != nullptr && tracer_->shouldSample())
+        trace = std::make_shared<obs::Trace>(tracer_->startTrace());
+    pool_.submit([this, slot, request = std::move(request), trace,
+                  queued = common::Stopwatch()]() mutable {
+        complete(slot,
+                 serveAdmitted(request, trace, queued.seconds()));
+    });
     return ticket;
 }
 
@@ -106,11 +119,16 @@ TierFrontDoor::submitBatch(std::vector<serving::ServiceRequest> batch,
 {
     std::vector<Ticket> tickets(batch.size(), kRejected);
 
-    // One admitted (request, slot) unit of the batch task.
+    // One admitted (request, slot) unit of the batch task. Each
+    // unit carries its own trace and admission stopwatch: requests
+    // in one batch task still get individual span trees and
+    // queue-wait attribution.
     struct Unit
     {
         serving::ServiceRequest request;
         std::shared_ptr<Slot> slot;
+        std::shared_ptr<obs::Trace> trace;
+        common::Stopwatch queued;
     };
     auto units = std::make_shared<std::vector<Unit>>();
     units->reserve(batch.size());
@@ -118,8 +136,15 @@ TierFrontDoor::submitBatch(std::vector<serving::ServiceRequest> batch,
         std::shared_ptr<Slot> slot;
         Ticket t = admit(slot);
         tickets[i] = t;
-        if (t != kRejected)
-            units->push_back({std::move(batch[i]), std::move(slot)});
+        if (t == kRejected)
+            continue;
+        std::shared_ptr<obs::Trace> trace;
+        if (tracer_ != nullptr && tracer_->shouldSample()) {
+            trace = std::make_shared<obs::Trace>(
+                tracer_->startTrace());
+        }
+        units->push_back({std::move(batch[i]), std::move(slot),
+                          std::move(trace), common::Stopwatch()});
     }
 
     if (units->empty()) {
@@ -138,12 +163,65 @@ TierFrontDoor::submitBatch(std::vector<serving::ServiceRequest> batch,
     }
     pool_.submit([this, units, done = std::move(done)] {
         common::Stopwatch watch;
-        for (Unit &u : *units)
-            complete(u.slot, service_.handle(u.request));
+        for (Unit &u : *units) {
+            complete(u.slot, serveAdmitted(u.request, u.trace,
+                                           u.queued.seconds()));
+        }
         if (done)
             done(units->size(), watch.seconds());
     });
     return tickets;
+}
+
+TierResponse
+TierFrontDoor::serveAdmitted(const serving::ServiceRequest &request,
+                             const std::shared_ptr<obs::Trace> &trace,
+                             double queue_wait) const
+{
+    if (metrics_ != nullptr && obs::metricsEnabled()) {
+        metrics_
+            ->histogram("tt_frontdoor_queue_wait_seconds", {},
+                        obs::exponentialBounds(1e-7, 1.0, 15),
+                        "Seconds between admission and pool pickup")
+            .observe(queue_wait);
+        obs::recordStageSeconds(*metrics_, obs::stage::kAdmission,
+                                queue_wait);
+        if (request.batchWaitSeconds > 0.0) {
+            obs::recordStageSeconds(*metrics_,
+                                    obs::stage::kBatchWait,
+                                    request.batchWaitSeconds);
+        }
+    }
+    if (!trace) {
+        // With a tracer attached, the door already consumed this
+        // request's (negative) sampling decision; pass an inactive
+        // context so the service does not re-sample and originate
+        // a second, disconnected trace. Without one, delegate so a
+        // service-attached tracer can still originate.
+        if (tracer_ != nullptr)
+            return service_.handle(request, obs::TraceContext{});
+        return service_.handle(request);
+    }
+
+    // Originate the span tree: root `request` span (duration
+    // patched by the tier service), wall-clock admission span, and
+    // the batcher's measured wait when the request crossed one.
+    // Everything downstream nests under the propagated context.
+    std::uint64_t root = trace->addSpan("request", 0.0, 0.0);
+    std::uint64_t adm =
+        trace->addSpan("admission", 0.0, queue_wait, root);
+    trace->annotate(adm, "clock", "wall");
+    double offset = queue_wait;
+    if (request.batchWaitSeconds > 0.0) {
+        std::uint64_t bw = trace->addSpan(
+            "batch_wait", offset, request.batchWaitSeconds, root);
+        trace->annotate(bw, "clock", "wall");
+        offset += request.batchWaitSeconds;
+    }
+    obs::TraceContext span_ctx{trace.get(), root, offset};
+    TierResponse resp = service_.handle(request, span_ctx);
+    tracer_->finish(std::move(*trace));
+    return resp;
 }
 
 void

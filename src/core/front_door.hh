@@ -26,6 +26,17 @@
  * cache-line-padded atomics, so eight clients hammering the door
  * do not serialize on one counter line.
  *
+ * The door is also the trace originator: with a Tracer attached,
+ * each sampled request gets one trace whose root `request` span is
+ * started here, an `admission` span covering the measured wall time
+ * between admission and pool pickup (also recorded into
+ * tt_frontdoor_queue_wait_seconds and the admission stage
+ * histogram), a `batch_wait` span when the request crossed the
+ * adaptive batcher, and a TraceContext handed to
+ * TierService::handle so the tier chain's spans nest under the same
+ * root — one connected span tree per request, front door to
+ * resilience leg.
+ *
  * Thread safety: every method may be called from any thread.
  * handle() itself is const over immutable service state and its
  * telemetry sinks are thread-safe, so requests execute genuinely
@@ -43,9 +54,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stopwatch.hh"
 #include "core/tier_service.hh"
 #include "exec/pool.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace toltiers::core {
 
@@ -59,6 +72,9 @@ struct FrontDoorConfig
     exec::ThreadPool *pool = nullptr;
     /** Optional registry for the tt_frontdoor_* counters. */
     obs::Registry *metrics = nullptr;
+    /** Optional tracer: the door originates one trace per sampled
+     * request and propagates its context into the tier chain. */
+    obs::Tracer *tracer = nullptr;
 };
 
 /** Point-in-time front-door accounting (sums are exact once the
@@ -160,6 +176,14 @@ class TierFrontDoor
     /** Count + admit one request: claims a capacity slot and
      * registers a ticket, or returns kRejected (shed). */
     Ticket admit(std::shared_ptr<Slot> &slot_out);
+    /** Serve one admitted request on a pool thread: record the
+     * measured queue wait (admission stage), then run the tier
+     * chain — under `trace`'s root span when the request was
+     * sampled (the trace is finished here). */
+    TierResponse
+    serveAdmitted(const serving::ServiceRequest &request,
+                  const std::shared_ptr<obs::Trace> &trace,
+                  double queue_wait) const;
     std::shared_ptr<Slot> findSlot(Ticket ticket) const;
     std::shared_ptr<Slot> takeSlot(Ticket ticket);
     void complete(const std::shared_ptr<Slot> &slot,
@@ -189,6 +213,7 @@ class TierFrontDoor
     obs::Counter batches_;
 
     obs::Registry *metrics_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace toltiers::core

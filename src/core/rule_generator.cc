@@ -41,7 +41,7 @@ RoutingRuleGenerator::RoutingRuleGenerator(
 
     if (obs::Registry *reg = cfg_.metrics) {
         auto &trials = reg->histogram(
-            "toltiers_rulegen_trials_per_config", {},
+            "tt_rulegen_trials_per_config", {},
             obs::linearBounds(
                 static_cast<double>(cfg_.minTrials),
                 static_cast<double>(cfg_.maxTrials), 10),
@@ -51,13 +51,13 @@ RoutingRuleGenerator::RoutingRuleGenerator(
             trials.observe(static_cast<double>(rec.trials));
             total += static_cast<double>(rec.trials);
         }
-        reg->counter("toltiers_rulegen_trials_total", {},
+        reg->counter("tt_rulegen_trials_total", {},
                      "Total bootstrap iterations run")
             .inc(total);
-        reg->counter("toltiers_rulegen_configs_total", {},
+        reg->counter("tt_rulegen_configs_total", {},
                      "Candidate configurations bootstrapped")
             .inc(static_cast<double>(records_.size()));
-        reg->counter("toltiers_rulegen_bootstrap_seconds_total", {},
+        reg->counter("tt_rulegen_bootstrap_seconds_total", {},
                      "Wall time spent bootstrapping candidates")
             .inc(sw.seconds());
     }
@@ -126,10 +126,10 @@ RoutingRuleGenerator::generate(const std::vector<double> &tolerances,
         obs::Labels labels = {
             {"objective", serving::objectiveName(objective)}};
         pruned = &reg->counter(
-            "toltiers_rulegen_configs_pruned_total", labels,
+            "tt_rulegen_configs_pruned_total", labels,
             "Candidates rejected for exceeding a tier's tolerance");
         tol_seconds = &reg->histogram(
-            "toltiers_rulegen_generate_seconds", labels,
+            "tt_rulegen_generate_seconds", labels,
             obs::exponentialBounds(1e-7, 1.0, 15),
             "Wall time selecting the rule for one tolerance");
     }

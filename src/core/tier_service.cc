@@ -167,12 +167,12 @@ TierService::registerRuleSeries(serving::Objective objective,
     // counters for tiers that have not seen traffic yet.
     for (const RoutingRule &r : rules) {
         obs::Labels labels = tierLabels(objective, r.tolerance);
-        ctx_.metrics->counter("toltiers_tier_requests_total", labels,
+        ctx_.metrics->counter("tt_tier_requests_total", labels,
                               "Requests served per tier");
-        ctx_.metrics->counter("toltiers_tier_escalations_total",
+        ctx_.metrics->counter("tt_tier_escalations_total",
                               labels,
                               "Requests escalated to the secondary");
-        ctx_.metrics->histogram("toltiers_tier_latency_seconds",
+        ctx_.metrics->histogram("tt_tier_latency_seconds",
                                 labels, {},
                                 "Response latency per tier");
         ctx_.metrics->counter("tt_retries_total", labels,
@@ -185,7 +185,7 @@ TierService::registerRuleSeries(serving::Objective objective,
             "tt_guarantee_violations_total", labels,
             "Requests whose tolerance promise could not be honored");
         ctx_.metrics
-            ->gauge("toltiers_tier_rule_tolerance", labels,
+            ->gauge("tt_tier_rule_tolerance", labels,
                     "Tolerance of the rule serving the tier")
             .set(r.tolerance);
     }
@@ -227,6 +227,9 @@ TierService::appendStageTimings(TierResponse &resp,
                                 bool fallback,
                                 double cancel_at) const
 {
+    std::size_t ordinal =
+        resp.stages.empty() ? 0
+                            : resp.stages.back().stageOrdinal + 1;
     for (const StageAttempt &a : run.outcome.attempts) {
         StageTiming t;
         t.version = run.version;
@@ -237,7 +240,9 @@ TierService::appendStageTimings(TierResponse &resp,
         t.hedge = a.hedge;
         t.failed = a.failed;
         t.timedOut = a.timedOut;
+        t.won = a.won;
         t.fallback = fallback;
+        t.stageOrdinal = ordinal;
         if (cancel_at >= 0.0) {
             if (t.startSeconds >= cancel_at)
                 continue; // Never dispatched: winner beat its start.
@@ -344,6 +349,24 @@ TierService::runFallbackChain(
 TierResponse
 TierService::handle(const serving::ServiceRequest &request) const
 {
+    // Originator form: no caller-provided trace context, so start
+    // (and finish) a trace here when the tracer samples this
+    // request. The root span's duration is patched by recordTrace.
+    if (ctx_.tracer != nullptr && ctx_.tracer->shouldSample()) {
+        obs::Trace trace = ctx_.tracer->startTrace();
+        std::uint64_t root = trace.addSpan("request", 0.0, 0.0);
+        obs::TraceContext span_ctx{&trace, root, 0.0};
+        TierResponse resp = handle(request, span_ctx);
+        ctx_.tracer->finish(std::move(trace));
+        return resp;
+    }
+    return handle(request, obs::TraceContext{});
+}
+
+TierResponse
+TierService::handle(const serving::ServiceRequest &request,
+                    const obs::TraceContext &span_ctx) const
+{
     common::Stopwatch rule_match_sw;
     const RoutingRule &rule =
         ruleFor(request.tier.tolerance, request.tier.objective);
@@ -359,25 +382,34 @@ TierService::handle(const serving::ServiceRequest &request) const
     // cache itself re-checks that the stored bound does not exceed
     // the request's tolerance, so a hit never weakens a guarantee.
     serving::CacheFingerprint fp;
+    double cache_wall = 0.0;
     if (cache_ != nullptr) {
+        common::Stopwatch cache_sw;
         fp = serving::makeFingerprint(request.payload,
                                       request.tier.objective,
                                       rule.tolerance);
         serving::CachedResult cached;
-        if (cache_->lookup(fp, request.tier.tolerance, cached)) {
+        bool hit =
+            cache_->lookup(fp, request.tier.tolerance, cached);
+        cache_wall = cache_sw.seconds();
+        if (hit) {
             resp.output = cached.output;
             resp.confidence = cached.confidence;
             resp.servedFromCache = true;
             resp.latencySeconds = 0.0;
             resp.costDollars = 0.0;
             recordMetrics(request.tier.objective, rule, resp);
+            recordStageMetrics(resp, rule_match_wall, cache_wall);
+            recordSlo(request.tier.objective, rule, resp);
             if (ctx_.monitor) {
                 ctx_.monitor->observeLatency(
                     serving::objectiveName(request.tier.objective),
                     rule.tolerance, resp.latencySeconds);
             }
-            if (ctx_.tracer)
-                recordTrace(request, resp, rule_match_wall);
+            if (span_ctx.active()) {
+                recordTrace(request, resp, rule_match_wall,
+                            cache_wall, span_ctx);
+            }
             return resp;
         }
     }
@@ -556,6 +588,8 @@ TierService::handle(const serving::ServiceRequest &request) const
     }
 
     recordMetrics(request.tier.objective, rule, resp);
+    recordStageMetrics(resp, rule_match_wall, cache_wall);
+    recordSlo(request.tier.objective, rule, resp);
     if (ctx_.monitor) {
         ctx_.monitor->observeLatency(
             serving::objectiveName(request.tier.objective),
@@ -566,8 +600,10 @@ TierService::handle(const serving::ServiceRequest &request) const
                 rule.tolerance);
         }
     }
-    if (ctx_.tracer)
-        recordTrace(request, resp, rule_match_wall);
+    if (span_ctx.active()) {
+        recordTrace(request, resp, rule_match_wall, cache_wall,
+                    span_ctx);
+    }
     return resp;
 }
 
@@ -580,21 +616,21 @@ TierService::recordMetrics(serving::Objective objective,
         return;
     obs::Labels labels = tierLabels(objective, rule.tolerance);
     ctx_.metrics
-        ->counter("toltiers_tier_requests_total", labels,
+        ->counter("tt_tier_requests_total", labels,
                   "Requests served per tier")
         .inc();
     if (resp.escalated) {
         ctx_.metrics
-            ->counter("toltiers_tier_escalations_total", labels,
+            ->counter("tt_tier_escalations_total", labels,
                       "Requests escalated to the secondary")
             .inc();
     }
     ctx_.metrics
-        ->histogram("toltiers_tier_latency_seconds", labels, {},
+        ->histogram("tt_tier_latency_seconds", labels, {},
                     "Response latency per tier")
         .observe(resp.latencySeconds);
     ctx_.metrics
-        ->histogram("toltiers_tier_cost_dollars", labels,
+        ->histogram("tt_tier_cost_dollars", labels,
                     obs::exponentialBounds(1e-6, 10.0, 15),
                     "Invocation cost per tier")
         .observe(resp.costDollars);
@@ -626,15 +662,68 @@ TierService::recordMetrics(serving::Objective objective,
 }
 
 void
+TierService::recordStageMetrics(const TierResponse &resp,
+                                double rule_match_wall,
+                                double cache_wall) const
+{
+    if (!ctx_.metrics || !obs::metricsEnabled())
+        return;
+    obs::recordStageSeconds(*ctx_.metrics, obs::stage::kRoute,
+                            rule_match_wall);
+    if (cache_ != nullptr) {
+        obs::recordStageSeconds(*ctx_.metrics, obs::stage::kCache,
+                                cache_wall);
+    }
+    if (resp.servedFromCache)
+        return;
+    // Execution decomposes by interval coverage: the union of the
+    // attempt legs is busy time, the uncovered remainder of the
+    // response window is retry backoff, and doubly covered time is
+    // hedge overlap (a subset of execute, reported separately).
+    std::vector<obs::Interval> legs;
+    legs.reserve(resp.stages.size());
+    for (const StageTiming &t : resp.stages) {
+        legs.push_back(
+            {t.startSeconds, t.startSeconds + t.latencySeconds});
+    }
+    obs::IntervalStats stats =
+        obs::intervalStats(std::move(legs));
+    obs::recordStageSeconds(*ctx_.metrics, obs::stage::kExecute,
+                            stats.unionSeconds);
+    obs::recordStageSeconds(
+        *ctx_.metrics, obs::stage::kRetryBackoff,
+        std::max(0.0, resp.latencySeconds - stats.unionSeconds));
+    if (stats.overlapSeconds > 0.0) {
+        obs::recordStageSeconds(*ctx_.metrics,
+                                obs::stage::kHedgeOverlap,
+                                stats.overlapSeconds);
+    }
+}
+
+void
+TierService::recordSlo(serving::Objective objective,
+                       const RoutingRule &rule,
+                       const TierResponse &resp) const
+{
+    if (ctx_.slo == nullptr)
+        return;
+    // One binary budget event per served request: good unless the
+    // tolerance promise was explicitly violated (fallbacks honored
+    // the promise, so they preserve budget).
+    ctx_.slo->record(serving::objectiveName(objective),
+                     rule.tolerance, !resp.violated());
+}
+
+void
 TierService::recordTrace(const serving::ServiceRequest &request,
                          TierResponse &resp,
-                         double rule_match_wall) const
+                         double rule_match_wall, double cache_wall,
+                         const obs::TraceContext &span_ctx) const
 {
-    obs::Trace trace = ctx_.tracer->startTrace();
+    obs::Trace &trace = *span_ctx.trace;
     resp.traceId = trace.traceId();
 
-    std::uint64_t root =
-        trace.addSpan("request", 0.0, resp.latencySeconds);
+    std::uint64_t root = span_ctx.parent;
     trace.annotate(root, "objective",
                    serving::objectiveName(request.tier.objective));
     trace.annotate(root, "tolerance",
@@ -653,34 +742,80 @@ TierService::recordTrace(const serving::ServiceRequest &request,
 
     // Control-plane work is measured wall clock; it is orders of
     // magnitude below the modeled stage latencies.
-    std::uint64_t match = trace.addSpan("rule_match", 0.0,
+    double cursor = span_ctx.offset;
+    std::uint64_t match = trace.addSpan("rule_match", cursor,
                                         rule_match_wall, root);
     trace.annotate(match, "clock", "wall");
-
-    for (const StageTiming &t : resp.stages) {
-        std::uint64_t span =
-            trace.addSpan("stage:" + t.versionName, t.startSeconds,
-                          t.latencySeconds, root);
-        if (t.attempt != 0) {
-            trace.annotate(span, "attempt",
-                           common::strprintf("%llu",
-                                             static_cast<unsigned long long>(
-                                                 t.attempt)));
-        }
-        if (t.cancelled)
-            trace.annotate(span, "cancelled", "true");
-        if (t.hedge)
-            trace.annotate(span, "hedge", "true");
-        if (t.failed)
-            trace.annotate(span, "failed", "true");
-        if (t.timedOut)
-            trace.annotate(span, "timed_out", "true");
-        if (t.fallback)
-            trace.annotate(span, "fallback", "true");
-        if (resp.escalated && !t.fallback && t.startSeconds > 0.0)
-            trace.annotate(span, "escalation", "true");
+    cursor += rule_match_wall;
+    if (cache_ != nullptr) {
+        std::uint64_t look = trace.addSpan("cache_lookup", cursor,
+                                           cache_wall, root);
+        trace.annotate(look, "clock", "wall");
+        trace.annotate(look, "hit",
+                       resp.servedFromCache ? "true" : "false");
+        cursor += cache_wall;
     }
-    ctx_.tracer->finish(std::move(trace));
+
+    // One `execute` span owns the whole tier-chain window; inside
+    // it, one `stage:<version>` span per stage run (the attempts
+    // sharing a stageOrdinal) and one `attempt`/`hedge` leaf per
+    // resilience leg, each stamped with its win/lose outcome.
+    if (!resp.servedFromCache && !resp.stages.empty()) {
+        std::uint64_t exec = trace.addSpan(
+            "execute", cursor, resp.latencySeconds, root);
+        std::size_t i = 0;
+        while (i < resp.stages.size()) {
+            std::size_t ord = resp.stages[i].stageOrdinal;
+            double lo = resp.stages[i].startSeconds;
+            double hi = lo + resp.stages[i].latencySeconds;
+            std::size_t j = i + 1;
+            while (j < resp.stages.size() &&
+                   resp.stages[j].stageOrdinal == ord) {
+                lo = std::min(lo, resp.stages[j].startSeconds);
+                hi = std::max(hi,
+                              resp.stages[j].startSeconds +
+                                  resp.stages[j].latencySeconds);
+                ++j;
+            }
+            const StageTiming &first = resp.stages[i];
+            std::uint64_t stage_span = trace.addSpan(
+                "stage:" + first.versionName, cursor + lo,
+                std::max(0.0, hi - lo), exec);
+            if (first.fallback)
+                trace.annotate(stage_span, "fallback", "true");
+            for (std::size_t k = i; k < j; ++k) {
+                const StageTiming &t = resp.stages[k];
+                std::uint64_t leaf = trace.addSpan(
+                    t.hedge ? "hedge" : "attempt",
+                    cursor + t.startSeconds, t.latencySeconds,
+                    stage_span);
+                trace.annotate(
+                    leaf, "attempt",
+                    common::strprintf(
+                        "%llu", static_cast<unsigned long long>(
+                                    t.attempt)));
+                trace.annotate(leaf, "win",
+                               t.won ? "true" : "false");
+                if (t.cancelled)
+                    trace.annotate(leaf, "cancelled", "true");
+                if (t.failed)
+                    trace.annotate(leaf, "failed", "true");
+                if (t.timedOut)
+                    trace.annotate(leaf, "timed_out", "true");
+                if (t.fallback)
+                    trace.annotate(leaf, "fallback", "true");
+                if (resp.escalated && !t.fallback &&
+                    t.startSeconds > 0.0)
+                    trace.annotate(leaf, "escalation", "true");
+            }
+            i = j;
+        }
+    }
+
+    // The parent covers everything this request added to the
+    // timeline: the caller's offset (admission + batch wait), the
+    // wall-clock control plane, and the modeled response latency.
+    trace.setDuration(root, cursor + resp.latencySeconds);
 }
 
 } // namespace toltiers::core

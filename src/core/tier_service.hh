@@ -24,13 +24,25 @@
  * per-tier request/escalation counters, latency/cost histograms,
  * and the fault-path counters (tt_retries_total, tt_hedges_total,
  * tt_fallbacks_total, tt_guarantee_violations_total) land in a
- * metrics registry; each request can emit a span timeline into a
- * Tracer (root `request` span plus wall-clock `rule_match` and
- * modeled per-attempt stage spans, hedges and fallbacks included);
- * latencies feed the live GuaranteeMonitor, and explicit
- * violations are reported to it the moment they are served. All
- * telemetry is optional and adds nothing when no context is
- * attached.
+ * metrics registry; each request's wall time is decomposed into
+ * the per-stage tt_stage_seconds histograms (route, cache,
+ * execute, retry-backoff, hedge-overlap — see obs/attribution.hh);
+ * latencies feed the live GuaranteeMonitor, explicit violations
+ * are reported to it the moment they are served, and every served
+ * request spends or preserves its tier's error budget in the SLO
+ * burn-rate tracker. All telemetry is optional and adds nothing
+ * when no context is attached.
+ *
+ * Tracing is causal: handle(request, TraceContext) records its
+ * spans *into the caller's trace* under the caller's root span —
+ * the front door propagates one context from admission through
+ * batching into the tier chain, so a request yields one connected
+ * span tree (rule_match and cache_lookup wall-clock spans, then an
+ * `execute` span owning one `stage:<version>` span per ensemble or
+ * fallback stage, each owning one `attempt`/`hedge` leaf per
+ * resilience leg with its win/lose outcome). handle(request) with
+ * no context is the originator form: it starts a trace itself
+ * (subject to the tracer's sampling) and finishes it.
  *
  * The serving path can be fronted by a result cache (setCache):
  * handle() looks the request's fingerprint up before executing the
@@ -76,6 +88,11 @@ struct StageTiming
     bool failed = false;         //!< Backend error on this attempt.
     bool timedOut = false;       //!< Ran past the deadline cap.
     bool fallback = false;       //!< Graceful-degradation stage.
+    bool won = false;            //!< Produced its stage's result.
+    /** Which stage run of the request this attempt belongs to
+     * (rule stages first, then fallback stages, in run order) —
+     * the grouping the trace's stage spans are built from. */
+    std::size_t stageOrdinal = 0;
 };
 
 /** How a response's tolerance promise was (or was not) honored. */
@@ -191,8 +208,23 @@ class TierService
     const RoutingRule &ruleFor(double tolerance,
                                serving::Objective objective) const;
 
-    /** Serve one annotated request live. */
+    /**
+     * Serve one annotated request live. Originator form: when a
+     * tracer is attached and sampling selects this request, starts
+     * a trace, records the request's span tree, and finishes it.
+     */
     TierResponse handle(const serving::ServiceRequest &request) const;
+
+    /**
+     * Serve one request, recording spans into the caller's trace
+     * under `span_ctx.parent` starting at `span_ctx.offset` (the
+     * propagated-context form the front door uses; see
+     * obs::TraceContext). An inactive context serves without
+     * tracing. The caller owns and finishes the trace; this method
+     * sets the parent span's duration to cover the work it added.
+     */
+    TierResponse handle(const serving::ServiceRequest &request,
+                        const obs::TraceContext &span_ctx) const;
 
     /** Number of deployed service versions. */
     std::size_t versionCount() const { return versions_.size(); }
@@ -224,9 +256,16 @@ class TierService
     void recordMetrics(serving::Objective objective,
                        const RoutingRule &rule,
                        const TierResponse &resp) const;
+    void recordStageMetrics(const TierResponse &resp,
+                            double rule_match_wall,
+                            double cache_wall) const;
+    void recordSlo(serving::Objective objective,
+                   const RoutingRule &rule,
+                   const TierResponse &resp) const;
     void recordTrace(const serving::ServiceRequest &request,
-                     TierResponse &resp, double rule_match_wall)
-        const;
+                     TierResponse &resp, double rule_match_wall,
+                     double cache_wall,
+                     const obs::TraceContext &span_ctx) const;
 
     std::vector<const serving::ServiceVersion *> versions_;
     std::map<serving::Objective, std::vector<RoutingRule>> rules_;

@@ -43,7 +43,7 @@ IcServiceVersion::process(std::size_t index) const
 #if TOLTIERS_OBS_ENABLED
     if (obs::metricsEnabled()) {
         obs::Registry::global()
-            .histogram("toltiers_inference_wall_seconds",
+            .histogram("tt_inference_wall_seconds",
                        {{"service", "ic"},
                         {"version", classifier_.name()}},
                        {},

@@ -181,19 +181,19 @@ GuaranteeMonitor::updateMetrics(Registry &registry) const
             {"tier",
              common::strprintf("%g", st.guarantee.tolerance)}};
         registry
-            .gauge("toltiers_guarantee_degradation", labels,
+            .gauge("tt_guarantee_degradation", labels,
                    "Observed running error degradation per tier")
             .set(st.degradation);
         registry
-            .gauge("toltiers_guarantee_tolerance", labels,
+            .gauge("tt_guarantee_tolerance", labels,
                    "Promised error-degradation bound per tier")
             .set(st.guarantee.tolerance);
         registry
-            .gauge("toltiers_guarantee_violation", labels,
+            .gauge("tt_guarantee_violation", labels,
                    "1 when the tier currently violates its promise")
             .set(st.violated() ? 1.0 : 0.0);
         registry
-            .gauge("toltiers_guarantee_served_violations", labels,
+            .gauge("tt_guarantee_served_violations", labels,
                    "Requests explicitly served in violation")
             .set(static_cast<double>(st.servedViolations));
     }

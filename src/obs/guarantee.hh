@@ -141,8 +141,8 @@ class GuaranteeMonitor
 
     /**
      * Publish per-tier status into a registry:
-     * toltiers_guarantee_degradation, toltiers_guarantee_tolerance,
-     * and toltiers_guarantee_violation gauges labelled by
+     * tt_guarantee_degradation, tt_guarantee_tolerance,
+     * and tt_guarantee_violation gauges labelled by
      * objective/tier.
      */
     void updateMetrics(Registry &registry) const;

@@ -3,13 +3,17 @@
  * Observability umbrella header and the ObsContext handle that
  * instrumented components accept.
  *
- * The subsystem has three legs (see README.md "Observability"):
+ * The subsystem has five legs (see README.md "Observability"):
  *  - metrics.hh / export.hh — the thread-safe metrics registry and
  *    its Prometheus/JSON/CSV exporters;
- *  - trace.hh — per-request span timelines and the JSONL trace log;
- *  - guarantee.hh — the live tier-guarantee monitor.
+ *  - trace.hh — per-request span timelines (causally connected via
+ *    TraceContext) and the JSONL trace log;
+ *  - attribution.hh — stage-latency attribution and the
+ *    critical-path walker over finished traces;
+ *  - guarantee.hh — the live tier-guarantee monitor;
+ *  - slo.hh — the sliding-window SLO burn-rate engine.
  *
- * ObsContext bundles optional pointers to all three so a component
+ * ObsContext bundles optional pointers to the sinks so a component
  * can be instrumented with one attach call; every pointer may be
  * null, and a default-constructed context disables everything.
  */
@@ -17,9 +21,11 @@
 #ifndef TOLTIERS_OBS_OBS_HH
 #define TOLTIERS_OBS_OBS_HH
 
+#include "obs/attribution.hh"
 #include "obs/export.hh"
 #include "obs/guarantee.hh"
 #include "obs/metrics.hh"
+#include "obs/slo.hh"
 #include "obs/trace.hh"
 
 namespace toltiers::obs {
@@ -30,12 +36,14 @@ struct ObsContext
     Registry *metrics = nullptr;
     Tracer *tracer = nullptr;
     GuaranteeMonitor *monitor = nullptr;
+    SloTracker *slo = nullptr;
 
-    /** Context with all three sinks, metrics on the global registry. */
+    /** Context with every sink, metrics on the global registry. */
     static ObsContext
-    standard(Tracer *tracer, GuaranteeMonitor *monitor)
+    standard(Tracer *tracer, GuaranteeMonitor *monitor,
+             SloTracker *slo = nullptr)
     {
-        return {&Registry::global(), tracer, monitor};
+        return {&Registry::global(), tracer, monitor, slo};
     }
 };
 

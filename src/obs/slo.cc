@@ -1,0 +1,191 @@
+#include "obs/slo.hh"
+
+#include <algorithm>
+
+#include "common/strings.hh"
+#include "obs/metrics.hh"
+
+namespace toltiers::obs {
+
+namespace {
+
+const char *sloAlertNames[] = {"none", "ticket", "page"};
+
+Labels
+sloLabels(const std::pair<std::string, double> &key)
+{
+    return {{"objective", key.first},
+            {"tier", common::strprintf("%g", key.second)}};
+}
+
+/** The spendable error budget; floored so burn stays finite even
+ * for a (degenerate) 100% target. */
+double
+errorBudget(const SloPolicy &policy)
+{
+    return std::max(1e-12, 1.0 - policy.target);
+}
+
+} // namespace
+
+const char *
+sloAlertName(SloAlert alert)
+{
+    return sloAlertNames[static_cast<std::size_t>(alert)];
+}
+
+SloTracker::SloTracker(SloPolicy defaults) : defaults_(defaults) {}
+
+void
+SloTracker::installTier(const std::string &objective,
+                        double tolerance)
+{
+    installTier(objective, tolerance, defaults_);
+}
+
+void
+SloTracker::installTier(const std::string &objective,
+                        double tolerance, const SloPolicy &policy)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Key key{objective, tolerance};
+    TierSlo &ts = tiers_[key];
+    ts.policy = policy;
+    publish(key, ts);
+}
+
+void
+SloTracker::attachMetrics(Registry *registry)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = registry;
+    if (metrics_ != nullptr) {
+        for (const auto &[key, ts] : tiers_)
+            publish(key, ts);
+    }
+}
+
+void
+SloTracker::record(const std::string &objective, double tolerance,
+                   bool good)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Key key{objective, tolerance};
+    auto it = tiers_.find(key);
+    if (it == tiers_.end()) {
+        it = tiers_.emplace(key, TierSlo{}).first;
+        it->second.policy = defaults_;
+    }
+    TierSlo &ts = it->second;
+    bool bad = !good;
+    ++ts.events;
+    ts.bad += bad ? 1 : 0;
+    ts.fast.push(bad, ts.policy.fastWindowEvents);
+    ts.slow.push(bad, ts.policy.slowWindowEvents);
+    publish(key, ts);
+}
+
+SloStatus
+SloTracker::evaluate(const Key &key, const TierSlo &ts) const
+{
+    SloStatus status;
+    status.objective = key.first;
+    status.tolerance = key.second;
+    status.policy = ts.policy;
+    status.events = ts.events;
+    status.bad = ts.bad;
+
+    double budget = errorBudget(ts.policy);
+    status.fastBurnRate = ts.fast.badFraction() / budget;
+    status.slowBurnRate = ts.slow.badFraction() / budget;
+    status.budgetRemaining = 1.0 - status.slowBurnRate;
+
+    // Multiwindow multi-burn-rate alerting: both the reactive and
+    // the sustained window must agree before anything fires, and a
+    // cold tier never alerts.
+    if (ts.events >= ts.policy.minEvents) {
+        double both = std::min(status.fastBurnRate,
+                               status.slowBurnRate);
+        if (both >= ts.policy.pageBurnRate)
+            status.alert = SloAlert::Page;
+        else if (both >= ts.policy.ticketBurnRate)
+            status.alert = SloAlert::Ticket;
+    }
+    return status;
+}
+
+void
+SloTracker::publish(const Key &key, const TierSlo &ts)
+{
+    if (metrics_ == nullptr || !metricsEnabled())
+        return;
+    SloStatus status = evaluate(key, ts);
+    Labels labels = sloLabels(key);
+    metrics_
+        ->gauge("tt_slo_events_total", labels,
+                "Requests accounted against the tier's SLO")
+        .set(static_cast<double>(status.events));
+    metrics_
+        ->gauge("tt_slo_bad_total", labels,
+                "Requests that spent error budget (violations)")
+        .set(static_cast<double>(status.bad));
+    metrics_
+        ->gauge("tt_slo_burn_rate_fast", labels,
+                "Error-budget burn rate over the fast window")
+        .set(status.fastBurnRate);
+    metrics_
+        ->gauge("tt_slo_burn_rate_slow", labels,
+                "Error-budget burn rate over the slow window")
+        .set(status.slowBurnRate);
+    metrics_
+        ->gauge("tt_slo_budget_remaining", labels,
+                "Unspent fraction of the slow window's error budget")
+        .set(status.budgetRemaining);
+    metrics_
+        ->gauge("tt_slo_alert_level", labels,
+                "Multiwindow alert severity (0 none, 1 ticket, "
+                "2 page)")
+        .set(static_cast<double>(status.alert));
+}
+
+SloStatus
+SloTracker::status(const std::string &objective,
+                   double tolerance) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Key key{objective, tolerance};
+    auto it = tiers_.find(key);
+    if (it == tiers_.end()) {
+        SloStatus none;
+        none.objective = objective;
+        none.tolerance = tolerance;
+        none.policy = defaults_;
+        return none;
+    }
+    return evaluate(key, it->second);
+}
+
+std::vector<SloStatus>
+SloTracker::statuses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SloStatus> out;
+    out.reserve(tiers_.size());
+    for (const auto &[key, ts] : tiers_)
+        out.push_back(evaluate(key, ts));
+    return out;
+}
+
+std::size_t
+SloTracker::alertCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto &[key, ts] : tiers_) {
+        if (evaluate(key, ts).alert != SloAlert::None)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace toltiers::obs

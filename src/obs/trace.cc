@@ -57,6 +57,19 @@ Trace::annotate(std::uint64_t span_id, const std::string &key,
     common::panic("annotate: unknown span id ", span_id);
 }
 
+void
+Trace::setDuration(std::uint64_t span_id, double duration)
+{
+    TT_ASSERT(duration >= 0.0, "span duration must be non-negative");
+    for (SpanRecord &s : record_.spans) {
+        if (s.id == span_id) {
+            s.duration = duration;
+            return;
+        }
+    }
+    common::panic("setDuration: unknown span id ", span_id);
+}
+
 // ---------------------------------------------------------- scoped span
 
 ScopedSpan::ScopedSpan(Trace &trace, const std::string &name,
@@ -92,6 +105,31 @@ Trace
 Tracer::startTrace()
 {
     return Trace(nextTrace_.fetch_add(1, std::memory_order_relaxed));
+}
+
+void
+Tracer::setSampleEvery(std::uint64_t n)
+{
+    sampleEvery_.store(n, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Tracer::sampleEvery() const
+{
+    return sampleEvery_.load(std::memory_order_relaxed);
+}
+
+bool
+Tracer::shouldSample()
+{
+    std::uint64_t every = sampleEvery_.load(std::memory_order_relaxed);
+    if (every == 0)
+        return false;
+    if (every == 1)
+        return true;
+    return sampleClock_.fetch_add(1, std::memory_order_relaxed) %
+               every ==
+           0;
 }
 
 void

@@ -20,6 +20,17 @@
  * Finished traces accumulate in the Tracer, which can drain them to
  * a JSONL log: one JSON object per line per trace, the schema
  * documented in README.md ("Observability").
+ *
+ * Causal propagation: a component that *originates* a request's
+ * timeline (the front door, or TierService::handle when called
+ * directly) starts the trace and creates the root `request` span;
+ * everything downstream receives a TraceContext naming the trace,
+ * the span to parent under, and the timeline offset at which the
+ * callee's work begins. One request therefore yields ONE connected
+ * span tree no matter how many layers (admission, batching, cache,
+ * tier chain, retry/hedge legs) it crosses. The ttlint rule
+ * `span-context-discipline` enforces that request-path functions
+ * which accept a TraceContext never open orphan root spans.
  */
 
 #ifndef TOLTIERS_OBS_TRACE_HH
@@ -62,11 +73,30 @@ struct TraceRecord
     double rootDuration() const;
 };
 
+class Trace;
+
+/**
+ * Propagated span context: which trace to record into, which span
+ * to parent new spans under, and where on the root timeline the
+ * callee's work begins. A default-constructed context is inactive
+ * and every consumer treats it as "tracing off". The context does
+ * not own the trace; the originator that started it finishes it.
+ */
+struct TraceContext
+{
+    Trace *trace = nullptr;
+    std::uint64_t parent = 0; //!< Span id to nest children under.
+    double offset = 0.0; //!< Timeline offset of the callee's work.
+
+    bool active() const { return trace != nullptr; }
+};
+
 /**
  * Builder for one request's timeline. Not thread-safe; one trace
- * belongs to one request on one thread. The trace origin (offset
- * zero) is the construction instant for wall-clock spans; modeled
- * spans choose their own offsets.
+ * belongs to one request on one thread (sequential handoff across
+ * threads — submit thread to pool worker — is fine). The trace
+ * origin (offset zero) is the construction instant for wall-clock
+ * spans; modeled spans choose their own offsets.
  */
 class Trace
 {
@@ -86,6 +116,14 @@ class Trace
     /** Attach a key/value attribute to an existing span. */
     void annotate(std::uint64_t span_id, const std::string &key,
                   const std::string &value);
+
+    /**
+     * Overwrite an existing span's duration — how an originator
+     * closes a root span whose extent only a callee knows (the
+     * front door opens `request` at admission; the tier chain sets
+     * its final length). panic() on an unknown id.
+     */
+    void setDuration(std::uint64_t span_id, double duration);
 
     /** Seconds since the trace origin (for wall-clock spans). */
     double elapsed() const { return clock_.seconds(); }
@@ -144,6 +182,22 @@ class Tracer
     /** Begin a new trace with a fresh id. */
     Trace startTrace();
 
+    /**
+     * Head-based sampling: keep every n-th request's trace. 1 (the
+     * default) traces everything, 0 disables tracing entirely. The
+     * decision counter is a plain atomic, so which requests are
+     * kept is deterministic under a fixed submission order.
+     */
+    void setSampleEvery(std::uint64_t n);
+    std::uint64_t sampleEvery() const;
+
+    /**
+     * Consume one sampling decision: true when the caller should
+     * start (and record) a trace for the request at hand. The
+     * originator calls this exactly once per request.
+     */
+    bool shouldSample();
+
     /** File a completed trace. Thread-safe. */
     void finish(Trace &&trace);
 
@@ -163,6 +217,8 @@ class Tracer
   private:
     mutable std::mutex mu_;
     std::atomic<std::uint64_t> nextTrace_{1};
+    std::atomic<std::uint64_t> sampleEvery_{1};
+    std::atomic<std::uint64_t> sampleClock_{0};
     std::vector<TraceRecord> traces_;
 };
 

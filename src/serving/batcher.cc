@@ -94,6 +94,11 @@ AdaptiveBatcher::AdaptiveBatcher(BatchDispatch dispatch,
                               {}, "AIMD additive increases");
         cfg_.metrics->counter("tt_batcher_limit_decreases_total",
                               {}, "AIMD multiplicative decreases");
+        cfg_.metrics->histogram(
+            "tt_batcher_queue_wait_seconds", {},
+            obs::exponentialBounds(1e-7, 1.0, 15),
+            "Seconds requests queued in the batcher before "
+            "dispatch");
         cfg_.metrics
             ->gauge("tt_batcher_limit", {},
                     "Current adaptive batch limit")
@@ -135,20 +140,25 @@ AdaptiveBatcher::submit(ServiceRequest request)
     }
 
     std::vector<ServiceRequest> ready;
+    std::vector<Clock::time_point> ready_arrivals;
     {
         std::lock_guard<std::mutex> lock(mu_);
         Group &group = pending_[keyOf(request)];
+        Clock::time_point now = Clock::now();
         if (group.requests.empty())
-            group.oldestArrival = Clock::now();
+            group.oldestArrival = now;
         group.requests.push_back(std::move(request));
+        group.arrivals.push_back(now);
         if (group.requests.size() >=
             control_->limit.load(std::memory_order_relaxed)) {
             ready = std::move(group.requests);
+            ready_arrivals = std::move(group.arrivals);
             group.requests.clear();
+            group.arrivals.clear();
         }
     }
     if (!ready.empty()) {
-        dispatchGroup(std::move(ready));
+        dispatchGroup(std::move(ready), std::move(ready_arrivals));
     } else {
         // A fresh group needs the flusher to arm its deadline.
         cv_.notify_one();
@@ -158,22 +168,49 @@ AdaptiveBatcher::submit(ServiceRequest request)
 void
 AdaptiveBatcher::flush()
 {
-    std::vector<std::vector<ServiceRequest>> groups;
+    std::vector<std::pair<std::vector<ServiceRequest>,
+                          std::vector<Clock::time_point>>>
+        groups;
     {
         std::lock_guard<std::mutex> lock(mu_);
         for (auto &[key, group] : pending_) {
-            if (!group.requests.empty())
-                groups.push_back(std::move(group.requests));
+            if (!group.requests.empty()) {
+                groups.emplace_back(std::move(group.requests),
+                                    std::move(group.arrivals));
+            }
         }
         pending_.clear();
     }
-    for (auto &g : groups)
-        dispatchGroup(std::move(g));
+    for (auto &[requests, arrivals] : groups)
+        dispatchGroup(std::move(requests), std::move(arrivals));
 }
 
 void
-AdaptiveBatcher::dispatchGroup(std::vector<ServiceRequest> requests)
+AdaptiveBatcher::dispatchGroup(
+    std::vector<ServiceRequest> requests,
+    std::vector<Clock::time_point> arrivals)
 {
+    // Stamp every request's measured batch wait at the moment it
+    // leaves the batcher, so the downstream stage attribution can
+    // bill the queueing to the batch-wait stage.
+    Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        double wait =
+            i < arrivals.size()
+                ? std::chrono::duration<double>(now - arrivals[i])
+                      .count()
+                : 0.0;
+        requests[i].batchWaitSeconds = std::max(0.0, wait);
+        if (cfg_.metrics != nullptr) {
+            cfg_.metrics
+                ->histogram("tt_batcher_queue_wait_seconds", {},
+                            obs::exponentialBounds(1e-7, 1.0, 15),
+                            "Seconds requests queued in the "
+                            "batcher before dispatch")
+                .observe(requests[i].batchWaitSeconds);
+        }
+    }
+
     // Chunk to the hard ceiling: a group can transiently exceed the
     // adaptive limit when AIMD halves it between submit and here.
     std::size_t offset = 0;
@@ -229,19 +266,23 @@ AdaptiveBatcher::flusherMain()
 
         // Deadline passed: flush every overdue group.
         Clock::time_point now = Clock::now();
-        std::vector<std::vector<ServiceRequest>> due;
+        std::vector<std::pair<std::vector<ServiceRequest>,
+                              std::vector<Clock::time_point>>>
+            due;
         for (auto &[key, group] : pending_) {
             if (!group.requests.empty() &&
                 group.oldestArrival + delay <= now) {
-                due.push_back(std::move(group.requests));
+                due.emplace_back(std::move(group.requests),
+                                 std::move(group.arrivals));
                 group.requests.clear();
+                group.arrivals.clear();
             }
         }
         if (due.empty())
             continue;
         lock.unlock();
-        for (auto &g : due)
-            dispatchGroup(std::move(g));
+        for (auto &[requests, arrivals] : due)
+            dispatchGroup(std::move(requests), std::move(arrivals));
         lock.lock();
     }
 }

@@ -144,6 +144,10 @@ class AdaptiveBatcher
     struct Group
     {
         std::vector<ServiceRequest> requests;
+        /** Per-request arrival instants, parallel to `requests` —
+         * stamped at submit() so dispatch can attribute each
+         * request's batch-wait time individually. */
+        std::vector<Clock::time_point> arrivals;
         Clock::time_point oldestArrival;
     };
 
@@ -171,8 +175,10 @@ class AdaptiveBatcher
     };
 
     void flusherMain();
-    /** Dispatch `group` (chunked to maxBatch); call unlocked. */
-    void dispatchGroup(std::vector<ServiceRequest> requests);
+    /** Dispatch `requests` (chunked to maxBatch), stamping each
+     * request's batchWaitSeconds from its arrival; call unlocked. */
+    void dispatchGroup(std::vector<ServiceRequest> requests,
+                       std::vector<Clock::time_point> arrivals);
     GroupKey keyOf(const ServiceRequest &request) const;
 
     BatchDispatch dispatch_;

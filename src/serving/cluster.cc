@@ -99,28 +99,28 @@ resolvePoolMetrics(obs::Registry *registry,
     for (std::size_t p = 0; p < pools.size(); ++p) {
         obs::Labels labels = {{"pool", pools[p].name}};
         out[p].queueWait = &registry->histogram(
-            "toltiers_sim_queue_wait_seconds", labels, {},
+            "tt_sim_queue_wait_seconds", labels, {},
             "Time stages spend queued before a server frees up");
         out[p].busySeconds = &registry->counter(
-            "toltiers_sim_busy_seconds_total", labels,
+            "tt_sim_busy_seconds_total", labels,
             "Billed busy node-seconds per pool");
         out[p].cancelledBusySeconds = &registry->counter(
-            "toltiers_sim_cancelled_busy_seconds_total", labels,
+            "tt_sim_cancelled_busy_seconds_total", labels,
             "Busy node-seconds billed to cancelled stages");
         out[p].completedStages = &registry->counter(
-            "toltiers_sim_completed_stages_total", labels,
+            "tt_sim_completed_stages_total", labels,
             "Stages run to completion per pool");
         out[p].cancelledStages = &registry->counter(
-            "toltiers_sim_cancelled_stages_total", labels,
+            "tt_sim_cancelled_stages_total", labels,
             "Stages cancelled by a raced winner per pool");
         out[p].faultedStages = &registry->counter(
-            "toltiers_sim_faulted_stages_total", labels,
+            "tt_sim_faulted_stages_total", labels,
             "Stage executions struck by an injected fault");
         out[p].retries = &registry->counter(
-            "toltiers_sim_retries_total", labels,
+            "tt_sim_retries_total", labels,
             "Stage re-executions after an injected fault");
         out[p].utilization = &registry->gauge(
-            "toltiers_sim_pool_utilization", labels,
+            "tt_sim_pool_utilization", labels,
             "Busy fraction of the pool over the last run");
     }
     return out;

@@ -158,7 +158,7 @@ FaultyServiceVersion::processAttempt(std::size_t index,
 #if TOLTIERS_OBS_ENABLED
     if (obs::metricsEnabled()) {
         obs::Registry::global()
-            .counter("toltiers_faults_injected_total",
+            .counter("tt_faults_injected_total",
                      {{"version", inner_.name()},
                       {"kind", faultKindName(fault)}},
                      "Faults injected per wrapped version")

@@ -40,6 +40,12 @@ struct ServiceRequest
     std::size_t payload = 0; //!< Index into the bound workload.
     TierAnnotation tier;
     std::map<std::string, std::string> headers;
+    /** Wall seconds the request queued in the adaptive batcher
+     * before dispatch (0 when it never crossed a batcher). Set by
+     * AdaptiveBatcher; consumed by the front door's stage
+     * attribution (`tt_stage_seconds{stage="batch-wait"}` and the
+     * trace's batch_wait span). */
+    double batchWaitSeconds = 0.0;
 };
 
 } // namespace toltiers::serving

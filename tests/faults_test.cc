@@ -679,7 +679,7 @@ TEST(FaultObs, MonitorFlagsTierServedInViolation)
 
     monitor.updateMetrics(reg);
     EXPECT_GE(counterValue(
-                  reg, "toltiers_guarantee_served_violations"),
+                  reg, "tt_guarantee_served_violations"),
               1.0);
 }
 

@@ -1,0 +1,14 @@
+// Fixture: a request-path function that receives a TraceContext
+// must record into it. Each violation below trips
+// span-context-discipline (the file poses as src/core, where the
+// rule is armed).
+
+struct TraceContext;
+
+void
+orphanSpans(Tracer &tracer, Trace &trace, const TraceContext &ctx)
+{
+    tracer.startTrace(); // span-context-discipline: new trace
+    trace.addSpan("stage", 0.0, 1.0); // orphan root span
+    ScopedSpan span(trace, "rule_match"); // orphan root span
+}

@@ -1,0 +1,20 @@
+// Fixture: disciplined propagated-context use stays silent, and
+// originators (no TraceContext parameter) may start traces and
+// open root spans freely.
+
+struct TraceContext;
+
+void
+nestedSpans(Trace &trace, const TraceContext &ctx)
+{
+    auto leaf = trace.addSpan("attempt", 0.0, 1.0, ctx.parent);
+    ScopedSpan span(trace, "cache_lookup", ctx.parent);
+    trace.annotate(leaf, "win", "true");
+}
+
+void
+originator(Tracer &tracer)
+{
+    Trace trace = tracer.startTrace(); // no context param: ok
+    trace.addSpan("request", 0.0, 0.0); // originator root: ok
+}

@@ -123,6 +123,41 @@ TEST(TtlintFixtures, ConformingGuardIsSilent)
     EXPECT_TRUE(ruleHits({"good_guard.hh"}).empty());
 }
 
+TEST(TtlintFixtures, SpanContextViolationsFlagged)
+{
+    auto hits = ruleHits({"src/core/bad_span_context.cc"});
+    // startTrace in a context-taking function, a 3-arg addSpan,
+    // and a 2-arg ScopedSpan.
+    EXPECT_EQ(hits["span-context-discipline"], 3);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintFixtures, DisciplinedSpanContextIsSilent)
+{
+    EXPECT_TRUE(
+        ruleHits({"src/core/good_span_context.cc"}).empty());
+}
+
+TEST(TtlintFixtures, SpanContextRuleIsPathGated)
+{
+    // The identical violating source is the rule's business only
+    // inside the request-path modules (src/core, src/serving).
+    const char *orphan =
+        "struct TraceContext;\n"
+        "void f(Trace &t, const TraceContext &ctx)\n"
+        "{\n"
+        "    t.addSpan(\"stage\", 0.0, 1.0);\n"
+        "}\n";
+    ScanResult outside =
+        ttlint::lintBuffers({{"src/obs/trace_helper.cc", orphan}});
+    EXPECT_TRUE(outside.findings.empty());
+
+    ScanResult inside = ttlint::lintBuffers(
+        {{"src/serving/batch_helper.cc", orphan}});
+    ASSERT_EQ(inside.findings.size(), 1u);
+    EXPECT_EQ(inside.findings[0].rule, "span-context-discipline");
+}
+
 TEST(TtlintFixtures, ValidSuppressionsSilenceFindings)
 {
     EXPECT_TRUE(ruleHits({"suppressed.cc"}).empty());

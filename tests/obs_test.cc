@@ -17,6 +17,7 @@
 #include "obs/export.hh"
 #include "obs/guarantee.hh"
 #include "obs/metrics.hh"
+#include "obs/slo.hh"
 #include "obs/trace.hh"
 #include "serving/request.hh"
 #include "serving/service_version.hh"
@@ -65,6 +66,37 @@ TEST(Histogram, QuantileOfEmptyHistogramIsZero)
     ob::Histogram h({1.0, 2.0});
     EXPECT_DOUBLE_EQ(h.p50(), 0.0);
     EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, QuantileOfSingleSampleIsThatSample)
+{
+    ob::Histogram h({1.0});
+    h.observe(0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.p50(), 0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.5);
+}
+
+TEST(Histogram, QuantileInterpolatesInsideOverflowBucket)
+{
+    // Every sample lands beyond the last bound; the open bucket
+    // interpolates between the observed extremes, never inventing
+    // mass past the maximum.
+    ob::Histogram h({1.0});
+    h.observe(5.0);
+    h.observe(9.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.0);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeArguments)
+{
+    ob::Histogram h({10.0});
+    h.observe(2.0);
+    h.observe(4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(42.0), h.quantile(1.0));
 }
 
 TEST(Histogram, MergeFoldsCountsSumsAndExtremes)
@@ -225,11 +257,11 @@ parsePrometheus(const std::string &text)
 TEST(Export, PrometheusTextParsesBackToRegistryState)
 {
     ob::Registry reg;
-    reg.counter("toltiers_requests_total", {{"tier", "0.05"}})
+    reg.counter("tt_requests_total", {{"tier", "0.05"}})
         .inc(42.0);
-    reg.gauge("toltiers_utilization").set(0.5);
+    reg.gauge("tt_utilization").set(0.5);
     ob::Histogram &h =
-        reg.histogram("toltiers_latency_seconds", {}, {0.1, 1.0});
+        reg.histogram("tt_latency_seconds", {}, {0.1, 1.0});
     h.observe(0.05);
     h.observe(0.5);
     h.observe(2.0);
@@ -239,24 +271,24 @@ TEST(Export, PrometheusTextParsesBackToRegistryState)
     auto samples = parsePrometheus(os.str());
 
     EXPECT_DOUBLE_EQ(
-        samples.at("toltiers_requests_total{tier=\"0.05\"}"), 42.0);
-    EXPECT_DOUBLE_EQ(samples.at("toltiers_utilization"), 0.5);
+        samples.at("tt_requests_total{tier=\"0.05\"}"), 42.0);
+    EXPECT_DOUBLE_EQ(samples.at("tt_utilization"), 0.5);
     // Cumulative buckets plus the +Inf catch-all.
     EXPECT_DOUBLE_EQ(
-        samples.at("toltiers_latency_seconds_bucket{le=\"0.1\"}"),
+        samples.at("tt_latency_seconds_bucket{le=\"0.1\"}"),
         1.0);
     EXPECT_DOUBLE_EQ(
-        samples.at("toltiers_latency_seconds_bucket{le=\"1\"}"),
+        samples.at("tt_latency_seconds_bucket{le=\"1\"}"),
         2.0);
     EXPECT_DOUBLE_EQ(
-        samples.at("toltiers_latency_seconds_bucket{le=\"+Inf\"}"),
+        samples.at("tt_latency_seconds_bucket{le=\"+Inf\"}"),
         3.0);
-    EXPECT_DOUBLE_EQ(samples.at("toltiers_latency_seconds_count"),
+    EXPECT_DOUBLE_EQ(samples.at("tt_latency_seconds_count"),
                      3.0);
-    EXPECT_NEAR(samples.at("toltiers_latency_seconds_sum"), 2.55,
+    EXPECT_NEAR(samples.at("tt_latency_seconds_sum"), 2.55,
                 1e-9);
     // TYPE comments are present for scrapers.
-    EXPECT_NE(os.str().find("# TYPE toltiers_requests_total counter"),
+    EXPECT_NE(os.str().find("# TYPE tt_requests_total counter"),
               std::string::npos);
 }
 
@@ -292,6 +324,54 @@ TEST(Export, CsvHasHeaderAndOneRowPerSeries)
         if (!line.empty())
             ++rows;
     EXPECT_EQ(rows, 2u);
+}
+
+TEST(Export, EscapeHelperHandlesEverySpecialCharacter)
+{
+    EXPECT_EQ(ob::escapePrometheusLabelValue("plain"), "plain");
+    EXPECT_EQ(ob::escapePrometheusLabelValue("a\"b"), "a\\\"b");
+    EXPECT_EQ(ob::escapePrometheusLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(ob::escapePrometheusLabelValue("a\nb"), "a\\nb");
+    EXPECT_EQ(ob::escapePrometheusLabelValue("\\\"\n"),
+              "\\\\\\\"\\n");
+}
+
+TEST(Export, PrometheusLabelValuesAreEscaped)
+{
+    ob::Registry reg;
+    reg.counter("tt_weird_total", {{"path", "a\\b"},
+                                   {"say", "\"hi\"\nbye"}})
+        .inc();
+    std::ostringstream os;
+    ob::exportPrometheus(reg, os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos);
+    EXPECT_NE(text.find("say=\"\\\"hi\\\"\\nbye\""),
+              std::string::npos);
+    // The raw newline must never reach the exposition line.
+    EXPECT_EQ(text.find("\nbye"), std::string::npos);
+}
+
+TEST(Export, LegacyAliasesMirrorRenamedFamiliesOnRequest)
+{
+    ob::Registry reg;
+    reg.counter("tt_tier_requests_total", {{"tier", "0.05"}})
+        .inc(7.0);
+
+    std::ostringstream current;
+    ob::exportPrometheus(reg, current);
+    EXPECT_EQ(current.str().find("toltiers_"), std::string::npos);
+
+    std::ostringstream aliased;
+    ob::exportPrometheus(reg, aliased, /*legacy_aliases=*/true);
+    const std::string text = aliased.str();
+    EXPECT_NE(
+        text.find("tt_tier_requests_total{tier=\"0.05\"} 7"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find(
+            "toltiers_tier_requests_total{tier=\"0.05\"} 7"),
+        std::string::npos);
 }
 
 // ------------------------------------------------------------------ trace
@@ -496,14 +576,127 @@ TEST(GuaranteeMonitor, PublishesStatusGauges)
     ob::Labels labels = {{"objective", "response-time"},
                          {"tier", "0.05"}};
     EXPECT_DOUBLE_EQ(
-        reg.gauge("toltiers_guarantee_violation", labels).value(),
+        reg.gauge("tt_guarantee_violation", labels).value(),
         1.0);
     EXPECT_DOUBLE_EQ(
-        reg.gauge("toltiers_guarantee_tolerance", labels).value(),
+        reg.gauge("tt_guarantee_tolerance", labels).value(),
         0.05);
     EXPECT_NEAR(
-        reg.gauge("toltiers_guarantee_degradation", labels).value(),
+        reg.gauge("tt_guarantee_degradation", labels).value(),
         1.0, 1e-9);
+}
+
+// ------------------------------------------------------- slo burn rate
+
+namespace {
+
+ob::SloPolicy
+testSloPolicy()
+{
+    ob::SloPolicy p;
+    p.target = 0.9; // error budget 0.1
+    p.fastWindowEvents = 10;
+    p.slowWindowEvents = 40;
+    p.minEvents = 10;
+    return p;
+}
+
+} // namespace
+
+TEST(Slo, BurnRateIsBadFractionOverBudget)
+{
+    ob::SloTracker slo(testSloPolicy());
+    for (int i = 0; i < 8; ++i)
+        slo.record("response-time", 0.05, true);
+    for (int i = 0; i < 2; ++i)
+        slo.record("response-time", 0.05, false);
+
+    auto st = slo.status("response-time", 0.05);
+    EXPECT_EQ(st.events, 10u);
+    EXPECT_EQ(st.bad, 2u);
+    // Both windows hold the same 10 events: 20% bad against a 10%
+    // budget burns at 2x sustainable.
+    EXPECT_DOUBLE_EQ(st.fastBurnRate, 2.0);
+    EXPECT_DOUBLE_EQ(st.slowBurnRate, 2.0);
+    EXPECT_DOUBLE_EQ(st.budgetRemaining, -1.0); // overdrawn
+    EXPECT_EQ(st.alert, ob::SloAlert::None);    // below ticket rate
+}
+
+TEST(Slo, PageNeedsBothWindowsAboveThePageRate)
+{
+    // All-bad traffic burns at 1/0.1 = 10x in both windows: past
+    // the 6x ticket rate, short of the 14.4x page rate.
+    ob::SloTracker slo(testSloPolicy());
+    for (int i = 0; i < 10; ++i)
+        slo.record("response-time", 0.05, false);
+    EXPECT_EQ(slo.status("response-time", 0.05).alert,
+              ob::SloAlert::Ticket);
+
+    // Dropping the page rate under 10x pages the same traffic.
+    ob::SloPolicy hair = testSloPolicy();
+    hair.pageBurnRate = 9.0;
+    ob::SloTracker pager(hair);
+    for (int i = 0; i < 10; ++i)
+        pager.record("response-time", 0.05, false);
+    EXPECT_EQ(pager.status("response-time", 0.05).alert,
+              ob::SloAlert::Page);
+    EXPECT_EQ(pager.alertCount(), 1u);
+
+    // A long good history cools the slow window below the page
+    // rate; a fresh bad burst alone must not page (fast window is
+    // hot, slow window is not).
+    ob::SloTracker burst(hair);
+    for (int i = 0; i < 40; ++i)
+        burst.record("response-time", 0.05, true);
+    for (int i = 0; i < 10; ++i)
+        burst.record("response-time", 0.05, false);
+    auto st = burst.status("response-time", 0.05);
+    EXPECT_DOUBLE_EQ(st.fastBurnRate, 10.0);
+    EXPECT_LT(st.slowBurnRate, 9.0);
+    EXPECT_NE(st.alert, ob::SloAlert::Page);
+}
+
+TEST(Slo, ColdTierNeverAlerts)
+{
+    ob::SloTracker slo(testSloPolicy()); // minEvents = 10
+    for (int i = 0; i < 9; ++i)
+        slo.record("response-time", 0.05, false);
+    EXPECT_EQ(slo.status("response-time", 0.05).alert,
+              ob::SloAlert::None);
+    slo.record("response-time", 0.05, false);
+    EXPECT_NE(slo.status("response-time", 0.05).alert,
+              ob::SloAlert::None);
+}
+
+TEST(Slo, RecordingAutoInstallsAndExportsSeries)
+{
+    ob::Registry reg;
+    ob::SloTracker slo(testSloPolicy());
+    slo.attachMetrics(&reg);
+    slo.installTier("cost", 0.1); // idle tier still exports zeros
+    for (int i = 0; i < 4; ++i)
+        slo.record("response-time", 0.05, i != 0);
+
+    ob::Labels rt = {{"objective", "response-time"},
+                     {"tier", "0.05"}};
+    EXPECT_DOUBLE_EQ(reg.gauge("tt_slo_events_total", rt).value(),
+                     4.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("tt_slo_bad_total", rt).value(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("tt_slo_burn_rate_fast", rt).value(), 2.5);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("tt_slo_alert_level", rt).value(), 0.0);
+
+    ob::Labels cost = {{"objective", "cost"}, {"tier", "0.1"}};
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("tt_slo_events_total", cost).value(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("tt_slo_budget_remaining", cost).value(), 1.0);
+
+    ASSERT_EQ(slo.statuses().size(), 2u);
+    EXPECT_EQ(std::string(ob::sloAlertName(ob::SloAlert::Page)),
+              "page");
 }
 
 // ----------------------------------------------- tier service integration
@@ -587,12 +780,15 @@ TEST(TierServiceObs, SequentialEscalationStagesSumToLatency)
                          resp.stages[1].latencySeconds,
                      resp.latencySeconds);
 
-    // The trace mirrors the stage breakdown.
+    // The trace mirrors the stage breakdown. The root span covers
+    // the wall-clock control plane (rule match) plus the modeled
+    // response latency, so it is slightly above latencySeconds.
     auto records = tracer.drain();
     ASSERT_EQ(records.size(), 1u);
     EXPECT_EQ(records[0].traceId, resp.traceId);
-    EXPECT_DOUBLE_EQ(records[0].rootDuration(),
-                     resp.latencySeconds);
+    EXPECT_GE(records[0].rootDuration(), resp.latencySeconds);
+    EXPECT_NEAR(records[0].rootDuration(), resp.latencySeconds,
+                0.05);
     double staged = 0.0;
     for (const auto &span : records[0].spans)
         if (span.name.rfind("stage:", 0) == 0)
@@ -603,14 +799,14 @@ TEST(TierServiceObs, SequentialEscalationStagesSumToLatency)
     ob::Labels labels = {{"objective", "response-time"},
                          {"tier", "0.05"}};
     EXPECT_DOUBLE_EQ(
-        reg.counter("toltiers_tier_requests_total", labels).value(),
+        reg.counter("tt_tier_requests_total", labels).value(),
         1.0);
     EXPECT_DOUBLE_EQ(
-        reg.counter("toltiers_tier_escalations_total", labels)
+        reg.counter("tt_tier_escalations_total", labels)
             .value(),
         1.0);
     EXPECT_EQ(
-        reg.histogram("toltiers_tier_latency_seconds", labels)
+        reg.histogram("tt_tier_latency_seconds", labels)
             .count(),
         1u);
 

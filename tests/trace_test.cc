@@ -1,0 +1,443 @@
+/**
+ * @file
+ * End-to-end causal-tracing suite (ctest label: obs).
+ *
+ * The acceptance contract for the tracing subsystem: one request
+ * that crosses every layer — front-door admission, cache miss,
+ * routing, a failing primary with retry and hedge legs, graceful
+ * degradation to a fallback — yields ONE connected span tree,
+ * reconstructed byte-identically by the ttrace offline reader, and
+ * the stage-attribution walker's additive stages sum to the root
+ * span's duration within 1%. Also covers the TraceContext
+ * propagation primitives (sampling, setDuration), the interval
+ * arithmetic and critical-path walker behind the attribution, the
+ * ttrace JSONL reader's escape/unknown-field handling, and the
+ * exact order-statistic quantiles the aggregate report prints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/front_door.hh"
+#include "core/resilience.hh"
+#include "core/tier_service.hh"
+#include "obs/attribution.hh"
+#include "obs/obs.hh"
+#include "obs/slo.hh"
+#include "serving/cache.hh"
+#include "serving/fault.hh"
+#include "ttrace/reader.hh"
+#include "ttrace/report.hh"
+
+namespace co = toltiers::core;
+namespace sv = toltiers::serving;
+namespace ob = toltiers::obs;
+namespace tr = toltiers::ttrace;
+
+namespace {
+
+/** Reliable constant-profile version with per-payload output. */
+class StubVersion : public sv::ServiceVersion
+{
+  public:
+    StubVersion(std::string name, double latency, double cost)
+        : name_(std::move(name)), instance_("cpu-small"),
+          latency_(latency), cost_(cost)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    const std::string &instanceName() const override
+    {
+        return instance_;
+    }
+    std::size_t workloadSize() const override { return 64; }
+
+    sv::VersionResult
+    process(std::size_t index) const override
+    {
+        sv::VersionResult r;
+        r.output = name_ + "-answer-" + std::to_string(index);
+        r.confidence = 0.95;
+        r.latencySeconds = latency_;
+        r.costDollars = cost_;
+        r.error = 0.0;
+        return r;
+    }
+
+  private:
+    std::string name_;
+    std::string instance_;
+    double latency_;
+    double cost_;
+};
+
+co::RoutingRule
+singleRule(double tolerance, std::size_t version)
+{
+    co::RoutingRule rule;
+    rule.tolerance = tolerance;
+    rule.cfg.kind = co::PolicyKind::Single;
+    rule.cfg.primary = version;
+    rule.cfg.secondary = version;
+    return rule;
+}
+
+bool
+hasAttr(const ob::SpanRecord &span, const std::string &key,
+        const std::string &value)
+{
+    for (const auto &[k, v] : span.attrs)
+        if (k == key && v == value)
+            return true;
+    return false;
+}
+
+/** Spans in `record` whose name equals `name`. */
+std::vector<const ob::SpanRecord *>
+spansNamed(const ob::TraceRecord &record, const std::string &name)
+{
+    std::vector<const ob::SpanRecord *> out;
+    for (const auto &span : record.spans)
+        if (span.name == name)
+            out.push_back(&span);
+    return out;
+}
+
+} // namespace
+
+// ----------------------------------------------- context primitives
+
+TEST(TraceContext, DefaultIsInactiveAndSamplingIsHeadBased)
+{
+    ob::TraceContext ctx;
+    EXPECT_FALSE(ctx.active());
+
+    ob::Tracer tracer;
+    // Default: sample everything.
+    EXPECT_TRUE(tracer.shouldSample());
+    EXPECT_TRUE(tracer.shouldSample());
+
+    tracer.setSampleEvery(0); // off
+    EXPECT_FALSE(tracer.shouldSample());
+    EXPECT_FALSE(tracer.shouldSample());
+
+    tracer.setSampleEvery(4); // one in four, starting now
+    int kept = 0;
+    for (int i = 0; i < 16; ++i)
+        kept += tracer.shouldSample() ? 1 : 0;
+    EXPECT_EQ(kept, 4);
+}
+
+TEST(TraceContext, SetDurationPatchesRootSpan)
+{
+    ob::Tracer tracer;
+    ob::Trace trace = tracer.startTrace();
+    std::uint64_t root = trace.addSpan("request", 0.0, 0.0);
+    trace.addSpan("execute", 0.0, 0.25, root);
+    trace.setDuration(root, 0.25);
+    tracer.finish(std::move(trace));
+
+    auto records = tracer.drain();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_DOUBLE_EQ(records[0].rootDuration(), 0.25);
+}
+
+// ----------------------------------------------- interval arithmetic
+
+TEST(Attribution, IntervalStatsDecomposeUnionGapAndOverlap)
+{
+    // [0,1) and [0.5,1.5) overlap by 0.5; [2,3) leaves a 0.5 gap.
+    auto stats = ob::intervalStats(
+        {{0.0, 1.0}, {0.5, 1.5}, {2.0, 3.0}});
+    EXPECT_DOUBLE_EQ(stats.windowSeconds, 3.0);
+    EXPECT_DOUBLE_EQ(stats.unionSeconds, 2.5);
+    EXPECT_DOUBLE_EQ(stats.gapSeconds, 0.5);
+    EXPECT_DOUBLE_EQ(stats.overlapSeconds, 0.5);
+
+    auto empty = ob::intervalStats({});
+    EXPECT_DOUBLE_EQ(empty.unionSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(empty.gapSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(empty.overlapSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(empty.windowSeconds, 0.0);
+}
+
+TEST(Attribution, CriticalPathDescendsIntoLatestEndingChild)
+{
+    ob::Tracer tracer;
+    ob::Trace trace = tracer.startTrace();
+    std::uint64_t root = trace.addSpan("request", 0.0, 1.0);
+    std::uint64_t exec = trace.addSpan("execute", 0.0, 1.0, root);
+    trace.addSpan("attempt", 0.0, 0.3, exec);
+    std::uint64_t late = trace.addSpan("hedge", 0.2, 0.8, exec);
+    tracer.finish(std::move(trace));
+
+    auto records = tracer.drain();
+    auto path = ob::criticalPath(records[0]);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0]->name, "request");
+    EXPECT_EQ(path[1]->name, "execute");
+    EXPECT_EQ(path[2]->id, late); // ends at 1.0, beats 0.3
+}
+
+// ----------------------------------------------- chaos acceptance
+
+TEST(ChaosTrace, ChaosRequestYieldsOneConnectedSpanTree)
+{
+    // The primary always fails: each attempt burns partial latency
+    // (long enough to trip the hedge), the hedge leg fails too, one
+    // retry follows, and the request finally degrades to the mid
+    // fallback. The cache is cold, so the lookup misses.
+    StubVersion fast("fast", 0.010, 1.0);
+    StubVersion mid("mid", 0.030, 3.0);
+    StubVersion slow("slow", 0.050, 5.0);
+    sv::FaultSpec spec;
+    spec.failureRate = 1.0;
+    spec.seed = 21;
+    sv::FaultyServiceVersion faultyFast(fast,
+                                        sv::FaultSchedule(spec));
+
+    co::TierService svc({&faultyFast, &mid, &slow});
+    svc.setRules(sv::Objective::ResponseTime, {singleRule(0.10, 0)});
+    svc.setVersionProfiles({{0, 0.20, 0.010, 1.0},
+                            {1, 0.04, 0.030, 3.0},
+                            {2, 0.0, 0.050, 5.0}});
+    co::ResiliencePolicy policy;
+    policy.maxRetries = 1;
+    policy.backoffBaseSeconds = 0.001;
+    policy.hedgeDelaySeconds = 1e-4;
+    svc.setResilience(policy);
+
+    sv::CacheConfig ccfg;
+    sv::ResultCache cache(ccfg);
+    svc.setCache(&cache);
+
+    ob::Registry reg;
+    ob::Tracer tracer;
+    ob::GuaranteeMonitor monitor;
+    ob::SloTracker slo;
+    svc.attachObservability({&reg, &tracer, &monitor, &slo});
+
+    co::FrontDoorConfig fcfg;
+    fcfg.metrics = &reg;
+    fcfg.tracer = &tracer;
+    co::TierResponse resp;
+    {
+        co::TierFrontDoor door(svc, fcfg);
+        sv::ServiceRequest req;
+        req.payload = 7;
+        req.tier.tolerance = 0.10;
+        auto ticket = door.submit(req);
+        ASSERT_NE(ticket, co::TierFrontDoor::kRejected);
+        resp = door.wait(ticket);
+    }
+
+    // The request crossed every chaos dimension.
+    EXPECT_EQ(resp.status, co::ServeStatus::FellBack);
+    EXPECT_FALSE(resp.violated());
+    EXPECT_GE(resp.retries, 1u);
+    EXPECT_GE(resp.hedges, 1u);
+
+    // ONE trace; the ttrace reader reconstructs it byte-for-byte.
+    std::ostringstream jsonl;
+    tracer.exportJsonl(jsonl);
+    std::istringstream in(jsonl.str());
+    auto parsed = tr::readTraceJsonl(in);
+    auto live = tracer.drain();
+    ASSERT_EQ(live.size(), 1u);
+    ASSERT_EQ(parsed.size(), 1u);
+    const ob::TraceRecord &rec = parsed[0];
+    EXPECT_EQ(rec.traceId, live[0].traceId);
+    ASSERT_EQ(rec.spans.size(), live[0].spans.size());
+    for (std::size_t i = 0; i < rec.spans.size(); ++i) {
+        EXPECT_EQ(rec.spans[i].id, live[0].spans[i].id);
+        EXPECT_EQ(rec.spans[i].parent, live[0].spans[i].parent);
+        EXPECT_EQ(rec.spans[i].name, live[0].spans[i].name);
+        EXPECT_DOUBLE_EQ(rec.spans[i].start,
+                         live[0].spans[i].start);
+        EXPECT_DOUBLE_EQ(rec.spans[i].duration,
+                         live[0].spans[i].duration);
+        EXPECT_EQ(rec.spans[i].attrs, live[0].spans[i].attrs);
+    }
+
+    // Exactly one root, and every parent resolves within the tree:
+    // one CONNECTED span tree, no orphans.
+    std::set<std::uint64_t> ids;
+    for (const auto &span : rec.spans)
+        ids.insert(span.id);
+    std::size_t roots = 0;
+    for (const auto &span : rec.spans) {
+        if (span.parent == 0) {
+            ++roots;
+            EXPECT_EQ(span.name, "request");
+        } else {
+            EXPECT_TRUE(ids.count(span.parent))
+                << "orphan span " << span.name;
+        }
+    }
+    EXPECT_EQ(roots, 1u);
+
+    // Every layer shows up: admission (front door), rule match,
+    // the missed cache lookup, the execution window with a failing
+    // attempt, a hedge leg, and the fallback stage that won.
+    ASSERT_EQ(spansNamed(rec, "admission").size(), 1u);
+    ASSERT_EQ(spansNamed(rec, "rule_match").size(), 1u);
+    auto lookups = spansNamed(rec, "cache_lookup");
+    ASSERT_EQ(lookups.size(), 1u);
+    EXPECT_TRUE(hasAttr(*lookups[0], "hit", "false"));
+    ASSERT_EQ(spansNamed(rec, "execute").size(), 1u);
+    EXPECT_GE(spansNamed(rec, "attempt").size(), 2u); // + retry
+    EXPECT_GE(spansNamed(rec, "hedge").size(), 1u);
+    bool saw_failed = false, saw_fallback_stage = false;
+    for (const auto &span : rec.spans) {
+        saw_failed = saw_failed || hasAttr(span, "failed", "true");
+        if (span.name.rfind("stage:", 0) == 0 &&
+            hasAttr(span, "fallback", "true"))
+            saw_fallback_stage = true;
+    }
+    EXPECT_TRUE(saw_failed);
+    EXPECT_TRUE(saw_fallback_stage);
+
+    // The additive stages reproduce the root wall time within 1%.
+    ob::StageBreakdown b = ob::attributeTrace(rec);
+    double root_duration = rec.rootDuration();
+    ASSERT_GT(root_duration, 0.0);
+    EXPECT_NEAR(b.total(), root_duration, 0.01 * root_duration);
+    EXPECT_GT(b.execute, 0.0);
+    EXPECT_GT(b.admission, 0.0);
+
+    // The critical path runs root -> leaf.
+    auto path = ob::criticalPath(rec);
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front()->name, "request");
+
+    // Offline views render the same tree.
+    std::ostringstream report;
+    tr::printRequestReport(rec, report);
+    tr::printAggregateReport(parsed, report);
+    EXPECT_NE(report.str().find("execute"), std::string::npos);
+    EXPECT_NE(report.str().find("admission"), std::string::npos);
+    std::ostringstream chrome;
+    tr::exportChromeTrace(parsed, chrome);
+    EXPECT_NE(chrome.str().find("traceEvents"), std::string::npos);
+    EXPECT_NE(chrome.str().find("\"ph\":\"X\""), std::string::npos);
+
+    // The live stage histograms and SLO engine saw the request.
+    EXPECT_GE(reg.histogram("tt_frontdoor_queue_wait_seconds")
+                  .count(),
+              1u);
+    auto statuses = slo.statuses();
+    ASSERT_EQ(statuses.size(), 1u);
+    EXPECT_EQ(statuses[0].events, 1u);
+    EXPECT_EQ(statuses[0].bad, 0u); // fallback honored the promise
+}
+
+TEST(ChaosTrace, CacheHitTraceOmitsExecution)
+{
+    StubVersion fast("fast", 0.010, 1.0);
+    co::TierService svc({&fast});
+    svc.setRules(sv::Objective::ResponseTime, {singleRule(0.10, 0)});
+
+    sv::CacheConfig ccfg;
+    sv::ResultCache cache(ccfg);
+    svc.setCache(&cache);
+
+    ob::Registry reg;
+    ob::Tracer tracer;
+    svc.attachObservability({&reg, &tracer, nullptr});
+
+    sv::ServiceRequest req;
+    req.payload = 3;
+    req.tier.tolerance = 0.10;
+    (void)svc.handle(req);          // miss, populates
+    auto resp = svc.handle(req);    // hit
+    EXPECT_TRUE(resp.servedFromCache);
+
+    auto records = tracer.drain();
+    ASSERT_EQ(records.size(), 2u);
+    const ob::TraceRecord &hit = records[1];
+    auto lookups = spansNamed(hit, "cache_lookup");
+    ASSERT_EQ(lookups.size(), 1u);
+    EXPECT_TRUE(hasAttr(*lookups[0], "hit", "true"));
+    EXPECT_TRUE(spansNamed(hit, "execute").empty());
+    // Still one connected tree with a single root.
+    std::size_t roots = 0;
+    for (const auto &span : hit.spans)
+        roots += span.parent == 0 ? 1 : 0;
+    EXPECT_EQ(roots, 1u);
+}
+
+TEST(ChaosTrace, FrontDoorRespectsSamplingDecision)
+{
+    StubVersion fast("fast", 0.010, 1.0);
+    co::TierService svc({&fast});
+    svc.setRules(sv::Objective::ResponseTime, {singleRule(0.10, 0)});
+
+    ob::Tracer tracer;
+    svc.attachObservability({nullptr, &tracer, nullptr});
+    tracer.setSampleEvery(2);
+
+    co::FrontDoorConfig fcfg;
+    fcfg.tracer = &tracer;
+    {
+        co::TierFrontDoor door(svc, fcfg);
+        for (std::size_t p = 0; p < 8; ++p) {
+            sv::ServiceRequest req;
+            req.payload = p;
+            req.tier.tolerance = 0.10;
+            (void)door.wait(door.submit(req));
+        }
+    }
+    // One in two sampled; unsampled requests produce no trace at
+    // all (the door consumed the only sampling decision — the
+    // service must not re-sample and double-originate).
+    EXPECT_EQ(tracer.drain().size(), 4u);
+}
+
+// ----------------------------------------------- ttrace reader
+
+TEST(TtraceReader, ParsesEscapesAndSkipsUnknownFields)
+{
+    const std::string line =
+        "{\"traceId\":42,\"futureField\":[1,{\"x\":null}],"
+        "\"spans\":[{\"id\":1,\"parent\":0,"
+        "\"name\":\"stage:\\\"fast\\\"\\n\",\"start\":0.5,"
+        "\"duration\":1.25,\"attrs\":{\"win\":\"true\","
+        "\"note\":\"a\\\\b\"},\"alsoUnknown\":7}]}";
+    ob::TraceRecord rec = tr::parseTraceLine(line, 1);
+    EXPECT_EQ(rec.traceId, 42u);
+    ASSERT_EQ(rec.spans.size(), 1u);
+    EXPECT_EQ(rec.spans[0].name, "stage:\"fast\"\n");
+    EXPECT_DOUBLE_EQ(rec.spans[0].start, 0.5);
+    EXPECT_DOUBLE_EQ(rec.spans[0].duration, 1.25);
+    ASSERT_EQ(rec.spans[0].attrs.size(), 2u);
+    EXPECT_EQ(rec.spans[0].attrs[1].second, "a\\b");
+}
+
+TEST(TtraceReader, BlankLinesAreSkipped)
+{
+    std::istringstream in(
+        "\n{\"traceId\":1,\"spans\":[]}\n\n"
+        "{\"traceId\":2,\"spans\":[]}\n");
+    auto records = tr::readTraceJsonl(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].traceId, 1u);
+    EXPECT_EQ(records[1].traceId, 2u);
+}
+
+// ----------------------------------------------- report quantiles
+
+TEST(TtraceReport, SampleQuantileIsExactOrderStatistic)
+{
+    std::vector<double> samples = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(tr::sampleQuantile(samples, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(tr::sampleQuantile(samples, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(tr::sampleQuantile(samples, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(tr::sampleQuantile({7.0}, 0.99), 7.0);
+    EXPECT_DOUBLE_EQ(tr::sampleQuantile({}, 0.5), 0.0);
+}

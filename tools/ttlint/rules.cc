@@ -740,6 +740,131 @@ checkIncludeGuard(const FileUnit &unit, std::vector<Finding> &out)
             "header must close with #endif (guard " + want + ")");
 }
 
+// ---------------------------------------------------------------
+// span-context-discipline: on the request path (src/core,
+// src/serving), a function that receives a TraceContext holds a
+// *propagated* trace — it must record into that context, never
+// start a fresh trace or open parentless (orphan root) spans,
+// or the one-request-one-span-tree contract silently shatters.
+
+bool
+paramListHasTraceContext(const CodeView &code, std::size_t open,
+                         std::size_t close)
+{
+    for (std::size_t i = open + 1; i < close; ++i)
+        if (code.at(i).isIdent("TraceContext"))
+            return true;
+    return false;
+}
+
+/** Top-level argument count of the call whose parens are
+ * [open, close]; 0 for an empty list. */
+std::size_t
+countCallArgs(const CodeView &code, std::size_t open,
+              std::size_t close)
+{
+    if (close == open + 1)
+        return 0;
+    std::size_t args = 1;
+    int depth = 0;
+    for (std::size_t i = open; i <= close && i < code.size(); ++i) {
+        if (code.at(i).is("("))
+            ++depth;
+        else if (code.at(i).is(")"))
+            --depth;
+        else if (depth == 1 && code.at(i).is(","))
+            ++args;
+    }
+    return args;
+}
+
+void
+checkSpanContextDiscipline(const FileUnit &unit,
+                           const CodeView &code,
+                           std::vector<Finding> &out)
+{
+    // Request-path modules only: the rule encodes the serving
+    // stack's propagation contract, not a tree-wide ban (the
+    // originators and the obs layer legitimately start traces).
+    if (unit.relPath.rfind("src/core", 0) != 0 &&
+        unit.relPath.rfind("src/serving", 0) != 0)
+        return;
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (!code.at(i).is("("))
+            continue;
+        std::size_t close = code.matchParen(i);
+        if (close >= code.size())
+            continue;
+        if (!paramListHasTraceContext(code, i, close))
+            continue;
+
+        // Only function *definitions*: skip past trailing
+        // specifiers and require a body brace (declarations and
+        // call expressions fall through).
+        std::size_t j = close + 1;
+        while (j < code.size() && (code.at(j).isIdent("const") ||
+                                   code.at(j).isIdent("noexcept") ||
+                                   code.at(j).isIdent("override") ||
+                                   code.at(j).isIdent("final")))
+            ++j;
+        if (j >= code.size() || !code.at(j).is("{")) {
+            i = close;
+            continue;
+        }
+        std::size_t body_end = j;
+        int depth = 0;
+        for (std::size_t k = j; k < code.size(); ++k) {
+            if (code.at(k).is("{")) {
+                ++depth;
+            } else if (code.at(k).is("}")) {
+                if (--depth == 0) {
+                    body_end = k;
+                    break;
+                }
+            }
+        }
+
+        for (std::size_t k = j + 1; k < body_end; ++k) {
+            const Token &t = code.at(k);
+            if (t.isIdent("startTrace") &&
+                code.get(k + 1).is("(")) {
+                add(out, "span-context-discipline", unit, t,
+                    "function receives a TraceContext but starts "
+                    "a new trace; record into the propagated "
+                    "context instead");
+            } else if (t.isIdent("addSpan") &&
+                       code.get(k + 1).is("(")) {
+                std::size_t call_close = code.matchParen(k + 1);
+                if (call_close < code.size() &&
+                    countCallArgs(code, k + 1, call_close) < 4) {
+                    add(out, "span-context-discipline", unit, t,
+                        "addSpan without a parent opens an orphan "
+                        "root span; nest under the TraceContext's "
+                        "parent");
+                }
+            } else if (t.isIdent("ScopedSpan")) {
+                // Both a temporary `ScopedSpan(...)` and a named
+                // declaration `ScopedSpan guard(...)`.
+                std::size_t open = k + 1;
+                if (code.get(open).kind == TokenKind::Identifier)
+                    ++open;
+                if (!code.get(open).is("("))
+                    continue;
+                std::size_t call_close = code.matchParen(open);
+                if (call_close < code.size() &&
+                    countCallArgs(code, open, call_close) < 3) {
+                    add(out, "span-context-discipline", unit, t,
+                        "ScopedSpan without a parent opens an "
+                        "orphan root span; pass the TraceContext's "
+                        "parent");
+                }
+            }
+        }
+        i = body_end;
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------
@@ -769,6 +894,9 @@ ruleCatalog()
          "status-returning calls are never silently discarded"},
         {"include-guard",
          "headers carry path-derived TOLTIERS_*_HH guards"},
+        {"span-context-discipline",
+         "request-path functions given a TraceContext record "
+         "into it; no orphan root spans"},
         {"ttlint-suppression",
          "suppressions are well-formed and carry a reason"},
     };
@@ -808,6 +936,7 @@ lintFile(const FileUnit &unit, const ProjectIndex &index)
     checkNakedNew(unit, code, raw);
     checkNodiscardStatus(unit, code, index, raw);
     checkIncludeGuard(unit, raw);
+    checkSpanContextDiscipline(unit, code, raw);
 
     std::vector<Finding> kept;
     for (Finding &f : raw)

@@ -40,6 +40,15 @@
  *    guards whose macro matches the file path; `#pragma once` is
  *    off-convention.
  *
+ * Observability
+ *  - span-context-discipline: in the request-path modules
+ *    (src/core, src/serving), a function that takes an
+ *    obs::TraceContext parameter holds a propagated trace and must
+ *    record into it — calling `startTrace(...)` there, or opening
+ *    spans without an explicit parent (`addSpan` with fewer than
+ *    four arguments, `ScopedSpan` with fewer than three), breaks
+ *    the one-request-one-span-tree contract.
+ *
  * Any finding can be suppressed on its line (or the line below the
  * comment) with `// TTLINT(off:<rule>[,<rule>...]): <reason>`; the
  * reason string is mandatory and a malformed suppression is itself

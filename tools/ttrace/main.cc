@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ttrace command-line driver.
+ *
+ * Usage:
+ *   ttrace [--per-request] [--limit <n>] [--chrome-out <path>]
+ *          <trace.jsonl>
+ *
+ * Reads one JSONL trace log (as written by --trace-out or
+ * obs::Tracer::exportJsonl) and prints the aggregate per-stage
+ * attribution table; --per-request additionally prints each
+ * trace's stage breakdown and critical path (capped at --limit,
+ * default 20, 0 = unlimited); --chrome-out writes the whole log in
+ * Chrome trace_event format for chrome://tracing / Perfetto. Exit
+ * status: 0 — ok; parse and I/O errors are fatal.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "ttrace/reader.hh"
+#include "ttrace/report.hh"
+
+namespace {
+
+using namespace toltiers;
+
+int
+run(int argc, char **argv)
+{
+    common::CliArgs args(
+        argc, argv,
+        common::telemetryFlags(
+            {"per-request", "limit", "chrome-out"}));
+    common::applyLogLevel(args);
+    if (args.positional().size() != 1) {
+        common::fatal("usage: ttrace [--per-request] [--limit N] "
+                      "[--chrome-out PATH] <trace.jsonl>");
+    }
+
+    std::vector<obs::TraceRecord> records =
+        ttrace::readTraceJsonlFile(args.positional()[0]);
+
+    ttrace::printAggregateReport(records, std::cout);
+
+    if (args.getBool("per-request", false)) {
+        std::size_t limit = static_cast<std::size_t>(
+            args.getInt("limit", 20));
+        std::cout << "\n";
+        std::size_t shown = 0;
+        for (const obs::TraceRecord &r : records) {
+            if (limit != 0 && shown >= limit) {
+                std::cout << "... (" << records.size() - shown
+                          << " more; raise --limit)\n";
+                break;
+            }
+            ttrace::printRequestReport(r, std::cout);
+            ++shown;
+        }
+    }
+
+    std::string chrome = args.getString("chrome-out", "");
+    if (!chrome.empty()) {
+        std::ofstream out(chrome);
+        if (!out) {
+            common::fatal("cannot open chrome trace output '",
+                          chrome, "'");
+        }
+        ttrace::exportChromeTrace(records, out);
+        common::inform("chrome trace (", records.size(),
+                       " traces) -> ", chrome);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return run(argc, argv);
+}

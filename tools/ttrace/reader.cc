@@ -1,0 +1,312 @@
+#include "ttrace/reader.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace toltiers::ttrace {
+
+using common::fatal;
+
+namespace {
+
+/**
+ * Recursive-descent parser over one line of the trace log. The
+ * grammar is schema-directed: rather than building a generic DOM,
+ * each production fills the TraceRecord fields directly and skips
+ * values it does not recognize (forward compatibility: a newer
+ * writer may add fields an older reader ignores).
+ */
+class LineParser
+{
+  public:
+    LineParser(const std::string &line, std::size_t line_no)
+        : s_(line), lineNo_(line_no)
+    {
+    }
+
+    obs::TraceRecord
+    parse()
+    {
+        obs::TraceRecord record;
+        skipWs();
+        expect('{');
+        bool first = true;
+        while (!consume('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            std::string key = parseString();
+            expect(':');
+            if (key == "traceId") {
+                record.traceId =
+                    static_cast<std::uint64_t>(parseNumber());
+            } else if (key == "spans") {
+                parseSpans(record);
+            } else {
+                skipValue();
+            }
+        }
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters after trace object");
+        return record;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("trace log line ", lineNo_, ", offset ", pos_, ": ",
+              what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!consume(c))
+            fail("unexpected character");
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            char esc = s_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                // The writer only emits \u00XX control escapes;
+                // decode the low byte and ignore wider planes.
+                if (pos_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                std::string hex = s_.substr(pos_, 4);
+                pos_ += 4;
+                out += static_cast<char>(
+                    std::strtol(hex.c_str(), nullptr, 16));
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a number");
+        return std::strtod(s_.substr(start, pos_ - start).c_str(),
+                           nullptr);
+    }
+
+    /** Skip one value of any type (unknown-field tolerance). */
+    void
+    skipValue()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            fail("expected a value");
+        char c = s_[pos_];
+        if (c == '"') {
+            parseString();
+        } else if (c == '{') {
+            ++pos_;
+            bool first = true;
+            while (!consume('}')) {
+                if (!first)
+                    expect(',');
+                first = false;
+                parseString();
+                expect(':');
+                skipValue();
+            }
+        } else if (c == '[') {
+            ++pos_;
+            bool first = true;
+            while (!consume(']')) {
+                if (!first)
+                    expect(',');
+                first = false;
+                skipValue();
+            }
+        } else if (s_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+        } else if (s_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+        } else {
+            parseNumber();
+        }
+    }
+
+    void
+    parseSpans(obs::TraceRecord &record)
+    {
+        expect('[');
+        bool first = true;
+        while (!consume(']')) {
+            if (!first)
+                expect(',');
+            first = false;
+            record.spans.push_back(parseSpan());
+        }
+    }
+
+    obs::SpanRecord
+    parseSpan()
+    {
+        obs::SpanRecord span;
+        expect('{');
+        bool first = true;
+        while (!consume('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            std::string key = parseString();
+            expect(':');
+            if (key == "id") {
+                span.id =
+                    static_cast<std::uint64_t>(parseNumber());
+            } else if (key == "parent") {
+                span.parent =
+                    static_cast<std::uint64_t>(parseNumber());
+            } else if (key == "name") {
+                span.name = parseString();
+            } else if (key == "start") {
+                span.start = parseNumber();
+            } else if (key == "duration") {
+                span.duration = parseNumber();
+            } else if (key == "attrs") {
+                parseAttrs(span);
+            } else {
+                skipValue();
+            }
+        }
+        return span;
+    }
+
+    void
+    parseAttrs(obs::SpanRecord &span)
+    {
+        expect('{');
+        bool first = true;
+        while (!consume('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            std::string key = parseString();
+            expect(':');
+            span.attrs.emplace_back(std::move(key), parseString());
+        }
+    }
+
+    const std::string &s_;
+    std::size_t lineNo_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+obs::TraceRecord
+parseTraceLine(const std::string &line, std::size_t line_no)
+{
+    return LineParser(line, line_no).parse();
+}
+
+std::vector<obs::TraceRecord>
+readTraceJsonl(std::istream &is)
+{
+    std::vector<obs::TraceRecord> records;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        bool blank = true;
+        for (char c : line) {
+            if (!std::isspace(static_cast<unsigned char>(c))) {
+                blank = false;
+                break;
+            }
+        }
+        if (blank)
+            continue;
+        records.push_back(parseTraceLine(line, line_no));
+    }
+    return records;
+}
+
+std::vector<obs::TraceRecord>
+readTraceJsonlFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace log '", path, "'");
+    return readTraceJsonl(in);
+}
+
+} // namespace toltiers::ttrace

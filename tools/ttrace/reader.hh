@@ -1,0 +1,43 @@
+/**
+ * @file
+ * JSONL trace-log reader for the ttrace analyzer.
+ *
+ * The Tracer's exportJsonl writes one JSON object per line per
+ * trace (`{"traceId":N,"spans":[{"id","parent","name","start",
+ * "duration","attrs":{...}}]}`); this module parses that log back
+ * into obs::TraceRecord values so the offline analyzer shares the
+ * exact attribution and critical-path code the live path uses. The
+ * repo deliberately has no general JSON dependency, so the parser
+ * here is a small recursive-descent implementation of just the
+ * JSON subset the writer emits (objects, arrays, strings with
+ * escapes, numbers, booleans, null). Malformed input is fatal()
+ * with the offending line number — a trace log is a machine
+ * artifact, and a broken one should fail loudly, not be half-read.
+ */
+
+#ifndef TOLTIERS_TOOLS_TTRACE_READER_HH
+#define TOLTIERS_TOOLS_TTRACE_READER_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace toltiers::ttrace {
+
+/** Parse a whole JSONL trace log; fatal() on malformed input. */
+std::vector<obs::TraceRecord> readTraceJsonl(std::istream &is);
+
+/** Read and parse the log at `path`; fatal() if unopenable. */
+std::vector<obs::TraceRecord>
+readTraceJsonlFile(const std::string &path);
+
+/** Parse one JSONL line into a record; fatal() on malformed input
+ * (`line_no` is used in the error message). */
+obs::TraceRecord parseTraceLine(const std::string &line,
+                                std::size_t line_no);
+
+} // namespace toltiers::ttrace
+
+#endif // TOLTIERS_TOOLS_TTRACE_READER_HH
