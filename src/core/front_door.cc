@@ -58,8 +58,8 @@ TierFrontDoor::~TierFrontDoor()
     drain();
 }
 
-TierFrontDoor::Ticket
-TierFrontDoor::admit(std::shared_ptr<Slot> &slot_out)
+bool
+TierFrontDoor::claimCapacity()
 {
     submitted_.inc();
     if (metrics_ != nullptr) {
@@ -81,8 +81,16 @@ TierFrontDoor::admit(std::shared_ptr<Slot> &slot_out)
                              "tt_frontdoor_rejected_total", "")
                 .inc();
         }
-        return kRejected;
+        return false;
     }
+    return true;
+}
+
+TierFrontDoor::Ticket
+TierFrontDoor::admit(std::shared_ptr<Slot> &slot_out)
+{
+    if (!claimCapacity())
+        return kRejected;
 
     slot_out = std::make_shared<Slot>();
     std::lock_guard<std::mutex> lock(mapMu_);
@@ -111,6 +119,43 @@ TierFrontDoor::submit(serving::ServiceRequest request)
                  serveAdmitted(request, trace, queued.seconds()));
     });
     return ticket;
+}
+
+bool
+TierFrontDoor::submitAsync(serving::ServiceRequest request,
+                           Completion done)
+{
+    TT_ASSERT(done != nullptr,
+              "submitAsync needs a completion hook");
+    if (!claimCapacity())
+        return false;
+
+    std::shared_ptr<obs::Trace> trace;
+    if (tracer_ != nullptr && tracer_->shouldSample())
+        trace = std::make_shared<obs::Trace>(tracer_->startTrace());
+    auto serve = [this, request = std::move(request),
+                  done = std::move(done), trace,
+                  queued = common::Stopwatch()]() mutable {
+        TierResponse response =
+            serveAdmitted(request, trace, queued.seconds());
+        account(response);
+        // The hook is this request's collector: it receives the
+        // produced-and-accounted response exactly once, before the
+        // capacity slot frees (so drain() still covers delivery).
+        done(response);
+        collected_.inc();
+        finishOne();
+    };
+    // A worker-less pool (exec::ThreadPool(0/1)) only runs tasks
+    // when someone waits on them — and the push-style caller never
+    // waits, so its requests would park forever. Serve inline on
+    // the submitter's thread instead: that is exactly the pool's
+    // serial semantics, just without requiring a helper.
+    if (pool_.threadCount() == 0)
+        serve();
+    else
+        pool_.submit(std::move(serve));
+    return true;
 }
 
 std::vector<TierFrontDoor::Ticket>
@@ -225,8 +270,7 @@ TierFrontDoor::serveAdmitted(const serving::ServiceRequest &request,
 }
 
 void
-TierFrontDoor::complete(const std::shared_ptr<Slot> &slot,
-                        TierResponse response)
+TierFrontDoor::account(const TierResponse &response)
 {
     // Account the outcome when the response is *produced*: a
     // violation is recorded even if no caller ever collects the
@@ -253,6 +297,23 @@ TierFrontDoor::complete(const std::shared_ptr<Slot> &slot,
                 .inc();
         }
     }
+}
+
+void
+TierFrontDoor::finishOne()
+{
+    inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+        std::lock_guard<std::mutex> lock(drainMu_);
+    }
+    drainCv_.notify_all();
+}
+
+void
+TierFrontDoor::complete(const std::shared_ptr<Slot> &slot,
+                        TierResponse response)
+{
+    account(response);
 
     {
         std::lock_guard<std::mutex> lock(slot->mu);
@@ -261,11 +322,7 @@ TierFrontDoor::complete(const std::shared_ptr<Slot> &slot,
     }
     slot->cv.notify_all();
 
-    inFlight_.fetch_sub(1, std::memory_order_acq_rel);
-    {
-        std::lock_guard<std::mutex> lock(drainMu_);
-    }
-    drainCv_.notify_all();
+    finishOne();
 }
 
 std::shared_ptr<TierFrontDoor::Slot>

@@ -116,6 +116,30 @@ class TierFrontDoor
     [[nodiscard]] Ticket submit(serving::ServiceRequest request);
 
     /**
+     * Completion hook for one submitAsync request: invoked exactly
+     * once, on the serving pool thread, the moment the response is
+     * produced and accounted.
+     */
+    using Completion = std::function<void(const TierResponse &)>;
+
+    /**
+     * Admit one request and deliver its response through `done`
+     * instead of a ticket — the push-style surface the network
+     * front end (net::TierServer) completes responses from, so a
+     * connection handler never parks a thread per in-flight
+     * request. Admission, accounting, tracing, and metrics are
+     * identical to submit(); a delivered response counts as
+     * collected. Returns false when the bounded queue shed the
+     * request (`done` is not invoked). `done` must not throw and
+     * must not block on work that needs this door's pool. On a
+     * worker-less pool (exec::ThreadPool(0/1)) the request is
+     * served — and `done` invoked — inline on the calling thread,
+     * since a push-style caller never waits (and so never helps).
+     */
+    [[nodiscard]] bool submitAsync(serving::ServiceRequest request,
+                                   Completion done);
+
+    /**
      * Completion hook for one batch: invoked exactly once with the
      * number of requests executed and the batch's wall-clock
      * seconds (the AIMD feedback the adaptive batcher consumes).
@@ -173,6 +197,9 @@ class TierFrontDoor
         TierResponse response;
     };
 
+    /** Count one submission and claim a capacity slot; false means
+     * the request was shed (and counted rejected). */
+    bool claimCapacity();
     /** Count + admit one request: claims a capacity slot and
      * registers a ticket, or returns kRejected (shed). */
     Ticket admit(std::shared_ptr<Slot> &slot_out);
@@ -186,6 +213,10 @@ class TierFrontDoor
                   double queue_wait) const;
     std::shared_ptr<Slot> findSlot(Ticket ticket) const;
     std::shared_ptr<Slot> takeSlot(Ticket ticket);
+    /** Outcome accounting at production time (see file comment). */
+    void account(const TierResponse &response);
+    /** Release the request's capacity slot and wake drain(). */
+    void finishOne();
     void complete(const std::shared_ptr<Slot> &slot,
                   TierResponse response);
 

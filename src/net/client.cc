@@ -1,0 +1,98 @@
+#include "net/client.hh"
+
+namespace toltiers::net {
+
+namespace {
+
+/** recv(2) chunk size for the response read loop. */
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+} // namespace
+
+bool
+TierClient::connect(const std::string &host, std::uint16_t port,
+                    std::string &err)
+{
+    close();
+    int fd = tcpConnect(host, port, err);
+    if (fd < 0)
+        return false;
+    fd_.reset(fd);
+    return true;
+}
+
+void
+TierClient::close()
+{
+    fd_.reset();
+    buf_.clear();
+}
+
+CodecStatus
+TierClient::send(const serving::ServiceRequest &req)
+{
+    if (!fd_.valid())
+        return CodecStatus::Closed;
+    Bytes frame;
+    CodecStatus enc = encodeRequestFrame(req, frame);
+    if (enc != CodecStatus::Ok)
+        return enc;
+    if (!sendAll(fd_.get(), frame.data(), frame.size())) {
+        close();
+        return CodecStatus::Closed;
+    }
+    return CodecStatus::Ok;
+}
+
+CodecStatus
+TierClient::recv(NetResponse &out)
+{
+    if (!fd_.valid())
+        return CodecStatus::Closed;
+    std::uint8_t chunk[kReadChunk];
+    for (;;) {
+        FrameDecode frame = decodeFrame(buf_.data(), buf_.size());
+        if (frame.ok() && frame.type == FrameType::Response) {
+            out = frame.response;
+            buf_.erase(buf_.begin(),
+                       buf_.begin() + static_cast<std::ptrdiff_t>(
+                                          frame.frameBytes));
+            return CodecStatus::Ok;
+        }
+        if (frame.status != CodecStatus::NeedMore) {
+            // A server speaking garbage (or request frames); the
+            // stream is unusable.
+            close();
+            return frame.ok() ? CodecStatus::BadType : frame.status;
+        }
+        long n = recvSome(fd_.get(), chunk, sizeof(chunk));
+        if (n <= 0) {
+            close();
+            return CodecStatus::Closed;
+        }
+        buf_.insert(buf_.end(), chunk, chunk + n);
+    }
+}
+
+CodecStatus
+TierClient::call(const serving::ServiceRequest &req, NetResponse &out)
+{
+    CodecStatus sent = send(req);
+    if (sent != CodecStatus::Ok)
+        return sent;
+    return recv(out);
+}
+
+bool
+TierClient::sendRaw(const void *data, std::size_t len)
+{
+    if (!fd_.valid())
+        return false;
+    if (!sendAll(fd_.get(), data, len)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+} // namespace toltiers::net

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Blocking wire-protocol client for the TCP front end.
+ *
+ * One TierClient owns one connection. call() is the closed-loop
+ * primitive — send a request frame, block for its response — and is
+ * what the load generator's client threads sit in. send()/recv()
+ * are the split halves for callers that pipeline several in-flight
+ * requests on one connection (responses then come back in
+ * completion order, tagged by the echoed id, and the caller matches
+ * them up). sendRaw() writes arbitrary bytes, so protocol tests can
+ * push truncated or garbage frames at a live server and watch it
+ * answer BadRequest instead of dying.
+ *
+ * Not thread-safe: one client per thread (the cheap and honest
+ * model for a load generator — each simulated client is a real
+ * connection with real syscalls).
+ */
+
+#ifndef TOLTIERS_NET_CLIENT_HH
+#define TOLTIERS_NET_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.hh"
+#include "net/socket.hh"
+#include "serving/request.hh"
+
+namespace toltiers::net {
+
+/** Blocking request/response client over one TCP connection. */
+class TierClient
+{
+  public:
+    TierClient() = default;
+    ~TierClient() { close(); }
+
+    TierClient(const TierClient &) = delete;
+    TierClient &operator=(const TierClient &) = delete;
+
+    /**
+     * Connect to `host:port`. Returns false with `err` set on
+     * failure; a failed client may retry connect().
+     */
+    [[nodiscard]] bool connect(const std::string &host,
+                               std::uint16_t port,
+                               std::string &err);
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    /** True while the connection is open. */
+    bool connected() const { return fd_.valid(); }
+
+    /**
+     * Encode and send one request frame. Closed when the
+     * connection is gone (or the peer hung up mid-write); encode
+     * errors (Oversized / BadValue) pass through unchanged.
+     */
+    [[nodiscard]] CodecStatus send(const serving::ServiceRequest &req);
+
+    /**
+     * Block for the next response frame. Closed on orderly peer
+     * shutdown or connection loss; any decode error means the
+     * stream is unusable (the connection is closed).
+     */
+    [[nodiscard]] CodecStatus recv(NetResponse &out);
+
+    /** send() then recv(): one closed-loop request. */
+    [[nodiscard]] CodecStatus call(const serving::ServiceRequest &req,
+                                   NetResponse &out);
+
+    /** Ship raw bytes as-is (protocol fuzzing hook). */
+    [[nodiscard]] bool sendRaw(const void *data, std::size_t len);
+
+  private:
+    ScopedFd fd_;
+    Bytes buf_; //!< Unconsumed bytes read past the last frame.
+};
+
+} // namespace toltiers::net
+
+#endif // TOLTIERS_NET_CLIENT_HH

@@ -1,0 +1,135 @@
+#include "net/demo.hh"
+
+#include <algorithm>
+
+#include "exec/parallel.hh"
+
+namespace toltiers::net {
+
+DemoVersion::DemoVersion(std::string name, std::size_t spin_iters,
+                         double cost, double confidence,
+                         std::size_t workload)
+    : name_(std::move(name)), instance_("cpu-small"),
+      spinIters_(spin_iters), cost_(cost), confidence_(confidence),
+      workload_(workload)
+{
+}
+
+serving::VersionResult
+DemoVersion::process(std::size_t index) const
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ull + index;
+    for (std::size_t i = 0; i < spinIters_; ++i) {
+        h ^= h >> 30;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 27;
+    }
+    serving::VersionResult r;
+    r.output = name_ + "-answer-" + std::to_string(index) + "-" +
+               std::to_string(h & 0xf);
+    // Payload-dependent (but deterministic) confidence jitter in
+    // [-0.08, +0.07], so the sequential middle tier's escalation
+    // decision actually varies across the workload.
+    double jitter =
+        static_cast<double>((h >> 8) & 0xf) / 100.0 - 0.08;
+    r.confidence = std::min(0.999, confidence_ + jitter);
+    r.latencySeconds = 1e-8 * static_cast<double>(spinIters_);
+    r.costDollars = cost_;
+    r.error = 0.0;
+    return r;
+}
+
+namespace {
+
+core::RoutingRule
+demoRule(double tolerance, core::EnsembleConfig cfg)
+{
+    core::RoutingRule rule;
+    rule.tolerance = tolerance;
+    rule.cfg = cfg;
+    return rule;
+}
+
+std::vector<core::RoutingRule>
+demoRules()
+{
+    core::EnsembleConfig accurate;
+    accurate.kind = core::PolicyKind::Single;
+    accurate.primary = 1;
+    accurate.secondary = 1;
+
+    core::EnsembleConfig escalating;
+    escalating.kind = core::PolicyKind::Sequential;
+    escalating.primary = 0;
+    escalating.secondary = 1;
+    escalating.confidenceThreshold = 0.9;
+
+    core::EnsembleConfig fast;
+    fast.kind = core::PolicyKind::Single;
+    fast.primary = 0;
+    fast.secondary = 0;
+
+    return {demoRule(0.0, accurate), demoRule(0.02, escalating),
+            demoRule(0.05, fast)};
+}
+
+} // namespace
+
+DemoStack::DemoStack(DemoStackConfig cfg)
+    : cfg_(cfg),
+      fast_("demo-fast", cfg.spinIters, 1.0, 0.90,
+            cfg.workloadSize),
+      accurate_("demo-accurate", 3 * cfg.spinIters, 5.0, 0.99,
+                cfg.workloadSize),
+      service_({&fast_, &accurate_}),
+      pool_(cfg.serveThreads == 0 ? exec::configuredThreadCount()
+                                  : cfg.serveThreads)
+{
+    std::vector<core::RoutingRule> rules = demoRules();
+    service_.setRules(serving::Objective::ResponseTime, rules);
+    // The same table serves cost-objective requests, so a client
+    // asking for either objective gets an answer, never a fatal.
+    service_.setRules(serving::Objective::Cost, rules);
+    service_.setVersionProfiles(
+        {{0, 0.04, 1e-8 * static_cast<double>(cfg.spinIters), 1.0},
+         {1, 0.0, 3e-8 * static_cast<double>(cfg.spinIters), 5.0}});
+
+    core::FrontDoorConfig door_cfg;
+    door_cfg.pool = &pool_;
+    door_cfg.queueCapacity = cfg.queueCapacity;
+    door_cfg.metrics = &registry_;
+    door_ = std::make_unique<core::TierFrontDoor>(service_,
+                                                  door_cfg);
+
+    ServerConfig server_cfg;
+    server_cfg.host = cfg.host;
+    server_cfg.port = cfg.port;
+    server_cfg.metrics = &registry_;
+    server_ = std::make_unique<TierServer>(*door_, server_cfg);
+}
+
+DemoStack::~DemoStack()
+{
+    stop();
+}
+
+bool
+DemoStack::start(std::string &err)
+{
+    return server_->start(err);
+}
+
+void
+DemoStack::stop()
+{
+    server_->stop();
+    door_->drain();
+}
+
+std::uint16_t
+DemoStack::port() const
+{
+    return server_->port();
+}
+
+} // namespace toltiers::net

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A self-contained demo serving stack behind the TCP front end —
+ * what `ttserve` boots and what `ttload --self-serve` measures when
+ * no external server is given. Everything is assembled from the
+ * repo's real pieces (TierService, TierFrontDoor, TierServer);
+ * nothing here is a mock. The two service versions burn genuine
+ * CPU via a splitmix-style hash loop (the same technique as
+ * bench::SpinVersion), so wall-clock numbers through the stack
+ * measure the serving path, not a sleep.
+ *
+ * The demo tier table mirrors the paper's shape: a tolerance-0 rule
+ * served by the accurate version, a middle tier served by a
+ * sequential escalation ensemble (fast first, accurate when the
+ * fast answer's confidence is low), and a loose tier served by the
+ * fast version alone.
+ */
+
+#ifndef TOLTIERS_NET_DEMO_HH
+#define TOLTIERS_NET_DEMO_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/front_door.hh"
+#include "core/tier_service.hh"
+#include "exec/pool.hh"
+#include "net/server.hh"
+#include "obs/metrics.hh"
+#include "serving/service_version.hh"
+
+namespace toltiers::net {
+
+/**
+ * Deterministic CPU-burning demo version: a hash loop whose trip
+ * count models the version's latency (~10ns/iteration). Identical
+ * payload index => identical output, so network-vs-in-process
+ * golden checks can compare results byte for byte.
+ */
+class DemoVersion : public serving::ServiceVersion
+{
+  public:
+    DemoVersion(std::string name, std::size_t spin_iters,
+                double cost, double confidence,
+                std::size_t workload);
+
+    const std::string &name() const override { return name_; }
+    const std::string &instanceName() const override
+    {
+        return instance_;
+    }
+    std::size_t workloadSize() const override { return workload_; }
+    serving::VersionResult process(std::size_t index) const override;
+
+  private:
+    std::string name_;
+    std::string instance_;
+    std::size_t spinIters_;
+    double cost_;
+    double confidence_;
+    std::size_t workload_;
+};
+
+/** Demo stack construction parameters. */
+struct DemoStackConfig
+{
+    std::string host = "127.0.0.1";
+    /** Listen port; 0 binds an ephemeral port. */
+    std::uint16_t port = 0;
+    /** Serving pool threads; 0 = exec::configuredThreadCount().
+     * (1 also means a worker-less pool: requests are then served
+     * inline on the connection reader threads — still concurrent
+     * across connections.) */
+    std::size_t serveThreads = 0;
+    /** Front-door bounded-admission capacity. */
+    std::size_t queueCapacity = 1024;
+    /** Fast version's hash-loop trip count (~10ns each); the
+     * accurate version spins 3x this. */
+    std::size_t spinIters = 2000;
+    /** Payload-index space of the bound workload. */
+    std::size_t workloadSize = 64;
+};
+
+/** Versions + rules + pool + door + server, wired and owned. */
+class DemoStack
+{
+  public:
+    explicit DemoStack(DemoStackConfig cfg = DemoStackConfig());
+    ~DemoStack();
+
+    DemoStack(const DemoStack &) = delete;
+    DemoStack &operator=(const DemoStack &) = delete;
+
+    /** Start the TCP front end; false with `err` set on failure. */
+    [[nodiscard]] bool start(std::string &err);
+
+    /** Stop the front end and drain the door. */
+    void stop();
+
+    /** The bound port (valid after start()). */
+    std::uint16_t port() const;
+
+    core::TierFrontDoor &door() { return *door_; }
+    const core::TierService &service() const { return service_; }
+    TierServer &server() { return *server_; }
+    obs::Registry &metrics() { return registry_; }
+
+  private:
+    DemoStackConfig cfg_;
+    DemoVersion fast_;
+    DemoVersion accurate_;
+    core::TierService service_;
+    obs::Registry registry_;
+    exec::ThreadPool pool_;
+    std::unique_ptr<core::TierFrontDoor> door_;
+    std::unique_ptr<TierServer> server_;
+};
+
+} // namespace toltiers::net
+
+#endif // TOLTIERS_NET_DEMO_HH

@@ -1,0 +1,389 @@
+#include "net/protocol.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace toltiers::net {
+
+namespace {
+
+// ------------------------------------------------------- writing
+
+void
+putU8(Bytes &out, std::uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+putU16(Bytes &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(Bytes &out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+putU64(Bytes &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+putF64(Bytes &out, double v)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void
+putBytes(Bytes &out, const std::string &s)
+{
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+putStr16(Bytes &out, const std::string &s)
+{
+    putU16(out, static_cast<std::uint16_t>(s.size()));
+    putBytes(out, s);
+}
+
+void
+putStr32(Bytes &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    putBytes(out, s);
+}
+
+/** Prepend the frame header and append everything to `out`. */
+void
+emitFrame(Bytes &out, FrameType type, const Bytes &payload)
+{
+    putU32(out, static_cast<std::uint32_t>(kFixedHeaderBytes +
+                                           payload.size()));
+    putU8(out, kMagic0);
+    putU8(out, kMagic1);
+    putU8(out, kProtocolVersion);
+    putU8(out, static_cast<std::uint8_t>(type));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+// ------------------------------------------------------- reading
+
+/** Bounds-checked little-endian reader over one frame's payload. */
+struct Cursor
+{
+    const std::uint8_t *data;
+    std::size_t len;
+    std::size_t pos = 0;
+    bool truncated = false;
+
+    bool
+    take(std::size_t n)
+    {
+        if (len - pos < n) {
+            truncated = true;
+            pos = len;
+            return false;
+        }
+        return true;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (!take(1))
+            return 0;
+        return data[pos++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        if (!take(2))
+            return 0;
+        std::uint16_t v =
+            static_cast<std::uint16_t>(data[pos]) |
+            static_cast<std::uint16_t>(data[pos + 1]) << 8;
+        pos += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!take(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!take(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str(std::size_t n)
+    {
+        if (!take(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
+        return s;
+    }
+
+    std::string str16() { return str(u16()); }
+    std::string str32() { return str(u32()); }
+};
+
+/** Tolerance domain check shared by both codec directions. */
+bool
+toleranceValid(double tol)
+{
+    return std::isfinite(tol) && tol >= 0.0 && tol <= 1.0;
+}
+
+CodecStatus
+decodeRequestPayload(Cursor &c, serving::ServiceRequest &req)
+{
+    req.id = c.u64();
+    req.payload = c.u64();
+    double tolerance = c.f64();
+    std::uint8_t objective = c.u8();
+    std::uint8_t flags = c.u8();
+    req.tenant = c.str16();
+    std::uint16_t headers = c.u16();
+    for (std::uint16_t i = 0; i < headers && !c.truncated; ++i) {
+        std::string key = c.str16();
+        std::string value = c.str16();
+        if (!c.truncated)
+            req.headers[key] = value;
+    }
+    if (c.truncated)
+        return CodecStatus::Truncated;
+    if (!toleranceValid(tolerance) || objective > 1 || flags != 0)
+        return CodecStatus::BadValue;
+    req.tier.tolerance = tolerance;
+    req.tier.objective = objective == 0
+                             ? serving::Objective::ResponseTime
+                             : serving::Objective::Cost;
+    return CodecStatus::Ok;
+}
+
+CodecStatus
+decodeResponsePayload(Cursor &c, NetResponse &resp)
+{
+    resp.id = c.u64();
+    std::uint8_t status = c.u8();
+    std::uint8_t cached = c.u8();
+    std::uint8_t escalated = c.u8();
+    std::uint8_t reserved = c.u8();
+    resp.latencySeconds = c.f64();
+    resp.costDollars = c.f64();
+    resp.confidence = c.f64();
+    resp.ruleTolerance = c.f64();
+    resp.traceId = c.u64();
+    resp.output = c.str32();
+    resp.statusNote = c.str32();
+    if (c.truncated)
+        return CodecStatus::Truncated;
+    if (status > static_cast<std::uint8_t>(WireStatus::BadRequest) ||
+        cached > 1 || escalated > 1 || reserved != 0)
+        return CodecStatus::BadValue;
+    resp.status = static_cast<WireStatus>(status);
+    resp.servedFromCache = cached != 0;
+    resp.escalated = escalated != 0;
+    return CodecStatus::Ok;
+}
+
+} // namespace
+
+const char *
+wireStatusName(WireStatus status)
+{
+    switch (status) {
+      case WireStatus::Ok:
+        return "ok";
+      case WireStatus::FellBack:
+        return "fell-back";
+      case WireStatus::GuaranteeViolation:
+        return "violation";
+      case WireStatus::Rejected:
+        return "rejected";
+      case WireStatus::BadRequest:
+        return "bad-request";
+    }
+    return "unknown";
+}
+
+const char *
+codecStatusName(CodecStatus status)
+{
+    switch (status) {
+      case CodecStatus::Ok:
+        return "ok";
+      case CodecStatus::NeedMore:
+        return "need-more";
+      case CodecStatus::BadMagic:
+        return "bad-magic";
+      case CodecStatus::BadVersion:
+        return "bad-version";
+      case CodecStatus::BadType:
+        return "bad-type";
+      case CodecStatus::Truncated:
+        return "truncated";
+      case CodecStatus::TrailingBytes:
+        return "trailing-bytes";
+      case CodecStatus::Oversized:
+        return "oversized";
+      case CodecStatus::BadValue:
+        return "bad-value";
+      case CodecStatus::Closed:
+        return "closed";
+    }
+    return "unknown";
+}
+
+CodecStatus
+encodeRequestFrame(const serving::ServiceRequest &req, Bytes &out)
+{
+    constexpr std::size_t kU16Max =
+        std::numeric_limits<std::uint16_t>::max();
+    if (!toleranceValid(req.tier.tolerance))
+        return CodecStatus::BadValue;
+    if (req.tenant.size() > kU16Max ||
+        req.headers.size() > kU16Max)
+        return CodecStatus::Oversized;
+    for (const auto &[key, value] : req.headers)
+        if (key.size() > kU16Max || value.size() > kU16Max)
+            return CodecStatus::Oversized;
+
+    Bytes payload;
+    putU64(payload, req.id);
+    putU64(payload, static_cast<std::uint64_t>(req.payload));
+    putF64(payload, req.tier.tolerance);
+    putU8(payload,
+          req.tier.objective == serving::Objective::ResponseTime
+              ? 0
+              : 1);
+    putU8(payload, 0); // flags, reserved
+    putStr16(payload, req.tenant);
+    putU16(payload, static_cast<std::uint16_t>(req.headers.size()));
+    for (const auto &[key, value] : req.headers) {
+        putStr16(payload, key);
+        putStr16(payload, value);
+    }
+
+    if (kLengthPrefixBytes + kFixedHeaderBytes + payload.size() >
+        kMaxFrameBytes)
+        return CodecStatus::Oversized;
+    emitFrame(out, FrameType::Request, payload);
+    return CodecStatus::Ok;
+}
+
+CodecStatus
+encodeResponseFrame(const NetResponse &resp, Bytes &out)
+{
+    Bytes payload;
+    putU64(payload, resp.id);
+    putU8(payload, static_cast<std::uint8_t>(resp.status));
+    putU8(payload, resp.servedFromCache ? 1 : 0);
+    putU8(payload, resp.escalated ? 1 : 0);
+    putU8(payload, 0); // reserved
+    putF64(payload, resp.latencySeconds);
+    putF64(payload, resp.costDollars);
+    putF64(payload, resp.confidence);
+    putF64(payload, resp.ruleTolerance);
+    putU64(payload, resp.traceId);
+    putStr32(payload, resp.output);
+    putStr32(payload, resp.statusNote);
+
+    if (kLengthPrefixBytes + kFixedHeaderBytes + payload.size() >
+        kMaxFrameBytes)
+        return CodecStatus::Oversized;
+    emitFrame(out, FrameType::Response, payload);
+    return CodecStatus::Ok;
+}
+
+FrameDecode
+decodeFrame(const std::uint8_t *data, std::size_t len)
+{
+    FrameDecode out;
+    if (len < kLengthPrefixBytes) {
+        out.status = CodecStatus::NeedMore;
+        return out;
+    }
+    std::uint32_t body_len = 0;
+    for (int i = 0; i < 4; ++i)
+        body_len |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+
+    // A hostile length prefix must never drive buffering: refuse it
+    // before waiting for the bytes it claims.
+    if (kLengthPrefixBytes + static_cast<std::size_t>(body_len) >
+        kMaxFrameBytes) {
+        out.status = CodecStatus::Oversized;
+        return out;
+    }
+    std::size_t total = kLengthPrefixBytes + body_len;
+    if (len < total) {
+        out.status = CodecStatus::NeedMore;
+        return out;
+    }
+
+    out.frameBytes = total;
+    if (body_len < kFixedHeaderBytes) {
+        out.status = CodecStatus::Truncated;
+        return out;
+    }
+    const std::uint8_t *p = data + kLengthPrefixBytes;
+    if (p[0] != kMagic0 || p[1] != kMagic1) {
+        // The stream is not speaking this protocol at all; the
+        // claimed boundary is meaningless.
+        out.frameBytes = 0;
+        out.status = CodecStatus::BadMagic;
+        return out;
+    }
+    if (p[2] != kProtocolVersion) {
+        out.status = CodecStatus::BadVersion;
+        return out;
+    }
+    std::uint8_t type = p[3];
+    if (type != static_cast<std::uint8_t>(FrameType::Request) &&
+        type != static_cast<std::uint8_t>(FrameType::Response)) {
+        out.status = CodecStatus::BadType;
+        return out;
+    }
+    out.type = static_cast<FrameType>(type);
+
+    Cursor cursor{p + kFixedHeaderBytes,
+                  body_len - kFixedHeaderBytes};
+    out.status = out.type == FrameType::Request
+                     ? decodeRequestPayload(cursor, out.request)
+                     : decodeResponsePayload(cursor, out.response);
+    if (out.status == CodecStatus::Ok && cursor.pos != cursor.len)
+        out.status = CodecStatus::TrailingBytes;
+    return out;
+}
+
+} // namespace toltiers::net

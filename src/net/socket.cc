@@ -1,0 +1,171 @@
+#include "net/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace toltiers::net {
+
+namespace {
+
+/** errno rendered as "call: message". */
+std::string
+sysError(const char *call)
+{
+    return std::string(call) + ": " + std::strerror(errno);
+}
+
+/** Parse a dotted-quad host into `addr`; false on bad input. */
+bool
+fillAddress(const std::string &host, std::uint16_t port,
+            sockaddr_in &addr)
+{
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (host.empty() || host == "localhost") {
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        return true;
+    }
+    return inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+} // namespace
+
+void
+ScopedFd::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+int
+tcpListen(const std::string &host, std::uint16_t port, int backlog,
+          std::string &err)
+{
+    sockaddr_in addr;
+    if (!fillAddress(host, port, addr)) {
+        err = "bad listen address: '" + host + "'";
+        return -1;
+    }
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        err = sysError("socket");
+        return -1;
+    }
+    int one = 1;
+    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof one);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        err = sysError("bind");
+        return -1;
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        err = sysError("listen");
+        return -1;
+    }
+    return fd.release();
+}
+
+int
+tcpAccept(int listen_fd, std::string &err)
+{
+    int fd;
+    do {
+        fd = ::accept(listen_fd, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        err = sysError("accept");
+        return -1;
+    }
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof one);
+    return fd;
+}
+
+int
+tcpConnect(const std::string &host, std::uint16_t port,
+           std::string &err)
+{
+    sockaddr_in addr;
+    if (!fillAddress(host, port, addr)) {
+        err = "bad connect address: '" + host + "'";
+        return -1;
+    }
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        err = sysError("socket");
+        return -1;
+    }
+    // Request/response frames are small; batching them behind
+    // Nagle's algorithm would serialize a closed-loop client on
+    // delayed ACKs.
+    int one = 1;
+    (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof one);
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        err = sysError("connect");
+        return -1;
+    }
+    return fd.release();
+}
+
+std::uint16_t
+boundPort(int fd)
+{
+    sockaddr_in addr;
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+bool
+sendAll(int fd, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::size_t sent = 0;
+    while (sent < len) {
+        long n = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+recvSome(int fd, void *data, std::size_t len)
+{
+    long n;
+    do {
+        n = ::recv(fd, data, len, 0);
+    } while (n < 0 && errno == EINTR);
+    return n;
+}
+
+void
+shutdownBoth(int fd)
+{
+    (void)::shutdown(fd, SHUT_RDWR);
+}
+
+} // namespace toltiers::net

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Thin POSIX TCP helpers for the network front end.
+ *
+ * Everything the server and client need from the socket API, and
+ * nothing else: an RAII fd owner, loopback-friendly listen/connect,
+ * and short-read/short-write-safe transfer loops. All functions
+ * report failure through return values (never fatal) — a serving
+ * front end treats every syscall error as an event to account, not
+ * a reason to die. SIGPIPE is never raised: writes use
+ * MSG_NOSIGNAL, so a peer hanging up mid-response surfaces as an
+ * ordinary send error.
+ */
+
+#ifndef TOLTIERS_NET_SOCKET_HH
+#define TOLTIERS_NET_SOCKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace toltiers::net {
+
+/** Owns one file descriptor; closes it on destruction. */
+class ScopedFd
+{
+  public:
+    ScopedFd() = default;
+    explicit ScopedFd(int fd) : fd_(fd) {}
+    ~ScopedFd() { reset(); }
+
+    ScopedFd(const ScopedFd &) = delete;
+    ScopedFd &operator=(const ScopedFd &) = delete;
+
+    ScopedFd(ScopedFd &&other) noexcept : fd_(other.release()) {}
+    ScopedFd &
+    operator=(ScopedFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    /** The owned descriptor, or -1. */
+    int get() const { return fd_; }
+
+    /** True when a descriptor is owned. */
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close the owned descriptor (if any) and adopt `fd`. */
+    void reset(int fd = -1);
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create, bind, and listen a TCP socket on `host:port` (port 0
+ * picks an ephemeral port). Returns the listening fd, or -1 with
+ * `err` describing the failing call.
+ */
+int tcpListen(const std::string &host, std::uint16_t port,
+              int backlog, std::string &err);
+
+/**
+ * Accept one connection on a listening fd (EINTR retried, low
+ * TCP_NODELAY latency for the small response frames). Returns the
+ * connected fd, or -1 with `err` set — including when the listener
+ * was shut down out from under the call (the server-stop wakeup).
+ */
+int tcpAccept(int listen_fd, std::string &err);
+
+/** Connect to `host:port`. Returns the fd, or -1 with `err` set. */
+int tcpConnect(const std::string &host, std::uint16_t port,
+               std::string &err);
+
+/** The local port a bound socket ended up on (0 on error). */
+std::uint16_t boundPort(int fd);
+
+/**
+ * Write all `len` bytes, looping over short writes (MSG_NOSIGNAL,
+ * EINTR retried). Returns false on any unrecoverable send error.
+ */
+[[nodiscard]] bool sendAll(int fd, const void *data,
+                           std::size_t len);
+
+/**
+ * One receive of up to `len` bytes (EINTR retried). Returns the
+ * byte count, 0 on orderly shutdown, or -1 on error.
+ */
+long recvSome(int fd, void *data, std::size_t len);
+
+/** shutdown(2) both directions, ignoring errors (wakeup helper). */
+void shutdownBoth(int fd);
+
+} // namespace toltiers::net
+
+#endif // TOLTIERS_NET_SOCKET_HH

@@ -43,6 +43,8 @@ inline constexpr const char *kRoute = "route";
 inline constexpr const char *kExecute = "execute";
 inline constexpr const char *kRetryBackoff = "retry-backoff";
 inline constexpr const char *kHedgeOverlap = "hedge-overlap";
+inline constexpr const char *kNetRead = "net-read";
+inline constexpr const char *kNetWrite = "net-write";
 } // namespace stage
 
 /** One half-open busy interval [start, end) on a request timeline. */

@@ -108,6 +108,8 @@ parseAnnotatedRequest(const std::string &header_block)
                               "unknown Objective header value: '" +
                                   value + "'");
             }
+        } else if (name == "tenant") {
+            req.tenant = value;
         } else {
             req.headers[name] = value;
         }

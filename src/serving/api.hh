@@ -59,9 +59,10 @@ struct [[nodiscard]] RequestParse
                                      Objective &out);
 
 /**
- * Parse a header block into a tier annotation. Unknown headers are
- * preserved in `request.headers`; missing Tolerance defaults to 0
- * (the most accurate tier) and missing Objective to response-time.
+ * Parse a header block into a tier annotation. A `Tenant:` header
+ * lands in `request.tenant`; other unknown headers are preserved
+ * in `request.headers`; missing Tolerance defaults to 0 (the most
+ * accurate tier) and missing Objective to response-time.
  * Malformed input is reported via the returned status — never
  * fatal; the partially parsed request is left as-is.
  */

@@ -40,6 +40,12 @@ struct ServiceRequest
     std::size_t payload = 0; //!< Index into the bound workload.
     TierAnnotation tier;
     std::map<std::string, std::string> headers;
+    /** Requesting tenant ("" = the anonymous default tenant).
+     * Carried by the wire protocol and parsed from a `Tenant:`
+     * header; today it is accounting-only — the multi-tenant
+     * admission work (ROADMAP item 2) keys quotas and per-tenant
+     * tt_* labels off it. */
+    std::string tenant;
     /** Wall seconds the request queued in the adaptive batcher
      * before dispatch (0 when it never crossed a batcher). Set by
      * AdaptiveBatcher; consumed by the front door's stage

@@ -141,7 +141,8 @@ TEST(TtlintFixtures, DisciplinedSpanContextIsSilent)
 TEST(TtlintFixtures, SpanContextRuleIsPathGated)
 {
     // The identical violating source is the rule's business only
-    // inside the request-path modules (src/core, src/serving).
+    // inside the request-path modules (src/core, src/serving,
+    // src/net).
     const char *orphan =
         "struct TraceContext;\n"
         "void f(Trace &t, const TraceContext &ctx)\n"
@@ -156,6 +157,13 @@ TEST(TtlintFixtures, SpanContextRuleIsPathGated)
         {{"src/serving/batch_helper.cc", orphan}});
     ASSERT_EQ(inside.findings.size(), 1u);
     EXPECT_EQ(inside.findings[0].rule, "span-context-discipline");
+
+    // The wire front end is a request-path module too: the same
+    // orphan span is a finding under src/net.
+    ScanResult net = ttlint::lintBuffers(
+        {{"src/net/conn_helper.cc", orphan}});
+    ASSERT_EQ(net.findings.size(), 1u);
+    EXPECT_EQ(net.findings[0].rule, "span-context-discipline");
 }
 
 TEST(TtlintFixtures, ValidSuppressionsSilenceFindings)

@@ -787,7 +787,8 @@ checkSpanContextDiscipline(const FileUnit &unit,
     // stack's propagation contract, not a tree-wide ban (the
     // originators and the obs layer legitimately start traces).
     if (unit.relPath.rfind("src/core", 0) != 0 &&
-        unit.relPath.rfind("src/serving", 0) != 0)
+        unit.relPath.rfind("src/serving", 0) != 0 &&
+        unit.relPath.rfind("src/net", 0) != 0)
         return;
 
     for (std::size_t i = 0; i < code.size(); ++i) {

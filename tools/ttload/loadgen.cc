@@ -1,0 +1,281 @@
+#include "ttload/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/stopwatch.hh"
+#include "exec/rng.hh"
+#include "net/client.hh"
+
+namespace toltiers::ttload {
+
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    TT_ASSERT(!sorted.empty(),
+              "percentile of an empty sample is undefined");
+    TT_ASSERT(p > 0.0 && p <= 100.0,
+              "percentile must lie in (0, 100]");
+    // Nearest rank: the ceil(p/100 * n)-th smallest, 1-indexed.
+    std::size_t n = sorted.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    rank = std::max<std::size_t>(rank, 1);
+    rank = std::min(rank, n);
+    return sorted[rank - 1];
+}
+
+LatencySummary
+summarizeLatencies(std::vector<double> latencies)
+{
+    LatencySummary s;
+    if (latencies.empty())
+        return s;
+    std::sort(latencies.begin(), latencies.end());
+    s.count = latencies.size();
+    s.mean = std::accumulate(latencies.begin(), latencies.end(),
+                             0.0) /
+             static_cast<double>(latencies.size());
+    s.min = latencies.front();
+    s.max = latencies.back();
+    s.p50 = percentileSorted(latencies, 50.0);
+    s.p95 = percentileSorted(latencies, 95.0);
+    s.p99 = percentileSorted(latencies, 99.0);
+    return s;
+}
+
+ThreadCap
+capThreadsAt(std::size_t requested, std::size_t hardware)
+{
+    ThreadCap cap;
+    cap.requested = requested;
+    cap.hardware = std::max<std::size_t>(hardware, 1);
+    std::size_t want = std::max<std::size_t>(requested, 1);
+    cap.capped = want > cap.hardware;
+    cap.granted = cap.capped ? cap.hardware : want;
+    return cap;
+}
+
+std::size_t
+detectedHardwareThreads()
+{
+    return std::max<std::size_t>(
+        std::thread::hardware_concurrency(), 1);
+}
+
+ThreadCap
+capThreads(std::size_t requested)
+{
+    return capThreadsAt(requested, detectedHardwareThreads());
+}
+
+std::vector<double>
+poissonArrivalTimes(double rate_per_second, std::size_t count,
+                    std::uint64_t seed)
+{
+    TT_ASSERT(rate_per_second > 0.0,
+              "a Poisson schedule needs a positive rate");
+    std::vector<double> times;
+    times.reserve(count);
+    // One derived stream for the whole schedule: inter-arrival
+    // gaps are -ln(1-U)/rate draws, so the sequence is a pure
+    // function of (rate, count, seed). The stream index is far
+    // outside the per-request index space, so the schedule never
+    // aliases a request's payload stream.
+    common::Pcg32 rng =
+        exec::taskRng(seed, 0xa2217a11ff5c4ed1ull);
+    double t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        double u = rng.nextDouble();
+        t += -std::log1p(-u) / rate_per_second;
+        times.push_back(t);
+    }
+    return times;
+}
+
+namespace {
+
+/** Per-thread tally merged into the report after the joins. */
+struct ThreadTally
+{
+    std::size_t attempted = 0;
+    std::size_t ok = 0;
+    std::size_t fellBack = 0;
+    std::size_t violations = 0;
+    std::size_t rejected = 0;
+    std::size_t transportErrors = 0;
+    std::vector<double> latencies;
+};
+
+/** Issue one request and record its outcome into `tally`. */
+void
+issueOne(net::TierClient &client, const LoadConfig &cfg,
+         std::size_t global_index, ThreadTally &tally)
+{
+    ++tally.attempted;
+    serving::ServiceRequest req;
+    req.id = global_index;
+    // Payload draw from the request's own derived stream, so the
+    // sequence is independent of the thread count.
+    common::Pcg32 rng = exec::taskRng(cfg.seed, global_index);
+    req.payload = rng.nextBounded(
+        static_cast<std::uint32_t>(cfg.workloadSize));
+    req.tier.tolerance = cfg.tolerance;
+    req.tier.objective = cfg.objective;
+
+    net::NetResponse resp;
+    common::Stopwatch rtt;
+    net::CodecStatus status = client.call(req, resp);
+    if (status != net::CodecStatus::Ok) {
+        ++tally.transportErrors;
+        return;
+    }
+    tally.latencies.push_back(rtt.seconds());
+    switch (resp.status) {
+      case net::WireStatus::Ok:
+        ++tally.ok;
+        break;
+      case net::WireStatus::FellBack:
+        ++tally.fellBack;
+        break;
+      case net::WireStatus::GuaranteeViolation:
+        ++tally.violations;
+        break;
+      case net::WireStatus::Rejected:
+        ++tally.rejected;
+        break;
+      case net::WireStatus::BadRequest:
+        ++tally.transportErrors;
+        break;
+    }
+}
+
+/** Merge per-thread tallies and finish the report. */
+LoadReport
+mergeReport(const LoadConfig &cfg, std::vector<ThreadTally> tallies,
+            double wall_seconds, bool open_loop)
+{
+    LoadReport report;
+    report.openLoop = open_loop;
+    report.threads = tallies.size();
+    report.wallSeconds = wall_seconds;
+    report.offeredRps = open_loop ? cfg.offeredRps : 0.0;
+    report.sloSeconds = cfg.sloSeconds;
+
+    std::vector<double> latencies;
+    for (ThreadTally &t : tallies) {
+        report.attempted += t.attempted;
+        report.ok += t.ok;
+        report.fellBack += t.fellBack;
+        report.violations += t.violations;
+        report.rejected += t.rejected;
+        report.transportErrors += t.transportErrors;
+        latencies.insert(latencies.end(), t.latencies.begin(),
+                         t.latencies.end());
+    }
+    if (cfg.sloSeconds > 0.0 && !latencies.empty()) {
+        auto within = static_cast<double>(std::count_if(
+            latencies.begin(), latencies.end(),
+            [&](double l) { return l <= cfg.sloSeconds; }));
+        report.sloAttainment =
+            within / static_cast<double>(latencies.size());
+    }
+    report.latency = summarizeLatencies(std::move(latencies));
+    if (wall_seconds > 0.0) {
+        report.achievedRps =
+            static_cast<double>(report.responses()) / wall_seconds;
+    }
+    return report;
+}
+
+} // namespace
+
+LoadReport
+runClosedLoop(const LoadConfig &cfg)
+{
+    std::size_t threads = std::max<std::size_t>(cfg.threads, 1);
+    std::vector<ThreadTally> tallies(threads);
+
+    common::Stopwatch wall;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            net::TierClient client;
+            std::string err;
+            // A client that cannot connect charges every request
+            // it would have sent as a transport error.
+            std::size_t share = cfg.requests / threads +
+                                (t < cfg.requests % threads ? 1 : 0);
+            if (!client.connect(cfg.host, cfg.port, err)) {
+                tallies[t].attempted = share;
+                tallies[t].transportErrors = share;
+                return;
+            }
+            for (std::size_t i = 0; i < share; ++i) {
+                std::size_t global = t + i * threads;
+                issueOne(client, cfg, global, tallies[t]);
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    return mergeReport(cfg, std::move(tallies), wall.seconds(),
+                       false);
+}
+
+LoadReport
+runOpenLoop(const LoadConfig &cfg)
+{
+    TT_ASSERT(cfg.offeredRps > 0.0,
+              "the open loop needs --rate > 0");
+    std::size_t threads = std::max<std::size_t>(cfg.threads, 1);
+    std::vector<ThreadTally> tallies(threads);
+    std::vector<double> schedule =
+        poissonArrivalTimes(cfg.offeredRps, cfg.requests, cfg.seed);
+
+    // Round-robin the shared schedule across threads: thread t owns
+    // arrivals t, t+threads, t+2*threads, ... so the union of all
+    // threads' sends follows the Poisson process.
+    common::Stopwatch wall;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            net::TierClient client;
+            std::string err;
+            std::size_t share = 0;
+            for (std::size_t i = t; i < schedule.size();
+                 i += threads)
+                ++share;
+            if (!client.connect(cfg.host, cfg.port, err)) {
+                tallies[t].attempted = share;
+                tallies[t].transportErrors = share;
+                return;
+            }
+            for (std::size_t i = t; i < schedule.size();
+                 i += threads) {
+                // Hold to the schedule: wait out any idle gap, but
+                // never skip an arrival — when the service lags,
+                // sends queue behind the connection and the
+                // achieved-vs-offered gap records the overload.
+                double lead = schedule[i] - wall.seconds();
+                if (lead > 0.0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(lead));
+                }
+                issueOne(client, cfg, i, tallies[t]);
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    return mergeReport(cfg, std::move(tallies), wall.seconds(),
+                       true);
+}
+
+} // namespace toltiers::ttload

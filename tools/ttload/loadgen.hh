@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The ttload load-generation core: percentile harness, honest
+ * thread capping, Poisson arrival schedules, and the closed-loop /
+ * open-loop runners the `ttload` CLI drives.
+ *
+ * Built as a library (ttload_core) so the test suite can pin the
+ * numeric pieces down in-process: the percentile math reproduces
+ * exact nearest-rank values on known distributions, the Poisson
+ * schedule is a pure function of (rate, count, seed), and the
+ * thread cap is decidable without actually owning the hardware it
+ * reasons about.
+ *
+ * Closed loop vs. open loop — the distinction the load-testing
+ * literature keeps finding misused: a *closed-loop* client issues
+ * its next request only after the previous response arrives, so
+ * the offered load self-throttles to the service's speed and tail
+ * latency under overload is invisible. An *open-loop* client
+ * issues requests on an arrival schedule (Poisson here) regardless
+ * of completions, which is how real independent users behave and
+ * what exposes the latency cliff as offered load approaches
+ * capacity. ttload implements both and labels which one produced
+ * every number it prints.
+ *
+ * Honesty rule: the generator detects hardware parallelism
+ * (std::thread::hardware_concurrency()) and refuses to run more
+ * concurrent client threads than the machine has hardware threads
+ * — a "64-thread" sweep on a 4-core box measures scheduler
+ * timeslicing, not service scaling, and the capped request is
+ * recorded in the report so the JSON says what was actually run.
+ */
+
+#ifndef TOLTIERS_TOOLS_TTLOAD_LOADGEN_HH
+#define TOLTIERS_TOOLS_TTLOAD_LOADGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/request.hh"
+
+namespace toltiers::ttload {
+
+// ------------------------------------------------- percentiles
+
+/**
+ * Exact nearest-rank percentile: the smallest element such that at
+ * least p% of the sample is <= it (rank ceil(p/100 * n)). `sorted`
+ * must be ascending and non-empty; p in (0, 100].
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+/** Exact summary statistics of one latency sample. */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Summarize a latency sample (empty sample => all zeros). */
+LatencySummary summarizeLatencies(std::vector<double> latencies);
+
+// ---------------------------------------------- honest capping
+
+/** Outcome of capping a requested client thread count. */
+struct ThreadCap
+{
+    std::size_t requested = 0;
+    std::size_t granted = 0;  //!< min(requested, hardware), >= 1.
+    std::size_t hardware = 0; //!< Detected hardware threads, >= 1.
+    bool capped = false;      //!< True when requested > hardware.
+};
+
+/**
+ * Cap `requested` at `hardware` parallel client threads (both
+ * clamped up to 1). The pure seam the tests pin down.
+ */
+ThreadCap capThreadsAt(std::size_t requested, std::size_t hardware);
+
+/** capThreadsAt against the detected hardware thread count. */
+ThreadCap capThreads(std::size_t requested);
+
+/** Detected hardware threads (>= 1 even when detection fails). */
+std::size_t detectedHardwareThreads();
+
+// ------------------------------------------- arrival schedules
+
+/**
+ * Deterministic Poisson arrival offsets: `count` ascending seconds
+ * from the epoch of the run, with exponential inter-arrival times
+ * at `rate_per_second`. A pure function of (rate, count, seed) —
+ * the same schedule replays bit-identically.
+ */
+std::vector<double> poissonArrivalTimes(double rate_per_second,
+                                        std::size_t count,
+                                        std::uint64_t seed);
+
+// ------------------------------------------------------ runners
+
+/** One load run's parameters. */
+struct LoadConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Concurrent client threads (one connection each). Callers
+     * should pass a capThreads()-granted value. */
+    std::size_t threads = 1;
+    /** Total requests across all threads. */
+    std::size_t requests = 1000;
+    /** Tolerance annotation on every request. */
+    double tolerance = 0.05;
+    serving::Objective objective = serving::Objective::ResponseTime;
+    /** Payload-index space requests draw from. */
+    std::size_t workloadSize = 64;
+    std::uint64_t seed = 1;
+    /** Open loop only: total offered arrival rate (req/s) across
+     * all threads. Ignored by the closed-loop runner. */
+    double offeredRps = 0.0;
+    /** Target SLO on measured round-trip latency; > 0 reports
+     * attainment against it. */
+    double sloSeconds = 0.0;
+};
+
+/** One load run's measured outcome. */
+struct LoadReport
+{
+    bool openLoop = false;
+    std::size_t threads = 0;   //!< Client threads actually run.
+    std::size_t attempted = 0; //!< Requests sent (or tried to).
+    std::size_t ok = 0;        //!< Ok responses.
+    std::size_t fellBack = 0;  //!< FellBack responses.
+    std::size_t violations = 0; //!< GuaranteeViolation responses.
+    std::size_t rejected = 0;  //!< Rejected (shed) responses.
+    std::size_t transportErrors = 0; //!< No response at all.
+    double wallSeconds = 0.0;
+    double achievedRps = 0.0; //!< Responses per wall second.
+    double offeredRps = 0.0;  //!< Open loop: the schedule's rate.
+    /** Round-trip latency over every response received. */
+    LatencySummary latency;
+    double sloSeconds = 0.0;
+    /** Fraction of responses within the SLO (0 when none set). */
+    double sloAttainment = 0.0;
+
+    /** Responses of any kind (ok + fellBack + violations +
+     * rejected). */
+    std::size_t responses() const
+    {
+        return ok + fellBack + violations + rejected;
+    }
+};
+
+/**
+ * Closed loop: each thread sends its next request only after the
+ * previous response. Measures service capacity under self-throttled
+ * load.
+ */
+LoadReport runClosedLoop(const LoadConfig &cfg);
+
+/**
+ * Open loop: requests fire on a seeded Poisson schedule at
+ * cfg.offeredRps (> 0 required), round-robined across threads.
+ * When the service falls behind, arrivals queue behind their
+ * connection and the achieved-vs-offered gap widens — that gap is
+ * the honest overload signal.
+ */
+LoadReport runOpenLoop(const LoadConfig &cfg);
+
+} // namespace toltiers::ttload
+
+#endif // TOLTIERS_TOOLS_TTLOAD_LOADGEN_HH

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * ttload command-line driver: closed-loop and open-loop load
+ * generation against a wire-protocol tier server.
+ *
+ * Usage:
+ *   ttload [--host H] [--port P]            drive an external server
+ *   ttload [--self-serve flags]             boot the demo stack and
+ *                                           drive it over loopback
+ *                                           (default when no --port)
+ *
+ * Load shape:
+ *   --threads N     concurrent client threads (capped at detected
+ *                   hardware threads — see below)
+ *   --requests N    total requests across all threads (default 2000)
+ *   --rate R        open loop: Poisson arrivals at R req/s total;
+ *                   omitted = closed loop
+ *   --tolerance T   Tolerance annotation (default 0.05)
+ *   --objective O   response-time | cost (default response-time)
+ *   --slo S         target SLO seconds; reports attainment
+ *   --seed N        schedule + payload seed (default 1)
+ *   --sweep A,B,..  closed-loop thread sweep (entries beyond the
+ *                   hardware cap are dropped, and the drop is
+ *                   recorded)
+ *   --json PATH     write the machine-readable report (default
+ *                   BENCH_net.json; "" disables)
+ *
+ * Self-serve stack:
+ *   --serve-threads N   serving pool threads (default: hardware)
+ *   --queue N           front-door admission capacity (default 1024)
+ *   --spin N            fast version's hash-loop iterations
+ *                       (default 2000, ~20us)
+ *
+ * Honesty rule: ttload detects hardware parallelism via
+ * std::thread::hardware_concurrency() and never runs more client
+ * threads than that — beyond it a "scaling" number measures the OS
+ * scheduler, not the service. The detected count, every capped
+ * request, and the loop mode (open/closed) are recorded in the
+ * JSON so the numbers cannot be quoted without their context.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "net/demo.hh"
+#include "serving/api.hh"
+#include "ttload/loadgen.hh"
+
+namespace {
+
+using namespace toltiers;
+
+/** Parse "1,2,4,8" into a thread sweep. */
+std::vector<std::size_t>
+parseSweep(const std::string &spec)
+{
+    std::vector<std::size_t> sweep;
+    for (const std::string &part : common::split(spec, ',')) {
+        std::string t = common::trim(part);
+        if (t.empty())
+            continue;
+        long v = std::strtol(t.c_str(), nullptr, 10);
+        if (v <= 0)
+            common::fatal("bad --sweep entry: '", t, "'");
+        sweep.push_back(static_cast<std::size_t>(v));
+    }
+    if (sweep.empty())
+        common::fatal("--sweep needs at least one thread count");
+    return sweep;
+}
+
+void
+writePoint(common::JsonWriter &json, const ttload::ThreadCap &cap,
+           const ttload::LoadReport &report)
+{
+    json.beginObject();
+    json.member("threads", report.threads);
+    json.member("requestedThreads", cap.requested);
+    json.member("capped", cap.capped);
+    json.member("openLoop", report.openLoop);
+    json.member("attempted", report.attempted);
+    json.member("ok", report.ok);
+    json.member("fellBack", report.fellBack);
+    json.member("violations", report.violations);
+    json.member("rejected", report.rejected);
+    json.member("transportErrors", report.transportErrors);
+    json.member("wallSeconds", report.wallSeconds);
+    json.member("achievedRps", report.achievedRps);
+    json.member("offeredRps", report.offeredRps);
+    json.member("p50Seconds", report.latency.p50);
+    json.member("p95Seconds", report.latency.p95);
+    json.member("p99Seconds", report.latency.p99);
+    json.member("meanSeconds", report.latency.mean);
+    json.member("maxSeconds", report.latency.max);
+    json.member("sloSeconds", report.sloSeconds);
+    json.member("sloAttainment", report.sloAttainment);
+    json.endObject();
+}
+
+std::string
+row(const ttload::LoadReport &r)
+{
+    return common::strprintf(
+        "ok=%zu fellBack=%zu viol=%zu rej=%zu err=%zu", r.ok,
+        r.fellBack, r.violations, r.rejected, r.transportErrors);
+}
+
+int
+run(int argc, char **argv)
+{
+    common::CliArgs args(
+        argc, argv,
+        common::telemetryFlags(
+            {"host", "port", "threads", "requests", "rate",
+             "tolerance", "objective", "slo", "seed", "sweep",
+             "json", "serve-threads", "queue", "spin"}));
+    common::applyLogLevel(args);
+
+    ttload::LoadConfig cfg;
+    cfg.host = args.getString("host", "127.0.0.1");
+    cfg.port =
+        static_cast<std::uint16_t>(args.getInt("port", 0));
+    cfg.requests =
+        static_cast<std::size_t>(args.getInt("requests", 2000));
+    cfg.tolerance = args.getDouble("tolerance", 0.05);
+    cfg.sloSeconds = args.getDouble("slo", 0.0);
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    cfg.offeredRps = args.getDouble("rate", 0.0);
+    std::string objective =
+        args.getString("objective", "response-time");
+    if (!serving::tryParseObjective(objective, cfg.objective))
+        common::fatal("unknown --objective: '", objective, "'");
+
+    // No --port: boot the demo stack and measure it over loopback.
+    std::unique_ptr<net::DemoStack> stack;
+    if (cfg.port == 0) {
+        net::DemoStackConfig demo;
+        demo.serveThreads = static_cast<std::size_t>(
+            args.getInt("serve-threads", 0));
+        demo.queueCapacity =
+            static_cast<std::size_t>(args.getInt("queue", 1024));
+        demo.spinIters =
+            static_cast<std::size_t>(args.getInt("spin", 2000));
+        stack = std::make_unique<net::DemoStack>(demo);
+        std::string err;
+        if (!stack->start(err))
+            common::fatal("self-serve stack failed to start: ",
+                          err);
+        cfg.port = stack->port();
+        cfg.workloadSize = demo.workloadSize;
+        common::inform("self-serve demo stack on 127.0.0.1:",
+                       cfg.port);
+    }
+
+    std::size_t hw = ttload::detectedHardwareThreads();
+    std::vector<std::size_t> sweep;
+    std::string sweep_spec = args.getString("sweep", "");
+    if (!sweep_spec.empty())
+        sweep = parseSweep(sweep_spec);
+    else
+        sweep = {static_cast<std::size_t>(
+            args.getInt("threads", 1))};
+
+    common::Table table(common::strprintf(
+        "%s-loop load (%zu requests, hardware threads: %zu)",
+        cfg.offeredRps > 0.0 ? "open" : "closed", cfg.requests,
+        hw));
+    table.setHeader({"threads", "wall", "req/s", "p50", "p95",
+                     "p99", "outcomes"});
+
+    std::vector<std::pair<ttload::ThreadCap, ttload::LoadReport>>
+        points;
+    for (std::size_t requested : sweep) {
+        ttload::ThreadCap cap = ttload::capThreads(requested);
+        if (cap.capped) {
+            common::inform(
+                "capping ", requested, " client threads to the ",
+                cap.hardware,
+                " hardware threads actually present — a sweep "
+                "point beyond the hardware measures timeslicing, "
+                "not scaling");
+            // A capped repeat of an existing point adds no
+            // information; drop it rather than print a duplicate
+            // pretending to be a bigger machine.
+            bool dup = false;
+            for (const auto &[c, r] : points)
+                dup = dup || c.granted == cap.granted;
+            if (dup)
+                continue;
+        }
+        cfg.threads = cap.granted;
+        ttload::LoadReport report =
+            cfg.offeredRps > 0.0 ? ttload::runOpenLoop(cfg)
+                                 : ttload::runClosedLoop(cfg);
+        table.addRow(
+            {std::to_string(report.threads),
+             common::formatFixed(report.wallSeconds * 1e3, 1) +
+                 "ms",
+             common::formatFixed(report.achievedRps, 0),
+             common::formatFixed(report.latency.p50 * 1e6, 0) +
+                 "us",
+             common::formatFixed(report.latency.p95 * 1e6, 0) +
+                 "us",
+             common::formatFixed(report.latency.p99 * 1e6, 0) +
+                 "us",
+             row(report)});
+        points.emplace_back(cap, report);
+    }
+    table.print(std::cout);
+    if (cfg.sloSeconds > 0.0) {
+        for (const auto &[cap, report] : points) {
+            common::inform(
+                "SLO ", common::formatFixed(cfg.sloSeconds * 1e3, 2),
+                "ms @ ", report.threads, " threads: ",
+                common::formatFixed(report.sloAttainment * 100.0, 2),
+                "% within, achieved ",
+                common::formatFixed(report.achievedRps, 0),
+                " req/s", report.openLoop
+                    ? common::strprintf(
+                          " of %.0f offered", report.offeredRps)
+                    : std::string());
+        }
+    }
+
+    std::string json_path =
+        args.getString("json", "BENCH_net.json");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            common::fatal("cannot open --json path '", json_path,
+                          "'");
+        common::JsonWriter json(out);
+        json.beginObject();
+        json.member("bench", "net_load");
+        json.member("openLoop", cfg.offeredRps > 0.0);
+        // The honesty context every point must be read in: what
+        // the machine supports and what cap that implied. No point
+        // below carries more client parallelism than this.
+        json.member("hardwareThreads", hw);
+        json.member("scalingClaimCap", hw);
+        json.member("requests", cfg.requests);
+        json.member("tolerance", cfg.tolerance);
+        json.member("seed", static_cast<std::size_t>(cfg.seed));
+        json.member("selfServe", stack != nullptr);
+        json.beginArray("points");
+        for (const auto &[cap, report] : points)
+            writePoint(json, cap, report);
+        json.endArray();
+        json.endObject();
+        out << "\n";
+        common::inform("report -> ", json_path);
+    }
+
+    if (stack != nullptr)
+        stack->stop();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return run(argc, argv);
+}

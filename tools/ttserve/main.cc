@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ttserve: boot the demo tier stack behind the TCP front end and
+ * serve until stdin closes (or --duration elapses). The companion
+ * to ttload for two-process runs, and the smallest way to poke the
+ * wire protocol by hand.
+ *
+ * Usage:
+ *   ttserve [--port P] [--serve-threads N] [--queue N] [--spin N]
+ *           [--duration SECONDS]
+ *
+ * --port 0 (the default) binds an ephemeral port and prints it, so
+ * scripts can scrape the line and point ttload at it. With
+ * --duration the server runs that many seconds then exits 0;
+ * without it, it serves until EOF on stdin (press ^D, or close the
+ * pipe).
+ */
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "net/demo.hh"
+
+namespace {
+
+using namespace toltiers;
+
+int
+run(int argc, char **argv)
+{
+    common::CliArgs args(
+        argc, argv,
+        common::telemetryFlags({"port", "serve-threads", "queue",
+                                "spin", "duration"}));
+    common::applyLogLevel(args);
+
+    net::DemoStackConfig cfg;
+    cfg.port = static_cast<std::uint16_t>(args.getInt("port", 0));
+    cfg.serveThreads = static_cast<std::size_t>(
+        args.getInt("serve-threads", 0));
+    cfg.queueCapacity =
+        static_cast<std::size_t>(args.getInt("queue", 1024));
+    cfg.spinIters =
+        static_cast<std::size_t>(args.getInt("spin", 2000));
+
+    net::DemoStack stack(cfg);
+    std::string err;
+    if (!stack.start(err))
+        common::fatal("ttserve failed to start: ", err);
+    // One greppable line: scripts scrape the port from it.
+    std::cout << "ttserve listening on 127.0.0.1:" << stack.port()
+              << std::endl;
+
+    double duration = args.getDouble("duration", 0.0);
+    if (duration > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(duration));
+    } else {
+        // Serve until the controlling pipe/terminal closes.
+        std::string line;
+        while (std::getline(std::cin, line)) {
+        }
+    }
+
+    stack.stop();
+    const net::ServerStats stats = stack.server().stats();
+    common::inform("ttserve done: ", stats.connections,
+                   " connections, ", stats.accepted,
+                   " requests (", stats.completed, " completed, ",
+                   stats.rejected, " rejected, ", stats.aborted,
+                   " aborted, ", stats.badFrames, " bad frames)");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return run(argc, argv);
+}
