@@ -6,9 +6,11 @@
 #include "common/logging.hh"
 #include "common/stopwatch.hh"
 #include "common/strings.hh"
+#include "ic/quantize.hh"
 #include "ic/service.hh"
 #include "ic/trainer.hh"
 #include "obs/export.hh"
+#include "tensor/kernels/kernels.hh"
 
 namespace toltiers::bench {
 
@@ -20,6 +22,16 @@ ObsSession::ObsSession(int argc, const char *const *argv,
             common::telemetryFlags(std::move(extra_flags)))
 {
     common::applyLogLevel(args_);
+    if (args_.has("kernel-backend")) {
+        std::string name = args_.getString("kernel-backend", "");
+        auto backend = tensor::parseKernelBackend(name);
+        if (!backend) {
+            common::fatal("--kernel-backend expects "
+                          "reference|blocked, got '",
+                          name, "'");
+        }
+        tensor::setKernelBackend(*backend);
+    }
 }
 
 ObsSession::~ObsSession()
@@ -46,7 +58,7 @@ AsrStack::AsrStack(std::size_t utterances, std::uint64_t seed)
 }
 
 IcStack::IcStack(std::size_t train_images, std::size_t test_images,
-                 std::uint64_t seed)
+                 std::uint64_t seed, bool include_quantized)
 {
     dataset::ImageSetConfig dc;
     dc.seed = seed;
@@ -60,6 +72,15 @@ IcStack::IcStack(std::size_t train_images, std::size_t test_images,
     zc.cacheDir = ic::defaultCacheDir();
     zc.verbose = true;
     zoo_ = ic::trainZoo(train_, zc);
+
+    if (include_quantized) {
+        // The int8 siblings join the zoo as ordinary versions; every
+        // downstream consumer (measurement collection, rule
+        // generation, tiers, front door) sees a ten-version ladder.
+        auto quantized = ic::quantizeZoo(zoo_, train_);
+        for (auto &q : quantized)
+            zoo_.push_back(std::move(q));
+    }
 
     for (const auto &clf : zoo_) {
         services_.push_back(std::make_unique<ic::IcServiceVersion>(
@@ -152,6 +173,26 @@ icTrace(const BenchScale &scale)
     ms.save(path);
     inform("collected IC trace (", scale.icTestImages, " images x ",
            ms.versionCount(), " versions) in ",
+           common::formatFixed(sw.seconds(), 1), "s -> ", path);
+    return ms;
+}
+
+core::MeasurementSet
+icTraceQuantized(const BenchScale &scale)
+{
+    std::string path =
+        tracePath("icq8", scale.icTestImages, scale.icSeed);
+    if (auto cached = core::MeasurementSet::load(path)) {
+        inform("loaded quantized IC trace from ", path);
+        return std::move(*cached);
+    }
+    common::Stopwatch sw;
+    IcStack stack(scale.icTrainImages, scale.icTestImages,
+                  scale.icSeed, /*include_quantized=*/true);
+    auto ms = collectIcMeasurements(stack);
+    ms.save(path);
+    inform("collected quantized IC trace (", scale.icTestImages,
+           " images x ", ms.versionCount(), " versions) in ",
            common::formatFixed(sw.seconds(), 1), "s -> ", path);
     return ms;
 }

@@ -103,8 +103,13 @@ class AsrStack
 class IcStack
 {
   public:
+    /**
+     * @param include_quantized also register the int8 "-q8" sibling
+     * of each trained float version (see ic/quantize.hh). Off by
+     * default so existing cached traces and goldens are unchanged.
+     */
     IcStack(std::size_t train_images, std::size_t test_images,
-            std::uint64_t seed);
+            std::uint64_t seed, bool include_quantized = false);
 
     const dataset::ImageSet &testSet() const { return test_; }
     const std::vector<ic::Classifier> &zoo() const { return zoo_; }
@@ -144,6 +149,14 @@ core::MeasurementSet asrTrace(const BenchScale &scale = BenchScale());
 
 /** The IC measurement trace, cached like asrTrace(). */
 core::MeasurementSet icTrace(const BenchScale &scale = BenchScale());
+
+/**
+ * The IC trace over the widened ladder: five float versions plus
+ * their int8 "-q8" siblings (ten columns). Cached separately from
+ * icTrace() so the float-only artifacts stay byte-identical.
+ */
+core::MeasurementSet icTraceQuantized(
+    const BenchScale &scale = BenchScale());
 
 /** Train/test split of a trace: first `train_fraction` for training. */
 struct TraceSplit

@@ -1,9 +1,10 @@
 /**
  * @file
- * TBL-B: the five image-classification model versions (paper §II-B,
+ * TBL-B: the image-classification model versions (paper §II-B,
  * §III-A), with top-1 error and latency on both CPU and GPU
  * deployments — the counterpart of the paper's CNN version table
- * (SqueezeNet / AlexNet / GoogLeNet / ResNet / VGG roles).
+ * (SqueezeNet / AlexNet / GoogLeNet / ResNet / VGG roles), widened
+ * with the int8 post-training-quantized sibling of each version.
  */
 
 #include <cstdio>
@@ -20,13 +21,13 @@ int
 main()
 {
     bench::banner("TBL-B: IC model versions",
-                  "paper Sec. II-B / III-A (five CNN versions, CPU "
-                  "and GPU deployment)");
+                  "paper Sec. II-B / III-A (five CNN versions plus "
+                  "int8 siblings, CPU and GPU deployment)");
 
     bench::BenchScale scale;
     bench::IcStack stack(scale.icTrainImages, scale.icTestImages,
-                         scale.icSeed);
-    auto ms = bench::icTrace(scale);
+                         scale.icSeed, /*include_quantized=*/true);
+    auto ms = bench::icTraceQuantized(scale);
 
     const auto &cpu = stack.catalog().get("cpu-small");
     const auto &gpu = stack.catalog().get("gpu");

@@ -93,6 +93,7 @@ telemetryFlags(std::vector<std::string> extra)
     extra.push_back("metrics-out");
     extra.push_back("metrics-legacy-aliases");
     extra.push_back("trace-out");
+    extra.push_back("kernel-backend");
     return extra;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "nn/sgd.hh"
+#include "tensor/arena.hh"
 
 namespace toltiers::ic {
 
@@ -18,6 +19,12 @@ Classifier::classify(const dataset::ImageSet &set,
                      std::size_t index) const
 {
     TT_ASSERT(index < set.count(), "image index out of range");
+    // Per-request scratch comes from the thread's bump arena: after
+    // one warmup request has sized it, the steady-state path is free
+    // of heap allocations (see tensor/arena.hh).
+    tensor::Arena &arena = tensor::inferenceArena();
+    arena.reset();
+    tensor::ArenaScope scope(arena);
     tensor::Tensor batch = nn::gatherBatch(set.images, {index});
     auto preds = net_.predict(batch);
 
@@ -43,6 +50,9 @@ Classifier::classifyAll(const dataset::ImageSet &set,
         rows.reserve(end - start);
         for (std::size_t i = start; i < end; ++i)
             rows.push_back(i);
+        tensor::Arena &arena = tensor::inferenceArena();
+        arena.reset();
+        tensor::ArenaScope scope(arena);
         tensor::Tensor b = nn::gatherBatch(set.images, rows);
         auto preds = net_.predict(b);
         for (const auto &p : preds) {

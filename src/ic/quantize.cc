@@ -1,0 +1,61 @@
+#include "ic/quantize.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+#include "nn/quantized.hh"
+#include "nn/sgd.hh"
+
+namespace toltiers::ic {
+
+IcVersionSpec
+quantizedSpec(const IcVersionSpec &parent)
+{
+    IcVersionSpec spec = parent;
+    spec.name = parent.name + kQuantizedSuffix;
+    spec.roleLabel = parent.roleLabel + " (int8)";
+    return spec;
+}
+
+Classifier
+quantizeClassifier(Classifier &parent,
+                   const dataset::ImageSet &calibration,
+                   std::size_t calib_count)
+{
+    TT_ASSERT(calibration.count() > 0,
+              "quantization needs calibration images");
+    std::size_t n = std::min(calib_count, calibration.count());
+    std::vector<std::size_t> rows(n);
+    std::iota(rows.begin(), rows.end(), 0);
+    tensor::Tensor calib =
+        nn::gatherBatch(calibration.images, rows);
+
+    nn::Network qnet = nn::quantizeNetwork(
+        parent.network(), calib,
+        parent.network().name() + kQuantizedSuffix);
+
+    const tensor::Shape &ishape = calibration.images.shape();
+    std::vector<std::size_t> image_shape = {ishape[1], ishape[2],
+                                            ishape[3]};
+
+    IcLatencyModel latency = parent.latencyModel();
+    latency.secondsPerMac *= kInt8MacRateFactor;
+
+    return Classifier(quantizedSpec(parent.spec()), std::move(qnet),
+                      image_shape, latency);
+}
+
+std::vector<Classifier>
+quantizeZoo(std::vector<Classifier> &zoo,
+            const dataset::ImageSet &calibration,
+            std::size_t calib_count)
+{
+    std::vector<Classifier> out;
+    out.reserve(zoo.size());
+    for (Classifier &c : zoo)
+        out.push_back(
+            quantizeClassifier(c, calibration, calib_count));
+    return out;
+}
+
+} // namespace toltiers::ic

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * int8 quantized zoo variants as first-class service versions.
+ *
+ * Each trained float classifier can be post-training-quantized into
+ * a "<name>-q8" sibling: same architecture and MAC count, int8
+ * weights and activations, a small accuracy haircut, and a faster
+ * modeled compute rate. The siblings are ordinary Classifiers, so
+ * the measurement collector, rule generator, tier fallback chains,
+ * cache tolerance gate, and front door all route to them exactly
+ * like any float version — they simply widen the accuracy–latency
+ * Pareto frontier (the INFaaS/Loki variant-serving idea from
+ * PAPERS.md applied to the paper's tolerance-tier machinery).
+ */
+
+#ifndef TOLTIERS_IC_QUANTIZE_HH
+#define TOLTIERS_IC_QUANTIZE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ic/classifier.hh"
+
+namespace toltiers::ic {
+
+/**
+ * Modeled int8 compute-rate multiplier on secondsPerMac. The value
+ * is a fixed constant — not re-measured per run — so version
+ * latencies stay deterministic; 0.5 is the rounded-down speedup of
+ * the int8 GEMM over the float reference observed in
+ * bench/micro_kernels (BENCH_kernels.json). Per-invocation overhead
+ * (request handling, decode) is unchanged by the datatype.
+ */
+inline constexpr double kInt8MacRateFactor = 0.5;
+
+/** Suffix appended to a parent version name, e.g. "cnn-m-q8". */
+inline constexpr const char *kQuantizedSuffix = "-q8";
+
+/** The spec of a parent's quantized sibling. */
+IcVersionSpec quantizedSpec(const IcVersionSpec &parent);
+
+/**
+ * Post-training-quantize one trained classifier. The first
+ * `calib_count` images of `calibration` drive the static activation
+ * calibration (see nn/quantized.hh).
+ */
+Classifier quantizeClassifier(Classifier &parent,
+                              const dataset::ImageSet &calibration,
+                              std::size_t calib_count = 32);
+
+/** Quantize every member of a trained zoo, preserving order. */
+std::vector<Classifier> quantizeZoo(
+    std::vector<Classifier> &zoo,
+    const dataset::ImageSet &calibration,
+    std::size_t calib_count = 32);
+
+} // namespace toltiers::ic
+
+#endif // TOLTIERS_IC_QUANTIZE_HH

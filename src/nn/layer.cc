@@ -19,9 +19,10 @@ Conv2d::Conv2d(std::size_t c_in, std::size_t f,
 }
 
 Tensor
-Conv2d::forward(const Tensor &in, bool)
+Conv2d::forward(const Tensor &in, bool train)
 {
-    input_ = in;
+    if (train)
+        input_ = in;
     lastMacs_ = tensor::convMacs(in.dim(0), in.dim(1), in.dim(2),
                                  in.dim(3), w_.value.dim(0), g_);
     return tensor::conv2dForward(in, w_.value, b_.value, g_);
@@ -47,10 +48,11 @@ Dense::Dense(std::size_t in, std::size_t out, common::Pcg32 &rng)
 }
 
 Tensor
-Dense::forward(const Tensor &in, bool)
+Dense::forward(const Tensor &in, bool train)
 {
     TT_ASSERT(in.rank() == 2, "dense expects [N, features]");
-    input_ = in;
+    if (train)
+        input_ = in;
     lastMacs_ =
         tensor::denseMacs(in.dim(0), in.dim(1), w_.value.dim(1));
     Tensor out = tensor::matmul(in, w_.value);
@@ -74,9 +76,10 @@ Dense::backward(const Tensor &d_out)
 // ------------------------------------------------------------------ Relu
 
 Tensor
-Relu::forward(const Tensor &in, bool)
+Relu::forward(const Tensor &in, bool train)
 {
-    input_ = in;
+    if (train)
+        input_ = in;
     lastMacs_ = 0;
     return tensor::reluForward(in);
 }
@@ -99,10 +102,10 @@ Tensor
 MaxPool2d::forward(const Tensor &in, bool)
 {
     inShape_ = in.shape();
-    auto res = tensor::maxPool2dForward(in, kernel_, stride_);
-    argmax_ = std::move(res.argmax);
     lastMacs_ = 0;
-    return std::move(res.out);
+    // The member argmax buffer is reused across calls, so a warm
+    // forward pass performs no heap allocation here.
+    return tensor::maxPool2dForward(in, kernel_, stride_, argmax_);
 }
 
 Tensor

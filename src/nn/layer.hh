@@ -48,9 +48,12 @@ class Layer
     virtual std::string name() const = 0;
 
     /**
-     * Forward pass. Implementations cache activations needed by
-     * backward(). @param train true during training (reserved for
-     * stochastic layers).
+     * Forward pass. With train=true, implementations cache the
+     * activations backward() needs; with train=false the layers that
+     * would have to copy their input (Conv2d, Dense, Relu) skip the
+     * cache so the inference path stays allocation free — backward()
+     * after an inference-mode forward is valid only for the cheap
+     * shape-caching layers (MaxPool2d, GlobalAvgPool, Flatten).
      */
     virtual tensor::Tensor forward(const tensor::Tensor &in,
                                    bool train) = 0;
@@ -87,6 +90,12 @@ class Conv2d : public Layer
 
     const tensor::ConvGeometry &geometry() const { return g_; }
 
+    /** Trained weights [F, C, KH, KW] (read-only, for quantization). */
+    const tensor::Tensor &weight() const { return w_.value; }
+
+    /** Trained bias [F] (read-only, for quantization). */
+    const tensor::Tensor &bias() const { return b_.value; }
+
   private:
     tensor::ConvGeometry g_;
     Param w_;
@@ -105,6 +114,12 @@ class Dense : public Layer
                            bool train) override;
     tensor::Tensor backward(const tensor::Tensor &d_out) override;
     std::vector<Param *> params() override { return {&w_, &b_}; }
+
+    /** Trained weights [in, out] (read-only, for quantization). */
+    const tensor::Tensor &weight() const { return w_.value; }
+
+    /** Trained bias [out] (read-only, for quantization). */
+    const tensor::Tensor &bias() const { return b_.value; }
 
   private:
     Param w_; //!< [in, out]
@@ -136,11 +151,14 @@ class MaxPool2d : public Layer
                            bool train) override;
     tensor::Tensor backward(const tensor::Tensor &d_out) override;
 
+    std::size_t kernel() const { return kernel_; }
+    std::size_t stride() const { return stride_; }
+
   private:
     std::size_t kernel_;
     std::size_t stride_;
     std::vector<std::uint32_t> argmax_;
-    std::vector<std::size_t> inShape_;
+    tensor::Shape inShape_;
 };
 
 /** Global average pooling: [N,C,H,W] -> [N,C]. */
@@ -153,7 +171,7 @@ class GlobalAvgPool : public Layer
     tensor::Tensor backward(const tensor::Tensor &d_out) override;
 
   private:
-    std::vector<std::size_t> inShape_;
+    tensor::Shape inShape_;
 };
 
 /** Collapse [N,C,H,W] into [N, C*H*W]. */
@@ -166,7 +184,7 @@ class Flatten : public Layer
     tensor::Tensor backward(const tensor::Tensor &d_out) override;
 
   private:
-    std::vector<std::size_t> inShape_;
+    tensor::Shape inShape_;
 };
 
 } // namespace toltiers::nn

@@ -66,11 +66,9 @@ Network::parameterCount()
 }
 
 std::uint64_t
-Network::macsPerSample(const std::vector<std::size_t> &shape)
+Network::macsPerSample(const tensor::Shape &shape)
 {
-    std::vector<std::size_t> batch_shape = shape;
-    batch_shape.insert(batch_shape.begin(), 1);
-    Tensor probe(batch_shape);
+    Tensor probe(shape.prepended(1));
     forward(probe, false);
     return lastMacs_;
 }

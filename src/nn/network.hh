@@ -66,7 +66,13 @@ class Network
      * MACs for a single sample of the given shape (runs one dry
      * forward pass on a zero batch of one).
      */
-    std::uint64_t macsPerSample(const std::vector<std::size_t> &shape);
+    std::uint64_t macsPerSample(const tensor::Shape &shape);
+
+    /** Ordered layer stack (read-only, e.g. for quantization). */
+    const std::vector<std::unique_ptr<Layer>> &layers() const
+    {
+        return layers_;
+    }
 
     /**
      * Classify a batch: softmax over logits, argmax plus confidence

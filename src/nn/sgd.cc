@@ -21,7 +21,7 @@ gatherBatch(const Tensor &images, const std::vector<std::size_t> &rows)
 {
     TT_ASSERT(images.rank() >= 2, "gatherBatch needs a batch dim");
     std::size_t stride = images.size() / images.dim(0);
-    std::vector<std::size_t> shape = images.shape();
+    tensor::Shape shape = images.shape();
     shape[0] = rows.size();
     Tensor out(shape);
     for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -1,0 +1,148 @@
+#include "tensor/arena.hh"
+
+#include <atomic>
+
+#include "common/logging.hh"
+
+namespace toltiers::tensor {
+
+namespace {
+
+/** Storage target of the calling thread (set by ArenaScope). */
+thread_local Arena *tl_scope_arena = nullptr;
+
+std::atomic<std::uint64_t> g_heap_allocations{0};
+std::atomic<std::uint64_t> g_arena_allocations{0};
+
+constexpr std::size_t
+alignUp(std::size_t n, std::size_t align)
+{
+    return (n + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+Arena::Arena(std::size_t block_bytes)
+    : blockBytes_(alignUp(block_bytes > 0 ? block_bytes : 1,
+                          kAlignment))
+{
+}
+
+Arena::Block &
+Arena::grow(std::size_t min_bytes)
+{
+    // Reuse an already-fetched block when one fits; the steady state
+    // after warmup always lands here without touching the heap.
+    for (std::size_t b = active_; b < blocks_.size(); ++b) {
+        if (blocks_[b].capacity - blocks_[b].used >= min_bytes) {
+            if (b != active_)
+                std::swap(blocks_[b], blocks_[active_]);
+            return blocks_[active_];
+        }
+    }
+    std::size_t cap = min_bytes > blockBytes_
+                          ? alignUp(min_bytes, kAlignment)
+                          : blockBytes_;
+    Block block;
+    // Over-allocate by the alignment so the base can be rounded up.
+    block.data = std::make_unique<std::byte[]>(cap + kAlignment);
+    block.capacity = cap;
+    stats_.heapBlocks += 1;
+    stats_.heapBytes += cap;
+    blocks_.push_back(std::move(block));
+    active_ = blocks_.size() - 1;
+    return blocks_.back();
+}
+
+void *
+Arena::allocate(std::size_t bytes)
+{
+    std::size_t need = alignUp(bytes > 0 ? bytes : 1, kAlignment);
+    Block *block = nullptr;
+    if (!blocks_.empty() &&
+        blocks_[active_].capacity - blocks_[active_].used >= need) {
+        block = &blocks_[active_];
+    } else {
+        block = &grow(need);
+    }
+    auto base = reinterpret_cast<std::uintptr_t>(block->data.get());
+    std::uintptr_t ptr =
+        alignUp(base, kAlignment) + block->used;
+    block->used += need;
+    inUse_ += need;
+    stats_.allocations += 1;
+    if (inUse_ > stats_.peakBytes)
+        stats_.peakBytes = inUse_;
+    return reinterpret_cast<void *>(ptr);
+}
+
+void
+Arena::reset()
+{
+    for (auto &block : blocks_)
+        block.used = 0;
+    active_ = 0;
+    inUse_ = 0;
+    stats_.resets += 1;
+}
+
+std::size_t
+Arena::capacityBytes() const
+{
+    std::size_t cap = 0;
+    for (const auto &block : blocks_)
+        cap += block.capacity;
+    return cap;
+}
+
+ArenaScope::ArenaScope(Arena &arena) : prev_(tl_scope_arena)
+{
+    tl_scope_arena = &arena;
+}
+
+ArenaScope::~ArenaScope()
+{
+    tl_scope_arena = prev_;
+}
+
+Arena *
+ArenaScope::current()
+{
+    return tl_scope_arena;
+}
+
+Arena &
+inferenceArena()
+{
+    thread_local Arena arena;
+    return arena;
+}
+
+MemoryStats
+memoryStats()
+{
+    MemoryStats s;
+    s.heapAllocations =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    s.arenaAllocations =
+        g_arena_allocations.load(std::memory_order_relaxed);
+    return s;
+}
+
+namespace detail {
+
+void
+noteTensorHeapAllocation()
+{
+    g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+noteTensorArenaAllocation()
+{
+    g_arena_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+} // namespace toltiers::tensor

@@ -1,0 +1,162 @@
+#include "tensor/kernels/kernels.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace toltiers::tensor {
+
+namespace {
+
+KernelBackend
+backendFromEnv()
+{
+    const char *env = std::getenv("TT_KERNEL_BACKEND");
+    if (env != nullptr) {
+        auto parsed = parseKernelBackend(env);
+        if (parsed)
+            return *parsed;
+    }
+    return KernelBackend::Blocked;
+}
+
+std::atomic<KernelBackend> &
+backendState()
+{
+    static std::atomic<KernelBackend> state{backendFromEnv()};
+    return state;
+}
+
+} // namespace
+
+KernelPolicy
+kernelPolicy()
+{
+    return KernelPolicy{
+        backendState().load(std::memory_order_relaxed)};
+}
+
+void
+setKernelBackend(KernelBackend backend)
+{
+    backendState().store(backend, std::memory_order_relaxed);
+}
+
+std::optional<KernelBackend>
+parseKernelBackend(const std::string &name)
+{
+    if (name == "reference")
+        return KernelBackend::Reference;
+    if (name == "blocked")
+        return KernelBackend::Blocked;
+    return std::nullopt;
+}
+
+const char *
+kernelBackendName(KernelBackend backend)
+{
+    switch (backend) {
+    case KernelBackend::Reference:
+        return "reference";
+    case KernelBackend::Blocked:
+        return "blocked";
+    }
+    return "unknown";
+}
+
+namespace kernels {
+
+void
+gemmF32Reference(const float *a, const float *b, float *c,
+                 std::size_t m, std::size_t k, std::size_t n)
+{
+    // ikj loop order: streams B and C rows for cache friendliness.
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            float av = a[i * k + kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b + kk * n;
+            float *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmF32Blocked(const float *a, const float *b, float *c,
+               std::size_t m, std::size_t k, std::size_t n)
+{
+    // Register/cache blocking: MR rows of A share each B row load and
+    // an NB-column C tile stays hot in L1 across the whole k sweep.
+    // Each element still accumulates products in ascending k with the
+    // same zero skip as the reference, so the result is bit-exact.
+    constexpr std::size_t MR = 4;
+    constexpr std::size_t NB = 64;
+    for (std::size_t j0 = 0; j0 < n; j0 += NB) {
+        std::size_t jend = std::min(j0 + NB, n);
+        for (std::size_t i0 = 0; i0 < m; i0 += MR) {
+            std::size_t iend = std::min(i0 + MR, m);
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const float *brow = b + kk * n;
+                for (std::size_t i = i0; i < iend; ++i) {
+                    float av = a[i * k + kk];
+                    if (av == 0.0f)
+                        continue;
+                    float *crow = c + i * n;
+#pragma omp simd
+                    for (std::size_t j = j0; j < jend; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+gemmF32(const float *a, const float *b, float *c, std::size_t m,
+        std::size_t k, std::size_t n)
+{
+    switch (kernelPolicy().backend) {
+    case KernelBackend::Reference:
+        gemmF32Reference(a, b, c, m, k, n);
+        return;
+    case KernelBackend::Blocked:
+        gemmF32Blocked(a, b, c, m, k, n);
+        return;
+    }
+}
+
+void
+gemmS8(const std::int8_t *a, const std::int8_t *b, std::int32_t *c,
+       std::size_t m, std::size_t k, std::size_t n)
+{
+    // Integer accumulation is associative, so only the int32 width
+    // matters for exactness: |product| <= 127*127, so overflow needs
+    // K > 2^31 / 127^2 ≈ 133k — far beyond any layer here.
+    constexpr std::size_t MR = 4;
+    constexpr std::size_t NB = 64;
+    for (std::size_t j0 = 0; j0 < n; j0 += NB) {
+        std::size_t jend = std::min(j0 + NB, n);
+        for (std::size_t i0 = 0; i0 < m; i0 += MR) {
+            std::size_t iend = std::min(i0 + MR, m);
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const std::int8_t *brow = b + kk * n;
+                for (std::size_t i = i0; i < iend; ++i) {
+                    std::int32_t av = a[i * k + kk];
+                    if (av == 0)
+                        continue;
+                    std::int32_t *crow = c + i * n;
+#pragma omp simd
+                    for (std::size_t j = j0; j < jend; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+} // namespace kernels
+
+} // namespace toltiers::tensor

@@ -1,0 +1,77 @@
+#include "tensor/kernels/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace toltiers::tensor {
+
+QuantParams
+chooseQuantParams(float lo, float hi)
+{
+    // Widen to include zero: zero must be exactly representable so
+    // conv padding and ReLU floors survive the round trip.
+    lo = std::min(lo, 0.0f);
+    hi = std::max(hi, 0.0f);
+    QuantParams p;
+    if (hi == lo)
+        return p; // all-zero range: identity mapping
+    p.scale = (hi - lo) / (2.0f * static_cast<float>(kQuantMax));
+    float zp = -static_cast<float>(kQuantMax) - lo / p.scale;
+    p.zeroPoint = static_cast<std::int32_t>(std::lround(zp));
+    p.zeroPoint = std::clamp(p.zeroPoint, -kQuantMax, kQuantMax);
+    return p;
+}
+
+std::int8_t
+quantizeValue(float x, const QuantParams &p)
+{
+    long q = std::lround(x / p.scale) + p.zeroPoint;
+    q = std::clamp(q, static_cast<long>(-kQuantMax),
+                   static_cast<long>(kQuantMax));
+    return static_cast<std::int8_t>(q);
+}
+
+void
+quantizeBuffer(const float *x, std::size_t n, const QuantParams &p,
+               std::int8_t *out)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = quantizeValue(x[i], p);
+}
+
+std::vector<float>
+quantizeWeightsPerChannel(const float *w, std::size_t channels,
+                          std::size_t per_channel, std::int8_t *out)
+{
+    std::vector<float> scales(channels, 1.0f);
+    for (std::size_t c = 0; c < channels; ++c) {
+        const float *row = w + c * per_channel;
+        float amax = 0.0f;
+        for (std::size_t i = 0; i < per_channel; ++i)
+            amax = std::max(amax, std::fabs(row[i]));
+        QuantParams p;
+        if (amax > 0.0f)
+            p.scale = amax / static_cast<float>(kQuantMax);
+        scales[c] = p.scale;
+        quantizeBuffer(row, per_channel, p,
+                       out + c * per_channel);
+    }
+    return scales;
+}
+
+void
+bufferRange(const float *x, std::size_t n, float &lo, float &hi)
+{
+    lo = 0.0f;
+    hi = 0.0f;
+    if (n == 0)
+        return;
+    lo = x[0];
+    hi = x[0];
+    for (std::size_t i = 1; i < n; ++i) {
+        lo = std::min(lo, x[i]);
+        hi = std::max(hi, x[i]);
+    }
+}
+
+} // namespace toltiers::tensor

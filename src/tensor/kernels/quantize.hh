@@ -1,0 +1,84 @@
+/**
+ * @file
+ * int8 post-training-quantization primitives.
+ *
+ * Scheme (standard symmetric-weight / affine-activation PTQ):
+ *
+ *  - Activations: per-tensor affine, q = clamp(round(x / scale) +
+ *    zeroPoint, ±127). Parameters are chosen **statically** from a
+ *    calibration batch, never per-request — a dynamic scheme would
+ *    make a request's result depend on its batch companions, which
+ *    would break the serving layer's determinism and cache-identity
+ *    contracts.
+ *  - Weights: per-output-channel symmetric, q = clamp(round(w /
+ *    scale_c), ±127) with zeroPoint fixed at 0.
+ *
+ * Both sides saturate at ±127 (the symmetric int8 range; -128 is
+ * unused so negation can never overflow).
+ *
+ * Dequantization of an int32 GEMM accumulator:
+ *   y[f] = (acc[f] - za * colsum_f(Wq)) * (sa * sw_f) + bias[f]
+ * where (sa, za) are the activation parameters and sw_f the channel
+ * weight scale; the colsum term folds the activation zero point out
+ * of the integer product.
+ */
+
+#ifndef TOLTIERS_TENSOR_KERNELS_QUANTIZE_HH
+#define TOLTIERS_TENSOR_KERNELS_QUANTIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace toltiers::tensor {
+
+/** Affine int8 mapping: real = (q - zeroPoint) * scale. */
+struct QuantParams
+{
+    float scale = 1.0f;
+    std::int32_t zeroPoint = 0;
+};
+
+/** Saturation bound: quantized values live in [-127, 127]. */
+inline constexpr std::int32_t kQuantMax = 127;
+
+/**
+ * Activation parameters covering [lo, hi] (the range is widened to
+ * include zero so padding quantizes exactly). A degenerate range
+ * yields scale 1, zero point 0.
+ */
+QuantParams chooseQuantParams(float lo, float hi);
+
+/** Quantize one value under p, saturating at ±127. */
+std::int8_t quantizeValue(float x, const QuantParams &p);
+
+/** Dequantize one value under p. */
+inline float
+dequantizeValue(std::int8_t q, const QuantParams &p)
+{
+    return static_cast<float>(static_cast<std::int32_t>(q) -
+                              p.zeroPoint) *
+           p.scale;
+}
+
+/** Quantize a buffer of n floats into out (caller-sized). */
+void quantizeBuffer(const float *x, std::size_t n,
+                    const QuantParams &p, std::int8_t *out);
+
+/**
+ * Per-output-channel symmetric weight quantization of w viewed as
+ * [channels, per_channel] (row-major). Returns the per-channel
+ * scales; quantized weights land in out (size channels *
+ * per_channel). A zero channel gets scale 1.
+ */
+std::vector<float> quantizeWeightsPerChannel(const float *w,
+                                             std::size_t channels,
+                                             std::size_t per_channel,
+                                             std::int8_t *out);
+
+/** Min/max of a buffer (0,0 for an empty buffer). */
+void bufferRange(const float *x, std::size_t n, float &lo, float &hi);
+
+} // namespace toltiers::tensor
+
+#endif // TOLTIERS_TENSOR_KERNELS_QUANTIZE_HH

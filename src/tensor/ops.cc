@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "tensor/kernels/kernels.hh"
 
 namespace toltiers::tensor {
 
@@ -18,21 +19,7 @@ matmul(const Tensor &a, const Tensor &b)
     TT_ASSERT(b.dim(0) == k, "matmul inner dim mismatch: ", k, " vs ",
               b.dim(0));
     Tensor c({m, n});
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    // ikj loop order: streams B and C rows for cache friendliness.
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            float av = pa[i * k + kk];
-            if (av == 0.0f)
-                continue;
-            const float *brow = pb + kk * n;
-            float *crow = pc + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    kernels::gemmF32(a.data(), b.data(), c.data(), m, k, n);
     return c;
 }
 
@@ -210,14 +197,14 @@ conv2dForward(const Tensor &in, const Tensor &w, const Tensor &bias,
 
     std::size_t oh = g.outExtent(h), ow = g.outExtent(wd);
     Tensor out({n, f, oh, ow});
-
-    // Weights viewed as [F, C*KH*KW] for the matmul.
-    Tensor wmat = w;
-    wmat.reshape({f, c * g.kernel * g.kernel});
+    std::size_t ckk = c * g.kernel * g.kernel;
 
     for (std::size_t s = 0; s < n; ++s) {
         Tensor cols = im2col(in, s, g);
-        Tensor res = matmul(wmat, cols); // [F, OH*OW]
+        // Weights viewed in place as [F, C*KH*KW]: res = W · cols.
+        Tensor res({f, oh * ow});
+        kernels::gemmF32(w.data(), cols.data(), res.data(), f, ckk,
+                         oh * ow);
         for (std::size_t ff = 0; ff < f; ++ff) {
             const float *src = res.data() + ff * (oh * ow);
             float *dst =
@@ -284,6 +271,16 @@ PoolResult
 maxPool2dForward(const Tensor &in, std::size_t kernel,
                  std::size_t stride)
 {
+    PoolResult res;
+    res.out = maxPool2dForward(in, kernel, stride, res.argmax);
+    return res;
+}
+
+Tensor
+maxPool2dForward(const Tensor &in, std::size_t kernel,
+                 std::size_t stride,
+                 std::vector<std::uint32_t> &argmax)
+{
     TT_ASSERT(in.rank() == 4, "maxPool2d expects NCHW");
     std::size_t n = in.dim(0), c = in.dim(1);
     std::size_t h = in.dim(2), w = in.dim(3);
@@ -291,9 +288,8 @@ maxPool2dForward(const Tensor &in, std::size_t kernel,
     std::size_t oh = (h - kernel) / stride + 1;
     std::size_t ow = (w - kernel) / stride + 1;
 
-    PoolResult res;
-    res.out = Tensor({n, c, oh, ow});
-    res.argmax.resize(res.out.size());
+    Tensor out({n, c, oh, ow});
+    argmax.resize(out.size());
 
     std::size_t oidx = 0;
     for (std::size_t s = 0; s < n; ++s) {
@@ -315,20 +311,20 @@ maxPool2dForward(const Tensor &in, std::size_t kernel,
                             }
                         }
                     }
-                    res.out[oidx] = best;
-                    res.argmax[oidx] =
+                    out[oidx] = best;
+                    argmax[oidx] =
                         static_cast<std::uint32_t>(best_idx);
                 }
             }
         }
     }
-    return res;
+    return out;
 }
 
 Tensor
 maxPool2dBackward(const Tensor &d_out,
                   const std::vector<std::uint32_t> &argmax,
-                  const std::vector<std::size_t> &in_shape)
+                  const Shape &in_shape)
 {
     TT_ASSERT(d_out.size() == argmax.size(),
               "maxPool2dBackward argmax size mismatch");
@@ -359,8 +355,7 @@ globalAvgPoolForward(const Tensor &in)
 }
 
 Tensor
-globalAvgPoolBackward(const Tensor &d_out,
-                      const std::vector<std::size_t> &in_shape)
+globalAvgPoolBackward(const Tensor &d_out, const Shape &in_shape)
 {
     TT_ASSERT(in_shape.size() == 4, "globalAvgPool gradient shape");
     std::size_t n = in_shape[0], c = in_shape[1];

@@ -95,17 +95,26 @@ struct PoolResult
 PoolResult maxPool2dForward(const Tensor &in, std::size_t kernel,
                             std::size_t stride);
 
+/**
+ * Allocation-lean max pooling: writes argmax into a caller-owned
+ * buffer (resized in place, so a warm buffer is reused) and returns
+ * the pooled tensor.
+ */
+Tensor maxPool2dForward(const Tensor &in, std::size_t kernel,
+                        std::size_t stride,
+                        std::vector<std::uint32_t> &argmax);
+
 /** Route gradients back through the recorded argmax indices. */
 Tensor maxPool2dBackward(const Tensor &d_out,
                          const std::vector<std::uint32_t> &argmax,
-                         const std::vector<std::size_t> &in_shape);
+                         const Shape &in_shape);
 
 /** Global average pool: [N,C,H,W] -> [N,C]. */
 Tensor globalAvgPoolForward(const Tensor &in);
 
 /** Backward of global average pooling. */
 Tensor globalAvgPoolBackward(const Tensor &d_out,
-                             const std::vector<std::size_t> &in_shape);
+                             const Shape &in_shape);
 
 /** Row-wise softmax of logits [m,n], numerically stabilized. */
 Tensor softmaxRows(const Tensor &logits);

@@ -1,36 +1,147 @@
 #include "tensor/tensor.hh"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.hh"
+#include "tensor/arena.hh"
 
 namespace toltiers::tensor {
 
 using common::panic;
 
-namespace {
-
-std::size_t
-shapeSize(const std::vector<std::size_t> &shape)
+Shape::Shape(std::initializer_list<std::size_t> dims)
 {
-    std::size_t n = 1;
-    for (std::size_t d : shape) {
-        TT_ASSERT(d > 0, "tensor dimensions must be positive");
-        n *= d;
-    }
-    return shape.empty() ? 0 : n;
+    TT_ASSERT(dims.size() <= kMaxRank, "shape rank ", dims.size(),
+              " exceeds kMaxRank");
+    for (std::size_t d : dims)
+        dims_[rank_++] = d;
 }
 
-} // namespace
+Shape::Shape(const std::vector<std::size_t> &dims)
+{
+    TT_ASSERT(dims.size() <= kMaxRank, "shape rank ", dims.size(),
+              " exceeds kMaxRank");
+    for (std::size_t d : dims)
+        dims_[rank_++] = d;
+}
 
-Tensor::Tensor(std::vector<std::size_t> shape)
-    : shape_(std::move(shape)), data_(shapeSize(shape_), 0.0f)
+std::size_t
+Shape::elementCount() const
+{
+    if (rank_ == 0)
+        return 0;
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) {
+        TT_ASSERT(dims_[i] > 0, "tensor dimensions must be positive");
+        n *= dims_[i];
+    }
+    return n;
+}
+
+Shape
+Shape::prepended(std::size_t dim) const
+{
+    TT_ASSERT(rank_ < kMaxRank, "prepended() exceeds kMaxRank");
+    Shape out;
+    out.rank_ = rank_ + 1;
+    out.dims_[0] = dim;
+    for (std::size_t i = 0; i < rank_; ++i)
+        out.dims_[i + 1] = dims_[i];
+    return out;
+}
+
+std::vector<std::size_t>
+Shape::toVector() const
+{
+    return std::vector<std::size_t>(begin(), end());
+}
+
+bool
+Shape::operator==(const Shape &other) const
+{
+    if (rank_ != other.rank_)
+        return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+        if (dims_[i] != other.dims_[i])
+            return false;
+    }
+    return true;
+}
+
+namespace detail {
+
+FloatStorage::FloatStorage(std::size_t n) : size_(n)
+{
+    if (n == 0)
+        return;
+    if (Arena *arena = ArenaScope::current()) {
+        ptr_ = static_cast<float *>(
+            arena->allocate(n * sizeof(float)));
+        std::memset(ptr_, 0, n * sizeof(float));
+        noteTensorArenaAllocation();
+    } else {
+        heap_ = std::make_unique<float[]>(n); // value-init zeroes
+        ptr_ = heap_.get();
+        noteTensorHeapAllocation();
+    }
+}
+
+FloatStorage::FloatStorage(const FloatStorage &other)
+    : size_(other.size_)
+{
+    if (size_ == 0)
+        return;
+    if (Arena *arena = ArenaScope::current()) {
+        ptr_ = static_cast<float *>(
+            arena->allocate(size_ * sizeof(float)));
+        noteTensorArenaAllocation();
+    } else {
+        heap_ = std::make_unique_for_overwrite<float[]>(size_);
+        ptr_ = heap_.get();
+        noteTensorHeapAllocation();
+    }
+    std::memcpy(ptr_, other.ptr_, size_ * sizeof(float));
+}
+
+FloatStorage &
+FloatStorage::operator=(const FloatStorage &other)
+{
+    if (this == &other)
+        return *this;
+    *this = FloatStorage(other);
+    return *this;
+}
+
+FloatStorage::FloatStorage(FloatStorage &&other) noexcept
+    : ptr_(std::exchange(other.ptr_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      heap_(std::move(other.heap_))
+{
+}
+
+FloatStorage &
+FloatStorage::operator=(FloatStorage &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    ptr_ = std::exchange(other.ptr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    heap_ = std::move(other.heap_);
+    return *this;
+}
+
+} // namespace detail
+
+Tensor::Tensor(Shape shape)
+    : shape_(shape), data_(shape.elementCount())
 {
 }
 
 Tensor::Tensor(std::initializer_list<std::size_t> shape)
-    : Tensor(std::vector<std::size_t>(shape))
+    : Tensor(Shape(shape))
 {
 }
 
@@ -78,13 +189,13 @@ Tensor::fill(float v)
 }
 
 void
-Tensor::reshape(std::vector<std::size_t> shape)
+Tensor::reshape(Shape shape)
 {
-    if (shapeSize(shape) != data_.size()) {
+    if (shape.elementCount() != data_.size()) {
         panic("reshape changes element count: ", data_.size(), " -> ",
-              shapeSize(shape));
+              shape.elementCount());
     }
-    shape_ = std::move(shape);
+    shape_ = shape;
 }
 
 void

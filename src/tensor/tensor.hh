@@ -6,6 +6,12 @@
  * type. It is deliberately simple: contiguous storage, explicit shape,
  * no views or broadcasting — the operations in tensor/ops.hh do all
  * the heavy lifting.
+ *
+ * Storage is arena-aware: inside an ArenaScope (see tensor/arena.hh)
+ * element storage is bump-allocated from the scope's arena instead of
+ * the heap, which makes the steady-state inference path allocation
+ * free. The shape itself lives inline (rank is bounded), so
+ * constructing a tensor inside a scope touches the heap zero times.
  */
 
 #ifndef TOLTIERS_TENSOR_TENSOR_HH
@@ -13,12 +19,109 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/random.hh"
 
 namespace toltiers::tensor {
+
+/**
+ * A tensor shape with inline storage: a bounded-rank sequence of
+ * positive extents. Behaves like a tiny vector (indexing, iteration,
+ * equality) but never allocates, so shape bookkeeping stays off the
+ * heap on the inference hot path.
+ */
+class Shape
+{
+  public:
+    /** Ranks above this are rejected; the codebase uses <= 4. */
+    static constexpr std::size_t kMaxRank = 6;
+
+    /** Rank-0 (scalar-free, size-0) shape. */
+    Shape() = default;
+
+    /** From an explicit dimension list: Shape({2, 3}). */
+    Shape(std::initializer_list<std::size_t> dims);
+
+    /** From a dimension vector (implicit, for call-site ergonomics). */
+    Shape(const std::vector<std::size_t> &dims); // NOLINT(google-explicit-constructor)
+
+    /** Number of dimensions. */
+    std::size_t size() const { return rank_; }
+    bool empty() const { return rank_ == 0; }
+
+    /** Dimension access (unchecked, like a vector). */
+    std::size_t &operator[](std::size_t i) { return dims_[i]; }
+    std::size_t operator[](std::size_t i) const { return dims_[i]; }
+
+    /** Iteration over the extents. */
+    const std::size_t *begin() const { return dims_; }
+    const std::size_t *end() const { return dims_ + rank_; }
+
+    /** Total element count (0 for a rank-0 shape). */
+    std::size_t elementCount() const;
+
+    /** This shape with an extra leading dimension. */
+    Shape prepended(std::size_t dim) const;
+
+    /** The extents as a vector (for external consumers). */
+    std::vector<std::size_t> toVector() const;
+
+    bool operator==(const Shape &other) const;
+    bool operator!=(const Shape &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    std::size_t dims_[kMaxRank] = {};
+    std::size_t rank_ = 0;
+};
+
+namespace detail {
+
+/**
+ * Element storage for Tensor: a contiguous float block drawn from
+ * the active ArenaScope's arena when one is live on this thread, or
+ * from the heap otherwise. Arena-backed storage is released en masse
+ * by Arena::reset(); the destructor only frees heap-backed blocks.
+ */
+class FloatStorage
+{
+  public:
+    FloatStorage() = default;
+
+    /** Zero-initialized block of n floats. */
+    explicit FloatStorage(std::size_t n);
+
+    FloatStorage(const FloatStorage &other);
+    FloatStorage &operator=(const FloatStorage &other);
+    FloatStorage(FloatStorage &&other) noexcept;
+    FloatStorage &operator=(FloatStorage &&other) noexcept;
+    ~FloatStorage() = default;
+
+    float *data() { return ptr_; }
+    const float *data() const { return ptr_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    float &operator[](std::size_t i) { return ptr_[i]; }
+    float operator[](std::size_t i) const { return ptr_[i]; }
+
+    float *begin() { return ptr_; }
+    float *end() { return ptr_ + size_; }
+    const float *begin() const { return ptr_; }
+    const float *end() const { return ptr_ + size_; }
+
+  private:
+    float *ptr_ = nullptr;
+    std::size_t size_ = 0;
+    std::unique_ptr<float[]> heap_; //!< Null when arena-backed.
+};
+
+} // namespace detail
 
 /** Dense row-major float tensor with an explicit shape. */
 class Tensor
@@ -28,13 +131,13 @@ class Tensor
     Tensor() = default;
 
     /** Zero-initialized tensor of the given shape. */
-    explicit Tensor(std::vector<std::size_t> shape);
+    explicit Tensor(Shape shape);
 
     /** Convenience: Tensor({2, 3}). */
     Tensor(std::initializer_list<std::size_t> shape);
 
     /** Shape accessors. */
-    const std::vector<std::size_t> &shape() const { return shape_; }
+    const Shape &shape() const { return shape_; }
     std::size_t rank() const { return shape_.size(); }
     std::size_t dim(std::size_t i) const;
     std::size_t size() const { return data_.size(); }
@@ -66,7 +169,7 @@ class Tensor
     /**
      * Reinterpret the shape; the element count must be preserved.
      */
-    void reshape(std::vector<std::size_t> shape);
+    void reshape(Shape shape);
 
     /** Gaussian init with the given stdev. */
     void randomNormal(common::Pcg32 &rng, float stdev);
@@ -101,8 +204,8 @@ class Tensor
     }
 
   private:
-    std::vector<std::size_t> shape_;
-    std::vector<float> data_;
+    Shape shape_;
+    detail::FloatStorage data_;
 };
 
 } // namespace toltiers::tensor

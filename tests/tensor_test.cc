@@ -137,9 +137,9 @@ naiveMatmul(const Tensor &a, const Tensor &b)
 }
 
 Tensor
-randomTensor(std::vector<std::size_t> shape, tc::Pcg32 &rng)
+randomTensor(tt::Shape shape, tc::Pcg32 &rng)
 {
-    Tensor t(std::move(shape));
+    Tensor t(shape);
     t.randomNormal(rng, 1.0f);
     return t;
 }
