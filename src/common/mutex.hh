@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Capability-annotated mutex and RAII lock wrappers.
+ *
+ * `common::Mutex` is a `std::mutex` carrying clang thread-safety
+ * capability attributes (common/thread_annotations.hh), and
+ * `MutexLock` / `UniqueLock` are the annotated counterparts of
+ * `std::lock_guard` / `std::unique_lock`. Concurrent subsystems
+ * whose members are `GUARDED_BY` a mutex use these so a clang
+ * `-Wthread-safety` build proves the guard discipline at compile
+ * time; under any other compiler they compile to exactly the std
+ * primitives they wrap.
+ *
+ * Condition variables keep using `std::condition_variable`: a
+ * `UniqueLock` exposes its underlying `std::unique_lock` via
+ * `native()` for `cv.wait(lock.native())`. The wait releases and
+ * reacquires the mutex symmetrically, so the capability state on
+ * either side of the call is unchanged — the analysis never needs
+ * to see inside.
+ *
+ * These wrappers are the one sanctioned place that calls
+ * `.lock()` / `.unlock()` on a raw mutex; everywhere else ttlint's
+ * no-naked-mutex rule forbids it, and ttlint treats `Mutex` as a
+ * mutex type and `MutexLock` / `UniqueLock` as lock wrappers in
+ * its lock-order and blocking-under-lock analyses.
+ */
+
+#ifndef TOLTIERS_COMMON_MUTEX_HH
+#define TOLTIERS_COMMON_MUTEX_HH
+
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+namespace toltiers::common {
+
+/** A `std::mutex` the thread-safety analysis can follow. */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    /** Acquire. Prefer MutexLock/UniqueLock; this exists for the
+     * wrappers and for adopting interfaces that need it. */
+    void
+    lock() ACQUIRE()
+    {
+        // TTLINT(off:no-naked-mutex): this wrapper IS the sanctioned RAII layer.
+        mu_.lock();
+    }
+
+    /** Release a held mutex. */
+    void
+    unlock() RELEASE()
+    {
+        // TTLINT(off:no-naked-mutex): this wrapper IS the sanctioned RAII layer.
+        mu_.unlock();
+    }
+
+    /** Try to acquire; true on success. */
+    bool
+    try_lock() TRY_ACQUIRE(true)
+    {
+        // TTLINT(off:no-naked-mutex): this wrapper IS the sanctioned RAII layer.
+        return mu_.try_lock();
+    }
+
+    /** The wrapped `std::mutex`, for `std::unique_lock` /
+     * condition-variable plumbing only. */
+    std::mutex &
+    native()
+    {
+        return mu_;
+    }
+
+  private:
+    std::mutex mu_;
+};
+
+/** RAII exclusive lock over a Mutex (`std::lock_guard` shape):
+ * acquires in the constructor, releases in the destructor, no
+ * unlock in between. */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    /** Acquire `mu` for the lifetime of this object. */
+    explicit MutexLock(Mutex &mu) ACQUIRE(mu) : mu_(mu)
+    {
+        // TTLINT(off:no-naked-mutex): this wrapper IS the sanctioned RAII layer.
+        mu_.lock();
+    }
+
+    ~MutexLock() RELEASE()
+    {
+        // TTLINT(off:no-naked-mutex): this wrapper IS the sanctioned RAII layer.
+        mu_.unlock();
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * RAII lock over a Mutex with explicit unlock()/lock()
+ * (`std::unique_lock` shape), for condition-variable waits and
+ * drop-the-lock-around-a-callback patterns. The destructor
+ * releases the mutex if it is still held.
+ */
+class SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    /** Acquire `mu`; hold it until unlock() or destruction. */
+    explicit UniqueLock(Mutex &mu) ACQUIRE(mu) : lk_(mu.native()) {}
+
+    ~UniqueLock() RELEASE() {} // lk_ releases if still held
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    /** Release the mutex before the scope ends. */
+    void
+    unlock() RELEASE()
+    {
+        lk_.unlock();
+    }
+
+    /** Reacquire after an unlock(). */
+    void
+    lock() ACQUIRE()
+    {
+        lk_.lock();
+    }
+
+    /** The wrapped lock, for `cv.wait(lock.native())`. The wait's
+     * release/reacquire is symmetric, so the capability state is
+     * unchanged across the call. */
+    std::unique_lock<std::mutex> &
+    native()
+    {
+        return lk_;
+    }
+
+  private:
+    std::unique_lock<std::mutex> lk_;
+};
+
+} // namespace toltiers::common
+
+#endif // TOLTIERS_COMMON_MUTEX_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Clang thread-safety analysis attribute macros.
+ *
+ * These map the standard capability-analysis attributes
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) onto
+ * no-ops for every compiler that lacks them, so annotated code
+ * builds identically under gcc while a clang `-Wthread-safety`
+ * build statically proves the locking discipline: every
+ * `GUARDED_BY` member is touched only with its mutex held, every
+ * `REQUIRES` function is called only under the named capability,
+ * and every scoped lock releases what it acquired.
+ *
+ * The annotations attach to `common::Mutex` and its RAII wrappers
+ * (common/mutex.hh) rather than `std::mutex` directly, because
+ * libstdc++'s mutex types carry no capability attributes — the
+ * analysis can only follow capabilities it can see. CI runs the
+ * clang job with warnings promoted to errors; ttlint's lock-order
+ * and blocking-under-lock analyses cover the cross-TU half of the
+ * same contract.
+ */
+
+#ifndef TOLTIERS_COMMON_THREAD_ANNOTATIONS_HH
+#define TOLTIERS_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TT_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+/** Marks a type as a capability (e.g. a mutex). */
+#define CAPABILITY(x) TT_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires on construction and releases
+ * on destruction. */
+#define SCOPED_CAPABILITY TT_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with the capability held. */
+#define GUARDED_BY(x) TT_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by the capability. */
+#define PT_GUARDED_BY(x) TT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that must be called with the capabilities held. */
+#define REQUIRES(...) \
+    TT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that must be called with the capabilities NOT held. */
+#define EXCLUDES(...) \
+    TT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function that acquires the capability and does not release it. */
+#define ACQUIRE(...) \
+    TT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases a held capability. */
+#define RELEASE(...) \
+    TT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability iff it returns `ret`. */
+#define TRY_ACQUIRE(ret, ...) \
+    TT_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/** Function returning a reference to the named capability. */
+#define RETURN_CAPABILITY(x) \
+    TT_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: the function's locking is out of analysis scope. */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    TT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // TOLTIERS_COMMON_THREAD_ANNOTATIONS_HH

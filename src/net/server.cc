@@ -61,7 +61,7 @@ TierServer::~TierServer()
 bool
 TierServer::start(std::string &err)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (running_) {
         err = "server is already running";
         return false;
@@ -87,7 +87,7 @@ TierServer::stop()
     std::vector<std::shared_ptr<Connection>> conns;
     std::vector<std::thread> threads;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::MutexLock lock(mu_);
         if (!running_)
             return;
         running_ = false;
@@ -115,7 +115,7 @@ TierServer::stop()
 bool
 TierServer::running() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     return running_;
 }
 
@@ -143,7 +143,7 @@ TierServer::acceptLoop()
         std::string err;
         int fd = -1;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            common::MutexLock lock(mu_);
             if (!running_)
                 return;
             fd = listenFd_.get();
@@ -158,7 +158,7 @@ TierServer::acceptLoop()
         auto conn = std::make_shared<Connection>();
         conn->fd.reset(client);
         bumpCounter("tt_net_connections_total", connections_);
-        std::lock_guard<std::mutex> lock(mu_);
+        common::MutexLock lock(mu_);
         if (!running_) {
             // Raced with stop(): refuse the connection rather than
             // leak a thread stop() will never join.
@@ -197,8 +197,9 @@ TierServer::serveConnection(const std::shared_ptr<Connection> &conn)
     // so the accounting below sees a settled connection and the fd
     // stays open for any response still being written.
     {
-        std::unique_lock<std::mutex> lock(conn->mu);
-        conn->cv.wait(lock, [&] { return conn->outstanding == 0; });
+        common::UniqueLock lock(conn->mu);
+        while (conn->outstanding != 0)
+            conn->cv.wait(lock.native());
     }
     // Anything still buffered is a frame the client never finished;
     // it was never accepted, so it owes nothing to conservation.
@@ -262,13 +263,13 @@ TierServer::handleRequest(const std::shared_ptr<Connection> &conn,
     bumpCounter("tt_net_accepted_total", accepted_);
     const std::uint64_t id = request.id;
     {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        common::MutexLock lock(conn->mu);
         ++conn->outstanding;
     }
     auto settle = [this, conn](const char *name,
                                obs::Counter &local) {
         bumpCounter(name, local);
-        std::lock_guard<std::mutex> lock(conn->mu);
+        common::MutexLock lock(conn->mu);
         if (--conn->outstanding == 0)
             conn->cv.notify_all();
     };
@@ -312,7 +313,7 @@ TierServer::writeResponse(const std::shared_ptr<Connection> &conn,
                   "a trimmed response must always encode");
     }
     common::Stopwatch writeWatch;
-    std::lock_guard<std::mutex> lock(conn->writeMu);
+    common::MutexLock lock(conn->writeMu);
     if (conn->writeBroken)
         return false;
     if (!sendAll(conn->fd.get(), frame.data(), frame.size())) {

@@ -51,11 +51,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/stopwatch.hh"
 #include "core/front_door.hh"
 #include "net/protocol.hh"
@@ -136,11 +136,13 @@ class TierServer
     struct Connection
     {
         ScopedFd fd;
-        std::mutex writeMu;       //!< Serializes response frames.
-        bool writeBroken = false; //!< Guarded by writeMu.
-        std::mutex mu;
+        common::Mutex writeMu; //!< Serializes response frames.
+        /** Set when a write failed; no further writes land. */
+        bool writeBroken GUARDED_BY(writeMu) = false;
+        common::Mutex mu;
         std::condition_variable cv;
-        std::size_t outstanding = 0; //!< Guarded by mu.
+        /** Requests handed to the door, response not yet settled. */
+        std::size_t outstanding GUARDED_BY(mu) = 0;
     };
 
     void acceptLoop();
@@ -166,12 +168,14 @@ class TierServer
     ServerConfig cfg_;
     std::uint16_t port_ = 0;
 
+    // listenFd_ is deliberately NOT guarded: stop() resets it only
+    // after every thread that could touch it has been joined.
     ScopedFd listenFd_;
     std::thread acceptor_;
-    mutable std::mutex mu_; //!< Guards running_, conns_, threads_.
-    bool running_ = false;
-    std::vector<std::shared_ptr<Connection>> conns_;
-    std::vector<std::thread> threads_;
+    mutable common::Mutex mu_;
+    bool running_ GUARDED_BY(mu_) = false;
+    std::vector<std::shared_ptr<Connection>> conns_ GUARDED_BY(mu_);
+    std::vector<std::thread> threads_ GUARDED_BY(mu_);
 
     // Striped hot tallies, mirrored into cfg_.metrics when
     // attached (same scheme as TierFrontDoor).

@@ -112,7 +112,7 @@ AdaptiveBatcher::AdaptiveBatcher(BatchDispatch dispatch,
 AdaptiveBatcher::~AdaptiveBatcher()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::MutexLock lock(mu_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -142,7 +142,7 @@ AdaptiveBatcher::submit(ServiceRequest request)
     std::vector<ServiceRequest> ready;
     std::vector<Clock::time_point> ready_arrivals;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::MutexLock lock(mu_);
         Group &group = pending_[keyOf(request)];
         Clock::time_point now = Clock::now();
         if (group.requests.empty())
@@ -172,7 +172,7 @@ AdaptiveBatcher::flush()
                           std::vector<Clock::time_point>>>
         groups;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::MutexLock lock(mu_);
         for (auto &[key, group] : pending_) {
             if (!group.requests.empty()) {
                 groups.emplace_back(std::move(group.requests),
@@ -239,7 +239,7 @@ AdaptiveBatcher::dispatchGroup(
 void
 AdaptiveBatcher::flusherMain()
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::UniqueLock lock(mu_);
     auto delay = std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(cfg_.maxDelaySeconds));
     while (!stop_) {
@@ -257,10 +257,10 @@ AdaptiveBatcher::flusherMain()
         }
 
         if (!have_deadline) {
-            cv_.wait(lock);
+            cv_.wait(lock.native());
             continue;
         }
-        if (cv_.wait_until(lock, deadline) ==
+        if (cv_.wait_until(lock.native(), deadline) ==
             std::cv_status::no_timeout)
             continue; // Re-derive deadlines (new group / stop).
 
@@ -308,7 +308,7 @@ AdaptiveBatcher::stats() const
     s.currentLimit =
         control_->limit.load(std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::MutexLock lock(mu_);
         for (const auto &[key, group] : pending_)
             s.pending += group.requests.size();
     }

@@ -48,10 +48,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "obs/metrics.hh"
 #include "serving/request.hh"
 
@@ -185,10 +185,12 @@ class AdaptiveBatcher
     BatcherConfig cfg_;
     std::shared_ptr<Control> control_;
 
-    mutable std::mutex mu_;
+    mutable common::Mutex mu_;
     std::condition_variable cv_;
-    std::map<GroupKey, Group> pending_; //!< GUARDED_BY(mu_)
-    bool stop_ = false;                 //!< GUARDED_BY(mu_)
+    /** Open batch groups by key. */
+    std::map<GroupKey, Group> pending_ GUARDED_BY(mu_);
+    /** Set under mu_ by the destructor to stop the flusher. */
+    bool stop_ GUARDED_BY(mu_) = false;
 
     obs::Counter submitted_;
     std::thread flusher_;

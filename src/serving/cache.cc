@@ -75,6 +75,11 @@ ResultCache::ResultCache(CacheConfig cfg)
                      "Entries evicted by the byte budget");
         cacheCounter(*metrics_, "tt_cache_expired_total",
                      "Entries removed by TTL expiry");
+        cacheCounter(*metrics_, "tt_cache_replacements_total",
+                     "Entries overwritten by a re-insert");
+        cacheCounter(*metrics_, "tt_cache_oversized_total",
+                     "Inserts skipped because one entry exceeded "
+                     "a whole shard's byte budget");
         metrics_->gauge("tt_cache_bytes", {},
                         "Resident result-cache bytes");
         metrics_->gauge("tt_cache_entries", {},
@@ -111,7 +116,7 @@ ResultCache::lookup(const CacheFingerprint &key,
     bool tolerance_reject = false;
     bool expired_entry = false;
     {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        common::MutexLock lock(shard.mu);
         auto it = shard.map.find(key);
         if (it != shard.map.end()) {
             auto node = it->second;
@@ -171,6 +176,9 @@ ResultCache::insert(const CacheFingerprint &key, CachedResult result)
     std::size_t bytes = cacheEntryBytes(result);
     if (bytes > shardBudget_) {
         oversized_.inc();
+        if (metrics_ != nullptr)
+            cacheCounter(*metrics_, "tt_cache_oversized_total", "")
+                .inc();
         return;
     }
 
@@ -180,7 +188,7 @@ ResultCache::insert(const CacheFingerprint &key, CachedResult result)
     std::uint64_t expired_count = 0;
     bool replaced = false;
     {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        common::MutexLock lock(shard.mu);
         auto it = shard.map.find(key);
         if (it != shard.map.end()) {
             auto node = it->second;
@@ -222,6 +230,11 @@ ResultCache::insert(const CacheFingerprint &key, CachedResult result)
     if (metrics_ != nullptr) {
         cacheCounter(*metrics_, "tt_cache_insertions_total", "")
             .inc();
+        if (replaced) {
+            cacheCounter(*metrics_, "tt_cache_replacements_total",
+                         "")
+                .inc();
+        }
         if (evicted > 0) {
             cacheCounter(*metrics_, "tt_cache_evictions_total", "")
                 .inc(static_cast<double>(evicted));
@@ -238,7 +251,7 @@ void
 ResultCache::clear()
 {
     for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
+        common::MutexLock lock(shard->mu);
         shard->lru.clear();
         shard->map.clear();
         shard->bytes = 0;
@@ -253,7 +266,7 @@ ResultCache::updateGauges() const
     std::size_t entries = 0;
     std::size_t bytes = 0;
     for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
+        common::MutexLock lock(shard->mu);
         entries += shard->map.size();
         bytes += shard->bytes;
     }
@@ -280,7 +293,7 @@ ResultCache::stats() const
     s.replacements = count(replacements_);
     s.oversized = count(oversized_);
     for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
+        common::MutexLock lock(shard->mu);
         s.entries += shard->map.size();
         s.bytes += shard->bytes;
     }

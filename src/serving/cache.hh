@@ -47,11 +47,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/stopwatch.hh"
 #include "obs/metrics.hh"
 #include "serving/request.hh"
@@ -223,14 +223,16 @@ class ResultCache
 
     struct Shard
     {
-        mutable std::mutex mu;
-        /** MRU at front; all fields below are GUARDED_BY(mu). */
-        std::list<Entry> lru;
+        mutable common::Mutex mu;
+        /** MRU at front. */
+        std::list<Entry> lru GUARDED_BY(mu);
+        /** Fingerprint to LRU node. */
         std::unordered_map<CacheFingerprint,
                            std::list<Entry>::iterator,
                            FingerprintHash>
-            map;
-        std::size_t bytes = 0;
+            map GUARDED_BY(mu);
+        /** Resident bytes of this shard. */
+        std::size_t bytes GUARDED_BY(mu) = 0;
     };
 
     Shard &shardFor(const CacheFingerprint &key);

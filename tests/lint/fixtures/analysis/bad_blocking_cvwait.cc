@@ -1,0 +1,19 @@
+// Known-bad: cv.wait(held) is sanctioned for the lock it releases,
+// but here a SECOND lock stays held across the park.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fix {
+
+void
+waitHoldingTwo(std::condition_variable &cv)
+{
+    std::mutex waited;
+    std::mutex kept;
+    std::unique_lock<std::mutex> waitedHold(waited);
+    std::lock_guard<std::mutex> keptHold(kept);
+    cv.wait(waitedHold);
+}
+
+} // namespace fix

@@ -1,0 +1,23 @@
+// Known-bad: parks a pool submission under a held lock — the
+// classic shape that serializes the pool behind one request.
+
+#include <mutex>
+
+namespace fix {
+
+struct Pool
+{
+    void submit(int task);
+    void drain();
+};
+
+void
+submitUnderLock(Pool &pool)
+{
+    std::mutex gate;
+    std::lock_guard<std::mutex> hold(gate);
+    pool.submit(1);
+    pool.drain();
+}
+
+} // namespace fix

@@ -1,0 +1,16 @@
+// Known-bad: a raw socket write held across a lock — the peer's
+// receive window now backpressures every thread wanting the lock.
+
+#include <mutex>
+
+namespace fix {
+
+void
+writeWireUnderLock(int fd, const char *buf, unsigned long len)
+{
+    std::mutex writeGate;
+    std::lock_guard<std::mutex> hold(writeGate);
+    ::send(fd, buf, len, 0);
+}
+
+} // namespace fix

@@ -1,0 +1,31 @@
+// Known-bad: a three-mutex ring (one -> two -> three -> one) with
+// no direct two-edge inversion; only the SCC pass can see it.
+
+#include <mutex>
+
+#include "analysis/locks_api.hh"
+
+namespace fix {
+
+void
+LockRing::lockOneTwo()
+{
+    std::lock_guard<std::mutex> holdOne(one);
+    std::lock_guard<std::mutex> holdTwo(two);
+}
+
+void
+LockRing::lockTwoThree()
+{
+    std::lock_guard<std::mutex> holdTwo(two);
+    std::lock_guard<std::mutex> holdThree(three);
+}
+
+void
+LockRing::lockThreeOne()
+{
+    std::lock_guard<std::mutex> holdThree(three);
+    std::lock_guard<std::mutex> holdOne(one);
+}
+
+} // namespace fix

@@ -1,0 +1,18 @@
+// Known-bad: acquires LockPair::alpha then LockPair::beta. The
+// sibling fixture bad_lock_cycle_b.cc takes them in the opposite
+// order — together they are a cross-TU lock-order inversion.
+
+#include <mutex>
+
+#include "analysis/locks_api.hh"
+
+namespace fix {
+
+void
+LockPair::lockForward()
+{
+    std::lock_guard<std::mutex> holdAlpha(alpha);
+    std::lock_guard<std::mutex> holdBeta(beta);
+}
+
+} // namespace fix

@@ -1,0 +1,16 @@
+// Known-bad: the inverted half of the bad_lock_cycle_a.cc pair.
+
+#include <mutex>
+
+#include "analysis/locks_api.hh"
+
+namespace fix {
+
+void
+LockPair::lockBackward()
+{
+    std::lock_guard<std::mutex> holdBeta(beta);
+    std::lock_guard<std::mutex> holdAlpha(alpha);
+}
+
+} // namespace fix

@@ -1,0 +1,16 @@
+// Known-bad: re-acquires a mutex the same thread already holds — a
+// non-recursive mutex self-deadlocks on the second acquisition.
+
+#include <mutex>
+
+namespace fix {
+
+void
+relockSelf()
+{
+    std::mutex gate;
+    std::lock_guard<std::mutex> first(gate);
+    std::lock_guard<std::mutex> second(gate);
+}
+
+} // namespace fix

@@ -1,0 +1,42 @@
+// Known-good: blocking calls happen only after every lock is
+// released — by block scope, by explicit unlock(), or because
+// cv.wait() releases the only lock held.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fix {
+
+struct Pool
+{
+    void submit(int task);
+};
+
+void
+submitAfterRelease(Pool &pool)
+{
+    std::mutex gate;
+    {
+        std::lock_guard<std::mutex> hold(gate);
+    }
+    pool.submit(1);
+}
+
+void
+sendAfterUnlock(int fd, const char *buf, unsigned long len)
+{
+    std::mutex gate;
+    std::unique_lock<std::mutex> hold(gate);
+    hold.unlock();
+    ::send(fd, buf, len, 0);
+}
+
+void
+waitReleasesItsOnlyLock(std::condition_variable &cv)
+{
+    std::mutex gate;
+    std::unique_lock<std::mutex> hold(gate);
+    cv.wait(hold);
+}
+
+} // namespace fix

@@ -1,0 +1,27 @@
+// Known-good: every path takes the pair in the same order, and the
+// sequential (block-scoped) pattern releases the first lock before
+// the second is taken — no edge, no cycle.
+
+#include <mutex>
+
+#include "analysis/locks_api.hh"
+
+namespace fix {
+
+void
+consistentOrder(LockPair &pair)
+{
+    std::lock_guard<std::mutex> holdAlpha(pair.alpha);
+    std::lock_guard<std::mutex> holdBeta(pair.beta);
+}
+
+void
+sequentialNotNested(LockPair &pair)
+{
+    {
+        std::lock_guard<std::mutex> holdBeta(pair.beta);
+    }
+    std::lock_guard<std::mutex> holdAlpha(pair.alpha);
+}
+
+} // namespace fix

@@ -1,0 +1,34 @@
+// Fixture lock API: class-qualified mutex identities shared by the
+// lock-order fixtures, so the cycle spans translation units the way
+// a real deadlock does.
+
+#ifndef TOLTIERS_ANALYSIS_LOCKS_API_HH
+#define TOLTIERS_ANALYSIS_LOCKS_API_HH
+
+#include <mutex>
+
+namespace fix {
+
+/** Two mutexes whose acquisition order the cycle fixtures invert. */
+struct LockPair
+{
+    std::mutex alpha;
+    std::mutex beta;
+    void lockForward();
+    void lockBackward();
+};
+
+/** Three mutexes for the longer-cycle fixture (ring > 2). */
+struct LockRing
+{
+    std::mutex one;
+    std::mutex two;
+    std::mutex three;
+    void lockOneTwo();
+    void lockTwoThree();
+    void lockThreeOne();
+};
+
+} // namespace fix
+
+#endif // TOLTIERS_ANALYSIS_LOCKS_API_HH

@@ -1,0 +1,13 @@
+// Known-bad (audit mode): the suppression below silences nothing —
+// the code it once excused is gone, so the audit must flag it.
+
+namespace fix {
+
+int
+plainArithmetic(int x)
+{
+    // TTLINT(off:no-naked-new): the allocation this excused was removed long ago.
+    return x + 1;
+}
+
+} // namespace fix

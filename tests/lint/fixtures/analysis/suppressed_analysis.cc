@@ -1,0 +1,22 @@
+// Fixture: an analysis finding silenced by a reasoned line-level
+// suppression — the same mechanism the per-file rules use.
+
+#include <mutex>
+
+namespace fix {
+
+struct Pool
+{
+    void submit(int task);
+};
+
+void
+suppressedSubmitUnderLock(Pool &pool)
+{
+    std::mutex gate;
+    std::lock_guard<std::mutex> hold(gate);
+    // TTLINT(off:blocking-under-lock): fixture proves analysis findings are suppressible.
+    pool.submit(1);
+}
+
+} // namespace fix

@@ -1,0 +1,40 @@
+// Known-bad (metrics-contract): registers a series the ops doc
+// never mentions, registers a canonical anchor without giving it a
+// conservation equation, and ships a legacy-alias table with a
+// misnamed alias and an alias for a series that does not exist.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fix {
+
+struct Registry
+{
+    void counter(const char *name, const char *help);
+};
+
+void
+registerSeries(Registry &reg)
+{
+    reg.counter("tt_fix_documented_total",
+                "Documented and registered: the healthy case");
+    reg.counter("tt_fix_undocumented_total",
+                "Registered here but absent from the ops doc");
+    reg.counter("tt_frontdoor_submitted_total",
+                "A canonical anchor with no conservation equation");
+}
+
+const std::vector<std::pair<std::string, std::string>> &
+legacyMetricAliases()
+{
+    static const std::vector<std::pair<std::string, std::string>>
+        kAliases = {
+            {"tt_fix_documented_total", "toltiers_wrong_name"},
+            {"tt_fix_ghostalias_total",
+             "toltiers_fix_ghostalias_total"},
+        };
+    return kAliases;
+}
+
+} // namespace fix

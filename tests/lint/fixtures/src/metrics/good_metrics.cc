@@ -1,0 +1,35 @@
+// Known-good (metrics-contract): every registered series appears
+// in the fixture ops doc, the conservation equation references
+// only registered series, and the alias table follows the
+// mechanical toltiers_ rename.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fix {
+
+struct Registry
+{
+    void counter(const char *name, const char *help);
+};
+
+void
+registerSeries(Registry &reg)
+{
+    reg.counter("tt_fix_lookups_total", "Probes");
+    reg.counter("tt_fix_hits_total", "Probes served");
+    reg.counter("tt_fix_misses_total", "Probes that fell through");
+}
+
+const std::vector<std::pair<std::string, std::string>> &
+legacyMetricAliases()
+{
+    static const std::vector<std::pair<std::string, std::string>>
+        kAliases = {
+            {"tt_fix_lookups_total", "toltiers_fix_lookups_total"},
+        };
+    return kAliases;
+}
+
+} // namespace fix

@@ -225,4 +225,163 @@ TEST(TtlintFixtures, LintBuffersMatchesDiskScan)
     EXPECT_EQ(hits["include-guard"], 1);
 }
 
+// ---------------------------------------------------------------
+// Whole-program analyses (--analyze).
+
+/** Scan fixtures with the analyses on; return rule -> hit count.
+ * `ops_doc` is the fixture stand-in for docs/OPERATIONS.md. */
+std::map<std::string, int>
+analysisHits(const std::vector<std::string> &files,
+             const std::string &ops_doc = "analysis/ops_empty.md",
+             bool audit = false)
+{
+    ttlint::ScanOptions opts;
+    opts.analyze = true;
+    opts.auditSuppressions = audit;
+    opts.opsDocPath = ops_doc;
+    ScanResult result =
+        ttlint::scanPaths(fixtureDir(), files, opts);
+    EXPECT_TRUE(result.errors.empty());
+    std::map<std::string, int> hits;
+    for (const Finding &f : result.findings)
+        ++hits[f.rule];
+    return hits;
+}
+
+TEST(TtlintAnalysis, CrossTuInversionFlaggedOnce)
+{
+    auto hits = analysisHits({"analysis/locks_api.hh",
+                              "analysis/bad_lock_cycle_a.cc",
+                              "analysis/bad_lock_cycle_b.cc"});
+    EXPECT_EQ(hits["lock-order"], 1);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintAnalysis, ThreeMutexRingFlaggedViaScc)
+{
+    auto hits = analysisHits(
+        {"analysis/locks_api.hh", "analysis/bad_lock_cycle3.cc"});
+    EXPECT_EQ(hits["lock-order"], 1);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintAnalysis, SelfReacquisitionFlagged)
+{
+    auto hits = analysisHits({"analysis/bad_lock_self.cc"});
+    EXPECT_EQ(hits["lock-order"], 1);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintAnalysis, ConsistentOrderIsSilent)
+{
+    EXPECT_TRUE(analysisHits({"analysis/locks_api.hh",
+                              "analysis/good_locks.cc"})
+                    .empty());
+}
+
+TEST(TtlintAnalysis, BlockingCallsUnderLockFlagged)
+{
+    // submit + drain under the same held lock.
+    auto pool = analysisHits({"analysis/bad_blocking_pool.cc"});
+    EXPECT_EQ(pool["blocking-under-lock"], 2);
+    EXPECT_EQ(pool.size(), 1u);
+
+    // The raw ::send syscall.
+    auto send = analysisHits({"analysis/bad_blocking_send.cc"});
+    EXPECT_EQ(send["blocking-under-lock"], 1);
+    EXPECT_EQ(send.size(), 1u);
+}
+
+TEST(TtlintAnalysis, CvWaitFlagsOnlyTheOtherHeldLock)
+{
+    // cv.wait(held) is sanctioned for the lock it releases but
+    // flagged for the second lock held across the park...
+    auto hits = analysisHits({"analysis/bad_blocking_cvwait.cc"});
+    EXPECT_EQ(hits["blocking-under-lock"], 1);
+    EXPECT_EQ(hits.size(), 1u);
+    // ...and silent when the waited lock is the only one held.
+    EXPECT_TRUE(
+        analysisHits({"analysis/good_blocking.cc"}).empty());
+}
+
+TEST(TtlintAnalysis, MetricsContractCatchesEveryDriftKind)
+{
+    auto hits = analysisHits({"src/metrics/bad_metrics.cc"},
+                             "analysis/ops_bad.md");
+    // 1 registered-but-undocumented + 2 documented-but-
+    // unregistered (ghost + unknown equation term) + 2 alias
+    // violations + 1 equation-less conservation note + 1
+    // unregistered equation term + 1 missing canonical anchor.
+    EXPECT_EQ(hits["metrics-contract"], 8);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintAnalysis, SyncedMetricsAreSilent)
+{
+    EXPECT_TRUE(analysisHits({"src/metrics/good_metrics.cc"},
+                             "analysis/ops_good.md")
+                    .empty());
+}
+
+TEST(TtlintAnalysis, AnalysisFindingsAreSuppressible)
+{
+    EXPECT_TRUE(
+        analysisHits({"analysis/suppressed_analysis.cc"}).empty());
+    // The used suppression survives the audit too.
+    EXPECT_TRUE(analysisHits({"analysis/suppressed_analysis.cc"},
+                             "analysis/ops_empty.md", true)
+                    .empty());
+}
+
+TEST(TtlintAnalysis, StaleSuppressionFlaggedByAudit)
+{
+    auto hits = analysisHits({"analysis/stale_suppression.cc"},
+                             "analysis/ops_empty.md", true);
+    EXPECT_EQ(hits["stale-suppression"], 1);
+    EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TtlintAnalysis, AnalysisSuppressionExemptFromLintOnlyAudit)
+{
+    // Without --analyze the analyses never ran, so an analysis-rule
+    // suppression is not auditable rot.
+    ttlint::ScanOptions opts;
+    opts.auditSuppressions = true;
+    ScanResult r = ttlint::scanPaths(
+        fixtureDir(), {"analysis/suppressed_analysis.cc"}, opts);
+    EXPECT_TRUE(r.errors.empty());
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(TtlintAnalysis, EveryAnalysisRuleHasKnownBadFixture)
+{
+    // Acceptance guard, mirroring WholeCorpusHasKnownBadPerRule.
+    auto hits = analysisHits({"."}, "analysis/ops_bad.md", true);
+    for (const ttlint::RuleInfo &rule : ttlint::analysisCatalog())
+        EXPECT_GE(hits[rule.name], 1)
+            << "no known-bad fixture covers analysis "
+            << rule.name;
+}
+
+TEST(TtlintAnalysis, AnalyzeOutputIsByteIdentical)
+{
+    ttlint::ScanOptions opts;
+    opts.analyze = true;
+    opts.auditSuppressions = true;
+    opts.opsDocPath = "analysis/ops_bad.md";
+    auto render = [&]() {
+        ScanResult r =
+            ttlint::scanPaths(fixtureDir(), {"."}, opts);
+        std::string out;
+        for (const Finding &f : r.findings)
+            out += f.path + ":" + std::to_string(f.line) + ":" +
+                   std::to_string(f.col) + ": [" + f.rule + "] " +
+                   f.message + "\n";
+        return out;
+    };
+    const std::string first = render();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, render());
+}
+
 } // namespace

@@ -1,0 +1,33 @@
+#include "ttlint/analysis/blocking.hh"
+
+#include <string>
+
+namespace ttlint::analysis {
+
+std::vector<Finding>
+blockingFindings(const std::vector<FileLockScan> &scans)
+{
+    std::vector<Finding> out;
+    for (const FileLockScan &s : scans) {
+        for (const BlockingSite &b : s.blocking) {
+            std::string held;
+            for (const std::string &h : b.held) {
+                if (!held.empty())
+                    held += "', '";
+                held += h;
+            }
+            out.push_back(Finding{
+                "blocking-under-lock", b.site.path, b.site.line,
+                b.site.col,
+                "call to '" + b.callee +
+                    "' may block while holding '" + held +
+                    "' (locked at " + b.firstHeldSite.path + ":" +
+                    std::to_string(b.firstHeldSite.line) +
+                    "); release the lock before parking the "
+                    "thread"});
+        }
+    }
+    return out;
+}
+
+} // namespace ttlint::analysis

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Blocking-under-lock detection.
+ *
+ * Turns the per-file lock scans' blocking sites into findings
+ * (rule `blocking-under-lock`): any call from the configurable
+ * blocking set — pool/front-door submission, waits, joins,
+ * drains, sleeps, raw socket send/recv/accept/connect, and
+ * condition-variable waits that keep a *second* lock held — made
+ * while an RAII lock scope is open. Holding a lock across a call
+ * that can park the thread turns every sibling of that lock into
+ * a convoy, and if the blocked-on resource itself needs the lock
+ * (a pool task locking what its submitter holds), into a
+ * deadlock.
+ */
+
+#ifndef TOLTIERS_TOOLS_TTLINT_ANALYSIS_BLOCKING_HH
+#define TOLTIERS_TOOLS_TTLINT_ANALYSIS_BLOCKING_HH
+
+#include <vector>
+
+#include "ttlint/analysis/lockmodel.hh"
+
+namespace ttlint::analysis {
+
+/** Findings (rule `blocking-under-lock`) over all scans. */
+std::vector<Finding>
+blockingFindings(const std::vector<FileLockScan> &scans);
+
+} // namespace ttlint::analysis
+
+#endif // TOLTIERS_TOOLS_TTLINT_ANALYSIS_BLOCKING_HH

@@ -1,0 +1,205 @@
+#include "ttlint/analysis/lockorder.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace ttlint::analysis {
+
+namespace {
+
+std::string
+siteStr(const Site &s)
+{
+    return s.path + ":" + std::to_string(s.line);
+}
+
+Finding
+at(const Site &s, std::string message)
+{
+    return Finding{"lock-order", s.path, s.line, s.col,
+                   std::move(message)};
+}
+
+/** Deterministic DFS for one concrete cycle inside an SCC. */
+bool
+findCycle(const std::string &start, const std::string &node,
+          const std::map<std::string, std::set<std::string>> &adj,
+          const std::set<std::string> &scc,
+          std::set<std::string> &visited,
+          std::vector<std::string> &path)
+{
+    path.push_back(node);
+    visited.insert(node);
+    auto it = adj.find(node);
+    if (it != adj.end()) {
+        for (const std::string &next : it->second) {
+            if (scc.count(next) == 0)
+                continue;
+            if (next == start)
+                return true;
+            if (visited.count(next) == 0 &&
+                findCycle(start, next, adj, scc, visited, path))
+                return true;
+        }
+    }
+    path.pop_back();
+    return false;
+}
+
+} // namespace
+
+std::vector<Finding>
+lockOrderFindings(const std::vector<FileLockScan> &scans)
+{
+    // First edge per (held, acquired) pair, in scan order — scans
+    // arrive sorted by path, so "first" is deterministic.
+    std::map<std::pair<std::string, std::string>, AcqEdge> edges;
+    for (const FileLockScan &s : scans)
+        for (const AcqEdge &e : s.edges)
+            edges.emplace(std::make_pair(e.held, e.acquired), e);
+
+    std::vector<Finding> out;
+
+    // Self-edges: re-acquiring a held (non-recursive) mutex.
+    for (const auto &[key, e] : edges) {
+        if (key.first != key.second)
+            continue;
+        out.push_back(at(
+            e.acquiredSite,
+            "mutex '" + e.acquired +
+                "' acquired while already held (first acquired "
+                "at " +
+                siteStr(e.heldSite) +
+                "); a non-recursive mutex self-deadlocks here"));
+    }
+
+    // Adjacency over proper edges.
+    std::map<std::string, std::set<std::string>> adj;
+    std::set<std::string> nodes;
+    for (const auto &[key, e] : edges) {
+        if (key.first == key.second)
+            continue;
+        adj[key.first].insert(key.second);
+        nodes.insert(key.first);
+        nodes.insert(key.second);
+    }
+
+    // Direct inversions get the precise two-site report.
+    std::set<std::pair<std::string, std::string>> inverted;
+    for (const auto &[key, e] : edges) {
+        const auto rev = std::make_pair(key.second, key.first);
+        if (key.first >= key.second || edges.count(rev) == 0)
+            continue;
+        const AcqEdge &r = edges.at(rev);
+        inverted.insert(key);
+        out.push_back(at(
+            r.acquiredSite,
+            "lock-order inversion: '" + e.held + "' then '" +
+                e.acquired + "' at " + siteStr(e.acquiredSite) +
+                ", but '" + r.held + "' then '" + r.acquired +
+                "' here; two threads interleaving these paths "
+                "deadlock"));
+    }
+
+    // Iterative Tarjan SCC over sorted nodes for longer cycles.
+    std::map<std::string, int> index, lowlink;
+    std::vector<std::string> stack;
+    std::set<std::string> onStack;
+    int counter = 0;
+    std::vector<std::set<std::string>> sccs;
+
+    struct WorkItem
+    {
+        std::string node;
+        std::vector<std::string> succs;
+        std::size_t next = 0;
+    };
+    for (const std::string &root : nodes) {
+        if (index.count(root) > 0)
+            continue;
+        std::vector<WorkItem> work;
+        auto push = [&](const std::string &n) {
+            index[n] = lowlink[n] = counter++;
+            stack.push_back(n);
+            onStack.insert(n);
+            WorkItem w;
+            w.node = n;
+            auto it = adj.find(n);
+            if (it != adj.end())
+                w.succs.assign(it->second.begin(),
+                               it->second.end());
+            work.push_back(std::move(w));
+        };
+        push(root);
+        while (!work.empty()) {
+            WorkItem &w = work.back();
+            if (w.next < w.succs.size()) {
+                const std::string &next = w.succs[w.next++];
+                if (index.count(next) == 0)
+                    push(next);
+                else if (onStack.count(next) > 0)
+                    lowlink[w.node] = std::min(lowlink[w.node],
+                                               index[next]);
+            } else {
+                if (lowlink[w.node] == index[w.node]) {
+                    std::set<std::string> scc;
+                    for (;;) {
+                        std::string n = stack.back();
+                        stack.pop_back();
+                        onStack.erase(n);
+                        scc.insert(n);
+                        if (n == w.node)
+                            break;
+                    }
+                    if (scc.size() > 1)
+                        sccs.push_back(std::move(scc));
+                }
+                std::string done = w.node;
+                work.pop_back();
+                if (!work.empty())
+                    lowlink[work.back().node] =
+                        std::min(lowlink[work.back().node],
+                                 lowlink[done]);
+            }
+        }
+    }
+
+    // Report each SCC not already covered by a direct inversion.
+    for (const std::set<std::string> &scc : sccs) {
+        bool covered = false;
+        for (const auto &p : inverted)
+            if (scc.count(p.first) > 0 && scc.count(p.second) > 0)
+                covered = true;
+        if (covered)
+            continue;
+        const std::string &start = *scc.begin();
+        std::set<std::string> visited;
+        std::vector<std::string> path;
+        if (!findCycle(start, start, adj, scc, visited, path))
+            continue; // unreachable for a real SCC
+        std::string desc;
+        std::string sites;
+        for (std::size_t i = 0; i < path.size(); ++i) {
+            const std::string &u = path[i];
+            const std::string &v = path[(i + 1) % path.size()];
+            desc += u + " -> ";
+            const AcqEdge &e = edges.at(std::make_pair(u, v));
+            if (!sites.empty())
+                sites += ", ";
+            sites += siteStr(e.acquiredSite);
+        }
+        desc += path.front();
+        const AcqEdge &anchor =
+            edges.at(std::make_pair(path.back(), path.front()));
+        out.push_back(
+            at(anchor.acquiredSite,
+               "lock-order cycle: " + desc +
+                   " (acquisition sites: " + sites + ")"));
+    }
+
+    return out;
+}
+
+} // namespace ttlint::analysis

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Lock-order analysis: cycles in the cross-TU acquisition graph.
+ *
+ * Aggregates every acquired-while-holding edge from the per-file
+ * lock scans into one directed graph over class-qualified mutex
+ * identities, then reports:
+ *
+ *  - self-edges — a non-recursive mutex acquired while already
+ *    held by the same thread is an unconditional self-deadlock;
+ *  - order inversions — mutex A held while B is acquired at one
+ *    site and B held while A is acquired at another; two threads
+ *    interleaving those paths deadlock. Longer cycles (A→B→C→A)
+ *    are reported once per strongly connected component with the
+ *    full path.
+ *
+ * Each finding names both acquisition sites, because the fix is
+ * almost always "reorder one of them" and you need to see which.
+ * Findings anchor at the later (inverting) acquisition site so a
+ * line-level suppression of the lock-order rule is possible —
+ * though in-tree the contract is to fix, not suppress.
+ */
+
+#ifndef TOLTIERS_TOOLS_TTLINT_ANALYSIS_LOCKORDER_HH
+#define TOLTIERS_TOOLS_TTLINT_ANALYSIS_LOCKORDER_HH
+
+#include <vector>
+
+#include "ttlint/analysis/lockmodel.hh"
+
+namespace ttlint::analysis {
+
+/** Findings (rule `lock-order`) over all per-file scans. */
+std::vector<Finding>
+lockOrderFindings(const std::vector<FileLockScan> &scans);
+
+} // namespace ttlint::analysis
+
+#endif // TOLTIERS_TOOLS_TTLINT_ANALYSIS_LOCKORDER_HH

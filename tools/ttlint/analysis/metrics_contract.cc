@@ -1,0 +1,310 @@
+#include "ttlint/analysis/metrics_contract.hh"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace ttlint::analysis {
+
+namespace {
+
+struct SrcSite
+{
+    std::string path;
+    int line = 0;
+    int col = 0;
+};
+
+/** `"tt_foo_total"` -> `tt_foo_total`; empty if not a plain
+ * double-quoted literal. */
+std::string
+literalContent(const std::string &text)
+{
+    if (text.size() < 2 || text.front() != '"' ||
+        text.back() != '"')
+        return "";
+    return text.substr(1, text.size() - 2);
+}
+
+/** A complete series name: tt_ + [a-z0-9_]+, not a trailing-`_`
+ * prefix under construction. */
+bool
+isSeriesName(const std::string &s)
+{
+    if (s.rfind("tt_", 0) != 0 || s.size() <= 3 ||
+        s.back() == '_')
+        return false;
+    for (char c : s)
+        if (!(std::islower(static_cast<unsigned char>(c)) ||
+              std::isdigit(static_cast<unsigned char>(c)) ||
+              c == '_'))
+            return false;
+    return true;
+}
+
+struct AliasPair
+{
+    std::string current;
+    std::string legacy;
+    SrcSite site;
+};
+
+/**
+ * Locate the body of `legacyMetricAliases()` in one unit: returns
+ * the [first, last] token index range of its braces, or
+ * {0, 0} if absent.
+ */
+std::pair<std::size_t, std::size_t>
+aliasBodyRange(const std::vector<Token> &tokens)
+{
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (!tokens[i].isIdent("legacyMetricAliases"))
+            continue;
+        // Match the parameter list, then demand the body's `{`
+        // directly after it — that separates the definition from
+        // call sites (`legacyMetricAliases())`) and from the
+        // declaration (`legacyMetricAliases();`).
+        std::size_t j = i + 1;
+        while (j < tokens.size() && !tokens[j].isCode())
+            ++j;
+        if (j >= tokens.size() || !tokens[j].is("("))
+            continue;
+        int parens = 0;
+        while (j < tokens.size()) {
+            if (tokens[j].isCode()) {
+                if (tokens[j].is("("))
+                    ++parens;
+                else if (tokens[j].is(")") && --parens == 0)
+                    break;
+            }
+            ++j;
+        }
+        ++j;
+        while (j < tokens.size() && !tokens[j].isCode())
+            ++j;
+        if (j >= tokens.size() || !tokens[j].is("{"))
+            continue;
+        int depth = 0;
+        for (std::size_t k = j; k < tokens.size(); ++k) {
+            if (!tokens[k].isCode())
+                continue;
+            if (tokens[k].is("{"))
+                ++depth;
+            else if (tokens[k].is("}") && --depth == 0)
+                return {j, k};
+        }
+    }
+    return {0, 0};
+}
+
+} // namespace
+
+std::vector<Finding>
+metricsContractFindings(const std::vector<FileUnit> &units,
+                        const std::string &docPath,
+                        const std::string &docText)
+{
+    std::vector<Finding> out;
+
+    // ------------------------------------------------------------
+    // Registered set from src/ literals; alias pairs separately.
+    std::map<std::string, SrcSite> registered;
+    std::vector<AliasPair> aliases;
+
+    for (const FileUnit &u : units) {
+        if (u.relPath.rfind("src/", 0) != 0)
+            continue;
+        auto [aliasOpen, aliasClose] = aliasBodyRange(u.tokens);
+        std::vector<const Token *> aliasStrings;
+        for (std::size_t i = 0; i < u.tokens.size(); ++i) {
+            const Token &t = u.tokens[i];
+            if (t.kind != TokenKind::String)
+                continue;
+            if (aliasClose > 0 && i > aliasOpen && i < aliasClose) {
+                aliasStrings.push_back(&t);
+                continue;
+            }
+            std::string name = literalContent(t.text);
+            if (isSeriesName(name) &&
+                registered.count(name) == 0)
+                registered[name] =
+                    SrcSite{u.relPath, t.line, t.col};
+        }
+        for (std::size_t i = 0; i + 1 < aliasStrings.size();
+             i += 2) {
+            aliases.push_back(AliasPair{
+                literalContent(aliasStrings[i]->text),
+                literalContent(aliasStrings[i + 1]->text),
+                SrcSite{u.relPath, aliasStrings[i]->line,
+                        aliasStrings[i]->col}});
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Documented set: backticked exact tt_* mentions, outside
+    // fenced code blocks. Wildcards (`tt_foo_*`) match the legacy
+    // "family" rows and are deliberately neither names nor errors.
+    std::map<std::string, int> documented;
+    struct ConsBlock
+    {
+        int line = 0;
+        bool hasEquals = false;
+        std::vector<std::pair<std::string, int>> names;
+    };
+    std::vector<ConsBlock> consBlocks;
+
+    {
+        std::istringstream in(docText);
+        std::string lineText;
+        int lineNo = 0;
+        bool inFence = false;
+        ConsBlock *open = nullptr;
+        while (std::getline(in, lineText)) {
+            ++lineNo;
+            std::string trimmed = lineText;
+            while (!trimmed.empty() && trimmed.front() == ' ')
+                trimmed.erase(trimmed.begin());
+            if (trimmed.rfind("```", 0) == 0) {
+                inFence = !inFence;
+                continue;
+            }
+            if (inFence)
+                continue;
+            if (open != nullptr && trimmed.empty())
+                open = nullptr;
+            if (open == nullptr &&
+                lineText.find("Conservation") !=
+                    std::string::npos) {
+                consBlocks.push_back(ConsBlock{lineNo, false, {}});
+                open = &consBlocks.back();
+            }
+            // Backticked spans on this line.
+            std::size_t pos = 0;
+            while (true) {
+                std::size_t a = lineText.find('`', pos);
+                if (a == std::string::npos)
+                    break;
+                std::size_t b = lineText.find('`', a + 1);
+                if (b == std::string::npos)
+                    break;
+                std::string span =
+                    lineText.substr(a + 1, b - a - 1);
+                pos = b + 1;
+                if (open != nullptr &&
+                    span.find('=') != std::string::npos)
+                    open->hasEquals = true;
+                // Tokenize the span into name-ish runs.
+                std::string cur;
+                auto flush = [&]() {
+                    if (cur.rfind("tt_", 0) == 0 &&
+                        cur.find('*') == std::string::npos &&
+                        isSeriesName(cur)) {
+                        if (documented.count(cur) == 0)
+                            documented[cur] = lineNo;
+                        if (open != nullptr)
+                            open->names.emplace_back(cur, lineNo);
+                    }
+                    cur.clear();
+                };
+                for (char c : span) {
+                    if (std::isalnum(
+                            static_cast<unsigned char>(c)) ||
+                        c == '_' || c == '*')
+                        cur.push_back(c);
+                    else
+                        flush();
+                }
+                flush();
+            }
+        }
+    }
+
+    auto docFinding = [&](int line, std::string msg) {
+        out.push_back(Finding{"metrics-contract", docPath, line, 1,
+                              std::move(msg)});
+    };
+
+    // ------------------------------------------------------------
+    // Drift, both directions.
+    for (const auto &[name, site] : registered) {
+        if (documented.count(name) > 0)
+            continue;
+        out.push_back(Finding{
+            "metrics-contract", site.path, site.line, site.col,
+            "series '" + name +
+                "' is registered in src/ but missing from " +
+                docPath + "'s metric tables"});
+    }
+    for (const auto &[name, line] : documented) {
+        if (registered.count(name) > 0)
+            continue;
+        docFinding(line, "documented series '" + name +
+                             "' is not registered anywhere in "
+                             "src/; dashboards reading it see "
+                             "only zeros");
+    }
+
+    // ------------------------------------------------------------
+    // Alias table: every current name exists; every legacy name
+    // is the mechanical toltiers_ rename.
+    for (const AliasPair &a : aliases) {
+        if (!isSeriesName(a.current))
+            continue;
+        if (registered.count(a.current) == 0)
+            out.push_back(Finding{
+                "metrics-contract", a.site.path, a.site.line,
+                a.site.col,
+                "legacyMetricAliases maps '" + a.current +
+                    "', which is not a registered series"});
+        const std::string want =
+            "toltiers_" + a.current.substr(3);
+        if (a.legacy != want)
+            out.push_back(Finding{
+                "metrics-contract", a.site.path, a.site.line,
+                a.site.col,
+                "legacy alias for '" + a.current + "' is '" +
+                    a.legacy + "'; the rename contract is '" +
+                    want + "'"});
+    }
+
+    // ------------------------------------------------------------
+    // Conservation equations.
+    for (const ConsBlock &b : consBlocks) {
+        if (!b.hasEquals || b.names.empty()) {
+            docFinding(b.line,
+                       "conservation note does not state an "
+                       "equation over tt_* series (expected "
+                       "backticked `a = b + c` terms)");
+            continue;
+        }
+        for (const auto &[name, line] : b.names)
+            if (registered.count(name) == 0)
+                docFinding(line,
+                           "conservation equation references '" +
+                               name +
+                               "', which is not a registered "
+                               "series");
+    }
+    const char *kAnchors[] = {"tt_frontdoor_submitted_total",
+                              "tt_cache_lookups_total",
+                              "tt_net_accepted_total"};
+    for (const char *anchor : kAnchors) {
+        if (registered.count(anchor) == 0)
+            continue;
+        bool found = false;
+        for (const ConsBlock &b : consBlocks)
+            for (const auto &[name, line] : b.names)
+                if (name == anchor)
+                    found = true;
+        if (!found)
+            docFinding(1, std::string("missing conservation "
+                                      "equation anchored on '") +
+                              anchor + "' in " + docPath);
+    }
+
+    return out;
+}
+
+} // namespace ttlint::analysis

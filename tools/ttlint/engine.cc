@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+
+#include "ttlint/analysis/blocking.hh"
+#include "ttlint/analysis/lockmodel.hh"
+#include "ttlint/analysis/lockorder.hh"
+#include "ttlint/analysis/metrics_contract.hh"
 
 namespace ttlint {
 
@@ -46,7 +52,8 @@ relativeTo(const fs::path &root, const fs::path &p)
 }
 
 ScanResult
-lintUnits(std::vector<FileUnit> units)
+lintUnits(std::vector<FileUnit> units, const ScanOptions &opts,
+          const std::string &docText)
 {
     std::sort(units.begin(), units.end(),
               [](const FileUnit &a, const FileUnit &b) {
@@ -55,12 +62,83 @@ lintUnits(std::vector<FileUnit> units)
     ProjectIndex index = buildIndex(units);
     ScanResult result;
     result.filesScanned = static_cast<int>(units.size());
+
+    // Per-file rules, against shared suppression state so the
+    // audit below sees which suppressions actually fired.
+    std::map<std::string, Suppressions> sups;
     for (const FileUnit &u : units) {
-        std::vector<Finding> fs = lintFile(u, index);
+        Suppressions &sup = sups[u.relPath];
+        sup = collectSuppressions(u, result.findings);
+        std::vector<Finding> fs = lintFile(u, index, sup);
         result.findings.insert(result.findings.end(),
                                std::make_move_iterator(fs.begin()),
                                std::make_move_iterator(fs.end()));
     }
+
+    if (opts.analyze) {
+        std::set<std::string> blocking =
+            analysis::defaultBlockingSet();
+        for (const std::string &b : opts.extraBlocking)
+            blocking.insert(b);
+        analysis::LockIndex lockIndex =
+            analysis::buildLockIndex(units);
+        std::vector<analysis::FileLockScan> scans;
+        scans.reserve(units.size());
+        for (const FileUnit &u : units)
+            scans.push_back(
+                analysis::scanFileLocks(u, lockIndex, blocking));
+
+        std::vector<Finding> af =
+            analysis::lockOrderFindings(scans);
+        std::vector<Finding> bf =
+            analysis::blockingFindings(scans);
+        af.insert(af.end(),
+                  std::make_move_iterator(bf.begin()),
+                  std::make_move_iterator(bf.end()));
+        std::vector<Finding> mf =
+            analysis::metricsContractFindings(
+                units, opts.opsDocPath, docText);
+        af.insert(af.end(),
+                  std::make_move_iterator(mf.begin()),
+                  std::make_move_iterator(mf.end()));
+
+        for (Finding &f : af) {
+            auto it = sups.find(f.path);
+            if (it != sups.end() &&
+                it->second.covers(f.rule, f.line))
+                continue;
+            result.findings.push_back(std::move(f));
+        }
+    }
+
+    if (opts.auditSuppressions) {
+        for (const auto &[path, sup] : sups) {
+            for (const Suppressions::Entry &e : sup.entries) {
+                if (e.used)
+                    continue;
+                // Analysis-rule suppressions only count as stale
+                // when the analyses actually ran.
+                if (!opts.analyze && isAnalysisRule(e.rule))
+                    continue;
+                result.findings.push_back(Finding{
+                    "stale-suppression", path, e.line, e.col,
+                    "TTLINT(off:" + e.rule +
+                        ") no longer suppresses any finding; "
+                        "remove it (or fix the rot it hides)"});
+            }
+        }
+    }
+
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  return a.rule < b.rule;
+              });
     return result;
 }
 
@@ -68,18 +146,33 @@ lintUnits(std::vector<FileUnit> units)
 
 ScanResult
 lintBuffers(const std::vector<std::pair<std::string, std::string>>
-                &buffers)
+                &buffers,
+            const ScanOptions &opts)
 {
     std::vector<FileUnit> units;
     units.reserve(buffers.size());
-    for (const auto &[relPath, text] : buffers)
+    std::string docText;
+    for (const auto &[relPath, text] : buffers) {
+        if (opts.analyze && relPath == opts.opsDocPath) {
+            docText = text;
+            continue;
+        }
         units.push_back(FileUnit{relPath, tokenize(text)});
-    return lintUnits(std::move(units));
+    }
+    return lintUnits(std::move(units), opts, docText);
+}
+
+ScanResult
+lintBuffers(const std::vector<std::pair<std::string, std::string>>
+                &buffers)
+{
+    return lintBuffers(buffers, ScanOptions{});
 }
 
 ScanResult
 scanPaths(const std::string &root,
-          const std::vector<std::string> &paths)
+          const std::vector<std::string> &paths,
+          const ScanOptions &opts)
 {
     const fs::path rootPath(root);
     std::vector<fs::path> files;
@@ -140,9 +233,32 @@ scanPaths(const std::string &root,
                                  tokenize(buf.str())});
     }
 
-    ScanResult result = lintUnits(std::move(units));
+    std::string docText;
+    if (opts.analyze) {
+        std::ifstream doc(rootPath / opts.opsDocPath,
+                          std::ios::binary);
+        if (doc) {
+            std::ostringstream buf;
+            buf << doc.rdbuf();
+            docText = buf.str();
+        } else {
+            errors.push_back(opts.opsDocPath +
+                             ": unreadable (metrics-contract "
+                             "needs the operations doc)");
+        }
+    }
+
+    ScanResult result =
+        lintUnits(std::move(units), opts, docText);
     result.errors = std::move(errors);
     return result;
+}
+
+ScanResult
+scanPaths(const std::string &root,
+          const std::vector<std::string> &paths)
+{
+    return scanPaths(root, paths, ScanOptions{});
 }
 
 } // namespace ttlint

@@ -28,10 +28,37 @@ struct ScanResult
 };
 
 /**
+ * What to run on top of the per-file rules. `analyze` adds the
+ * whole-program analyses (lock-order, blocking-under-lock,
+ * metrics-contract); `auditSuppressions` adds the
+ * stale-suppression audit (a TTLINT(off:) comment that matched no
+ * finding is itself a finding — suppressions for analysis rules
+ * are exempt from the audit when `analyze` is off, because their
+ * findings were never computed).
+ */
+struct ScanOptions
+{
+    bool analyze = false;
+    bool auditSuppressions = false;
+    /** Extra callee names for the blocking set (additive). */
+    std::vector<std::string> extraBlocking;
+    /** Operations doc checked by metrics-contract, relative to
+     * the scan root (or a buffer relPath in lintBuffers). */
+    std::string opsDocPath = "docs/OPERATIONS.md";
+};
+
+/**
  * Lint in-memory buffers (relPath, source) — the fixture-test
  * entry point. Buffers participate in one shared ProjectIndex,
- * exactly like files on disk.
+ * exactly like files on disk. Under `opts.analyze`, a buffer
+ * whose relPath equals `opts.opsDocPath` is the operations doc
+ * (not lexed as C++); without one the metrics contract is checked
+ * against an empty doc.
  */
+ScanResult
+lintBuffers(const std::vector<std::pair<std::string, std::string>>
+                &buffers,
+            const ScanOptions &opts);
 ScanResult
 lintBuffers(const std::vector<std::pair<std::string, std::string>>
                 &buffers);
@@ -39,13 +66,17 @@ lintBuffers(const std::vector<std::pair<std::string, std::string>>
 /**
  * Walk `paths` (files or directories, relative to `root`), lint
  * every C++ source found, and return the findings with paths
- * relative to `root`.
+ * relative to `root`. Under `opts.analyze` the operations doc is
+ * read from `root`/`opts.opsDocPath` (an error if unreadable).
  *
  * Skipped while walking: directories named `.git`, `CMakeFiles`,
  * or starting with `build`, the `toltiers_cache` tree, and the
  * lint fixture corpus (`lint/fixtures`), which exists to be
  * deliberately in violation.
  */
+ScanResult scanPaths(const std::string &root,
+                     const std::vector<std::string> &paths,
+                     const ScanOptions &opts);
 ScanResult scanPaths(const std::string &root,
                      const std::vector<std::string> &paths);
 

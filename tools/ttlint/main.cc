@@ -3,11 +3,20 @@
  * ttlint command-line driver.
  *
  * Usage:
- *   ttlint [--root <dir>] [--list-rules] <path>...
+ *   ttlint [--root <dir>] [--list-rules] [--analyze]
+ *          [--audit-suppressions] [--blocking <name,...>]
+ *          [--ops-doc <path>] <path>...
  *
  * Paths are files or directories, resolved against --root
- * (default: current directory). Exit status: 0 — clean; 1 —
- * findings; 2 — usage or I/O error. Findings print as
+ * (default: current directory). `--analyze` adds the
+ * whole-program analyses (lock-order, blocking-under-lock,
+ * metrics-contract) on top of the per-file rules;
+ * `--audit-suppressions` fails on TTLINT(off:) comments that no
+ * longer suppress anything; `--blocking` appends callee names to
+ * the blocking set; `--ops-doc` overrides the operations doc
+ * checked by metrics-contract (default docs/OPERATIONS.md,
+ * relative to --root). Exit status: 0 — clean; 1 — findings; 2 —
+ * usage or I/O error. Findings print as
  * `path:line:col: [rule] message`, sorted, to stdout.
  */
 
@@ -23,11 +32,31 @@ void
 printUsage()
 {
     std::fputs(
-        "usage: ttlint [--root <dir>] [--list-rules] <path>...\n"
+        "usage: ttlint [--root <dir>] [--list-rules] [--analyze]\n"
+        "              [--audit-suppressions] [--blocking "
+        "<name,...>]\n"
+        "              [--ops-doc <path>] <path>...\n"
         "  Scans C++ sources for tolerance-tiers project\n"
-        "  invariants. Suppress a finding with\n"
+        "  invariants; --analyze adds the whole-program\n"
+        "  lock-order, blocking-under-lock, and metrics-contract\n"
+        "  analyses. Suppress a finding with\n"
         "  // TTLINT(off:<rule>): <reason>\n",
         stderr);
+}
+
+void
+splitCsv(const std::string &csv, std::vector<std::string> &out)
+{
+    std::string cur;
+    for (char c : csv + ",") {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else if (c != ' ') {
+            cur.push_back(c);
+        }
+    }
 }
 
 } // namespace
@@ -38,6 +67,7 @@ main(int argc, char **argv)
     std::string root = ".";
     std::vector<std::string> paths;
     bool listRules = false;
+    ttlint::ScanOptions opts;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -49,6 +79,22 @@ main(int argc, char **argv)
             root = argv[++i];
         } else if (arg == "--list-rules") {
             listRules = true;
+        } else if (arg == "--analyze") {
+            opts.analyze = true;
+        } else if (arg == "--audit-suppressions") {
+            opts.auditSuppressions = true;
+        } else if (arg == "--blocking") {
+            if (i + 1 >= argc) {
+                printUsage();
+                return 2;
+            }
+            splitCsv(argv[++i], opts.extraBlocking);
+        } else if (arg == "--ops-doc") {
+            if (i + 1 >= argc) {
+                printUsage();
+                return 2;
+            }
+            opts.opsDocPath = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             printUsage();
             return 0;
@@ -65,6 +111,8 @@ main(int argc, char **argv)
     if (listRules) {
         for (const ttlint::RuleInfo &r : ttlint::ruleCatalog())
             std::printf("%-26s %s\n", r.name, r.invariant);
+        for (const ttlint::RuleInfo &r : ttlint::analysisCatalog())
+            std::printf("%-26s %s\n", r.name, r.invariant);
         return 0;
     }
     if (paths.empty()) {
@@ -72,7 +120,8 @@ main(int argc, char **argv)
         return 2;
     }
 
-    ttlint::ScanResult result = ttlint::scanPaths(root, paths);
+    ttlint::ScanResult result =
+        ttlint::scanPaths(root, paths, opts);
     for (const std::string &err : result.errors)
         std::fprintf(stderr, "ttlint: error: %s\n", err.c_str());
     for (const ttlint::Finding &f : result.findings)

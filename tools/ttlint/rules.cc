@@ -19,12 +19,13 @@ const std::array<const char *, 7> kCrandFunctions = {
 const std::array<const char *, 4> kWallclockFunctions = {
     "time", "gettimeofday", "clock", "timespec_get"};
 
-const std::array<const char *, 5> kMutexTypes = {
-    "mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
-    "recursive_timed_mutex"};
+const std::array<const char *, 6> kMutexTypes = {
+    "mutex",       "recursive_mutex",       "shared_mutex",
+    "timed_mutex", "recursive_timed_mutex", "Mutex"};
 
-const std::array<const char *, 4> kLockWrapperTypes = {
-    "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+const std::array<const char *, 6> kLockWrapperTypes = {
+    "lock_guard", "unique_lock", "scoped_lock",
+    "shared_lock", "MutexLock",  "UniqueLock"};
 
 const std::array<const char *, 4> kLockMethods = {
     "lock", "unlock", "try_lock", "try_lock_for"};
@@ -32,11 +33,11 @@ const std::array<const char *, 4> kLockMethods = {
 // Identifiers that make a static declaration acceptable without a
 // GUARDED_BY annotation: immutability, atomics, or the declaration
 // being itself a synchronization primitive.
-const std::array<const char *, 10> kSafeStaticMarkers = {
+const std::array<const char *, 11> kSafeStaticMarkers = {
     "const",        "constexpr",   "constinit",
     "atomic",       "atomic_flag", "mutex",
     "shared_mutex", "once_flag",   "condition_variable",
-    "thread_local"};
+    "thread_local", "Mutex"};
 
 // Smart-pointer context that legitimizes a `new` expression within
 // the same statement.
@@ -137,21 +138,24 @@ add(std::vector<Finding> &out, const std::string &rule,
                           std::move(message)});
 }
 
+} // namespace
+
 // ---------------------------------------------------------------
 // Suppressions: `// TTLINT(off:<rule>[,<rule>...]): <reason>`.
 // A valid suppression covers its own line and the next one.
 
-struct Suppressions
+bool
+Suppressions::covers(const std::string &rule, int line)
 {
-    std::map<int, std::set<std::string>> byLine;
-
-    bool
-    covers(const std::string &rule, int line) const
-    {
-        auto it = byLine.find(line);
-        return it != byLine.end() && it->second.count(rule) > 0;
+    bool hit = false;
+    for (Entry &e : entries) {
+        if (e.rule == rule && (line == e.line || line == e.line + 1)) {
+            e.used = true;
+            hit = true;
+        }
     }
-};
+    return hit;
+}
 
 Suppressions
 collectSuppressions(const FileUnit &unit,
@@ -236,13 +240,14 @@ collectSuppressions(const FileUnit &unit,
         }
         if (!allKnown || rules.empty())
             continue;
-        for (const std::string &r : rules) {
-            sup.byLine[t.line].insert(r);
-            sup.byLine[t.line + 1].insert(r);
-        }
+        for (const std::string &r : rules)
+            sup.entries.push_back(
+                Suppressions::Entry{t.line, t.col, r, false});
     }
     return sup;
 }
+
+namespace {
 
 // ---------------------------------------------------------------
 // Determinism rules.
@@ -904,10 +909,39 @@ ruleCatalog()
     return kCatalog;
 }
 
+const std::vector<RuleInfo> &
+analysisCatalog()
+{
+    static const std::vector<RuleInfo> kCatalog = {
+        {"lock-order",
+         "the cross-TU lock-acquisition graph is acyclic; no "
+         "lock-order deadlock is reachable"},
+        {"blocking-under-lock",
+         "no pool/front-door submit, wait, join, drain, or raw "
+         "socket call runs inside an open lock scope"},
+        {"metrics-contract",
+         "src/ and docs/OPERATIONS.md declare the identical tt_* "
+         "series set; conservation equations name real counters"},
+        {"stale-suppression",
+         "every TTLINT(off:) comment still suppresses a real "
+         "finding"},
+    };
+    return kCatalog;
+}
+
 bool
 isKnownRule(const std::string &name)
 {
     for (const RuleInfo &r : ruleCatalog())
+        if (name == r.name)
+            return true;
+    return isAnalysisRule(name);
+}
+
+bool
+isAnalysisRule(const std::string &name)
+{
+    for (const RuleInfo &r : analysisCatalog())
         if (name == r.name)
             return true;
     return false;
@@ -925,11 +959,10 @@ buildIndex(const std::vector<FileUnit> &units)
 }
 
 std::vector<Finding>
-lintFile(const FileUnit &unit, const ProjectIndex &index)
+lintFile(const FileUnit &unit, const ProjectIndex &index,
+         Suppressions &sup)
 {
     std::vector<Finding> raw;
-    Suppressions sup = collectSuppressions(unit, raw);
-
     CodeView code(unit.tokens);
     checkDeterminism(unit, code, raw);
     checkConcurrency(unit, code, index, raw);
@@ -941,8 +974,7 @@ lintFile(const FileUnit &unit, const ProjectIndex &index)
 
     std::vector<Finding> kept;
     for (Finding &f : raw)
-        if (f.rule == "ttlint-suppression" ||
-            !sup.covers(f.rule, f.line))
+        if (!sup.covers(f.rule, f.line))
             kept.push_back(std::move(f));
     std::sort(kept.begin(), kept.end(),
               [](const Finding &a, const Finding &b) {
@@ -953,6 +985,25 @@ lintFile(const FileUnit &unit, const ProjectIndex &index)
                   return a.rule < b.rule;
               });
     return kept;
+}
+
+std::vector<Finding>
+lintFile(const FileUnit &unit, const ProjectIndex &index)
+{
+    std::vector<Finding> out;
+    Suppressions sup = collectSuppressions(unit, out);
+    std::vector<Finding> rules = lintFile(unit, index, sup);
+    out.insert(out.end(), std::make_move_iterator(rules.begin()),
+               std::make_move_iterator(rules.end()));
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  return a.rule < b.rule;
+              });
+    return out;
 }
 
 } // namespace ttlint

@@ -101,11 +101,53 @@ struct RuleInfo
     const char *invariant; ///< one-line statement of what it protects
 };
 
-/** The rule catalog, in reporting order. */
+/** The per-file rule catalog, in reporting order. */
 const std::vector<RuleInfo> &ruleCatalog();
 
-/** True if `name` is a known rule id. */
+/**
+ * The whole-program analyses (`ttlint --analyze`), kept out of
+ * ruleCatalog() because they need cross-TU state a single unit
+ * cannot produce a finding for. `stale-suppression` is the audit
+ * rule itself: a TTLINT(off:) comment that no longer suppresses
+ * anything.
+ */
+const std::vector<RuleInfo> &analysisCatalog();
+
+/** True if `name` is a known rule or analysis id. */
 bool isKnownRule(const std::string &name);
+
+/** True if `name` is an analysis (not per-file) rule id. */
+bool isAnalysisRule(const std::string &name);
+
+/**
+ * Parsed `// TTLINT(off:<rule>): <reason>` comments of one file.
+ * Each entry covers the comment's own line and the next; covers()
+ * marks the entries it matched so the stale-suppression audit can
+ * flag the ones that never fired.
+ */
+struct Suppressions
+{
+    struct Entry
+    {
+        int line = 0; ///< line of the suppression comment
+        int col = 0;
+        std::string rule;
+        bool used = false;
+    };
+    std::vector<Entry> entries;
+
+    /** True if any entry suppresses `rule` at `line`; marks every
+     * matching entry as used. */
+    bool covers(const std::string &rule, int line);
+};
+
+/**
+ * Parse a file's suppression comments. Malformed ones (missing
+ * reason, unknown rule) become `ttlint-suppression` findings and
+ * suppress nothing.
+ */
+Suppressions collectSuppressions(const FileUnit &unit,
+                                 std::vector<Finding> &findings);
 
 /** Build the cross-file index over all units. */
 ProjectIndex buildIndex(const std::vector<FileUnit> &units);
@@ -116,6 +158,16 @@ ProjectIndex buildIndex(const std::vector<FileUnit> &units);
  */
 std::vector<Finding> lintFile(const FileUnit &unit,
                               const ProjectIndex &index);
+
+/**
+ * As above, but against caller-collected suppressions so their
+ * used flags accumulate (the engine audits them afterwards).
+ * Malformed-suppression findings are collectSuppressions()'s —
+ * this overload emits rule findings only.
+ */
+std::vector<Finding> lintFile(const FileUnit &unit,
+                              const ProjectIndex &index,
+                              Suppressions &sup);
 
 } // namespace ttlint
 
