@@ -1,0 +1,559 @@
+/**
+ * @file
+ * ABL-10: multi-tenant isolation at the front door.
+ *
+ * The claim under test: with weighted-fair admission on, one tenant
+ * offering several times its fair share of load cannot move the
+ * other tenants' service or violate their guarantees — the noisy
+ * neighbor only ever queues behind itself.
+ *
+ * Three phases over the same in-process stack (synthetic
+ * CPU-burning version behind a TierFrontDoor):
+ *
+ *  - baseline   fair tenancy on; three tenants, one closed-loop
+ *               client each. The victims' reference numbers.
+ *  - noisy      fair tenancy on; tenant t0 becomes a standing
+ *               flood of self-resubmitting async requests while
+ *               t1/t2 repeat their baseline run unchanged.
+ *  - noisy-fifo the same flood with tenancy off — what the serving
+ *               path did before the governor existed. Without the
+ *               DRR queue the flood's completion-driven resubmits
+ *               land in the workers' own deques ahead of everything
+ *               injected from outside, so victims can starve
+ *               outright; every victim request therefore polls with
+ *               a deadline, and one still in flight at the deadline
+ *               is censored there and counted as starved.
+ *
+ * The asserted metric is queue *displacement* — how many other
+ * requests complete between a victim request's submit and its own
+ * completion (or censoring). It is a count, not a wall time, so it
+ * measures queue position directly and is immune to the timeslice
+ * noise that dominates tail latency on small CI hosts; wall-clock
+ * p50/p99 and starvation counts are recorded alongside.
+ *
+ * Results land in BENCH_tenants.json (override with --json=...).
+ * --assert-isolation=F makes the run exit nonzero unless the fair
+ * noisy phase keeps every victim's mean displacement within F x
+ * its baseline, starves no victim request, and leaves victim
+ * violation counts unchanged; per-tenant conservation (submitted =
+ * rejected + shed + completed) is asserted on every fair phase
+ * unconditionally. --requests scales the run.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stopwatch.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "core/front_door.hh"
+#include "core/tier_service.hh"
+#include "exec/exec.hh"
+#include "harness.hh"
+#include "obs/metrics.hh"
+#include "serving/service_version.hh"
+#include "serving/tenant.hh"
+
+using namespace toltiers;
+
+namespace {
+
+/** Wall deadline after which a victim request counts as starved. */
+constexpr double kStarveDeadlineSeconds = 10e-3;
+
+/** Reliable version that burns a fixed slug of CPU per request, so
+ * queueing at the door is real contention, not modeled latency. */
+class SpinVersion : public serving::ServiceVersion
+{
+  public:
+    explicit SpinVersion(std::size_t spin_iters)
+        : name_("spin"), instance_("cpu-small"),
+          spinIters_(spin_iters)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    const std::string &instanceName() const override
+    {
+        return instance_;
+    }
+    std::size_t workloadSize() const override { return 64; }
+
+    serving::VersionResult
+    process(std::size_t index) const override
+    {
+        volatile double acc = 0.0;
+        for (std::size_t i = 0; i < spinIters_; ++i)
+            acc = acc + static_cast<double>(i % 7) * 1e-9;
+        serving::VersionResult r;
+        r.output = "spin-answer-" + std::to_string(index);
+        r.confidence = 0.9 + acc * 0.0;
+        r.latencySeconds = 30e-6;
+        r.costDollars = 1e-6;
+        r.error = 0.0;
+        return r;
+    }
+
+  private:
+    std::string name_;
+    std::string instance_;
+    std::size_t spinIters_;
+};
+
+core::RoutingRule
+spinRule()
+{
+    core::RoutingRule rule;
+    rule.tolerance = 0.10;
+    rule.cfg.kind = core::PolicyKind::Single;
+    rule.cfg.primary = 0;
+    rule.cfg.secondary = 0;
+    return rule;
+}
+
+/** Nearest-rank percentile of an unsorted sample. */
+double
+percentile(std::vector<double> sample, double p)
+{
+    if (sample.empty())
+        return 0.0;
+    std::sort(sample.begin(), sample.end());
+    auto rank = static_cast<std::size_t>(std::ceil(
+        p / 100.0 * static_cast<double>(sample.size())));
+    rank = std::min(std::max<std::size_t>(rank, 1), sample.size());
+    return sample[rank - 1];
+}
+
+/** One tenant's measured slice of a phase. */
+struct TenantResult
+{
+    std::string tenant;
+    std::size_t attempted = 0;
+    std::size_t completed = 0;
+    std::size_t starved = 0; //!< Censored at the poll deadline.
+    std::uint64_t violations = 0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    /** Completions by OTHER requests while one of this tenant's
+     * requests was in flight (mean / p99 over its requests) — the
+     * host-independent queue-displacement metric the isolation
+     * assertion uses. */
+    double meanDisplacement = 0.0;
+    double p99Displacement = 0.0;
+};
+
+/** One phase's outcome, keyed by tenant id. */
+struct PhaseResult
+{
+    std::string name;
+    bool fair = false;
+    std::map<std::string, TenantResult> tenants;
+};
+
+serving::ServiceRequest
+tenantRequest(const std::string &tenant, std::size_t payload)
+{
+    serving::ServiceRequest req;
+    req.payload = payload % 64;
+    req.tier.tolerance = 0.10;
+    req.tenant = tenant;
+    return req;
+}
+
+/** Per-client tally folded into the phase result after the joins. */
+struct ClientTally
+{
+    std::size_t attempted = 0;
+    std::size_t completed = 0;
+    std::size_t starved = 0;
+    std::vector<double> latencies;
+    std::vector<double> displacements;
+};
+
+/**
+ * Issue one closed-loop request and poll it home. A request still
+ * in flight at the starvation deadline is censored there: its
+ * latency records the deadline, its displacement the completions
+ * that cut ahead of it up to that point, and it counts as starved
+ * rather than completed (the abandoned response drains with the
+ * door). `tally` is null for warmup requests.
+ */
+void
+issueOne(core::TierFrontDoor &door, const std::string &tenant,
+         std::size_t index, ClientTally *tally)
+{
+    if (tally != nullptr)
+        ++tally->attempted;
+    common::Stopwatch rtt;
+    std::uint64_t before = door.stats().completed;
+    auto ticket = door.submit(tenantRequest(tenant, index));
+    if (ticket == core::TierFrontDoor::kRejected)
+        return;
+    core::TierResponse out;
+    bool got = false;
+    for (;;) {
+        if (door.poll(ticket, out)) {
+            got = true;
+            break;
+        }
+        if (rtt.seconds() >= kStarveDeadlineSeconds)
+            break;
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+    if (tally == nullptr)
+        return;
+    double displacement =
+        static_cast<double>(door.stats().completed - before);
+    tally->latencies.push_back(rtt.seconds());
+    tally->displacements.push_back(
+        std::max(displacement - 1.0, 0.0));
+    if (got)
+        ++tally->completed;
+    else
+        ++tally->starved;
+}
+
+/**
+ * Run one phase: victims t1/t2 each issue `victim_requests`
+ * closed-loop requests; t0 either does the same (quiet) or keeps a
+ * standing flood of kFloodOutstanding self-resubmitting async
+ * requests in flight until the victims finish.
+ */
+PhaseResult
+runPhase(const std::string &name, bool fair, bool noisy,
+         std::size_t victim_requests, std::size_t spin_iters)
+{
+    SpinVersion spin(spin_iters);
+    core::TierService svc({&spin});
+    svc.setRules(serving::Objective::ResponseTime, {spinRule()});
+
+    serving::TenantPolicy policy; // Equal weights, unlimited rate.
+    exec::ThreadPool pool(2);
+    core::FrontDoorConfig cfg;
+    cfg.pool = &pool;
+    cfg.queueCapacity = 4096;
+    cfg.metrics = &obs::Registry::global();
+    if (fair)
+        cfg.tenantPolicy = &policy;
+    core::TierFrontDoor door(svc, cfg);
+
+    PhaseResult result;
+    result.name = name;
+    result.fair = fair;
+
+    std::atomic<bool> stop{false};
+    constexpr std::size_t kFloodOutstanding = 256;
+    constexpr std::size_t kWarmup = 64;
+    std::vector<ClientTally> tallies(3);
+    std::vector<std::thread> clients;
+
+    // Victims: one closed-loop client each, byte-identical across
+    // phases — only t0's behaviour changes. Untallied warmup keeps
+    // thread start-up and first-touch costs out of the percentiles.
+    for (std::size_t v = 0; v < 2; ++v) {
+        clients.emplace_back([&, v] {
+            std::string tenant = "t" + std::to_string(v + 1);
+            for (std::size_t i = 0; i < kWarmup; ++i)
+                issueOne(door, tenant, i, nullptr);
+            for (std::size_t i = 0; i < victim_requests; ++i)
+                issueOne(door, tenant, i, &tallies[v]);
+        });
+    }
+
+    // Tenant t0, quiet: the same closed loop. Noisy: a standing
+    // backlog of kFloodOutstanding async requests — each completion
+    // immediately resubmits, so the flood's offered load tracks
+    // service capacity times the outstanding depth regardless of
+    // how client threads are scheduled (the point on a small CI
+    // host: no flood *thread* needs the CPU to keep the queue
+    // full).
+    struct FloodDriver
+    {
+        core::TierFrontDoor &door;
+        std::atomic<bool> &stop;
+        std::atomic<std::size_t> attempted{0};
+        std::atomic<std::size_t> completed{0};
+        std::atomic<std::size_t> seq{0};
+
+        void
+        launch()
+        {
+            attempted.fetch_add(1, std::memory_order_relaxed);
+            bool admitted = door.submitAsync(
+                tenantRequest(
+                    "t0",
+                    seq.fetch_add(1, std::memory_order_relaxed)),
+                [this](const core::TierResponse &) {
+                    completed.fetch_add(1,
+                                        std::memory_order_relaxed);
+                    // The resubmit happens before this request's
+                    // capacity slot frees, so drain() can never
+                    // slip between the links of the chain.
+                    if (!stop.load(std::memory_order_relaxed))
+                        launch();
+                });
+            (void)admitted; // A shed link simply ends its chain.
+        }
+    };
+    FloodDriver flood{door, stop};
+
+    if (!noisy) {
+        clients.emplace_back([&] {
+            for (std::size_t i = 0; i < kWarmup; ++i)
+                issueOne(door, "t0", i, nullptr);
+            for (std::size_t i = 0; i < victim_requests; ++i)
+                issueOne(door, "t0", i, &tallies[2]);
+        });
+    } else {
+        for (std::size_t i = 0; i < kFloodOutstanding; ++i)
+            flood.launch();
+    }
+
+    for (std::thread &client : clients)
+        client.join();
+    stop.store(true);
+    door.drain();
+    if (noisy) {
+        tallies[2].attempted = flood.attempted.load();
+        tallies[2].completed = flood.completed.load();
+    }
+
+    // Fold client tallies per tenant; percentiles re-rank the
+    // union of a tenant's clients.
+    std::map<std::string, std::vector<double>> latencies;
+    std::map<std::string, std::vector<double>> displacements;
+    auto tally_into = [&](const std::string &tenant,
+                          ClientTally &t) {
+        TenantResult &r = result.tenants[tenant];
+        r.tenant = tenant;
+        r.attempted += t.attempted;
+        r.completed += t.completed;
+        r.starved += t.starved;
+        auto &lat = latencies[tenant];
+        lat.insert(lat.end(), t.latencies.begin(),
+                   t.latencies.end());
+        auto &disp = displacements[tenant];
+        disp.insert(disp.end(), t.displacements.begin(),
+                    t.displacements.end());
+    };
+    tally_into("t1", tallies[0]);
+    tally_into("t2", tallies[1]);
+    tally_into("t0", tallies[2]);
+    for (auto &[tenant, lat] : latencies) {
+        result.tenants[tenant].p50 = percentile(lat, 50.0);
+        result.tenants[tenant].p99 = percentile(lat, 99.0);
+    }
+    for (auto &[tenant, disp] : displacements) {
+        double sum = 0.0;
+        for (double d : disp)
+            sum += d;
+        result.tenants[tenant].meanDisplacement =
+            disp.empty() ? 0.0
+                         : sum / static_cast<double>(disp.size());
+        result.tenants[tenant].p99Displacement =
+            percentile(disp, 99.0);
+    }
+
+    // Fair phases: fold in the door's authoritative per-tenant
+    // accounting and assert conservation on every row.
+    if (fair) {
+        for (const auto &row : door.tenantStats()) {
+            if (row.submitted !=
+                row.rejected + row.shed + row.completed) {
+                std::fprintf(stderr,
+                             "FAIL: tenant %s conservation broke: "
+                             "%llu != %llu + %llu + %llu\n",
+                             row.tenant.c_str(),
+                             static_cast<unsigned long long>(
+                                 row.submitted),
+                             static_cast<unsigned long long>(
+                                 row.rejected),
+                             static_cast<unsigned long long>(
+                                 row.shed),
+                             static_cast<unsigned long long>(
+                                 row.completed));
+                std::exit(1);
+            }
+            auto it = result.tenants.find(row.tenant);
+            if (it != result.tenants.end())
+                it->second.violations = row.violations;
+        }
+    }
+    return result;
+}
+
+void
+printPhase(const PhaseResult &phase)
+{
+    common::Table table(common::strprintf(
+        "phase %s (%s)", phase.name.c_str(),
+        phase.fair ? "fair tenancy" : "shared FIFO"));
+    table.setHeader({"tenant", "attempted", "completed", "starved",
+                     "violations", "p50", "p99", "mean disp",
+                     "p99 disp"});
+    for (const auto &[tenant, r] : phase.tenants) {
+        table.addRow(
+            {tenant, std::to_string(r.attempted),
+             std::to_string(r.completed),
+             std::to_string(r.starved),
+             std::to_string(r.violations),
+             common::formatFixed(r.p50 * 1e6, 0) + "us",
+             common::formatFixed(r.p99 * 1e6, 0) + "us",
+             common::formatFixed(r.meanDisplacement, 1),
+             common::formatFixed(r.p99Displacement, 0)});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ObsSession obs_session(
+        argc, argv, {"json", "requests", "assert-isolation"});
+    bench::banner(
+        "ABL-10: multi-tenant isolation",
+        "weighted-fair admission vs. a flooding neighbor");
+
+    const auto requests = static_cast<std::size_t>(
+        obs_session.args().getInt("requests", 400));
+    const std::string json_path =
+        obs_session.args().getString("json", "BENCH_tenants.json");
+    const double assert_factor =
+        obs_session.args().getDouble("assert-isolation", 0.0);
+    constexpr std::size_t kSpinIters = 12000;
+
+    PhaseResult baseline =
+        runPhase("baseline", true, false, requests, kSpinIters);
+    PhaseResult noisy =
+        runPhase("noisy", true, true, requests, kSpinIters);
+    PhaseResult fifo =
+        runPhase("noisy-fifo", false, true, requests, kSpinIters);
+    printPhase(baseline);
+    printPhase(noisy);
+    printPhase(fifo);
+
+    // Isolation factor on the count-based displacement metric:
+    // how many other requests cut ahead of a victim's, fair noisy
+    // vs. quiet baseline (the denominator floors at one completion
+    // so an idle baseline cannot inflate the ratio). Wall-clock
+    // percentiles are recorded alongside but carry timeslice noise
+    // on small hosts, so the assertion rides on counts.
+    double factor = 0.0;
+    double fifo_factor = 0.0;
+    bool violations_unchanged = true;
+    std::size_t fair_starved = 0;
+    std::size_t fifo_starved = 0;
+    for (const std::string victim : {"t1", "t2"}) {
+        double base = std::max(
+            baseline.tenants[victim].meanDisplacement, 1.0);
+        factor = std::max(
+            factor,
+            noisy.tenants[victim].meanDisplacement / base);
+        fifo_factor = std::max(
+            fifo_factor,
+            fifo.tenants[victim].meanDisplacement / base);
+        fair_starved += baseline.tenants[victim].starved +
+                        noisy.tenants[victim].starved;
+        fifo_starved += fifo.tenants[victim].starved;
+        violations_unchanged =
+            violations_unchanged &&
+            noisy.tenants[victim].violations ==
+                baseline.tenants[victim].violations;
+    }
+
+    std::ofstream json_out(json_path);
+    common::JsonWriter json(json_out);
+    json.beginObject();
+    json.member("bench", "tenant_isolation");
+    json.member("victimRequests", static_cast<double>(requests));
+    json.member("starveDeadlineSeconds", kStarveDeadlineSeconds);
+    json.beginArray("phases");
+    for (const PhaseResult *phase :
+         {&baseline, &noisy, &fifo}) {
+        json.beginObject();
+        json.member("name", phase->name);
+        json.member("fair", phase->fair);
+        json.beginArray("tenants");
+        for (const auto &[tenant, r] : phase->tenants) {
+            json.beginObject();
+            json.member("tenant", tenant);
+            json.member("attempted",
+                        static_cast<double>(r.attempted));
+            json.member("completed",
+                        static_cast<double>(r.completed));
+            json.member("starved",
+                        static_cast<double>(r.starved));
+            json.member("violations",
+                        static_cast<double>(r.violations));
+            json.member("p50Seconds", r.p50);
+            json.member("p99Seconds", r.p99);
+            json.member("meanDisplacement", r.meanDisplacement);
+            json.member("p99Displacement", r.p99Displacement);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.beginObject("isolation");
+    json.member("victimDisplacementFactor", factor);
+    json.member("victimDisplacementFactorFifo", fifo_factor);
+    json.member("victimStarvedFair",
+                static_cast<double>(fair_starved));
+    json.member("victimStarvedFifo",
+                static_cast<double>(fifo_starved));
+    json.member("victimViolationsUnchanged", violations_unchanged);
+    json.endObject();
+    json.endObject();
+    json_out << '\n';
+    std::printf("\ntenant ablation written to %s\n",
+                json_path.c_str());
+
+    std::printf(
+        "reading: with fair tenancy the flood moves the victims' "
+        "queue displacement by\n%.2fx and starves %zu victim "
+        "requests; the shared FIFO moves it %.2fx and\nstarves "
+        "%zu.\n",
+        factor, fair_starved, fifo_factor, fifo_starved);
+    if (assert_factor > 0.0) {
+        if (factor > assert_factor) {
+            std::fprintf(stderr,
+                         "FAIL: victim displacement inflated "
+                         "%.2fx under the fair flood (bound: "
+                         "%.2fx)\n",
+                         factor, assert_factor);
+            return 1;
+        }
+        if (fair_starved != 0) {
+            std::fprintf(stderr,
+                         "FAIL: %zu victim requests starved under "
+                         "fair tenancy\n",
+                         fair_starved);
+            return 1;
+        }
+        if (!violations_unchanged) {
+            std::fprintf(stderr,
+                         "FAIL: the flood changed a victim's "
+                         "violation count\n");
+            return 1;
+        }
+        std::printf("isolation bound held (%.2fx <= %.2fx, no "
+                    "victim starved, victim violations "
+                    "unchanged).\n",
+                    factor, assert_factor);
+    }
+    return 0;
+}

@@ -1,6 +1,8 @@
 #include "core/front_door.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
@@ -32,6 +34,14 @@ TierFrontDoor::TierFrontDoor(const TierService &service,
       tracer_(cfg.tracer)
 {
     TT_ASSERT(capacity_ > 0, "front door needs a positive capacity");
+    if (cfg.tenantPolicy != nullptr) {
+        governor_ = std::make_unique<serving::TenantGovernor>(
+            *cfg.tenantPolicy, metrics_);
+        window_ = cfg.dispatchWindow != 0
+                      ? cfg.dispatchWindow
+                      : std::max<std::size_t>(
+                            2 * pool_.threadCount(), 2);
+    }
     if (metrics_ != nullptr) {
         // Pre-register the series so an idle door exports zeros.
         metrics_->histogram(
@@ -56,16 +66,43 @@ TierFrontDoor::TierFrontDoor(const TierService &service,
 TierFrontDoor::~TierFrontDoor()
 {
     drain();
+    // drain() returns when every request has COMPLETED, but a
+    // pump-dispatched pool task still runs `dispatched_--; pump()`
+    // after its request's finishOne() — code that reads this
+    // object (and the governor it owns). Destroying the door while
+    // such a task is in flight is a use-after-free that parks the
+    // worker on a dead mutex, so wait for the last one to let go.
+    while (pumpBusy_.load(std::memory_order_acquire) != 0) {
+        if (!pool_.runOneTask())
+            std::this_thread::yield();
+    }
 }
 
 bool
-TierFrontDoor::claimCapacity()
+TierFrontDoor::claimCapacity(const serving::ServiceRequest &request)
 {
     submitted_.inc();
     if (metrics_ != nullptr) {
         frontDoorCounter(*metrics_, "tt_frontdoor_submitted_total",
                          "")
             .inc();
+    }
+
+    // Tenant quota first: an over-quota request is rejected before
+    // it can contend for the shared capacity gate, so one tenant's
+    // burst cannot consume another's slots. The governor counts the
+    // tenant's submission (and rejection) itself; globally a quota
+    // reject is a reject, keeping submitted = rejected + completed
+    // exact.
+    if (governor_ != nullptr &&
+        !governor_->admit(request.tenant, clock_.seconds())) {
+        rejected_.inc();
+        if (metrics_ != nullptr) {
+            frontDoorCounter(*metrics_,
+                             "tt_frontdoor_rejected_total", "")
+                .inc();
+        }
+        return false;
     }
 
     // Bounded admission: claim a queue slot or shed. The claim is
@@ -76,6 +113,8 @@ TierFrontDoor::claimCapacity()
     if (claimed > capacity_) {
         inFlight_.fetch_sub(1, std::memory_order_acq_rel);
         rejected_.inc();
+        if (governor_ != nullptr)
+            governor_->countShed(request.tenant);
         if (metrics_ != nullptr) {
             frontDoorCounter(*metrics_,
                              "tt_frontdoor_rejected_total", "")
@@ -86,10 +125,73 @@ TierFrontDoor::claimCapacity()
     return true;
 }
 
-TierFrontDoor::Ticket
-TierFrontDoor::admit(std::shared_ptr<Slot> &slot_out)
+void
+TierFrontDoor::dispatchOrQueue(const std::string &tenant,
+                               std::size_t cost,
+                               std::function<void()> work,
+                               bool inline_when_workerless)
 {
-    if (!claimCapacity())
+    if (governor_ != nullptr) {
+        governor_->enqueue(tenant, cost, std::move(work));
+        pump();
+        return;
+    }
+    if (inline_when_workerless && pool_.threadCount() == 0) {
+        work();
+        return;
+    }
+    pool_.submit(std::move(work));
+}
+
+void
+TierFrontDoor::pump()
+{
+    for (;;) {
+        // Claim a window slot; the window bounds how much fair-queue
+        // order the pool's own scheduling can scramble.
+        std::size_t cur =
+            dispatched_.load(std::memory_order_acquire);
+        if (cur >= window_)
+            return;
+        if (!dispatched_.compare_exchange_weak(
+                cur, cur + 1, std::memory_order_acq_rel))
+            continue;
+
+        std::function<void()> work = governor_->dequeue();
+        if (!work) {
+            dispatched_.fetch_sub(1, std::memory_order_acq_rel);
+            // Re-check: an enqueue may have landed between our
+            // empty dequeue and the slot release, and that enqueuer
+            // may have seen a full window. Loop again so its item
+            // is never stranded.
+            if (governor_->queuedCount() == 0)
+                return;
+            continue;
+        }
+        if (pool_.threadCount() == 0) {
+            // Worker-less pool: run inline (the push-style serving
+            // semantics; see submitAsync) and keep draining.
+            work();
+            dispatched_.fetch_sub(1, std::memory_order_acq_rel);
+            continue;
+        }
+        pumpBusy_.fetch_add(1, std::memory_order_acq_rel);
+        pool_.submit([this, work = std::move(work)] {
+            work();
+            dispatched_.fetch_sub(1, std::memory_order_acq_rel);
+            pump();
+            // Last touch of `this`: after this decrement the
+            // destructor is free to proceed (see ~TierFrontDoor).
+            pumpBusy_.fetch_sub(1, std::memory_order_acq_rel);
+        });
+    }
+}
+
+TierFrontDoor::Ticket
+TierFrontDoor::admit(const serving::ServiceRequest &request,
+                     std::shared_ptr<Slot> &slot_out)
+{
+    if (!claimCapacity(request))
         return kRejected;
 
     slot_out = std::make_shared<Slot>();
@@ -103,7 +205,7 @@ TierFrontDoor::Ticket
 TierFrontDoor::submit(serving::ServiceRequest request)
 {
     std::shared_ptr<Slot> slot;
-    Ticket ticket = admit(slot);
+    Ticket ticket = admit(request, slot);
     if (ticket == kRejected)
         return kRejected;
 
@@ -113,11 +215,16 @@ TierFrontDoor::submit(serving::ServiceRequest request)
     std::shared_ptr<obs::Trace> trace;
     if (tracer_ != nullptr && tracer_->shouldSample())
         trace = std::make_shared<obs::Trace>(tracer_->startTrace());
-    pool_.submit([this, slot, request = std::move(request), trace,
-                  queued = common::Stopwatch()]() mutable {
-        complete(slot,
-                 serveAdmitted(request, trace, queued.seconds()));
-    });
+    std::string tenant = request.tenant;
+    dispatchOrQueue(
+        tenant, 1,
+        [this, slot, request = std::move(request), trace,
+         queued = common::Stopwatch()]() mutable {
+            complete(slot,
+                     serveAdmitted(request, trace, queued.seconds()),
+                     request.tenant);
+        },
+        /*inline_when_workerless=*/false);
     return ticket;
 }
 
@@ -127,18 +234,19 @@ TierFrontDoor::submitAsync(serving::ServiceRequest request,
 {
     TT_ASSERT(done != nullptr,
               "submitAsync needs a completion hook");
-    if (!claimCapacity())
+    if (!claimCapacity(request))
         return false;
 
     std::shared_ptr<obs::Trace> trace;
     if (tracer_ != nullptr && tracer_->shouldSample())
         trace = std::make_shared<obs::Trace>(tracer_->startTrace());
+    std::string tenant = request.tenant;
     auto serve = [this, request = std::move(request),
                   done = std::move(done), trace,
                   queued = common::Stopwatch()]() mutable {
         TierResponse response =
             serveAdmitted(request, trace, queued.seconds());
-        account(response);
+        account(response, request.tenant);
         // The hook is this request's collector: it receives the
         // produced-and-accounted response exactly once, before the
         // capacity slot frees (so drain() still covers delivery).
@@ -149,12 +257,11 @@ TierFrontDoor::submitAsync(serving::ServiceRequest request,
     // A worker-less pool (exec::ThreadPool(0/1)) only runs tasks
     // when someone waits on them — and the push-style caller never
     // waits, so its requests would park forever. Serve inline on
-    // the submitter's thread instead: that is exactly the pool's
+    // the submitter's thread instead (dispatchOrQueue does the
+    // same for fair-queued work): that is exactly the pool's
     // serial semantics, just without requiring a helper.
-    if (pool_.threadCount() == 0)
-        serve();
-    else
-        pool_.submit(std::move(serve));
+    dispatchOrQueue(tenant, 1, std::move(serve),
+                    /*inline_when_workerless=*/true);
     return true;
 }
 
@@ -179,7 +286,7 @@ TierFrontDoor::submitBatch(std::vector<serving::ServiceRequest> batch,
     units->reserve(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
         std::shared_ptr<Slot> slot;
-        Ticket t = admit(slot);
+        Ticket t = admit(batch[i], slot);
         tickets[i] = t;
         if (t == kRejected)
             continue;
@@ -206,15 +313,26 @@ TierFrontDoor::submitBatch(std::vector<serving::ServiceRequest> batch,
                          "")
             .inc();
     }
-    pool_.submit([this, units, done = std::move(done)] {
-        common::Stopwatch watch;
-        for (Unit &u : *units) {
-            complete(u.slot, serveAdmitted(u.request, u.trace,
-                                           u.queued.seconds()));
-        }
-        if (done)
-            done(units->size(), watch.seconds());
-    });
+    // The batch runs as one fair-queue item costed at its size,
+    // charged to the first admitted unit's tenant. The adaptive
+    // batcher groups by tenant (serving/batcher.hh), so a batch is
+    // single-tenant by construction; hand-built mixed batches are
+    // charged to their first request.
+    std::string tenant = units->front().request.tenant;
+    dispatchOrQueue(
+        tenant, units->size(),
+        [this, units, done = std::move(done)] {
+            common::Stopwatch watch;
+            for (Unit &u : *units) {
+                complete(u.slot,
+                         serveAdmitted(u.request, u.trace,
+                                       u.queued.seconds()),
+                         u.request.tenant);
+            }
+            if (done)
+                done(units->size(), watch.seconds());
+        },
+        /*inline_when_workerless=*/false);
     return tickets;
 }
 
@@ -270,12 +388,15 @@ TierFrontDoor::serveAdmitted(const serving::ServiceRequest &request,
 }
 
 void
-TierFrontDoor::account(const TierResponse &response)
+TierFrontDoor::account(const TierResponse &response,
+                       const std::string &tenant)
 {
     // Account the outcome when the response is *produced*: a
     // violation is recorded even if no caller ever collects the
     // ticket.
     completed_.inc();
+    if (governor_ != nullptr)
+        governor_->countCompleted(tenant, response.violated());
     switch (response.status) {
       case ServeStatus::Ok:
         ok_.inc();
@@ -311,9 +432,10 @@ TierFrontDoor::finishOne()
 
 void
 TierFrontDoor::complete(const std::shared_ptr<Slot> &slot,
-                        TierResponse response)
+                        TierResponse response,
+                        const std::string &tenant)
 {
-    account(response);
+    account(response, tenant);
 
     {
         std::lock_guard<std::mutex> lock(slot->mu);
@@ -435,6 +557,14 @@ TierFrontDoor::stats() const
     s.collected = count(collected_);
     s.batches = count(batches_);
     return s;
+}
+
+std::vector<serving::TenantStats>
+TierFrontDoor::tenantStats() const
+{
+    if (governor_ == nullptr)
+        return {};
+    return governor_->stats();
 }
 
 } // namespace toltiers::core

@@ -26,6 +26,18 @@
  * cache-line-padded atomics, so eight clients hammering the door
  * do not serialize on one counter line.
  *
+ * With a TenantPolicy attached the door is also the multi-tenant
+ * enforcement point (serving/tenant.hh): each request is first
+ * charged against its tenant's token bucket (over-quota requests
+ * are rejected before the shared gate), then claims a capacity
+ * slot, then queues in the governor's deficit-round-robin queue —
+ * a bounded dispatch window drains that queue onto the pool in
+ * weight proportion, so a flooding tenant only ever waits behind
+ * itself. Per-tenant accounting stays exact alongside the global
+ * identity: submitted = rejected + shed + completed per tenant,
+ * mirrored as tt_tenant_* labelled series. Without a policy the
+ * door behaves exactly as before.
+ *
  * The door is also the trace originator: with a Tracer attached,
  * each sampled request gets one trace whose root `request` span is
  * started here, an `admission` span covering the measured wall time
@@ -46,6 +58,7 @@
 #ifndef TOLTIERS_CORE_FRONT_DOOR_HH
 #define TOLTIERS_CORE_FRONT_DOOR_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -59,6 +72,7 @@
 #include "exec/pool.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "serving/tenant.hh"
 
 namespace toltiers::core {
 
@@ -75,6 +89,16 @@ struct FrontDoorConfig
     /** Optional tracer: the door originates one trace per sampled
      * request and propagates its context into the tier chain. */
     obs::Tracer *tracer = nullptr;
+    /** Optional tenant table: when set, the door enforces
+     * weighted-fair multi-tenant admission (see the file comment).
+     * The policy is copied; nullptr keeps the single-tenant path
+     * byte-identical to previous behavior. */
+    const serving::TenantPolicy *tenantPolicy = nullptr;
+    /** Max fair-queue items dispatched onto the pool at once when a
+     * tenant policy is active (the DRR dispatch window); 0 picks
+     * max(2 x pool threads, 2). A small window keeps dequeue order
+     * — and therefore weighted fairness — tight under overload. */
+    std::size_t dispatchWindow = 0;
 };
 
 /** Point-in-time front-door accounting (sums are exact once the
@@ -188,6 +212,15 @@ class TierFrontDoor
     /** The bounded-admission capacity this door sheds beyond. */
     std::size_t queueCapacity() const { return capacity_; }
 
+    /** True when a tenant policy is enforced at this door. */
+    bool fairTenancy() const { return governor_ != nullptr; }
+
+    /** Per-tenant accounting rows (sorted by label; empty without a
+     * tenant policy). Each row satisfies the conservation identity
+     * `submitted = rejected + shed + completed` once traffic
+     * quiesces. */
+    std::vector<serving::TenantStats> tenantStats() const;
+
   private:
     struct Slot
     {
@@ -197,12 +230,26 @@ class TierFrontDoor
         TierResponse response;
     };
 
-    /** Count one submission and claim a capacity slot; false means
-     * the request was shed (and counted rejected). */
-    bool claimCapacity();
+    /** Count one submission, charge the tenant's quota (when a
+     * policy is active), and claim a capacity slot; false means the
+     * request was rejected or shed (and counted so, globally and
+     * per tenant). */
+    bool claimCapacity(const serving::ServiceRequest &request);
     /** Count + admit one request: claims a capacity slot and
      * registers a ticket, or returns kRejected (shed). */
-    Ticket admit(std::shared_ptr<Slot> &slot_out);
+    Ticket admit(const serving::ServiceRequest &request,
+                 std::shared_ptr<Slot> &slot_out);
+    /** Hand one serve task to the pool — directly, or through the
+     * tenant governor's fair queue when a policy is active. With a
+     * worker-less pool, `inline_when_workerless` runs the task on
+     * the calling thread (submitAsync semantics); fair-queued work
+     * always runs inline on a worker-less pool. */
+    void dispatchOrQueue(const std::string &tenant, std::size_t cost,
+                         std::function<void()> work,
+                         bool inline_when_workerless);
+    /** Drain the fair queue onto the pool up to the dispatch
+     * window; each dispatched item re-pumps on completion. */
+    void pump();
     /** Serve one admitted request on a pool thread: record the
      * measured queue wait (admission stage), then run the tier
      * chain — under `trace`'s root span when the request was
@@ -213,16 +260,31 @@ class TierFrontDoor
                   double queue_wait) const;
     std::shared_ptr<Slot> findSlot(Ticket ticket) const;
     std::shared_ptr<Slot> takeSlot(Ticket ticket);
-    /** Outcome accounting at production time (see file comment). */
-    void account(const TierResponse &response);
+    /** Outcome accounting at production time (see file comment);
+     * `tenant` attributes the completion when a policy is active. */
+    void account(const TierResponse &response,
+                 const std::string &tenant);
     /** Release the request's capacity slot and wake drain(). */
     void finishOne();
     void complete(const std::shared_ptr<Slot> &slot,
-                  TierResponse response);
+                  TierResponse response, const std::string &tenant);
 
     const TierService &service_;
     exec::ThreadPool &pool_;
     std::size_t capacity_;
+
+    /** Weighted-fair admission (null without a tenant policy). */
+    std::unique_ptr<serving::TenantGovernor> governor_;
+    std::size_t window_ = 2; //!< DRR dispatch window.
+    std::atomic<std::size_t> dispatched_{0}; //!< Window occupancy.
+    /** Pump-dispatched pool tasks still holding `this`. A task's
+     * request finishes (finishOne) before its trailing
+     * `dispatched_--; pump()` runs, so drain() returning does NOT
+     * mean pump code stopped touching the door — the destructor
+     * must also wait for this to hit zero before the governor (and
+     * the rest of the door) can be torn down. */
+    std::atomic<std::size_t> pumpBusy_{0};
+    common::Stopwatch clock_; //!< Token-bucket refill clock.
 
     mutable std::mutex mapMu_;
     std::unordered_map<Ticket, std::shared_ptr<Slot>> slots_;

@@ -1,8 +1,13 @@
 #include "core/provisioner.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace toltiers::core {
 
@@ -45,6 +50,248 @@ provisionTierService(
         out.service->setRules(objective, std::move(rules));
     }
     return out;
+}
+
+std::string
+decisionLine(const ScaleDecision &decision)
+{
+    return common::strprintf(
+        "tick=%llu pool=%s action=%s servers=%zu->%zu reason=%s",
+        static_cast<unsigned long long>(decision.tick),
+        decision.pool.c_str(), decision.up ? "up" : "down",
+        decision.fromServers, decision.toServers,
+        decision.reason.c_str());
+}
+
+Provisioner::Provisioner(ProvisionerConfig cfg) : cfg_(std::move(cfg))
+{
+    TT_ASSERT(cfg_.minServers >= 1, "minServers must be >= 1");
+    TT_ASSERT(cfg_.maxServers >= cfg_.minServers,
+              "maxServers below minServers");
+    TT_ASSERT(cfg_.scaleUpFactor > 1.0,
+              "scaleUpFactor must exceed 1");
+    if (cfg_.metrics != nullptr) {
+        // Pre-register so an idle controller exports zeros.
+        cfg_.metrics->counter("tt_provisioner_ticks_total", {},
+                              "Control-loop ticks observed");
+        cfg_.metrics->counter(
+            "tt_provisioner_scale_ups_total", {},
+            "Scale-up decisions taken across all pools");
+        cfg_.metrics->counter(
+            "tt_provisioner_scale_downs_total", {},
+            "Scale-down decisions taken across all pools");
+        cfg_.metrics->counter(
+            "tt_provisioner_cost_dollars_total", {},
+            "Cost accrued by provisioned capacity");
+    }
+}
+
+Provisioner::PoolState &
+Provisioner::state(const std::string &pool)
+{
+    auto it = pools_.find(pool);
+    if (it != pools_.end())
+        return it->second;
+    PoolState fresh;
+    fresh.servers = cfg_.minServers;
+    return pools_.emplace(pool, fresh).first->second;
+}
+
+void
+Provisioner::setServers(const std::string &pool, std::size_t servers)
+{
+    PoolState &ps = state(pool);
+    ps.servers =
+        std::clamp(servers, cfg_.minServers, cfg_.maxServers);
+    ps.hotStreak = 0;
+    ps.calmStreak = 0;
+    ps.cooldown = 0;
+    if (cfg_.metrics != nullptr) {
+        cfg_.metrics
+            ->gauge("tt_provisioner_pool_servers", {{"pool", pool}},
+                    "Servers currently provisioned in the pool")
+            .set(static_cast<double>(ps.servers));
+    }
+}
+
+std::size_t
+Provisioner::servers(const std::string &pool) const
+{
+    auto it = pools_.find(pool);
+    return it != pools_.end() ? it->second.servers
+                              : cfg_.minServers;
+}
+
+void
+Provisioner::report(const ScaleDecision &decision)
+{
+    if (cfg_.metrics != nullptr) {
+        cfg_.metrics
+            ->counter(decision.up
+                          ? "tt_provisioner_scale_ups_total"
+                          : "tt_provisioner_scale_downs_total",
+                      {}, "")
+            .inc();
+        cfg_.metrics
+            ->gauge("tt_provisioner_pool_servers",
+                    {{"pool", decision.pool}},
+                    "Servers currently provisioned in the pool")
+            .set(static_cast<double>(decision.toServers));
+    }
+    if (cfg_.tracer != nullptr && cfg_.tracer->shouldSample()) {
+        // One trace event per decision: a zero-duration `provision`
+        // root span carrying the decision line's fields.
+        obs::Trace trace = cfg_.tracer->startTrace();
+        std::uint64_t root = trace.addSpan("provision", 0.0, 0.0);
+        trace.annotate(root, "pool", decision.pool);
+        trace.annotate(root, "action",
+                       decision.up ? "up" : "down");
+        trace.annotate(root, "reason", decision.reason);
+        trace.annotate(root, "decision", decisionLine(decision));
+        cfg_.tracer->finish(std::move(trace));
+    }
+}
+
+std::vector<ScaleDecision>
+Provisioner::tick(const std::vector<PoolSignal> &signals)
+{
+    ++tick_;
+    std::vector<ScaleDecision> taken;
+
+    for (const PoolSignal &sig : signals) {
+        PoolState &ps = state(sig.pool);
+
+        // A tick is hot when both SLO windows agree the pool burns
+        // budget, when a guarantee is flagged broken outright, or
+        // when the front-door queue wait crosses the configured
+        // p99 bar.
+        double both =
+            std::min(sig.fastBurnRate, sig.slowBurnRate);
+        const char *reason = nullptr;
+        if (both >= cfg_.burnScaleUpThreshold)
+            reason = "burn";
+        if (sig.guaranteeViolated)
+            reason = "guarantee";
+        if (cfg_.queueWaitScaleUpSeconds > 0.0 &&
+            sig.queueWaitP99 >= cfg_.queueWaitScaleUpSeconds)
+            reason = "queue-wait";
+
+        if (ps.cooldown > 0) {
+            // Holding steady after a decision; streaks still reset
+            // on contrary evidence so stale pressure never fires.
+            --ps.cooldown;
+            if (reason != nullptr)
+                ps.calmStreak = 0;
+            else
+                ps.hotStreak = 0;
+            continue;
+        }
+
+        if (reason != nullptr) {
+            ++ps.hotStreak;
+            ps.calmStreak = 0;
+            if (ps.hotStreak >= cfg_.sustainTicks &&
+                ps.servers < cfg_.maxServers) {
+                std::size_t target = static_cast<std::size_t>(
+                    std::ceil(static_cast<double>(ps.servers) *
+                              cfg_.scaleUpFactor));
+                target = std::clamp(
+                    std::max(target, ps.servers + 1),
+                    cfg_.minServers, cfg_.maxServers);
+                ScaleDecision d;
+                d.tick = tick_;
+                d.pool = sig.pool;
+                d.up = true;
+                d.fromServers = ps.servers;
+                d.toServers = target;
+                d.reason = reason;
+                ps.servers = target;
+                ps.hotStreak = 0;
+                ps.cooldown = cfg_.cooldownTicks;
+                report(d);
+                decisions_.push_back(d);
+                taken.push_back(std::move(d));
+            }
+        } else {
+            ++ps.calmStreak;
+            ps.hotStreak = 0;
+            if (ps.calmStreak >= cfg_.calmTicks &&
+                ps.servers > cfg_.minServers) {
+                ScaleDecision d;
+                d.tick = tick_;
+                d.pool = sig.pool;
+                d.up = false;
+                d.fromServers = ps.servers;
+                d.toServers = ps.servers - 1;
+                d.reason = "calm";
+                ps.servers -= 1;
+                ps.calmStreak = 0;
+                ps.cooldown = cfg_.cooldownTicks;
+                report(d);
+                decisions_.push_back(d);
+                taken.push_back(std::move(d));
+            }
+        }
+    }
+
+    // Cost model: every provisioned server bills one tick, decided
+    // capacities included (a scale-up pays from its own tick).
+    double tick_cost = 0.0;
+    for (const auto &[pool, ps] : pools_)
+        tick_cost += static_cast<double>(ps.servers) *
+                     cfg_.costPerServerTick;
+    cost_ += tick_cost;
+
+    if (cfg_.metrics != nullptr) {
+        cfg_.metrics->counter("tt_provisioner_ticks_total", {}, "")
+            .inc();
+        if (tick_cost > 0.0) {
+            cfg_.metrics
+                ->counter("tt_provisioner_cost_dollars_total", {},
+                          "")
+                .inc(tick_cost);
+        }
+    }
+    return taken;
+}
+
+void
+Provisioner::apply(serving::ClusterSim &cluster) const
+{
+    for (std::size_t i = 0; i < cluster.poolCount(); ++i) {
+        auto it = pools_.find(cluster.poolName(i));
+        if (it != pools_.end())
+            cluster.setPoolServers(i, it->second.servers);
+    }
+}
+
+PoolSignal
+watchSignal(const std::string &pool, const obs::SloTracker *slo,
+            const obs::GuaranteeMonitor *monitor,
+            obs::Registry *metrics)
+{
+    PoolSignal sig;
+    sig.pool = pool;
+    if (slo != nullptr) {
+        for (const obs::SloStatus &s : slo->statuses()) {
+            sig.fastBurnRate =
+                std::max(sig.fastBurnRate, s.fastBurnRate);
+            sig.slowBurnRate =
+                std::max(sig.slowBurnRate, s.slowBurnRate);
+        }
+    }
+    if (monitor != nullptr)
+        sig.guaranteeViolated = monitor->violationCount() > 0;
+    if (metrics != nullptr) {
+        sig.queueWaitP99 =
+            metrics
+                ->histogram("tt_frontdoor_queue_wait_seconds", {},
+                            obs::exponentialBounds(1e-7, 1.0, 15),
+                            "Seconds between admission and pool "
+                            "pickup")
+                .p99();
+    }
+    return sig;
 }
 
 } // namespace toltiers::core

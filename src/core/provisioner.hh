@@ -1,24 +1,44 @@
 /**
  * @file
- * One-call provisioning: the paper's Fig. 4 framework flow.
+ * Provisioning, one-shot and runtime.
  *
- * "The service provider only needs to input training data": the
- * provisioner runs the whole pipeline — measure every version on the
- * training workload, bootstrap the candidate ensembles, generate
- * routing rules for the requested objectives and tolerance grid, and
- * hand back a ready-to-serve TierService together with the artifacts
+ * One-shot — the paper's Fig. 4 framework flow. "The service
+ * provider only needs to input training data": provisionTierService
+ * runs the whole pipeline — measure every version on the training
+ * workload, bootstrap the candidate ensembles, generate routing
+ * rules for the requested objectives and tolerance grid, and hand
+ * back a ready-to-serve TierService together with the artifacts
  * (trace, bootstrap records, rules) for inspection.
+ *
+ * Runtime — the Provisioner controller (the INFaaS-style managed
+ * layer): once the service is live, someone has to keep the
+ * capacity promise as load shifts. The controller watches the
+ * operational signals the observability stack already computes —
+ * SLO burn rates, GuaranteeMonitor violation flags, and the
+ * tt_frontdoor_queue_wait_seconds histogram — and scales ClusterSim
+ * pool capacity under a cost model: scale UP when a pool burns
+ * budget for `sustainTicks` consecutive ticks (multiply by
+ * `scaleUpFactor`), scale DOWN one server after `calmTicks` quiet
+ * ticks (hysteresis), with a post-decision cooldown so the loop
+ * never flaps. tick() is a pure function of the configuration and
+ * the signal sequence — no wall clock, no RNG — so chaos runs
+ * replay bit-for-bit regardless of thread count.
  */
 
 #ifndef TOLTIERS_CORE_PROVISIONER_HH
 #define TOLTIERS_CORE_PROVISIONER_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/rule_generator.hh"
 #include "core/tier_service.hh"
+#include "obs/guarantee.hh"
+#include "obs/slo.hh"
+#include "serving/cluster.hh"
 
 namespace toltiers::core {
 
@@ -60,6 +80,159 @@ ProvisionedService
 provisionTierService(
     const std::vector<const serving::ServiceVersion *> &versions,
     const ProvisionOptions &options = ProvisionOptions());
+
+/** One control-loop observation for one pool: the operational
+ * signals the Provisioner scales on, sampled at a tick. */
+struct PoolSignal
+{
+    /** Pool name (must match a ClusterSim pool to be actuated). */
+    std::string pool;
+    /** Error-budget burn over the fast SLO window. */
+    double fastBurnRate = 0.0;
+    /** Error-budget burn over the slow SLO window. */
+    double slowBurnRate = 0.0;
+    /** True when the GuaranteeMonitor flags a violated tier served
+     * by this pool. */
+    bool guaranteeViolated = false;
+    /** p99 of tt_frontdoor_queue_wait_seconds at this tick. */
+    double queueWaitP99 = 0.0;
+};
+
+/** One scaling decision the controller took at a tick. */
+struct ScaleDecision
+{
+    std::uint64_t tick = 0;   //!< Logical tick of the decision.
+    std::string pool;         //!< Pool scaled.
+    bool up = false;          //!< Scale-up (else scale-down).
+    std::size_t fromServers = 0; //!< Capacity before.
+    std::size_t toServers = 0;   //!< Capacity after.
+    std::string reason;       //!< "burn" / "guarantee" /
+                              //!< "queue-wait" / "calm".
+};
+
+/** Stable single-line serialization of a decision (the byte-exact
+ * form the determinism tests and trace events use). */
+std::string decisionLine(const ScaleDecision &decision);
+
+/** Runtime provisioner control-loop parameters. */
+struct ProvisionerConfig
+{
+    /** Floor a pool is never scaled below. */
+    std::size_t minServers = 1;
+    /** Ceiling a pool is never scaled above. */
+    std::size_t maxServers = 64;
+    /** Burn rate (both SLO windows must agree, i.e. min(fast,
+     * slow)) that marks a tick "hot" for a pool. */
+    double burnScaleUpThreshold = 6.0;
+    /** Queue-wait p99 seconds that also marks a tick hot;
+     * <= 0 disables the queue-wait trigger. */
+    double queueWaitScaleUpSeconds = 0.0;
+    /** Consecutive hot ticks before a scale-up fires. */
+    std::size_t sustainTicks = 3;
+    /** Consecutive quiet ticks before a scale-down fires (the
+     * hysteresis that keeps capacity through transient lulls). */
+    std::size_t calmTicks = 10;
+    /** Ticks after any decision during which the pool holds
+     * steady (anti-flap cooldown). */
+    std::size_t cooldownTicks = 5;
+    /** Scale-up multiplier (ceil(servers x factor), clamped). */
+    double scaleUpFactor = 2.0;
+    /** Cost accrued per provisioned server per tick (the cost
+     * model the controller reports, not a limiter). */
+    double costPerServerTick = 0.0;
+    /** Optional registry for the tt_provisioner_* series. */
+    obs::Registry *metrics = nullptr;
+    /** Optional tracer: each decision emits one `provision` trace
+     * event when sampled. */
+    obs::Tracer *tracer = nullptr;
+};
+
+/**
+ * Runtime capacity controller over named pools.
+ *
+ * Seed each pool with setServers() (or let the first tick() default
+ * it to `minServers`), then call tick() on a fixed cadence with the
+ * current PoolSignal per pool. Decisions come back (and accumulate
+ * through decisions()) and can be pushed into a ClusterSim with
+ * apply(). The controller is deterministic: its entire state is a
+ * pure function of the config and the signal sequence, so the same
+ * signals replay to byte-identical decisionLine() logs at any
+ * thread count.
+ *
+ * Thread safety: NOT thread-safe; one control loop owns it (the
+ * signals it consumes come from thread-safe sources).
+ */
+class Provisioner
+{
+  public:
+    /** Build a controller; the config is copied. */
+    explicit Provisioner(ProvisionerConfig cfg = ProvisionerConfig());
+
+    /** Seed (or force) a pool's capacity, clamped to the config
+     * bounds; also resets the pool's streaks and cooldown. */
+    void setServers(const std::string &pool, std::size_t servers);
+
+    /** Current capacity of a pool (minServers if never seen). */
+    std::size_t servers(const std::string &pool) const;
+
+    /**
+     * Advance the control loop one tick with one signal per pool
+     * (unlisted pools idle and accrue calm). Returns the decisions
+     * taken this tick, in signal order.
+     */
+    std::vector<ScaleDecision>
+    tick(const std::vector<PoolSignal> &signals);
+
+    /** Ticks observed so far. */
+    std::uint64_t ticks() const { return tick_; }
+
+    /** Total cost accrued (servers x costPerServerTick per tick). */
+    double costDollars() const { return cost_; }
+
+    /** Every decision taken, in tick order. */
+    const std::vector<ScaleDecision> &decisions() const
+    {
+        return decisions_;
+    }
+
+    /** Push the current capacities into matching ClusterSim pools
+     * (matched by name; unmatched pools are left untouched). */
+    void apply(serving::ClusterSim &cluster) const;
+
+  private:
+    /** Per-pool control state. */
+    struct PoolState
+    {
+        std::size_t servers = 1;
+        std::size_t hotStreak = 0;
+        std::size_t calmStreak = 0;
+        std::size_t cooldown = 0;
+    };
+
+    PoolState &state(const std::string &pool);
+    /** Mirror the pool's capacity gauge and emit the decision's
+     * metrics + trace event. */
+    void report(const ScaleDecision &decision);
+
+    ProvisionerConfig cfg_;
+    std::map<std::string, PoolState> pools_;
+    std::vector<ScaleDecision> decisions_;
+    std::uint64_t tick_ = 0;
+    double cost_ = 0.0;
+};
+
+/**
+ * Sample one pool's PoolSignal from the live observability stack:
+ * the worst (max) burn rates across `slo`'s tiers, any violated
+ * flag from `monitor`, and the p99 of the front door's
+ * tt_frontdoor_queue_wait_seconds histogram in `metrics`. Null
+ * sources contribute their zero value. This is the glue between
+ * the thread-safe telemetry and the single-threaded control loop.
+ */
+PoolSignal watchSignal(const std::string &pool,
+                       const obs::SloTracker *slo,
+                       const obs::GuaranteeMonitor *monitor,
+                       obs::Registry *metrics);
 
 } // namespace toltiers::core
 

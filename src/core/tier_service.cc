@@ -8,6 +8,7 @@
 #include "common/stopwatch.hh"
 #include "common/strings.hh"
 #include "serving/cache.hh"
+#include "serving/tenant.hh"
 
 namespace toltiers::core {
 
@@ -392,6 +393,21 @@ TierService::handle(const serving::ServiceRequest &request,
         bool hit =
             cache_->lookup(fp, request.tier.tolerance, cached);
         cache_wall = cache_sw.seconds();
+        if (ctx_.metrics != nullptr && obs::metricsEnabled()) {
+            // Per-tenant cache attribution: the shared cache's own
+            // tt_cache_* tallies stay global; these labelled series
+            // show who benefits from (and who churns) it.
+            const obs::Labels labels = {
+                {"tenant",
+                 serving::tenantMetricLabel(request.tenant)}};
+            ctx_.metrics
+                ->counter(hit ? "tt_tenant_cache_hits_total"
+                              : "tt_tenant_cache_misses_total",
+                          labels,
+                          hit ? "Result-cache hits per tenant"
+                              : "Result-cache misses per tenant")
+                .inc();
+        }
         if (hit) {
             resp.output = cached.output;
             resp.confidence = cached.confidence;
@@ -400,7 +416,7 @@ TierService::handle(const serving::ServiceRequest &request,
             resp.costDollars = 0.0;
             recordMetrics(request.tier.objective, rule, resp);
             recordStageMetrics(resp, rule_match_wall, cache_wall);
-            recordSlo(request.tier.objective, rule, resp);
+            recordSlo(request, rule, resp);
             if (ctx_.monitor) {
                 ctx_.monitor->observeLatency(
                     serving::objectiveName(request.tier.objective),
@@ -589,7 +605,7 @@ TierService::handle(const serving::ServiceRequest &request,
 
     recordMetrics(request.tier.objective, rule, resp);
     recordStageMetrics(resp, rule_match_wall, cache_wall);
-    recordSlo(request.tier.objective, rule, resp);
+    recordSlo(request, rule, resp);
     if (ctx_.monitor) {
         ctx_.monitor->observeLatency(
             serving::objectiveName(request.tier.objective),
@@ -701,7 +717,7 @@ TierService::recordStageMetrics(const TierResponse &resp,
 }
 
 void
-TierService::recordSlo(serving::Objective objective,
+TierService::recordSlo(const serving::ServiceRequest &request,
                        const RoutingRule &rule,
                        const TierResponse &resp) const
 {
@@ -710,8 +726,14 @@ TierService::recordSlo(serving::Objective objective,
     // One binary budget event per served request: good unless the
     // tolerance promise was explicitly violated (fallbacks honored
     // the promise, so they preserve budget).
-    ctx_.slo->record(serving::objectiveName(objective),
+    ctx_.slo->record(serving::objectiveName(request.tier.objective),
                      rule.tolerance, !resp.violated());
+    // The same event also burns the tenant's own budget, so a noisy
+    // neighbor's violations page that tenant's window — not the
+    // victims'.
+    ctx_.slo->recordTenant(
+        serving::tenantMetricLabel(request.tenant),
+        !resp.violated());
 }
 
 void
@@ -733,6 +755,10 @@ TierService::recordTrace(const serving::ServiceRequest &request,
                    policyKindName(resp.config.kind));
     trace.annotate(root, "escalated",
                    resp.escalated ? "true" : "false");
+    // Annotated only for named tenants so single-tenant span trees
+    // (and their goldens) are unchanged.
+    if (!request.tenant.empty())
+        trace.annotate(root, "tenant", request.tenant);
     if (resp.servedFromCache)
         trace.annotate(root, "cached", "true");
     if (resp.status != ServeStatus::Ok) {

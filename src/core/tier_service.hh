@@ -259,7 +259,7 @@ class TierService
     void recordStageMetrics(const TierResponse &resp,
                             double rule_match_wall,
                             double cache_wall) const;
-    void recordSlo(serving::Objective objective,
+    void recordSlo(const serving::ServiceRequest &request,
                    const RoutingRule &rule,
                    const TierResponse &resp) const;
     void recordTrace(const serving::ServiceRequest &request,

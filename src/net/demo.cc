@@ -98,6 +98,11 @@ DemoStack::DemoStack(DemoStackConfig cfg)
     door_cfg.pool = &pool_;
     door_cfg.queueCapacity = cfg.queueCapacity;
     door_cfg.metrics = &registry_;
+    if (cfg.fairTenancy) {
+        tenantPolicy_.defaults.ratePerSecond = cfg.tenantRate;
+        tenantPolicy_.defaults.burst = cfg.tenantBurst;
+        door_cfg.tenantPolicy = &tenantPolicy_;
+    }
     door_ = std::make_unique<core::TierFrontDoor>(service_,
                                                   door_cfg);
 

@@ -80,6 +80,15 @@ struct DemoStackConfig
     std::size_t spinIters = 2000;
     /** Payload-index space of the bound workload. */
     std::size_t workloadSize = 64;
+    /** Enforce weighted-fair multi-tenant admission at the door
+     * (serving/tenant.hh). Off by default: the single-tenant stack
+     * behaves exactly as before. */
+    bool fairTenancy = false;
+    /** Per-tenant admitted requests/second when fairTenancy is on;
+     * <= 0 leaves tenants unlimited (fair queueing only). */
+    double tenantRate = 0.0;
+    /** Per-tenant token-bucket burst when fairTenancy is on. */
+    double tenantBurst = 16.0;
 };
 
 /** Versions + rules + pool + door + server, wired and owned. */
@@ -112,6 +121,7 @@ class DemoStack
     DemoVersion accurate_;
     core::TierService service_;
     obs::Registry registry_;
+    serving::TenantPolicy tenantPolicy_;
     exec::ThreadPool pool_;
     std::unique_ptr<core::TierFrontDoor> door_;
     std::unique_ptr<TierServer> server_;

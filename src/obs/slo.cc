@@ -62,6 +62,8 @@ SloTracker::attachMetrics(Registry *registry)
     if (metrics_ != nullptr) {
         for (const auto &[key, ts] : tiers_)
             publish(key, ts);
+        for (const auto &[tenant, ts] : tenants_)
+            publishTenant(tenant, ts);
     }
 }
 
@@ -83,6 +85,24 @@ SloTracker::record(const std::string &objective, double tolerance,
     ts.fast.push(bad, ts.policy.fastWindowEvents);
     ts.slow.push(bad, ts.policy.slowWindowEvents);
     publish(key, ts);
+}
+
+void
+SloTracker::recordTenant(const std::string &tenant_label, bool good)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant_label);
+    if (it == tenants_.end()) {
+        it = tenants_.emplace(tenant_label, TierSlo{}).first;
+        it->second.policy = defaults_;
+    }
+    TierSlo &ts = it->second;
+    bool bad = !good;
+    ++ts.events;
+    ts.bad += bad ? 1 : 0;
+    ts.fast.push(bad, ts.policy.fastWindowEvents);
+    ts.slow.push(bad, ts.policy.slowWindowEvents);
+    publishTenant(tenant_label, ts);
 }
 
 SloStatus
@@ -148,6 +168,63 @@ SloTracker::publish(const Key &key, const TierSlo &ts)
         .set(static_cast<double>(status.alert));
 }
 
+TenantSloStatus
+SloTracker::evaluateTenant(const std::string &tenant,
+                           const TierSlo &ts) const
+{
+    TenantSloStatus status;
+    status.tenant = tenant;
+    status.policy = ts.policy;
+    status.events = ts.events;
+    status.bad = ts.bad;
+
+    double budget = errorBudget(ts.policy);
+    status.fastBurnRate = ts.fast.badFraction() / budget;
+    status.slowBurnRate = ts.slow.badFraction() / budget;
+
+    // The same multiwindow agreement rule as the tier alerts.
+    if (ts.events >= ts.policy.minEvents) {
+        double both = std::min(status.fastBurnRate,
+                               status.slowBurnRate);
+        if (both >= ts.policy.pageBurnRate)
+            status.alert = SloAlert::Page;
+        else if (both >= ts.policy.ticketBurnRate)
+            status.alert = SloAlert::Ticket;
+    }
+    return status;
+}
+
+void
+SloTracker::publishTenant(const std::string &tenant,
+                          const TierSlo &ts)
+{
+    if (metrics_ == nullptr || !metricsEnabled())
+        return;
+    TenantSloStatus status = evaluateTenant(tenant, ts);
+    Labels labels = {{"tenant", tenant}};
+    metrics_
+        ->gauge("tt_tenant_slo_events_total", labels,
+                "Requests accounted against the tenant's SLO")
+        .set(static_cast<double>(status.events));
+    metrics_
+        ->gauge("tt_tenant_slo_bad_total", labels,
+                "Tenant requests that spent error budget")
+        .set(static_cast<double>(status.bad));
+    metrics_
+        ->gauge("tt_tenant_burn_rate_fast", labels,
+                "Tenant error-budget burn over the fast window")
+        .set(status.fastBurnRate);
+    metrics_
+        ->gauge("tt_tenant_burn_rate_slow", labels,
+                "Tenant error-budget burn over the slow window")
+        .set(status.slowBurnRate);
+    metrics_
+        ->gauge("tt_tenant_alert_level", labels,
+                "Tenant multiwindow alert severity (0 none, "
+                "1 ticket, 2 page)")
+        .set(static_cast<double>(status.alert));
+}
+
 SloStatus
 SloTracker::status(const std::string &objective,
                    double tolerance) const
@@ -173,6 +250,17 @@ SloTracker::statuses() const
     out.reserve(tiers_.size());
     for (const auto &[key, ts] : tiers_)
         out.push_back(evaluate(key, ts));
+    return out;
+}
+
+std::vector<TenantSloStatus>
+SloTracker::tenantStatuses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TenantSloStatus> out;
+    out.reserve(tenants_.size());
+    for (const auto &[tenant, ts] : tenants_)
+        out.push_back(evaluateTenant(tenant, ts));
     return out;
 }
 

@@ -91,6 +91,21 @@ struct SloStatus
     SloAlert alert = SloAlert::None;
 };
 
+/** Point-in-time budget accounting for one tenant (the same
+ * two-window burn-rate math as SloStatus, keyed by tenant instead
+ * of tier — so a noisy neighbor's violations page that tenant's
+ * budget, not its victims'). */
+struct TenantSloStatus
+{
+    std::string tenant; //!< Metric label ("anonymous" for "").
+    SloPolicy policy;
+    std::uint64_t events = 0; //!< Lifetime events observed.
+    std::uint64_t bad = 0;    //!< Lifetime bad events.
+    double fastBurnRate = 0.0;
+    double slowBurnRate = 0.0;
+    SloAlert alert = SloAlert::None;
+};
+
 /**
  * Sliding-window error-budget tracker for every installed tier.
  * All calls are thread-safe; record() is a deque push plus counter
@@ -123,12 +138,24 @@ class SloTracker
     void record(const std::string &objective, double tolerance,
                 bool good);
 
+    /**
+     * Record the same outcome against the requesting tenant's own
+     * error budget (label per serving::tenantMetricLabel; the
+     * tracker treats it as an opaque key). Uses the tracker-wide
+     * default policy; exported as tt_tenant_slo_* / tt_tenant_burn
+     * / tt_tenant_alert series when metrics are attached.
+     */
+    void recordTenant(const std::string &tenant_label, bool good);
+
     /** Current accounting for one tier (zeros if unknown). */
     SloStatus status(const std::string &objective,
                      double tolerance) const;
 
     /** Current accounting for every tier, sorted by key. */
     std::vector<SloStatus> statuses() const;
+
+    /** Current accounting for every tenant seen, sorted by label. */
+    std::vector<TenantSloStatus> tenantStatuses() const;
 
     /** Number of tiers currently at or above Ticket severity. */
     std::size_t alertCount() const;
@@ -173,9 +200,15 @@ class SloTracker
 
     SloStatus evaluate(const Key &key, const TierSlo &ts) const;
     void publish(const Key &key, const TierSlo &ts);
+    TenantSloStatus evaluateTenant(const std::string &tenant,
+                                   const TierSlo &ts) const;
+    void publishTenant(const std::string &tenant,
+                       const TierSlo &ts);
 
     mutable std::mutex mu_;
     std::map<Key, TierSlo> tiers_;
+    /** Per-tenant windows, keyed by metric label. */
+    std::map<std::string, TierSlo> tenants_;
     SloPolicy defaults_;
     Registry *metrics_ = nullptr;
 };

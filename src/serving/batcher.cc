@@ -127,7 +127,7 @@ AdaptiveBatcher::keyOf(const ServiceRequest &request) const
     static_assert(sizeof(bits) == sizeof(request.tier.tolerance));
     std::memcpy(&bits, &request.tier.tolerance, sizeof(bits));
     return {static_cast<std::uint32_t>(request.tier.objective),
-            bits};
+            bits, request.tenant};
 }
 
 void

@@ -48,7 +48,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "common/mutex.hh"
@@ -151,8 +153,12 @@ class AdaptiveBatcher
         Clock::time_point oldestArrival;
     };
 
-    /** Batch key: same-objective, same-tolerance-bucket requests. */
-    using GroupKey = std::pair<std::uint32_t, std::uint64_t>;
+    /** Batch key: same-objective, same-tolerance-bucket, SAME-TENANT
+     * requests — tenants never share a batch, so one tenant's batch
+     * budget (and front-door fair-queue cost) is never spent on
+     * another's traffic. */
+    using GroupKey =
+        std::tuple<std::uint32_t, std::uint64_t, std::string>;
 
     /**
      * AIMD state shared with in-flight completion hooks, so a batch

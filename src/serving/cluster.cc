@@ -151,6 +151,27 @@ ClusterSim::ClusterSim(std::vector<SimPool> pools)
         TT_ASSERT(p.servers > 0, "pool '", p.name, "' has no servers");
 }
 
+const std::string &
+ClusterSim::poolName(std::size_t pool) const
+{
+    TT_ASSERT(pool < pools_.size(), "pool index out of range");
+    return pools_[pool].name;
+}
+
+std::size_t
+ClusterSim::poolServers(std::size_t pool) const
+{
+    TT_ASSERT(pool < pools_.size(), "pool index out of range");
+    return pools_[pool].servers;
+}
+
+void
+ClusterSim::setPoolServers(std::size_t pool, std::size_t servers)
+{
+    TT_ASSERT(pool < pools_.size(), "pool index out of range");
+    pools_[pool].servers = std::max<std::size_t>(servers, 1);
+}
+
 SimReport
 ClusterSim::run(const std::vector<SimJob> &jobs) const
 {

@@ -144,6 +144,19 @@ class ClusterSim
 
     std::size_t poolCount() const { return pools_.size(); }
 
+    /** The pool's name (index must be < poolCount()). */
+    const std::string &poolName(std::size_t pool) const;
+
+    /** Servers currently provisioned in the pool. */
+    std::size_t poolServers(std::size_t pool) const;
+
+    /**
+     * Re-provision the pool to `servers` (clamped up to 1) — the
+     * actuator a runtime Provisioner drives; subsequent run() calls
+     * see the new capacity.
+     */
+    void setPoolServers(std::size_t pool, std::size_t servers);
+
   private:
     std::vector<SimPool> pools_;
     obs::Registry *metrics_ = nullptr;

@@ -40,11 +40,14 @@ struct ServiceRequest
     std::size_t payload = 0; //!< Index into the bound workload.
     TierAnnotation tier;
     std::map<std::string, std::string> headers;
-    /** Requesting tenant ("" = the anonymous default tenant).
-     * Carried by the wire protocol and parsed from a `Tenant:`
-     * header; today it is accounting-only — the multi-tenant
-     * admission work (ROADMAP item 2) keys quotas and per-tenant
-     * tt_* labels off it. */
+    /** Requesting tenant ("" = the anonymous default tenant, which
+     * is labelled "anonymous" in metrics and governed by the
+     * TenantPolicy's default quota like any other tenant). Carried
+     * by the wire protocol and parsed from a `Tenant:` header; the
+     * multi-tenant admission layer (ROADMAP item 1, now
+     * implemented in serving/tenant.hh) keys token-bucket quotas,
+     * weighted-fair dequeue, and the per-tenant tt_* label series
+     * off it. */
     std::string tenant;
     /** Wall seconds the request queued in the adaptive batcher
      * before dispatch (0 when it never crossed a batcher). Set by

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <thread>
 
@@ -109,32 +110,21 @@ struct ThreadTally
     std::size_t rejected = 0;
     std::size_t transportErrors = 0;
     std::vector<double> latencies;
+    /** Per-tenant sub-tallies (leaf tallies keep this empty). */
+    std::map<std::string, ThreadTally> tenants;
 };
 
-/** Issue one request and record its outcome into `tally`. */
+/** Record one issued request's outcome into `tally`. */
 void
-issueOne(net::TierClient &client, const LoadConfig &cfg,
-         std::size_t global_index, ThreadTally &tally)
+applyOutcome(ThreadTally &tally, net::CodecStatus status,
+             const net::NetResponse &resp, double rtt_seconds)
 {
     ++tally.attempted;
-    serving::ServiceRequest req;
-    req.id = global_index;
-    // Payload draw from the request's own derived stream, so the
-    // sequence is independent of the thread count.
-    common::Pcg32 rng = exec::taskRng(cfg.seed, global_index);
-    req.payload = rng.nextBounded(
-        static_cast<std::uint32_t>(cfg.workloadSize));
-    req.tier.tolerance = cfg.tolerance;
-    req.tier.objective = cfg.objective;
-
-    net::NetResponse resp;
-    common::Stopwatch rtt;
-    net::CodecStatus status = client.call(req, resp);
     if (status != net::CodecStatus::Ok) {
         ++tally.transportErrors;
         return;
     }
-    tally.latencies.push_back(rtt.seconds());
+    tally.latencies.push_back(rtt_seconds);
     switch (resp.status) {
       case net::WireStatus::Ok:
         ++tally.ok;
@@ -154,6 +144,52 @@ issueOne(net::TierClient &client, const LoadConfig &cfg,
     }
 }
 
+/** The request's tenant under the skewed multi-tenant split; draws
+ * from the request's own stream so the assignment is a pure
+ * function of (seed, index) regardless of thread count. */
+std::string
+tenantFor(const LoadConfig &cfg, common::Pcg32 &rng)
+{
+    double skew = std::max(cfg.tenantSkew, 1e-9);
+    double total =
+        skew + static_cast<double>(cfg.tenants - 1);
+    double scaled = rng.nextDouble() * total;
+    std::size_t k = 0;
+    if (scaled >= skew) {
+        k = 1 + static_cast<std::size_t>(scaled - skew);
+        k = std::min(k, cfg.tenants - 1);
+    }
+    return "t" + std::to_string(k);
+}
+
+/** Issue one request and record its outcome into `tally`. */
+void
+issueOne(net::TierClient &client, const LoadConfig &cfg,
+         std::size_t global_index, ThreadTally &tally)
+{
+    serving::ServiceRequest req;
+    req.id = global_index;
+    // Payload draw from the request's own derived stream, so the
+    // sequence is independent of the thread count.
+    common::Pcg32 rng = exec::taskRng(cfg.seed, global_index);
+    req.payload = rng.nextBounded(
+        static_cast<std::uint32_t>(cfg.workloadSize));
+    req.tier.tolerance = cfg.tolerance;
+    req.tier.objective = cfg.objective;
+    if (cfg.tenants > 1)
+        req.tenant = tenantFor(cfg, rng);
+
+    net::NetResponse resp;
+    common::Stopwatch rtt;
+    net::CodecStatus status = client.call(req, resp);
+    double rtt_seconds = rtt.seconds();
+    applyOutcome(tally, status, resp, rtt_seconds);
+    if (!req.tenant.empty()) {
+        applyOutcome(tally.tenants[req.tenant], status, resp,
+                     rtt_seconds);
+    }
+}
+
 /** Merge per-thread tallies and finish the report. */
 LoadReport
 mergeReport(const LoadConfig &cfg, std::vector<ThreadTally> tallies,
@@ -167,6 +203,7 @@ mergeReport(const LoadConfig &cfg, std::vector<ThreadTally> tallies,
     report.sloSeconds = cfg.sloSeconds;
 
     std::vector<double> latencies;
+    std::map<std::string, ThreadTally> by_tenant;
     for (ThreadTally &t : tallies) {
         report.attempted += t.attempted;
         report.ok += t.ok;
@@ -176,6 +213,31 @@ mergeReport(const LoadConfig &cfg, std::vector<ThreadTally> tallies,
         report.transportErrors += t.transportErrors;
         latencies.insert(latencies.end(), t.latencies.begin(),
                          t.latencies.end());
+        for (auto &[tenant, sub] : t.tenants) {
+            ThreadTally &agg = by_tenant[tenant];
+            agg.attempted += sub.attempted;
+            agg.ok += sub.ok;
+            agg.fellBack += sub.fellBack;
+            agg.violations += sub.violations;
+            agg.rejected += sub.rejected;
+            agg.transportErrors += sub.transportErrors;
+            agg.latencies.insert(agg.latencies.end(),
+                                 sub.latencies.begin(),
+                                 sub.latencies.end());
+        }
+    }
+    for (auto &[tenant, agg] : by_tenant) {
+        TenantLoadReport slice;
+        slice.tenant = tenant;
+        slice.attempted = agg.attempted;
+        slice.ok = agg.ok;
+        slice.fellBack = agg.fellBack;
+        slice.violations = agg.violations;
+        slice.rejected = agg.rejected;
+        slice.transportErrors = agg.transportErrors;
+        slice.latency =
+            summarizeLatencies(std::move(agg.latencies));
+        report.tenants.push_back(std::move(slice));
     }
     if (cfg.sloSeconds > 0.0 && !latencies.empty()) {
         auto within = static_cast<double>(std::count_if(

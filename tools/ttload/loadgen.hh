@@ -124,6 +124,31 @@ struct LoadConfig
     /** Target SLO on measured round-trip latency; > 0 reports
      * attainment against it. */
     double sloSeconds = 0.0;
+    /** Distinct tenants to spread traffic across (requests carry
+     * tenant ids "t0".."t{N-1}"); <= 1 keeps every request on the
+     * anonymous tenant, exactly as before. */
+    std::size_t tenants = 1;
+    /** Traffic-share weight of tenant t0 relative to each other
+     * tenant (the noisy-neighbor dial): t0 receives skew /
+     * (skew + tenants - 1) of the offered load. 1.0 = even split.
+     * The per-request tenant draw comes from the request's own
+     * seeded stream, so the assignment is thread-count invariant. */
+    double tenantSkew = 1.0;
+};
+
+/** One tenant's slice of a load run (only issued requests are
+ * attributed; connect failures have no tenant). */
+struct TenantLoadReport
+{
+    std::string tenant;        //!< Tenant id ("t0", "t1", ...).
+    std::size_t attempted = 0; //!< Requests issued as this tenant.
+    std::size_t ok = 0;        //!< Ok responses.
+    std::size_t fellBack = 0;  //!< FellBack responses.
+    std::size_t violations = 0; //!< GuaranteeViolation responses.
+    std::size_t rejected = 0;  //!< Rejected (quota or shed).
+    std::size_t transportErrors = 0; //!< No usable response.
+    /** Round-trip latency over this tenant's responses. */
+    LatencySummary latency;
 };
 
 /** One load run's measured outcome. */
@@ -145,6 +170,9 @@ struct LoadReport
     double sloSeconds = 0.0;
     /** Fraction of responses within the SLO (0 when none set). */
     double sloAttainment = 0.0;
+    /** Per-tenant slices, sorted by tenant id; empty when the run
+     * used a single (anonymous) tenant. */
+    std::vector<TenantLoadReport> tenants;
 
     /** Responses of any kind (ok + fellBack + violations +
      * rejected). */

@@ -24,12 +24,22 @@
  *                   recorded)
  *   --json PATH     write the machine-readable report (default
  *                   BENCH_net.json; "" disables)
+ *   --tenants N     spread requests across N tenants t0..t{N-1};
+ *                   per-tenant accounting lines print after the
+ *                   table and per-tenant slices land in the JSON
+ *   --tenant-skew S weight tenant t0's traffic share S-fold over
+ *                   each other tenant (the noisy-neighbor dial;
+ *                   default 1 = even)
  *
  * Self-serve stack:
  *   --serve-threads N   serving pool threads (default: hardware)
  *   --queue N           front-door admission capacity (default 1024)
  *   --spin N            fast version's hash-loop iterations
  *                       (default 2000, ~20us)
+ *   --fair BOOL         weighted-fair tenant admission at the demo
+ *                       door (default: on when --tenants > 1)
+ *   --tenant-rate R     per-tenant admitted req/s (0 = unlimited)
+ *   --tenant-burst B    per-tenant token-bucket burst (default 16)
  *
  * Honesty rule: ttload detects hardware parallelism via
  * std::thread::hardware_concurrency() and never runs more client
@@ -39,6 +49,7 @@
  * JSON so the numbers cannot be quoted without their context.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -99,6 +110,23 @@ writePoint(common::JsonWriter &json, const ttload::ThreadCap &cap,
     json.member("maxSeconds", report.latency.max);
     json.member("sloSeconds", report.sloSeconds);
     json.member("sloAttainment", report.sloAttainment);
+    if (!report.tenants.empty()) {
+        json.beginArray("tenants");
+        for (const ttload::TenantLoadReport &t : report.tenants) {
+            json.beginObject();
+            json.member("tenant", t.tenant);
+            json.member("attempted", t.attempted);
+            json.member("ok", t.ok);
+            json.member("fellBack", t.fellBack);
+            json.member("violations", t.violations);
+            json.member("rejected", t.rejected);
+            json.member("transportErrors", t.transportErrors);
+            json.member("p50Seconds", t.latency.p50);
+            json.member("p99Seconds", t.latency.p99);
+            json.endObject();
+        }
+        json.endArray();
+    }
     json.endObject();
 }
 
@@ -118,7 +146,9 @@ run(int argc, char **argv)
         common::telemetryFlags(
             {"host", "port", "threads", "requests", "rate",
              "tolerance", "objective", "slo", "seed", "sweep",
-             "json", "serve-threads", "queue", "spin"}));
+             "json", "serve-threads", "queue", "spin", "tenants",
+             "tenant-skew", "fair", "tenant-rate",
+             "tenant-burst"}));
     common::applyLogLevel(args);
 
     ttload::LoadConfig cfg;
@@ -131,6 +161,9 @@ run(int argc, char **argv)
     cfg.sloSeconds = args.getDouble("slo", 0.0);
     cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     cfg.offeredRps = args.getDouble("rate", 0.0);
+    cfg.tenants = std::max<std::size_t>(
+        static_cast<std::size_t>(args.getInt("tenants", 1)), 1);
+    cfg.tenantSkew = args.getDouble("tenant-skew", 1.0);
     std::string objective =
         args.getString("objective", "response-time");
     if (!serving::tryParseObjective(objective, cfg.objective))
@@ -146,6 +179,12 @@ run(int argc, char **argv)
             static_cast<std::size_t>(args.getInt("queue", 1024));
         demo.spinIters =
             static_cast<std::size_t>(args.getInt("spin", 2000));
+        // Multi-tenant load defaults the demo door to fair
+        // admission, so the noisy-neighbor runbook needs no extra
+        // flag; --fair false measures the unfair baseline.
+        demo.fairTenancy = args.getBool("fair", cfg.tenants > 1);
+        demo.tenantRate = args.getDouble("tenant-rate", 0.0);
+        demo.tenantBurst = args.getDouble("tenant-burst", 16.0);
         stack = std::make_unique<net::DemoStack>(demo);
         std::string err;
         if (!stack->start(err))
@@ -212,6 +251,26 @@ run(int argc, char **argv)
         points.emplace_back(cap, report);
     }
     table.print(std::cout);
+    // Per-tenant accounting lines, one per tenant per point — the
+    // greppable surface the net-smoke CI job asserts on.
+    for (const auto &[cap, report] : points) {
+        for (const ttload::TenantLoadReport &t : report.tenants) {
+            std::cout << "tenant " << t.tenant << ": attempted "
+                      << t.attempted << ", ok " << t.ok
+                      << ", fellBack " << t.fellBack
+                      << ", violations " << t.violations
+                      << ", rejected " << t.rejected << ", errors "
+                      << t.transportErrors << ", p99 "
+                      << common::formatFixed(t.latency.p99 * 1e6,
+                                             0)
+                      << "us";
+            if (points.size() > 1) {
+                std::cout << " (threads " << report.threads
+                          << ")";
+            }
+            std::cout << "\n";
+        }
+    }
     if (cfg.sloSeconds > 0.0) {
         for (const auto &[cap, report] : points) {
             common::inform(
@@ -247,6 +306,8 @@ run(int argc, char **argv)
         json.member("tolerance", cfg.tolerance);
         json.member("seed", static_cast<std::size_t>(cfg.seed));
         json.member("selfServe", stack != nullptr);
+        json.member("tenants", cfg.tenants);
+        json.member("tenantSkew", cfg.tenantSkew);
         json.beginArray("points");
         for (const auto &[cap, report] : points)
             writePoint(json, cap, report);

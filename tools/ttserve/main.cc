@@ -7,13 +7,21 @@
  *
  * Usage:
  *   ttserve [--port P] [--serve-threads N] [--queue N] [--spin N]
- *           [--duration SECONDS]
+ *           [--duration SECONDS] [--fair]
+ *           [--tenant-rate R] [--tenant-burst B]
  *
  * --port 0 (the default) binds an ephemeral port and prints it, so
  * scripts can scrape the line and point ttload at it. With
  * --duration the server runs that many seconds then exits 0;
  * without it, it serves until EOF on stdin (press ^D, or close the
  * pipe).
+ *
+ * --fair turns on weighted-fair multi-tenant admission at the front
+ * door: requests carrying a `Tenant:` header are charged against
+ * that tenant's token bucket (--tenant-rate requests/second with
+ * --tenant-burst capacity; rate 0 = unlimited, fair queueing only)
+ * and drain through a deficit-round-robin queue. On exit, one
+ * `tenant <name>: ...` accounting line prints per tenant seen.
  */
 
 #include <chrono>
@@ -34,7 +42,8 @@ run(int argc, char **argv)
     common::CliArgs args(
         argc, argv,
         common::telemetryFlags({"port", "serve-threads", "queue",
-                                "spin", "duration"}));
+                                "spin", "duration", "fair",
+                                "tenant-rate", "tenant-burst"}));
     common::applyLogLevel(args);
 
     net::DemoStackConfig cfg;
@@ -45,6 +54,9 @@ run(int argc, char **argv)
         static_cast<std::size_t>(args.getInt("queue", 1024));
     cfg.spinIters =
         static_cast<std::size_t>(args.getInt("spin", 2000));
+    cfg.fairTenancy = args.getBool("fair", false);
+    cfg.tenantRate = args.getDouble("tenant-rate", 0.0);
+    cfg.tenantBurst = args.getDouble("tenant-burst", 16.0);
 
     net::DemoStack stack(cfg);
     std::string err;
@@ -72,6 +84,16 @@ run(int argc, char **argv)
                    " requests (", stats.completed, " completed, ",
                    stats.rejected, " rejected, ", stats.aborted,
                    " aborted, ", stats.badFrames, " bad frames)");
+    // Per-tenant accounting, one greppable line per tenant; the
+    // conservation identity holds exactly on every line.
+    for (const serving::TenantStats &t :
+         stack.door().tenantStats()) {
+        std::cout << "tenant " << t.tenant << ": submitted "
+                  << t.submitted << ", rejected " << t.rejected
+                  << ", shed " << t.shed << ", completed "
+                  << t.completed << ", violations " << t.violations
+                  << std::endl;
+    }
     return 0;
 }
 
